@@ -1,0 +1,54 @@
+//! Fig. 14 micro-benchmarks: fitting time of the three clustering backends
+//! on identically sized state-vector samples. The wall-clock ordering
+//! (K-Means « co-clustering « hierarchical) is the claim of Appendix C.2.
+
+use cohortnet_clustering::{cocluster_fit, hierarchical_fit, kmeans_fit, KMeansConfig, Linkage};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sample_data(n: usize, dim: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(42);
+    // Three latent blobs, like fused feature representations.
+    (0..n)
+        .flat_map(|i| {
+            let center = (i % 3) as f32 * 2.0;
+            (0..dim).map(move |_| center).collect::<Vec<_>>()
+        })
+        .zip(std::iter::repeat_with(move || rng.gen_range(-0.3..0.3f32)))
+        .map(|(c, noise)| c + noise)
+        .collect()
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let dim = 6;
+    let mut g = c.benchmark_group("state_clustering");
+    g.sample_size(10);
+    for &n in &[200usize, 600] {
+        let data = sample_data(n, dim);
+        g.bench_function(format!("kmeans_n{n}"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(0);
+                std::hint::black_box(kmeans_fit(
+                    &data,
+                    dim,
+                    KMeansConfig { k: 7, max_iter: 30, tol: 1e-4 },
+                    &mut rng,
+                ))
+            });
+        });
+        g.bench_function(format!("cocluster_n{n}"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(0);
+                std::hint::black_box(cocluster_fit(&data, dim, 7, &mut rng))
+            });
+        });
+        g.bench_function(format!("hierarchical_n{n}"), |b| {
+            b.iter(|| std::hint::black_box(hierarchical_fit(&data, dim, 7, Linkage::Average)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

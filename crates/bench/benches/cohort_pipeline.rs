@@ -1,0 +1,98 @@
+//! Fig. 12/13 micro-benchmarks: the discovery-side primitives whose scaling
+//! drives preprocessing time — state fitting, pattern mining, pool
+//! construction, and per-patient bitmap matching.
+
+use cohortnet::cdm::{build_masks, mine_patterns, pattern_key, StateSampler};
+use cohortnet::config::CohortNetConfig;
+use cohortnet::crlm::CohortPool;
+use cohortnet_tensor::Matrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NF: usize = 20;
+const T: usize = 24;
+
+fn synth_states(n_patients: usize, k: usize) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(3);
+    (0..n_patients * T * NF).map(|_| rng.gen_range(0..=k) as u8).collect()
+}
+
+fn masks() -> Vec<Vec<usize>> {
+    let mut attn = Matrix::zeros(NF, NF);
+    let mut rng = StdRng::seed_from_u64(4);
+    for r in 0..NF {
+        for c in 0..NF {
+            attn[(r, c)] = rng.gen_range(0.0..1.0);
+        }
+    }
+    build_masks(&attn, 2)
+}
+
+fn bench_state_fit(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut sampler = StateSampler::new(NF, 6, 4000);
+    for _ in 0..4000 {
+        for f in 0..NF {
+            let v: Vec<f32> = (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            sampler.offer(f, &v, &mut rng);
+        }
+    }
+    c.bench_function("state_fit_kmeans_20f_x4000", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(0);
+            std::hint::black_box(sampler.fit(7, &mut rng))
+        });
+    });
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let m = masks();
+    let mut g = c.benchmark_group("pattern_mining");
+    g.sample_size(10);
+    for &n in &[200usize, 800] {
+        let states = synth_states(n, 7);
+        g.bench_function(format!("patients_{n}"), |b| {
+            b.iter(|| std::hint::black_box(mine_patterns(&states, n, T, NF, &m)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_pool_and_bitmap(c: &mut Criterion) {
+    let m = masks();
+    let n = 400;
+    let states = synth_states(n, 7);
+    let mined = mine_patterns(&states, n, T, NF, &m);
+    let mut cfg = CohortNetConfig::default_dims();
+    cfg.bounds = vec![(0.0, 1.0); NF];
+    cfg.min_frequency = 4;
+    cfg.min_patients = 2;
+    let h = Matrix::from_fn(n, NF * cfg.d_hidden, |r, col| ((r + col) % 17) as f32 * 0.05);
+    let labels: Vec<Vec<u8>> = (0..n).map(|i| vec![u8::from(i % 7 == 0)]).collect();
+    c.bench_function("pool_build_400p", |b| {
+        b.iter(|| {
+            std::hint::black_box(CohortPool::build(mined.clone(), m.clone(), &h, &labels, &cfg))
+        });
+    });
+    let pool = CohortPool::build(mined, m, &h, &labels, &cfg);
+    let grid = &states[..T * NF];
+    c.bench_function("bitmap_one_patient_all_features", |b| {
+        b.iter(|| {
+            for f in 0..NF {
+                std::hint::black_box(pool.bitmap(f, grid, T, NF));
+            }
+        });
+    });
+    c.bench_function("pattern_key_row", |b| {
+        let mask = vec![0usize, 5, 11];
+        b.iter(|| std::hint::black_box(pattern_key(&grid[..NF], &mask)));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_state_fit, bench_mining, bench_pool_and_bitmap
+);
+criterion_main!(benches);

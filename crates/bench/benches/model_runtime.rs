@@ -1,0 +1,74 @@
+//! Fig. 11 micro-benchmarks: one training step (forward + backward +
+//! gradient flush) per model on a fixed small batch, isolating architecture
+//! cost from data loading and optimiser state.
+
+use cohortnet_bench::datasets::bundle;
+use cohortnet_ehr::profiles;
+use cohortnet_models::baselines::*;
+use cohortnet_models::data::make_batch;
+use cohortnet_models::SequenceModel;
+use cohortnet_tensor::{ParamStore, Tape};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_models(c: &mut Criterion) {
+    let mut cfg = profiles::mimic3_like(0.05);
+    cfg.n_patients = 64;
+    let b = bundle(cfg, 8);
+    let batch = make_batch(&b.train, &(0..16.min(b.train.patients.len())).collect::<Vec<_>>());
+    let nf = b.train.n_features;
+
+    let mut g = c.benchmark_group("train_step");
+    g.sample_size(10);
+
+    macro_rules! bench_model {
+        ($name:literal, $ctor:expr) => {{
+            let mut ps = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(7);
+            #[allow(clippy::redundant_closure_call)]
+            let model = $ctor(&mut ps, &mut rng);
+            g.bench_function($name, |bench| {
+                bench.iter(|| {
+                    let mut t = Tape::new();
+                    let logits = model.forward(&mut t, &ps, &batch);
+                    let loss = t.bce_with_logits(logits, batch.labels.clone());
+                    t.backward(loss);
+                    let mut ps2 = ps.clone();
+                    t.flush_grads(&mut ps2);
+                    std::hint::black_box(ps2.grad_norm());
+                });
+            });
+        }};
+    }
+
+    bench_model!("LSTM", |ps: &mut ParamStore, rng: &mut StdRng| LstmModel::new(ps, rng, nf, 1, 24));
+    bench_model!("GRU", |ps: &mut ParamStore, rng: &mut StdRng| GruModel::new(ps, rng, nf, 1, 24));
+    bench_model!("RETAIN", |ps: &mut ParamStore, rng: &mut StdRng| RetainModel::new(ps, rng, nf, 1, 12));
+    bench_model!("Dipole", |ps: &mut ParamStore, rng: &mut StdRng| DipoleModel::new(ps, rng, nf, 1, 12));
+    bench_model!("StageNet", |ps: &mut ParamStore, rng: &mut StdRng| StageNetModel::new(ps, rng, nf, 1, 24));
+    bench_model!("T-LSTM", |ps: &mut ParamStore, rng: &mut StdRng| TLstmModel::new(ps, rng, nf, 1, 24));
+    bench_model!("ConCare", |ps: &mut ParamStore, rng: &mut StdRng| ConCareModel::new(ps, rng, nf, 1, 6));
+
+    // CohortNet w/o c (MFLM): the heaviest representation module.
+    {
+        let cfg = cohortnet::config::CohortNetConfig::for_dataset(&b.train_ds, &b.scaler);
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = cohortnet::model::CohortNetModel::new(&mut ps, &mut rng, &cfg);
+        g.bench_function("CohortNet w/o c", |bench| {
+            bench.iter(|| {
+                let mut t = Tape::new();
+                let logits = model.forward(&mut t, &ps, &batch);
+                let loss = t.bce_with_logits(logits, batch.labels.clone());
+                t.backward(loss);
+                std::hint::black_box(t.len());
+            });
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Substrate micro-benchmarks: the tensor ops that dominate every model's
+//! runtime (matmul, GRU step, softmax attention, full backward).
+
+use cohortnet_tensor::matrix::Matrix;
+use cohortnet_tensor::nn::GruCell;
+use cohortnet_tensor::{ParamStore, Tape};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &n in &[16usize, 64, 128] {
+        let a = Matrix::from_fn(n, n, |r, col| ((r * 31 + col * 7) % 13) as f32 * 0.1);
+        let b = Matrix::from_fn(n, n, |r, col| ((r * 17 + col * 3) % 11) as f32 * 0.1);
+        g.bench_function(format!("{n}x{n}"), |bench| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_gru_step(c: &mut Criterion) {
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let cell = GruCell::new(&mut ps, &mut rng, "g", 20, 24);
+    c.bench_function("gru_step_batch32", |bench| {
+        bench.iter_batched(
+            Tape::new,
+            |mut t| {
+                let h = cell.init_state(&mut t, 32);
+                let x = t.constant(Matrix::full(32, 20, 0.1));
+                std::hint::black_box(cell.step(&mut t, &ps, x, h));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let cell = GruCell::new(&mut ps, &mut rng, "g", 20, 24);
+    let head = cohortnet_tensor::nn::Linear::new(&mut ps, &mut rng, "h", 24, 1);
+    c.bench_function("gru8_forward_backward", |bench| {
+        bench.iter(|| {
+            let mut t = Tape::new();
+            let mut h = cell.init_state(&mut t, 32);
+            for _ in 0..8 {
+                let x = t.constant(Matrix::full(32, 20, 0.1));
+                h = cell.step(&mut t, &ps, x, h);
+            }
+            let logits = head.forward(&mut t, &ps, h);
+            let loss = t.bce_with_logits(logits, Matrix::zeros(32, 1));
+            t.backward(loss);
+            std::hint::black_box(t.len());
+        });
+    });
+}
+
+fn bench_softmax_attention(c: &mut Criterion) {
+    c.bench_function("softmax_rows_32x64", |bench| {
+        let m = Matrix::from_fn(32, 64, |r, col| ((r + col) % 7) as f32 * 0.3);
+        bench.iter(|| std::hint::black_box(m.softmax_rows()));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_gru_step, bench_forward_backward, bench_softmax_attention
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation — adaptive hyper-parameter selection (the paper's §Discussions:
+//! adapting `k` to feature characteristics and choosing `n` by thresholds
+//! on α "may improve final performance").
+//!
+//! Compares the paper's fixed (k = 7, n = 2) against (a) adaptive per-feature
+//! state budgets and (b) attention-threshold masks, on AUC-PR, pool size and
+//! preprocessing time.
+//!
+//! Run: `cargo run --release -p cohortnet-bench --bin ablation_adaptive`
+
+use cohortnet::train::train_cohortnet;
+use cohortnet_bench::datasets::mimic3;
+use cohortnet_bench::registry::{cohortnet_config, RunOptions};
+use cohortnet_bench::report::{m3, render_table, secs};
+use cohortnet_bench::{fast, scale, time_steps};
+use cohortnet_models::trainer::evaluate;
+
+fn main() {
+    let bundle = mimic3(scale(), time_steps());
+    let opts = RunOptions { epochs: if fast() { 2 } else { 10 }, ..Default::default() };
+
+    println!("== Ablation: adaptive k / threshold-n selection (mimic3-like) ==\n");
+    let variants: Vec<(&str, bool, Option<f32>)> = vec![
+        ("fixed k=7, n=2 (paper)", false, None),
+        ("adaptive k (missing-aware)", true, None),
+        ("threshold masks (1.1x uniform)", false, Some(1.1)),
+        ("adaptive k + threshold masks", true, Some(1.1)),
+    ];
+    let mut rows = Vec::new();
+    for (name, adaptive, threshold) in variants {
+        let mut cfg = cohortnet_config(&bundle, &opts);
+        cfg.adaptive_k = adaptive;
+        cfg.mask_threshold = threshold;
+        let trained = train_cohortnet(&bundle.train, &cfg);
+        let pool = &trained.model.discovery.as_ref().unwrap().pool;
+        let report = evaluate(&trained.model, &trained.params, &bundle.test, 64);
+        rows.push(vec![
+            name.to_string(),
+            m3(report.auc_pr),
+            pool.total_cohorts().to_string(),
+            secs(trained.timing.preprocess_sec()),
+        ]);
+        eprintln!("[adaptive] {name} done");
+    }
+    println!(
+        "{}",
+        render_table(&["variant", "AUC-PR", "cohorts", "preprocess"], &rows)
+    );
+}

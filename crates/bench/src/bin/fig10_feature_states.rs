@@ -1,0 +1,97 @@
+//! Figure 10 — feature-state study of the respiratory rate (RR) from three
+//! perspectives: (a) state-wise average raw values, (b) state-transition
+//! pathways, (c) state coexistence with another feature (PH in the paper).
+//!
+//! Paper shape to reproduce: states map to distinct value ranges with a
+//! dedicated missing state; transitions are sparse and directional (not all
+//! state pairs connect); states with similar values are distinguished by
+//! their coexistence patterns.
+//!
+//! Run: `cargo run --release -p cohortnet-bench --bin fig10_feature_states`
+
+use cohortnet::interpret::{build_context, state_direction};
+use cohortnet::train::train_cohortnet;
+use cohortnet_bench::datasets::mimic3;
+use cohortnet_bench::registry::{cohortnet_config, RunOptions};
+use cohortnet_bench::report::render_table;
+use cohortnet_bench::{fast, scale, time_steps};
+
+fn main() {
+    let bundle = mimic3(scale(), time_steps());
+    let opts = RunOptions { epochs: if fast() { 2 } else { 8 }, ..Default::default() };
+    let cfg = cohortnet_config(&bundle, &opts);
+    let trained = train_cohortnet(&bundle.train, &cfg);
+    let ctx = build_context(&trained.model, &trained.params, &bundle.train, &bundle.scaler);
+
+    let rr = bundle.train_ds.feature_column("RR");
+    let def = bundle.train_ds.feature_def(rr);
+    println!(
+        "== Figure 10: feature-state study of RR (normal {}-{} {}) ==\n",
+        def.normal_lo, def.normal_hi, def.unit
+    );
+
+    // (a) state-wise average values.
+    println!("(a) State-wise average raw values (S0 = missing):");
+    let summary = &ctx.summaries[rr];
+    let rows: Vec<Vec<String>> = (0..ctx.states.n_states)
+        .map(|s| {
+            let mean = summary.mean_raw[s];
+            vec![
+                format!("S{s}"),
+                mean.map_or("missing".into(), |v| format!("{v:.1}")),
+                state_direction(def, mean).to_string(),
+                summary.counts[s].to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["state", "mean RR", "dir", "occupancy"], &rows));
+
+    // (b) transition pathways.
+    println!("(b) State transitions (row -> column, % of row's outgoing):");
+    let trans = ctx.states.transitions(rr);
+    let mut rows = Vec::new();
+    for (a, row) in trans.iter().enumerate() {
+        let total: usize = row.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        let mut cells = vec![format!("S{a}")];
+        for &c in row {
+            cells.push(if c == 0 { "·".into() } else { format!("{:.0}%", 100.0 * c as f64 / total as f64) });
+        }
+        rows.push(cells);
+    }
+    let mut headers = vec!["from".to_string()];
+    headers.extend((0..ctx.states.n_states).map(|s| format!("S{s}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("{}", render_table(&header_refs, &rows));
+    // Count absent pathways (the paper highlights that not all pairs connect).
+    let absent = trans
+        .iter()
+        .enumerate()
+        .flat_map(|(a, row)| row.iter().enumerate().map(move |(b, &c)| (a, b, c)))
+        .filter(|&(a, b, c)| a != b && c == 0)
+        .count();
+    println!("absent direct transitions: {absent} of {} off-diagonal pairs\n", ctx.states.n_states * (ctx.states.n_states - 1));
+
+    // (c) coexistence with PH.
+    let ph = bundle.train_ds.feature_column("PH");
+    println!("(c) Coexistence of RR states (rows) with PH states (columns), % of row:");
+    let co = ctx.states.coexistence(rr, ph);
+    let mut rows = Vec::new();
+    for (a, row) in co.iter().enumerate() {
+        let total: usize = row.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        let mut cells = vec![format!("RR S{a}")];
+        for &c in row {
+            cells.push(if c == 0 { "·".into() } else { format!("{:.0}%", 100.0 * c as f64 / total as f64) });
+        }
+        rows.push(cells);
+    }
+    let mut headers = vec!["".to_string()];
+    headers.extend((0..ctx.states.n_states).map(|s| format!("PH S{s}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("{}", render_table(&header_refs, &rows));
+}

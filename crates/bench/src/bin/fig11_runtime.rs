@@ -1,0 +1,42 @@
+//! Figure 11 — runtime of all models on the MIMIC-III-like profile: mean
+//! training time per batch, inference time per patient, and preprocessing
+//! time (cluster / prototype / cohort learning).
+//!
+//! Paper shape to reproduce: GRU/LSTM fastest; RETAIN/Dipole heavier
+//! (dual/bidirectional GRUs); ConCare and CohortNet w/o c slower still
+//! (per-feature channels, interactions); GRASP adds little preprocessing
+//! (batch-level clustering), PPN / w c- / CohortNet add real preprocessing;
+//! CohortNet's inference is slower than its w/o c variant because it also
+//! matches and attends over cohorts.
+//!
+//! Run: `cargo run --release -p cohortnet-bench --bin fig11_runtime`
+
+use cohortnet_bench::datasets::mimic3;
+use cohortnet_bench::registry::{run_model, RunOptions, ALL_MODELS};
+use cohortnet_bench::report::{render_table, secs};
+use cohortnet_bench::{fast, scale, time_steps};
+
+fn main() {
+    let bundle = mimic3(scale(), time_steps());
+    let opts = RunOptions { epochs: if fast() { 1 } else { 4 }, ..Default::default() };
+    println!(
+        "== Figure 11: runtime on mimic3-like ({} train patients, T={}) ==\n",
+        bundle.train.patients.len(),
+        time_steps()
+    );
+    let mut rows = Vec::new();
+    for kind in ALL_MODELS {
+        let r = run_model(kind, &bundle, &opts);
+        eprintln!("[fig11] {} done", r.name);
+        rows.push(vec![
+            r.name.to_string(),
+            secs(r.train_sec_per_batch),
+            format!("{:.2}ms", r.infer_sec_per_patient * 1e3),
+            if r.preprocess_sec > 0.0 { secs(r.preprocess_sec) } else { "-".into() },
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["model", "train / batch", "inference / patient", "preprocess"], &rows)
+    );
+}

@@ -1,0 +1,82 @@
+//! Figure 12 — effect of `k` and `n` on preprocessing (Steps 2 + 3) and
+//! inference time as the training sample size grows (mimic3-like).
+//!
+//! Paper shape to reproduce: preprocessing grows with sample size; small
+//! (k, n) settings grow gently because the cohort space stays small; larger
+//! (k, n) discover more cohorts and take visibly longer; inference of the
+//! cohort-free variant is flat in sample size while full CohortNet pays for
+//! cohort matching.
+//!
+//! Run: `cargo run --release -p cohortnet-bench --bin fig12_kn_efficiency`
+
+use cohortnet::model::CohortNetModel;
+use cohortnet::train::train_without_cohorts;
+use cohortnet_bench::datasets::mimic3;
+use cohortnet_bench::registry::{cohortnet_config, RunOptions};
+use cohortnet_bench::report::{render_table, secs};
+use cohortnet_bench::{fast, scale, time_steps};
+use cohortnet_models::data::{make_batch, Prepared};
+use cohortnet_models::trainer::inference_time;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn subset(prep: &Prepared, n: usize) -> Prepared {
+    Prepared {
+        n_features: prep.n_features,
+        time_steps: prep.time_steps,
+        n_labels: prep.n_labels,
+        patients: prep.patients.iter().take(n).cloned().collect(),
+    }
+}
+
+fn main() {
+    let bundle = mimic3(scale().max(1.0), time_steps());
+    let opts = RunOptions { epochs: if fast() { 1 } else { 4 }, ..Default::default() };
+    let base_cfg = cohortnet_config(&bundle, &opts);
+    // Pre-train the backbone once on the full training split.
+    let trained = train_without_cohorts(&bundle.train, &base_cfg);
+
+    let full = bundle.train.patients.len();
+    let sizes: Vec<usize> = if fast() {
+        vec![full / 4, full]
+    } else {
+        vec![full / 8, full / 4, full / 2, full]
+    };
+    let settings: [(usize, usize); 3] = [(5, 1), (7, 2), (9, 3)];
+
+    println!("== Figure 12: (k, n) vs sample size — preprocessing and inference ==\n");
+    let mut rows = Vec::new();
+    for &n_samples in &sizes {
+        let prep = subset(&bundle.train, n_samples);
+        for &(k, n) in &settings {
+            let mut cfg = base_cfg.clone();
+            cfg.k_states = k;
+            cfg.n_top = n;
+            let mut model =
+                CohortNetModel::new(&mut cohortnet_tensor::ParamStore::new(), &mut StdRng::seed_from_u64(0), &cfg);
+            model.mflm = trained.model.mflm.clone();
+            let t0 = Instant::now();
+            let d = model.run_discovery(&trained.params, &prep, &mut StdRng::seed_from_u64(1));
+            let preprocess = t0.elapsed().as_secs_f64();
+            let n_cohorts = d.pool.total_cohorts();
+            // Inference over one test batch.
+            let test_n = bundle.test.patients.len().min(32);
+            let batch = make_batch(&bundle.test, &(0..test_n).collect::<Vec<_>>());
+            let _ = inference_time(&model, &trained.params, &batch);
+            let infer = inference_time(&model, &trained.params, &batch) / test_n as f64;
+            rows.push(vec![
+                n_samples.to_string(),
+                format!("k={k}, n={n}"),
+                secs(preprocess),
+                n_cohorts.to_string(),
+                format!("{:.2}ms", infer * 1e3),
+            ]);
+            eprintln!("[fig12] samples={n_samples} k={k} n={n}: {}", secs(preprocess));
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["samples", "setting", "preprocess", "cohorts", "infer / patient"], &rows)
+    );
+}

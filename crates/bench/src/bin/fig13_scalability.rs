@@ -1,0 +1,93 @@
+//! Figure 13 (Appendix C.1) — scalability of the four pipeline steps on the
+//! eICU-like profile while varying (a) the number of patients, (b) the
+//! number of time steps, and (c) the number of features.
+//!
+//! Paper shape to reproduce: Step 1 scales linearly in features and time
+//! steps; Steps 2 + 3 grow super-linearly with patients and time steps
+//! (more cohorts are discovered, each requiring retrieval and
+//! representation); more features expand the interaction space and extend
+//! Steps 2 + 3; Step 4 grows with the cohort count.
+//!
+//! Run: `cargo run --release -p cohortnet-bench --bin fig13_scalability`
+
+use cohortnet::train::train_cohortnet;
+use cohortnet_bench::registry::{cohortnet_config, RunOptions};
+use cohortnet_bench::report::{render_table, secs};
+use cohortnet_bench::{datasets, fast, scale};
+use cohortnet_ehr::profiles;
+
+struct Row {
+    axis: &'static str,
+    value: usize,
+    step1: f64,
+    step23: f64,
+    step4: f64,
+    cohorts: usize,
+}
+
+fn run(cfg_ehr: cohortnet_ehr::SynthConfig, t_steps: usize, epochs: usize) -> (f64, f64, f64, usize) {
+    let bundle = datasets::bundle(cfg_ehr, t_steps);
+    let opts = RunOptions { epochs, ..Default::default() };
+    let cfg = cohortnet_config(&bundle, &opts);
+    let trained = train_cohortnet(&bundle.train, &cfg);
+    (
+        trained.timing.step1.total_sec,
+        trained.timing.preprocess_sec(),
+        trained.timing.step4.total_sec,
+        trained.model.discovery.as_ref().map_or(0, |d| d.pool.total_cohorts()),
+    )
+}
+
+fn main() {
+    let epochs = if fast() { 1 } else { 2 };
+    let base_patients = (600.0 * scale()) as usize;
+    let mut rows: Vec<Row> = Vec::new();
+
+    // (a) patients sweep.
+    for mult in [1usize, 2, 4] {
+        let mut c = profiles::eicu_like(1.0);
+        c.n_patients = base_patients * mult;
+        let (s1, s23, s4, nc) = run(c, 12, epochs);
+        rows.push(Row { axis: "patients", value: base_patients * mult, step1: s1, step23: s23, step4: s4, cohorts: nc });
+        eprintln!("[fig13] patients={} done", base_patients * mult);
+    }
+    // (b) time-steps sweep.
+    for t in [6usize, 12, 24] {
+        let mut c = profiles::eicu_like(1.0);
+        c.n_patients = base_patients;
+        let (s1, s23, s4, nc) = run(c, t, epochs);
+        rows.push(Row { axis: "time steps", value: t, step1: s1, step23: s23, step4: s4, cohorts: nc });
+        eprintln!("[fig13] T={t} done");
+    }
+    // (c) features sweep.
+    for nf in [8usize, 16, 24] {
+        let mut c = profiles::eicu_like(1.0);
+        c.n_patients = base_patients;
+        c.feature_codes.truncate(nf);
+        let (s1, s23, s4, nc) = run(c, 12, epochs);
+        rows.push(Row { axis: "features", value: nf, step1: s1, step23: s23, step4: s4, cohorts: nc });
+        eprintln!("[fig13] F={nf} done");
+    }
+
+    println!("== Figure 13: scalability of the four steps (eicu-like) ==\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.axis.to_string(),
+                r.value.to_string(),
+                secs(r.step1),
+                secs(r.step23),
+                secs(r.step4),
+                r.cohorts.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["axis", "value", "step1 (repr)", "steps2+3 (discover)", "step4 (exploit)", "cohorts"],
+            &table
+        )
+    );
+}

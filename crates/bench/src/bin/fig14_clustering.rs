@@ -1,0 +1,97 @@
+//! Figure 14 (Appendix C.2) — clustering backends for feature-state
+//! modelling in CDM: K-Means vs co-clustering vs hierarchical clustering,
+//! at several time-step sampling ratios, measuring fitting time and
+//! downstream test AUC-PR.
+//!
+//! Paper shape to reproduce: K-Means is fastest and best; co-clustering
+//! costs more for worse AUC-PR; hierarchical clustering is prohibitively
+//! slow already at a 10% sampling ratio (its O(n²) distance matrix — our
+//! implementation hard-caps its input to degrade gracefully instead of
+//! exhausting memory).
+//!
+//! Run: `cargo run --release -p cohortnet-bench --bin fig14_clustering`
+
+use cohortnet::cdm::StateClusterAlgo;
+use cohortnet::model::CohortNetModel;
+use cohortnet::train::train_without_cohorts;
+use cohortnet_bench::datasets::mimic3;
+use cohortnet_bench::registry::{cohortnet_config, RunOptions};
+use cohortnet_bench::report::{m3, render_table, secs};
+use cohortnet_bench::{fast, scale, time_steps};
+use cohortnet_models::data::Prepared;
+use cohortnet_models::trainer::{evaluate, train, TrainConfig};
+use cohortnet_tensor::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn finetune_and_eval(
+    model: &mut CohortNetModel,
+    ps: &mut ParamStore,
+    train_prep: &Prepared,
+    test_prep: &Prepared,
+    epochs: usize,
+) -> f64 {
+    let tc = TrainConfig { epochs, batch_size: 32, lr: 2e-3, clip: 5.0, seed: 11, verbose: false };
+    train(model, ps, train_prep, &tc);
+    evaluate(model, ps, test_prep, 64).auc_pr
+}
+
+fn main() {
+    let bundle = mimic3(scale(), time_steps());
+    let pre_epochs = if fast() { 1 } else { 6 };
+    let tune_epochs = if fast() { 1 } else { 4 };
+    let opts = RunOptions { epochs: pre_epochs, ..Default::default() };
+    let base_cfg = cohortnet_config(&bundle, &opts);
+    let pretrained = train_without_cohorts(&bundle.train, &base_cfg);
+
+    let ratios: Vec<f32> = if fast() { vec![0.1] } else { vec![0.05, 0.1, 0.25, 0.5] };
+    let algos = [
+        ("K-Means", StateClusterAlgo::KMeans),
+        ("Co-clustering", StateClusterAlgo::CoClustering),
+        ("Hierarchical", StateClusterAlgo::Hierarchical),
+    ];
+
+    println!("== Figure 14: clustering backends in CDM (mimic3-like) ==\n");
+    let mut rows = Vec::new();
+    for &ratio in &ratios {
+        for (name, algo) in algos {
+            // Hierarchical at high ratios is intentionally skipped, like the
+            // paper's memory-exhausted runs.
+            if algo == StateClusterAlgo::Hierarchical && ratio > 0.25 {
+                rows.push(vec![
+                    format!("{:.0}%", ratio * 100.0),
+                    name.to_string(),
+                    "skipped (O(n^2) memory)".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+                continue;
+            }
+            // Register the fresh CEM/MFLM params into a clone of the
+            // pretrained store, then swap in the pretrained backbone so
+            // Step 4 fine-tunes from the same starting point per backend.
+            let mut ps = pretrained.params.clone();
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut model = CohortNetModel::new(&mut ps, &mut rng, &base_cfg);
+            model.mflm = pretrained.model.mflm.clone();
+            let t0 = Instant::now();
+            model.run_discovery_with_algo(&ps, &bundle.train, algo, ratio, &mut rng);
+            let fit = t0.elapsed().as_secs_f64();
+            let auc_pr =
+                finetune_and_eval(&mut model, &mut ps, &bundle.train, &bundle.test, tune_epochs);
+            rows.push(vec![
+                format!("{:.0}%", ratio * 100.0),
+                name.to_string(),
+                secs(fit),
+                m3(auc_pr),
+                model.discovery.as_ref().unwrap().pool.total_cohorts().to_string(),
+            ]);
+            eprintln!("[fig14] ratio={ratio} {name}: fit {}", secs(fit));
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["sampling", "algorithm", "state-fit time", "AUC-PR", "cohorts"], &rows)
+    );
+}

@@ -1,0 +1,45 @@
+//! Figure 6 — main results: AUC-ROC / AUC-PR / F1 for the nine baselines,
+//! CohortNet, and its two ablations on the three dataset profiles
+//! (mortality on mimic3-like / mimic4-like, diagnosis on eicu-like).
+//!
+//! Paper shape to reproduce: CohortNet tops every metric; `w/o c` beats the
+//! plain baselines (MFLM value); `w c-` improves only marginally over
+//! `w/o c` (feature-level cohorts matter); RETAIN trails.
+//!
+//! Run: `cargo run --release -p cohortnet-bench --bin fig6_main_results`
+
+use cohortnet_bench::datasets::all_profiles;
+use cohortnet_bench::registry::{run_model, RunOptions, ALL_MODELS};
+use cohortnet_bench::report::{m3, render_table};
+use cohortnet_bench::{fast, scale, time_steps};
+
+fn main() {
+    let opts = RunOptions {
+        epochs: if fast() { 2 } else { 10 },
+        ..Default::default()
+    };
+    println!("== Figure 6: main results (scale={}, T={}) ==\n", scale(), time_steps());
+    for bundle in all_profiles(scale(), time_steps()) {
+        println!(
+            "--- {} ({} train / {} test, {} features, {} labels) ---",
+            bundle.name,
+            bundle.train.patients.len(),
+            bundle.test.patients.len(),
+            bundle.train.n_features,
+            bundle.n_labels
+        );
+        let mut rows = Vec::new();
+        for kind in ALL_MODELS {
+            let r = run_model(kind, &bundle, &opts);
+            eprintln!("[fig6] {} done on {}", r.name, bundle.name);
+            rows.push(vec![
+                r.name.to_string(),
+                m3(r.test.auc_roc),
+                m3(r.test.auc_pr),
+                m3(r.test.f1),
+                if r.n_cohorts > 0 { r.n_cohorts.to_string() } else { "-".into() },
+            ]);
+        }
+        println!("{}", render_table(&["model", "AUC-ROC", "AUC-PR", "F1", "cohorts"], &rows));
+    }
+}

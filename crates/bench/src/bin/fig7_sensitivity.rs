@@ -1,0 +1,50 @@
+//! Figure 7 — sensitivity of CohortNet's AUC-PR to the number of feature
+//! states `k` (Eq. 7) and the pattern width `n` (Eq. 8) on the
+//! MIMIC-III-like profile.
+//!
+//! Paper shape to reproduce: an interior optimum around k = 7, n = 2;
+//! too-small values lose personalised detail, too-large values overfit —
+//! and every setting stays above the best-performing baseline.
+//!
+//! Run: `cargo run --release -p cohortnet-bench --bin fig7_sensitivity`
+
+use cohortnet_bench::datasets::mimic3;
+use cohortnet_bench::registry::{run_model, ModelKind, RunOptions};
+use cohortnet_bench::report::{m3, render_table};
+use cohortnet_bench::{fast, scale, time_steps};
+
+fn main() {
+    let bundle = mimic3(scale(), time_steps());
+    let epochs = if fast() { 2 } else { 10 };
+    let (ks, ns): (Vec<usize>, Vec<usize>) = if fast() {
+        (vec![5, 7], vec![1, 2])
+    } else {
+        (vec![3, 5, 7, 9, 11], vec![1, 2, 3])
+    };
+
+    // Best-baseline reference (GRASP is the strongest cohort-flavoured
+    // baseline in our runs).
+    let baseline = run_model(ModelKind::Grasp, &bundle, &RunOptions { epochs, ..Default::default() });
+    println!("== Figure 7: sensitivity to k and n (mimic3-like) ==");
+    println!("reference best baseline ({}) AUC-PR = {}\n", baseline.name, m3(baseline.test.auc_pr));
+
+    // Sweep k at n = 2.
+    let mut rows_k = Vec::new();
+    for &k in &ks {
+        let opts = RunOptions { epochs, k_states: Some(k), n_top: Some(2), ..Default::default() };
+        let r = run_model(ModelKind::CohortNet, &bundle, &opts);
+        eprintln!("[fig7] k={k} done");
+        rows_k.push(vec![format!("k={k}, n=2"), m3(r.test.auc_pr), r.n_cohorts.to_string()]);
+    }
+    println!("{}", render_table(&["setting", "AUC-PR", "cohorts"], &rows_k));
+
+    // Sweep n at k = 7.
+    let mut rows_n = Vec::new();
+    for &n in &ns {
+        let opts = RunOptions { epochs, k_states: Some(7), n_top: Some(n), ..Default::default() };
+        let r = run_model(ModelKind::CohortNet, &bundle, &opts);
+        eprintln!("[fig7] n={n} done");
+        rows_n.push(vec![format!("k=7, n={n}"), m3(r.test.auc_pr), r.n_cohorts.to_string()]);
+    }
+    println!("{}", render_table(&["setting", "AUC-PR", "cohorts"], &rows_n));
+}

@@ -1,0 +1,58 @@
+//! Figure 8 — cohort-pool statistics: number of discovered cohorts and the
+//! average patient count per cohort as `k` and `n` vary (mimic3-like).
+//!
+//! Paper shape to reproduce: larger `k` or `n` produce more, finer-grained
+//! cohorts with fewer patients each; smaller values produce fewer, more
+//! general cohorts with large patient counts.
+//!
+//! This figure needs no Step 4 training — only Steps 1–3 — so the harness
+//! pre-trains the MFLM once and re-runs discovery per setting.
+//!
+//! Run: `cargo run --release -p cohortnet-bench --bin fig8_cohort_stats`
+
+use cohortnet::model::CohortNetModel;
+use cohortnet::train::train_without_cohorts;
+use cohortnet_bench::datasets::mimic3;
+use cohortnet_bench::registry::{cohortnet_config, RunOptions};
+use cohortnet_bench::report::render_table;
+use cohortnet_bench::{fast, scale, time_steps};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let bundle = mimic3(scale(), time_steps());
+    let opts = RunOptions { epochs: if fast() { 2 } else { 6 }, ..Default::default() };
+    let base_cfg = cohortnet_config(&bundle, &opts);
+
+    // Step 1 once: pre-train the representation backbone.
+    let trained = train_without_cohorts(&bundle.train, &base_cfg);
+    let ps = trained.params;
+
+    println!("== Figure 8: cohort counts and avg patients per cohort (mimic3-like) ==\n");
+    let (ks, ns): (Vec<usize>, Vec<usize>) =
+        if fast() { (vec![3, 7], vec![1, 2]) } else { (vec![3, 5, 7, 9, 11], vec![1, 2, 3]) };
+
+    let mut rows = Vec::new();
+    for &k in &ks {
+        for &n in &ns {
+            let mut cfg = base_cfg.clone();
+            cfg.k_states = k;
+            cfg.n_top = n;
+            // Uncapped pool so the counts reflect discovery, not the CEM cap.
+            cfg.max_cohorts_per_feature = usize::MAX;
+            let mut model = CohortNetModel::new(&mut cohortnet_tensor::ParamStore::new(), &mut StdRng::seed_from_u64(0), &cfg);
+            // Reuse the pre-trained MFLM weights by re-running discovery on
+            // the trained model instead: swap in the trained backbone.
+            model.mflm = trained.model.mflm.clone();
+            let d = model.run_discovery(&ps, &bundle.train, &mut StdRng::seed_from_u64(1));
+            rows.push(vec![
+                format!("k={k}"),
+                format!("n={n}"),
+                d.pool.total_cohorts().to_string(),
+                format!("{:.1}", d.pool.avg_patients_per_cohort()),
+            ]);
+            eprintln!("[fig8] k={k} n={n}: {} cohorts", d.pool.total_cohorts());
+        }
+    }
+    println!("{}", render_table(&["k", "n", "#cohorts", "avg patients/cohort"], &rows));
+}

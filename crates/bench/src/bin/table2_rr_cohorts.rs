@@ -1,0 +1,70 @@
+//! Table 2 — statistics of cohorts anchored on the respiratory rate (RR):
+//! frequency, patient count, positive rate, and the concrete pattern.
+//!
+//! Paper shape to reproduce: a spectrum from small, high-mortality cohorts
+//! with abnormal patterns (paper's C#01, 125 patients, 36.8% mortality) to
+//! a huge all-normal cohort covering most of the training set with a low
+//! positive rate (paper's C#04, 12.1%).
+//!
+//! Run: `cargo run --release -p cohortnet-bench --bin table2_rr_cohorts`
+
+use cohortnet::interpret::{build_context, pattern_string};
+use cohortnet::train::train_cohortnet;
+use cohortnet_bench::datasets::mimic3;
+use cohortnet_bench::registry::{cohortnet_config, RunOptions};
+use cohortnet_bench::report::render_table;
+use cohortnet_bench::{fast, scale, time_steps};
+
+fn main() {
+    let bundle = mimic3(scale(), time_steps());
+    let opts = RunOptions { epochs: if fast() { 2 } else { 10 }, ..Default::default() };
+    let cfg = cohortnet_config(&bundle, &opts);
+    let trained = train_cohortnet(&bundle.train, &cfg);
+    let ctx = build_context(&trained.model, &trained.params, &bundle.train, &bundle.scaler);
+    let pool = &trained.model.discovery.as_ref().unwrap().pool;
+
+    let rr = bundle.train_ds.feature_column("RR");
+    let overall_pos = bundle.train_ds.positive_rate();
+    println!("== Table 2: cohorts w.r.t. RR (train positive rate {:.1}%) ==\n", overall_pos * 100.0);
+
+    // Sort RR-anchored cohorts by positive rate (highest risk first), as the
+    // paper's table is ordered, and show the most and least risky plus the
+    // most common.
+    let mut cohorts: Vec<usize> = (0..pool.per_feature[rr].len()).collect();
+    cohorts.sort_by(|&a, &b| {
+        pool.per_feature[rr][b].pos_rate[0]
+            .partial_cmp(&pool.per_feature[rr][a].pos_rate[0])
+            .unwrap()
+    });
+    let show: Vec<usize> = if cohorts.len() <= 8 {
+        cohorts
+    } else {
+        // Top-3 risk, 2 middle, most frequent 3.
+        let mut s: Vec<usize> = cohorts[..3].to_vec();
+        s.extend_from_slice(&cohorts[cohorts.len() / 2 - 1..cohorts.len() / 2 + 1]);
+        let mut by_freq: Vec<usize> = (0..pool.per_feature[rr].len()).collect();
+        by_freq.sort_by_key(|&q| std::cmp::Reverse(pool.per_feature[rr][q].frequency));
+        for q in by_freq.into_iter().take(3) {
+            if !s.contains(&q) {
+                s.push(q);
+            }
+        }
+        s
+    };
+
+    let mut rows = Vec::new();
+    for (rank, &q) in show.iter().enumerate() {
+        let c = &pool.per_feature[rr][q];
+        rows.push(vec![
+            format!("C#{:02}", rank + 1),
+            c.frequency.to_string(),
+            c.n_patients.to_string(),
+            format!("{:.1}%", c.pos_rate[0] * 100.0),
+            pattern_string(&c.pattern, &bundle.train_ds, &ctx.summaries),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["Cohort", "Frequency", "Patients", "Pos-Rate", "Cohort Pattern"], &rows)
+    );
+}

@@ -1,0 +1,85 @@
+//! Dataset bundles: generated, split, standardised, and prepared once per
+//! harness run.
+
+use cohortnet_ehr::record::EhrDataset;
+use cohortnet_ehr::split::split_80_10_10;
+use cohortnet_ehr::standardize::Standardizer;
+use cohortnet_ehr::synth::{generate, SynthConfig};
+use cohortnet_ehr::profiles;
+use cohortnet_models::data::{prepare, Prepared};
+
+/// A ready-to-train dataset: standardised splits plus metadata.
+pub struct Bundle {
+    /// Profile name.
+    pub name: String,
+    /// Standardised training split.
+    pub train: Prepared,
+    /// Standardised validation split.
+    pub val: Prepared,
+    /// Standardised test split.
+    pub test: Prepared,
+    /// The standardised training dataset (schema + records) for
+    /// interpretation utilities.
+    pub train_ds: EhrDataset,
+    /// The standardised test dataset.
+    pub test_ds: EhrDataset,
+    /// Fitted standardiser (train statistics).
+    pub scaler: Standardizer,
+    /// Number of labels.
+    pub n_labels: usize,
+}
+
+/// Generates, splits (80/10/10, stratified, seed 7), standardises and
+/// prepares a profile.
+pub fn bundle(mut cfg: SynthConfig, time_steps: usize) -> Bundle {
+    cfg.time_steps = time_steps;
+    let ds = generate(&cfg);
+    let split = split_80_10_10(&ds, 7);
+    let mut train_ds = ds.subset(&split.train);
+    let mut val_ds = ds.subset(&split.val);
+    let mut test_ds = ds.subset(&split.test);
+    let scaler = Standardizer::fit(&train_ds);
+    scaler.apply(&mut train_ds);
+    scaler.apply(&mut val_ds);
+    scaler.apply(&mut test_ds);
+    Bundle {
+        name: cfg.name.clone(),
+        train: prepare(&train_ds),
+        val: prepare(&val_ds),
+        test: prepare(&test_ds),
+        n_labels: ds.task.n_labels(),
+        train_ds,
+        test_ds,
+        scaler,
+    }
+}
+
+/// The three paper profiles at a given scale.
+pub fn all_profiles(scale: f32, time_steps: usize) -> Vec<Bundle> {
+    vec![
+        bundle(profiles::mimic3_like(scale), time_steps),
+        bundle(profiles::mimic4_like(scale), time_steps),
+        bundle(profiles::eicu_like(scale), time_steps),
+    ]
+}
+
+/// Just the MIMIC-III-like profile (used by most single-dataset figures).
+pub fn mimic3(scale: f32, time_steps: usize) -> Bundle {
+    bundle(profiles::mimic3_like(scale), time_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_splits_sum_to_total() {
+        let mut cfg = profiles::mimic3_like(0.05);
+        cfg.n_patients = 100;
+        let b = bundle(cfg, 6);
+        let total = b.train.patients.len() + b.val.patients.len() + b.test.patients.len();
+        assert_eq!(total, 100);
+        assert_eq!(b.train.time_steps, 6);
+        assert_eq!(b.n_labels, 1);
+    }
+}

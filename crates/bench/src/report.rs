@@ -1,0 +1,75 @@
+//! Plain-text table rendering for harness output.
+
+/// Renders an aligned text table with a header row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{:<width$}", c, width = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a metric with three decimals.
+pub fn m3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats seconds adaptively (ms below 1 s).
+pub fn secs(x: f64) -> String {
+    if x < 1.0 {
+        format!("{:.1}ms", x * 1e3)
+    } else {
+        format!("{x:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["model", "auc"],
+            &[vec!["GRU".into(), "0.8".into()], vec!["CohortNet".into(), "0.9".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("model"));
+        assert!(lines[3].starts_with("CohortNet"));
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(secs(0.0123), "12.3ms");
+        assert_eq!(secs(2.5), "2.50s");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

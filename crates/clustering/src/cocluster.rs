@@ -1,0 +1,252 @@
+//! Spectral co-clustering (Dhillon, 2001).
+//!
+//! The second comparison baseline of Appendix C.2. Rows (samples) and columns
+//! (features) of a data matrix are embedded through the singular vectors of
+//! the degree-normalised matrix, then jointly clustered with K-Means. The
+//! paper observed that it "not only incurs greater time consumption than
+//! K-Means but also yields inferior performance" — the Fig. 14 harness
+//! measures both claims.
+
+use crate::kmeans::{kmeans_fit, KMeansConfig};
+use rand::rngs::StdRng;
+
+/// Result of spectral co-clustering: joint row/column cluster structure.
+#[derive(Debug, Clone)]
+pub struct CoClusters {
+    /// Cluster index per row (sample).
+    pub row_assignments: Vec<usize>,
+    /// Cluster index per column (feature dimension).
+    pub col_assignments: Vec<usize>,
+    /// Number of clusters.
+    pub k: usize,
+    /// Post-hoc per-cluster centroids in the original row space (`k x dim`),
+    /// needed to assign new samples — the extra work Appendix C.2 notes.
+    pub centroids: Vec<f32>,
+    /// Row dimensionality.
+    pub dim: usize,
+}
+
+/// Number of singular vectors used for the embedding: `ceil(log2 k) + 1`.
+fn embed_dim(k: usize) -> usize {
+    ((k as f64).log2().ceil() as usize).max(1) + 1
+}
+
+/// Power iteration for the top singular vector of `B = A^T A`, orthogonal to
+/// the columns already in `basis`.
+fn top_right_singular(a: &[f32], n: usize, m: usize, basis: &[Vec<f64>], iters: usize) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..m).map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 + 0.1).collect();
+    let mut av = vec![0.0f64; n];
+    for _ in 0..iters {
+        // Orthogonalise against previous vectors.
+        for b in basis {
+            let dot: f64 = v.iter().zip(b).map(|(x, y)| x * y).sum();
+            for (x, y) in v.iter_mut().zip(b) {
+                *x -= dot * y;
+            }
+        }
+        // av = A v
+        for i in 0..n {
+            let row = &a[i * m..(i + 1) * m];
+            av[i] = row.iter().zip(&v).map(|(&x, y)| x as f64 * y).sum();
+        }
+        // v = A^T av
+        for j in 0..m {
+            let mut s = 0.0;
+            for i in 0..n {
+                s += a[i * m + j] as f64 * av[i];
+            }
+            v[j] = s;
+        }
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm <= f64::EPSILON {
+            break;
+        }
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+/// Co-clusters an `n x m` row-major matrix into `k` clusters.
+///
+/// Values may be arbitrary reals; they are shifted to non-negative internally
+/// as spectral co-clustering expects a (bipartite) weight matrix.
+///
+/// # Panics
+/// Panics on empty input or `k == 0`.
+pub fn cocluster_fit(data: &[f32], m: usize, k: usize, rng: &mut StdRng) -> CoClusters {
+    assert!(m > 0 && !data.is_empty(), "empty dataset");
+    assert_eq!(data.len() % m, 0, "data length not divisible by m");
+    assert!(k > 0, "k must be positive");
+    let n = data.len() / m;
+    let k = k.min(n);
+
+    // Shift to non-negative weights.
+    let min = data.iter().cloned().fold(f32::INFINITY, f32::min);
+    let shift = if min < 0.0 { -min } else { 0.0 };
+    let a: Vec<f32> = data.iter().map(|&x| x + shift + 1e-3).collect();
+
+    // Degree normalisation: An = D1^{-1/2} A D2^{-1/2}.
+    let mut row_deg = vec![0.0f64; n];
+    let mut col_deg = vec![0.0f64; m];
+    for i in 0..n {
+        for j in 0..m {
+            let w = a[i * m + j] as f64;
+            row_deg[i] += w;
+            col_deg[j] += w;
+        }
+    }
+    let mut an = vec![0.0f32; n * m];
+    for i in 0..n {
+        for j in 0..m {
+            let d = (row_deg[i] * col_deg[j]).sqrt();
+            an[i * m + j] = if d > 0.0 { (a[i * m + j] as f64 / d) as f32 } else { 0.0 };
+        }
+    }
+
+    // Singular-vector embedding. Skip the trivial first pair; use l vectors.
+    let l = embed_dim(k).min(m);
+    let mut right_basis: Vec<Vec<f64>> = Vec::with_capacity(l + 1);
+    for _ in 0..=l {
+        let v = top_right_singular(&an, n, m, &right_basis, 30);
+        right_basis.push(v);
+    }
+    // Drop the leading (trivial) singular vector.
+    let used = &right_basis[1..];
+
+    // Row embedding: u = An v (scaled); col embedding: v itself.
+    let mut row_embed = vec![0.0f32; n * used.len()];
+    for (c, v) in used.iter().enumerate() {
+        for i in 0..n {
+            let row = &an[i * m..(i + 1) * m];
+            let u: f64 = row.iter().zip(v).map(|(&x, y)| x as f64 * y).sum();
+            row_embed[i * used.len() + c] = u as f32;
+        }
+    }
+    let mut col_embed = vec![0.0f32; m * used.len()];
+    for (c, v) in used.iter().enumerate() {
+        for (j, &vj) in v.iter().enumerate() {
+            col_embed[j * used.len() + c] = vj as f32;
+        }
+    }
+
+    // Joint K-Means over stacked row+column embeddings.
+    let mut joint = row_embed.clone();
+    joint.extend_from_slice(&col_embed);
+    let km = kmeans_fit(&joint, used.len(), KMeansConfig { k, max_iter: 50, tol: 1e-5 }, rng);
+    let row_assignments = km.assignments[..n].to_vec();
+    let col_assignments = km.assignments[n..].to_vec();
+
+    // Post-hoc centroids in the original row space.
+    let mut sums = vec![0.0f64; k * m];
+    let mut counts = vec![0usize; k];
+    for i in 0..n {
+        let c = row_assignments[i];
+        counts[c] += 1;
+        for j in 0..m {
+            sums[c * m + j] += data[i * m + j] as f64;
+        }
+    }
+    let mut centroids = vec![0.0f32; k * m];
+    for c in 0..k {
+        if counts[c] > 0 {
+            for j in 0..m {
+                centroids[c * m + j] = (sums[c * m + j] / counts[c] as f64) as f32;
+            }
+        }
+    }
+
+    CoClusters { row_assignments, col_assignments, k: km.k, centroids, dim: m }
+}
+
+impl CoClusters {
+    /// Nearest-centroid assignment for a new sample (original space).
+    pub fn predict(&self, p: &[f32]) -> usize {
+        assert_eq!(p.len(), self.dim, "point dimension mismatch");
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for c in 0..self.k {
+            let d: f64 = p
+                .iter()
+                .zip(&self.centroids[c * self.dim..(c + 1) * self.dim])
+                .map(|(&x, &y)| {
+                    let d = (x - y) as f64;
+                    d * d
+                })
+                .sum();
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Block-diagonal matrix: rows 0..4 load on cols 0..2, rows 4..8 on cols 2..4.
+    fn block_matrix() -> Vec<f32> {
+        let mut a = vec![0.05f32; 8 * 4];
+        for i in 0..4 {
+            for j in 0..2 {
+                a[i * 4 + j] = 1.0;
+            }
+        }
+        for i in 4..8 {
+            for j in 2..4 {
+                a[i * 4 + j] = 1.0;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn recovers_block_structure() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cc = cocluster_fit(&block_matrix(), 4, 2, &mut rng);
+        let first = cc.row_assignments[0];
+        assert!(cc.row_assignments[..4].iter().all(|&a| a == first));
+        assert!(cc.row_assignments[4..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn column_clusters_follow_blocks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cc = cocluster_fit(&block_matrix(), 4, 2, &mut rng);
+        assert_eq!(cc.col_assignments.len(), 4);
+        assert_eq!(cc.col_assignments[0], cc.col_assignments[1]);
+        assert_eq!(cc.col_assignments[2], cc.col_assignments[3]);
+        assert_ne!(cc.col_assignments[0], cc.col_assignments[2]);
+    }
+
+    #[test]
+    fn predict_routes_new_rows_to_matching_block() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cc = cocluster_fit(&block_matrix(), 4, 2, &mut rng);
+        let new_row_a = [1.0, 1.0, 0.0, 0.0];
+        let new_row_b = [0.0, 0.0, 1.0, 1.0];
+        assert_eq!(cc.predict(&new_row_a), cc.row_assignments[0]);
+        assert_eq!(cc.predict(&new_row_b), cc.row_assignments[4]);
+    }
+
+    #[test]
+    fn handles_negative_values() {
+        let data: Vec<f32> = block_matrix().iter().map(|&x| x - 0.5).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cc = cocluster_fit(&data, 4, 2, &mut rng);
+        let first = cc.row_assignments[0];
+        assert!(cc.row_assignments[..4].iter().all(|&a| a == first));
+    }
+
+    #[test]
+    fn embed_dim_grows_logarithmically() {
+        assert_eq!(embed_dim(2), 2);
+        assert_eq!(embed_dim(4), 3);
+        assert_eq!(embed_dim(8), 4);
+    }
+}

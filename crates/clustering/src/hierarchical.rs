@@ -1,0 +1,198 @@
+//! Agglomerative hierarchical clustering (Johnson, 1967).
+//!
+//! Implemented as the comparison baseline of Appendix C.2: the paper found it
+//! "demonstrates prohibitive time consumption when modeling just 10% of time
+//! steps and suffers from memory exhaustion issues" — the O(n²) distance
+//! matrix built here is exactly why, and the Fig. 14 harness measures it.
+
+/// Linkage criterion for merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Distance between closest members.
+    Single,
+    /// Distance between farthest members.
+    Complete,
+    /// Mean pairwise distance (UPGMA).
+    Average,
+}
+
+/// Result of a hierarchical clustering run cut at `k` clusters.
+#[derive(Debug, Clone)]
+pub struct Hierarchical {
+    /// Cluster index per input point, in `0..k`.
+    pub assignments: Vec<usize>,
+    /// Number of clusters after the cut.
+    pub k: usize,
+    /// Flattened `k x dim` centroid matrix, computed post-hoc (hierarchical
+    /// clustering has no native centroids — this is the extra work the paper
+    /// notes is needed to evaluate new patients).
+    pub centroids: Vec<f32>,
+    /// Dimensionality.
+    pub dim: usize,
+}
+
+fn dist_sq(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum()
+}
+
+/// Agglomerative clustering of `n = data.len() / dim` points down to `k`
+/// clusters using the Lance–Williams update for the chosen linkage.
+///
+/// Complexity is O(n² log n) time and O(n²) memory — intentionally the
+/// textbook algorithm whose scaling Fig. 14 characterises.
+///
+/// # Panics
+/// Panics on empty data or `k == 0`.
+pub fn hierarchical_fit(data: &[f32], dim: usize, k: usize, linkage: Linkage) -> Hierarchical {
+    assert!(dim > 0 && !data.is_empty(), "empty dataset");
+    assert_eq!(data.len() % dim, 0, "data length not divisible by dim");
+    assert!(k > 0, "k must be positive");
+    let n = data.len() / dim;
+    let k = k.min(n);
+
+    // active cluster list; each owns its member indices.
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut active: Vec<bool> = vec![true; n];
+    // Pairwise distance matrix between clusters (squared Euclidean base).
+    let mut d = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = dist_sq(&data[i * dim..(i + 1) * dim], &data[j * dim..(j + 1) * dim]);
+            d[i * n + j] = v;
+            d[j * n + i] = v;
+        }
+    }
+
+    let mut remaining = n;
+    while remaining > k {
+        // Find the closest active pair.
+        let mut best = (0usize, 0usize);
+        let mut best_d = f64::INFINITY;
+        for i in 0..n {
+            if !active[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !active[j] {
+                    continue;
+                }
+                if d[i * n + j] < best_d {
+                    best_d = d[i * n + j];
+                    best = (i, j);
+                }
+            }
+        }
+        let (a, b) = best;
+        // Merge b into a; update distances via linkage rule.
+        for j in 0..n {
+            if !active[j] || j == a || j == b {
+                continue;
+            }
+            let daj = d[a * n + j];
+            let dbj = d[b * n + j];
+            let new = match linkage {
+                Linkage::Single => daj.min(dbj),
+                Linkage::Complete => daj.max(dbj),
+                Linkage::Average => {
+                    let (na, nb) = (members[a].len() as f64, members[b].len() as f64);
+                    (na * daj + nb * dbj) / (na + nb)
+                }
+            };
+            d[a * n + j] = new;
+            d[j * n + a] = new;
+        }
+        let moved = std::mem::take(&mut members[b]);
+        members[a].extend(moved);
+        active[b] = false;
+        remaining -= 1;
+    }
+
+    // Produce compact assignments and centroids.
+    let mut assignments = vec![0usize; n];
+    let mut centroids = Vec::with_capacity(k * dim);
+    let mut cluster_idx = 0usize;
+    for i in 0..n {
+        if !active[i] {
+            continue;
+        }
+        let mut sums = vec![0.0f64; dim];
+        for &m in &members[i] {
+            assignments[m] = cluster_idx;
+            for (s, &x) in sums.iter_mut().zip(&data[m * dim..(m + 1) * dim]) {
+                *s += x as f64;
+            }
+        }
+        let count = members[i].len() as f64;
+        centroids.extend(sums.iter().map(|&s| (s / count) as f32));
+        cluster_idx += 1;
+    }
+
+    Hierarchical { assignments, k: cluster_idx, centroids, dim }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<f32> {
+        let mut data = Vec::new();
+        for i in 0..6 {
+            data.extend_from_slice(&[i as f32 * 0.01, 0.0]);
+        }
+        for i in 0..6 {
+            data.extend_from_slice(&[20.0 + i as f32 * 0.01, 5.0]);
+        }
+        data
+    }
+
+    #[test]
+    fn separates_blobs_all_linkages() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let h = hierarchical_fit(&blobs(), 2, 2, linkage);
+            assert_eq!(h.k, 2);
+            let first = h.assignments[0];
+            assert!(h.assignments[..6].iter().all(|&a| a == first));
+            assert!(h.assignments[6..].iter().all(|&a| a != first));
+        }
+    }
+
+    #[test]
+    fn centroids_are_cluster_means() {
+        let h = hierarchical_fit(&blobs(), 2, 2, Linkage::Average);
+        // One centroid near x≈0.025, the other near x≈20.025.
+        let mut xs: Vec<f32> = (0..h.k).map(|c| h.centroids[c * 2]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((xs[0] - 0.025).abs() < 1e-3);
+        assert!((xs[1] - 20.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn k_one_merges_everything() {
+        let h = hierarchical_fit(&blobs(), 2, 1, Linkage::Average);
+        assert_eq!(h.k, 1);
+        assert!(h.assignments.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn k_equal_n_keeps_singletons() {
+        let data = vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0];
+        let h = hierarchical_fit(&data, 2, 3, Linkage::Complete);
+        assert_eq!(h.k, 3);
+        let mut seen = h.assignments.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn assignment_count_matches_points() {
+        let h = hierarchical_fit(&blobs(), 2, 4, Linkage::Average);
+        assert_eq!(h.assignments.len(), 12);
+        assert!(h.assignments.iter().all(|&a| a < h.k));
+    }
+}

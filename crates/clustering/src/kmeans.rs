@@ -1,0 +1,311 @@
+//! K-Means clustering with k-means++ seeding.
+//!
+//! This is the clustering algorithm CohortNet adopts for feature-state
+//! modelling (Eq. 7): "we ultimately select K-Means in this module due to its
+//! superior efficiency, and the centroids learned in K-Means are easier to
+//! apply when assessing new patients." The fitted [`KMeans::centroids`] are
+//! exactly what the Cohort Discovery Module reuses to assign states to new
+//! patients at inference time.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Result of a K-Means fit: centroids plus training-set assignments.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Flattened `k x dim` centroid matrix (row-major).
+    pub centroids: Vec<f32>,
+    /// Dimensionality of each point/centroid.
+    pub dim: usize,
+    /// Number of clusters.
+    pub k: usize,
+    /// Cluster index of each training point.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// Configuration for [`kmeans_fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on relative inertia improvement.
+    pub tol: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { k: 8, max_iter: 50, tol: 1e-4 }
+    }
+}
+
+#[inline]
+fn dist_sq(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum()
+}
+
+fn point(data: &[f32], dim: usize, i: usize) -> &[f32] {
+    &data[i * dim..(i + 1) * dim]
+}
+
+/// k-means++ seeding (Arthur & Vassilvitskii, 2007).
+fn seed_plus_plus(data: &[f32], dim: usize, k: usize, rng: &mut StdRng) -> Vec<f32> {
+    let n = data.len() / dim;
+    let mut centroids = Vec::with_capacity(k * dim);
+    let first = rng.gen_range(0..n);
+    centroids.extend_from_slice(point(data, dim, first));
+    let mut d2: Vec<f64> = (0..n).map(|i| dist_sq(point(data, dim, i), point(&centroids, dim, 0))).collect();
+    while centroids.len() / dim < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with chosen centroids; pick uniformly.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        let c_idx = centroids.len() / dim;
+        centroids.extend_from_slice(point(data, dim, next));
+        for i in 0..n {
+            let d = dist_sq(point(data, dim, i), point(&centroids, dim, c_idx));
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+/// Fits K-Means to `n = data.len() / dim` points of dimension `dim`.
+///
+/// # Panics
+/// Panics if `data` is empty, not divisible by `dim`, or `k` is zero.
+/// If there are fewer points than clusters, `k` is reduced to the point count.
+pub fn kmeans_fit(data: &[f32], dim: usize, cfg: KMeansConfig, rng: &mut StdRng) -> KMeans {
+    assert!(dim > 0, "dim must be positive");
+    assert!(!data.is_empty(), "cannot cluster an empty dataset");
+    assert_eq!(data.len() % dim, 0, "data length not divisible by dim");
+    assert!(cfg.k > 0, "k must be positive");
+    let n = data.len() / dim;
+    let k = cfg.k.min(n);
+
+    let mut centroids = seed_plus_plus(data, dim, k, rng);
+    let mut assignments = vec![0usize; n];
+    let mut inertia = f64::INFINITY;
+    let mut iterations = 0;
+
+    for iter in 0..cfg.max_iter {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut new_inertia = 0.0f64;
+        for i in 0..n {
+            let p = point(data, dim, i);
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let d = dist_sq(p, point(&centroids, dim, c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assignments[i] = best;
+            new_inertia += best_d;
+        }
+        // Update step.
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (s, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(point(data, dim, i)) {
+                *s += x as f64;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Empty-cluster repair: reseed at the point farthest from its
+                // centroid.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = dist_sq(point(data, dim, a), point(&centroids, dim, assignments[a]));
+                        let db = dist_sq(point(data, dim, b), point(&centroids, dim, assignments[b]));
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .unwrap();
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(point(data, dim, far));
+            } else {
+                for d in 0..dim {
+                    centroids[c * dim + d] = (sums[c * dim + d] / counts[c] as f64) as f32;
+                }
+            }
+        }
+        // Convergence on relative inertia improvement.
+        if inertia.is_finite() && inertia > 0.0 {
+            let rel = (inertia - new_inertia) / inertia;
+            if rel.abs() < cfg.tol {
+                inertia = new_inertia;
+                break;
+            }
+        }
+        inertia = new_inertia;
+    }
+
+    KMeans { centroids, dim, k, assignments, inertia, iterations }
+}
+
+impl KMeans {
+    /// Returns the nearest-centroid index for a new point.
+    ///
+    /// This is the O(k·dim) state-assignment path used when CohortNet
+    /// assesses new patients.
+    pub fn predict(&self, p: &[f32]) -> usize {
+        assert_eq!(p.len(), self.dim, "point dimension mismatch");
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for c in 0..self.k {
+            let d = dist_sq(p, &self.centroids[c * self.dim..(c + 1) * self.dim]);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Centroid `c` as a slice.
+    pub fn centroid(&self, c: usize) -> &[f32] {
+        &self.centroids[c * self.dim..(c + 1) * self.dim]
+    }
+
+    /// Number of training points assigned to each cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+/// Within-cluster sum of squares for arbitrary assignments — used by tests
+/// to verify that Lloyd iterations never increase inertia.
+pub fn inertia_of(data: &[f32], dim: usize, centroids: &[f32], assignments: &[usize]) -> f64 {
+    let n = data.len() / dim;
+    (0..n)
+        .map(|i| dist_sq(point(data, dim, i), &centroids[assignments[i] * dim..(assignments[i] + 1) * dim]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn two_blobs() -> Vec<f32> {
+        // 2-d points: tight blob at (0,0), tight blob at (10,10).
+        let mut data = Vec::new();
+        for i in 0..20 {
+            let j = (i % 5) as f32 * 0.01;
+            data.extend_from_slice(&[j, -j]);
+            data.extend_from_slice(&[10.0 + j, 10.0 - j]);
+        }
+        data
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = two_blobs();
+        let mut rng = StdRng::seed_from_u64(0);
+        let km = kmeans_fit(&data, 2, KMeansConfig { k: 2, max_iter: 50, tol: 1e-6 }, &mut rng);
+        assert_eq!(km.k, 2);
+        // All even-indexed points (blob A) share a cluster; odd share the other.
+        let a = km.assignments[0];
+        let b = km.assignments[1];
+        assert_ne!(a, b);
+        for i in 0..km.assignments.len() {
+            assert_eq!(km.assignments[i], if i % 2 == 0 { a } else { b });
+        }
+        // Centroids near blob centres.
+        let ca = km.centroid(a);
+        assert!(ca[0].abs() < 0.5 && ca[1].abs() < 0.5);
+    }
+
+    #[test]
+    fn predict_matches_training_assignment() {
+        let data = two_blobs();
+        let mut rng = StdRng::seed_from_u64(1);
+        let km = kmeans_fit(&data, 2, KMeansConfig::default(), &mut rng);
+        for i in 0..data.len() / 2 {
+            assert_eq!(km.predict(&data[i * 2..i * 2 + 2]), km.assignments[i]);
+        }
+    }
+
+    #[test]
+    fn k_reduced_when_fewer_points() {
+        let data = vec![1.0, 2.0, 3.0, 4.0]; // two 2-d points
+        let mut rng = StdRng::seed_from_u64(2);
+        let km = kmeans_fit(&data, 2, KMeansConfig { k: 10, max_iter: 10, tol: 1e-4 }, &mut rng);
+        assert_eq!(km.k, 2);
+    }
+
+    #[test]
+    fn inertia_zero_for_identical_points() {
+        let data = vec![5.0f32; 12]; // four identical 3-d points
+        let mut rng = StdRng::seed_from_u64(3);
+        let km = kmeans_fit(&data, 3, KMeansConfig { k: 2, max_iter: 10, tol: 1e-4 }, &mut rng);
+        assert_eq!(km.inertia, 0.0);
+    }
+
+    #[test]
+    fn cluster_sizes_sum_to_n() {
+        let data = two_blobs();
+        let mut rng = StdRng::seed_from_u64(4);
+        let km = kmeans_fit(&data, 2, KMeansConfig { k: 3, max_iter: 30, tol: 1e-6 }, &mut rng);
+        assert_eq!(km.cluster_sizes().iter().sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn every_point_assigned_to_nearest_centroid() {
+        let data = two_blobs();
+        let mut rng = StdRng::seed_from_u64(5);
+        let km = kmeans_fit(&data, 2, KMeansConfig { k: 4, max_iter: 50, tol: 1e-8 }, &mut rng);
+        for i in 0..40 {
+            let p = &data[i * 2..i * 2 + 2];
+            let assigned = km.assignments[i];
+            let d_assigned = dist_sq(p, km.centroid(assigned));
+            for c in 0..km.k {
+                assert!(
+                    d_assigned <= dist_sq(p, km.centroid(c)) + 1e-9,
+                    "point {i} not at nearest centroid"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_data() {
+        let mut rng = StdRng::seed_from_u64(6);
+        kmeans_fit(&[], 2, KMeansConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,34 @@
+//! # cohortnet-clustering
+//!
+//! The clustering substrates of the CohortNet reproduction:
+//!
+//! * [`kmeans`] — K-Means with k-means++ seeding, the algorithm CohortNet's
+//!   Cohort Discovery Module adopts for feature-state modelling (Eq. 7);
+//! * [`hierarchical`] — agglomerative clustering, the first comparison
+//!   baseline of Appendix C.2;
+//! * [`cocluster`] — spectral co-clustering (Dhillon 2001), the second
+//!   comparison baseline of Appendix C.2.
+//!
+//! All three operate on flat row-major `f32` buffers so they compose with
+//! both `cohortnet-tensor` matrices and raw feature vectors.
+//!
+//! ```
+//! use cohortnet_clustering::{kmeans_fit, KMeansConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let data = vec![0.0, 0.1, 0.05, 10.0, 10.1, 9.9]; // 1-d points, two groups
+//! let km = kmeans_fit(&data, 1, KMeansConfig { k: 2, ..Default::default() },
+//!                     &mut StdRng::seed_from_u64(0));
+//! assert_eq!(km.predict(&[0.02]), km.predict(&[0.08]));
+//! assert_ne!(km.predict(&[0.02]), km.predict(&[10.05]));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cocluster;
+pub mod hierarchical;
+pub mod kmeans;
+
+pub use cocluster::{cocluster_fit, CoClusters};
+pub use hierarchical::{hierarchical_fit, Hierarchical, Linkage};
+pub use kmeans::{inertia_of, kmeans_fit, KMeans, KMeansConfig};

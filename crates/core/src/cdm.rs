@@ -1,0 +1,533 @@
+//! Cohort Discovery Module (§3.4).
+//!
+//! Two responsibilities:
+//!
+//! 1. **Feature-state modelling** (Eq. 7): per feature, K-Means over all
+//!    fused representations `o` collected from every sample at every time
+//!    step; missing features occupy the dedicated state `s₀ = 0`, learned
+//!    states are `1..=k`.
+//! 2. **Heuristic cohort exploration** (Eq. 8): the attention-based pattern
+//!    mask `ψ_i = topN(α_i, n) + onehot(i)` restricts each feature's pattern
+//!    to its `n` most-interacting partners, pruning the `O(k^|F|)` search
+//!    space to the combinations that actually occur in the data.
+
+use crate::config::CohortNetConfig;
+use cohortnet_clustering::{
+    cocluster_fit, hierarchical_fit, kmeans_fit, KMeansConfig, Linkage,
+};
+use cohortnet_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A fitted centroid set usable for nearest-centroid state assignment —
+/// the common denominator of K-Means, hierarchical clustering and
+/// co-clustering that lets CDM swap clustering backends (Appendix C.2).
+#[derive(Debug, Clone)]
+pub struct CentroidModel {
+    /// Flattened `k x dim` centroids.
+    pub centroids: Vec<f32>,
+    /// Point dimensionality.
+    pub dim: usize,
+    /// Number of clusters.
+    pub k: usize,
+}
+
+impl CentroidModel {
+    /// Nearest-centroid index for a point.
+    pub fn predict(&self, p: &[f32]) -> usize {
+        debug_assert_eq!(p.len(), self.dim);
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for c in 0..self.k {
+            let d: f64 = p
+                .iter()
+                .zip(&self.centroids[c * self.dim..(c + 1) * self.dim])
+                .map(|(&a, &b)| {
+                    let d = (a - b) as f64;
+                    d * d
+                })
+                .sum();
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+/// Clustering backend for feature-state modelling (Appendix C.2 comparison;
+/// K-Means is the paper's choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateClusterAlgo {
+    /// K-Means (Eq. 7, the default).
+    KMeans,
+    /// Agglomerative hierarchical clustering (average linkage), centroids
+    /// computed post-hoc.
+    Hierarchical,
+    /// Spectral co-clustering, row centroids computed post-hoc.
+    CoClustering,
+}
+
+/// Fitted per-feature state clustering.
+#[derive(Debug, Clone)]
+pub struct FeatureStates {
+    /// One centroid model per feature (`None` when the feature was never
+    /// observed anywhere in the training data).
+    pub models: Vec<Option<CentroidModel>>,
+    /// Number of learned (non-missing) states `k`.
+    pub k: usize,
+    /// Fused-representation width the models were fitted on.
+    pub d_fused: usize,
+}
+
+/// State index reserved for missingness.
+pub const MISSING_STATE: u8 = 0;
+
+impl FeatureStates {
+    /// Assigns the state of feature `f` for a fused vector `o`.
+    ///
+    /// Missing observations map to [`MISSING_STATE`]; learned clusters map
+    /// to `1..=k`.
+    pub fn assign(&self, f: usize, o: &[f32], present: bool) -> u8 {
+        if !present {
+            return MISSING_STATE;
+        }
+        match &self.models[f] {
+            Some(km) => (km.predict(o) + 1) as u8,
+            None => MISSING_STATE,
+        }
+    }
+
+    /// Total number of states including the missing state.
+    pub fn n_states(&self) -> usize {
+        self.k + 1
+    }
+}
+
+/// Reservoir sampler for per-feature fused vectors.
+#[derive(Debug, Clone)]
+pub struct StateSampler {
+    dim: usize,
+    cap: usize,
+    /// Flattened sampled vectors per feature.
+    samples: Vec<Vec<f32>>,
+    seen: Vec<usize>,
+}
+
+impl StateSampler {
+    /// Creates a sampler for `n_features` features with `cap` samples each.
+    pub fn new(n_features: usize, dim: usize, cap: usize) -> Self {
+        StateSampler {
+            dim,
+            cap,
+            samples: vec![Vec::new(); n_features],
+            seen: vec![0; n_features],
+        }
+    }
+
+    /// Offers one fused vector of feature `f` to the reservoir.
+    pub fn offer(&mut self, f: usize, o: &[f32], rng: &mut StdRng) {
+        debug_assert_eq!(o.len(), self.dim);
+        self.seen[f] += 1;
+        let stored = self.samples[f].len() / self.dim;
+        if stored < self.cap {
+            self.samples[f].extend_from_slice(o);
+        } else {
+            // Standard reservoir replacement.
+            let j = rng.gen_range(0..self.seen[f]);
+            if j < self.cap {
+                self.samples[f][j * self.dim..(j + 1) * self.dim].copy_from_slice(o);
+            }
+        }
+    }
+
+    /// Number of vectors stored for feature `f`.
+    pub fn stored(&self, f: usize) -> usize {
+        self.samples[f].len() / self.dim
+    }
+
+    /// Fits the per-feature K-Means models (Eq. 7).
+    pub fn fit(&self, k: usize, rng: &mut StdRng) -> FeatureStates {
+        self.fit_with(k, StateClusterAlgo::KMeans, 1.0, rng)
+    }
+
+    /// Adaptive per-feature state counts (the paper's §Discussions
+    /// extension): features observed often enough to support fine-grained
+    /// states get the full budget `k_max`; sparse features (high missing
+    /// rate / few charted values) get proportionally fewer, floored at 2.
+    ///
+    /// The heuristic keys on observed mass: `k_f = max(2, round(k_max ·
+    /// sqrt(seen_f / max_seen)))`.
+    pub fn adaptive_ks(&self, k_max: usize) -> Vec<usize> {
+        let max_seen = self.seen.iter().copied().max().unwrap_or(0).max(1);
+        self.seen
+            .iter()
+            .map(|&s| {
+                if s == 0 {
+                    0
+                } else {
+                    let frac = (s as f64 / max_seen as f64).sqrt();
+                    ((k_max as f64 * frac).round() as usize).clamp(2, k_max)
+                }
+            })
+            .collect()
+    }
+
+    /// Fits per-feature state models with a selectable clustering backend
+    /// and an optional subsampling ratio of the stored vectors — the
+    /// Appendix C.2 comparison varies both.
+    pub fn fit_with(
+        &self,
+        k: usize,
+        algo: StateClusterAlgo,
+        sample_ratio: f32,
+        rng: &mut StdRng,
+    ) -> FeatureStates {
+        let ks = vec![k; self.samples.len()];
+        self.fit_with_ks(&ks, algo, sample_ratio, rng)
+    }
+
+    /// Like [`StateSampler::fit_with`] but with an explicit per-feature
+    /// state budget (used by the adaptive-k extension).
+    ///
+    /// # Panics
+    /// Panics if `ks.len()` differs from the feature count.
+    pub fn fit_with_ks(
+        &self,
+        ks: &[usize],
+        algo: StateClusterAlgo,
+        sample_ratio: f32,
+        rng: &mut StdRng,
+    ) -> FeatureStates {
+        assert_eq!(ks.len(), self.samples.len(), "per-feature k table width");
+        let ratio = sample_ratio.clamp(0.0, 1.0);
+        let models = self
+            .samples
+            .iter()
+            .zip(ks)
+            .map(|(s, &k)| {
+                if s.is_empty() || k == 0 {
+                    return None;
+                }
+                let n = s.len() / self.dim;
+                let mut take = ((n as f32 * ratio).round() as usize).clamp(1, n);
+                // Hierarchical clustering materialises an O(n²) distance
+                // matrix; hard-cap the input so a careless ratio degrades
+                // gracefully instead of exhausting memory (the failure mode
+                // Appendix C.2 reports for this baseline).
+                if algo == StateClusterAlgo::Hierarchical {
+                    take = take.min(1200);
+                }
+                let data = &s[..take * self.dim];
+                let model = match algo {
+                    StateClusterAlgo::KMeans => {
+                        let km = kmeans_fit(data, self.dim, KMeansConfig { k, max_iter: 30, tol: 1e-4 }, rng);
+                        CentroidModel { centroids: km.centroids, dim: km.dim, k: km.k }
+                    }
+                    StateClusterAlgo::Hierarchical => {
+                        let h = hierarchical_fit(data, self.dim, k, Linkage::Average);
+                        CentroidModel { centroids: h.centroids, dim: h.dim, k: h.k }
+                    }
+                    StateClusterAlgo::CoClustering => {
+                        let cc = cocluster_fit(data, self.dim, k, rng);
+                        CentroidModel { centroids: cc.centroids, dim: cc.dim, k: cc.k }
+                    }
+                };
+                Some(model)
+            })
+            .collect();
+        let k_ceiling = ks.iter().copied().max().unwrap_or(0);
+        FeatureStates { models, k: k_ceiling, d_fused: self.dim }
+    }
+}
+
+/// Builds the pattern masks `ψ_i` (Eq. 8) from the mean attention matrix.
+///
+/// For each feature `i`, selects the `n` features `j ≠ i` with the highest
+/// mean attention `ᾱ_ij` plus `i` itself, returning sorted index lists of
+/// length `n + 1`. (Self-attention is usually the largest entry, so `topN`
+/// is taken over the off-diagonal, making the union exactly `n + 1`
+/// features — `||ψ_i||₁ = n + 1` as the paper requires.)
+pub fn build_masks(attn_mean: &Matrix, n_top: usize) -> Vec<Vec<usize>> {
+    let nf = attn_mean.rows();
+    assert_eq!(attn_mean.cols(), nf, "attention matrix must be square");
+    (0..nf)
+        .map(|i| {
+            let mut others: Vec<usize> = (0..nf).filter(|&j| j != i).collect();
+            others.sort_by(|&a, &b| {
+                attn_mean[(i, b)].partial_cmp(&attn_mean[(i, a)]).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut mask: Vec<usize> = others.into_iter().take(n_top).collect();
+            mask.push(i);
+            mask.sort_unstable();
+            mask
+        })
+        .collect()
+}
+
+/// Threshold-based pattern masks (the paper's §Discussions extension:
+/// "employing thresholds on α shows promise for automatically selecting
+/// n"). A partner `j ≠ i` joins `ψ_i` when its mean attention exceeds
+/// `threshold` times the uniform level `1/F`; at least one partner is
+/// always kept and at most `n_cap`, so different features end up with
+/// different pattern widths.
+pub fn build_masks_threshold(attn_mean: &Matrix, threshold: f32, n_cap: usize) -> Vec<Vec<usize>> {
+    let nf = attn_mean.rows();
+    assert_eq!(attn_mean.cols(), nf, "attention matrix must be square");
+    let uniform = 1.0 / nf as f32;
+    (0..nf)
+        .map(|i| {
+            let mut others: Vec<usize> = (0..nf).filter(|&j| j != i).collect();
+            others.sort_by(|&a, &b| {
+                attn_mean[(i, b)].partial_cmp(&attn_mean[(i, a)]).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut mask: Vec<usize> = others
+                .iter()
+                .copied()
+                .take(n_cap)
+                .enumerate()
+                .filter(|&(rank, j)| rank == 0 || attn_mean[(i, j)] > threshold * uniform)
+                .map(|(_, j)| j)
+                .collect();
+            mask.push(i);
+            mask.sort_unstable();
+            mask
+        })
+        .collect()
+}
+
+/// Encodes the states of the masked features into a compact pattern key.
+///
+/// 4 bits per involved feature (supports `k ≤ 15`), positional in mask
+/// order: two patterns collide only if every involved state matches.
+pub fn pattern_key(states_at_t: &[u8], mask: &[usize]) -> u64 {
+    debug_assert!(mask.len() <= 16, "mask too wide for u64 key");
+    let mut key = 0u64;
+    for (pos, &f) in mask.iter().enumerate() {
+        debug_assert!(states_at_t[f] < 16, "state exceeds 4-bit key budget");
+        key |= (states_at_t[f] as u64) << (4 * pos);
+    }
+    key
+}
+
+/// Decodes a pattern key back into `(feature, state)` pairs.
+pub fn decode_key(key: u64, mask: &[usize]) -> Vec<(usize, u8)> {
+    mask.iter()
+        .enumerate()
+        .map(|(pos, &f)| (f, ((key >> (4 * pos)) & 0xF) as u8))
+        .collect()
+}
+
+/// Occurrence statistics of one candidate pattern during mining.
+#[derive(Debug, Clone, Default)]
+pub struct PatternStats {
+    /// Number of (patient, time-step) occurrences.
+    pub frequency: usize,
+    /// Distinct patients exhibiting the pattern (training-set indices).
+    pub patients: Vec<usize>,
+}
+
+/// Mines candidate patterns for every feature from the state tensor.
+///
+/// `states[p * (T * F) + t * F + f]` holds patient `p`'s state of feature
+/// `f` at time `t`. Returns, per feature, a map from pattern key to stats.
+pub fn mine_patterns(
+    states: &[u8],
+    n_patients: usize,
+    t_steps: usize,
+    nf: usize,
+    masks: &[Vec<usize>],
+) -> Vec<HashMap<u64, PatternStats>> {
+    assert_eq!(states.len(), n_patients * t_steps * nf, "state tensor shape");
+    let mut per_feature: Vec<HashMap<u64, PatternStats>> = vec![HashMap::new(); nf];
+    for p in 0..n_patients {
+        for t in 0..t_steps {
+            let row = &states[p * t_steps * nf + t * nf..p * t_steps * nf + (t + 1) * nf];
+            for i in 0..nf {
+                let key = pattern_key(row, &masks[i]);
+                let entry = per_feature[i].entry(key).or_default();
+                entry.frequency += 1;
+                if entry.patients.last() != Some(&p) {
+                    entry.patients.push(p);
+                }
+            }
+        }
+    }
+    per_feature
+}
+
+/// Convenience: the state tensor accessor used throughout the crate.
+#[inline]
+pub fn state_at(states: &[u8], t_steps: usize, nf: usize, p: usize, t: usize, f: usize) -> u8 {
+    states[p * t_steps * nf + t * nf + f]
+}
+
+/// Applies Eq. 7 end-to-end on raw sample buffers — used by tests and the
+/// clustering-comparison harness (Fig. 14) to swap clustering backends.
+pub fn default_config_states(
+    sampler: &StateSampler,
+    cfg: &CohortNetConfig,
+    rng: &mut StdRng,
+) -> FeatureStates {
+    sampler.fit(cfg.k_states, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampler_reservoir_caps() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = StateSampler::new(2, 3, 5);
+        for i in 0..20 {
+            s.offer(0, &[i as f32, 0.0, 0.0], &mut rng);
+        }
+        assert_eq!(s.stored(0), 5);
+        assert_eq!(s.stored(1), 0);
+    }
+
+    #[test]
+    fn fit_assign_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = StateSampler::new(1, 2, 100);
+        for i in 0..30 {
+            let x = if i % 2 == 0 { 0.0 } else { 10.0 };
+            s.offer(0, &[x, x], &mut rng);
+        }
+        let fs = s.fit(2, &mut rng);
+        assert_eq!(fs.n_states(), 3);
+        let a = fs.assign(0, &[0.1, 0.1], true);
+        let b = fs.assign(0, &[9.9, 9.9], true);
+        assert_ne!(a, b);
+        assert!(a >= 1 && b >= 1);
+        assert_eq!(fs.assign(0, &[0.0, 0.0], false), MISSING_STATE);
+    }
+
+    #[test]
+    fn unobserved_feature_has_no_model() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = StateSampler::new(2, 2, 10);
+        let fs = s.fit(3, &mut rng);
+        assert!(fs.models[0].is_none());
+        assert_eq!(fs.assign(0, &[1.0, 1.0], true), MISSING_STATE);
+    }
+
+    #[test]
+    fn masks_have_n_plus_one_features_including_self() {
+        let mut attn = Matrix::zeros(4, 4);
+        // Feature 0 attends mostly to 2, then 3.
+        attn[(0, 1)] = 0.1;
+        attn[(0, 2)] = 0.9;
+        attn[(0, 3)] = 0.5;
+        let masks = build_masks(&attn, 2);
+        assert_eq!(masks[0], vec![0, 2, 3]);
+        for (i, m) in masks.iter().enumerate() {
+            assert_eq!(m.len(), 3);
+            assert!(m.contains(&i));
+            let mut sorted = m.clone();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "duplicate features in mask");
+        }
+    }
+
+    #[test]
+    fn adaptive_ks_scale_with_observed_mass() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut s = StateSampler::new(3, 2, 100);
+        for i in 0..100 {
+            s.offer(0, &[i as f32, 0.0], &mut rng); // dense feature
+            if i % 10 == 0 {
+                s.offer(1, &[i as f32, 1.0], &mut rng); // sparse feature
+            }
+        }
+        let ks = s.adaptive_ks(7);
+        assert_eq!(ks[0], 7, "dense feature gets the full budget");
+        assert!(ks[1] >= 2 && ks[1] < 7, "sparse feature reduced: {}", ks[1]);
+        assert_eq!(ks[2], 0, "unobserved feature has no states");
+    }
+
+    #[test]
+    fn fit_with_ks_honours_per_feature_budgets() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = StateSampler::new(2, 1, 200);
+        for i in 0..120 {
+            let v = (i % 6) as f32 * 5.0;
+            s.offer(0, &[v], &mut rng);
+            s.offer(1, &[v], &mut rng);
+        }
+        let fs = s.fit_with_ks(&[5, 2], StateClusterAlgo::KMeans, 1.0, &mut rng);
+        assert_eq!(fs.models[0].as_ref().unwrap().k, 5);
+        assert_eq!(fs.models[1].as_ref().unwrap().k, 2);
+        // Ceiling drives the state-space width.
+        assert_eq!(fs.n_states(), 6);
+    }
+
+    #[test]
+    fn threshold_masks_vary_in_width() {
+        let mut attn = Matrix::full(4, 4, 0.05);
+        // Feature 0 attends strongly to 2 and 3; feature 1 to nobody.
+        attn[(0, 2)] = 0.6;
+        attn[(0, 3)] = 0.5;
+        let masks = build_masks_threshold(&attn, 1.2, 3);
+        assert!(masks[0].contains(&2) && masks[0].contains(&3) && masks[0].contains(&0));
+        // Feature 1 keeps exactly one partner (the floor) plus itself.
+        assert_eq!(masks[1].len(), 2);
+        assert!(masks[1].contains(&1));
+    }
+
+    #[test]
+    fn threshold_masks_capped() {
+        let attn = Matrix::full(5, 5, 1.0); // everything above threshold
+        let masks = build_masks_threshold(&attn, 1.2, 2);
+        for (i, m) in masks.iter().enumerate() {
+            assert_eq!(m.len(), 3, "cap at n_cap partners + self");
+            assert!(m.contains(&i));
+        }
+    }
+
+    #[test]
+    fn pattern_key_round_trips() {
+        let states = vec![3u8, 0, 7, 1, 5];
+        let mask = vec![0usize, 2, 4];
+        let key = pattern_key(&states, &mask);
+        let decoded = decode_key(key, &mask);
+        assert_eq!(decoded, vec![(0, 3), (2, 7), (4, 5)]);
+    }
+
+    #[test]
+    fn distinct_patterns_have_distinct_keys() {
+        let mask = vec![0usize, 1, 2];
+        let a = pattern_key(&[1, 2, 3], &mask);
+        let b = pattern_key(&[1, 2, 4], &mask);
+        let c = pattern_key(&[2, 1, 3], &mask);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mining_counts_frequency_and_patients() {
+        // 2 patients, 2 steps, 2 features; masks = both features for each.
+        let masks = vec![vec![0, 1], vec![0, 1]];
+        // p0: t0 states [1,1], t1 [1,1]; p1: t0 [1,1], t1 [2,2]
+        let states = vec![1, 1, 1, 1, 1, 1, 2, 2];
+        let mined = mine_patterns(&states, 2, 2, 2, &masks);
+        let key_11 = pattern_key(&[1, 1], &[0, 1]);
+        let s = &mined[0][&key_11];
+        assert_eq!(s.frequency, 3); // p0 twice + p1 once
+        assert_eq!(s.patients, vec![0, 1]);
+        let key_22 = pattern_key(&[2, 2], &[0, 1]);
+        assert_eq!(mined[0][&key_22].patients, vec![1]);
+    }
+
+    #[test]
+    fn state_at_indexes_correctly() {
+        // p,t,f layout
+        let states = vec![0u8, 1, 2, 3, 4, 5, 6, 7]; // 2 patients, 2 steps, 2 features
+        assert_eq!(state_at(&states, 2, 2, 0, 0, 1), 1);
+        assert_eq!(state_at(&states, 2, 2, 1, 1, 0), 6);
+    }
+}

@@ -1,0 +1,488 @@
+//! Cohort Representation Learning Module (§3.5).
+//!
+//! For every mined pattern `η_i^q` that survives the credibility filters,
+//! CRLM retrieves the patients exhibiting the pattern (at any time step) and
+//! learns the cohort representation of Eq. 9:
+//!
+//! `C(η_i^q) = [ mean_p h_i^p ; l_i^q ]`
+//!
+//! where the label block `l` holds the task-relevant label distribution
+//! (per-label positive rate) and task-irrelevant statistics (log-frequency,
+//! patient share). The result is the cohort pool `Pool(ξ)`.
+
+use crate::cdm::{decode_key, pattern_key, PatternStats};
+use crate::config::CohortNetConfig;
+use cohortnet_tensor::Matrix;
+use std::collections::HashMap;
+
+/// One discovered cohort `ξ = ⟨η, C(η)⟩`.
+#[derive(Debug, Clone)]
+pub struct Cohort {
+    /// The anchor feature `i` this cohort was discovered for.
+    pub feature: usize,
+    /// Compact pattern key (states of the masked features).
+    pub key: u64,
+    /// Decoded pattern: `(feature, state)` pairs, mask order.
+    pub pattern: Vec<(usize, u8)>,
+    /// Cohort representation `C(η)`: `[mean h_i ; label block]`.
+    pub repr: Vec<f32>,
+    /// Number of (patient, time-step) occurrences in training data.
+    pub frequency: usize,
+    /// Number of distinct training patients in the cohort.
+    pub n_patients: usize,
+    /// Per-label positive rate among the cohort's patients ("Pos-Rate" in
+    /// Table 2).
+    pub pos_rate: Vec<f32>,
+}
+
+/// The cohort pool `Pool(ξ)` plus the pattern masks needed to match new
+/// patients.
+#[derive(Debug, Clone)]
+pub struct CohortPool {
+    /// Pattern masks `ψ_i` (sorted feature-index lists).
+    pub masks: Vec<Vec<usize>>,
+    /// Cohorts per anchor feature, most frequent first.
+    pub per_feature: Vec<Vec<Cohort>>,
+    /// Per-feature key → cohort index.
+    index: Vec<HashMap<u64, usize>>,
+    /// Width of each cohort representation.
+    pub repr_dim: usize,
+}
+
+impl CohortPool {
+    /// Reassembles a pool from deserialised parts (see [`crate::export`]).
+    ///
+    /// Intended for loaders; [`CohortPool::build`] is the discovery-time
+    /// constructor.
+    pub fn from_parts(
+        masks: Vec<Vec<usize>>,
+        per_feature: Vec<Vec<Cohort>>,
+        index: Vec<HashMap<u64, usize>>,
+        repr_dim: usize,
+    ) -> Self {
+        assert_eq!(masks.len(), per_feature.len(), "masks/cohorts width mismatch");
+        assert_eq!(masks.len(), index.len(), "masks/index width mismatch");
+        CohortPool { masks, per_feature, index, repr_dim }
+    }
+
+    /// Builds the pool from mined pattern statistics.
+    ///
+    /// * `mined` — per-feature pattern occurrence maps from
+    ///   [`crate::cdm::mine_patterns`];
+    /// * `h_final_all` — `(n_patients x F*d_h)` final channel
+    ///   representations of the training patients;
+    /// * `labels` — per-patient label bytes (length `n_labels` each).
+    pub fn build(
+        mined: Vec<HashMap<u64, PatternStats>>,
+        masks: Vec<Vec<usize>>,
+        h_final_all: &Matrix,
+        labels: &[Vec<u8>],
+        cfg: &CohortNetConfig,
+    ) -> Self {
+        let nf = masks.len();
+        let d_h = cfg.d_hidden;
+        let n_labels = cfg.n_labels;
+        let n_train = h_final_all.rows().max(1);
+        let mut per_feature = Vec::with_capacity(nf);
+        let mut index = Vec::with_capacity(nf);
+        for (i, patterns) in mined.into_iter().enumerate() {
+            // Credibility filters (§3.5): drop infrequent patterns.
+            let mut kept: Vec<(u64, PatternStats)> = patterns
+                .into_iter()
+                .filter(|(_, s)| s.frequency >= cfg.min_frequency && s.patients.len() >= cfg.min_patients)
+                .collect();
+            kept.sort_by(|a, b| b.1.frequency.cmp(&a.1.frequency).then(a.0.cmp(&b.0)));
+            kept.truncate(cfg.max_cohorts_per_feature);
+
+            let mut cohorts = Vec::with_capacity(kept.len());
+            let mut idx = HashMap::with_capacity(kept.len());
+            for (key, stats) in kept {
+                // Retrieval + Eq. 9: mean of the anchor feature's channel
+                // representation over the cohort's patients.
+                let mut mean_h = vec![0.0f32; d_h];
+                let mut pos = vec![0usize; n_labels];
+                for &p in &stats.patients {
+                    let row = h_final_all.row(p);
+                    for (m, &v) in mean_h.iter_mut().zip(&row[i * d_h..(i + 1) * d_h]) {
+                        *m += v;
+                    }
+                    for (l, c) in labels[p].iter().zip(pos.iter_mut()) {
+                        if *l != 0 {
+                            *c += 1;
+                        }
+                    }
+                }
+                let np = stats.patients.len();
+                for m in mean_h.iter_mut() {
+                    *m /= np as f32;
+                }
+                let pos_rate: Vec<f32> = pos.iter().map(|&c| c as f32 / np as f32).collect();
+                let mut repr = mean_h;
+                repr.extend_from_slice(&pos_rate);
+                repr.push((1.0 + stats.frequency as f32).ln() / 10.0);
+                repr.push(np as f32 / n_train as f32);
+                idx.insert(key, cohorts.len());
+                cohorts.push(Cohort {
+                    feature: i,
+                    key,
+                    pattern: decode_key(key, &masks[i]),
+                    repr,
+                    frequency: stats.frequency,
+                    n_patients: np,
+                    pos_rate,
+                });
+            }
+            per_feature.push(cohorts);
+            index.push(idx);
+        }
+        CohortPool { masks, per_feature, index, repr_dim: cfg.cohort_repr_dim() }
+    }
+
+    /// Total number of cohorts `|C|` across all features.
+    pub fn total_cohorts(&self) -> usize {
+        self.per_feature.iter().map(Vec::len).sum()
+    }
+
+    /// Mean patient count per cohort (Fig. 8's second panel).
+    pub fn avg_patients_per_cohort(&self) -> f64 {
+        let total = self.total_cohorts();
+        if total == 0 {
+            return 0.0;
+        }
+        let patients: usize = self.per_feature.iter().flatten().map(|c| c.n_patients).sum();
+        patients as f64 / total as f64
+    }
+
+    /// Index of the cohort matching `key` for anchor feature `feature`.
+    pub fn lookup(&self, feature: usize, key: u64) -> Option<usize> {
+        self.index[feature].get(&key).copied()
+    }
+
+    /// The constant cohort-representation matrix `(|C_i| x repr_dim)` for a
+    /// feature — CEM's keys and values (Eq. 11–13) are projections of this.
+    pub fn cohort_matrix(&self, feature: usize) -> Matrix {
+        let cohorts = &self.per_feature[feature];
+        let mut m = Matrix::zeros(cohorts.len(), self.repr_dim);
+        for (r, c) in cohorts.iter().enumerate() {
+            m.row_mut(r).copy_from_slice(&c.repr);
+        }
+        m
+    }
+
+    /// Cohort bitmap (Eq. 10) of one patient for one anchor feature: bit `q`
+    /// is set iff the patient's states match cohort `q`'s pattern at some
+    /// time step. `states` is the patient's `(T x F)` state grid, row-major
+    /// by time.
+    pub fn bitmap(&self, feature: usize, states: &[u8], t_steps: usize, nf: usize) -> Vec<bool> {
+        let mut bits = vec![false; self.per_feature[feature].len()];
+        if bits.is_empty() {
+            return bits;
+        }
+        let mask = &self.masks[feature];
+        for t in 0..t_steps {
+            let row = &states[t * nf..(t + 1) * nf];
+            let key = pattern_key(row, mask);
+            if let Some(q) = self.lookup(feature, key) {
+                bits[q] = true;
+            }
+        }
+        bits
+    }
+
+    /// Incrementally folds a new batch of patients into the pool — the
+    /// "iterative cohort update strategies" extension sketched in the
+    /// paper's Discussions section. Existing cohorts get their frequency,
+    /// patient counts, label distributions and mean representations updated
+    /// by streaming means; patterns unseen so far are admitted when the new
+    /// batch alone satisfies the credibility filters.
+    ///
+    /// * `mined` — per-feature pattern statistics over the new batch (local
+    ///   patient indices);
+    /// * `h_final_new` — `(n_new x F*d_h)` channel representations of the
+    ///   new patients;
+    /// * `labels_new` — the new patients' label bytes.
+    ///
+    /// Returns the number of newly admitted cohorts. This trades exactness
+    /// for speed: representations of existing cohorts drift toward the
+    /// streamed mean rather than being recomputed from scratch, which is the
+    /// point of the strategy (compare `ablation_incremental` in the bench
+    /// crate).
+    pub fn update_with(
+        &mut self,
+        mined: Vec<HashMap<u64, PatternStats>>,
+        h_final_new: &Matrix,
+        labels_new: &[Vec<u8>],
+        cfg: &CohortNetConfig,
+    ) -> usize {
+        let d_h = cfg.d_hidden;
+        let n_labels = cfg.n_labels;
+        let mut admitted = 0usize;
+        for (i, patterns) in mined.into_iter().enumerate() {
+            for (key, stats) in patterns {
+                // Batch-local aggregates.
+                let np_new = stats.patients.len();
+                let mut sum_h = vec![0.0f32; d_h];
+                let mut pos = vec![0usize; n_labels];
+                for &p in &stats.patients {
+                    let row = h_final_new.row(p);
+                    for (m, &v) in sum_h.iter_mut().zip(&row[i * d_h..(i + 1) * d_h]) {
+                        *m += v;
+                    }
+                    for (l, c) in labels_new[p].iter().zip(pos.iter_mut()) {
+                        if *l != 0 {
+                            *c += 1;
+                        }
+                    }
+                }
+                match self.index[i].get(&key).copied() {
+                    Some(q) => {
+                        // Streaming-mean merge into the existing cohort.
+                        let c = &mut self.per_feature[i][q];
+                        let n_old = c.n_patients;
+                        let n_total = n_old + np_new;
+                        for (j, m) in c.repr[..d_h].iter_mut().enumerate() {
+                            *m = (*m * n_old as f32 + sum_h[j]) / n_total as f32;
+                        }
+                        for l in 0..n_labels {
+                            let pos_total = c.pos_rate[l] * n_old as f32 + pos[l] as f32;
+                            c.pos_rate[l] = pos_total / n_total as f32;
+                            c.repr[d_h + l] = c.pos_rate[l];
+                        }
+                        c.frequency += stats.frequency;
+                        c.n_patients = n_total;
+                        c.repr[d_h + n_labels] = (1.0 + c.frequency as f32).ln() / 10.0;
+                        // Patient share becomes stale without the original
+                        // training count; approximate with the merged count.
+                        c.repr[d_h + n_labels + 1] = n_total as f32 / n_total.max(1) as f32;
+                    }
+                    None => {
+                        if stats.frequency < cfg.min_frequency
+                            || np_new < cfg.min_patients
+                            || self.per_feature[i].len() >= cfg.max_cohorts_per_feature
+                        {
+                            continue;
+                        }
+                        let mean_h: Vec<f32> =
+                            sum_h.iter().map(|&s| s / np_new.max(1) as f32).collect();
+                        let pos_rate: Vec<f32> =
+                            pos.iter().map(|&c| c as f32 / np_new.max(1) as f32).collect();
+                        let mut repr = mean_h;
+                        repr.extend_from_slice(&pos_rate);
+                        repr.push((1.0 + stats.frequency as f32).ln() / 10.0);
+                        repr.push(1.0);
+                        let q = self.per_feature[i].len();
+                        self.index[i].insert(key, q);
+                        self.per_feature[i].push(Cohort {
+                            feature: i,
+                            key,
+                            pattern: decode_key(key, &self.masks[i]),
+                            repr,
+                            frequency: stats.frequency,
+                            n_patients: np_new,
+                            pos_rate,
+                        });
+                        admitted += 1;
+                    }
+                }
+            }
+        }
+        admitted
+    }
+
+    /// Matching time steps of a specific cohort for one patient — powers the
+    /// "Cohort C#01 is identified in the 34th hour" style of explanation
+    /// (Fig. 9d).
+    pub fn matching_steps(
+        &self,
+        feature: usize,
+        cohort_idx: usize,
+        states: &[u8],
+        t_steps: usize,
+        nf: usize,
+    ) -> Vec<usize> {
+        let mask = &self.masks[feature];
+        let target = self.per_feature[feature][cohort_idx].key;
+        (0..t_steps)
+            .filter(|&t| pattern_key(&states[t * nf..(t + 1) * nf], mask) == target)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdm::mine_patterns;
+
+    fn small_cfg() -> CohortNetConfig {
+        let mut cfg = CohortNetConfig::default_dims();
+        cfg.d_hidden = 2;
+        cfg.n_labels = 1;
+        cfg.min_frequency = 1;
+        cfg.min_patients = 1;
+        cfg.bounds = vec![(0.0, 1.0); 2];
+        cfg
+    }
+
+    /// Two patients, two steps, two features; both masks cover both features.
+    fn build_small_pool(cfg: &CohortNetConfig) -> CohortPool {
+        let masks = vec![vec![0, 1], vec![0, 1]];
+        // p0: [1,1] then [1,1]; p1: [1,1] then [2,2]
+        let states = vec![1u8, 1, 1, 1, 1, 1, 2, 2];
+        let mined = mine_patterns(&states, 2, 2, 2, &masks);
+        let h = Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let labels = vec![vec![1u8], vec![0u8]];
+        CohortPool::build(mined, masks, &h, &labels, cfg)
+    }
+
+    #[test]
+    fn build_creates_expected_cohorts() {
+        let cfg = small_cfg();
+        let pool = build_small_pool(&cfg);
+        // Pattern [1,1] and [2,2] per anchor feature.
+        assert_eq!(pool.per_feature[0].len(), 2);
+        assert_eq!(pool.total_cohorts(), 4);
+        let frequent = &pool.per_feature[0][0];
+        assert_eq!(frequent.frequency, 3);
+        assert_eq!(frequent.n_patients, 2);
+        assert!((frequent.pos_rate[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repr_mixes_channel_mean_and_labels() {
+        let cfg = small_cfg();
+        let pool = build_small_pool(&cfg);
+        let frequent = &pool.per_feature[0][0];
+        // Anchor feature 0 slice of h is columns 0..2: rows (1,2) and (5,6).
+        assert!((frequent.repr[0] - 3.0).abs() < 1e-6);
+        assert!((frequent.repr[1] - 4.0).abs() < 1e-6);
+        assert_eq!(frequent.repr.len(), cfg.cohort_repr_dim());
+        // Patient share = 2/2.
+        assert!((frequent.repr.last().unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frequency_filter_drops_rare_patterns() {
+        let mut cfg = small_cfg();
+        cfg.min_frequency = 2;
+        let pool = build_small_pool(&cfg);
+        // The [2,2] pattern occurs once -> filtered.
+        assert_eq!(pool.per_feature[0].len(), 1);
+    }
+
+    #[test]
+    fn min_patients_filter() {
+        let mut cfg = small_cfg();
+        cfg.min_patients = 2;
+        let pool = build_small_pool(&cfg);
+        // Only [1,1] is backed by two patients.
+        assert_eq!(pool.per_feature[0].len(), 1);
+        assert_eq!(pool.per_feature[0][0].n_patients, 2);
+    }
+
+    #[test]
+    fn bitmap_matches_patient_states() {
+        let cfg = small_cfg();
+        let pool = build_small_pool(&cfg);
+        // A patient showing [2,2] at t=1 only.
+        let states = vec![1u8, 2, 2, 2];
+        let bits = pool.bitmap(0, &states, 2, 2);
+        let q_22 = pool
+            .lookup(0, crate::cdm::pattern_key(&[2, 2], &pool.masks[0]))
+            .unwrap();
+        assert!(bits[q_22]);
+        // The [1,1] cohort does not match (t=0 is [1,2]).
+        let q_11 = pool
+            .lookup(0, crate::cdm::pattern_key(&[1, 1], &pool.masks[0]))
+            .unwrap();
+        assert!(!bits[q_11]);
+    }
+
+    #[test]
+    fn matching_steps_locates_time() {
+        let cfg = small_cfg();
+        let pool = build_small_pool(&cfg);
+        let states = vec![1u8, 1, 2, 2, 1, 1];
+        let q_11 = pool
+            .lookup(0, crate::cdm::pattern_key(&[1, 1], &pool.masks[0]))
+            .unwrap();
+        assert_eq!(pool.matching_steps(0, q_11, &states, 3, 2), vec![0, 2]);
+    }
+
+    #[test]
+    fn cohort_matrix_shape() {
+        let cfg = small_cfg();
+        let pool = build_small_pool(&cfg);
+        let m = pool.cohort_matrix(1);
+        assert_eq!(m.shape(), (2, cfg.cohort_repr_dim()));
+    }
+
+    #[test]
+    fn incremental_update_merges_existing_cohorts() {
+        let cfg = small_cfg();
+        let mut pool = build_small_pool(&cfg);
+        let q11 = pool.lookup(0, crate::cdm::pattern_key(&[1, 1], &pool.masks[0])).unwrap();
+        let before = pool.per_feature[0][q11].clone();
+
+        // New batch: one patient showing [1,1] twice, positive label.
+        let masks = pool.masks.clone();
+        let new_states = vec![1u8, 1, 1, 1];
+        let mined = mine_patterns(&new_states, 1, 2, 2, &masks);
+        let h_new = Matrix::from_vec(1, 4, vec![9.0, 10.0, 11.0, 12.0]);
+        let labels_new = vec![vec![1u8]];
+        let admitted = pool.update_with(mined, &h_new, &labels_new, &cfg);
+        assert_eq!(admitted, 0, "no new pattern in this batch");
+
+        let after = &pool.per_feature[0][q11];
+        assert_eq!(after.frequency, before.frequency + 2);
+        assert_eq!(after.n_patients, before.n_patients + 1);
+        // Streamed mean moved toward the new patient's representation.
+        assert!(after.repr[0] > before.repr[0]);
+        // Positive rate rose (new patient positive; was 0.5 over 2 patients).
+        assert!(after.pos_rate[0] > before.pos_rate[0]);
+    }
+
+    #[test]
+    fn incremental_update_admits_new_patterns() {
+        let mut cfg = small_cfg();
+        cfg.min_frequency = 1;
+        cfg.min_patients = 1;
+        let mut pool = build_small_pool(&cfg);
+        let total_before = pool.total_cohorts();
+        // A batch with an unseen pattern [3,3].
+        let masks = pool.masks.clone();
+        let new_states = vec![3u8, 3, 3, 3];
+        let mined = mine_patterns(&new_states, 1, 2, 2, &masks);
+        let h_new = Matrix::from_vec(1, 4, vec![1.0; 4]);
+        let admitted = pool.update_with(mined, &h_new, &[vec![0u8]], &cfg);
+        assert!(admitted >= 1);
+        assert_eq!(pool.total_cohorts(), total_before + admitted);
+        // The new cohort is discoverable through the index.
+        let key = crate::cdm::pattern_key(&[3, 3], &pool.masks[0]);
+        assert!(pool.lookup(0, key).is_some());
+    }
+
+    #[test]
+    fn incremental_update_respects_filters() {
+        let mut cfg = small_cfg();
+        cfg.min_frequency = 10; // new singleton pattern cannot qualify
+        let mut pool = build_small_pool(&cfg);
+        let before = pool.total_cohorts();
+        let masks = pool.masks.clone();
+        let new_states = vec![3u8, 3, 1, 2];
+        let mined = mine_patterns(&new_states, 1, 2, 2, &masks);
+        let h_new = Matrix::from_vec(1, 4, vec![0.0; 4]);
+        let admitted = pool.update_with(mined, &h_new, &[vec![0u8]], &cfg);
+        assert_eq!(admitted, 0);
+        assert_eq!(pool.total_cohorts(), before);
+    }
+
+    #[test]
+    fn max_cohorts_cap() {
+        let mut cfg = small_cfg();
+        cfg.max_cohorts_per_feature = 1;
+        let pool = build_small_pool(&cfg);
+        assert_eq!(pool.per_feature[0].len(), 1);
+        // Kept the most frequent.
+        assert_eq!(pool.per_feature[0][0].frequency, 3);
+    }
+}

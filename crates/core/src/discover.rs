@@ -1,0 +1,294 @@
+//! The cohort-discovery driver: Steps 2 and 3 of the pipeline.
+//!
+//! Orchestrates the two batched passes over the training set that connect
+//! MFLM to the cohort pool:
+//!
+//! * **pass 1** — collect reservoir samples of fused representations per
+//!   feature and the mean interaction attention;
+//! * **fit** — per-feature K-Means state models (Eq. 7) and pattern masks
+//!   (Eq. 8);
+//! * **pass 2** — assign every `(patient, t, feature)` state and harvest the
+//!   final channel representations `h_i^T`;
+//! * **mine + represent** — pattern mining and cohort-pool construction
+//!   (Eq. 9 with credibility filters).
+//!
+//! Every stage is timed individually because Figures 12 and 13 report the
+//! per-step scaling behaviour.
+
+use crate::cdm::{build_masks, mine_patterns, FeatureStates, StateSampler};
+use crate::config::CohortNetConfig;
+use crate::crlm::CohortPool;
+use crate::mflm::{Mflm, MflmTrace};
+use cohortnet_models::data::{make_batch, Batch, Prepared};
+use cohortnet_tensor::{Matrix, ParamStore, Tape};
+use rand::rngs::StdRng;
+use std::time::Instant;
+
+/// Wall-clock breakdown of the discovery pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct DiscoveryTiming {
+    /// Pass 1: representation collection (forward passes + sampling).
+    pub collect_sec: f64,
+    /// Per-feature K-Means fitting.
+    pub fit_sec: f64,
+    /// Pass 2: state assignment over all samples and time steps.
+    pub assign_sec: f64,
+    /// Pattern mining over the state tensor.
+    pub mine_sec: f64,
+    /// Cohort retrieval + representation learning (Step 3).
+    pub represent_sec: f64,
+}
+
+impl DiscoveryTiming {
+    /// Total time of the paper's "Step 2" (feature states + patterns).
+    pub fn step2_sec(&self) -> f64 {
+        self.collect_sec + self.fit_sec + self.assign_sec + self.mine_sec
+    }
+
+    /// Total time of the paper's "Step 3" (cohort representation learning).
+    pub fn step3_sec(&self) -> f64 {
+        self.represent_sec
+    }
+}
+
+/// The fitted discovery artefacts carried by a trained CohortNet.
+#[derive(Debug, Clone)]
+pub struct Discovery {
+    /// Per-feature state models.
+    pub states: FeatureStates,
+    /// The cohort pool `Pool(ξ)`.
+    pub pool: CohortPool,
+    /// Mean interaction attention (`F x F`) the masks were built from.
+    pub attn_mean: Matrix,
+    /// Stage timings.
+    pub timing: DiscoveryTiming,
+}
+
+/// Assigns the state grid for one batch from a recorded MFLM trace:
+/// row-major `(batch x (T x F))` — per patient, `T*F` states.
+pub fn batch_states(tape: &Tape, trace: &MflmTrace, batch: &Batch, fs: &FeatureStates) -> Vec<u8> {
+    let t_steps = trace.o.len();
+    let nf = trace.o.first().map_or(0, Vec::len);
+    let mut out = vec![0u8; batch.size * t_steps * nf];
+    for (t, o_step) in trace.o.iter().enumerate() {
+        for (f, &o) in o_step.iter().enumerate() {
+            let values = tape.value(o);
+            for r in 0..batch.size {
+                let present = batch.mask[(r, f)] > 0.5;
+                out[r * t_steps * nf + t * nf + f] = fs.assign(f, values.row(r), present);
+            }
+        }
+    }
+    out
+}
+
+/// Runs the full discovery pipeline (Steps 2 + 3) over a training set with
+/// the paper's K-Means state modelling.
+pub fn discover(
+    mflm: &Mflm,
+    ps: &ParamStore,
+    prep: &Prepared,
+    cfg: &CohortNetConfig,
+    rng: &mut StdRng,
+) -> Discovery {
+    discover_with_algo(mflm, ps, prep, cfg, crate::cdm::StateClusterAlgo::KMeans, 1.0, rng)
+}
+
+/// Like [`discover`] but with a selectable clustering backend and sample
+/// ratio — the Appendix C.2 / Fig. 14 comparison.
+pub fn discover_with_algo(
+    mflm: &Mflm,
+    ps: &ParamStore,
+    prep: &Prepared,
+    cfg: &CohortNetConfig,
+    algo: crate::cdm::StateClusterAlgo,
+    sample_ratio: f32,
+    rng: &mut StdRng,
+) -> Discovery {
+    let nf = prep.n_features;
+    let t_steps = prep.time_steps;
+    let n_patients = prep.patients.len();
+    let indices: Vec<usize> = (0..n_patients).collect();
+    let infer_batch = cfg.batch_size.max(16);
+    let mut timing = DiscoveryTiming::default();
+
+    // ---- Pass 1: sample fused representations + accumulate attention.
+    let t0 = Instant::now();
+    let mut sampler = StateSampler::new(nf, cfg.d_fused, cfg.state_fit_samples);
+    let mut attn_sum = Matrix::zeros(nf, nf);
+    let mut attn_count = 0usize;
+    for chunk in indices.chunks(infer_batch) {
+        let batch = make_batch(prep, chunk);
+        let mut tape = Tape::new();
+        let trace = mflm.forward(&mut tape, ps, &batch, false);
+        attn_sum.add_assign(&trace.attn_sum);
+        attn_count += trace.attn_count;
+        for o_step in &trace.o {
+            for (f, &o) in o_step.iter().enumerate() {
+                let values = tape.value(o);
+                for r in 0..batch.size {
+                    if batch.mask[(r, f)] > 0.5 {
+                        sampler.offer(f, values.row(r), rng);
+                    }
+                }
+            }
+        }
+    }
+    let attn_mean = attn_sum.scale(1.0 / attn_count.max(1) as f32);
+    timing.collect_sec = t0.elapsed().as_secs_f64();
+
+    // ---- Fit state models and pattern masks.
+    let t0 = Instant::now();
+    let states = if cfg.adaptive_k {
+        let ks = sampler.adaptive_ks(cfg.k_states);
+        sampler.fit_with_ks(&ks, algo, sample_ratio, rng)
+    } else {
+        sampler.fit_with(cfg.k_states, algo, sample_ratio, rng)
+    };
+    let masks = match cfg.mask_threshold {
+        Some(th) => crate::cdm::build_masks_threshold(&attn_mean, th, cfg.n_top),
+        None => build_masks(&attn_mean, cfg.n_top),
+    };
+    timing.fit_sec = t0.elapsed().as_secs_f64();
+
+    // ---- Pass 2: assign all states; harvest h_i^T.
+    let t0 = Instant::now();
+    let mut state_tensor = vec![0u8; n_patients * t_steps * nf];
+    let mut h_final_all = Matrix::zeros(n_patients, nf * cfg.d_hidden);
+    for chunk in indices.chunks(infer_batch) {
+        let batch = make_batch(prep, chunk);
+        let mut tape = Tape::new();
+        let trace = mflm.forward(&mut tape, ps, &batch, false);
+        let bs = batch_states(&tape, &trace, &batch, &states);
+        for (r, &p) in chunk.iter().enumerate() {
+            let src = &bs[r * t_steps * nf..(r + 1) * t_steps * nf];
+            state_tensor[p * t_steps * nf..(p + 1) * t_steps * nf].copy_from_slice(src);
+            for (f, &h) in trace.h_final.iter().enumerate() {
+                let hv = tape.value(h);
+                h_final_all.row_mut(p)[f * cfg.d_hidden..(f + 1) * cfg.d_hidden]
+                    .copy_from_slice(hv.row(r));
+            }
+        }
+    }
+    timing.assign_sec = t0.elapsed().as_secs_f64();
+
+    // ---- Mine patterns.
+    let t0 = Instant::now();
+    let mined = mine_patterns(&state_tensor, n_patients, t_steps, nf, &masks);
+    timing.mine_sec = t0.elapsed().as_secs_f64();
+
+    // ---- Step 3: cohort representations.
+    let t0 = Instant::now();
+    let labels: Vec<Vec<u8>> = prep.patients.iter().map(|p| p.labels_u8.clone()).collect();
+    let pool = CohortPool::build(mined, masks, &h_final_all, &labels, cfg);
+    timing.represent_sec = t0.elapsed().as_secs_f64();
+
+    Discovery { states, pool, attn_mean, timing }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohortnet_ehr::{profiles, standardize::Standardizer, synth::generate};
+    use cohortnet_models::data::prepare;
+    use rand::SeedableRng;
+
+    fn setup() -> (CohortNetConfig, Prepared) {
+        let mut c = profiles::mimic3_like(0.05);
+        c.n_patients = 80;
+        c.time_steps = 6;
+        let mut ds = generate(&c);
+        let scaler = Standardizer::fit(&ds);
+        scaler.apply(&mut ds);
+        let mut cfg = CohortNetConfig::for_dataset(&ds, &scaler);
+        cfg.k_states = 4;
+        cfg.min_frequency = 4;
+        cfg.min_patients = 2;
+        cfg.state_fit_samples = 2000;
+        (cfg, prepare(&ds))
+    }
+
+    #[test]
+    fn discovery_produces_cohorts() {
+        let (cfg, prep) = setup();
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mflm = Mflm::new(&mut ps, &mut rng, &cfg);
+        let d = discover(&mflm, &ps, &prep, &cfg, &mut rng);
+        assert!(d.pool.total_cohorts() > 0, "no cohorts discovered");
+        assert_eq!(d.pool.masks.len(), 20);
+        for m in &d.pool.masks {
+            assert_eq!(m.len(), cfg.n_top + 1);
+        }
+        // Timings populated.
+        assert!(d.timing.step2_sec() > 0.0);
+    }
+
+    #[test]
+    fn cohort_patterns_reference_masked_features() {
+        let (cfg, prep) = setup();
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mflm = Mflm::new(&mut ps, &mut rng, &cfg);
+        let d = discover(&mflm, &ps, &prep, &cfg, &mut rng);
+        for (i, cohorts) in d.pool.per_feature.iter().enumerate() {
+            for c in cohorts {
+                assert_eq!(c.feature, i);
+                let features: Vec<usize> = c.pattern.iter().map(|&(f, _)| f).collect();
+                assert_eq!(features, d.pool.masks[i], "pattern features must equal mask");
+                assert!(c.frequency >= cfg.min_frequency);
+                assert!(c.n_patients >= cfg.min_patients);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_states_match_manual_assignment() {
+        let (cfg, prep) = setup();
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mflm = Mflm::new(&mut ps, &mut rng, &cfg);
+        let d = discover(&mflm, &ps, &prep, &cfg, &mut rng);
+        let batch = make_batch(&prep, &[3, 7]);
+        let mut tape = Tape::new();
+        let trace = mflm.forward(&mut tape, &ps, &batch, false);
+        let bs = batch_states(&tape, &trace, &batch, &d.states);
+        assert_eq!(bs.len(), 2 * prep.time_steps * prep.n_features);
+        // Missing features always map to state 0.
+        for r in 0..2 {
+            for f in 0..prep.n_features {
+                if batch.mask[(r, f)] < 0.5 {
+                    for t in 0..prep.time_steps {
+                        assert_eq!(bs[r * prep.time_steps * 20 + t * 20 + f], 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn higher_k_yields_more_cohorts() {
+        // Fig. 8's headline trend: more states -> finer, more numerous
+        // cohorts with fewer patients each.
+        let (mut cfg, prep) = setup();
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mflm = Mflm::new(&mut ps, &mut rng, &cfg);
+        cfg.k_states = 2;
+        cfg.max_cohorts_per_feature = 10_000;
+        cfg.min_frequency = 1;
+        cfg.min_patients = 1;
+        let d_small = discover(&mflm, &ps, &prep, &cfg, &mut StdRng::seed_from_u64(4));
+        cfg.k_states = 6;
+        let d_large = discover(&mflm, &ps, &prep, &cfg, &mut StdRng::seed_from_u64(4));
+        assert!(
+            d_large.pool.total_cohorts() > d_small.pool.total_cohorts(),
+            "k=6 {} vs k=2 {}",
+            d_large.pool.total_cohorts(),
+            d_small.pool.total_cohorts()
+        );
+        assert!(
+            d_large.pool.avg_patients_per_cohort() < d_small.pool.avg_patients_per_cohort(),
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Export / import of discovered cohort pools.
+//!
+//! The cohort pool is CohortNet's shareable artefact — the paper's vision is
+//! that clinicians study discovered cohorts directly. This module renders a
+//! pool to a line-oriented, tab-separated text format (stable, diff-able,
+//! no external dependencies) and parses it back, so pools can be versioned,
+//! reviewed and reloaded without retraining.
+//!
+//! Format (one record per line):
+//!
+//! ```text
+//! #cohortnet-pool v1
+//! #repr_dim <d>
+//! mask <feature> <f1,f2,...>
+//! cohort <feature> <key> <frequency> <n_patients> <pos_rate,...> <repr,...>
+//! ```
+
+use crate::cdm::decode_key;
+use crate::crlm::{Cohort, CohortPool};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serialises a pool to the v1 text format.
+pub fn pool_to_string(pool: &CohortPool) -> String {
+    let mut out = String::new();
+    out.push_str("#cohortnet-pool v1\n");
+    let _ = writeln!(out, "#repr_dim {}", pool.repr_dim);
+    for (f, mask) in pool.masks.iter().enumerate() {
+        let joined: Vec<String> = mask.iter().map(usize::to_string).collect();
+        let _ = writeln!(out, "mask\t{f}\t{}", joined.join(","));
+    }
+    for cohorts in &pool.per_feature {
+        for c in cohorts {
+            let rates: Vec<String> = c.pos_rate.iter().map(|r| format!("{r:.6}")).collect();
+            let repr: Vec<String> = c.repr.iter().map(|v| format!("{v:.6}")).collect();
+            let _ = writeln!(
+                out,
+                "cohort\t{}\t{}\t{}\t{}\t{}\t{}",
+                c.feature,
+                c.key,
+                c.frequency,
+                c.n_patients,
+                rates.join(","),
+                repr.join(",")
+            );
+        }
+    }
+    out
+}
+
+/// Errors raised while parsing a serialised pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolParseError {
+    /// Missing or wrong header line.
+    BadHeader,
+    /// A malformed record, with its line number (1-based).
+    BadRecord(usize),
+    /// A cohort referenced a feature with no mask record.
+    UnknownFeature(usize),
+}
+
+impl std::fmt::Display for PoolParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolParseError::BadHeader => write!(f, "missing #cohortnet-pool v1 header"),
+            PoolParseError::BadRecord(line) => write!(f, "malformed record at line {line}"),
+            PoolParseError::UnknownFeature(feat) => write!(f, "cohort references feature {feat} without a mask"),
+        }
+    }
+}
+
+impl std::error::Error for PoolParseError {}
+
+/// Parses the v1 text format back into a [`CohortPool`].
+pub fn pool_from_str(text: &str) -> Result<CohortPool, PoolParseError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim() == "#cohortnet-pool v1" => {}
+        _ => return Err(PoolParseError::BadHeader),
+    }
+    let mut repr_dim = 0usize;
+    let mut masks: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut cohorts: Vec<Cohort> = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("#repr_dim ") {
+            repr_dim = rest.trim().parse().map_err(|_| PoolParseError::BadRecord(line_no))?;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        match parts.next() {
+            Some("mask") => {
+                let f: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(PoolParseError::BadRecord(line_no))?;
+                let list = parts.next().ok_or(PoolParseError::BadRecord(line_no))?;
+                let mask: Result<Vec<usize>, _> = list.split(',').map(str::parse).collect();
+                masks.push((f, mask.map_err(|_| PoolParseError::BadRecord(line_no))?));
+            }
+            Some("cohort") => {
+                let num = |p: Option<&str>| -> Result<usize, PoolParseError> {
+                    p.and_then(|s| s.parse().ok()).ok_or(PoolParseError::BadRecord(line_no))
+                };
+                let feature = num(parts.next())?;
+                let key: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(PoolParseError::BadRecord(line_no))?;
+                let frequency = num(parts.next())?;
+                let n_patients = num(parts.next())?;
+                let floats = |p: Option<&str>| -> Result<Vec<f32>, PoolParseError> {
+                    p.ok_or(PoolParseError::BadRecord(line_no))?
+                        .split(',')
+                        .map(|s| s.parse::<f32>().map_err(|_| PoolParseError::BadRecord(line_no)))
+                        .collect()
+                };
+                let pos_rate = floats(parts.next())?;
+                let repr = floats(parts.next())?;
+                cohorts.push(Cohort {
+                    feature,
+                    key,
+                    pattern: Vec::new(), // re-derived from masks below
+                    repr,
+                    frequency,
+                    n_patients,
+                    pos_rate,
+                });
+            }
+            _ => return Err(PoolParseError::BadRecord(line_no)),
+        }
+    }
+    // Assemble per-feature structures.
+    let nf = masks.iter().map(|&(f, _)| f + 1).max().unwrap_or(0);
+    let mut mask_table: Vec<Vec<usize>> = vec![Vec::new(); nf];
+    for (f, m) in masks {
+        mask_table[f] = m;
+    }
+    let mut per_feature: Vec<Vec<Cohort>> = vec![Vec::new(); nf];
+    let mut index: Vec<HashMap<u64, usize>> = vec![HashMap::new(); nf];
+    for mut c in cohorts {
+        if c.feature >= nf || mask_table[c.feature].is_empty() {
+            return Err(PoolParseError::UnknownFeature(c.feature));
+        }
+        c.pattern = decode_key(c.key, &mask_table[c.feature]);
+        index[c.feature].insert(c.key, per_feature[c.feature].len());
+        per_feature[c.feature].push(c);
+    }
+    Ok(CohortPool::from_parts(mask_table, per_feature, index, repr_dim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdm::mine_patterns;
+    use crate::config::CohortNetConfig;
+    use cohortnet_tensor::Matrix;
+
+    fn pool() -> CohortPool {
+        let masks = vec![vec![0, 1], vec![0, 1]];
+        let states = vec![1u8, 1, 1, 1, 1, 1, 2, 2];
+        let mined = mine_patterns(&states, 2, 2, 2, &masks);
+        let mut cfg = CohortNetConfig::default_dims();
+        cfg.d_hidden = 2;
+        cfg.min_frequency = 1;
+        cfg.min_patients = 1;
+        cfg.bounds = vec![(0.0, 1.0); 2];
+        let h = Matrix::from_vec(2, 4, vec![1., 2., 3., 4., 5., 6., 7., 8.]);
+        CohortPool::build(mined, masks, &h, &[vec![1u8], vec![0u8]], &cfg)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = pool();
+        let text = pool_to_string(&original);
+        let parsed = pool_from_str(&text).unwrap();
+        assert_eq!(parsed.repr_dim, original.repr_dim);
+        assert_eq!(parsed.masks, original.masks);
+        assert_eq!(parsed.total_cohorts(), original.total_cohorts());
+        for f in 0..2 {
+            for (a, b) in original.per_feature[f].iter().zip(&parsed.per_feature[f]) {
+                assert_eq!(a.key, b.key);
+                assert_eq!(a.pattern, b.pattern);
+                assert_eq!(a.frequency, b.frequency);
+                assert_eq!(a.n_patients, b.n_patients);
+                for (x, y) in a.repr.iter().zip(&b.repr) {
+                    assert!((x - y).abs() < 1e-5);
+                }
+            }
+        }
+        // Bitmap behaviour survives the round trip.
+        let states = vec![1u8, 1];
+        assert_eq!(
+            original.bitmap(0, &states, 1, 2),
+            parsed.bitmap(0, &states, 1, 2)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(pool_from_str("nope"), Err(PoolParseError::BadHeader)));
+    }
+
+    #[test]
+    fn rejects_malformed_record() {
+        let text = "#cohortnet-pool v1\nmask\tzero\t0,1\n";
+        assert!(matches!(pool_from_str(text), Err(PoolParseError::BadRecord(2))));
+    }
+
+    #[test]
+    fn rejects_cohort_without_mask() {
+        let text = "#cohortnet-pool v1\n#repr_dim 4\ncohort\t3\t17\t5\t2\t0.5\t0.1,0.2,0.3,0.4\n";
+        assert!(matches!(pool_from_str(text), Err(PoolParseError::UnknownFeature(3))));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let original = pool();
+        let mut text = pool_to_string(&original);
+        text.push_str("\n# trailing comment\n\n");
+        assert!(pool_from_str(&text).is_ok());
+    }
+}

@@ -1,0 +1,218 @@
+//! Latent clinical archetypes driving the synthetic generator.
+//!
+//! Each archetype is a ground-truth "cohort" in the paper's sense: a
+//! physiologically coherent multi-feature pattern with an associated outcome
+//! risk. The generator plants these patterns in patient trajectories; the
+//! whole point of CohortNet is to rediscover them from data alone, so every
+//! effect below is expressed through feature values only — models never see
+//! archetype identities.
+//!
+//! Effects are written in units of the feature's normal-range half-width so
+//! that a `+2.0` means "two half-ranges above the normal midpoint" regardless
+//! of the feature's raw scale.
+
+/// One feature effect of an archetype.
+#[derive(Debug, Clone, Copy)]
+pub struct Effect {
+    /// Feature code from [`crate::features::CATALOG`].
+    pub code: &'static str,
+    /// Offset at full severity, in normal-range half-widths.
+    pub offset: f32,
+}
+
+/// A latent clinical condition.
+#[derive(Debug, Clone)]
+pub struct Archetype {
+    /// Condition name.
+    pub name: &'static str,
+    /// Feature offsets that the condition induces.
+    pub effects: &'static [Effect],
+    /// Additive contribution to the mortality logit at full severity.
+    pub mortality_logit: f32,
+    /// Diagnosis label indices this condition activates (eICU-style task,
+    /// indices in `0..25`).
+    pub diagnosis_labels: &'static [usize],
+    /// Relative prevalence weight among non-healthy admissions.
+    pub prevalence: f32,
+}
+
+/// The archetype table.
+///
+/// The first entry must remain respiratory acidosis: the paper's case study
+/// (Table 2, Fig. 9, Fig. 10) revolves around RR / PCO2 / HCO3 / BUN
+/// patterns, and the Fig. 9 harness retrieves this archetype by index.
+pub const ARCHETYPES: &[Archetype] = &[
+    Archetype {
+        name: "respiratory-acidosis",
+        // Hypoventilation: low RR fails to clear CO2 -> PCO2 rises, pH falls,
+        // kidneys compensate with HCO3 retention; SpO2 drops; renal strain
+        // nudges BUN up (Dorman 1954, Epstein & Singh 2001 — the studies the
+        // paper cites when validating cohort C#03).
+        effects: &[
+            Effect { code: "RR", offset: -1.6 },
+            Effect { code: "PCO2", offset: 3.2 },
+            Effect { code: "PH", offset: -2.2 },
+            Effect { code: "HCO3", offset: 1.8 },
+            Effect { code: "SpO2", offset: -1.6 },
+            Effect { code: "BUN", offset: 0.9 },
+            Effect { code: "PIP", offset: 1.2 },
+        ],
+        mortality_logit: 2.6,
+        diagnosis_labels: &[0, 1, 2],
+        prevalence: 0.14,
+    },
+    Archetype {
+        name: "acute-kidney-injury",
+        effects: &[
+            Effect { code: "BUN", offset: 3.0 },
+            Effect { code: "CR", offset: 3.4 },
+            Effect { code: "K", offset: 1.6 },
+            Effect { code: "HCO3", offset: -1.2 },
+            Effect { code: "PHOS", offset: 1.4 },
+            Effect { code: "CA", offset: -0.8 },
+        ],
+        mortality_logit: 2.9,
+        diagnosis_labels: &[3, 4],
+        prevalence: 0.16,
+    },
+    Archetype {
+        name: "sepsis",
+        effects: &[
+            Effect { code: "HR", offset: 2.2 },
+            Effect { code: "Temp", offset: 2.0 },
+            Effect { code: "WBC", offset: 2.6 },
+            Effect { code: "LACT", offset: 3.0 },
+            Effect { code: "SBP", offset: -1.8 },
+            Effect { code: "DBP", offset: -1.4 },
+            Effect { code: "RR", offset: 1.4 },
+            Effect { code: "PLT", offset: -1.0 },
+        ],
+        mortality_logit: 3.2,
+        diagnosis_labels: &[5, 6, 7],
+        prevalence: 0.18,
+    },
+    Archetype {
+        name: "congestive-heart-failure",
+        effects: &[
+            Effect { code: "HR", offset: 1.6 },
+            Effect { code: "SpO2", offset: -1.4 },
+            Effect { code: "RR", offset: 1.8 },
+            Effect { code: "SBP", offset: 1.2 },
+            Effect { code: "TROP", offset: 1.6 },
+            Effect { code: "BUN", offset: 1.0 },
+        ],
+        mortality_logit: 2.2,
+        diagnosis_labels: &[8, 9],
+        prevalence: 0.14,
+    },
+    Archetype {
+        name: "diabetic-ketoacidosis",
+        effects: &[
+            Effect { code: "GLU", offset: 3.6 },
+            Effect { code: "HCO3", offset: -2.4 },
+            Effect { code: "PH", offset: -2.0 },
+            Effect { code: "K", offset: 1.2 },
+            Effect { code: "RR", offset: 1.6 }, // Kussmaul breathing
+            Effect { code: "NA", offset: -1.0 },
+        ],
+        mortality_logit: 1.8,
+        diagnosis_labels: &[10, 11],
+        prevalence: 0.10,
+    },
+    Archetype {
+        name: "acute-liver-failure",
+        effects: &[
+            Effect { code: "ALT", offset: 3.8 },
+            Effect { code: "AST", offset: 3.8 },
+            Effect { code: "BILI", offset: 2.6 },
+            Effect { code: "INR", offset: 2.0 },
+            Effect { code: "ALB", offset: -1.6 },
+            Effect { code: "GLU", offset: -0.8 },
+        ],
+        mortality_logit: 2.7,
+        diagnosis_labels: &[12, 13],
+        prevalence: 0.09,
+    },
+    Archetype {
+        name: "copd-exacerbation",
+        effects: &[
+            Effect { code: "PCO2", offset: 1.8 },
+            Effect { code: "RR", offset: 2.0 },
+            Effect { code: "SpO2", offset: -1.8 },
+            Effect { code: "FiO2", offset: 1.6 },
+            Effect { code: "HCO3", offset: 1.0 },
+        ],
+        mortality_logit: 1.4,
+        diagnosis_labels: &[14, 15],
+        prevalence: 0.10,
+    },
+    Archetype {
+        name: "gi-bleed",
+        effects: &[
+            Effect { code: "HGB", offset: -2.8 },
+            Effect { code: "HR", offset: 1.8 },
+            Effect { code: "SBP", offset: -1.6 },
+            Effect { code: "BUN", offset: 1.8 }, // digested blood raises BUN
+            Effect { code: "PLT", offset: -0.8 },
+        ],
+        mortality_logit: 2.0,
+        diagnosis_labels: &[16, 17],
+        prevalence: 0.09,
+    },
+];
+
+/// Number of diagnosis labels used by the multi-label task: the paper's eICU
+/// setup has 25; archetype labels occupy the first 18, the rest fire as
+/// low-rate background noise.
+pub const N_DIAGNOSIS_LABELS: usize = 25;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::feature_index;
+
+    #[test]
+    fn all_effect_codes_exist_in_catalog() {
+        for a in ARCHETYPES {
+            for e in a.effects {
+                // Panics on unknown code.
+                let _ = feature_index(e.code);
+            }
+        }
+    }
+
+    #[test]
+    fn respiratory_acidosis_is_first() {
+        assert_eq!(ARCHETYPES[0].name, "respiratory-acidosis");
+        // Its signature features match Table 2's patterns.
+        let codes: Vec<&str> = ARCHETYPES[0].effects.iter().map(|e| e.code).collect();
+        for required in ["RR", "PCO2", "HCO3", "BUN"] {
+            assert!(codes.contains(&required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn diagnosis_labels_in_range() {
+        for a in ARCHETYPES {
+            for &l in a.diagnosis_labels {
+                assert!(l < N_DIAGNOSIS_LABELS);
+            }
+        }
+    }
+
+    #[test]
+    fn prevalences_are_positive() {
+        for a in ARCHETYPES {
+            assert!(a.prevalence > 0.0);
+            assert!(a.mortality_logit > 0.0);
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = ARCHETYPES.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ARCHETYPES.len());
+    }
+}

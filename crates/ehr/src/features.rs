@@ -1,0 +1,134 @@
+//! Clinical feature catalog.
+//!
+//! The paper extracts 63 (MIMIC-III), 70 (MIMIC-IV) and 67 (eICU) aggregated
+//! time-series vitals and lab tests. This catalog defines the clinically
+//! meaningful subset our synthetic generator models, with the per-feature
+//! normal ranges and plausible bounds `(a, b)` that the Bi-directional
+//! Embedding Learning mechanism (Eq. 1) requires.
+
+/// Static description of one medical feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureDef {
+    /// Short clinical code, e.g. "RR" for respiratory rate.
+    pub code: &'static str,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Measurement unit.
+    pub unit: &'static str,
+    /// Lower bound of the normal range.
+    pub normal_lo: f32,
+    /// Upper bound of the normal range.
+    pub normal_hi: f32,
+    /// Plausible lower bound `a` used by BiEL (Eq. 1).
+    pub bound_lo: f32,
+    /// Plausible upper bound `b` used by BiEL (Eq. 1).
+    pub bound_hi: f32,
+    /// Baseline fraction of patients in whom the feature is never measured.
+    pub missing_rate: f32,
+    /// Mean measurements per hour when present (drives irregular sampling).
+    pub sampling_rate: f32,
+}
+
+/// The full feature catalog. Profiles select prefixes/subsets of this list.
+///
+/// Vital signs come first (frequently sampled), then blood gases and labs
+/// (sparser), matching ICU charting practice.
+pub const CATALOG: &[FeatureDef] = &[
+    FeatureDef { code: "RR", name: "Respiratory rate", unit: "breaths/min", normal_lo: 12.0, normal_hi: 20.0, bound_lo: 0.0, bound_hi: 60.0, missing_rate: 0.02, sampling_rate: 1.0 },
+    FeatureDef { code: "HR", name: "Heart rate", unit: "bpm", normal_lo: 60.0, normal_hi: 100.0, bound_lo: 0.0, bound_hi: 220.0, missing_rate: 0.01, sampling_rate: 1.0 },
+    FeatureDef { code: "SBP", name: "Systolic blood pressure", unit: "mmHg", normal_lo: 90.0, normal_hi: 140.0, bound_lo: 30.0, bound_hi: 260.0, missing_rate: 0.02, sampling_rate: 1.0 },
+    FeatureDef { code: "DBP", name: "Diastolic blood pressure", unit: "mmHg", normal_lo: 60.0, normal_hi: 90.0, bound_lo: 15.0, bound_hi: 160.0, missing_rate: 0.02, sampling_rate: 1.0 },
+    FeatureDef { code: "SpO2", name: "Oxygen saturation", unit: "%", normal_lo: 95.0, normal_hi: 100.0, bound_lo: 50.0, bound_hi: 100.0, missing_rate: 0.02, sampling_rate: 1.0 },
+    FeatureDef { code: "Temp", name: "Body temperature", unit: "°C", normal_lo: 36.1, normal_hi: 37.5, bound_lo: 32.0, bound_hi: 42.0, missing_rate: 0.03, sampling_rate: 0.5 },
+    FeatureDef { code: "GCS", name: "Glasgow coma scale", unit: "score", normal_lo: 14.0, normal_hi: 15.0, bound_lo: 3.0, bound_hi: 15.0, missing_rate: 0.05, sampling_rate: 0.3 },
+    FeatureDef { code: "PIP", name: "Peak inspiratory pressure", unit: "cmH2O", normal_lo: 12.0, normal_hi: 20.0, bound_lo: 0.0, bound_hi: 60.0, missing_rate: 0.45, sampling_rate: 0.5 },
+    FeatureDef { code: "FiO2", name: "Fraction of inspired oxygen", unit: "%", normal_lo: 21.0, normal_hi: 40.0, bound_lo: 21.0, bound_hi: 100.0, missing_rate: 0.30, sampling_rate: 0.4 },
+    FeatureDef { code: "PH", name: "Arterial pH", unit: "pH", normal_lo: 7.35, normal_hi: 7.45, bound_lo: 6.8, bound_hi: 7.8, missing_rate: 0.15, sampling_rate: 0.2 },
+    FeatureDef { code: "PCO2", name: "Partial pressure of CO2", unit: "mmHg", normal_lo: 35.0, normal_hi: 45.0, bound_lo: 10.0, bound_hi: 130.0, missing_rate: 0.15, sampling_rate: 0.2 },
+    FeatureDef { code: "PO2", name: "Partial pressure of O2", unit: "mmHg", normal_lo: 75.0, normal_hi: 100.0, bound_lo: 20.0, bound_hi: 500.0, missing_rate: 0.15, sampling_rate: 0.2 },
+    FeatureDef { code: "HCO3", name: "Bicarbonate", unit: "mEq/L", normal_lo: 22.0, normal_hi: 28.0, bound_lo: 5.0, bound_hi: 50.0, missing_rate: 0.08, sampling_rate: 0.15 },
+    FeatureDef { code: "BUN", name: "Blood urea nitrogen", unit: "mg/dL", normal_lo: 7.0, normal_hi: 20.0, bound_lo: 1.0, bound_hi: 180.0, missing_rate: 0.05, sampling_rate: 0.1 },
+    FeatureDef { code: "CR", name: "Creatinine", unit: "mg/dL", normal_lo: 0.6, normal_hi: 1.2, bound_lo: 0.1, bound_hi: 15.0, missing_rate: 0.05, sampling_rate: 0.1 },
+    FeatureDef { code: "ALT", name: "Alanine aminotransferase", unit: "U/L", normal_lo: 7.0, normal_hi: 56.0, bound_lo: 1.0, bound_hi: 2000.0, missing_rate: 0.20, sampling_rate: 0.08 },
+    FeatureDef { code: "AST", name: "Aspartate aminotransferase", unit: "U/L", normal_lo: 10.0, normal_hi: 40.0, bound_lo: 1.0, bound_hi: 2000.0, missing_rate: 0.20, sampling_rate: 0.08 },
+    FeatureDef { code: "WBC", name: "White blood cell count", unit: "10^9/L", normal_lo: 4.5, normal_hi: 11.0, bound_lo: 0.1, bound_hi: 60.0, missing_rate: 0.05, sampling_rate: 0.1 },
+    FeatureDef { code: "LACT", name: "Lactate", unit: "mmol/L", normal_lo: 0.5, normal_hi: 2.0, bound_lo: 0.1, bound_hi: 20.0, missing_rate: 0.25, sampling_rate: 0.12 },
+    FeatureDef { code: "GLU", name: "Glucose", unit: "mg/dL", normal_lo: 70.0, normal_hi: 140.0, bound_lo: 20.0, bound_hi: 800.0, missing_rate: 0.05, sampling_rate: 0.15 },
+    FeatureDef { code: "NA", name: "Sodium", unit: "mEq/L", normal_lo: 135.0, normal_hi: 145.0, bound_lo: 110.0, bound_hi: 175.0, missing_rate: 0.05, sampling_rate: 0.1 },
+    FeatureDef { code: "CL", name: "Chloride", unit: "mEq/L", normal_lo: 96.0, normal_hi: 106.0, bound_lo: 70.0, bound_hi: 130.0, missing_rate: 0.06, sampling_rate: 0.1 },
+    FeatureDef { code: "K", name: "Potassium", unit: "mEq/L", normal_lo: 3.5, normal_hi: 5.0, bound_lo: 1.5, bound_hi: 9.0, missing_rate: 0.05, sampling_rate: 0.1 },
+    FeatureDef { code: "HGB", name: "Hemoglobin", unit: "g/dL", normal_lo: 12.0, normal_hi: 17.0, bound_lo: 3.0, bound_hi: 22.0, missing_rate: 0.05, sampling_rate: 0.1 },
+    FeatureDef { code: "PLT", name: "Platelets", unit: "10^9/L", normal_lo: 150.0, normal_hi: 400.0, bound_lo: 5.0, bound_hi: 1200.0, missing_rate: 0.06, sampling_rate: 0.08 },
+    FeatureDef { code: "ALB", name: "Albumin", unit: "g/dL", normal_lo: 3.5, normal_hi: 5.0, bound_lo: 1.0, bound_hi: 6.0, missing_rate: 0.30, sampling_rate: 0.05 },
+    FeatureDef { code: "BILI", name: "Total bilirubin", unit: "mg/dL", normal_lo: 0.2, normal_hi: 1.2, bound_lo: 0.1, bound_hi: 40.0, missing_rate: 0.25, sampling_rate: 0.05 },
+    FeatureDef { code: "TROP", name: "Troponin", unit: "ng/mL", normal_lo: 0.0, normal_hi: 0.04, bound_lo: 0.0, bound_hi: 50.0, missing_rate: 0.40, sampling_rate: 0.05 },
+    FeatureDef { code: "INR", name: "International normalized ratio", unit: "ratio", normal_lo: 0.9, normal_hi: 1.2, bound_lo: 0.5, bound_hi: 12.0, missing_rate: 0.20, sampling_rate: 0.06 },
+    FeatureDef { code: "MG", name: "Magnesium", unit: "mg/dL", normal_lo: 1.7, normal_hi: 2.3, bound_lo: 0.5, bound_hi: 5.0, missing_rate: 0.10, sampling_rate: 0.08 },
+    FeatureDef { code: "CA", name: "Calcium", unit: "mg/dL", normal_lo: 8.5, normal_hi: 10.5, bound_lo: 4.0, bound_hi: 16.0, missing_rate: 0.10, sampling_rate: 0.08 },
+    FeatureDef { code: "PHOS", name: "Phosphate", unit: "mg/dL", normal_lo: 2.5, normal_hi: 4.5, bound_lo: 0.5, bound_hi: 12.0, missing_rate: 0.15, sampling_rate: 0.06 },
+];
+
+/// Index of a feature code in the catalog.
+///
+/// # Panics
+/// Panics if the code is unknown — catalog codes are compile-time constants,
+/// so an unknown code is a programming error.
+pub fn feature_index(code: &str) -> usize {
+    CATALOG
+        .iter()
+        .position(|f| f.code == code)
+        .unwrap_or_else(|| panic!("unknown feature code {code}"))
+}
+
+/// Midpoint of the normal range, used as the healthy baseline.
+pub fn normal_mid(f: &FeatureDef) -> f32 {
+    0.5 * (f.normal_lo + f.normal_hi)
+}
+
+/// Half-width of the normal range, used as the scale of physiological noise.
+pub fn normal_halfwidth(f: &FeatureDef) -> f32 {
+    0.5 * (f.normal_hi - f.normal_lo).max(1e-3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_codes_are_unique() {
+        let mut codes: Vec<&str> = CATALOG.iter().map(|f| f.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), CATALOG.len());
+    }
+
+    #[test]
+    fn bounds_contain_normal_range() {
+        for f in CATALOG {
+            assert!(f.bound_lo <= f.normal_lo, "{}", f.code);
+            assert!(f.bound_hi >= f.normal_hi, "{}", f.code);
+            assert!(f.normal_lo <= f.normal_hi, "{}", f.code);
+        }
+    }
+
+    #[test]
+    fn feature_index_finds_known_codes() {
+        assert_eq!(feature_index("RR"), 0);
+        assert_eq!(CATALOG[feature_index("PCO2")].code, "PCO2");
+        assert_eq!(CATALOG[feature_index("BUN")].code, "BUN");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown feature code")]
+    fn feature_index_rejects_unknown() {
+        feature_index("NOPE");
+    }
+
+    #[test]
+    fn rates_are_probabilities() {
+        for f in CATALOG {
+            assert!((0.0..1.0).contains(&f.missing_rate), "{}", f.code);
+            assert!(f.sampling_rate > 0.0, "{}", f.code);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # cohortnet-ehr
+//!
+//! The EHR data substrate of the CohortNet reproduction: a patient/dataset
+//! model mirroring §3.2 of the paper, irregular-event resampling,
+//! leakage-safe standardisation, stratified splitting, and — standing in for
+//! the credential-gated MIMIC-III / MIMIC-IV / eICU datasets — a synthetic
+//! generator that plants physiologically coherent latent cohorts
+//! (respiratory acidosis, sepsis, AKI, …) whose rediscovery is exactly what
+//! CohortNet is evaluated on.
+//!
+//! ```
+//! use cohortnet_ehr::{profiles, synth::generate, split::split_80_10_10,
+//!                     standardize::Standardizer};
+//!
+//! let mut cfg = profiles::mimic3_like(0.1);
+//! cfg.n_patients = 100;
+//! let ds = generate(&cfg);
+//! let split = split_80_10_10(&ds, 7);
+//! let mut train = ds.subset(&split.train);
+//! let scaler = Standardizer::fit(&train);
+//! scaler.apply(&mut train);
+//! assert_eq!(train.n_features(), 20);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod archetypes;
+pub mod features;
+pub mod io;
+pub mod profiles;
+pub mod record;
+pub mod resample;
+pub mod split;
+pub mod standardize;
+pub mod synth;
+
+pub use record::{EhrDataset, PatientRecord, Task};
+pub use split::{split_80_10_10, Split};
+pub use standardize::Standardizer;
+pub use synth::{generate, SynthConfig};

@@ -1,0 +1,129 @@
+//! Dataset profiles mirroring the paper's three benchmarks.
+//!
+//! Each profile reproduces the *shape* of its real counterpart — task, class
+//! balance, feature count, 48-hour horizon — at a CPU-friendly default size.
+//! The `scale` argument multiplies the admission count: `1.0` gives the
+//! default experiment size used by the harnesses; pass larger values (or set
+//! the `COHORTNET_SCALE` environment variable in the harnesses) for
+//! paper-scale runs.
+
+use crate::archetypes::N_DIAGNOSIS_LABELS;
+use crate::features::CATALOG;
+use crate::record::Task;
+use crate::synth::SynthConfig;
+
+fn codes(n: usize) -> Vec<&'static str> {
+    CATALOG.iter().take(n.min(CATALOG.len())).map(|f| f.code).collect()
+}
+
+fn scaled(n: usize, scale: f32) -> usize {
+    ((n as f32 * scale).round() as usize).max(50)
+}
+
+/// MIMIC-III-like profile: in-hospital mortality, strong imbalance
+/// (~13% positive in the paper's extraction of 21,139 admissions,
+/// 63 features). Default size 2,000 admissions, 20 features.
+pub fn mimic3_like(scale: f32) -> SynthConfig {
+    SynthConfig {
+        name: "mimic3-like".into(),
+        n_patients: scaled(2000, scale),
+        time_steps: 48,
+        horizon_hours: 48.0,
+        feature_codes: codes(20),
+        task: Task::Mortality,
+        healthy_rate: 0.60,
+        comorbidity_rate: 0.25,
+        base_mortality_logit: -3.6,
+        noise: 1.0,
+        seed: 1003,
+    }
+}
+
+/// MIMIC-IV-like profile: newer, larger, slightly less imbalanced
+/// (35,122 admissions, 70 features in the paper). Default size 2,600
+/// admissions, 26 features.
+pub fn mimic4_like(scale: f32) -> SynthConfig {
+    SynthConfig {
+        name: "mimic4-like".into(),
+        n_patients: scaled(2600, scale),
+        time_steps: 48,
+        horizon_hours: 48.0,
+        feature_codes: codes(26),
+        task: Task::Mortality,
+        healthy_rate: 0.64,
+        comorbidity_rate: 0.22,
+        base_mortality_logit: -3.9,
+        noise: 0.95,
+        seed: 1004,
+    }
+}
+
+/// eICU-like profile: multi-label diagnosis prediction over 25 labels
+/// (41,547 admissions, 67 features in the paper). Default size 3,000
+/// admissions, 24 features.
+pub fn eicu_like(scale: f32) -> SynthConfig {
+    SynthConfig {
+        name: "eicu-like".into(),
+        n_patients: scaled(3000, scale),
+        time_steps: 48,
+        horizon_hours: 48.0,
+        feature_codes: codes(24),
+        task: Task::Diagnosis { n_labels: N_DIAGNOSIS_LABELS },
+        healthy_rate: 0.45,
+        comorbidity_rate: 0.30,
+        base_mortality_logit: -3.6,
+        noise: 1.1, // multi-centre heterogeneity
+        seed: 1005,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::generate;
+
+    #[test]
+    fn profiles_have_expected_tasks() {
+        assert_eq!(mimic3_like(1.0).task, Task::Mortality);
+        assert_eq!(mimic4_like(1.0).task, Task::Mortality);
+        assert!(matches!(eicu_like(1.0).task, Task::Diagnosis { n_labels: 25 }));
+    }
+
+    #[test]
+    fn scale_changes_patient_count() {
+        assert_eq!(mimic3_like(1.0).n_patients, 2000);
+        assert_eq!(mimic3_like(0.5).n_patients, 1000);
+        assert_eq!(mimic3_like(0.001).n_patients, 50); // floor
+    }
+
+    #[test]
+    fn mimic3_positive_rate_in_paper_ballpark() {
+        let mut cfg = mimic3_like(0.5);
+        cfg.n_patients = 1500;
+        let ds = generate(&cfg);
+        let rate = ds.positive_rate();
+        assert!(rate > 0.06 && rate < 0.30, "rate {rate}");
+    }
+
+    #[test]
+    fn eicu_has_multilabel_positives() {
+        let mut cfg = eicu_like(0.1);
+        cfg.n_patients = 300;
+        let ds = generate(&cfg);
+        // At least a third of the labels have some positive patient.
+        let mut labels_with_pos = 0;
+        for l in 0..25 {
+            if ds.patients.iter().any(|p| p.labels[l] != 0) {
+                labels_with_pos += 1;
+            }
+        }
+        assert!(labels_with_pos >= 8, "only {labels_with_pos} labels fire");
+    }
+
+    #[test]
+    fn feature_counts_differ_across_profiles() {
+        assert_eq!(mimic3_like(1.0).feature_codes.len(), 20);
+        assert_eq!(mimic4_like(1.0).feature_codes.len(), 26);
+        assert_eq!(eicu_like(1.0).feature_codes.len(), 24);
+    }
+}

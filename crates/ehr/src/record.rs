@@ -1,0 +1,234 @@
+//! Patient records and datasets.
+//!
+//! A patient's EHR data is multivariate time series resampled at regular
+//! intervals (§3.2): `values[f][t]` over `T` time steps, plus the masking
+//! vector `m` marking features never measured for this patient.
+
+use crate::features::{FeatureDef, CATALOG};
+
+/// The downstream prediction task of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// In-hospital mortality prediction — binary classification
+    /// (MIMIC-III / MIMIC-IV in the paper).
+    Mortality,
+    /// Diagnosis prediction — multi-label classification over `n_labels`
+    /// diagnosis groups (eICU in the paper, 25 labels).
+    Diagnosis {
+        /// Number of diagnosis labels.
+        n_labels: usize,
+    },
+}
+
+impl Task {
+    /// Width of the label vector for this task.
+    pub fn n_labels(&self) -> usize {
+        match *self {
+            Task::Mortality => 1,
+            Task::Diagnosis { n_labels } => n_labels,
+        }
+    }
+}
+
+/// One ICU admission: regular-grid feature series plus labels.
+#[derive(Debug, Clone)]
+pub struct PatientRecord {
+    /// Stable admission identifier.
+    pub id: usize,
+    /// `values[f][t]`: resampled series per feature. Missing features hold
+    /// the feature's population mean so downstream standardisation maps them
+    /// to ~0; models that understand the mask ignore them entirely.
+    pub values: Vec<Vec<f32>>,
+    /// `present[f]` is the masking vector `m` of §3.2: false means the
+    /// feature was never measured for this patient.
+    pub present: Vec<bool>,
+    /// Task labels: length 1 for mortality, `n_labels` for diagnosis.
+    pub labels: Vec<u8>,
+    /// Ground-truth latent archetype indices (synthetic data only; empty for
+    /// real data). Used by validation tests to check that discovered cohorts
+    /// recover planted conditions — never visible to models.
+    pub archetypes: Vec<usize>,
+    /// Ground-truth severity in [0, 1] (synthetic data only).
+    pub severity: f32,
+}
+
+impl PatientRecord {
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of time steps.
+    pub fn n_steps(&self) -> usize {
+        self.values.first().map_or(0, Vec::len)
+    }
+
+    /// Mortality label when the record belongs to a mortality task.
+    pub fn mortality(&self) -> u8 {
+        self.labels[0]
+    }
+}
+
+/// A cohort-study-ready dataset: patients plus shared schema.
+#[derive(Debug, Clone)]
+pub struct EhrDataset {
+    /// Dataset name (e.g. "mimic3-like").
+    pub name: String,
+    /// Indices into [`CATALOG`] describing each feature column.
+    pub feature_indices: Vec<usize>,
+    /// Number of regular time steps per patient (48 in the paper).
+    pub time_steps: usize,
+    /// Prediction task.
+    pub task: Task,
+    /// All admissions.
+    pub patients: Vec<PatientRecord>,
+}
+
+impl EhrDataset {
+    /// Number of features `|F|`.
+    pub fn n_features(&self) -> usize {
+        self.feature_indices.len()
+    }
+
+    /// Number of patients.
+    pub fn n_patients(&self) -> usize {
+        self.patients.len()
+    }
+
+    /// Static definition of feature column `f`.
+    pub fn feature_def(&self, f: usize) -> &'static FeatureDef {
+        &CATALOG[self.feature_indices[f]]
+    }
+
+    /// Column index of a feature code within this dataset.
+    ///
+    /// # Panics
+    /// Panics if the dataset does not include the code.
+    pub fn feature_column(&self, code: &str) -> usize {
+        self.feature_indices
+            .iter()
+            .position(|&i| CATALOG[i].code == code)
+            .unwrap_or_else(|| panic!("dataset {} lacks feature {code}", self.name))
+    }
+
+    /// Fraction of patients whose first label is positive — the class
+    /// imbalance that motivates AUC-PR as the primary metric.
+    pub fn positive_rate(&self) -> f64 {
+        if self.patients.is_empty() {
+            return 0.0;
+        }
+        let pos = self.patients.iter().filter(|p| p.labels[0] != 0).count();
+        pos as f64 / self.patients.len() as f64
+    }
+
+    /// Returns a shallow-schema dataset containing only the given patients
+    /// (cloned), preserving order.
+    pub fn subset(&self, indices: &[usize]) -> EhrDataset {
+        EhrDataset {
+            name: self.name.clone(),
+            feature_indices: self.feature_indices.clone(),
+            time_steps: self.time_steps,
+            task: self.task,
+            patients: indices.iter().map(|&i| self.patients[i].clone()).collect(),
+        }
+    }
+
+    /// Validates internal consistency (shapes, label widths). Used by tests
+    /// and debug assertions in consumers.
+    pub fn validate(&self) -> Result<(), String> {
+        let nf = self.n_features();
+        let nl = self.task.n_labels();
+        for p in &self.patients {
+            if p.values.len() != nf {
+                return Err(format!("patient {}: {} feature rows, expected {nf}", p.id, p.values.len()));
+            }
+            if p.present.len() != nf {
+                return Err(format!("patient {}: mask width {}", p.id, p.present.len()));
+            }
+            for (f, series) in p.values.iter().enumerate() {
+                if series.len() != self.time_steps {
+                    return Err(format!("patient {} feature {f}: {} steps", p.id, series.len()));
+                }
+                if series.iter().any(|v| !v.is_finite()) {
+                    return Err(format!("patient {} feature {f}: non-finite value", p.id));
+                }
+            }
+            if p.labels.len() != nl {
+                return Err(format!("patient {}: {} labels, expected {nl}", p.id, p.labels.len()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset() -> EhrDataset {
+        EhrDataset {
+            name: "tiny".into(),
+            feature_indices: vec![0, 10], // RR, PCO2
+            time_steps: 3,
+            task: Task::Mortality,
+            patients: vec![
+                PatientRecord {
+                    id: 0,
+                    values: vec![vec![16.0, 17.0, 18.0], vec![40.0, 41.0, 42.0]],
+                    present: vec![true, true],
+                    labels: vec![1],
+                    archetypes: vec![],
+                    severity: 0.0,
+                },
+                PatientRecord {
+                    id: 1,
+                    values: vec![vec![14.0, 14.0, 14.0], vec![38.0, 38.0, 38.0]],
+                    present: vec![true, false],
+                    labels: vec![0],
+                    archetypes: vec![],
+                    severity: 0.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn dataset_shape_accessors() {
+        let d = tiny_dataset();
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_patients(), 2);
+        assert_eq!(d.feature_def(0).code, "RR");
+        assert_eq!(d.feature_column("PCO2"), 1);
+        assert_eq!(d.positive_rate(), 0.5);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn subset_preserves_order_and_schema() {
+        let d = tiny_dataset();
+        let s = d.subset(&[1]);
+        assert_eq!(s.n_patients(), 1);
+        assert_eq!(s.patients[0].id, 1);
+        assert_eq!(s.n_features(), 2);
+    }
+
+    #[test]
+    fn validate_catches_bad_shapes() {
+        let mut d = tiny_dataset();
+        d.patients[0].values[0].pop();
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_nan() {
+        let mut d = tiny_dataset();
+        d.patients[1].values[1][0] = f32::NAN;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn task_label_widths() {
+        assert_eq!(Task::Mortality.n_labels(), 1);
+        assert_eq!(Task::Diagnosis { n_labels: 25 }.n_labels(), 25);
+    }
+}

@@ -1,0 +1,110 @@
+//! Resampling of irregular measurement events onto a regular time grid.
+//!
+//! "We process each time series at regular intervals" (§3.2): raw ICU charts
+//! are event streams at irregular timestamps; this module aggregates them
+//! into `T` fixed-width bins with mean pooling and last-observation-carried-
+//! forward imputation, the same scheme as the Harutyunyan et al. benchmark
+//! pipeline the paper builds on.
+
+/// One raw measurement: `(hours_since_admission, value)`.
+pub type Event = (f32, f32);
+
+/// Aggregates events into `t_bins` bins covering `[0, horizon_hours)`.
+///
+/// * Multiple events in a bin are averaged.
+/// * Empty bins carry the last observed bin value forward.
+/// * Bins before the first observation are back-filled with it.
+/// * Returns `None` when there are no events in the horizon at all — the
+///   caller should then mark the feature missing (`m = 0`).
+pub fn resample(events: &[Event], t_bins: usize, horizon_hours: f32) -> Option<Vec<f32>> {
+    assert!(t_bins > 0, "need at least one bin");
+    assert!(horizon_hours > 0.0, "horizon must be positive");
+    let bin_width = horizon_hours / t_bins as f32;
+    let mut sums = vec![0.0f64; t_bins];
+    let mut counts = vec![0usize; t_bins];
+    for &(ts, v) in events {
+        if ts < 0.0 || ts >= horizon_hours || !v.is_finite() {
+            continue;
+        }
+        let b = ((ts / bin_width) as usize).min(t_bins - 1);
+        sums[b] += v as f64;
+        counts[b] += 1;
+    }
+    if counts.iter().all(|&c| c == 0) {
+        return None;
+    }
+    let mut out = vec![0.0f32; t_bins];
+    // Forward fill.
+    let mut last: Option<f32> = None;
+    for b in 0..t_bins {
+        if counts[b] > 0 {
+            let v = (sums[b] / counts[b] as f64) as f32;
+            out[b] = v;
+            last = Some(v);
+        } else if let Some(v) = last {
+            out[b] = v;
+        }
+    }
+    // Back-fill leading gap with the first observation.
+    let first_obs = (0..t_bins).find(|&b| counts[b] > 0).expect("checked non-empty");
+    let first_val = out[first_obs];
+    for b in 0..first_obs {
+        out[b] = first_val;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_means_are_averaged() {
+        // Two events in bin 0 (hours [0,1)), one in bin 2.
+        let events = [(0.1, 10.0), (0.9, 20.0), (2.5, 30.0)];
+        let out = resample(&events, 4, 4.0).unwrap();
+        assert_eq!(out[0], 15.0);
+        assert_eq!(out[2], 30.0);
+    }
+
+    #[test]
+    fn forward_fill_covers_gaps() {
+        let events = [(0.5, 5.0)];
+        let out = resample(&events, 4, 4.0).unwrap();
+        assert_eq!(out, vec![5.0; 4]);
+    }
+
+    #[test]
+    fn backfill_covers_leading_gap() {
+        let events = [(3.5, 7.0)];
+        let out = resample(&events, 4, 4.0).unwrap();
+        assert_eq!(out, vec![7.0; 4]);
+    }
+
+    #[test]
+    fn out_of_horizon_events_ignored() {
+        let events = [(5.0, 99.0), (-1.0, 99.0), (1.5, 3.0)];
+        let out = resample(&events, 4, 4.0).unwrap();
+        assert!(out.iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn empty_stream_is_none() {
+        assert!(resample(&[], 4, 4.0).is_none());
+        assert!(resample(&[(10.0, 1.0)], 4, 4.0).is_none());
+    }
+
+    #[test]
+    fn non_finite_values_skipped() {
+        let events = [(0.5, f32::NAN), (1.5, 2.0)];
+        let out = resample(&events, 2, 4.0).unwrap();
+        assert_eq!(out, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn boundary_event_lands_in_last_bin() {
+        let events = [(3.999, 8.0)];
+        let out = resample(&events, 4, 4.0).unwrap();
+        assert_eq!(out[3], 8.0);
+    }
+}

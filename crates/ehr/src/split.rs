@@ -1,0 +1,140 @@
+//! Stratified train/validation/test splitting.
+//!
+//! The paper divides samples 80%:10%:10% (§4.1). Splits are stratified on
+//! the first label so the heavy class imbalance of mortality prediction is
+//! preserved across splits.
+
+use crate::record::EhrDataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Index sets of one split.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training patient indices.
+    pub train: Vec<usize>,
+    /// Validation patient indices.
+    pub val: Vec<usize>,
+    /// Test patient indices.
+    pub test: Vec<usize>,
+}
+
+/// Stratified 80/10/10 split (the paper's protocol).
+pub fn split_80_10_10(ds: &EhrDataset, seed: u64) -> Split {
+    stratified_split(ds, 0.8, 0.1, seed)
+}
+
+/// Stratified split with arbitrary train/val fractions (test takes the rest).
+///
+/// # Panics
+/// Panics unless `0 < train_frac`, `0 <= val_frac`, and
+/// `train_frac + val_frac < 1`.
+pub fn stratified_split(ds: &EhrDataset, train_frac: f64, val_frac: f64, seed: u64) -> Split {
+    assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0, "bad fractions");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pos: Vec<usize> = Vec::new();
+    let mut neg: Vec<usize> = Vec::new();
+    for (i, p) in ds.patients.iter().enumerate() {
+        if p.labels[0] != 0 {
+            pos.push(i);
+        } else {
+            neg.push(i);
+        }
+    }
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+
+    let mut split = Split { train: Vec::new(), val: Vec::new(), test: Vec::new() };
+    for group in [pos, neg] {
+        let n = group.len();
+        let n_train = (n as f64 * train_frac).round() as usize;
+        let n_val = (n as f64 * val_frac).round() as usize;
+        let n_train = n_train.min(n);
+        let n_val = n_val.min(n - n_train);
+        split.train.extend(&group[..n_train]);
+        split.val.extend(&group[n_train..n_train + n_val]);
+        split.test.extend(&group[n_train + n_val..]);
+    }
+    // Shuffle within each split so class blocks do not survive into batches.
+    split.train.shuffle(&mut rng);
+    split.val.shuffle(&mut rng);
+    split.test.shuffle(&mut rng);
+    split
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{PatientRecord, Task};
+
+    fn dataset_with_labels(labels: &[u8]) -> EhrDataset {
+        EhrDataset {
+            name: "t".into(),
+            feature_indices: vec![0],
+            time_steps: 1,
+            task: Task::Mortality,
+            patients: labels
+                .iter()
+                .enumerate()
+                .map(|(id, &l)| PatientRecord {
+                    id,
+                    values: vec![vec![0.0]],
+                    present: vec![true],
+                    labels: vec![l],
+                    archetypes: vec![],
+                    severity: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_complete() {
+        let labels: Vec<u8> = (0..100).map(|i| u8::from(i % 10 == 0)).collect();
+        let ds = dataset_with_labels(&labels);
+        let s = split_80_10_10(&ds, 1);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_sizes_near_80_10_10() {
+        let labels: Vec<u8> = (0..200).map(|i| u8::from(i % 8 == 0)).collect();
+        let ds = dataset_with_labels(&labels);
+        let s = split_80_10_10(&ds, 2);
+        assert!((s.train.len() as i64 - 160).abs() <= 2);
+        assert!((s.val.len() as i64 - 20).abs() <= 2);
+        assert!((s.test.len() as i64 - 20).abs() <= 2);
+    }
+
+    #[test]
+    fn stratification_preserves_positive_rate() {
+        let labels: Vec<u8> = (0..300).map(|i| u8::from(i % 5 == 0)).collect(); // 20% positive
+        let ds = dataset_with_labels(&labels);
+        let s = split_80_10_10(&ds, 3);
+        let rate = |idx: &[usize]| {
+            idx.iter().filter(|&&i| ds.patients[i].labels[0] != 0).count() as f64 / idx.len() as f64
+        };
+        assert!((rate(&s.train) - 0.2).abs() < 0.03);
+        assert!((rate(&s.test) - 0.2).abs() < 0.07);
+    }
+
+    #[test]
+    fn seeded_split_is_deterministic() {
+        let labels: Vec<u8> = (0..50).map(|i| u8::from(i % 4 == 0)).collect();
+        let ds = dataset_with_labels(&labels);
+        let a = split_80_10_10(&ds, 42);
+        let b = split_80_10_10(&ds, 42);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad fractions")]
+    fn rejects_overfull_fractions() {
+        let ds = dataset_with_labels(&[0, 1]);
+        stratified_split(&ds, 0.9, 0.2, 0);
+    }
+}

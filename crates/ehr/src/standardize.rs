@@ -1,0 +1,152 @@
+//! Per-feature mean-std standardisation.
+//!
+//! "all features are applied a mean-std standardization" (§4.1). Statistics
+//! are fitted on the training split only and applied to every split, the
+//! standard leakage-safe protocol. Raw values are retained by callers that
+//! need them for interpretation (Fig. 10a reports state-wise average *raw*
+//! values).
+
+use crate::record::EhrDataset;
+
+/// Fitted per-feature standardisation statistics.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    /// Per-feature mean over present values.
+    pub mean: Vec<f32>,
+    /// Per-feature standard deviation (≥ a small epsilon).
+    pub std: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations over all present feature values of
+    /// `train` across patients and time steps.
+    pub fn fit(train: &EhrDataset) -> Standardizer {
+        let nf = train.n_features();
+        let mut sum = vec![0.0f64; nf];
+        let mut sq = vec![0.0f64; nf];
+        let mut n = vec![0usize; nf];
+        for p in &train.patients {
+            for f in 0..nf {
+                if !p.present[f] {
+                    continue;
+                }
+                for &v in &p.values[f] {
+                    sum[f] += v as f64;
+                    sq[f] += (v as f64) * (v as f64);
+                    n[f] += 1;
+                }
+            }
+        }
+        let mut mean = vec![0.0f32; nf];
+        let mut std = vec![1.0f32; nf];
+        for f in 0..nf {
+            if n[f] > 0 {
+                let m = sum[f] / n[f] as f64;
+                let var = (sq[f] / n[f] as f64 - m * m).max(0.0);
+                mean[f] = m as f32;
+                std[f] = (var.sqrt() as f32).max(1e-4);
+            }
+        }
+        Standardizer { mean, std }
+    }
+
+    /// Standardises every patient in place. Missing features are set to 0
+    /// (the standardised mean) across all time steps.
+    pub fn apply(&self, ds: &mut EhrDataset) {
+        let nf = ds.n_features();
+        assert_eq!(nf, self.mean.len(), "standardizer width mismatch");
+        for p in &mut ds.patients {
+            for f in 0..nf {
+                if p.present[f] {
+                    for v in &mut p.values[f] {
+                        *v = (*v - self.mean[f]) / self.std[f];
+                    }
+                } else {
+                    for v in &mut p.values[f] {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Maps a standardised value back to raw units for feature `f`.
+    pub fn destandardize(&self, f: usize, v: f32) -> f32 {
+        v * self.std[f] + self.mean[f]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{PatientRecord, Task};
+
+    fn dataset(values: Vec<Vec<Vec<f32>>>, present: Vec<Vec<bool>>) -> EhrDataset {
+        EhrDataset {
+            name: "t".into(),
+            feature_indices: vec![0, 1],
+            time_steps: values[0][0].len(),
+            task: Task::Mortality,
+            patients: values
+                .into_iter()
+                .zip(present)
+                .enumerate()
+                .map(|(id, (v, m))| PatientRecord {
+                    id,
+                    values: v,
+                    present: m,
+                    labels: vec![0],
+                    archetypes: vec![],
+                    severity: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fit_apply_zero_mean_unit_std() {
+        let mut ds = dataset(
+            vec![
+                vec![vec![1.0, 3.0], vec![10.0, 10.0]],
+                vec![vec![5.0, 7.0], vec![10.0, 10.0]],
+            ],
+            vec![vec![true, true], vec![true, true]],
+        );
+        let s = Standardizer::fit(&ds);
+        assert_eq!(s.mean[0], 4.0);
+        s.apply(&mut ds);
+        // Feature 0 values standardised: (1-4)/std etc.; mean of all four is 0.
+        let all: Vec<f32> = ds.patients.iter().flat_map(|p| p.values[0].clone()).collect();
+        let mean: f32 = all.iter().sum::<f32>() / all.len() as f32;
+        assert!(mean.abs() < 1e-6);
+        // Constant feature 1 gets epsilon std, values map to 0.
+        assert!(ds.patients[0].values[1].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn missing_features_are_zeroed_and_excluded_from_fit() {
+        let mut ds = dataset(
+            vec![
+                vec![vec![2.0, 2.0], vec![100.0, 100.0]],
+                vec![vec![4.0, 4.0], vec![999.0, 999.0]], // feature 1 absent here
+            ],
+            vec![vec![true, true], vec![true, false]],
+        );
+        let s = Standardizer::fit(&ds);
+        // Mean of feature 1 uses only patient 0.
+        assert_eq!(s.mean[1], 100.0);
+        s.apply(&mut ds);
+        assert!(ds.patients[1].values[1].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn destandardize_round_trips() {
+        let ds = dataset(
+            vec![vec![vec![1.0, 5.0], vec![0.0, 0.0]]],
+            vec![vec![true, true]],
+        );
+        let s = Standardizer::fit(&ds);
+        let z = (5.0 - s.mean[0]) / s.std[0];
+        assert!((s.destandardize(0, z) - 5.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,415 @@
+//! Synthetic EHR generator with planted latent cohorts.
+//!
+//! This is the substitute for the credential-gated MIMIC-III / MIMIC-IV /
+//! eICU datasets (see DESIGN.md §1). Each admission is simulated as:
+//!
+//! 1. draw latent archetypes (possibly comorbid) with severity and onset;
+//! 2. per feature, simulate a continuous physiological trajectory =
+//!    individual baseline + archetype effects × severity × onset ramp +
+//!    AR(1) physiological noise, clamped to plausible bounds;
+//! 3. sample irregular measurement events from the trajectory at the
+//!    feature's charting rate, with measurement noise and missingness;
+//! 4. resample events onto the regular `T`-bin grid (§3.2 protocol);
+//! 5. draw outcome labels from a logistic model over severities (mortality)
+//!    or from the archetype → diagnosis-label map (multi-label task).
+//!
+//! Ground-truth archetype assignments are kept on each record for validation
+//! only; no model input encodes them.
+
+use crate::archetypes::{Archetype, ARCHETYPES, N_DIAGNOSIS_LABELS};
+use crate::features::{feature_index, normal_halfwidth, normal_mid, CATALOG};
+use crate::record::{EhrDataset, PatientRecord, Task};
+use crate::resample::resample;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Configuration of one synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Number of admissions to generate.
+    pub n_patients: usize,
+    /// Regular time steps (48 in the paper: first 48h, hourly bins).
+    pub time_steps: usize,
+    /// Horizon in hours covered by the time steps.
+    pub horizon_hours: f32,
+    /// Feature codes included (subset of the catalog).
+    pub feature_codes: Vec<&'static str>,
+    /// Prediction task.
+    pub task: Task,
+    /// Probability that an admission carries no archetype (healthy-ish ICU
+    /// stay). Controls class imbalance.
+    pub healthy_rate: f64,
+    /// Probability that a sick admission carries a second archetype.
+    pub comorbidity_rate: f64,
+    /// Base mortality logit for archetype-free admissions.
+    pub base_mortality_logit: f32,
+    /// Scale of physiological + measurement noise (1.0 = default).
+    pub noise: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// Resolves feature codes to catalog indices.
+    pub fn feature_indices(&self) -> Vec<usize> {
+        self.feature_codes.iter().map(|c| feature_index(c)).collect()
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Gaussian sample via Box–Muller (avoids pulling in rand_distr).
+fn gauss(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(1e-6..1.0f32);
+    let u2: f32 = rng.gen_range(0.0..1.0f32);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Draws the archetype set for one admission.
+fn draw_archetypes(cfg: &SynthConfig, rng: &mut StdRng) -> Vec<usize> {
+    if rng.gen_bool(cfg.healthy_rate) {
+        return Vec::new();
+    }
+    let total: f32 = ARCHETYPES.iter().map(|a| a.prevalence).sum();
+    let pick = |rng: &mut StdRng| -> usize {
+        let mut target = rng.gen_range(0.0..total);
+        for (i, a) in ARCHETYPES.iter().enumerate() {
+            if target < a.prevalence {
+                return i;
+            }
+            target -= a.prevalence;
+        }
+        ARCHETYPES.len() - 1
+    };
+    let first = pick(rng);
+    let mut out = vec![first];
+    if rng.gen_bool(cfg.comorbidity_rate) {
+        let second = pick(rng);
+        if second != first {
+            out.push(second);
+        }
+    }
+    out
+}
+
+/// Severity ramp: 0 before onset, linear rise over `ramp_len` steps, 1 after.
+fn ramp(t: f32, onset: f32, ramp_len: f32) -> f32 {
+    ((t - onset) / ramp_len).clamp(0.0, 1.0)
+}
+
+/// Generates one admission.
+#[allow(clippy::too_many_arguments)]
+fn generate_patient(
+    cfg: &SynthConfig,
+    feature_indices: &[usize],
+    id: usize,
+    rng: &mut StdRng,
+) -> PatientRecord {
+    let archetype_ids = draw_archetypes(cfg, rng);
+    let severities: Vec<f32> = archetype_ids.iter().map(|_| rng.gen_range(0.35..1.0f32)).collect();
+    let onsets: Vec<f32> = archetype_ids
+        .iter()
+        .map(|_| rng.gen_range(0.0..cfg.horizon_hours * 0.4))
+        .collect();
+    let ramp_len = cfg.horizon_hours * 0.25;
+
+    let nf = feature_indices.len();
+    // Per-feature archetype offsets (in half-widths) at full ramp.
+    let mut offsets = vec![0.0f32; nf];
+    for (ai, &arch_idx) in archetype_ids.iter().enumerate() {
+        let arch: &Archetype = &ARCHETYPES[arch_idx];
+        for e in arch.effects {
+            if let Some(col) = feature_indices.iter().position(|&fi| CATALOG[fi].code == e.code) {
+                offsets[col] += e.offset * severities[ai];
+            }
+        }
+    }
+
+    let mut values = Vec::with_capacity(nf);
+    let mut present = Vec::with_capacity(nf);
+    for (col, &fi) in feature_indices.iter().enumerate() {
+        let def = &CATALOG[fi];
+        let mid = normal_mid(def);
+        let hw = normal_halfwidth(def);
+        let missing = rng.gen_bool(def.missing_rate as f64);
+        if missing {
+            present.push(false);
+            values.push(vec![mid; cfg.time_steps]);
+            continue;
+        }
+        // Individual baseline.
+        let baseline = mid + gauss(rng) * 0.35 * hw * cfg.noise;
+        // Irregular events driven by the charting rate.
+        let expected_events = (def.sampling_rate * cfg.horizon_hours).max(1.0);
+        let n_events = 1 + (rng.gen_range(0.5..1.5f32) * expected_events) as usize;
+        let mut ar = 0.0f32; // AR(1) physiological noise state
+        let mut events = Vec::with_capacity(n_events);
+        let mut ts_list: Vec<f32> = (0..n_events).map(|_| rng.gen_range(0.0..cfg.horizon_hours)).collect();
+        ts_list.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for ts in ts_list {
+            ar = 0.8 * ar + gauss(rng) * 0.25 * hw * cfg.noise;
+            let mut signal = baseline + ar;
+            // Apply the aggregated offset with the MAX ramp across the
+            // patient's archetypes (conditions express once active).
+            let r = archetype_ids
+                .iter()
+                .enumerate()
+                .map(|(ai, _)| ramp(ts, onsets[ai], ramp_len))
+                .fold(0.0f32, f32::max);
+            signal += offsets[col] * r * hw;
+            // Measurement noise.
+            signal += gauss(rng) * 0.12 * hw * cfg.noise;
+            events.push((ts, signal.clamp(def.bound_lo, def.bound_hi)));
+        }
+        match resample(&events, cfg.time_steps, cfg.horizon_hours) {
+            Some(series) => {
+                present.push(true);
+                values.push(series);
+            }
+            None => {
+                present.push(false);
+                values.push(vec![mid; cfg.time_steps]);
+            }
+        }
+    }
+
+    // Labels.
+    let labels = match cfg.task {
+        Task::Mortality => {
+            let mut logit = cfg.base_mortality_logit;
+            for (ai, &arch_idx) in archetype_ids.iter().enumerate() {
+                logit += ARCHETYPES[arch_idx].mortality_logit * severities[ai];
+            }
+            // Comorbidity interaction: two conditions are worse than the sum.
+            if archetype_ids.len() > 1 {
+                logit += 0.8;
+            }
+            logit += gauss(rng) * 0.5;
+            vec![u8::from(rng.gen_bool(sigmoid(logit) as f64))]
+        }
+        Task::Diagnosis { n_labels } => {
+            let mut labels = vec![0u8; n_labels];
+            for &arch_idx in &archetype_ids {
+                for &l in ARCHETYPES[arch_idx].diagnosis_labels {
+                    if l < n_labels && rng.gen_bool(0.92) {
+                        labels[l] = 1;
+                    }
+                }
+            }
+            // Background noise labels.
+            for l in labels.iter_mut() {
+                if *l == 0 && rng.gen_bool(0.02) {
+                    *l = 1;
+                }
+            }
+            labels
+        }
+    };
+
+    let severity = severities.iter().cloned().fold(0.0, f32::max);
+    PatientRecord { id, values, present, labels, archetypes: archetype_ids, severity }
+}
+
+/// Generates a full dataset from a configuration.
+pub fn generate(cfg: &SynthConfig) -> EhrDataset {
+    if let Task::Diagnosis { n_labels } = cfg.task {
+        assert!(n_labels <= N_DIAGNOSIS_LABELS, "at most {N_DIAGNOSIS_LABELS} labels supported");
+    }
+    let feature_indices = cfg.feature_indices();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let patients = (0..cfg.n_patients)
+        .map(|id| generate_patient(cfg, &feature_indices, id, &mut rng))
+        .collect();
+    let ds = EhrDataset {
+        name: cfg.name.clone(),
+        feature_indices,
+        time_steps: cfg.time_steps,
+        task: cfg.task,
+        patients,
+    };
+    debug_assert!(ds.validate().is_ok());
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    fn small_cfg() -> SynthConfig {
+        let mut cfg = profiles::mimic3_like(0.1);
+        cfg.n_patients = 200;
+        cfg
+    }
+
+    #[test]
+    fn generates_valid_dataset() {
+        let ds = generate(&small_cfg());
+        assert_eq!(ds.n_patients(), 200);
+        ds.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(&small_cfg());
+        let b = generate(&small_cfg());
+        assert_eq!(a.patients[17].values, b.patients[17].values);
+        assert_eq!(a.patients[17].labels, b.patients[17].labels);
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let mut cfg = small_cfg();
+        cfg.seed += 1;
+        let a = generate(&small_cfg());
+        let b = generate(&cfg);
+        assert_ne!(a.patients[0].values, b.patients[0].values);
+    }
+
+    #[test]
+    fn mortality_rate_is_imbalanced_but_nonzero() {
+        let mut cfg = small_cfg();
+        cfg.n_patients = 1000;
+        let ds = generate(&cfg);
+        let rate = ds.positive_rate();
+        assert!(rate > 0.03 && rate < 0.4, "positive rate {rate}");
+    }
+
+    #[test]
+    fn archetype_patients_have_shifted_features() {
+        // Respiratory-acidosis patients must show elevated PCO2 relative to
+        // healthy patients in late time steps.
+        let mut cfg = small_cfg();
+        cfg.n_patients = 600;
+        let ds = generate(&cfg);
+        let pco2 = ds.feature_column("PCO2");
+        let late = ds.time_steps - 1;
+        let mean_for = |pred: &dyn Fn(&PatientRecord) -> bool| -> f32 {
+            let vals: Vec<f32> = ds
+                .patients
+                .iter()
+                .filter(|p| p.present[pco2] && pred(p))
+                .map(|p| p.values[pco2][late])
+                .collect();
+            vals.iter().sum::<f32>() / vals.len().max(1) as f32
+        };
+        let acidotic = mean_for(&|p| p.archetypes.contains(&0));
+        let healthy = mean_for(&|p| p.archetypes.is_empty());
+        assert!(
+            acidotic > healthy + 5.0,
+            "PCO2: acidotic {acidotic:.1} vs healthy {healthy:.1}"
+        );
+    }
+
+    #[test]
+    fn sicker_patients_die_more() {
+        let mut cfg = small_cfg();
+        cfg.n_patients = 2000;
+        let ds = generate(&cfg);
+        let rate = |pred: &dyn Fn(&PatientRecord) -> bool| -> f64 {
+            let group: Vec<&PatientRecord> = ds.patients.iter().filter(|p| pred(p)).collect();
+            group.iter().filter(|p| p.mortality() != 0).count() as f64 / group.len().max(1) as f64
+        };
+        let sick = rate(&|p| !p.archetypes.is_empty());
+        let healthy = rate(&|p| p.archetypes.is_empty());
+        assert!(sick > healthy + 0.1, "sick {sick:.2} vs healthy {healthy:.2}");
+    }
+
+    #[test]
+    fn diagnosis_labels_reflect_archetypes() {
+        let mut cfg = profiles::eicu_like(0.1);
+        cfg.n_patients = 500;
+        let ds = generate(&cfg);
+        // Patients with sepsis (archetype 2) mostly carry label 5.
+        let sepsis: Vec<&PatientRecord> =
+            ds.patients.iter().filter(|p| p.archetypes.contains(&2)).collect();
+        assert!(!sepsis.is_empty());
+        let with_label = sepsis.iter().filter(|p| p.labels[5] != 0).count();
+        assert!(with_label as f64 / sepsis.len() as f64 > 0.8);
+    }
+
+    #[test]
+    fn each_archetype_shifts_its_signature_features() {
+        // Cross-check every planted condition's headline feature moves in
+        // the planted direction: sepsis raises HR, AKI raises creatinine,
+        // DKA raises glucose, GI bleed lowers hemoglobin.
+        let mut cfg = profiles::mimic4_like(1.0); // 26 features incl. TROP/INR
+        cfg.n_patients = 1500;
+        cfg.time_steps = 12;
+        let ds = generate(&cfg);
+        let late = ds.time_steps - 1;
+        let mean_for = |code: &str, pred: &dyn Fn(&PatientRecord) -> bool| -> f32 {
+            let col = ds.feature_column(code);
+            let vals: Vec<f32> = ds
+                .patients
+                .iter()
+                .filter(|p| p.present[col] && pred(p))
+                .map(|p| p.values[col][late])
+                .collect();
+            vals.iter().sum::<f32>() / vals.len().max(1) as f32
+        };
+        let healthy = |p: &PatientRecord| p.archetypes.is_empty();
+        // (archetype index, feature, direction: +1 up / -1 down)
+        for (arch, code, dir) in [
+            (2usize, "HR", 1.0f32),
+            (1, "CR", 1.0),
+            (4, "GLU", 1.0),
+            (7, "HGB", -1.0),
+            (0, "PCO2", 1.0),
+        ] {
+            let sick = mean_for(code, &|p| p.archetypes.contains(&arch));
+            let base = mean_for(code, &healthy);
+            assert!(
+                (sick - base) * dir > 0.0,
+                "archetype {arch} did not move {code}: sick {sick:.1} vs healthy {base:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn onset_ramp_makes_late_steps_more_abnormal() {
+        let mut cfg = profiles::mimic3_like(0.3);
+        cfg.n_patients = 800;
+        cfg.time_steps = 12;
+        let ds = generate(&cfg);
+        let pco2 = ds.feature_column("PCO2");
+        // Among acidotic patients, the late-window PCO2 exceeds the
+        // early-window PCO2 on average (condition expresses over time).
+        let mut early = 0.0f64;
+        let mut late = 0.0f64;
+        let mut n = 0usize;
+        for p in &ds.patients {
+            if !p.archetypes.contains(&0) || !p.present[pco2] {
+                continue;
+            }
+            early += p.values[pco2][0] as f64;
+            late += p.values[pco2][ds.time_steps - 1] as f64;
+            n += 1;
+        }
+        assert!(n > 10, "not enough acidotic patients");
+        assert!(
+            late / n as f64 > early / n as f64 + 1.0,
+            "no onset ramp: early {:.1} late {:.1}",
+            early / n as f64,
+            late / n as f64
+        );
+    }
+
+    #[test]
+    fn values_respect_bounds() {
+        let ds = generate(&small_cfg());
+        for p in &ds.patients {
+            for (f, series) in p.values.iter().enumerate() {
+                let def = ds.feature_def(f);
+                for &v in series {
+                    assert!(v >= def.bound_lo - 1e-3 && v <= def.bound_hi + 1e-3);
+                }
+            }
+        }
+    }
+}

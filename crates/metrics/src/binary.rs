@@ -1,0 +1,273 @@
+//! Binary-classification metrics.
+//!
+//! AUC-PR is the paper's primary metric (§4.1): "it is the most informative
+//! score when handling a highly imbalanced dataset". AUC-ROC and F1 complete
+//! the trio reported in Figure 6.
+
+/// A 2x2 confusion matrix at a fixed decision threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Builds the confusion matrix of `scores >= threshold` against 0/1
+    /// `labels`.
+    pub fn at_threshold(scores: &[f32], labels: &[u8], threshold: f32) -> Self {
+        assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+        let mut c = Confusion { tp: 0, fp: 0, tn: 0, fn_: 0 };
+        for (&s, &y) in scores.iter().zip(labels) {
+            match (s >= threshold, y != 0) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision `tp / (tp + fp)`; 0 when no positive predictions.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when no positive labels.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 = harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy over all samples.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// F1-score of `scores >= 0.5` against the labels (the paper reports F1 at
+/// the standard 0.5 operating point).
+pub fn f1_score(scores: &[f32], labels: &[u8]) -> f64 {
+    Confusion::at_threshold(scores, labels, 0.5).f1()
+}
+
+/// Area under the ROC curve via the Mann–Whitney U statistic with tie
+/// correction (average ranks).
+///
+/// Returns 0.5 for degenerate inputs (all-positive or all-negative labels) —
+/// chance level — so callers never divide by zero.
+pub fn roc_auc(scores: &[f32], labels: &[u8]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let pos = labels.iter().filter(|&&y| y != 0).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    // Sort indices by score ascending; assign average ranks to tie groups.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based; the tie group [i, j] shares the average rank.
+        let avg_rank = (i + j + 2) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            if labels[k] != 0 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (pos * (pos + 1)) as f64 / 2.0;
+    u / (pos as f64 * neg as f64)
+}
+
+/// Area under the precision-recall curve (average precision).
+///
+/// Computed as `Σ (Rₙ - Rₙ₋₁) · Pₙ` over descending score thresholds with
+/// ties handled jointly — the standard estimator consistent with
+/// Davis & Goadrich (2006). Returns the positive rate for degenerate inputs
+/// with no positives (0.0) so imbalanced-slice callers remain total.
+pub fn pr_auc(scores: &[f32], labels: &[u8]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let total_pos = labels.iter().filter(|&&y| y != 0).count();
+    if total_pos == 0 {
+        return 0.0;
+    }
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut prev_recall = 0.0f64;
+    let mut auc = 0.0f64;
+    let mut i = 0;
+    while i < idx.len() {
+        // Consume the whole tie group before emitting a PR point.
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        for &k in &idx[i..=j] {
+            if labels[k] != 0 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+        let recall = tp as f64 / total_pos as f64;
+        let precision = tp as f64 / (tp + fp) as f64;
+        auc += (recall - prev_recall) * precision;
+        prev_recall = recall;
+        i = j + 1;
+    }
+    auc
+}
+
+/// All three headline metrics in one pass, as reported per dataset in Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinaryReport {
+    /// Area under the ROC curve.
+    pub auc_roc: f64,
+    /// Area under the precision-recall curve (primary metric).
+    pub auc_pr: f64,
+    /// F1-score at threshold 0.5.
+    pub f1: f64,
+}
+
+/// Computes [`BinaryReport`] for probability scores against 0/1 labels.
+pub fn binary_report(scores: &[f32], labels: &[u8]) -> BinaryReport {
+    BinaryReport {
+        auc_roc: roc_auc(scores, labels),
+        auc_pr: pr_auc(scores, labels),
+        f1: f1_score(scores, labels),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1, 1, 0, 0];
+        assert_eq!(roc_auc(&scores, &labels), 1.0);
+        assert_eq!(pr_auc(&scores, &labels), 1.0);
+        assert_eq!(f1_score(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn inverted_ranking() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [1, 1, 0, 0];
+        assert_eq!(roc_auc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn random_ties_are_half_auc() {
+        let scores = [0.5; 6];
+        let labels = [1, 0, 1, 0, 1, 0];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_auc_known_mixed_case() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}
+        // pairs: (0.8>0.6) (0.8>0.2) (0.4<0.6) (0.4>0.2) => 3/4
+        let scores = [0.8, 0.4, 0.6, 0.2];
+        let labels = [1, 1, 0, 0];
+        assert!((roc_auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_auc_known_mixed_case() {
+        // Descending: 0.8(+): P=1, R=0.5 -> +0.5*1
+        //             0.6(-): no recall change
+        //             0.4(+): P=2/3, R=1 -> +0.5*2/3
+        let scores = [0.8, 0.4, 0.6, 0.2];
+        let labels = [1, 1, 0, 0];
+        assert!((pr_auc(&scores, &labels) - (0.5 + 0.5 * 2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_auc_baseline_for_random_scores_is_prevalence() {
+        // All-tied scores: single PR point at recall 1 with precision =
+        // prevalence.
+        let scores = [0.5; 10];
+        let labels = [1, 0, 0, 0, 0, 1, 0, 0, 0, 0];
+        assert!((pr_auc(&scores, &labels) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_labels() {
+        assert_eq!(roc_auc(&[0.1, 0.9], &[1, 1]), 0.5);
+        assert_eq!(roc_auc(&[0.1, 0.9], &[0, 0]), 0.5);
+        assert_eq!(pr_auc(&[0.1, 0.9], &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn confusion_and_f1() {
+        let scores = [0.9, 0.6, 0.4, 0.1];
+        let labels = [1, 0, 1, 0];
+        let c = Confusion::at_threshold(&scores, &labels, 0.5);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (1, 1, 1, 1));
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 0.5).abs() < 1e-12);
+        assert!((c.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_zero_when_no_predictions() {
+        assert_eq!(f1_score(&[0.1, 0.2], &[1, 1]), 0.0);
+    }
+
+    #[test]
+    fn report_bundles_all_three() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1, 1, 0, 0];
+        let r = binary_report(&scores, &labels);
+        assert_eq!((r.auc_roc, r.auc_pr, r.f1), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_transform() {
+        let scores = [0.9f32, 0.8, 0.3, 0.2, 0.75, 0.1];
+        let labels = [1, 0, 1, 0, 1, 0];
+        let transformed: Vec<f32> = scores.iter().map(|&s| (5.0 * s).exp()).collect();
+        assert!((roc_auc(&scores, &labels) - roc_auc(&transformed, &labels)).abs() < 1e-9);
+        assert!((pr_auc(&scores, &labels) - pr_auc(&transformed, &labels)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,129 @@
+//! Probability-calibration diagnostics.
+//!
+//! CohortNet's headline mechanism is a *calibration* of individual risk by
+//! cohort evidence (Eq. 14–17), so the reproduction ships the standard
+//! calibration metrics — Brier score, expected calibration error and
+//! reliability bins — to quantify whether the calibrated probabilities are
+//! actually better probabilities, not just better rankings.
+
+/// One bin of a reliability diagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityBin {
+    /// Inclusive lower edge of the predicted-probability bin.
+    pub lo: f32,
+    /// Exclusive upper edge (inclusive for the last bin).
+    pub hi: f32,
+    /// Number of samples in the bin.
+    pub count: usize,
+    /// Mean predicted probability.
+    pub mean_predicted: f64,
+    /// Observed positive rate.
+    pub observed_rate: f64,
+}
+
+/// Brier score: mean squared error between probabilities and outcomes
+/// (lower is better; 0.25 is the score of a constant 0.5 prediction).
+pub fn brier_score(scores: &[f32], labels: &[u8]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores
+        .iter()
+        .zip(labels)
+        .map(|(&s, &y)| {
+            let d = s as f64 - f64::from(y.min(1));
+            d * d
+        })
+        .sum::<f64>()
+        / scores.len() as f64
+}
+
+/// Equal-width reliability bins over `[0, 1]`.
+pub fn reliability_bins(scores: &[f32], labels: &[u8], n_bins: usize) -> Vec<ReliabilityBin> {
+    assert!(n_bins > 0, "need at least one bin");
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let width = 1.0 / n_bins as f32;
+    let mut sums = vec![0.0f64; n_bins];
+    let mut pos = vec![0usize; n_bins];
+    let mut counts = vec![0usize; n_bins];
+    for (&s, &y) in scores.iter().zip(labels) {
+        let b = ((s / width) as usize).min(n_bins - 1);
+        sums[b] += s as f64;
+        counts[b] += 1;
+        if y != 0 {
+            pos[b] += 1;
+        }
+    }
+    (0..n_bins)
+        .map(|b| ReliabilityBin {
+            lo: b as f32 * width,
+            hi: (b + 1) as f32 * width,
+            count: counts[b],
+            mean_predicted: if counts[b] > 0 { sums[b] / counts[b] as f64 } else { 0.0 },
+            observed_rate: if counts[b] > 0 { pos[b] as f64 / counts[b] as f64 } else { 0.0 },
+        })
+        .collect()
+}
+
+/// Expected calibration error: count-weighted mean |predicted − observed|
+/// over the reliability bins.
+pub fn expected_calibration_error(scores: &[f32], labels: &[u8], n_bins: usize) -> f64 {
+    let bins = reliability_bins(scores, labels, n_bins);
+    let total: usize = bins.iter().map(|b| b.count).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    bins.iter()
+        .map(|b| (b.count as f64 / total as f64) * (b.mean_predicted - b.observed_rate).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brier_perfect_and_worst() {
+        assert_eq!(brier_score(&[1.0, 0.0], &[1, 0]), 0.0);
+        assert_eq!(brier_score(&[0.0, 1.0], &[1, 0]), 1.0);
+        assert!((brier_score(&[0.5, 0.5], &[1, 0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ece_zero_for_perfectly_calibrated_bins() {
+        // 10 samples at 0.25 with 25% positives; 10 at 0.75 with 75%.
+        let mut scores = vec![0.25f32; 8];
+        scores.extend(vec![0.75f32; 8]);
+        let mut labels = vec![0u8; 6];
+        labels.extend([1, 1]); // 2/8 = 0.25
+        labels.extend([1, 1, 1, 1, 1, 1, 0, 0]); // 6/8 = 0.75
+        let ece = expected_calibration_error(&scores, &labels, 4);
+        assert!(ece < 1e-9, "ece {ece}");
+    }
+
+    #[test]
+    fn ece_detects_overconfidence() {
+        // Predicts 0.9 but only half are positive.
+        let scores = vec![0.9f32; 10];
+        let labels = [1u8, 0, 1, 0, 1, 0, 1, 0, 1, 0];
+        let ece = expected_calibration_error(&scores, &labels, 10);
+        assert!((ece - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bins_partition_all_samples() {
+        let scores = [0.05f32, 0.15, 0.55, 0.95, 1.0];
+        let labels = [0u8, 0, 1, 1, 1];
+        let bins = reliability_bins(&scores, &labels, 5);
+        assert_eq!(bins.iter().map(|b| b.count).sum::<usize>(), 5);
+        // 1.0 lands in the last bin, not out of range.
+        assert_eq!(bins[4].count, 2);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(brier_score(&[], &[]), 0.0);
+        assert_eq!(expected_calibration_error(&[], &[], 4), 0.0);
+    }
+}

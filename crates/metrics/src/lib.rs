@@ -1,0 +1,23 @@
+//! # cohortnet-metrics
+//!
+//! Evaluation metrics used throughout the CohortNet reproduction: AUC-ROC,
+//! AUC-PR (the paper's primary metric for imbalanced EHR outcomes), F1, and
+//! their macro-averaged multi-label variants for diagnosis prediction.
+//!
+//! ```
+//! use cohortnet_metrics::binary_report;
+//! let r = binary_report(&[0.9, 0.7, 0.3, 0.1], &[1, 1, 0, 0]);
+//! assert_eq!(r.auc_pr, 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod bootstrap;
+pub mod calibration;
+pub mod multilabel;
+
+pub use binary::{binary_report, f1_score, pr_auc, roc_auc, BinaryReport, Confusion};
+pub use bootstrap::{bootstrap_ci, ConfidenceInterval};
+pub use calibration::{brier_score, expected_calibration_error, reliability_bins};
+pub use multilabel::macro_report;

@@ -1,0 +1,98 @@
+//! Multi-label metrics for the eICU diagnosis-prediction task (25 labels,
+//! §4.1): macro-averaged AUC-ROC / AUC-PR / F1 over the per-label binary
+//! metrics, skipping labels that are degenerate in the evaluation split.
+
+use crate::binary::{f1_score, pr_auc, roc_auc, BinaryReport};
+
+/// Per-label score/label columns extracted from row-major prediction and
+/// label matrices.
+fn column(data: &[f32], n_labels: usize, label: usize) -> Vec<f32> {
+    data.iter().skip(label).step_by(n_labels).copied().collect()
+}
+
+fn label_column(data: &[u8], n_labels: usize, label: usize) -> Vec<u8> {
+    data.iter().skip(label).step_by(n_labels).copied().collect()
+}
+
+/// Macro-averaged report over `n_labels` labels.
+///
+/// `scores` and `labels` are row-major `(n_samples x n_labels)` buffers.
+/// Labels with no positive (or no negative) example in `labels` are skipped
+/// for the AUC averages, mirroring common benchmark practice; F1 is averaged
+/// over all labels.
+///
+/// # Panics
+/// Panics if buffer lengths are inconsistent with `n_labels`.
+pub fn macro_report(scores: &[f32], labels: &[u8], n_labels: usize) -> BinaryReport {
+    assert!(n_labels > 0, "n_labels must be positive");
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    assert_eq!(scores.len() % n_labels, 0, "buffer not divisible by n_labels");
+    let mut roc_sum = 0.0;
+    let mut roc_n = 0usize;
+    let mut pr_sum = 0.0;
+    let mut pr_n = 0usize;
+    let mut f1_sum = 0.0;
+    for l in 0..n_labels {
+        let s = column(scores, n_labels, l);
+        let y = label_column(labels, n_labels, l);
+        let pos = y.iter().filter(|&&v| v != 0).count();
+        if pos > 0 && pos < y.len() {
+            roc_sum += roc_auc(&s, &y);
+            roc_n += 1;
+            pr_sum += pr_auc(&s, &y);
+            pr_n += 1;
+        }
+        f1_sum += f1_score(&s, &y);
+    }
+    BinaryReport {
+        auc_roc: if roc_n > 0 { roc_sum / roc_n as f64 } else { 0.5 },
+        auc_pr: if pr_n > 0 { pr_sum / pr_n as f64 } else { 0.0 },
+        f1: f1_sum / n_labels as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_label_matches_binary() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1, 1, 0, 0];
+        let m = macro_report(&scores, &labels, 1);
+        assert_eq!((m.auc_roc, m.auc_pr, m.f1), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn two_labels_average() {
+        // Label 0 perfectly ranked; label 1 inverted.
+        // rows: [s0, s1] per sample.
+        let scores = [0.9, 0.1, 0.8, 0.2, 0.2, 0.8, 0.1, 0.9];
+        let labels = [1, 1, 1, 1, 0, 0, 0, 0];
+        let m = macro_report(&scores, &labels, 2);
+        assert!((m.auc_roc - 0.5).abs() < 1e-12); // (1.0 + 0.0)/2
+    }
+
+    #[test]
+    fn degenerate_label_skipped_for_auc() {
+        // Label 1 is all-zero -> skipped; label 0 perfect.
+        let scores = [0.9, 0.5, 0.8, 0.5, 0.1, 0.5, 0.2, 0.5];
+        let labels = [1, 0, 1, 0, 0, 0, 0, 0];
+        let m = macro_report(&scores, &labels, 2);
+        assert_eq!(m.auc_roc, 1.0);
+        assert_eq!(m.auc_pr, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_ragged_buffers() {
+        macro_report(&[0.1, 0.2, 0.3], &[0, 1, 0], 2);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(column(&data, 3, 0), vec![1.0, 4.0]);
+        assert_eq!(column(&data, 3, 2), vec![3.0, 6.0]);
+    }
+}

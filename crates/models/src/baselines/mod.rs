@@ -1,0 +1,23 @@
+//! The nine baseline models of the paper's evaluation (§4.1), each built
+//! from scratch on the `cohortnet-tensor` substrate with its signature
+//! mechanism intact.
+
+pub mod concare;
+pub mod dipole;
+pub mod grasp;
+pub mod gru;
+pub mod lstm;
+pub mod ppn;
+pub mod retain;
+pub mod stagenet;
+pub mod tlstm;
+
+pub use concare::ConCareModel;
+pub use dipole::DipoleModel;
+pub use grasp::GraspModel;
+pub use gru::GruModel;
+pub use lstm::LstmModel;
+pub use ppn::PpnModel;
+pub use retain::RetainModel;
+pub use stagenet::StageNetModel;
+pub use tlstm::TLstmModel;

@@ -1,0 +1,143 @@
+//! Batch assembly: EHR records → tensor matrices.
+//!
+//! Models consume per-time-step `(batch x |F|)` matrices; per-feature
+//! channel models (ConCare, CohortNet) slice single-feature columns out of
+//! these on the tape.
+
+use cohortnet_ehr::record::EhrDataset;
+use cohortnet_tensor::Matrix;
+
+/// A dataset flattened into dense buffers ready for batching.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Number of features `|F|`.
+    pub n_features: usize,
+    /// Number of time steps `T`.
+    pub time_steps: usize,
+    /// Label vector width.
+    pub n_labels: usize,
+    /// One entry per patient, in dataset order.
+    pub patients: Vec<PreparedPatient>,
+}
+
+/// One patient's dense buffers.
+#[derive(Debug, Clone)]
+pub struct PreparedPatient {
+    /// Standardised values, row-major by time step: `x[t * F + f]`.
+    pub x: Vec<f32>,
+    /// Feature-presence mask (1.0 = measured at least once).
+    pub mask: Vec<f32>,
+    /// Labels as floats for loss targets.
+    pub labels: Vec<f32>,
+    /// Labels as bytes for metric computation.
+    pub labels_u8: Vec<u8>,
+}
+
+/// Converts a (standardised) dataset into dense buffers.
+pub fn prepare(ds: &EhrDataset) -> Prepared {
+    let nf = ds.n_features();
+    let t_steps = ds.time_steps;
+    let nl = ds.task.n_labels();
+    let patients = ds
+        .patients
+        .iter()
+        .map(|p| {
+            let mut x = Vec::with_capacity(t_steps * nf);
+            for t in 0..t_steps {
+                for f in 0..nf {
+                    x.push(p.values[f][t]);
+                }
+            }
+            PreparedPatient {
+                x,
+                mask: p.present.iter().map(|&m| if m { 1.0 } else { 0.0 }).collect(),
+                labels: p.labels.iter().map(|&l| f32::from(l)).collect(),
+                labels_u8: p.labels.clone(),
+            }
+        })
+        .collect();
+    Prepared { n_features: nf, time_steps: t_steps, n_labels: nl, patients }
+}
+
+/// A mini-batch of patients as dense matrices.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Batch size.
+    pub size: usize,
+    /// One `(batch x F)` matrix per time step.
+    pub steps: Vec<Matrix>,
+    /// `(batch x F)` feature-presence mask.
+    pub mask: Matrix,
+    /// `(batch x n_labels)` float labels (loss targets).
+    pub labels: Matrix,
+    /// Flat `(batch * n_labels)` byte labels (metrics).
+    pub labels_u8: Vec<u8>,
+}
+
+/// Assembles the mini-batch for patient `indices`.
+pub fn make_batch(prep: &Prepared, indices: &[usize]) -> Batch {
+    let b = indices.len();
+    let nf = prep.n_features;
+    let mut steps = Vec::with_capacity(prep.time_steps);
+    for t in 0..prep.time_steps {
+        let mut m = Matrix::zeros(b, nf);
+        for (r, &i) in indices.iter().enumerate() {
+            m.row_mut(r).copy_from_slice(&prep.patients[i].x[t * nf..(t + 1) * nf]);
+        }
+        steps.push(m);
+    }
+    let mut mask = Matrix::zeros(b, nf);
+    let mut labels = Matrix::zeros(b, prep.n_labels);
+    let mut labels_u8 = Vec::with_capacity(b * prep.n_labels);
+    for (r, &i) in indices.iter().enumerate() {
+        mask.row_mut(r).copy_from_slice(&prep.patients[i].mask);
+        labels.row_mut(r).copy_from_slice(&prep.patients[i].labels);
+        labels_u8.extend_from_slice(&prep.patients[i].labels_u8);
+    }
+    Batch { size: b, steps, mask, labels, labels_u8 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohortnet_ehr::{profiles, synth::generate};
+
+    fn prep_small() -> Prepared {
+        let mut cfg = profiles::mimic3_like(0.1);
+        cfg.n_patients = 30;
+        cfg.time_steps = 6;
+        prepare(&generate(&cfg))
+    }
+
+    #[test]
+    fn prepare_shapes() {
+        let p = prep_small();
+        assert_eq!(p.n_features, 20);
+        assert_eq!(p.time_steps, 6);
+        assert_eq!(p.n_labels, 1);
+        assert_eq!(p.patients.len(), 30);
+        assert_eq!(p.patients[0].x.len(), 6 * 20);
+    }
+
+    #[test]
+    fn batch_shapes_and_content() {
+        let p = prep_small();
+        let b = make_batch(&p, &[0, 5, 9]);
+        assert_eq!(b.size, 3);
+        assert_eq!(b.steps.len(), 6);
+        assert_eq!(b.steps[0].shape(), (3, 20));
+        assert_eq!(b.mask.shape(), (3, 20));
+        assert_eq!(b.labels.shape(), (3, 1));
+        // Row 1 of step 2 equals patient 5's values at t=2.
+        assert_eq!(b.steps[2].row(1), &p.patients[5].x[2 * 20..3 * 20]);
+        assert_eq!(b.labels_u8.len(), 3);
+    }
+
+    #[test]
+    fn batch_respects_index_order() {
+        let p = prep_small();
+        let b = make_batch(&p, &[9, 0]);
+        assert_eq!(b.steps[0].row(0), &p.patients[9].x[..20]);
+        assert_eq!(b.steps[0].row(1), &p.patients[0].x[..20]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Shared training and evaluation loop.
+//!
+//! All models — baselines and CohortNet variants — are optimised with Adam
+//! at the paper's learning rate (1e-3, §4.1) under this loop, so runtime
+//! comparisons (Fig. 11) measure architecture cost, not harness differences.
+
+use crate::data::{make_batch, Batch, Prepared};
+use crate::traits::SequenceModel;
+use cohortnet_metrics::{binary_report, macro_report, BinaryReport};
+use cohortnet_tensor::optim::Adam;
+use cohortnet_tensor::{ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Hyper-parameters of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate (paper: 1e-3).
+    pub lr: f32,
+    /// Global gradient-norm clip (0 disables).
+    pub clip: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Print per-epoch losses to stderr.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 8, batch_size: 64, lr: 1e-3, clip: 5.0, seed: 7, verbose: false }
+    }
+}
+
+/// Timing and loss trace of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainStats {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Mean wall-clock seconds per mini-batch (train step: forward +
+    /// backward + update).
+    pub sec_per_batch: f64,
+    /// Total seconds spent in `refresh` hooks (preprocessing, Fig. 11).
+    pub preprocess_sec: f64,
+    /// Total wall-clock seconds of the run.
+    pub total_sec: f64,
+}
+
+/// Trains `model` in place over `prep`.
+pub fn train(
+    model: &mut dyn SequenceModel,
+    ps: &mut ParamStore,
+    prep: &Prepared,
+    cfg: &TrainConfig,
+) -> TrainStats {
+    let start = Instant::now();
+    let mut opt = Adam::new(cfg.lr);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..prep.patients.len()).collect();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut batch_time = 0.0f64;
+    let mut batch_count = 0usize;
+    let mut preprocess_sec = 0.0f64;
+
+    for epoch in 0..cfg.epochs {
+        if model.needs_refresh() {
+            let t0 = Instant::now();
+            model.refresh(ps, prep, &mut rng);
+            preprocess_sec += t0.elapsed().as_secs_f64();
+        }
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut n_batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let batch = make_batch(prep, chunk);
+            let t0 = Instant::now();
+            let mut tape = Tape::new();
+            let logits = model.forward(&mut tape, ps, &batch);
+            let loss = tape.bce_with_logits(logits, batch.labels.clone());
+            let loss_val = tape.value(loss)[(0, 0)];
+            tape.backward(loss);
+            tape.flush_grads(ps);
+            if cfg.clip > 0.0 {
+                ps.clip_grad_norm(cfg.clip);
+            }
+            opt.step(ps);
+            batch_time += t0.elapsed().as_secs_f64();
+            batch_count += 1;
+            loss_sum += loss_val as f64;
+            n_batches += 1;
+        }
+        let mean = (loss_sum / n_batches.max(1) as f64) as f32;
+        epoch_losses.push(mean);
+        if cfg.verbose {
+            eprintln!("[{}] epoch {epoch}: loss {mean:.4}", model.name());
+        }
+    }
+
+    TrainStats {
+        epoch_losses,
+        sec_per_batch: batch_time / batch_count.max(1) as f64,
+        preprocess_sec,
+        total_sec: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Predicted probabilities for every patient, flattened row-major
+/// `(n_patients * n_labels)`.
+pub fn predict_probs(
+    model: &dyn SequenceModel,
+    ps: &ParamStore,
+    prep: &Prepared,
+    batch_size: usize,
+) -> Vec<f32> {
+    let indices: Vec<usize> = (0..prep.patients.len()).collect();
+    let mut out = Vec::with_capacity(prep.patients.len() * prep.n_labels);
+    for chunk in indices.chunks(batch_size.max(1)) {
+        let batch = make_batch(prep, chunk);
+        let mut tape = Tape::new();
+        let logits = model.forward(&mut tape, ps, &batch);
+        let probs = tape.value(logits).map(|z| 1.0 / (1.0 + (-z).exp()));
+        out.extend_from_slice(probs.as_slice());
+    }
+    out
+}
+
+/// Runs one forward pass on a single batch without training — used by the
+/// Fig. 11 inference-time measurements.
+pub fn inference_time(model: &dyn SequenceModel, ps: &ParamStore, batch: &Batch) -> f64 {
+    let t0 = Instant::now();
+    let mut tape = Tape::new();
+    let _ = model.forward(&mut tape, ps, batch);
+    t0.elapsed().as_secs_f64()
+}
+
+/// Evaluates a model on a prepared dataset, returning the paper's metric
+/// trio. Binary tasks use [`binary_report`]; multi-label tasks use the
+/// macro-averaged variant.
+pub fn evaluate(
+    model: &dyn SequenceModel,
+    ps: &ParamStore,
+    prep: &Prepared,
+    batch_size: usize,
+) -> BinaryReport {
+    let probs = predict_probs(model, ps, prep, batch_size);
+    let labels: Vec<u8> = prep.patients.iter().flat_map(|p| p.labels_u8.iter().copied()).collect();
+    if prep.n_labels == 1 {
+        binary_report(&probs, &labels)
+    } else {
+        macro_report(&probs, &labels, prep.n_labels)
+    }
+}
+
+/// A ready-made smoke check used across integration tests: loss decreases
+/// and test AUC-ROC beats chance.
+pub fn loss_decreased(stats: &TrainStats) -> bool {
+    match (stats.epoch_losses.first(), stats.epoch_losses.last()) {
+        (Some(&first), Some(&last)) => last < first,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::prepare;
+    use cohortnet_ehr::{profiles, standardize::Standardizer, synth::generate};
+    use cohortnet_tensor::nn::Linear;
+    use cohortnet_tensor::Var;
+
+    /// Trivial model: logistic regression on the last time step.
+    struct LastStepLogit {
+        head: Linear,
+    }
+
+    impl SequenceModel for LastStepLogit {
+        fn name(&self) -> &'static str {
+            "last-step-logit"
+        }
+        fn forward(&self, t: &mut Tape, ps: &ParamStore, batch: &Batch) -> Var {
+            let x = t.constant(batch.steps.last().unwrap().clone());
+            self.head.forward(t, ps, x)
+        }
+    }
+
+    fn small_prep() -> Prepared {
+        let mut cfg = profiles::mimic3_like(0.1);
+        cfg.n_patients = 200;
+        cfg.time_steps = 8;
+        let mut ds = generate(&cfg);
+        let scaler = Standardizer::fit(&ds);
+        scaler.apply(&mut ds);
+        prepare(&ds)
+    }
+
+    #[test]
+    fn trainer_reduces_loss_and_beats_chance() {
+        let prep = small_prep();
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = LastStepLogit { head: Linear::new(&mut ps, &mut rng, "h", prep.n_features, 1) };
+        let cfg = TrainConfig { epochs: 12, lr: 0.01, ..Default::default() };
+        let stats = train(&mut model, &mut ps, &prep, &cfg);
+        assert!(loss_decreased(&stats), "losses: {:?}", stats.epoch_losses);
+        let report = evaluate(&model, &ps, &prep, 64);
+        assert!(report.auc_roc > 0.6, "auc {:.3}", report.auc_roc);
+    }
+
+    #[test]
+    fn predict_probs_are_probabilities() {
+        let prep = small_prep();
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = LastStepLogit { head: Linear::new(&mut ps, &mut rng, "h", prep.n_features, 1) };
+        let probs = predict_probs(&model, &ps, &prep, 32);
+        assert_eq!(probs.len(), prep.patients.len());
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn stats_track_batches() {
+        let prep = small_prep();
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = LastStepLogit { head: Linear::new(&mut ps, &mut rng, "h", prep.n_features, 1) };
+        let stats = train(&mut model, &mut ps, &prep, &TrainConfig { epochs: 2, ..Default::default() });
+        assert_eq!(stats.epoch_losses.len(), 2);
+        assert!(stats.sec_per_batch > 0.0);
+        assert_eq!(stats.preprocess_sec, 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! The common interface every EHR sequence model implements.
+
+use crate::data::{Batch, Prepared};
+use cohortnet_tensor::{ParamStore, Tape, Var};
+use rand::rngs::StdRng;
+
+/// A trainable sequence model over EHR batches.
+///
+/// Implementations record their forward pass on a caller-supplied [`Tape`]
+/// and return the logits node (`batch x n_labels`). Parameters live in an
+/// external [`ParamStore`] created alongside the model so the shared trainer
+/// in [`crate::trainer`] can optimise any model uniformly.
+pub trait SequenceModel {
+    /// Display name used in experiment tables (matches the paper's labels).
+    fn name(&self) -> &'static str;
+
+    /// Records the forward pass, returning logits of shape
+    /// `(batch x n_labels)`.
+    fn forward(&self, t: &mut Tape, ps: &ParamStore, batch: &Batch) -> Var;
+
+    /// Epoch hook for models with non-gradient state (GRASP's clusters,
+    /// PPN's prototypes). Called before every epoch and once before
+    /// inference-time evaluation of a fresh dataset. Default: no-op.
+    fn refresh(&mut self, _ps: &ParamStore, _prep: &Prepared, _rng: &mut StdRng) {}
+
+    /// True when [`SequenceModel::refresh`] does real work — the trainer
+    /// then reports its cost as preprocessing time (Fig. 11).
+    fn needs_refresh(&self) -> bool {
+        false
+    }
+}

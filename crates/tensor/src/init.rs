@@ -1,0 +1,58 @@
+//! Weight initialisation schemes.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialisation: `U(-limit, limit)` with
+/// `limit = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    let limit = (6.0 / (rows + cols) as f32).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..limit))
+}
+
+/// Uniform initialisation in `(-scale, scale)`.
+pub fn uniform(rng: &mut StdRng, rows: usize, cols: usize, scale: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-scale..scale))
+}
+
+/// Orthogonal-ish recurrent initialisation: Xavier scaled down — adequate for
+/// the small hidden sizes used in this workspace.
+pub fn recurrent(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    xavier_uniform(rng, rows, cols).scale(0.8)
+}
+
+/// Zero initialisation (biases).
+pub fn zeros(rows: usize, cols: usize) -> Matrix {
+    Matrix::zeros(rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = xavier_uniform(&mut rng, 10, 20);
+        let limit = (6.0 / 30.0f32).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= limit));
+        // Not all zero.
+        assert!(m.norm() > 0.0);
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(42), 4, 4);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(42), 4, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = uniform(&mut rng, 5, 5, 0.01);
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= 0.01));
+    }
+}

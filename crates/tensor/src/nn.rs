@@ -1,0 +1,422 @@
+//! Reusable neural layers built on the autograd [`Tape`].
+//!
+//! Every layer owns [`ParamId`] handles into a shared [`ParamStore`] and
+//! exposes a `forward`/`step` method that records onto a caller-provided
+//! tape. Layers are therefore cheap to clone-free share across time steps —
+//! weight tying across a sequence falls out naturally.
+
+use crate::init;
+use crate::param::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use rand::rngs::StdRng;
+
+/// Fully connected layer `y = x W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a new linear layer's parameters.
+    pub fn new(ps: &mut ParamStore, rng: &mut StdRng, name: &str, in_dim: usize, out_dim: usize) -> Self {
+        let w = ps.register(format!("{name}.w"), init::xavier_uniform(rng, in_dim, out_dim));
+        let b = ps.register(format!("{name}.b"), init::zeros(1, out_dim));
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Applies the layer to a `(batch x in_dim)` node.
+    pub fn forward(&self, t: &mut Tape, ps: &ParamStore, x: Var) -> Var {
+        let w = t.param(ps, self.w);
+        let b = t.param(ps, self.b);
+        let xw = t.matmul(x, w);
+        t.add_row_broadcast(xw, b)
+    }
+
+    /// The weight parameter handle (for introspection, e.g. calibration
+    /// decomposition in CohortNet's CEM).
+    pub fn weight(&self) -> ParamId {
+        self.w
+    }
+
+    /// The bias parameter handle.
+    pub fn bias(&self) -> ParamId {
+        self.b
+    }
+}
+
+/// Activation functions selectable in an [`Mlp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// No activation.
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, t: &mut Tape, x: Var) -> Var {
+        match self {
+            Activation::Relu => t.relu(x),
+            Activation::Tanh => t.tanh(x),
+            Activation::Sigmoid => t.sigmoid(x),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// Multi-layer perceptron with a uniform hidden activation and a selectable
+/// output activation.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_act: Activation,
+    output_act: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP through the widths in `dims` (e.g. `[24, 16, 8]` gives
+    /// two layers).
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        dims: &[usize],
+        hidden_act: Activation,
+        output_act: Activation,
+    ) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(ps, rng, &format!("{name}.l{i}"), w[0], w[1]))
+            .collect();
+        Mlp { layers, hidden_act, output_act }
+    }
+
+    /// Applies the MLP to a `(batch x dims[0])` node.
+    pub fn forward(&self, t: &mut Tape, ps: &ParamStore, mut x: Var) -> Var {
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(t, ps, x);
+            x = if i == last { self.output_act.apply(t, x) } else { self.hidden_act.apply(t, x) };
+        }
+        x
+    }
+
+    /// Output width of the final layer.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().unwrap().out_dim
+    }
+}
+
+/// Gated recurrent unit cell (Cho et al., 2014).
+///
+/// `z = σ(x Wz + h Uz + bz)`, `r = σ(x Wr + h Ur + br)`,
+/// `h̃ = tanh(x Wh + (r⊙h) Uh + bh)`, `h' = (1-z)⊙h + z⊙h̃`.
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    wz: ParamId,
+    uz: ParamId,
+    bz: ParamId,
+    wr: ParamId,
+    ur: ParamId,
+    br: ParamId,
+    wh: ParamId,
+    uh: ParamId,
+    bh: ParamId,
+    /// Input width.
+    pub in_dim: usize,
+    /// Hidden width.
+    pub hidden_dim: usize,
+}
+
+impl GruCell {
+    /// Registers a new GRU cell's parameters.
+    pub fn new(ps: &mut ParamStore, rng: &mut StdRng, name: &str, in_dim: usize, hidden_dim: usize) -> Self {
+        GruCell {
+            wz: ps.register(format!("{name}.wz"), init::xavier_uniform(rng, in_dim, hidden_dim)),
+            uz: ps.register(format!("{name}.uz"), init::recurrent(rng, hidden_dim, hidden_dim)),
+            bz: ps.register(format!("{name}.bz"), init::zeros(1, hidden_dim)),
+            wr: ps.register(format!("{name}.wr"), init::xavier_uniform(rng, in_dim, hidden_dim)),
+            ur: ps.register(format!("{name}.ur"), init::recurrent(rng, hidden_dim, hidden_dim)),
+            br: ps.register(format!("{name}.br"), init::zeros(1, hidden_dim)),
+            wh: ps.register(format!("{name}.wh"), init::xavier_uniform(rng, in_dim, hidden_dim)),
+            uh: ps.register(format!("{name}.uh"), init::recurrent(rng, hidden_dim, hidden_dim)),
+            bh: ps.register(format!("{name}.bh"), init::zeros(1, hidden_dim)),
+            in_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Creates the initial zero hidden state for a batch.
+    pub fn init_state(&self, t: &mut Tape, batch: usize) -> Var {
+        t.constant(crate::matrix::Matrix::zeros(batch, self.hidden_dim))
+    }
+
+    /// One recurrent step: `(x: batch x in_dim, h: batch x hidden) -> h'`.
+    pub fn step(&self, t: &mut Tape, ps: &ParamStore, x: Var, h: Var) -> Var {
+        let gate = |t: &mut Tape, w: ParamId, u: ParamId, b: ParamId, hh: Var| {
+            let wv = t.param(ps, w);
+            let uv = t.param(ps, u);
+            let bv = t.param(ps, b);
+            let xw = t.matmul(x, wv);
+            let hu = t.matmul(hh, uv);
+            let s = t.add(xw, hu);
+            t.add_row_broadcast(s, bv)
+        };
+        let z_pre = gate(t, self.wz, self.uz, self.bz, h);
+        let z = t.sigmoid(z_pre);
+        let r_pre = gate(t, self.wr, self.ur, self.br, h);
+        let r = t.sigmoid(r_pre);
+        let rh = t.mul(r, h);
+        let cand_pre = gate(t, self.wh, self.uh, self.bh, rh);
+        // Note: the candidate path must not add `h Uh` twice — `gate` already
+        // used `rh` as the recurrent input.
+        let cand = t.tanh(cand_pre);
+        let zi = t.one_minus(z);
+        let keep = t.mul(zi, h);
+        let update = t.mul(z, cand);
+        t.add(keep, update)
+    }
+
+    /// Unrolls the cell over a sequence of inputs, returning all hidden
+    /// states (one per step).
+    pub fn unroll(&self, t: &mut Tape, ps: &ParamStore, xs: &[Var], batch: usize) -> Vec<Var> {
+        let mut h = self.init_state(t, batch);
+        let mut out = Vec::with_capacity(xs.len());
+        for &x in xs {
+            h = self.step(t, ps, x, h);
+            out.push(h);
+        }
+        out
+    }
+}
+
+/// Long short-term memory cell (Hochreiter & Schmidhuber, 1997).
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    wi: ParamId,
+    ui: ParamId,
+    bi: ParamId,
+    wf: ParamId,
+    uf: ParamId,
+    bf: ParamId,
+    wo: ParamId,
+    uo: ParamId,
+    bo: ParamId,
+    wc: ParamId,
+    uc: ParamId,
+    bc: ParamId,
+    /// Input width.
+    pub in_dim: usize,
+    /// Hidden width.
+    pub hidden_dim: usize,
+}
+
+/// The `(hidden, cell)` state pair of an LSTM.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmState {
+    /// Hidden state node.
+    pub h: Var,
+    /// Cell memory node.
+    pub c: Var,
+}
+
+impl LstmCell {
+    /// Registers a new LSTM cell's parameters.
+    pub fn new(ps: &mut ParamStore, rng: &mut StdRng, name: &str, in_dim: usize, hidden_dim: usize) -> Self {
+        let reg_w = |ps: &mut ParamStore, rng: &mut StdRng, s: &str| {
+            ps.register(format!("{name}.{s}"), init::xavier_uniform(rng, in_dim, hidden_dim))
+        };
+        let wi = reg_w(ps, rng, "wi");
+        let wf = reg_w(ps, rng, "wf");
+        let wo = reg_w(ps, rng, "wo");
+        let wc = reg_w(ps, rng, "wc");
+        let reg_u = |ps: &mut ParamStore, rng: &mut StdRng, s: &str| {
+            ps.register(format!("{name}.{s}"), init::recurrent(rng, hidden_dim, hidden_dim))
+        };
+        let ui = reg_u(ps, rng, "ui");
+        let uf = reg_u(ps, rng, "uf");
+        let uo = reg_u(ps, rng, "uo");
+        let uc = reg_u(ps, rng, "uc");
+        // Forget-gate bias starts at 1 so early training retains memory.
+        let bf = ps.register(format!("{name}.bf"), crate::matrix::Matrix::full(1, hidden_dim, 1.0));
+        let bi = ps.register(format!("{name}.bi"), init::zeros(1, hidden_dim));
+        let bo = ps.register(format!("{name}.bo"), init::zeros(1, hidden_dim));
+        let bc = ps.register(format!("{name}.bc"), init::zeros(1, hidden_dim));
+        LstmCell { wi, ui, bi, wf, uf, bf, wo, uo, bo, wc, uc, bc, in_dim, hidden_dim }
+    }
+
+    /// Creates the initial zero state for a batch.
+    pub fn init_state(&self, t: &mut Tape, batch: usize) -> LstmState {
+        LstmState {
+            h: t.constant(crate::matrix::Matrix::zeros(batch, self.hidden_dim)),
+            c: t.constant(crate::matrix::Matrix::zeros(batch, self.hidden_dim)),
+        }
+    }
+
+    /// One recurrent step.
+    pub fn step(&self, t: &mut Tape, ps: &ParamStore, x: Var, state: LstmState) -> LstmState {
+        let gate = |t: &mut Tape, w: ParamId, u: ParamId, b: ParamId| {
+            let wv = t.param(ps, w);
+            let uv = t.param(ps, u);
+            let bv = t.param(ps, b);
+            let xw = t.matmul(x, wv);
+            let hu = t.matmul(state.h, uv);
+            let s = t.add(xw, hu);
+            t.add_row_broadcast(s, bv)
+        };
+        let i_pre = gate(t, self.wi, self.ui, self.bi);
+        let i = t.sigmoid(i_pre);
+        let f_pre = gate(t, self.wf, self.uf, self.bf);
+        let f = t.sigmoid(f_pre);
+        let o_pre = gate(t, self.wo, self.uo, self.bo);
+        let o = t.sigmoid(o_pre);
+        let g_pre = gate(t, self.wc, self.uc, self.bc);
+        let g = t.tanh(g_pre);
+        let fc = t.mul(f, state.c);
+        let ig = t.mul(i, g);
+        let c = t.add(fc, ig);
+        let tc = t.tanh(c);
+        let h = t.mul(o, tc);
+        LstmState { h, c }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::optim::Adam;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_forward_shapes() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(&mut ps, &mut rng, "lin", 3, 5);
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::zeros(4, 3));
+        let y = lin.forward(&mut t, &ps, x);
+        assert_eq!(t.value(y).shape(), (4, 5));
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(&mut ps, &mut rng, "xor", &[2, 8, 1], Activation::Tanh, Activation::Identity);
+        let x = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+        let y = Matrix::from_vec(4, 1, vec![0., 1., 1., 0.]);
+        let mut opt = Adam::new(0.05);
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            let mut t = Tape::new();
+            let xv = t.constant(x.clone());
+            let logits = mlp.forward(&mut t, &ps, xv);
+            let loss = t.bce_with_logits(logits, y.clone());
+            last = t.value(loss)[(0, 0)];
+            t.backward(loss);
+            t.flush_grads(&mut ps);
+            opt.step(&mut ps);
+        }
+        assert!(last < 0.1, "xor loss did not converge: {last}");
+    }
+
+    #[test]
+    fn gru_step_shapes_and_bounds() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cell = GruCell::new(&mut ps, &mut rng, "gru", 4, 6);
+        let mut t = Tape::new();
+        let h0 = cell.init_state(&mut t, 3);
+        let x = t.constant(Matrix::full(3, 4, 0.5));
+        let h1 = cell.step(&mut t, &ps, x, h0);
+        assert_eq!(t.value(h1).shape(), (3, 6));
+        // GRU hidden state is a convex-combination of h (0) and tanh, so in (-1, 1).
+        assert!(t.value(h1).as_slice().iter().all(|&v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn gru_remembers_input_sign() {
+        // Train a GRU to output the sign of the FIRST input over a short
+        // sequence — requires the recurrent path to carry information.
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let cell = GruCell::new(&mut ps, &mut rng, "gru", 1, 8);
+        let head = Linear::new(&mut ps, &mut rng, "head", 8, 1);
+        let mut opt = Adam::new(0.02);
+        let seqs: Vec<(Vec<f32>, f32)> = vec![
+            (vec![1.0, 0.0, 0.0, 0.0], 1.0),
+            (vec![-1.0, 0.0, 0.0, 0.0], 0.0),
+            (vec![1.0, 0.1, -0.1, 0.0], 1.0),
+            (vec![-1.0, 0.1, -0.1, 0.0], 0.0),
+        ];
+        let mut last = f32::INFINITY;
+        for _ in 0..250 {
+            let mut t = Tape::new();
+            let xs: Vec<Var> = (0..4)
+                .map(|step| {
+                    let col: Vec<f32> = seqs.iter().map(|(s, _)| s[step]).collect();
+                    t.constant(Matrix::col_vector(&col))
+                })
+                .collect();
+            let hs = cell.unroll(&mut t, &ps, &xs, seqs.len());
+            let logits = head.forward(&mut t, &ps, *hs.last().unwrap());
+            let y = Matrix::col_vector(&seqs.iter().map(|(_, l)| *l).collect::<Vec<_>>());
+            let loss = t.bce_with_logits(logits, y);
+            last = t.value(loss)[(0, 0)];
+            t.backward(loss);
+            t.flush_grads(&mut ps);
+            opt.step(&mut ps);
+        }
+        assert!(last < 0.2, "gru memory task did not converge: {last}");
+    }
+
+    #[test]
+    fn lstm_step_shapes() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let cell = LstmCell::new(&mut ps, &mut rng, "lstm", 4, 6);
+        let mut t = Tape::new();
+        let s0 = cell.init_state(&mut t, 2);
+        let x = t.constant(Matrix::full(2, 4, 0.1));
+        let s1 = cell.step(&mut t, &ps, x, s0);
+        assert_eq!(t.value(s1.h).shape(), (2, 6));
+        assert_eq!(t.value(s1.c).shape(), (2, 6));
+    }
+
+    #[test]
+    fn lstm_trains_on_last_input() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let cell = LstmCell::new(&mut ps, &mut rng, "lstm", 1, 6);
+        let head = Linear::new(&mut ps, &mut rng, "head", 6, 1);
+        let mut opt = Adam::new(0.03);
+        let mut last = f32::INFINITY;
+        for _ in 0..200 {
+            let mut t = Tape::new();
+            let mut st = cell.init_state(&mut t, 2);
+            for step in 0..3 {
+                let x = t.constant(Matrix::from_vec(2, 1, vec![0.0, if step == 2 { 1.0 } else { 0.0 }]));
+                st = cell.step(&mut t, &ps, x, st);
+            }
+            let logits = head.forward(&mut t, &ps, st.h);
+            let loss = t.bce_with_logits(logits, Matrix::from_vec(2, 1, vec![0.0, 1.0]));
+            last = t.value(loss)[(0, 0)];
+            t.backward(loss);
+            t.flush_grads(&mut ps);
+            opt.step(&mut ps);
+        }
+        assert!(last < 0.2, "lstm task did not converge: {last}");
+    }
+}

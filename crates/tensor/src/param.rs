@@ -1,0 +1,167 @@
+//! Trainable parameter storage shared across forward passes.
+//!
+//! Parameters live outside the per-batch [`Tape`](crate::tape::Tape): a tape
+//! copies a parameter's current value into a leaf node at forward time and
+//! [`Tape::flush_grads`](crate::tape::Tape::flush_grads) accumulates the leaf
+//! gradient back into the [`ParamStore`] after `backward`. Optimisers in
+//! [`crate::optim`] then update the store in place.
+
+use crate::matrix::Matrix;
+
+/// Opaque handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+/// One named trainable parameter: its value and its accumulated gradient.
+#[derive(Debug, Clone)]
+pub struct ParamEntry {
+    /// Human-readable name, used in diagnostics.
+    pub name: String,
+    /// Current value.
+    pub value: Matrix,
+    /// Gradient accumulated since the last optimiser step.
+    pub grad: Matrix,
+}
+
+/// Arena of all trainable parameters of a model.
+#[derive(Debug, Default, Clone)]
+pub struct ParamStore {
+    entries: Vec<ParamEntry>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter with an initial value and returns its handle.
+    pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        self.entries.push(ParamEntry { name: name.into(), value, grad });
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.entries.iter().map(|e| e.value.len()).sum()
+    }
+
+    /// Immutable access to a parameter's value.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.entries[id.0].value
+    }
+
+    /// Mutable access to a parameter's value (used by optimisers and tests).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.entries[id.0].value
+    }
+
+    /// Immutable access to a parameter's accumulated gradient.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.entries[id.0].grad
+    }
+
+    /// Adds `g` into the accumulated gradient of `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &Matrix) {
+        self.entries[id.0].grad.add_assign(g);
+    }
+
+    /// Clears all accumulated gradients (keeps allocations).
+    pub fn zero_grads(&mut self) {
+        for e in &mut self.entries {
+            e.grad.fill_zero();
+        }
+    }
+
+    /// Global L2 norm of all gradients — used for clipping and diagnostics.
+    pub fn grad_norm(&self) -> f32 {
+        self.entries
+            .iter()
+            .map(|e| e.grad.as_slice().iter().map(|&x| x * x).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Rescales all gradients so their global norm does not exceed `max_norm`.
+    ///
+    /// Returns the pre-clipping norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for e in &mut self.entries {
+                e.grad.map_inplace(|x| x * s);
+            }
+        }
+        norm
+    }
+
+    /// Iterates over all entries (value + grad), mutably. Used by optimisers.
+    pub fn entries_mut(&mut self) -> impl Iterator<Item = &mut ParamEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// Iterates over all entries immutably.
+    pub fn entries(&self) -> impl Iterator<Item = &ParamEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_access() {
+        let mut ps = ParamStore::new();
+        let id = ps.register("w", Matrix::full(2, 3, 1.0));
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.num_scalars(), 6);
+        assert_eq!(ps.value(id).shape(), (2, 3));
+        assert_eq!(ps.grad(id).sum(), 0.0);
+    }
+
+    #[test]
+    fn grad_accumulation_and_zero() {
+        let mut ps = ParamStore::new();
+        let id = ps.register("w", Matrix::zeros(1, 2));
+        ps.accumulate_grad(id, &Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        ps.accumulate_grad(id, &Matrix::from_vec(1, 2, vec![0.5, 0.5]));
+        assert_eq!(ps.grad(id).as_slice(), &[1.5, 2.5]);
+        ps.zero_grads();
+        assert_eq!(ps.grad(id).sum(), 0.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut ps = ParamStore::new();
+        let id = ps.register("w", Matrix::zeros(1, 2));
+        ps.accumulate_grad(id, &Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        let pre = ps.clip_grad_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((ps.grad_norm() - 1.0).abs() < 1e-5);
+        // Direction preserved.
+        let g = ps.grad(id);
+        assert!((g[(0, 0)] / g[(0, 1)] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_noop_when_small() {
+        let mut ps = ParamStore::new();
+        let id = ps.register("w", Matrix::zeros(1, 2));
+        ps.accumulate_grad(id, &Matrix::from_vec(1, 2, vec![0.3, 0.4]));
+        ps.clip_grad_norm(10.0);
+        assert_eq!(ps.grad(id).as_slice(), &[0.3, 0.4]);
+    }
+}

@@ -1,0 +1,616 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records a computation graph of [`Matrix`] values for one forward
+//! pass (typically one mini-batch). Calling [`Tape::backward`] propagates
+//! gradients from a scalar loss to every node; [`Tape::flush_grads`] then
+//! accumulates gradients of parameter leaves into the shared
+//! [`crate::param::ParamStore`].
+//!
+//! The op set is deliberately small — just what recurrent/attention models
+//! over EHR data need — and every op's backward rule is validated against
+//! finite differences in `crate::gradcheck` tests.
+
+use crate::matrix::Matrix;
+use crate::param::{ParamId, ParamStore};
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+/// The operation that produced a node, holding parent handles.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant input (no gradient flows past it).
+    Leaf,
+    /// Parameter leaf; gradient is flushed to the store.
+    Param(ParamId),
+    MatMul(Var, Var),
+    Add(Var, Var),
+    /// `(r x c) + (1 x c)` — bias addition.
+    AddRowBroadcast(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    /// `(r x c) * (r x 1)` — per-row scaling (attention weights).
+    MulColBroadcast(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    Transpose(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Relu(Var),
+    SoftmaxRows(Var),
+    SumCols(Var),
+    SumRows(Var),
+    MeanAll(Var),
+    ConcatCols(Vec<Var>),
+    SliceCols(Var, usize),
+    /// Mean binary-cross-entropy over all elements, from logits.
+    /// Stores targets (and optional per-element weights) as constants.
+    BceWithLogits(Var, Matrix),
+    /// Mean squared error against a constant target.
+    Mse(Var, Matrix),
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+}
+
+/// A single-pass computation graph.
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: Vec::with_capacity(1024) }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node { value, grad: None, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of a node after [`Tape::backward`]; `None` if no gradient
+    /// reached it.
+    pub fn grad(&self, v: Var) -> Option<&Matrix> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    // ---------------------------------------------------------------- leaves
+
+    /// Records a constant (non-differentiable) input.
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Records a parameter leaf by copying its current value from the store.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    // ------------------------------------------------------------------ ops
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Element-wise sum of equally shaped nodes.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// `(r x c) + (1 x c)`: adds a row vector (bias) to every row.
+    pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[bias.0].value);
+        assert_eq!(bm.rows(), 1, "bias must be a row vector");
+        assert_eq!(am.cols(), bm.cols(), "bias width mismatch");
+        let mut out = am.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                out[(r, c)] += bm[(0, c)];
+            }
+        }
+        self.push(out, Op::AddRowBroadcast(a, bias))
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.mul(&self.nodes[b.0].value);
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// `(r x c) * (r x 1)`: scales each row of `a` by the matching entry of
+    /// the column vector `w` (e.g. per-sample attention weights).
+    pub fn mul_col_broadcast(&mut self, a: Var, w: Var) -> Var {
+        let (am, wm) = (&self.nodes[a.0].value, &self.nodes[w.0].value);
+        assert_eq!(wm.cols(), 1, "weight must be a column vector");
+        assert_eq!(am.rows(), wm.rows(), "weight height mismatch");
+        let mut out = am.clone();
+        for r in 0..out.rows() {
+            let s = wm[(r, 0)];
+            for c in 0..out.cols() {
+                out[(r, c)] *= s;
+            }
+        }
+        self.push(out, Op::MulColBroadcast(a, w))
+    }
+
+    /// Multiplication by a compile-time scalar.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.nodes[a.0].value.scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Addition of a compile-time scalar.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x + s);
+        self.push(v, Op::AddScalar(a))
+    }
+
+    /// Convenience for `1 - a`, common in gated RNN cells.
+    pub fn one_minus(&mut self, a: Var) -> Var {
+        let neg = self.scale(a, -1.0);
+        self.add_scalar(neg, 1.0)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// Element-wise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Element-wise hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Element-wise rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.softmax_rows();
+        self.push(v, Op::SoftmaxRows(a))
+    }
+
+    /// Row sums: `(r x c) -> (r x 1)`.
+    pub fn sum_cols(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.sum_cols();
+        self.push(v, Op::SumCols(a))
+    }
+
+    /// Column sums: `(r x c) -> (1 x c)`.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.sum_rows();
+        self.push(v, Op::SumRows(a))
+    }
+
+    /// Mean of all elements: `-> (1 x 1)`.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.mean()]);
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Horizontal concatenation of nodes sharing a row count.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols needs at least one node");
+        let mats: Vec<&Matrix> = parts.iter().map(|v| &self.nodes[v.0].value).collect();
+        let v = Matrix::concat_cols(&mats);
+        self.push(v, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Copy of columns `[start, end)` of `a`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let v = self.nodes[a.0].value.slice_cols(start, end);
+        self.push(v, Op::SliceCols(a, start))
+    }
+
+    /// Mean binary cross-entropy from logits against constant 0/1 targets.
+    ///
+    /// Numerically stable (`log1p`-based). Result is `1 x 1`.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: Matrix) -> Var {
+        let z = &self.nodes[logits.0].value;
+        assert_eq!(z.shape(), targets.shape(), "bce target shape mismatch");
+        let n = z.len() as f32;
+        let mut total = 0.0f64;
+        for (&zi, &yi) in z.as_slice().iter().zip(targets.as_slice()) {
+            // max(z,0) - z*y + ln(1 + e^{-|z|})
+            let l = zi.max(0.0) - zi * yi + (-zi.abs()).exp().ln_1p();
+            total += l as f64;
+        }
+        let v = Matrix::from_vec(1, 1, vec![(total / n as f64) as f32]);
+        self.push(v, Op::BceWithLogits(logits, targets))
+    }
+
+    /// Mean squared error against a constant target. Result is `1 x 1`.
+    pub fn mse(&mut self, pred: Var, targets: Matrix) -> Var {
+        let p = &self.nodes[pred.0].value;
+        assert_eq!(p.shape(), targets.shape(), "mse target shape mismatch");
+        let n = p.len() as f32;
+        let total: f32 = p
+            .as_slice()
+            .iter()
+            .zip(targets.as_slice())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum();
+        let v = Matrix::from_vec(1, 1, vec![total / n]);
+        self.push(v, Op::Mse(pred, targets))
+    }
+
+    // ------------------------------------------------------------- backward
+
+    fn grad_buf(&mut self, v: Var) -> &mut Matrix {
+        if self.nodes[v.0].grad.is_none() {
+            let (r, c) = self.nodes[v.0].value.shape();
+            self.nodes[v.0].grad = Some(Matrix::zeros(r, c));
+        }
+        self.nodes[v.0].grad.as_mut().unwrap()
+    }
+
+    /// Runs reverse-mode differentiation seeded at `root` (gradient 1 for
+    /// every element of `root`, which is normally a `1 x 1` loss).
+    pub fn backward(&mut self, root: Var) {
+        {
+            let (r, c) = self.nodes[root.0].value.shape();
+            self.nodes[root.0].grad = Some(Matrix::full(r, c, 1.0));
+        }
+        for i in (0..=root.0).rev() {
+            let Some(g) = self.nodes[i].grad.take() else { continue };
+            let op = self.nodes[i].op.clone();
+            let out_value = std::mem::replace(&mut self.nodes[i].value, Matrix::zeros(0, 0));
+            self.propagate(&op, &out_value, &g);
+            self.nodes[i].value = out_value;
+            self.nodes[i].grad = Some(g);
+        }
+    }
+
+    fn propagate(&mut self, op: &Op, out: &Matrix, g: &Matrix) {
+        match op {
+            Op::Leaf | Op::Param(_) => {}
+            Op::MatMul(a, b) => {
+                // dA = g * B^T ; dB = A^T * g
+                let bt = self.nodes[b.0].value.transpose();
+                let da = g.matmul(&bt);
+                self.grad_buf(*a).add_assign(&da);
+                let at = self.nodes[a.0].value.transpose();
+                let db = at.matmul(g);
+                self.grad_buf(*b).add_assign(&db);
+            }
+            Op::Add(a, b) => {
+                self.grad_buf(*a).add_assign(g);
+                self.grad_buf(*b).add_assign(g);
+            }
+            Op::AddRowBroadcast(a, bias) => {
+                self.grad_buf(*a).add_assign(g);
+                let db = g.sum_rows();
+                self.grad_buf(*bias).add_assign(&db);
+            }
+            Op::Sub(a, b) => {
+                self.grad_buf(*a).add_assign(g);
+                self.grad_buf(*b).add_scaled_assign(g, -1.0);
+            }
+            Op::Mul(a, b) => {
+                let da = g.mul(&self.nodes[b.0].value);
+                self.grad_buf(*a).add_assign(&da);
+                let db = g.mul(&self.nodes[a.0].value);
+                self.grad_buf(*b).add_assign(&db);
+            }
+            Op::MulColBroadcast(a, w) => {
+                let wm = self.nodes[w.0].value.clone();
+                let am = self.nodes[a.0].value.clone();
+                // dA[r,c] = g[r,c] * w[r]
+                let mut da = g.clone();
+                for r in 0..da.rows() {
+                    let s = wm[(r, 0)];
+                    for c in 0..da.cols() {
+                        da[(r, c)] *= s;
+                    }
+                }
+                self.grad_buf(*a).add_assign(&da);
+                // dW[r] = sum_c g[r,c] * a[r,c]
+                let dw = g.mul(&am).sum_cols();
+                self.grad_buf(*w).add_assign(&dw);
+            }
+            Op::Scale(a, s) => {
+                self.grad_buf(*a).add_scaled_assign(g, *s);
+            }
+            Op::AddScalar(a) => {
+                self.grad_buf(*a).add_assign(g);
+            }
+            Op::Transpose(a) => {
+                let da = g.transpose();
+                self.grad_buf(*a).add_assign(&da);
+            }
+            Op::Sigmoid(a) => {
+                let da = g.zip(out, |gi, yi| gi * yi * (1.0 - yi));
+                self.grad_buf(*a).add_assign(&da);
+            }
+            Op::Tanh(a) => {
+                let da = g.zip(out, |gi, yi| gi * (1.0 - yi * yi));
+                self.grad_buf(*a).add_assign(&da);
+            }
+            Op::Relu(a) => {
+                let da = g.zip(out, |gi, yi| if yi > 0.0 { gi } else { 0.0 });
+                self.grad_buf(*a).add_assign(&da);
+            }
+            Op::SoftmaxRows(a) => {
+                // dx = y * (g - <g, y>_row)
+                let mut da = Matrix::zeros(out.rows(), out.cols());
+                for r in 0..out.rows() {
+                    let dot: f32 = out
+                        .row(r)
+                        .iter()
+                        .zip(g.row(r).iter())
+                        .map(|(&y, &gi)| y * gi)
+                        .sum();
+                    for c in 0..out.cols() {
+                        da[(r, c)] = out[(r, c)] * (g[(r, c)] - dot);
+                    }
+                }
+                self.grad_buf(*a).add_assign(&da);
+            }
+            Op::SumCols(a) => {
+                let (r, c) = self.nodes[a.0].value.shape();
+                let mut da = Matrix::zeros(r, c);
+                for i in 0..r {
+                    let gi = g[(i, 0)];
+                    for j in 0..c {
+                        da[(i, j)] = gi;
+                    }
+                }
+                self.grad_buf(*a).add_assign(&da);
+            }
+            Op::SumRows(a) => {
+                let (r, c) = self.nodes[a.0].value.shape();
+                let mut da = Matrix::zeros(r, c);
+                for i in 0..r {
+                    for j in 0..c {
+                        da[(i, j)] = g[(0, j)];
+                    }
+                }
+                self.grad_buf(*a).add_assign(&da);
+            }
+            Op::MeanAll(a) => {
+                let (r, c) = self.nodes[a.0].value.shape();
+                let s = g[(0, 0)] / (r * c) as f32;
+                let da = Matrix::full(r, c, s);
+                self.grad_buf(*a).add_assign(&da);
+            }
+            Op::ConcatCols(parts) => {
+                let mut offset = 0;
+                for p in parts {
+                    let w = self.nodes[p.0].value.cols();
+                    let dp = g.slice_cols(offset, offset + w);
+                    self.grad_buf(*p).add_assign(&dp);
+                    offset += w;
+                }
+            }
+            Op::SliceCols(a, start) => {
+                let (r, _) = g.shape();
+                let buf = self.grad_buf(*a);
+                for i in 0..r {
+                    for j in 0..g.cols() {
+                        buf[(i, start + j)] += g[(i, j)];
+                    }
+                }
+            }
+            Op::BceWithLogits(logits, targets) => {
+                let z = &self.nodes[logits.0].value;
+                let n = z.len() as f32;
+                let s = g[(0, 0)] / n;
+                let dz = z.zip(targets, |zi, yi| {
+                    let p = 1.0 / (1.0 + (-zi).exp());
+                    (p - yi) * s
+                });
+                self.grad_buf(*logits).add_assign(&dz);
+            }
+            Op::Mse(pred, targets) => {
+                let p = &self.nodes[pred.0].value;
+                let n = p.len() as f32;
+                let s = 2.0 * g[(0, 0)] / n;
+                let dp = p.zip(targets, |a, b| (a - b) * s);
+                self.grad_buf(*pred).add_assign(&dp);
+            }
+        }
+    }
+
+    /// Accumulates parameter-leaf gradients into the store.
+    ///
+    /// Call after [`Tape::backward`]. Nodes whose gradient never materialised
+    /// (dead branches) are skipped.
+    pub fn flush_grads(&self, store: &mut ParamStore) {
+        for node in &self.nodes {
+            if let (Op::Param(id), Some(g)) = (&node.op, &node.grad) {
+                store.accumulate_grad(*id, g);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values_match_matrix_ops() {
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let b = t.constant(Matrix::from_vec(2, 2, vec![5., 6., 7., 8.]));
+        let c = t.matmul(a, b);
+        assert_eq!(t.value(c).as_slice(), &[19., 22., 43., 50.]);
+        let d = t.add(a, b);
+        assert_eq!(t.value(d).as_slice(), &[6., 8., 10., 12.]);
+    }
+
+    #[test]
+    fn backward_through_matmul() {
+        // loss = mean(A*B); check dA and dB shapes/values.
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::from_vec(1, 2, vec![1., 2.]));
+        let b = t.constant(Matrix::from_vec(2, 1, vec![3., 4.]));
+        let c = t.matmul(a, b); // 1x1 = 11
+        let l = t.mean_all(c);
+        t.backward(l);
+        assert_eq!(t.grad(a).unwrap().as_slice(), &[3., 4.]);
+        assert_eq!(t.grad(b).unwrap().as_slice(), &[1., 2.]);
+    }
+
+    #[test]
+    fn backward_through_sigmoid_chain() {
+        // y = sigmoid(x); loss = mean(y). dy/dx = y(1-y)/n
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_vec(1, 1, vec![0.0]));
+        let y = t.sigmoid(x);
+        let l = t.mean_all(y);
+        t.backward(l);
+        let g = t.grad(x).unwrap()[(0, 0)];
+        assert!((g - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_minus_matches_manual() {
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_vec(1, 2, vec![0.3, 0.9]));
+        let y = t.one_minus(x);
+        assert_eq!(t.value(y).as_slice(), &[0.7, 0.100000024]);
+    }
+
+    #[test]
+    fn bce_with_logits_value() {
+        // logit 0 against target 1 => ln 2
+        let mut t = Tape::new();
+        let z = t.constant(Matrix::from_vec(1, 1, vec![0.0]));
+        let l = t.bce_with_logits(z, Matrix::from_vec(1, 1, vec![1.0]));
+        assert!((t.value(l)[(0, 0)] - std::f32::consts::LN_2).abs() < 1e-6);
+        t.backward(l);
+        // d/dz = sigma(0) - 1 = -0.5
+        assert!((t.grad(z).unwrap()[(0, 0)] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_with_logits_extreme_logits_are_finite() {
+        let mut t = Tape::new();
+        let z = t.constant(Matrix::from_vec(1, 2, vec![100.0, -100.0]));
+        let l = t.bce_with_logits(z, Matrix::from_vec(1, 2, vec![1.0, 0.0]));
+        assert!(t.value(l).all_finite());
+        assert!(t.value(l)[(0, 0)] < 1e-3);
+    }
+
+    #[test]
+    fn flush_grads_accumulates_into_store() {
+        let mut ps = ParamStore::new();
+        let w = ps.register("w", Matrix::from_vec(1, 1, vec![2.0]));
+        let mut t = Tape::new();
+        let wv = t.param(&ps, w);
+        let x = t.constant(Matrix::from_vec(1, 1, vec![3.0]));
+        let y = t.mul(wv, x);
+        let l = t.mean_all(y);
+        t.backward(l);
+        t.flush_grads(&mut ps);
+        assert_eq!(ps.grad(w)[(0, 0)], 3.0);
+    }
+
+    #[test]
+    fn grad_accumulates_across_multiple_uses() {
+        // y = w*x1 + w*x2 — w used twice, grads must sum.
+        let mut ps = ParamStore::new();
+        let w = ps.register("w", Matrix::from_vec(1, 1, vec![1.0]));
+        let mut t = Tape::new();
+        let wv = t.param(&ps, w);
+        let x1 = t.constant(Matrix::from_vec(1, 1, vec![2.0]));
+        let x2 = t.constant(Matrix::from_vec(1, 1, vec![5.0]));
+        let a = t.mul(wv, x1);
+        let b = t.mul(wv, x2);
+        let y = t.add(a, b);
+        let l = t.mean_all(y);
+        t.backward(l);
+        t.flush_grads(&mut ps);
+        assert_eq!(ps.grad(w)[(0, 0)], 7.0);
+    }
+
+    #[test]
+    fn concat_slice_round_trip_grads() {
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::from_vec(2, 1, vec![1., 2.]));
+        let b = t.constant(Matrix::from_vec(2, 2, vec![3., 4., 5., 6.]));
+        let c = t.concat_cols(&[a, b]);
+        let s = t.slice_cols(c, 1, 3); // recover b
+        assert_eq!(t.value(s).as_slice(), &[3., 4., 5., 6.]);
+        let l = t.mean_all(s);
+        t.backward(l);
+        // Gradient reaches b, not a.
+        assert_eq!(t.grad(b).unwrap().as_slice(), &[0.25; 4]);
+        assert!(t.grad(a).unwrap().as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn softmax_rows_grad_sums_to_zero() {
+        // For softmax followed by picking one coordinate, gradient over the
+        // input row sums to ~0 (shift invariance).
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_vec(1, 3, vec![0.1, 0.5, -0.2]));
+        let s = t.softmax_rows(x);
+        let p = t.slice_cols(s, 1, 2);
+        let l = t.mean_all(p);
+        t.backward(l);
+        let g = t.grad(x).unwrap();
+        assert!(g.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn mul_col_broadcast_forward_and_backward() {
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let w = t.constant(Matrix::from_vec(2, 1, vec![10., 100.]));
+        let y = t.mul_col_broadcast(a, w);
+        assert_eq!(t.value(y).as_slice(), &[10., 20., 300., 400.]);
+        let l = t.mean_all(y);
+        t.backward(l);
+        let gw = t.grad(w).unwrap();
+        // dW[r] = sum_c a[r,c] / 4
+        assert_eq!(gw.as_slice(), &[0.75, 1.75]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Workspace facade for the CohortNet reproduction.
+//!
+//! Re-exports every crate of the workspace so examples and integration
+//! tests can depend on a single package. Library users should depend on the
+//! individual crates (`cohortnet`, `cohortnet-ehr`, …) directly.
+//!
+//! See `README.md` for the quickstart, `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use cohortnet;
+pub use cohortnet_clustering;
+pub use cohortnet_ehr;
+pub use cohortnet_metrics;
+pub use cohortnet_models;
+pub use cohortnet_tensor;

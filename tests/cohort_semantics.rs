@@ -1,0 +1,146 @@
+//! Semantic invariants of cohort matching (Definitions 3.1–3.3, Eq. 10):
+//! a patient belongs to a cohort iff the involved features' states match at
+//! at least one time step.
+
+use cohortnet::cdm::{mine_patterns, pattern_key};
+use cohortnet::config::CohortNetConfig;
+use cohortnet::crlm::CohortPool;
+use cohortnet_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NF: usize = 6;
+const T: usize = 10;
+
+fn random_states(n_patients: usize, k: u8, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_patients * T * NF).map(|_| rng.gen_range(0..=k)).collect()
+}
+
+fn masks() -> Vec<Vec<usize>> {
+    // Deterministic masks: feature i with its two neighbours.
+    (0..NF)
+        .map(|i| {
+            let mut m = vec![i, (i + 1) % NF, (i + 2) % NF];
+            m.sort_unstable();
+            m
+        })
+        .collect()
+}
+
+fn build_pool(states: &[u8], n_patients: usize) -> CohortPool {
+    let m = masks();
+    let mined = mine_patterns(states, n_patients, T, NF, &m);
+    let mut cfg = CohortNetConfig::default_dims();
+    cfg.bounds = vec![(0.0, 1.0); NF];
+    cfg.min_frequency = 1;
+    cfg.min_patients = 1;
+    cfg.max_cohorts_per_feature = usize::MAX;
+    let h = Matrix::from_fn(n_patients, NF * cfg.d_hidden, |r, c| ((r * 7 + c) % 5) as f32);
+    let labels: Vec<Vec<u8>> = (0..n_patients).map(|i| vec![u8::from(i % 3 == 0)]).collect();
+    CohortPool::build(mined, m, &h, &labels, &cfg)
+}
+
+/// Brute-force membership: does patient `p` match cohort pattern at any t?
+fn manual_member(states: &[u8], p: usize, pattern: &[(usize, u8)]) -> bool {
+    (0..T).any(|t| {
+        pattern
+            .iter()
+            .all(|&(f, s)| states[p * T * NF + t * NF + f] == s)
+    })
+}
+
+#[test]
+fn bitmap_equals_brute_force_membership() {
+    let n = 40;
+    let states = random_states(n, 4, 9);
+    let pool = build_pool(&states, n);
+    for p in 0..n {
+        let grid = &states[p * T * NF..(p + 1) * T * NF];
+        for f in 0..NF {
+            let bits = pool.bitmap(f, grid, T, NF);
+            for (q, cohort) in pool.per_feature[f].iter().enumerate() {
+                assert_eq!(
+                    bits[q],
+                    manual_member(&states, p, &cohort.pattern),
+                    "patient {p}, feature {f}, cohort {q}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_training_occurrence_is_a_member() {
+    // Definition 3.1: the patients recorded during mining must all be
+    // bitmap members of the final cohort.
+    let n = 30;
+    let states = random_states(n, 3, 1);
+    let pool = build_pool(&states, n);
+    for f in 0..NF {
+        for cohort in &pool.per_feature[f] {
+            assert!(cohort.n_patients > 0);
+            // The cohort's frequency must be >= its patient count (a patient
+            // can match at several steps).
+            assert!(cohort.frequency >= cohort.n_patients);
+        }
+    }
+}
+
+#[test]
+fn matching_steps_consistent_with_bitmap() {
+    let n = 25;
+    let states = random_states(n, 4, 17);
+    let pool = build_pool(&states, n);
+    for p in 0..n {
+        let grid = &states[p * T * NF..(p + 1) * T * NF];
+        for f in 0..NF {
+            let bits = pool.bitmap(f, grid, T, NF);
+            for q in 0..pool.per_feature[f].len() {
+                let steps = pool.matching_steps(f, q, grid, T, NF);
+                assert_eq!(bits[q], !steps.is_empty());
+                // Each reported step really matches.
+                let cohort = &pool.per_feature[f][q];
+                for &t in &steps {
+                    for &(pf, s) in &cohort.pattern {
+                        assert_eq!(grid[t * NF + pf], s);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn total_frequency_is_conserved() {
+    // Summing frequencies over all patterns of a feature must equal the
+    // number of (patient, t) observations, since each observation produces
+    // exactly one pattern per feature.
+    let n = 20;
+    let states = random_states(n, 3, 23);
+    let m = masks();
+    let mined = mine_patterns(&states, n, T, NF, &m);
+    for per in &mined {
+        let total: usize = per.values().map(|s| s.frequency).sum();
+        assert_eq!(total, n * T);
+    }
+}
+
+#[test]
+fn pattern_keys_injective_over_observed_patterns() {
+    let n = 30;
+    let states = random_states(n, 7, 29);
+    let m = masks();
+    // For each feature, decode every observed key and re-encode: must match.
+    let mined = mine_patterns(&states, n, T, NF, &m);
+    for (f, per) in mined.iter().enumerate() {
+        for &key in per.keys() {
+            let decoded = cohortnet::cdm::decode_key(key, &m[f]);
+            let mut row = vec![0u8; NF];
+            for &(pf, s) in &decoded {
+                row[pf] = s;
+            }
+            assert_eq!(pattern_key(&row, &m[f]), key);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Cross-crate integration test: the full CohortNet pipeline from synthetic
+//! generation through training, discovery, exploitation and interpretation.
+
+use cohortnet::config::CohortNetConfig;
+use cohortnet::interpret::{build_context, explain_patient};
+use cohortnet::train::{train_cohortnet, train_without_cohorts};
+use cohortnet_ehr::{profiles, split::split_80_10_10, standardize::Standardizer, synth::generate};
+use cohortnet_models::data::prepare;
+use cohortnet_models::trainer::evaluate;
+
+fn pipeline_cfg(ds: &cohortnet_ehr::EhrDataset, scaler: &Standardizer) -> CohortNetConfig {
+    let mut cfg = CohortNetConfig::for_dataset(ds, scaler);
+    cfg.epochs_pretrain = 6;
+    cfg.epochs_exploit = 2;
+    cfg.batch_size = 32;
+    cfg.lr = 3e-3;
+    cfg.k_states = 5;
+    cfg.min_frequency = 4;
+    cfg.min_patients = 2;
+    cfg.state_fit_samples = 4000;
+    cfg
+}
+
+#[test]
+fn full_pipeline_mortality() {
+    let mut profile = profiles::mimic3_like(0.1);
+    profile.n_patients = 1100;
+    profile.time_steps = 8;
+    profile.healthy_rate = 0.5;
+    let ds = generate(&profile);
+    let split = split_80_10_10(&ds, 3);
+    let mut train_ds = ds.subset(&split.train);
+    // Evaluate on val ∪ test: at this miniature scale a 10% test split is
+    // too small for a stable AUC.
+    let heldout: Vec<usize> = split.val.iter().chain(&split.test).copied().collect();
+    let mut test_ds = ds.subset(&heldout);
+    let scaler = Standardizer::fit(&train_ds);
+    scaler.apply(&mut train_ds);
+    scaler.apply(&mut test_ds);
+    let cfg = pipeline_cfg(&train_ds, &scaler);
+    let train_prep = prepare(&train_ds);
+    let test_prep = prepare(&test_ds);
+
+    let trained = train_cohortnet(&train_prep, &cfg);
+
+    // Cohorts exist and respect the filters.
+    let pool = &trained.model.discovery.as_ref().unwrap().pool;
+    assert!(pool.total_cohorts() > 10, "only {} cohorts", pool.total_cohorts());
+    for c in pool.per_feature.iter().flatten() {
+        assert!(c.frequency >= cfg.min_frequency);
+        assert!(c.n_patients >= cfg.min_patients);
+        assert!(c.pos_rate[0] >= 0.0 && c.pos_rate[0] <= 1.0);
+    }
+
+    // Predictive quality beats chance on held-out data.
+    let report = evaluate(&trained.model, &trained.params, &test_prep, 64);
+    assert!(report.auc_roc > 0.6, "test AUC-ROC {:.3}", report.auc_roc);
+    let prevalence = test_ds.positive_rate();
+    assert!(report.auc_pr > prevalence, "AUC-PR {:.3} <= prevalence {prevalence:.3}", report.auc_pr);
+
+    // Interpretation works on a held-out patient.
+    let ctx = build_context(&trained.model, &trained.params, &train_prep, &scaler);
+    assert_eq!(ctx.states.n_patients, train_prep.patients.len());
+    let exp = explain_patient(&trained.model, &trained.params, &test_prep, 0);
+    assert!(exp.full_prob[0].is_finite());
+    assert_eq!(exp.feature_scores.len(), train_ds.n_features());
+}
+
+#[test]
+fn full_pipeline_multilabel_diagnosis() {
+    let mut profile = profiles::eicu_like(0.1);
+    profile.n_patients = 800;
+    profile.time_steps = 6;
+    let ds = generate(&profile);
+    let split = split_80_10_10(&ds, 5);
+    let mut train_ds = ds.subset(&split.train);
+    let heldout: Vec<usize> = split.val.iter().chain(&split.test).copied().collect();
+    let mut test_ds = ds.subset(&heldout);
+    let scaler = Standardizer::fit(&train_ds);
+    scaler.apply(&mut train_ds);
+    scaler.apply(&mut test_ds);
+    let cfg = pipeline_cfg(&train_ds, &scaler);
+    let trained = train_cohortnet(&prepare(&train_ds), &cfg);
+
+    // Multi-label: cohort label blocks have 25 rates.
+    let pool = &trained.model.discovery.as_ref().unwrap().pool;
+    let c = pool.per_feature.iter().flatten().next().expect("cohorts exist");
+    assert_eq!(c.pos_rate.len(), 25);
+
+    let report = evaluate(&trained.model, &trained.params, &prepare(&test_ds), 64);
+    assert!(report.auc_roc > 0.55, "macro AUC-ROC {:.3}", report.auc_roc);
+}
+
+#[test]
+fn cohorts_improve_over_ablation_on_planted_data() {
+    // The paper's central claim at miniature scale: the full model's
+    // training-set fit with cohorts should not be worse than w/o c by any
+    // meaningful margin (on the test set both fluctuate at this scale, so
+    // the assertion is deliberately one-sided and loose).
+    let mut profile = profiles::mimic3_like(0.1);
+    profile.n_patients = 240;
+    profile.time_steps = 8;
+    profile.healthy_rate = 0.45;
+    let mut ds = generate(&profile);
+    let scaler = Standardizer::fit(&ds);
+    scaler.apply(&mut ds);
+    let cfg = pipeline_cfg(&ds, &scaler);
+    let prep = prepare(&ds);
+
+    let full = train_cohortnet(&prep, &cfg);
+    let woc = train_without_cohorts(&prep, &cfg);
+    let r_full = evaluate(&full.model, &full.params, &prep, 64);
+    let r_woc = evaluate(&woc.model, &woc.params, &prep, 64);
+    assert!(
+        r_full.auc_pr > r_woc.auc_pr - 0.05,
+        "cohorts degraded fit: {:.3} vs {:.3}",
+        r_full.auc_pr,
+        r_woc.auc_pr
+    );
+}

@@ -1,0 +1,128 @@
+//! Failure-injection tests: the workspace's error surfaces must fail loudly
+//! and precisely, not corrupt state or mis-train silently.
+
+use cohortnet_clustering::{kmeans_fit, KMeansConfig};
+use cohortnet_ehr::io::{dataset_from_csv, CsvError};
+use cohortnet_ehr::record::{EhrDataset, PatientRecord, Task};
+use cohortnet_metrics::{macro_report, pr_auc, roc_auc};
+use cohortnet_tensor::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------- tensor
+
+#[test]
+#[should_panic(expected = "matmul shape mismatch")]
+fn matmul_shape_mismatch_panics() {
+    let a = Matrix::zeros(2, 3);
+    let b = Matrix::zeros(2, 3);
+    let _ = a.matmul(&b);
+}
+
+#[test]
+#[should_panic(expected = "zip shape mismatch")]
+fn elementwise_shape_mismatch_panics() {
+    let a = Matrix::zeros(2, 3);
+    let b = Matrix::zeros(3, 2);
+    let _ = a.add(&b);
+}
+
+#[test]
+#[should_panic(expected = "bias must be a row vector")]
+fn tape_bias_shape_checked() {
+    let mut t = cohortnet_tensor::Tape::new();
+    let a = t.constant(Matrix::zeros(2, 3));
+    let b = t.constant(Matrix::zeros(2, 3));
+    let _ = t.add_row_broadcast(a, b);
+}
+
+// ------------------------------------------------------------- clustering
+
+#[test]
+#[should_panic(expected = "empty")]
+fn kmeans_empty_input_panics() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let _ = kmeans_fit(&[], 3, KMeansConfig::default(), &mut rng);
+}
+
+#[test]
+#[should_panic(expected = "not divisible")]
+fn kmeans_ragged_input_panics() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let _ = kmeans_fit(&[1.0, 2.0, 3.0], 2, KMeansConfig::default(), &mut rng);
+}
+
+// ---------------------------------------------------------------- metrics
+
+#[test]
+#[should_panic(expected = "length mismatch")]
+fn metric_length_mismatch_panics() {
+    let _ = roc_auc(&[0.1, 0.2], &[1]);
+}
+
+#[test]
+fn metrics_tolerate_nan_free_degenerate_inputs() {
+    // Degenerate but valid inputs return well-defined fallbacks.
+    assert_eq!(roc_auc(&[], &[]), 0.5);
+    assert_eq!(pr_auc(&[], &[]), 0.0);
+    let r = macro_report(&[0.5, 0.5], &[0, 0], 2);
+    assert_eq!(r.auc_roc, 0.5);
+}
+
+// -------------------------------------------------------------------- ehr
+
+#[test]
+fn dataset_validation_rejects_label_width_drift() {
+    let ds = EhrDataset {
+        name: "bad".into(),
+        feature_indices: vec![0],
+        time_steps: 2,
+        task: Task::Diagnosis { n_labels: 3 },
+        patients: vec![PatientRecord {
+            id: 0,
+            values: vec![vec![1.0, 2.0]],
+            present: vec![true],
+            labels: vec![1], // should be 3 wide
+            archetypes: vec![],
+            severity: 0.0,
+        }],
+    };
+    let err = ds.validate().unwrap_err();
+    assert!(err.contains("labels"), "unexpected error: {err}");
+}
+
+#[test]
+fn csv_error_messages_carry_context() {
+    let err = dataset_from_csv("1,abc,RR,5\n", "1,0\n", &["RR"], 4, 4.0, Task::Mortality, "x")
+        .unwrap_err();
+    assert_eq!(err, CsvError::BadLine(1, "bad timestamp".into()));
+    assert!(err.to_string().contains("line 1"));
+}
+
+// ------------------------------------------------------------------- core
+
+#[test]
+#[should_panic(expected = "config has no feature bounds")]
+fn mflm_requires_bounds() {
+    let cfg = cohortnet::config::CohortNetConfig::default_dims(); // empty bounds
+    let mut ps = cohortnet_tensor::ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let _ = cohortnet::mflm::Mflm::new(&mut ps, &mut rng, &cfg);
+}
+
+#[test]
+#[should_panic(expected = "run discovery before interpretation")]
+fn interpretation_requires_discovery() {
+    let mut cfg = cohortnet::config::CohortNetConfig::default_dims();
+    cfg.bounds = vec![(0.0, 1.0); 2];
+    let mut ps = cohortnet_tensor::ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = cohortnet::model::CohortNetModel::new(&mut ps, &mut rng, &cfg);
+    let prep = cohortnet_models::data::Prepared {
+        n_features: 2,
+        time_steps: 2,
+        n_labels: 1,
+        patients: vec![],
+    };
+    let _ = cohortnet::interpret::compute_states(&model, &ps, &prep);
+}

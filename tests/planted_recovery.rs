@@ -1,0 +1,160 @@
+//! Ground-truth validation: the synthetic generator plants physiological
+//! archetypes, and a trained CohortNet should (a) surface high-risk cohorts
+//! whose members are enriched in sick patients and (b) separate the planted
+//! conditions' feature shifts into distinct states — the checks no
+//! real-world evaluation can run.
+
+use cohortnet::config::CohortNetConfig;
+use cohortnet::interpret::build_context;
+use cohortnet::train::train_cohortnet;
+use cohortnet_ehr::{profiles, standardize::Standardizer, synth::generate};
+use cohortnet_models::data::prepare;
+
+fn trained_setup() -> (
+    cohortnet::train::TrainedCohortNet,
+    cohortnet_models::data::Prepared,
+    Standardizer,
+    cohortnet_ehr::EhrDataset, // raw (unstandardised)
+    cohortnet_ehr::EhrDataset, // standardised
+) {
+    let mut profile = profiles::mimic3_like(0.1);
+    profile.n_patients = 500;
+    profile.time_steps = 10;
+    profile.healthy_rate = 0.5;
+    let raw = generate(&profile);
+    let mut ds = raw.clone();
+    let scaler = Standardizer::fit(&ds);
+    scaler.apply(&mut ds);
+    let mut cfg = CohortNetConfig::for_dataset(&ds, &scaler);
+    cfg.epochs_pretrain = 6;
+    cfg.epochs_exploit = 4;
+    cfg.lr = 3e-3;
+    cfg.k_states = 5;
+    cfg.min_frequency = 6;
+    cfg.min_patients = 3;
+    cfg.state_fit_samples = 6000;
+    let prep = prepare(&ds);
+    (train_cohortnet(&prep, &cfg), prep, scaler, raw, ds)
+}
+
+#[test]
+fn discovers_risk_enriched_cohorts() {
+    let (trained, _prep, _scaler, raw, _ds) = trained_setup();
+    let pool = &trained.model.discovery.as_ref().unwrap().pool;
+    let background = raw.positive_rate() as f32;
+
+    // Some cohort must concentrate mortality well above background (the
+    // Table 2 shape: cohorts ranging from ~3x background down to below it).
+    let max_rate = pool
+        .per_feature
+        .iter()
+        .flatten()
+        .filter(|c| c.n_patients >= 10)
+        .map(|c| c.pos_rate[0])
+        .fold(0.0f32, f32::max);
+    assert!(
+        max_rate > background * 1.6,
+        "no risk-enriched cohort: max {:.2} vs background {:.2}",
+        max_rate,
+        background
+    );
+
+    // And some large benign cohort must exist below background (C#04 shape).
+    let min_rate_large = pool
+        .per_feature
+        .iter()
+        .flatten()
+        .filter(|c| c.n_patients >= 50)
+        .map(|c| c.pos_rate[0])
+        .fold(1.0f32, f32::min);
+    assert!(
+        min_rate_large < background,
+        "no benign common cohort: min {:.2} vs background {:.2}",
+        min_rate_large,
+        background
+    );
+}
+
+#[test]
+fn states_separate_planted_value_ranges() {
+    let (trained, prep, scaler, raw, ds) = trained_setup();
+    let ctx = build_context(&trained.model, &trained.params, &prep, &scaler);
+
+    // PCO2 states must span a meaningful raw-value spread (Fig. 10a shape:
+    // "different states typically indicate different value ranges"). The
+    // acidosis archetype pushes PCO2 several half-ranges above normal, so
+    // the state means must cover at least one normal half-width.
+    let pco2 = ds.feature_column("PCO2");
+    let def = ds.feature_def(pco2);
+    let means: Vec<f32> = ctx.summaries[pco2].mean_raw.iter().flatten().copied().collect();
+    assert!(means.len() >= 3, "PCO2 has too few occupied states");
+    let max = means.iter().cloned().fold(f32::MIN, f32::max);
+    let min = means.iter().cloned().fold(f32::MAX, f32::min);
+    let halfwidth = 0.5 * (def.normal_hi - def.normal_lo);
+    assert!(
+        max - min > halfwidth,
+        "PCO2 state means not value-separated: spread {:.1} (min {min:.1}, max {max:.1})",
+        max - min
+    );
+
+    // Patients carrying the acidosis archetype should occupy the top PCO2
+    // state more often than healthy patients.
+    let top_state = ctx.summaries[pco2]
+        .mean_raw
+        .iter()
+        .enumerate()
+        .filter_map(|(s, m)| m.map(|v| (s, v)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+        .0 as u8;
+    let occupancy = |pred: &dyn Fn(&cohortnet_ehr::PatientRecord) -> bool| -> f64 {
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for (p, rec) in raw.patients.iter().enumerate() {
+            if !pred(rec) {
+                continue;
+            }
+            for t in 0..ctx.states.t_steps {
+                total += 1;
+                if ctx.states.state(p, t, pco2) == top_state {
+                    hits += 1;
+                }
+            }
+        }
+        hits as f64 / total.max(1) as f64
+    };
+    let acidotic = occupancy(&|r| r.archetypes.contains(&0));
+    let healthy = occupancy(&|r| r.archetypes.is_empty());
+    assert!(
+        acidotic > healthy * 1.2,
+        "acidotic occupancy {acidotic:.3} not enriched over healthy {healthy:.3}"
+    );
+}
+
+#[test]
+fn calibration_shifts_risk_toward_outcomes() {
+    // Across the training set, cohort calibration should push predicted
+    // risk up for patients who died more often than for survivors.
+    let (trained, prep, _scaler, raw, _ds) = trained_setup();
+    let mut shift_pos = 0.0f64;
+    let mut n_pos = 0usize;
+    let mut shift_neg = 0.0f64;
+    let mut n_neg = 0usize;
+    for p in 0..prep.patients.len().min(120) {
+        let exp = cohortnet::interpret::explain_patient(&trained.model, &trained.params, &prep, p);
+        let delta = (exp.full_prob[0] - exp.base_prob[0]) as f64;
+        if raw.patients[p].mortality() != 0 {
+            shift_pos += delta;
+            n_pos += 1;
+        } else {
+            shift_neg += delta;
+            n_neg += 1;
+        }
+    }
+    let mean_pos = shift_pos / n_pos.max(1) as f64;
+    let mean_neg = shift_neg / n_neg.max(1) as f64;
+    assert!(
+        mean_pos > mean_neg,
+        "calibration does not separate outcomes: died {mean_pos:.4} vs survived {mean_neg:.4}"
+    );
+}
