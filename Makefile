@@ -1,0 +1,23 @@
+CARGO ?= cargo
+
+.PHONY: verify build test clippy fmt bench-discovery
+
+## Full local verification: what CI runs, in the same order.
+verify: build test clippy fmt
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+clippy:
+	$(CARGO) clippy --all-targets -- -D warnings
+
+fmt:
+	$(CARGO) fmt --all -- --check
+
+## Regenerates BENCH_discovery.json (scalability sweeps + threads-vs-speedup
+## curve for the discovery pipeline).
+bench-discovery:
+	COHORTNET_FAST=1 COHORTNET_SCALE=0.5 $(CARGO) run --release -p cohortnet-bench --bin fig13_scalability

@@ -32,7 +32,11 @@ fn bench_backends(c: &mut Criterion) {
                 std::hint::black_box(kmeans_fit(
                     &data,
                     dim,
-                    KMeansConfig { k: 7, max_iter: 30, tol: 1e-4 },
+                    KMeansConfig {
+                        k: 7,
+                        max_iter: 30,
+                        tol: 1e-4,
+                    },
                     &mut rng,
                 ))
             });

@@ -15,7 +15,9 @@ const T: usize = 24;
 
 fn synth_states(n_patients: usize, k: usize) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(3);
-    (0..n_patients * T * NF).map(|_| rng.gen_range(0..=k) as u8).collect()
+    (0..n_patients * T * NF)
+        .map(|_| rng.gen_range(0..=k) as u8)
+        .collect()
 }
 
 fn masks() -> Vec<Vec<usize>> {
@@ -68,11 +70,19 @@ fn bench_pool_and_bitmap(c: &mut Criterion) {
     cfg.bounds = vec![(0.0, 1.0); NF];
     cfg.min_frequency = 4;
     cfg.min_patients = 2;
-    let h = Matrix::from_fn(n, NF * cfg.d_hidden, |r, col| ((r + col) % 17) as f32 * 0.05);
+    let h = Matrix::from_fn(n, NF * cfg.d_hidden, |r, col| {
+        ((r + col) % 17) as f32 * 0.05
+    });
     let labels: Vec<Vec<u8>> = (0..n).map(|i| vec![u8::from(i % 7 == 0)]).collect();
     c.bench_function("pool_build_400p", |b| {
         b.iter(|| {
-            std::hint::black_box(CohortPool::build(mined.clone(), m.clone(), &h, &labels, &cfg))
+            std::hint::black_box(CohortPool::build(
+                mined.clone(),
+                m.clone(),
+                &h,
+                &labels,
+                &cfg,
+            ))
         });
     });
     let pool = CohortPool::build(mined, m, &h, &labels, &cfg);

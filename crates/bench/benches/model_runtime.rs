@@ -16,7 +16,10 @@ fn bench_models(c: &mut Criterion) {
     let mut cfg = profiles::mimic3_like(0.05);
     cfg.n_patients = 64;
     let b = bundle(cfg, 8);
-    let batch = make_batch(&b.train, &(0..16.min(b.train.patients.len())).collect::<Vec<_>>());
+    let batch = make_batch(
+        &b.train,
+        &(0..16.min(b.train.patients.len())).collect::<Vec<_>>(),
+    );
     let nf = b.train.n_features;
 
     let mut g = c.benchmark_group("train_step");
@@ -42,13 +45,28 @@ fn bench_models(c: &mut Criterion) {
         }};
     }
 
-    bench_model!("LSTM", |ps: &mut ParamStore, rng: &mut StdRng| LstmModel::new(ps, rng, nf, 1, 24));
-    bench_model!("GRU", |ps: &mut ParamStore, rng: &mut StdRng| GruModel::new(ps, rng, nf, 1, 24));
-    bench_model!("RETAIN", |ps: &mut ParamStore, rng: &mut StdRng| RetainModel::new(ps, rng, nf, 1, 12));
-    bench_model!("Dipole", |ps: &mut ParamStore, rng: &mut StdRng| DipoleModel::new(ps, rng, nf, 1, 12));
-    bench_model!("StageNet", |ps: &mut ParamStore, rng: &mut StdRng| StageNetModel::new(ps, rng, nf, 1, 24));
-    bench_model!("T-LSTM", |ps: &mut ParamStore, rng: &mut StdRng| TLstmModel::new(ps, rng, nf, 1, 24));
-    bench_model!("ConCare", |ps: &mut ParamStore, rng: &mut StdRng| ConCareModel::new(ps, rng, nf, 1, 6));
+    bench_model!("LSTM", |ps: &mut ParamStore, rng: &mut StdRng| {
+        LstmModel::new(ps, rng, nf, 1, 24)
+    });
+    bench_model!(
+        "GRU",
+        |ps: &mut ParamStore, rng: &mut StdRng| GruModel::new(ps, rng, nf, 1, 24)
+    );
+    bench_model!("RETAIN", |ps: &mut ParamStore, rng: &mut StdRng| {
+        RetainModel::new(ps, rng, nf, 1, 12)
+    });
+    bench_model!("Dipole", |ps: &mut ParamStore, rng: &mut StdRng| {
+        DipoleModel::new(ps, rng, nf, 1, 12)
+    });
+    bench_model!("StageNet", |ps: &mut ParamStore, rng: &mut StdRng| {
+        StageNetModel::new(ps, rng, nf, 1, 24)
+    });
+    bench_model!("T-LSTM", |ps: &mut ParamStore, rng: &mut StdRng| {
+        TLstmModel::new(ps, rng, nf, 1, 24)
+    });
+    bench_model!("ConCare", |ps: &mut ParamStore, rng: &mut StdRng| {
+        ConCareModel::new(ps, rng, nf, 1, 6)
+    });
 
     // CohortNet w/o c (MFLM): the heaviest representation module.
     {

@@ -17,7 +17,10 @@ use cohortnet_models::trainer::evaluate;
 
 fn main() {
     let bundle = mimic3(scale(), time_steps());
-    let opts = RunOptions { epochs: if fast() { 2 } else { 10 }, ..Default::default() };
+    let opts = RunOptions {
+        epochs: if fast() { 2 } else { 10 },
+        ..Default::default()
+    };
 
     println!("== Ablation: adaptive k / threshold-n selection (mimic3-like) ==\n");
     let variants: Vec<(&str, bool, Option<f32>)> = vec![

@@ -19,9 +19,15 @@ use cohortnet_models::trainer::evaluate;
 
 fn main() {
     let bundle = mimic3(scale(), time_steps());
-    let opts = RunOptions { epochs: if fast() { 2 } else { 8 }, ..Default::default() };
-    let sweeps: Vec<(usize, usize)> =
-        if fast() { vec![(1, 1), (24, 8)] } else { vec![(1, 1), (8, 4), (24, 8), (96, 24), (400, 80)] };
+    let opts = RunOptions {
+        epochs: if fast() { 2 } else { 8 },
+        ..Default::default()
+    };
+    let sweeps: Vec<(usize, usize)> = if fast() {
+        vec![(1, 1), (24, 8)]
+    } else {
+        vec![(1, 1), (8, 4), (24, 8), (96, 24), (400, 80)]
+    };
 
     println!("== Ablation: CRLM credibility filters (mimic3-like) ==\n");
     let mut rows = Vec::new();
@@ -38,10 +44,16 @@ fn main() {
             format!("{:.1}", pool.avg_patients_per_cohort()),
             m3(report.auc_pr),
         ]);
-        eprintln!("[filters] {min_freq}/{min_patients}: {} cohorts", pool.total_cohorts());
+        eprintln!(
+            "[filters] {min_freq}/{min_patients}: {} cohorts",
+            pool.total_cohorts()
+        );
     }
     println!(
         "{}",
-        render_table(&["filter", "cohorts", "avg patients/cohort", "AUC-PR"], &rows)
+        render_table(
+            &["filter", "cohorts", "avg patients/cohort", "AUC-PR"],
+            &rows
+        )
     );
 }

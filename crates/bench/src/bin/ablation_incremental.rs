@@ -38,7 +38,10 @@ fn subset(prep: &Prepared, range: std::ops::Range<usize>) -> Prepared {
 
 fn main() {
     let bundle = mimic3(scale(), time_steps());
-    let opts = RunOptions { epochs: if fast() { 1 } else { 5 }, ..Default::default() };
+    let opts = RunOptions {
+        epochs: if fast() { 1 } else { 5 },
+        ..Default::default()
+    };
     let cfg = cohortnet_config(&bundle, &opts);
     let trained = train_without_cohorts(&bundle.train, &cfg);
     let mflm = &trained.model.mflm;
@@ -86,10 +89,19 @@ fn main() {
     let t0 = Instant::now();
     let (states_all, h_all) = states_and_h(&bundle.train);
     let mined_all = mine_patterns(&states_all, n, t_steps, nf, &d_half.pool.masks);
-    let labels_all: Vec<Vec<u8>> =
-        bundle.train.patients.iter().map(|p| p.labels_u8.clone()).collect();
-    let rebuild =
-        cohortnet::crlm::CohortPool::build(mined_all, d_half.pool.masks.clone(), &h_all, &labels_all, &cfg);
+    let labels_all: Vec<Vec<u8>> = bundle
+        .train
+        .patients
+        .iter()
+        .map(|p| p.labels_u8.clone())
+        .collect();
+    let rebuild = cohortnet::crlm::CohortPool::build(
+        mined_all,
+        d_half.pool.masks.clone(),
+        &h_all,
+        &labels_all,
+        &cfg,
+    );
     let rebuild_sec = t0.elapsed().as_secs_f64();
 
     // (b) Incremental: scan only the new batch and fold it in.
@@ -97,7 +109,11 @@ fn main() {
     let mut pool = d_half.pool.clone();
     let (states2, h2) = states_and_h(&second);
     let mined2 = mine_patterns(&states2, second.patients.len(), t_steps, nf, &pool.masks);
-    let labels2: Vec<Vec<u8>> = second.patients.iter().map(|p| p.labels_u8.clone()).collect();
+    let labels2: Vec<Vec<u8>> = second
+        .patients
+        .iter()
+        .map(|p| p.labels_u8.clone())
+        .collect();
     let admitted = pool.update_with(mined2, &h2, &labels2, &cfg);
     let incr_sec = t0.elapsed().as_secs_f64();
 
@@ -119,7 +135,11 @@ fn main() {
 
     println!("== Ablation: iterative cohort updates (mimic3-like, {n} train patients) ==\n");
     let rows = vec![
-        vec!["full rebuild (re-scan all)".into(), secs(rebuild_sec), rebuild.total_cohorts().to_string()],
+        vec![
+            "full rebuild (re-scan all)".into(),
+            secs(rebuild_sec),
+            rebuild.total_cohorts().to_string(),
+        ],
         vec![
             "incremental (scan new half only)".into(),
             secs(incr_sec),

@@ -17,7 +17,10 @@ use cohortnet_models::trainer::evaluate;
 
 fn main() {
     let bundle = mimic3(scale(), time_steps());
-    let opts = RunOptions { epochs: if fast() { 2 } else { 10 }, ..Default::default() };
+    let opts = RunOptions {
+        epochs: if fast() { 2 } else { 10 },
+        ..Default::default()
+    };
 
     println!("== Ablation: MFLM mechanisms (CohortNet w/o c, mimic3-like) ==\n");
     let variants = [
@@ -33,8 +36,16 @@ fn main() {
         cfg.use_trends = ftl;
         let trained = train_without_cohorts(&bundle.train, &cfg);
         let r = evaluate(&trained.model, &trained.params, &bundle.test, 64);
-        rows.push(vec![name.to_string(), m3(r.auc_roc), m3(r.auc_pr), m3(r.f1)]);
+        rows.push(vec![
+            name.to_string(),
+            m3(r.auc_roc),
+            m3(r.auc_pr),
+            m3(r.f1),
+        ]);
         eprintln!("[mflm] {name} done");
     }
-    println!("{}", render_table(&["variant", "AUC-ROC", "AUC-PR", "F1"], &rows));
+    println!(
+        "{}",
+        render_table(&["variant", "AUC-ROC", "AUC-PR", "F1"], &rows)
+    );
 }

@@ -15,10 +15,18 @@ use cohortnet_models::trainer::predict_probs;
 
 fn main() {
     let bundle = mimic3(scale(), time_steps());
-    let opts = RunOptions { epochs: if fast() { 2 } else { 10 }, ..Default::default() };
+    let opts = RunOptions {
+        epochs: if fast() { 2 } else { 10 },
+        ..Default::default()
+    };
     let cfg = cohortnet_config(&bundle, &opts);
 
-    let labels: Vec<u8> = bundle.test.patients.iter().map(|p| p.labels_u8[0]).collect();
+    let labels: Vec<u8> = bundle
+        .test
+        .patients
+        .iter()
+        .map(|p| p.labels_u8[0])
+        .collect();
     let mut rows = Vec::new();
     for (name, probs) in [
         ("CohortNet", {
@@ -40,5 +48,8 @@ fn main() {
         eprintln!("[bootstrap] {name} done");
     }
     println!("== Bootstrap 95% CIs on the mimic3-like test split ==\n");
-    println!("{}", render_table(&["model", "AUC-ROC [95% CI]", "AUC-PR [95% CI]"], &rows));
+    println!(
+        "{}",
+        render_table(&["model", "AUC-ROC [95% CI]", "AUC-PR [95% CI]"], &rows)
+    );
 }

@@ -18,10 +18,18 @@ use cohortnet_bench::{fast, scale, time_steps};
 
 fn main() {
     let bundle = mimic3(scale(), time_steps());
-    let opts = RunOptions { epochs: if fast() { 2 } else { 8 }, ..Default::default() };
+    let opts = RunOptions {
+        epochs: if fast() { 2 } else { 8 },
+        ..Default::default()
+    };
     let cfg = cohortnet_config(&bundle, &opts);
     let trained = train_cohortnet(&bundle.train, &cfg);
-    let ctx = build_context(&trained.model, &trained.params, &bundle.train, &bundle.scaler);
+    let ctx = build_context(
+        &trained.model,
+        &trained.params,
+        &bundle.train,
+        &bundle.scaler,
+    );
 
     let rr = bundle.train_ds.feature_column("RR");
     let def = bundle.train_ds.feature_def(rr);
@@ -44,7 +52,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["state", "mean RR", "dir", "occupancy"], &rows));
+    println!(
+        "{}",
+        render_table(&["state", "mean RR", "dir", "occupancy"], &rows)
+    );
 
     // (b) transition pathways.
     println!("(b) State transitions (row -> column, % of row's outgoing):");
@@ -57,7 +68,11 @@ fn main() {
         }
         let mut cells = vec![format!("S{a}")];
         for &c in row {
-            cells.push(if c == 0 { "·".into() } else { format!("{:.0}%", 100.0 * c as f64 / total as f64) });
+            cells.push(if c == 0 {
+                "·".into()
+            } else {
+                format!("{:.0}%", 100.0 * c as f64 / total as f64)
+            });
         }
         rows.push(cells);
     }
@@ -72,7 +87,10 @@ fn main() {
         .flat_map(|(a, row)| row.iter().enumerate().map(move |(b, &c)| (a, b, c)))
         .filter(|&(a, b, c)| a != b && c == 0)
         .count();
-    println!("absent direct transitions: {absent} of {} off-diagonal pairs\n", ctx.states.n_states * (ctx.states.n_states - 1));
+    println!(
+        "absent direct transitions: {absent} of {} off-diagonal pairs\n",
+        ctx.states.n_states * (ctx.states.n_states - 1)
+    );
 
     // (c) coexistence with PH.
     let ph = bundle.train_ds.feature_column("PH");
@@ -86,7 +104,11 @@ fn main() {
         }
         let mut cells = vec![format!("RR S{a}")];
         for &c in row {
-            cells.push(if c == 0 { "·".into() } else { format!("{:.0}%", 100.0 * c as f64 / total as f64) });
+            cells.push(if c == 0 {
+                "·".into()
+            } else {
+                format!("{:.0}%", 100.0 * c as f64 / total as f64)
+            });
         }
         rows.push(cells);
     }

@@ -18,7 +18,10 @@ use cohortnet_bench::{fast, scale, time_steps};
 
 fn main() {
     let bundle = mimic3(scale(), time_steps());
-    let opts = RunOptions { epochs: if fast() { 1 } else { 4 }, ..Default::default() };
+    let opts = RunOptions {
+        epochs: if fast() { 1 } else { 4 },
+        ..Default::default()
+    };
     println!(
         "== Figure 11: runtime on mimic3-like ({} train patients, T={}) ==\n",
         bundle.train.patients.len(),
@@ -32,11 +35,23 @@ fn main() {
             r.name.to_string(),
             secs(r.train_sec_per_batch),
             format!("{:.2}ms", r.infer_sec_per_patient * 1e3),
-            if r.preprocess_sec > 0.0 { secs(r.preprocess_sec) } else { "-".into() },
+            if r.preprocess_sec > 0.0 {
+                secs(r.preprocess_sec)
+            } else {
+                "-".into()
+            },
         ]);
     }
     println!(
         "{}",
-        render_table(&["model", "train / batch", "inference / patient", "preprocess"], &rows)
+        render_table(
+            &[
+                "model",
+                "train / batch",
+                "inference / patient",
+                "preprocess"
+            ],
+            &rows
+        )
     );
 }

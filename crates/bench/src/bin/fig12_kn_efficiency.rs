@@ -32,7 +32,10 @@ fn subset(prep: &Prepared, n: usize) -> Prepared {
 
 fn main() {
     let bundle = mimic3(scale().max(1.0), time_steps());
-    let opts = RunOptions { epochs: if fast() { 1 } else { 4 }, ..Default::default() };
+    let opts = RunOptions {
+        epochs: if fast() { 1 } else { 4 },
+        ..Default::default()
+    };
     let base_cfg = cohortnet_config(&bundle, &opts);
     // Pre-train the backbone once on the full training split.
     let trained = train_without_cohorts(&bundle.train, &base_cfg);
@@ -53,8 +56,11 @@ fn main() {
             let mut cfg = base_cfg.clone();
             cfg.k_states = k;
             cfg.n_top = n;
-            let mut model =
-                CohortNetModel::new(&mut cohortnet_tensor::ParamStore::new(), &mut StdRng::seed_from_u64(0), &cfg);
+            let mut model = CohortNetModel::new(
+                &mut cohortnet_tensor::ParamStore::new(),
+                &mut StdRng::seed_from_u64(0),
+                &cfg,
+            );
             model.mflm = trained.model.mflm.clone();
             let t0 = Instant::now();
             let d = model.run_discovery(&trained.params, &prep, &mut StdRng::seed_from_u64(1));
@@ -72,11 +78,23 @@ fn main() {
                 n_cohorts.to_string(),
                 format!("{:.2}ms", infer * 1e3),
             ]);
-            eprintln!("[fig12] samples={n_samples} k={k} n={n}: {}", secs(preprocess));
+            eprintln!(
+                "[fig12] samples={n_samples} k={k} n={n}: {}",
+                secs(preprocess)
+            );
         }
     }
     println!(
         "{}",
-        render_table(&["samples", "setting", "preprocess", "cohorts", "infer / patient"], &rows)
+        render_table(
+            &[
+                "samples",
+                "setting",
+                "preprocess",
+                "cohorts",
+                "infer / patient"
+            ],
+            &rows
+        )
     );
 }

@@ -8,13 +8,23 @@
 //! representation); more features expand the interaction space and extend
 //! Steps 2 + 3; Step 4 grows with the cohort count.
 //!
+//! A fourth sweep varies the discovery pipeline's `n_threads` knob on a
+//! fixed dataset and reports per-stage speedups over the sequential run —
+//! the deterministic-parallelism counterpart of the paper's scalability
+//! study. All rows are also recorded to `BENCH_discovery.json`.
+//!
 //! Run: `cargo run --release -p cohortnet-bench --bin fig13_scalability`
 
+use cohortnet::discover::discover;
+use cohortnet::mflm::Mflm;
 use cohortnet::train::train_cohortnet;
 use cohortnet_bench::registry::{cohortnet_config, RunOptions};
 use cohortnet_bench::report::{render_table, secs};
 use cohortnet_bench::{datasets, fast, scale};
 use cohortnet_ehr::profiles;
+use cohortnet_tensor::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 struct Row {
     axis: &'static str,
@@ -25,17 +35,128 @@ struct Row {
     cohorts: usize,
 }
 
-fn run(cfg_ehr: cohortnet_ehr::SynthConfig, t_steps: usize, epochs: usize) -> (f64, f64, f64, usize) {
+fn run(
+    cfg_ehr: cohortnet_ehr::SynthConfig,
+    t_steps: usize,
+    epochs: usize,
+) -> (f64, f64, f64, usize) {
     let bundle = datasets::bundle(cfg_ehr, t_steps);
-    let opts = RunOptions { epochs, ..Default::default() };
+    let opts = RunOptions {
+        epochs,
+        ..Default::default()
+    };
     let cfg = cohortnet_config(&bundle, &opts);
     let trained = train_cohortnet(&bundle.train, &cfg);
     (
         trained.timing.step1.total_sec,
         trained.timing.preprocess_sec(),
         trained.timing.step4.total_sec,
-        trained.model.discovery.as_ref().map_or(0, |d| d.pool.total_cohorts()),
+        trained
+            .model
+            .discovery
+            .as_ref()
+            .map_or(0, |d| d.pool.total_cohorts()),
     )
+}
+
+struct ThreadRow {
+    threads: usize,
+    collect: f64,
+    fit: f64,
+    assign: f64,
+    mine: f64,
+    fit_mine_speedup: f64,
+    cohorts: usize,
+}
+
+/// Threads-vs-speedup curve: run the same discovery (fixed seed, fixed data)
+/// at increasing `n_threads` and compare stage timings against the
+/// sequential baseline. Cohort counts must agree exactly — discovery is
+/// bit-identical by construction.
+fn threads_sweep(epochs: usize, base_patients: usize) -> Vec<ThreadRow> {
+    let mut c = profiles::eicu_like(1.0);
+    c.n_patients = base_patients;
+    let bundle = datasets::bundle(c, 12);
+    let opts = RunOptions {
+        epochs,
+        ..Default::default()
+    };
+    let mut cfg = cohortnet_config(&bundle, &opts);
+
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mflm = Mflm::new(&mut ps, &mut rng, &cfg);
+
+    let mut rows: Vec<ThreadRow> = Vec::new();
+    let mut base_fit_mine = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        cfg.n_threads = threads;
+        let d = discover(
+            &mflm,
+            &ps,
+            &bundle.train,
+            &cfg,
+            &mut StdRng::seed_from_u64(cfg.seed),
+        );
+        let t = &d.timing;
+        let fit_mine = t.fit_sec + t.mine_sec;
+        if threads == 1 {
+            base_fit_mine = fit_mine;
+        }
+        rows.push(ThreadRow {
+            threads,
+            collect: t.collect_sec,
+            fit: t.fit_sec,
+            assign: t.assign_sec,
+            mine: t.mine_sec,
+            fit_mine_speedup: if fit_mine > 0.0 {
+                base_fit_mine / fit_mine
+            } else {
+                1.0
+            },
+            cohorts: d.pool.total_cohorts(),
+        });
+        eprintln!("[fig13] threads={threads} done");
+    }
+    rows
+}
+
+fn write_json(rows: &[Row], trows: &[ThreadRow]) {
+    let mut out = String::from("{\n  \"sweeps\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"axis\": \"{}\", \"value\": {}, \"step1_sec\": {:.4}, \
+             \"step23_sec\": {:.4}, \"step4_sec\": {:.4}, \"cohorts\": {}}}{}\n",
+            r.axis,
+            r.value,
+            r.step1,
+            r.step23,
+            r.step4,
+            r.cohorts,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"threads\": [\n");
+    for (i, r) in trows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n_threads\": {}, \"collect_sec\": {:.4}, \"fit_sec\": {:.4}, \
+             \"assign_sec\": {:.4}, \"mine_sec\": {:.4}, \"fit_mine_speedup\": {:.3}, \
+             \"cohorts\": {}}}{}\n",
+            r.threads,
+            r.collect,
+            r.fit,
+            r.assign,
+            r.mine,
+            r.fit_mine_speedup,
+            r.cohorts,
+            if i + 1 < trows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_discovery.json", &out) {
+        Ok(()) => eprintln!("[fig13] wrote BENCH_discovery.json"),
+        Err(e) => eprintln!("[fig13] could not write BENCH_discovery.json: {e}"),
+    }
 }
 
 fn main() {
@@ -48,7 +169,14 @@ fn main() {
         let mut c = profiles::eicu_like(1.0);
         c.n_patients = base_patients * mult;
         let (s1, s23, s4, nc) = run(c, 12, epochs);
-        rows.push(Row { axis: "patients", value: base_patients * mult, step1: s1, step23: s23, step4: s4, cohorts: nc });
+        rows.push(Row {
+            axis: "patients",
+            value: base_patients * mult,
+            step1: s1,
+            step23: s23,
+            step4: s4,
+            cohorts: nc,
+        });
         eprintln!("[fig13] patients={} done", base_patients * mult);
     }
     // (b) time-steps sweep.
@@ -56,7 +184,14 @@ fn main() {
         let mut c = profiles::eicu_like(1.0);
         c.n_patients = base_patients;
         let (s1, s23, s4, nc) = run(c, t, epochs);
-        rows.push(Row { axis: "time steps", value: t, step1: s1, step23: s23, step4: s4, cohorts: nc });
+        rows.push(Row {
+            axis: "time steps",
+            value: t,
+            step1: s1,
+            step23: s23,
+            step4: s4,
+            cohorts: nc,
+        });
         eprintln!("[fig13] T={t} done");
     }
     // (c) features sweep.
@@ -65,9 +200,19 @@ fn main() {
         c.n_patients = base_patients;
         c.feature_codes.truncate(nf);
         let (s1, s23, s4, nc) = run(c, 12, epochs);
-        rows.push(Row { axis: "features", value: nf, step1: s1, step23: s23, step4: s4, cohorts: nc });
+        rows.push(Row {
+            axis: "features",
+            value: nf,
+            step1: s1,
+            step23: s23,
+            step4: s4,
+            cohorts: nc,
+        });
         eprintln!("[fig13] F={nf} done");
     }
+
+    // (d) discovery threads sweep.
+    let trows = threads_sweep(epochs, base_patients);
 
     println!("== Figure 13: scalability of the four steps (eicu-like) ==\n");
     let table: Vec<Vec<String>> = rows
@@ -86,8 +231,48 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["axis", "value", "step1 (repr)", "steps2+3 (discover)", "step4 (exploit)", "cohorts"],
+            &[
+                "axis",
+                "value",
+                "step1 (repr)",
+                "steps2+3 (discover)",
+                "step4 (exploit)",
+                "cohorts"
+            ],
             &table
         )
     );
+
+    println!("\n== Discovery threads vs speedup (fixed data, bit-identical output) ==\n");
+    let ttable: Vec<Vec<String>> = trows
+        .iter()
+        .map(|r| {
+            vec![
+                r.threads.to_string(),
+                secs(r.collect),
+                secs(r.fit),
+                secs(r.assign),
+                secs(r.mine),
+                format!("{:.2}x", r.fit_mine_speedup),
+                r.cohorts.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "threads",
+                "collect",
+                "fit",
+                "assign",
+                "mine",
+                "fit+mine speedup",
+                "cohorts"
+            ],
+            &ttable
+        )
+    );
+
+    write_json(&rows, &trows);
 }

@@ -32,7 +32,14 @@ fn finetune_and_eval(
     test_prep: &Prepared,
     epochs: usize,
 ) -> f64 {
-    let tc = TrainConfig { epochs, batch_size: 32, lr: 2e-3, clip: 5.0, seed: 11, verbose: false };
+    let tc = TrainConfig {
+        epochs,
+        batch_size: 32,
+        lr: 2e-3,
+        clip: 5.0,
+        seed: 11,
+        verbose: false,
+    };
     train(model, ps, train_prep, &tc);
     evaluate(model, ps, test_prep, 64).auc_pr
 }
@@ -41,11 +48,18 @@ fn main() {
     let bundle = mimic3(scale(), time_steps());
     let pre_epochs = if fast() { 1 } else { 6 };
     let tune_epochs = if fast() { 1 } else { 4 };
-    let opts = RunOptions { epochs: pre_epochs, ..Default::default() };
+    let opts = RunOptions {
+        epochs: pre_epochs,
+        ..Default::default()
+    };
     let base_cfg = cohortnet_config(&bundle, &opts);
     let pretrained = train_without_cohorts(&bundle.train, &base_cfg);
 
-    let ratios: Vec<f32> = if fast() { vec![0.1] } else { vec![0.05, 0.1, 0.25, 0.5] };
+    let ratios: Vec<f32> = if fast() {
+        vec![0.1]
+    } else {
+        vec![0.05, 0.1, 0.25, 0.5]
+    };
     let algos = [
         ("K-Means", StateClusterAlgo::KMeans),
         ("Co-clustering", StateClusterAlgo::CoClustering),
@@ -78,20 +92,40 @@ fn main() {
             let t0 = Instant::now();
             model.run_discovery_with_algo(&ps, &bundle.train, algo, ratio, &mut rng);
             let fit = t0.elapsed().as_secs_f64();
-            let auc_pr =
-                finetune_and_eval(&mut model, &mut ps, &bundle.train, &bundle.test, tune_epochs);
+            let auc_pr = finetune_and_eval(
+                &mut model,
+                &mut ps,
+                &bundle.train,
+                &bundle.test,
+                tune_epochs,
+            );
             rows.push(vec![
                 format!("{:.0}%", ratio * 100.0),
                 name.to_string(),
                 secs(fit),
                 m3(auc_pr),
-                model.discovery.as_ref().unwrap().pool.total_cohorts().to_string(),
+                model
+                    .discovery
+                    .as_ref()
+                    .unwrap()
+                    .pool
+                    .total_cohorts()
+                    .to_string(),
             ]);
             eprintln!("[fig14] ratio={ratio} {name}: fit {}", secs(fit));
         }
     }
     println!(
         "{}",
-        render_table(&["sampling", "algorithm", "state-fit time", "AUC-PR", "cohorts"], &rows)
+        render_table(
+            &[
+                "sampling",
+                "algorithm",
+                "state-fit time",
+                "AUC-PR",
+                "cohorts"
+            ],
+            &rows
+        )
     );
 }

@@ -18,7 +18,11 @@ fn main() {
         epochs: if fast() { 2 } else { 10 },
         ..Default::default()
     };
-    println!("== Figure 6: main results (scale={}, T={}) ==\n", scale(), time_steps());
+    println!(
+        "== Figure 6: main results (scale={}, T={}) ==\n",
+        scale(),
+        time_steps()
+    );
     for bundle in all_profiles(scale(), time_steps()) {
         println!(
             "--- {} ({} train / {} test, {} features, {} labels) ---",
@@ -37,9 +41,16 @@ fn main() {
                 m3(r.test.auc_roc),
                 m3(r.test.auc_pr),
                 m3(r.test.f1),
-                if r.n_cohorts > 0 { r.n_cohorts.to_string() } else { "-".into() },
+                if r.n_cohorts > 0 {
+                    r.n_cohorts.to_string()
+                } else {
+                    "-".into()
+                },
             ]);
         }
-        println!("{}", render_table(&["model", "AUC-ROC", "AUC-PR", "F1", "cohorts"], &rows));
+        println!(
+            "{}",
+            render_table(&["model", "AUC-ROC", "AUC-PR", "F1", "cohorts"], &rows)
+        );
     }
 }

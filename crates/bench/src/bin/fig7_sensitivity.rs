@@ -24,27 +24,62 @@ fn main() {
 
     // Best-baseline reference (GRASP is the strongest cohort-flavoured
     // baseline in our runs).
-    let baseline = run_model(ModelKind::Grasp, &bundle, &RunOptions { epochs, ..Default::default() });
+    let baseline = run_model(
+        ModelKind::Grasp,
+        &bundle,
+        &RunOptions {
+            epochs,
+            ..Default::default()
+        },
+    );
     println!("== Figure 7: sensitivity to k and n (mimic3-like) ==");
-    println!("reference best baseline ({}) AUC-PR = {}\n", baseline.name, m3(baseline.test.auc_pr));
+    println!(
+        "reference best baseline ({}) AUC-PR = {}\n",
+        baseline.name,
+        m3(baseline.test.auc_pr)
+    );
 
     // Sweep k at n = 2.
     let mut rows_k = Vec::new();
     for &k in &ks {
-        let opts = RunOptions { epochs, k_states: Some(k), n_top: Some(2), ..Default::default() };
+        let opts = RunOptions {
+            epochs,
+            k_states: Some(k),
+            n_top: Some(2),
+            ..Default::default()
+        };
         let r = run_model(ModelKind::CohortNet, &bundle, &opts);
         eprintln!("[fig7] k={k} done");
-        rows_k.push(vec![format!("k={k}, n=2"), m3(r.test.auc_pr), r.n_cohorts.to_string()]);
+        rows_k.push(vec![
+            format!("k={k}, n=2"),
+            m3(r.test.auc_pr),
+            r.n_cohorts.to_string(),
+        ]);
     }
-    println!("{}", render_table(&["setting", "AUC-PR", "cohorts"], &rows_k));
+    println!(
+        "{}",
+        render_table(&["setting", "AUC-PR", "cohorts"], &rows_k)
+    );
 
     // Sweep n at k = 7.
     let mut rows_n = Vec::new();
     for &n in &ns {
-        let opts = RunOptions { epochs, k_states: Some(7), n_top: Some(n), ..Default::default() };
+        let opts = RunOptions {
+            epochs,
+            k_states: Some(7),
+            n_top: Some(n),
+            ..Default::default()
+        };
         let r = run_model(ModelKind::CohortNet, &bundle, &opts);
         eprintln!("[fig7] n={n} done");
-        rows_n.push(vec![format!("k=7, n={n}"), m3(r.test.auc_pr), r.n_cohorts.to_string()]);
+        rows_n.push(vec![
+            format!("k=7, n={n}"),
+            m3(r.test.auc_pr),
+            r.n_cohorts.to_string(),
+        ]);
     }
-    println!("{}", render_table(&["setting", "AUC-PR", "cohorts"], &rows_n));
+    println!(
+        "{}",
+        render_table(&["setting", "AUC-PR", "cohorts"], &rows_n)
+    );
 }

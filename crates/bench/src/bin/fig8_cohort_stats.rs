@@ -21,7 +21,10 @@ use rand::SeedableRng;
 
 fn main() {
     let bundle = mimic3(scale(), time_steps());
-    let opts = RunOptions { epochs: if fast() { 2 } else { 6 }, ..Default::default() };
+    let opts = RunOptions {
+        epochs: if fast() { 2 } else { 6 },
+        ..Default::default()
+    };
     let base_cfg = cohortnet_config(&bundle, &opts);
 
     // Step 1 once: pre-train the representation backbone.
@@ -29,8 +32,11 @@ fn main() {
     let ps = trained.params;
 
     println!("== Figure 8: cohort counts and avg patients per cohort (mimic3-like) ==\n");
-    let (ks, ns): (Vec<usize>, Vec<usize>) =
-        if fast() { (vec![3, 7], vec![1, 2]) } else { (vec![3, 5, 7, 9, 11], vec![1, 2, 3]) };
+    let (ks, ns): (Vec<usize>, Vec<usize>) = if fast() {
+        (vec![3, 7], vec![1, 2])
+    } else {
+        (vec![3, 5, 7, 9, 11], vec![1, 2, 3])
+    };
 
     let mut rows = Vec::new();
     for &k in &ks {
@@ -40,7 +46,11 @@ fn main() {
             cfg.n_top = n;
             // Uncapped pool so the counts reflect discovery, not the CEM cap.
             cfg.max_cohorts_per_feature = usize::MAX;
-            let mut model = CohortNetModel::new(&mut cohortnet_tensor::ParamStore::new(), &mut StdRng::seed_from_u64(0), &cfg);
+            let mut model = CohortNetModel::new(
+                &mut cohortnet_tensor::ParamStore::new(),
+                &mut StdRng::seed_from_u64(0),
+                &cfg,
+            );
             // Reuse the pre-trained MFLM weights by re-running discovery on
             // the trained model instead: swap in the trained backbone.
             model.mflm = trained.model.mflm.clone();
@@ -54,5 +64,8 @@ fn main() {
             eprintln!("[fig8] k={k} n={n}: {} cohorts", d.pool.total_cohorts());
         }
     }
-    println!("{}", render_table(&["k", "n", "#cohorts", "avg patients/cohort"], &rows));
+    println!(
+        "{}",
+        render_table(&["k", "n", "#cohorts", "avg patients/cohort"], &rows)
+    );
 }

@@ -23,10 +23,18 @@ use cohortnet_bench::{fast, scale, time_steps};
 
 fn main() {
     let bundle = mimic3(scale(), time_steps());
-    let opts = RunOptions { epochs: if fast() { 2 } else { 10 }, ..Default::default() };
+    let opts = RunOptions {
+        epochs: if fast() { 2 } else { 10 },
+        ..Default::default()
+    };
     let cfg = cohortnet_config(&bundle, &opts);
     let trained = train_cohortnet(&bundle.train, &cfg);
-    let ctx = build_context(&trained.model, &trained.params, &bundle.train, &bundle.scaler);
+    let ctx = build_context(
+        &trained.model,
+        &trained.params,
+        &bundle.train,
+        &bundle.scaler,
+    );
     let pool = &trained.model.discovery.as_ref().unwrap().pool;
 
     // Patient A: a test patient with the planted respiratory-acidosis
@@ -60,8 +68,7 @@ fn main() {
     );
 
     // (c) feature-level calibration scores (top absolute).
-    let mut by_feat: Vec<(usize, f32)> =
-        exp.feature_scores.iter().copied().enumerate().collect();
+    let mut by_feat: Vec<(usize, f32)> = exp.feature_scores.iter().copied().enumerate().collect();
     by_feat.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
     let rows: Vec<Vec<String>> = by_feat
         .iter()
@@ -70,12 +77,19 @@ fn main() {
             vec![
                 bundle.train_ds.feature_def(f).code.to_string(),
                 format!("{s:+.4}"),
-                if s > 0.0 { "raises risk".into() } else { "lowers risk".into() },
+                if s > 0.0 {
+                    "raises risk".into()
+                } else {
+                    "lowers risk".into()
+                },
             ]
         })
         .collect();
     println!("(c) Feature-level calibration scores (Eq. 16):");
-    println!("{}", render_table(&["feature", "score", "direction"], &rows));
+    println!(
+        "{}",
+        render_table(&["feature", "score", "direction"], &rows)
+    );
 
     // (d) cohort-level calibration scores for the top cohorts.
     println!("(d) Relevant cohorts with cohort-level scores (Eq. 17):");
@@ -118,14 +132,21 @@ fn main() {
         .and_then(|c| c.matched_steps.first().copied())
         .unwrap_or(bundle.test.time_steps - 1);
     let attn = &exp.attention[t_star];
-    let mut partners: Vec<(usize, f32)> =
-        (0..attn.cols()).filter(|&j| j != rr).map(|j| (j, attn[(rr, j)])).collect();
+    let mut partners: Vec<(usize, f32)> = (0..attn.cols())
+        .filter(|&j| j != rr)
+        .map(|j| (j, attn[(rr, j)]))
+        .collect();
     partners.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("(e) RR interaction attention at t={t_star} (top partners):");
     let rows: Vec<Vec<String>> = partners
         .iter()
         .take(6)
-        .map(|&(j, a)| vec![bundle.train_ds.feature_def(j).code.to_string(), format!("{a:.3}")])
+        .map(|&(j, a)| {
+            vec![
+                bundle.train_ds.feature_def(j).code.to_string(),
+                format!("{a:.3}"),
+            ]
+        })
         .collect();
     println!("{}", render_table(&["feature", "attention"], &rows));
 }

@@ -17,15 +17,26 @@ use cohortnet_bench::{fast, scale, time_steps};
 
 fn main() {
     let bundle = mimic3(scale(), time_steps());
-    let opts = RunOptions { epochs: if fast() { 2 } else { 10 }, ..Default::default() };
+    let opts = RunOptions {
+        epochs: if fast() { 2 } else { 10 },
+        ..Default::default()
+    };
     let cfg = cohortnet_config(&bundle, &opts);
     let trained = train_cohortnet(&bundle.train, &cfg);
-    let ctx = build_context(&trained.model, &trained.params, &bundle.train, &bundle.scaler);
+    let ctx = build_context(
+        &trained.model,
+        &trained.params,
+        &bundle.train,
+        &bundle.scaler,
+    );
     let pool = &trained.model.discovery.as_ref().unwrap().pool;
 
     let rr = bundle.train_ds.feature_column("RR");
     let overall_pos = bundle.train_ds.positive_rate();
-    println!("== Table 2: cohorts w.r.t. RR (train positive rate {:.1}%) ==\n", overall_pos * 100.0);
+    println!(
+        "== Table 2: cohorts w.r.t. RR (train positive rate {:.1}%) ==\n",
+        overall_pos * 100.0
+    );
 
     // Sort RR-anchored cohorts by positive rate (highest risk first), as the
     // paper's table is ordered, and show the most and least risky plus the
@@ -65,6 +76,15 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["Cohort", "Frequency", "Patients", "Pos-Rate", "Cohort Pattern"], &rows)
+        render_table(
+            &[
+                "Cohort",
+                "Frequency",
+                "Patients",
+                "Pos-Rate",
+                "Cohort Pattern"
+            ],
+            &rows
+        )
     );
 }

@@ -1,11 +1,11 @@
 //! Dataset bundles: generated, split, standardised, and prepared once per
 //! harness run.
 
+use cohortnet_ehr::profiles;
 use cohortnet_ehr::record::EhrDataset;
 use cohortnet_ehr::split::split_80_10_10;
 use cohortnet_ehr::standardize::Standardizer;
 use cohortnet_ehr::synth::{generate, SynthConfig};
-use cohortnet_ehr::profiles;
 use cohortnet_models::data::{prepare, Prepared};
 
 /// A ready-to-train dataset: standardised splits plus metadata.

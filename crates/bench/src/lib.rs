@@ -21,15 +21,23 @@ pub mod report;
 
 /// Reads `COHORTNET_SCALE`.
 pub fn scale() -> f32 {
-    std::env::var("COHORTNET_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0)
+    std::env::var("COHORTNET_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// Reads `COHORTNET_FAST`.
 pub fn fast() -> bool {
-    std::env::var("COHORTNET_FAST").map(|v| v == "1" || v == "true").unwrap_or(false)
+    std::env::var("COHORTNET_FAST")
+        .map(|v| v == "1" || v == "true")
+        .unwrap_or(false)
 }
 
 /// Reads `COHORTNET_TIME_STEPS`.
 pub fn time_steps() -> usize {
-    std::env::var("COHORTNET_TIME_STEPS").ok().and_then(|v| v.parse().ok()).unwrap_or(24)
+    std::env::var("COHORTNET_TIME_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
 }

@@ -2,8 +2,8 @@
 //! (nine baselines, CohortNet, and its two ablations).
 
 use crate::datasets::Bundle;
-use cohortnet::config::CohortNetConfig;
 use cohortnet::ablation::CohortNetWcMinus;
+use cohortnet::config::CohortNetConfig;
 use cohortnet::train::{train_cohortnet, train_without_cohorts};
 use cohortnet_metrics::BinaryReport;
 use cohortnet_models::baselines::*;
@@ -278,7 +278,10 @@ mod tests {
         let mut cfg = profiles::mimic3_like(0.05);
         cfg.n_patients = 80;
         let b = crate::datasets::bundle(cfg, 5);
-        let opts = RunOptions { epochs: 1, ..Default::default() };
+        let opts = RunOptions {
+            epochs: 1,
+            ..Default::default()
+        };
         let r = run_model(ModelKind::Gru, &b, &opts);
         assert_eq!(r.name, "GRU");
         assert!(r.infer_sec_per_patient > 0.0);

@@ -53,7 +53,10 @@ mod tests {
     fn table_alignment() {
         let t = render_table(
             &["model", "auc"],
-            &[vec!["GRU".into(), "0.8".into()], vec!["CohortNet".into(), "0.9".into()]],
+            &[
+                vec!["GRU".into(), "0.8".into()],
+                vec!["CohortNet".into(), "0.9".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -34,7 +34,9 @@ fn embed_dim(k: usize) -> usize {
 /// Power iteration for the top singular vector of `B = A^T A`, orthogonal to
 /// the columns already in `basis`.
 fn top_right_singular(a: &[f32], n: usize, m: usize, basis: &[Vec<f64>], iters: usize) -> Vec<f64> {
-    let mut v: Vec<f64> = (0..m).map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 + 0.1).collect();
+    let mut v: Vec<f64> = (0..m)
+        .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 + 0.1)
+        .collect();
     let mut av = vec![0.0f64; n];
     for _ in 0..iters {
         // Orthogonalise against previous vectors.
@@ -101,7 +103,11 @@ pub fn cocluster_fit(data: &[f32], m: usize, k: usize, rng: &mut StdRng) -> CoCl
     for i in 0..n {
         for j in 0..m {
             let d = (row_deg[i] * col_deg[j]).sqrt();
-            an[i * m + j] = if d > 0.0 { (a[i * m + j] as f64 / d) as f32 } else { 0.0 };
+            an[i * m + j] = if d > 0.0 {
+                (a[i * m + j] as f64 / d) as f32
+            } else {
+                0.0
+            };
         }
     }
 
@@ -134,7 +140,16 @@ pub fn cocluster_fit(data: &[f32], m: usize, k: usize, rng: &mut StdRng) -> CoCl
     // Joint K-Means over stacked row+column embeddings.
     let mut joint = row_embed.clone();
     joint.extend_from_slice(&col_embed);
-    let km = kmeans_fit(&joint, used.len(), KMeansConfig { k, max_iter: 50, tol: 1e-5 }, rng);
+    let km = kmeans_fit(
+        &joint,
+        used.len(),
+        KMeansConfig {
+            k,
+            max_iter: 50,
+            tol: 1e-5,
+        },
+        rng,
+    );
     let row_assignments = km.assignments[..n].to_vec();
     let col_assignments = km.assignments[n..].to_vec();
 
@@ -157,7 +172,13 @@ pub fn cocluster_fit(data: &[f32], m: usize, k: usize, rng: &mut StdRng) -> CoCl
         }
     }
 
-    CoClusters { row_assignments, col_assignments, k: km.k, centroids, dim: m }
+    CoClusters {
+        row_assignments,
+        col_assignments,
+        k: km.k,
+        centroids,
+        dim: m,
+    }
 }
 
 impl CoClusters {

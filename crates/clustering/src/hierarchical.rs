@@ -133,7 +133,12 @@ pub fn hierarchical_fit(data: &[f32], dim: usize, k: usize, linkage: Linkage) ->
         cluster_idx += 1;
     }
 
-    Hierarchical { assignments, k: cluster_idx, centroids, dim }
+    Hierarchical {
+        assignments,
+        k: cluster_idx,
+        centroids,
+        dim,
+    }
 }
 
 #[cfg(test)]

@@ -40,7 +40,11 @@ pub struct KMeansConfig {
 
 impl Default for KMeansConfig {
     fn default() -> Self {
-        KMeansConfig { k: 8, max_iter: 50, tol: 1e-4 }
+        KMeansConfig {
+            k: 8,
+            max_iter: 50,
+            tol: 1e-4,
+        }
     }
 }
 
@@ -65,7 +69,9 @@ fn seed_plus_plus(data: &[f32], dim: usize, k: usize, rng: &mut StdRng) -> Vec<f
     let mut centroids = Vec::with_capacity(k * dim);
     let first = rng.gen_range(0..n);
     centroids.extend_from_slice(point(data, dim, first));
-    let mut d2: Vec<f64> = (0..n).map(|i| dist_sq(point(data, dim, i), point(&centroids, dim, 0))).collect();
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| dist_sq(point(data, dim, i), point(&centroids, dim, 0)))
+        .collect();
     while centroids.len() / dim < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
@@ -95,12 +101,107 @@ fn seed_plus_plus(data: &[f32], dim: usize, k: usize, rng: &mut StdRng) -> Vec<f
     centroids
 }
 
+/// Fixed point-chunk width of the parallel assignment step. The chunk
+/// decomposition depends only on this constant — never on the thread count —
+/// so partial f64 reductions merge in the same order at any parallelism and
+/// the fit is bit-identical for every `n_threads`.
+const ASSIGN_CHUNK: usize = 2048;
+
+/// Per-chunk result of the assignment step.
+struct AssignPartial {
+    assignments: Vec<usize>,
+    inertia: f64,
+    sums: Vec<f64>,
+    counts: Vec<usize>,
+}
+
+/// Assigns every point in `chunk` to its nearest centroid, accumulating the
+/// chunk's inertia and per-cluster sums/counts.
+fn assign_chunk(chunk: &[f32], dim: usize, k: usize, centroids: &[f32]) -> AssignPartial {
+    let n = chunk.len() / dim;
+    let mut partial = AssignPartial {
+        assignments: vec![0usize; n],
+        inertia: 0.0,
+        sums: vec![0.0f64; k * dim],
+        counts: vec![0usize; k],
+    };
+    for i in 0..n {
+        let p = point(chunk, dim, i);
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for c in 0..k {
+            let d = dist_sq(p, point(centroids, dim, c));
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        partial.assignments[i] = best;
+        partial.inertia += best_d;
+        partial.counts[best] += 1;
+        for (s, &x) in partial.sums[best * dim..(best + 1) * dim].iter_mut().zip(p) {
+            *s += x as f64;
+        }
+    }
+    partial
+}
+
+/// Reseeds `empty` clusters at the points currently farthest from their
+/// assigned centroids, never reusing a reseed point: each repaired cluster
+/// takes a *distinct* point (the repaired point is reassigned to its new
+/// cluster so its residual drops to zero before the next repair is chosen).
+///
+/// Repairing two empty clusters to the same farthest point would leave
+/// duplicate centroids and a permanently dead cluster — the exact failure
+/// mode this guards against.
+fn repair_empty_clusters(
+    data: &[f32],
+    dim: usize,
+    centroids: &mut [f32],
+    assignments: &mut [usize],
+    empty: &[usize],
+) {
+    let n = data.len() / dim;
+    let mut used = vec![false; n];
+    for &c in empty {
+        let far = (0..n).filter(|&i| !used[i]).max_by(|&a, &b| {
+            let da = dist_sq(point(data, dim, a), point(centroids, dim, assignments[a]));
+            let db = dist_sq(point(data, dim, b), point(centroids, dim, assignments[b]));
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let Some(far) = far else { break };
+        used[far] = true;
+        centroids[c * dim..(c + 1) * dim].copy_from_slice(point(data, dim, far));
+        // The reseeded point now sits exactly on centroid `c`; reassigning it
+        // zeroes its residual so the next repair picks a different point.
+        assignments[far] = c;
+    }
+}
+
 /// Fits K-Means to `n = data.len() / dim` points of dimension `dim`.
+///
+/// Single-threaded entry point; identical to
+/// [`kmeans_fit_par`] with `n_threads = 1` (and bit-identical to it at any
+/// other thread count).
 ///
 /// # Panics
 /// Panics if `data` is empty, not divisible by `dim`, or `k` is zero.
 /// If there are fewer points than clusters, `k` is reduced to the point count.
 pub fn kmeans_fit(data: &[f32], dim: usize, cfg: KMeansConfig, rng: &mut StdRng) -> KMeans {
+    kmeans_fit_par(data, dim, cfg, 1, rng)
+}
+
+/// Fits K-Means with the assignment step sharded over up to `n_threads`
+/// scoped threads (`0` = auto). Seeding stays sequential (it is inherently
+/// serial in the RNG), and partial reductions merge in fixed chunk order, so
+/// the result is bit-identical for every thread count.
+pub fn kmeans_fit_par(
+    data: &[f32],
+    dim: usize,
+    cfg: KMeansConfig,
+    n_threads: usize,
+    rng: &mut StdRng,
+) -> KMeans {
     assert!(dim > 0, "dim must be positive");
     assert!(!data.is_empty(), "cannot cluster an empty dataset");
     assert_eq!(data.len() % dim, 0, "data length not divisible by dim");
@@ -115,49 +216,41 @@ pub fn kmeans_fit(data: &[f32], dim: usize, cfg: KMeansConfig, rng: &mut StdRng)
 
     for iter in 0..cfg.max_iter {
         iterations = iter + 1;
-        // Assignment step.
+        // Assignment step, sharded over fixed-size point chunks.
+        let partials =
+            cohortnet_parallel::par_chunks(n_threads, data, ASSIGN_CHUNK * dim, |_, chunk| {
+                assign_chunk(chunk, dim, k, &centroids)
+            });
+        // Ordered merge: chunk order is a property of the data layout, so
+        // the floating-point reduction order never depends on scheduling.
         let mut new_inertia = 0.0f64;
-        for i in 0..n {
-            let p = point(data, dim, i);
-            let mut best = 0usize;
-            let mut best_d = f64::INFINITY;
-            for c in 0..k {
-                let d = dist_sq(p, point(&centroids, dim, c));
-                if d < best_d {
-                    best_d = d;
-                    best = c;
-                }
-            }
-            assignments[i] = best;
-            new_inertia += best_d;
-        }
-        // Update step.
         let mut sums = vec![0.0f64; k * dim];
         let mut counts = vec![0usize; k];
-        for i in 0..n {
-            let c = assignments[i];
-            counts[c] += 1;
-            for (s, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(point(data, dim, i)) {
-                *s += x as f64;
+        for (ci, partial) in partials.iter().enumerate() {
+            let base = ci * ASSIGN_CHUNK;
+            assignments[base..base + partial.assignments.len()]
+                .copy_from_slice(&partial.assignments);
+            new_inertia += partial.inertia;
+            for (s, &p) in sums.iter_mut().zip(&partial.sums) {
+                *s += p;
+            }
+            for (c, &p) in counts.iter_mut().zip(&partial.counts) {
+                *c += p;
             }
         }
+        // Update step.
+        let mut empty = Vec::new();
         for c in 0..k {
             if counts[c] == 0 {
-                // Empty-cluster repair: reseed at the point farthest from its
-                // centroid.
-                let far = (0..n)
-                    .max_by(|&a, &b| {
-                        let da = dist_sq(point(data, dim, a), point(&centroids, dim, assignments[a]));
-                        let db = dist_sq(point(data, dim, b), point(&centroids, dim, assignments[b]));
-                        da.partial_cmp(&db).unwrap()
-                    })
-                    .unwrap();
-                centroids[c * dim..(c + 1) * dim].copy_from_slice(point(data, dim, far));
+                empty.push(c);
             } else {
                 for d in 0..dim {
                     centroids[c * dim + d] = (sums[c * dim + d] / counts[c] as f64) as f32;
                 }
             }
+        }
+        if !empty.is_empty() {
+            repair_empty_clusters(data, dim, &mut centroids, &mut assignments, &empty);
         }
         // Convergence on relative inertia improvement.
         if inertia.is_finite() && inertia > 0.0 {
@@ -170,7 +263,14 @@ pub fn kmeans_fit(data: &[f32], dim: usize, cfg: KMeansConfig, rng: &mut StdRng)
         inertia = new_inertia;
     }
 
-    KMeans { centroids, dim, k, assignments, inertia, iterations }
+    KMeans {
+        centroids,
+        dim,
+        k,
+        assignments,
+        inertia,
+        iterations,
+    }
 }
 
 impl KMeans {
@@ -212,7 +312,12 @@ impl KMeans {
 pub fn inertia_of(data: &[f32], dim: usize, centroids: &[f32], assignments: &[usize]) -> f64 {
     let n = data.len() / dim;
     (0..n)
-        .map(|i| dist_sq(point(data, dim, i), &centroids[assignments[i] * dim..(assignments[i] + 1) * dim]))
+        .map(|i| {
+            dist_sq(
+                point(data, dim, i),
+                &centroids[assignments[i] * dim..(assignments[i] + 1) * dim],
+            )
+        })
         .sum()
 }
 
@@ -236,7 +341,16 @@ mod tests {
     fn separates_two_blobs() {
         let data = two_blobs();
         let mut rng = StdRng::seed_from_u64(0);
-        let km = kmeans_fit(&data, 2, KMeansConfig { k: 2, max_iter: 50, tol: 1e-6 }, &mut rng);
+        let km = kmeans_fit(
+            &data,
+            2,
+            KMeansConfig {
+                k: 2,
+                max_iter: 50,
+                tol: 1e-6,
+            },
+            &mut rng,
+        );
         assert_eq!(km.k, 2);
         // All even-indexed points (blob A) share a cluster; odd share the other.
         let a = km.assignments[0];
@@ -264,7 +378,16 @@ mod tests {
     fn k_reduced_when_fewer_points() {
         let data = vec![1.0, 2.0, 3.0, 4.0]; // two 2-d points
         let mut rng = StdRng::seed_from_u64(2);
-        let km = kmeans_fit(&data, 2, KMeansConfig { k: 10, max_iter: 10, tol: 1e-4 }, &mut rng);
+        let km = kmeans_fit(
+            &data,
+            2,
+            KMeansConfig {
+                k: 10,
+                max_iter: 10,
+                tol: 1e-4,
+            },
+            &mut rng,
+        );
         assert_eq!(km.k, 2);
     }
 
@@ -272,7 +395,16 @@ mod tests {
     fn inertia_zero_for_identical_points() {
         let data = vec![5.0f32; 12]; // four identical 3-d points
         let mut rng = StdRng::seed_from_u64(3);
-        let km = kmeans_fit(&data, 3, KMeansConfig { k: 2, max_iter: 10, tol: 1e-4 }, &mut rng);
+        let km = kmeans_fit(
+            &data,
+            3,
+            KMeansConfig {
+                k: 2,
+                max_iter: 10,
+                tol: 1e-4,
+            },
+            &mut rng,
+        );
         assert_eq!(km.inertia, 0.0);
     }
 
@@ -280,7 +412,16 @@ mod tests {
     fn cluster_sizes_sum_to_n() {
         let data = two_blobs();
         let mut rng = StdRng::seed_from_u64(4);
-        let km = kmeans_fit(&data, 2, KMeansConfig { k: 3, max_iter: 30, tol: 1e-6 }, &mut rng);
+        let km = kmeans_fit(
+            &data,
+            2,
+            KMeansConfig {
+                k: 3,
+                max_iter: 30,
+                tol: 1e-6,
+            },
+            &mut rng,
+        );
         assert_eq!(km.cluster_sizes().iter().sum::<usize>(), 40);
     }
 
@@ -288,7 +429,16 @@ mod tests {
     fn every_point_assigned_to_nearest_centroid() {
         let data = two_blobs();
         let mut rng = StdRng::seed_from_u64(5);
-        let km = kmeans_fit(&data, 2, KMeansConfig { k: 4, max_iter: 50, tol: 1e-8 }, &mut rng);
+        let km = kmeans_fit(
+            &data,
+            2,
+            KMeansConfig {
+                k: 4,
+                max_iter: 50,
+                tol: 1e-8,
+            },
+            &mut rng,
+        );
         for i in 0..40 {
             let p = &data[i * 2..i * 2 + 2];
             let assigned = km.assignments[i];
@@ -307,5 +457,92 @@ mod tests {
     fn rejects_empty_data() {
         let mut rng = StdRng::seed_from_u64(6);
         kmeans_fit(&[], 2, KMeansConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn repair_gives_distinct_points_to_simultaneously_empty_clusters() {
+        // 1-d data: three well-separated pairs. Centroids 2 and 3 sit far from
+        // every point, so both are empty after assignment; the old repair gave
+        // both the same farthest point, leaving duplicate centroids.
+        let data = vec![0.0f32, 1.0, 10.0, 11.0, 20.0, 21.0];
+        let mut centroids = vec![0.5f32, 10.5, 1000.0, 2000.0];
+        let mut assignments = vec![0usize, 0, 1, 1, 1, 1];
+        repair_empty_clusters(&data, 1, &mut centroids, &mut assignments, &[2, 3]);
+        assert_ne!(
+            centroids[2], centroids[3],
+            "both empty clusters reseeded to the same point"
+        );
+        // The two reseeds land on the two farthest-residual points (21 then 20).
+        assert_eq!(centroids[2], 21.0);
+        assert_eq!(centroids[3], 20.0);
+        // Reseeded points are reassigned to the clusters they now anchor.
+        assert_eq!(assignments[5], 2);
+        assert_eq!(assignments[4], 3);
+    }
+
+    #[test]
+    fn full_fit_with_multiple_empty_clusters_keeps_all_clusters_alive() {
+        // k = 4 on data whose k-means++ seeding can collapse; all four final
+        // centroids must be distinct and every cluster non-empty for this
+        // well-spread 1-d dataset.
+        let data: Vec<f32> = (0..32)
+            .map(|i| (i / 8) as f32 * 100.0 + (i % 8) as f32 * 0.1)
+            .collect();
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let km = kmeans_fit(
+                &data,
+                1,
+                KMeansConfig {
+                    k: 4,
+                    max_iter: 50,
+                    tol: 1e-8,
+                },
+                &mut rng,
+            );
+            let sizes = km.cluster_sizes();
+            assert!(
+                sizes.iter().all(|&s| s > 0),
+                "dead cluster at seed {seed}: {sizes:?}"
+            );
+            for a in 0..4 {
+                for b in a + 1..4 {
+                    assert_ne!(
+                        km.centroid(a),
+                        km.centroid(b),
+                        "duplicate centroids at seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_thread_counts() {
+        // 5000 points of dim 2 => spans multiple ASSIGN_CHUNK shards.
+        let data: Vec<f32> = (0..10_000)
+            .map(|i| ((i * 37 % 101) as f32).sin() * 50.0)
+            .collect();
+        let cfg = KMeansConfig {
+            k: 5,
+            max_iter: 40,
+            tol: 1e-8,
+        };
+        let reference = {
+            let mut rng = StdRng::seed_from_u64(7);
+            kmeans_fit_par(&data, 2, cfg, 1, &mut rng)
+        };
+        for threads in [2, 3, 8] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let km = kmeans_fit_par(&data, 2, cfg, threads, &mut rng);
+            assert_eq!(km.centroids, reference.centroids, "{threads} threads");
+            assert_eq!(km.assignments, reference.assignments, "{threads} threads");
+            assert_eq!(
+                km.inertia.to_bits(),
+                reference.inertia.to_bits(),
+                "{threads} threads"
+            );
+            assert_eq!(km.iterations, reference.iterations, "{threads} threads");
+        }
     }
 }

@@ -28,7 +28,12 @@ pub struct CohortNetWcMinus {
 
 impl CohortNetWcMinus {
     /// Builds the ablation model.
-    pub fn new(ps: &mut ParamStore, rng: &mut StdRng, cfg: &CohortNetConfig, n_clusters: usize) -> Self {
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+        cfg: &CohortNetConfig,
+        n_clusters: usize,
+    ) -> Self {
         let mflm = Mflm::new(ps, rng, cfg);
         let tilde_dim = cfg.n_features() * cfg.d_agg;
         let repr_dim = tilde_dim + cfg.n_labels;
@@ -109,7 +114,11 @@ impl SequenceModel for CohortNetWcMinus {
         let km = kmeans_fit(
             reps.as_slice(),
             self.tilde_dim,
-            KMeansConfig { k: self.n_clusters, max_iter: 20, tol: 1e-4 },
+            KMeansConfig {
+                k: self.n_clusters,
+                max_iter: 20,
+                tol: 1e-4,
+            },
             rng,
         );
         // Attach label distributions to each coarse cohort.
@@ -117,8 +126,9 @@ impl SequenceModel for CohortNetWcMinus {
         self.cohorts.clear();
         for c in 0..km.k {
             self.cohorts.extend_from_slice(km.centroid(c));
-            let members: Vec<usize> =
-                (0..reps.rows()).filter(|&r| km.assignments[r] == c).collect();
+            let members: Vec<usize> = (0..reps.rows())
+                .filter(|&r| km.assignments[r] == c)
+                .collect();
             for l in 0..n_labels {
                 let pos = members
                     .iter()
@@ -173,10 +183,18 @@ mod tests {
             &mut m,
             &mut ps,
             &prep,
-            &TrainConfig { epochs: 2, batch_size: 32, lr: 3e-3, ..Default::default() },
+            &TrainConfig {
+                epochs: 2,
+                batch_size: 32,
+                lr: 3e-3,
+                ..Default::default()
+            },
         );
         assert_eq!(stats.epoch_losses.len(), 2);
-        assert!(stats.preprocess_sec > 0.0, "refresh time should be recorded");
+        assert!(
+            stats.preprocess_sec > 0.0,
+            "refresh time should be recorded"
+        );
         assert!(stats.epoch_losses.iter().all(|l| l.is_finite()));
     }
 }

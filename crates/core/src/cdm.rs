@@ -12,9 +12,7 @@
 //!    space to the combinations that actually occur in the data.
 
 use crate::config::CohortNetConfig;
-use cohortnet_clustering::{
-    cocluster_fit, hierarchical_fit, kmeans_fit, KMeansConfig, Linkage,
-};
+use cohortnet_clustering::{cocluster_fit, hierarchical_fit, kmeans_fit, KMeansConfig, Linkage};
 use cohortnet_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -190,7 +188,8 @@ impl StateSampler {
     }
 
     /// Like [`StateSampler::fit_with`] but with an explicit per-feature
-    /// state budget (used by the adaptive-k extension).
+    /// state budget (used by the adaptive-k extension). Sequential; identical
+    /// to [`StateSampler::fit_with_ks_threads`] at any thread count.
     ///
     /// # Panics
     /// Panics if `ks.len()` differs from the feature count.
@@ -201,45 +200,90 @@ impl StateSampler {
         sample_ratio: f32,
         rng: &mut StdRng,
     ) -> FeatureStates {
+        self.fit_with_ks_threads(ks, algo, sample_ratio, 1, rng)
+    }
+
+    /// Fits the per-feature state models with per-feature fits sharded over
+    /// up to `n_threads` scoped threads (`0` = auto).
+    ///
+    /// Each feature's clustering draws from its own seed-split RNG stream
+    /// ([`cohortnet_parallel::split_seeds`]), so the parent `rng` is consumed
+    /// identically and every fitted centroid is bit-identical no matter how
+    /// the features are scheduled across threads.
+    ///
+    /// # Panics
+    /// Panics if `ks.len()` differs from the feature count.
+    pub fn fit_with_ks_threads(
+        &self,
+        ks: &[usize],
+        algo: StateClusterAlgo,
+        sample_ratio: f32,
+        n_threads: usize,
+        rng: &mut StdRng,
+    ) -> FeatureStates {
         assert_eq!(ks.len(), self.samples.len(), "per-feature k table width");
         let ratio = sample_ratio.clamp(0.0, 1.0);
-        let models = self
-            .samples
-            .iter()
-            .zip(ks)
-            .map(|(s, &k)| {
-                if s.is_empty() || k == 0 {
-                    return None;
+        let seeds = cohortnet_parallel::split_seeds(rng, self.samples.len());
+        let models = cohortnet_parallel::par_indices(n_threads, self.samples.len(), |f| {
+            let s = &self.samples[f];
+            let k = ks[f];
+            if s.is_empty() || k == 0 {
+                return None;
+            }
+            let mut rng = cohortnet_parallel::task_rng(seeds[f]);
+            let n = s.len() / self.dim;
+            let mut take = ((n as f32 * ratio).round() as usize).clamp(1, n);
+            // Hierarchical clustering materialises an O(n²) distance
+            // matrix; hard-cap the input so a careless ratio degrades
+            // gracefully instead of exhausting memory (the failure mode
+            // Appendix C.2 reports for this baseline).
+            if algo == StateClusterAlgo::Hierarchical {
+                take = take.min(1200);
+            }
+            let data = &s[..take * self.dim];
+            let model = match algo {
+                StateClusterAlgo::KMeans => {
+                    let km = kmeans_fit(
+                        data,
+                        self.dim,
+                        KMeansConfig {
+                            k,
+                            max_iter: 30,
+                            tol: 1e-4,
+                        },
+                        &mut rng,
+                    );
+                    CentroidModel {
+                        centroids: km.centroids,
+                        dim: km.dim,
+                        k: km.k,
+                    }
                 }
-                let n = s.len() / self.dim;
-                let mut take = ((n as f32 * ratio).round() as usize).clamp(1, n);
-                // Hierarchical clustering materialises an O(n²) distance
-                // matrix; hard-cap the input so a careless ratio degrades
-                // gracefully instead of exhausting memory (the failure mode
-                // Appendix C.2 reports for this baseline).
-                if algo == StateClusterAlgo::Hierarchical {
-                    take = take.min(1200);
+                StateClusterAlgo::Hierarchical => {
+                    let h = hierarchical_fit(data, self.dim, k, Linkage::Average);
+                    CentroidModel {
+                        centroids: h.centroids,
+                        dim: h.dim,
+                        k: h.k,
+                    }
                 }
-                let data = &s[..take * self.dim];
-                let model = match algo {
-                    StateClusterAlgo::KMeans => {
-                        let km = kmeans_fit(data, self.dim, KMeansConfig { k, max_iter: 30, tol: 1e-4 }, rng);
-                        CentroidModel { centroids: km.centroids, dim: km.dim, k: km.k }
+                StateClusterAlgo::CoClustering => {
+                    let cc = cocluster_fit(data, self.dim, k, &mut rng);
+                    CentroidModel {
+                        centroids: cc.centroids,
+                        dim: cc.dim,
+                        k: cc.k,
                     }
-                    StateClusterAlgo::Hierarchical => {
-                        let h = hierarchical_fit(data, self.dim, k, Linkage::Average);
-                        CentroidModel { centroids: h.centroids, dim: h.dim, k: h.k }
-                    }
-                    StateClusterAlgo::CoClustering => {
-                        let cc = cocluster_fit(data, self.dim, k, rng);
-                        CentroidModel { centroids: cc.centroids, dim: cc.dim, k: cc.k }
-                    }
-                };
-                Some(model)
-            })
-            .collect();
+                }
+            };
+            Some(model)
+        });
         let k_ceiling = ks.iter().copied().max().unwrap_or(0);
-        FeatureStates { models, k: k_ceiling, d_fused: self.dim }
+        FeatureStates {
+            models,
+            k: k_ceiling,
+            d_fused: self.dim,
+        }
     }
 }
 
@@ -257,7 +301,9 @@ pub fn build_masks(attn_mean: &Matrix, n_top: usize) -> Vec<Vec<usize>> {
         .map(|i| {
             let mut others: Vec<usize> = (0..nf).filter(|&j| j != i).collect();
             others.sort_by(|&a, &b| {
-                attn_mean[(i, b)].partial_cmp(&attn_mean[(i, a)]).unwrap_or(std::cmp::Ordering::Equal)
+                attn_mean[(i, b)]
+                    .partial_cmp(&attn_mean[(i, a)])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             let mut mask: Vec<usize> = others.into_iter().take(n_top).collect();
             mask.push(i);
@@ -281,7 +327,9 @@ pub fn build_masks_threshold(attn_mean: &Matrix, threshold: f32, n_cap: usize) -
         .map(|i| {
             let mut others: Vec<usize> = (0..nf).filter(|&j| j != i).collect();
             others.sort_by(|&a, &b| {
-                attn_mean[(i, b)].partial_cmp(&attn_mean[(i, a)]).unwrap_or(std::cmp::Ordering::Equal)
+                attn_mean[(i, b)]
+                    .partial_cmp(&attn_mean[(i, a)])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             let mut mask: Vec<usize> = others
                 .iter()
@@ -333,6 +381,7 @@ pub struct PatternStats {
 ///
 /// `states[p * (T * F) + t * F + f]` holds patient `p`'s state of feature
 /// `f` at time `t`. Returns, per feature, a map from pattern key to stats.
+/// Sequential; identical to [`mine_patterns_threads`] at any thread count.
 pub fn mine_patterns(
     states: &[u8],
     n_patients: usize,
@@ -340,22 +389,46 @@ pub fn mine_patterns(
     nf: usize,
     masks: &[Vec<usize>],
 ) -> Vec<HashMap<u64, PatternStats>> {
-    assert_eq!(states.len(), n_patients * t_steps * nf, "state tensor shape");
-    let mut per_feature: Vec<HashMap<u64, PatternStats>> = vec![HashMap::new(); nf];
-    for p in 0..n_patients {
-        for t in 0..t_steps {
-            let row = &states[p * t_steps * nf + t * nf..p * t_steps * nf + (t + 1) * nf];
-            for i in 0..nf {
+    mine_patterns_threads(states, n_patients, t_steps, nf, masks, 1)
+}
+
+/// Pattern mining sharded per anchor feature over up to `n_threads` scoped
+/// threads (`0` = auto).
+///
+/// Each anchor feature's pattern map is independent of every other's (the
+/// mask decides which columns feed its keys), so each worker scans the state
+/// tensor for its own features and no merging across workers is needed. The
+/// per-feature maps are returned in feature order; within a map, occurrence
+/// counting walks `(p, t)` in the same ascending order as the sequential
+/// version, so `PatternStats::patients` lists are identical.
+pub fn mine_patterns_threads(
+    states: &[u8],
+    n_patients: usize,
+    t_steps: usize,
+    nf: usize,
+    masks: &[Vec<usize>],
+    n_threads: usize,
+) -> Vec<HashMap<u64, PatternStats>> {
+    assert_eq!(
+        states.len(),
+        n_patients * t_steps * nf,
+        "state tensor shape"
+    );
+    cohortnet_parallel::par_indices(n_threads, nf, |i| {
+        let mut mined: HashMap<u64, PatternStats> = HashMap::new();
+        for p in 0..n_patients {
+            for t in 0..t_steps {
+                let row = &states[p * t_steps * nf + t * nf..p * t_steps * nf + (t + 1) * nf];
                 let key = pattern_key(row, &masks[i]);
-                let entry = per_feature[i].entry(key).or_default();
+                let entry = mined.entry(key).or_default();
                 entry.frequency += 1;
                 if entry.patients.last() != Some(&p) {
                     entry.patients.push(p);
                 }
             }
         }
-    }
-    per_feature
+        mined
+    })
 }
 
 /// Convenience: the state tensor accessor used throughout the crate.
@@ -521,6 +594,74 @@ mod tests {
         assert_eq!(s.patients, vec![0, 1]);
         let key_22 = pattern_key(&[2, 2], &[0, 1]);
         assert_eq!(mined[0][&key_22].patients, vec![1]);
+    }
+
+    #[test]
+    fn fit_with_ks_is_bit_identical_across_thread_counts() {
+        let build_sampler = || {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut s = StateSampler::new(4, 2, 300);
+            for i in 0..250 {
+                let v = (i % 9) as f32 * 3.0;
+                for f in 0..4 {
+                    s.offer(f, &[v + f as f32, v * 0.5], &mut rng);
+                }
+            }
+            s
+        };
+        let ks = [4usize, 3, 5, 2];
+        let reference = {
+            let mut rng = StdRng::seed_from_u64(42);
+            build_sampler().fit_with_ks_threads(&ks, StateClusterAlgo::KMeans, 1.0, 1, &mut rng)
+        };
+        for threads in [2, 4] {
+            let mut rng = StdRng::seed_from_u64(42);
+            let fs = build_sampler().fit_with_ks_threads(
+                &ks,
+                StateClusterAlgo::KMeans,
+                1.0,
+                threads,
+                &mut rng,
+            );
+            for f in 0..4 {
+                assert_eq!(
+                    fs.models[f].as_ref().unwrap().centroids,
+                    reference.models[f].as_ref().unwrap().centroids,
+                    "feature {f} differs at {threads} threads"
+                );
+            }
+        }
+        // Parent RNG consumption is schedule-independent too.
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        build_sampler().fit_with_ks_threads(&ks, StateClusterAlgo::KMeans, 1.0, 1, &mut a);
+        build_sampler().fit_with_ks_threads(&ks, StateClusterAlgo::KMeans, 1.0, 4, &mut b);
+        assert_eq!(a.gen_range(0..u32::MAX), b.gen_range(0..u32::MAX));
+    }
+
+    #[test]
+    fn mining_is_identical_across_thread_counts() {
+        // 8 patients, 5 steps, 6 features with pseudo-random states.
+        let nf = 6;
+        let states: Vec<u8> = (0..8 * 5 * nf)
+            .map(|i| ((i * 2654435761usize) >> 7) as u8 % 4)
+            .collect();
+        let masks: Vec<Vec<usize>> = (0..nf)
+            .map(|i| vec![i, (i + 1) % nf, (i + 3) % nf])
+            .collect();
+        let reference = mine_patterns_threads(&states, 8, 5, nf, &masks, 1);
+        for threads in [2, 3, 8] {
+            let mined = mine_patterns_threads(&states, 8, 5, nf, &masks, threads);
+            assert_eq!(mined.len(), reference.len());
+            for (m, r) in mined.iter().zip(&reference) {
+                assert_eq!(m.len(), r.len());
+                for (key, stats) in r {
+                    let got = &m[key];
+                    assert_eq!(got.frequency, stats.frequency);
+                    assert_eq!(got.patients, stats.patients);
+                }
+            }
+        }
     }
 
     #[test]

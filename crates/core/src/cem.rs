@@ -42,11 +42,36 @@ impl Cem {
     /// Builds the module, registering parameters in `ps`.
     pub fn new(ps: &mut ParamStore, rng: &mut StdRng, cfg: &CohortNetConfig) -> Self {
         let repr_dim = cfg.cohort_repr_dim();
+        let wq = Linear::new(ps, rng, "cem.wq", cfg.d_hidden, cfg.d_att);
+        let wk = Linear::new(ps, rng, "cem.wk", repr_dim, cfg.d_att);
+        let wv = Linear::new(ps, rng, "cem.wv", repr_dim, cfg.d_value);
+        // Eq. 14 has no bias on the cohort term: the intercept is `b^p` on
+        // the individual path alone. A bias here would absorb part of the
+        // class-prior logit during joint training, shifting every patient's
+        // calibration by a constant — including patients with no relevant
+        // cohort at all — and breaking the Eq. 16 decomposition, which sums
+        // weight-times-context only.
+        let head = Linear::new_no_bias(
+            ps,
+            rng,
+            "cem.head",
+            cfg.n_features().max(1) * cfg.d_value,
+            cfg.n_labels,
+        );
+        // Zero-init the calibration head (residual-branch style): the CEM
+        // receives no gradient during Step-1 pre-training, so a random head
+        // would enter joint training with an arbitrary constant offset on
+        // every logit that a few exploitation epochs never fully unlearn.
+        // Zeroed, the full model starts Step 4 exactly equal to the
+        // pre-trained MFLM, and calibration grows only where gradients push
+        // it — the head trains first, then W_Q/W_K/W_V follow.
+        let w = ps.value_mut(head.weight());
+        *w = Matrix::zeros(w.rows(), w.cols());
         Cem {
-            wq: Linear::new(ps, rng, "cem.wq", cfg.d_hidden, cfg.d_att),
-            wk: Linear::new(ps, rng, "cem.wk", repr_dim, cfg.d_att),
-            wv: Linear::new(ps, rng, "cem.wv", repr_dim, cfg.d_value),
-            head: Linear::new(ps, rng, "cem.head", cfg.n_features().max(1) * cfg.d_value, cfg.n_labels),
+            wq,
+            wk,
+            wv,
+            head,
             d_value: cfg.d_value,
         }
     }
@@ -97,10 +122,14 @@ impl Cem {
             let q = self.wq.forward(t, ps, h_final[i]); // batch x d_att
             let kt = t.transpose(keys);
             let scores = t.matmul(q, kt); // batch x |C_i|
-            // Mask out irrelevant cohorts (b = 0) with a large negative
-            // offset; rows with no relevant cohort at all are zeroed after.
+                                          // Mask out irrelevant cohorts (b = 0) with a large negative
+                                          // offset; rows with no relevant cohort at all are zeroed after.
             let bits = &bitmaps[i];
-            debug_assert_eq!(bits.len(), batch * n_cohorts, "bitmap shape for feature {i}");
+            debug_assert_eq!(
+                bits.len(),
+                batch * n_cohorts,
+                "bitmap shape for feature {i}"
+            );
             let mut mask = Matrix::zeros(batch, n_cohorts);
             let mut any = Matrix::zeros(batch, 1);
             for r in 0..batch {
@@ -125,7 +154,12 @@ impl Cem {
         }
         let h_hat = t.concat_cols(&contexts);
         let logits = self.head.forward(t, ps, h_hat);
-        CemTrace { logits, h_hat, attention, contexts }
+        CemTrace {
+            logits,
+            h_hat,
+            attention,
+            contexts,
+        }
     }
 }
 
@@ -186,12 +220,39 @@ mod tests {
     }
 
     #[test]
+    fn calibration_is_zero_at_init() {
+        // Residual-branch design: before any joint training the CEM must not
+        // perturb the MFLM prediction (the head is zero-initialised).
+        let cfg = tiny_cfg();
+        let pool = tiny_pool(&cfg);
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let cem = Cem::new(&mut ps, &mut rng, &cfg);
+        let mut tape = Tape::new();
+        let h0 = tape.constant(Matrix::full(2, 4, 0.9));
+        let h1 = tape.constant(Matrix::full(2, 4, -0.4));
+        let nc = pool.per_feature[0].len();
+        let bits = vec![true; 2 * nc];
+        let trace = cem.forward(&mut tape, &ps, &pool, &[h0, h1], &[bits.clone(), bits], 2);
+        assert!(tape
+            .value(trace.logits)
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0));
+    }
+
+    #[test]
     fn gradients_flow_into_projections() {
         let cfg = tiny_cfg();
         let pool = tiny_pool(&cfg);
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(1);
         let cem = Cem::new(&mut ps, &mut rng, &cfg);
+        // The head starts at zero (no gradient reaches the projections until
+        // it moves); give it a nonzero value to exercise the full backward
+        // path in one step.
+        let w = ps.value_mut(cem.head().weight());
+        *w = Matrix::full(w.rows(), w.cols(), 0.05);
         let mut tape = Tape::new();
         let h0 = tape.constant(Matrix::full(2, 4, 0.3));
         let h1 = tape.constant(Matrix::full(2, 4, 0.1));
@@ -223,8 +284,19 @@ mod tests {
         let h0 = tape.constant(Matrix::full(1, 4, 0.5));
         let h1 = tape.constant(Matrix::full(1, 4, 0.5));
         let nc = pool.per_feature[0].len();
-        let trace = cem.forward(&mut tape, &ps, &pool, &[h0, h1], &[vec![true; nc], vec![]], 1);
+        let trace = cem.forward(
+            &mut tape,
+            &ps,
+            &pool,
+            &[h0, h1],
+            &[vec![true; nc], vec![]],
+            1,
+        );
         assert!(trace.attention[1].is_none());
-        assert!(tape.value(trace.contexts[1]).as_slice().iter().all(|&v| v == 0.0));
+        assert!(tape
+            .value(trace.contexts[1])
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0));
     }
 }

@@ -78,6 +78,11 @@ pub struct CohortNetConfig {
     /// exceeds `threshold × uniform`, capped at `n_top` partners; `None`
     /// keeps the paper's fixed top-N rule.
     pub mask_threshold: Option<f32>,
+    /// Worker threads for the discovery pipeline (state fitting, inference
+    /// passes, pattern mining, K-Means assignment). `0` selects the machine's
+    /// available parallelism; `1` reproduces fully sequential execution.
+    /// Results are bit-identical for every value — see `cohortnet-parallel`.
+    pub n_threads: usize,
 }
 
 impl CohortNetConfig {
@@ -131,7 +136,43 @@ impl CohortNetConfig {
             use_trends: true,
             adaptive_k: false,
             mask_threshold: None,
+            n_threads: 0,
         }
+    }
+
+    /// Validates the invariants the pattern-key encoding depends on.
+    ///
+    /// [`pattern_key`](crate::cdm::pattern_key) packs one state per involved
+    /// feature into 4 bits of a `u64` and one mask bit per feature into a
+    /// 16-slot nibble layout, so `k_states` must leave state ids below 16
+    /// (state 0 is the missingness state, learned states are `1..=k_states`)
+    /// and a pattern may involve at most 16 features (`n_top + 1`). In
+    /// release builds these used to be guarded only by `debug_assert!` —
+    /// silently aliasing distinct patterns onto one key; now any violating
+    /// config is rejected loudly before discovery starts.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k_states == 0 {
+            return Err("k_states must be at least 1".into());
+        }
+        if self.k_states > 15 {
+            return Err(format!(
+                "k_states = {} but the 4-bit pattern-key encoding supports at most 15 \
+                 learned states per feature (state ids 1..=15; 0 is missingness)",
+                self.k_states
+            ));
+        }
+        if self.n_top + 1 > 16 {
+            return Err(format!(
+                "n_top = {} implies patterns over {} features, but the pattern-key \
+                 encoding packs at most 16 features into a u64",
+                self.n_top,
+                self.n_top + 1
+            ));
+        }
+        Ok(())
     }
 
     /// Number of features implied by the bounds table.
@@ -182,5 +223,31 @@ mod tests {
         let mut c = CohortNetConfig::default_dims();
         c.n_labels = 25;
         assert_eq!(c.cohort_repr_dim(), 16 + 25 + 2);
+    }
+
+    #[test]
+    fn validate_rejects_pattern_key_overflow() {
+        let mut c = CohortNetConfig::default_dims();
+        assert!(c.validate().is_ok(), "paper defaults must validate");
+
+        c.k_states = 15;
+        assert!(
+            c.validate().is_ok(),
+            "k_states = 15 is the encoding's ceiling"
+        );
+        c.k_states = 16;
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("k_states"), "unexpected message: {err}");
+
+        c.k_states = 7;
+        c.n_top = 16;
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("n_top"), "unexpected message: {err}");
+        c.n_top = 15; // 16 involved features exactly fills the 16-slot layout
+        assert!(c.validate().is_ok());
+
+        c.n_top = 2;
+        c.k_states = 0;
+        assert!(c.validate().is_err(), "zero states is meaningless");
     }
 }

@@ -60,9 +60,18 @@ impl CohortPool {
         index: Vec<HashMap<u64, usize>>,
         repr_dim: usize,
     ) -> Self {
-        assert_eq!(masks.len(), per_feature.len(), "masks/cohorts width mismatch");
+        assert_eq!(
+            masks.len(),
+            per_feature.len(),
+            "masks/cohorts width mismatch"
+        );
         assert_eq!(masks.len(), index.len(), "masks/index width mismatch");
-        CohortPool { masks, per_feature, index, repr_dim }
+        CohortPool {
+            masks,
+            per_feature,
+            index,
+            repr_dim,
+        }
     }
 
     /// Builds the pool from mined pattern statistics.
@@ -89,7 +98,9 @@ impl CohortPool {
             // Credibility filters (§3.5): drop infrequent patterns.
             let mut kept: Vec<(u64, PatternStats)> = patterns
                 .into_iter()
-                .filter(|(_, s)| s.frequency >= cfg.min_frequency && s.patients.len() >= cfg.min_patients)
+                .filter(|(_, s)| {
+                    s.frequency >= cfg.min_frequency && s.patients.len() >= cfg.min_patients
+                })
                 .collect();
             kept.sort_by(|a, b| b.1.frequency.cmp(&a.1.frequency).then(a.0.cmp(&b.0)));
             kept.truncate(cfg.max_cohorts_per_feature);
@@ -135,7 +146,12 @@ impl CohortPool {
             per_feature.push(cohorts);
             index.push(idx);
         }
-        CohortPool { masks, per_feature, index, repr_dim: cfg.cohort_repr_dim() }
+        CohortPool {
+            masks,
+            per_feature,
+            index,
+            repr_dim: cfg.cohort_repr_dim(),
+        }
     }
 
     /// Total number of cohorts `|C|` across all features.
@@ -149,7 +165,12 @@ impl CohortPool {
         if total == 0 {
             return 0.0;
         }
-        let patients: usize = self.per_feature.iter().flatten().map(|c| c.n_patients).sum();
+        let patients: usize = self
+            .per_feature
+            .iter()
+            .flatten()
+            .map(|c| c.n_patients)
+            .sum();
         patients as f64 / total as f64
     }
 
@@ -264,8 +285,10 @@ impl CohortPool {
                         }
                         let mean_h: Vec<f32> =
                             sum_h.iter().map(|&s| s / np_new.max(1) as f32).collect();
-                        let pos_rate: Vec<f32> =
-                            pos.iter().map(|&c| c as f32 / np_new.max(1) as f32).collect();
+                        let pos_rate: Vec<f32> = pos
+                            .iter()
+                            .map(|&c| c as f32 / np_new.max(1) as f32)
+                            .collect();
                         let mut repr = mean_h;
                         repr.extend_from_slice(&pos_rate);
                         repr.push((1.0 + stats.frequency as f32).ln() / 10.0);
@@ -420,7 +443,9 @@ mod tests {
     fn incremental_update_merges_existing_cohorts() {
         let cfg = small_cfg();
         let mut pool = build_small_pool(&cfg);
-        let q11 = pool.lookup(0, crate::cdm::pattern_key(&[1, 1], &pool.masks[0])).unwrap();
+        let q11 = pool
+            .lookup(0, crate::cdm::pattern_key(&[1, 1], &pool.masks[0]))
+            .unwrap();
         let before = pool.per_feature[0][q11].clone();
 
         // New batch: one patient showing [1,1] twice, positive label.

@@ -15,7 +15,7 @@
 //! Every stage is timed individually because Figures 12 and 13 report the
 //! per-step scaling behaviour.
 
-use crate::cdm::{build_masks, mine_patterns, FeatureStates, StateSampler};
+use crate::cdm::{build_masks, mine_patterns_threads, FeatureStates, StateSampler};
 use crate::config::CohortNetConfig;
 use crate::crlm::CohortPool;
 use crate::mflm::{Mflm, MflmTrace};
@@ -23,6 +23,26 @@ use cohortnet_models::data::{make_batch, Batch, Prepared};
 use cohortnet_tensor::{Matrix, ParamStore, Tape};
 use rand::rngs::StdRng;
 use std::time::Instant;
+
+/// Everything pass 1 extracts from one inference batch. Workers return these
+/// and the driver folds them **in chunk order**, so the attention reduction
+/// and the reservoir's RNG consumption are identical at any thread count.
+struct CollectHarvest {
+    /// Partial attention sum (`F x F`) over this batch.
+    attn_sum: Matrix,
+    /// Attention accumulation count for this batch.
+    attn_count: usize,
+    /// Observed fused vectors in the exact `(t, f, r)` order the sequential
+    /// loop would offer them to the reservoir sampler.
+    offers: Vec<(usize, Vec<f32>)>,
+}
+
+/// Everything pass 2 extracts from one inference batch: the per-patient
+/// state grid and final channel representations, keyed by training index.
+struct AssignHarvest {
+    /// `(patient, T*F states, nf*d_hidden h_final row)` per batch row.
+    rows: Vec<(usize, Vec<u8>, Vec<f32>)>,
+}
 
 /// Wall-clock breakdown of the discovery pipeline.
 #[derive(Debug, Clone, Default)]
@@ -91,7 +111,15 @@ pub fn discover(
     cfg: &CohortNetConfig,
     rng: &mut StdRng,
 ) -> Discovery {
-    discover_with_algo(mflm, ps, prep, cfg, crate::cdm::StateClusterAlgo::KMeans, 1.0, rng)
+    discover_with_algo(
+        mflm,
+        ps,
+        prep,
+        cfg,
+        crate::cdm::StateClusterAlgo::KMeans,
+        1.0,
+        rng,
+    )
 }
 
 /// Like [`discover`] but with a selectable clustering backend and sample
@@ -105,76 +133,111 @@ pub fn discover_with_algo(
     sample_ratio: f32,
     rng: &mut StdRng,
 ) -> Discovery {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid CohortNetConfig: {e}");
+    }
     let nf = prep.n_features;
     let t_steps = prep.time_steps;
     let n_patients = prep.patients.len();
     let indices: Vec<usize> = (0..n_patients).collect();
     let infer_batch = cfg.batch_size.max(16);
+    let threads = cfg.n_threads;
     let mut timing = DiscoveryTiming::default();
 
     // ---- Pass 1: sample fused representations + accumulate attention.
+    // Workers run the expensive MFLM forward per batch; the driver folds the
+    // harvests in chunk order, so attention sums reduce in a fixed order and
+    // the reservoir sampler consumes the parent RNG exactly as the
+    // sequential loop would.
     let t0 = Instant::now();
     let mut sampler = StateSampler::new(nf, cfg.d_fused, cfg.state_fit_samples);
     let mut attn_sum = Matrix::zeros(nf, nf);
     let mut attn_count = 0usize;
-    for chunk in indices.chunks(infer_batch) {
+    let harvests = cohortnet_parallel::par_chunks(threads, &indices, infer_batch, |_, chunk| {
         let batch = make_batch(prep, chunk);
         let mut tape = Tape::new();
         let trace = mflm.forward(&mut tape, ps, &batch, false);
-        attn_sum.add_assign(&trace.attn_sum);
-        attn_count += trace.attn_count;
+        let mut offers = Vec::new();
         for o_step in &trace.o {
             for (f, &o) in o_step.iter().enumerate() {
                 let values = tape.value(o);
                 for r in 0..batch.size {
                     if batch.mask[(r, f)] > 0.5 {
-                        sampler.offer(f, values.row(r), rng);
+                        offers.push((f, values.row(r).to_vec()));
                     }
                 }
             }
         }
+        CollectHarvest {
+            attn_sum: trace.attn_sum.clone(),
+            attn_count: trace.attn_count,
+            offers,
+        }
+    });
+    for harvest in &harvests {
+        attn_sum.add_assign(&harvest.attn_sum);
+        attn_count += harvest.attn_count;
+        for (f, o) in &harvest.offers {
+            sampler.offer(*f, o, rng);
+        }
     }
+    drop(harvests);
     let attn_mean = attn_sum.scale(1.0 / attn_count.max(1) as f32);
     timing.collect_sec = t0.elapsed().as_secs_f64();
 
-    // ---- Fit state models and pattern masks.
+    // ---- Fit state models and pattern masks (one thread per feature fit,
+    // each on its own seed-split RNG stream).
     let t0 = Instant::now();
-    let states = if cfg.adaptive_k {
-        let ks = sampler.adaptive_ks(cfg.k_states);
-        sampler.fit_with_ks(&ks, algo, sample_ratio, rng)
+    let ks = if cfg.adaptive_k {
+        sampler.adaptive_ks(cfg.k_states)
     } else {
-        sampler.fit_with(cfg.k_states, algo, sample_ratio, rng)
+        vec![cfg.k_states; nf]
     };
+    let states = sampler.fit_with_ks_threads(&ks, algo, sample_ratio, threads, rng);
     let masks = match cfg.mask_threshold {
         Some(th) => crate::cdm::build_masks_threshold(&attn_mean, th, cfg.n_top),
         None => build_masks(&attn_mean, cfg.n_top),
     };
     timing.fit_sec = t0.elapsed().as_secs_f64();
 
-    // ---- Pass 2: assign all states; harvest h_i^T.
+    // ---- Pass 2: assign all states; harvest h_i^T. No RNG involved — each
+    // worker's rows land at positions fixed by the patient index.
     let t0 = Instant::now();
     let mut state_tensor = vec![0u8; n_patients * t_steps * nf];
     let mut h_final_all = Matrix::zeros(n_patients, nf * cfg.d_hidden);
-    for chunk in indices.chunks(infer_batch) {
+    let states_ref = &states;
+    let harvests = cohortnet_parallel::par_chunks(threads, &indices, infer_batch, |_, chunk| {
         let batch = make_batch(prep, chunk);
         let mut tape = Tape::new();
         let trace = mflm.forward(&mut tape, ps, &batch, false);
-        let bs = batch_states(&tape, &trace, &batch, &states);
-        for (r, &p) in chunk.iter().enumerate() {
-            let src = &bs[r * t_steps * nf..(r + 1) * t_steps * nf];
-            state_tensor[p * t_steps * nf..(p + 1) * t_steps * nf].copy_from_slice(src);
-            for (f, &h) in trace.h_final.iter().enumerate() {
-                let hv = tape.value(h);
-                h_final_all.row_mut(p)[f * cfg.d_hidden..(f + 1) * cfg.d_hidden]
-                    .copy_from_slice(hv.row(r));
-            }
+        let bs = batch_states(&tape, &trace, &batch, states_ref);
+        let rows = chunk
+            .iter()
+            .enumerate()
+            .map(|(r, &p)| {
+                let grid = bs[r * t_steps * nf..(r + 1) * t_steps * nf].to_vec();
+                let mut h_row = vec![0.0f32; nf * cfg.d_hidden];
+                for (f, &h) in trace.h_final.iter().enumerate() {
+                    let hv = tape.value(h);
+                    h_row[f * cfg.d_hidden..(f + 1) * cfg.d_hidden].copy_from_slice(hv.row(r));
+                }
+                (p, grid, h_row)
+            })
+            .collect();
+        AssignHarvest { rows }
+    });
+    for harvest in &harvests {
+        for (p, grid, h_row) in &harvest.rows {
+            state_tensor[p * t_steps * nf..(p + 1) * t_steps * nf].copy_from_slice(grid);
+            h_final_all.row_mut(*p).copy_from_slice(h_row);
         }
     }
+    drop(harvests);
     timing.assign_sec = t0.elapsed().as_secs_f64();
 
-    // ---- Mine patterns.
+    // ---- Mine patterns, sharded per anchor feature.
     let t0 = Instant::now();
-    let mined = mine_patterns(&state_tensor, n_patients, t_steps, nf, &masks);
+    let mined = mine_patterns_threads(&state_tensor, n_patients, t_steps, nf, &masks, threads);
     timing.mine_sec = t0.elapsed().as_secs_f64();
 
     // ---- Step 3: cohort representations.
@@ -183,7 +246,12 @@ pub fn discover_with_algo(
     let pool = CohortPool::build(mined, masks, &h_final_all, &labels, cfg);
     timing.represent_sec = t0.elapsed().as_secs_f64();
 
-    Discovery { states, pool, attn_mean, timing }
+    Discovery {
+        states,
+        pool,
+        attn_mean,
+        timing,
+    }
 }
 
 #[cfg(test)]
@@ -216,7 +284,7 @@ mod tests {
         let mflm = Mflm::new(&mut ps, &mut rng, &cfg);
         let d = discover(&mflm, &ps, &prep, &cfg, &mut rng);
         assert!(d.pool.total_cohorts() > 0, "no cohorts discovered");
-        assert_eq!(d.pool.masks.len(), 20);
+        assert_eq!(d.pool.masks.len(), prep.n_features);
         for m in &d.pool.masks {
             assert_eq!(m.len(), cfg.n_top + 1);
         }
@@ -235,7 +303,10 @@ mod tests {
             for c in cohorts {
                 assert_eq!(c.feature, i);
                 let features: Vec<usize> = c.pattern.iter().map(|&(f, _)| f).collect();
-                assert_eq!(features, d.pool.masks[i], "pattern features must equal mask");
+                assert_eq!(
+                    features, d.pool.masks[i],
+                    "pattern features must equal mask"
+                );
                 assert!(c.frequency >= cfg.min_frequency);
                 assert!(c.n_patients >= cfg.min_patients);
             }
@@ -259,7 +330,8 @@ mod tests {
             for f in 0..prep.n_features {
                 if batch.mask[(r, f)] < 0.5 {
                     for t in 0..prep.time_steps {
-                        assert_eq!(bs[r * prep.time_steps * 20 + t * 20 + f], 0);
+                        let nf = prep.n_features;
+                        assert_eq!(bs[r * prep.time_steps * nf + t * nf + f], 0);
                     }
                 }
             }
@@ -287,8 +359,73 @@ mod tests {
             d_large.pool.total_cohorts(),
             d_small.pool.total_cohorts()
         );
-        assert!(
-            d_large.pool.avg_patients_per_cohort() < d_small.pool.avg_patients_per_cohort(),
-        );
+        assert!(d_large.pool.avg_patients_per_cohort() < d_small.pool.avg_patients_per_cohort(),);
+    }
+
+    #[test]
+    fn discovery_is_bit_identical_across_thread_counts() {
+        let (mut cfg, prep) = setup();
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mflm = Mflm::new(&mut ps, &mut rng, &cfg);
+        cfg.n_threads = 1;
+        let reference = discover(&mflm, &ps, &prep, &cfg, &mut StdRng::seed_from_u64(6));
+        for threads in [2, 4] {
+            cfg.n_threads = threads;
+            let d = discover(&mflm, &ps, &prep, &cfg, &mut StdRng::seed_from_u64(6));
+            assert_eq!(d.pool.masks, reference.pool.masks, "{threads} threads");
+            assert_eq!(
+                d.attn_mean.as_slice(),
+                reference.attn_mean.as_slice(),
+                "attention differs at {threads} threads"
+            );
+            assert_eq!(
+                d.pool.total_cohorts(),
+                reference.pool.total_cohorts(),
+                "{threads} threads"
+            );
+            for (f, (a, b)) in d
+                .pool
+                .per_feature
+                .iter()
+                .zip(&reference.pool.per_feature)
+                .enumerate()
+            {
+                assert_eq!(
+                    a.len(),
+                    b.len(),
+                    "feature {f} cohort count at {threads} threads"
+                );
+                for (ca, cb) in a.iter().zip(b) {
+                    assert_eq!(ca.pattern, cb.pattern, "feature {f} at {threads} threads");
+                    assert_eq!(ca.frequency, cb.frequency);
+                    assert_eq!(ca.n_patients, cb.n_patients);
+                    assert_eq!(
+                        ca.repr, cb.repr,
+                        "cohort representation must be bit-identical"
+                    );
+                }
+            }
+            for (ma, mb) in d.states.models.iter().zip(&reference.states.models) {
+                match (ma, mb) {
+                    (Some(a), Some(b)) => assert_eq!(a.centroids, b.centroids),
+                    (None, None) => {}
+                    _ => panic!("model presence differs at {threads} threads"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CohortNetConfig")]
+    fn discovery_rejects_key_aliasing_configs() {
+        let (mut cfg, prep) = setup();
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mflm = Mflm::new(&mut ps, &mut rng, &cfg);
+        // 16 learned states would alias in the 4-bit pattern-key encoding;
+        // this must fail loudly in release builds too.
+        cfg.k_states = 16;
+        discover(&mflm, &ps, &prep, &cfg, &mut rng);
     }
 }

@@ -64,7 +64,9 @@ impl std::fmt::Display for PoolParseError {
         match self {
             PoolParseError::BadHeader => write!(f, "missing #cohortnet-pool v1 header"),
             PoolParseError::BadRecord(line) => write!(f, "malformed record at line {line}"),
-            PoolParseError::UnknownFeature(feat) => write!(f, "cohort references feature {feat} without a mask"),
+            PoolParseError::UnknownFeature(feat) => {
+                write!(f, "cohort references feature {feat} without a mask")
+            }
         }
     }
 }
@@ -88,7 +90,10 @@ pub fn pool_from_str(text: &str) -> Result<CohortPool, PoolParseError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("#repr_dim ") {
-            repr_dim = rest.trim().parse().map_err(|_| PoolParseError::BadRecord(line_no))?;
+            repr_dim = rest
+                .trim()
+                .parse()
+                .map_err(|_| PoolParseError::BadRecord(line_no))?;
             continue;
         }
         if line.starts_with('#') {
@@ -107,7 +112,8 @@ pub fn pool_from_str(text: &str) -> Result<CohortPool, PoolParseError> {
             }
             Some("cohort") => {
                 let num = |p: Option<&str>| -> Result<usize, PoolParseError> {
-                    p.and_then(|s| s.parse().ok()).ok_or(PoolParseError::BadRecord(line_no))
+                    p.and_then(|s| s.parse().ok())
+                        .ok_or(PoolParseError::BadRecord(line_no))
                 };
                 let feature = num(parts.next())?;
                 let key: u64 = parts
@@ -119,7 +125,10 @@ pub fn pool_from_str(text: &str) -> Result<CohortPool, PoolParseError> {
                 let floats = |p: Option<&str>| -> Result<Vec<f32>, PoolParseError> {
                     p.ok_or(PoolParseError::BadRecord(line_no))?
                         .split(',')
-                        .map(|s| s.parse::<f32>().map_err(|_| PoolParseError::BadRecord(line_no)))
+                        .map(|s| {
+                            s.parse::<f32>()
+                                .map_err(|_| PoolParseError::BadRecord(line_no))
+                        })
                         .collect()
                 };
                 let pos_rate = floats(parts.next())?;
@@ -153,7 +162,12 @@ pub fn pool_from_str(text: &str) -> Result<CohortPool, PoolParseError> {
         index[c.feature].insert(c.key, per_feature[c.feature].len());
         per_feature[c.feature].push(c);
     }
-    Ok(CohortPool::from_parts(mask_table, per_feature, index, repr_dim))
+    Ok(CohortPool::from_parts(
+        mask_table,
+        per_feature,
+        index,
+        repr_dim,
+    ))
 }
 
 #[cfg(test)]
@@ -205,19 +219,28 @@ mod tests {
 
     #[test]
     fn rejects_bad_header() {
-        assert!(matches!(pool_from_str("nope"), Err(PoolParseError::BadHeader)));
+        assert!(matches!(
+            pool_from_str("nope"),
+            Err(PoolParseError::BadHeader)
+        ));
     }
 
     #[test]
     fn rejects_malformed_record() {
         let text = "#cohortnet-pool v1\nmask\tzero\t0,1\n";
-        assert!(matches!(pool_from_str(text), Err(PoolParseError::BadRecord(2))));
+        assert!(matches!(
+            pool_from_str(text),
+            Err(PoolParseError::BadRecord(2))
+        ));
     }
 
     #[test]
     fn rejects_cohort_without_mask() {
         let text = "#cohortnet-pool v1\n#repr_dim 4\ncohort\t3\t17\t5\t2\t0.5\t0.1,0.2,0.3,0.4\n";
-        assert!(matches!(pool_from_str(text), Err(PoolParseError::UnknownFeature(3))));
+        assert!(matches!(
+            pool_from_str(text),
+            Err(PoolParseError::UnknownFeature(3))
+        ));
     }
 
     #[test]

@@ -105,7 +105,10 @@ pub struct InterpretationContext {
 /// # Panics
 /// Panics if the model has no discovery artefacts yet.
 pub fn compute_states(model: &CohortNetModel, ps: &ParamStore, prep: &Prepared) -> StateTensor {
-    let d = model.discovery.as_ref().expect("run discovery before interpretation");
+    let d = model
+        .discovery
+        .as_ref()
+        .expect("run discovery before interpretation");
     let nf = prep.n_features;
     let t_steps = prep.time_steps;
     let n = prep.patients.len();
@@ -121,7 +124,13 @@ pub fn compute_states(model: &CohortNetModel, ps: &ParamStore, prep: &Prepared) 
                 .copy_from_slice(&bs[r * t_steps * nf..(r + 1) * t_steps * nf]);
         }
     }
-    StateTensor { data, n_patients: n, t_steps, n_features: nf, n_states: d.states.n_states() }
+    StateTensor {
+        data,
+        n_patients: n,
+        t_steps,
+        n_features: nf,
+        n_states: d.states.n_states(),
+    }
 }
 
 /// Builds the full interpretation context (states + raw-value summaries).
@@ -220,7 +229,11 @@ pub fn cohort_table(
             pattern: pattern_string(&c.pattern, ds, summaries),
         })
         .collect();
-    rows.sort_by(|a, b| b.pos_rate.partial_cmp(&a.pos_rate).unwrap_or(std::cmp::Ordering::Equal));
+    rows.sort_by(|a, b| {
+        b.pos_rate
+            .partial_cmp(&a.pos_rate)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     rows
 }
 
@@ -269,16 +282,28 @@ pub fn explain_patient(
     prep: &Prepared,
     patient: usize,
 ) -> PatientExplanation {
-    let d = model.discovery.as_ref().expect("run discovery before interpretation");
+    let d = model
+        .discovery
+        .as_ref()
+        .expect("run discovery before interpretation");
     let batch = make_batch(prep, &[patient]);
     let mut tape = Tape::new();
     let trace = model.forward_trace(&mut tape, ps, &batch, true);
     let cem_trace = trace.cem.as_ref().expect("cohorts active");
     let states = trace.states.as_ref().unwrap();
 
-    let base_prob: Vec<f32> =
-        tape.value(trace.mflm.logits).row(0).iter().map(|&z| sigmoid(z)).collect();
-    let full_prob: Vec<f32> = tape.value(trace.logits).row(0).iter().map(|&z| sigmoid(z)).collect();
+    let base_prob: Vec<f32> = tape
+        .value(trace.mflm.logits)
+        .row(0)
+        .iter()
+        .map(|&z| sigmoid(z))
+        .collect();
+    let full_prob: Vec<f32> = tape
+        .value(trace.logits)
+        .row(0)
+        .iter()
+        .map(|&z| sigmoid(z))
+        .collect();
 
     // w^c slices per feature (first label column).
     let wc = ps.value(model.cem.head().weight());
@@ -297,10 +322,12 @@ pub fn explain_patient(
     // Cohort-level decomposition (Eq. 17): score_q = β_q · (w^c_i · (W_V C_q + b_V)).
     let (_, _, wv) = model.cem.projections();
     let wv_w = ps.value(wv.weight());
-    let wv_b = ps.value(wv.bias());
+    let wv_b = ps.value(wv.bias().expect("W_V is a biased projection"));
     let mut cohorts = Vec::new();
     for i in 0..nf {
-        let Some(beta_var) = cem_trace.attention[i] else { continue };
+        let Some(beta_var) = cem_trace.attention[i] else {
+            continue;
+        };
         let beta = tape.value(beta_var);
         let grid = states; // single patient
         let bits = d.pool.bitmap(i, grid, prep.time_steps, nf);
@@ -351,7 +378,12 @@ mod tests {
     use cohortnet_ehr::{profiles, synth::generate};
     use cohortnet_models::data::prepare;
 
-    fn trained() -> (crate::train::TrainedCohortNet, Prepared, Standardizer, EhrDataset) {
+    fn trained() -> (
+        crate::train::TrainedCohortNet,
+        Prepared,
+        Standardizer,
+        EhrDataset,
+    ) {
         let mut c = profiles::mimic3_like(0.05);
         c.n_patients = 100;
         c.time_steps = 6;
@@ -418,7 +450,10 @@ mod tests {
         assert_eq!(exp.attention.len(), prep.time_steps);
         // Every contribution's matched steps are real matches.
         for c in &exp.cohorts {
-            assert!(!c.matched_steps.is_empty(), "relevant cohort with no matching step");
+            assert!(
+                !c.matched_steps.is_empty(),
+                "relevant cohort with no matching step"
+            );
             assert!(c.beta >= 0.0 && c.beta <= 1.0 + 1e-5);
         }
         // Feature scores should roughly aggregate the cohort scores
@@ -440,11 +475,18 @@ mod tests {
         let rows = cohort_table(pool, rr, &ds, &ctx.summaries);
         assert_eq!(rows.len(), pool.per_feature[rr].len());
         for pair in rows.windows(2) {
-            assert!(pair[0].pos_rate >= pair[1].pos_rate, "rows not risk-ordered");
+            assert!(
+                pair[0].pos_rate >= pair[1].pos_rate,
+                "rows not risk-ordered"
+            );
         }
         for r in &rows {
             assert!(r.frequency >= r.n_patients.min(r.frequency));
-            assert!(r.pattern.contains("(S"), "pattern missing state tags: {}", r.pattern);
+            assert!(
+                r.pattern.contains("(S"),
+                "pattern missing state tags: {}",
+                r.pattern
+            );
         }
     }
 

@@ -82,14 +82,26 @@ impl Mflm {
     /// Builds the module, registering all channel parameters.
     pub fn new(ps: &mut ParamStore, rng: &mut StdRng, cfg: &CohortNetConfig) -> Self {
         let nf = cfg.n_features();
-        assert!(nf > 0, "config has no feature bounds — use CohortNetConfig::for_dataset");
+        assert!(
+            nf > 0,
+            "config has no feature bounds — use CohortNetConfig::for_dataset"
+        );
         let biel = (0..nf)
             .map(|f| {
                 let (a, b) = cfg.bounds[f];
                 BielChannel {
-                    v_a: ps.register(format!("mflm.biel{f}.a"), cohortnet_tensor::init::uniform(rng, 1, cfg.d_embed, 0.3)),
-                    v_b: ps.register(format!("mflm.biel{f}.b"), cohortnet_tensor::init::uniform(rng, 1, cfg.d_embed, 0.3)),
-                    v_m: ps.register(format!("mflm.biel{f}.m"), cohortnet_tensor::init::uniform(rng, 1, cfg.d_embed, 0.3)),
+                    v_a: ps.register(
+                        format!("mflm.biel{f}.a"),
+                        cohortnet_tensor::init::uniform(rng, 1, cfg.d_embed, 0.3),
+                    ),
+                    v_b: ps.register(
+                        format!("mflm.biel{f}.b"),
+                        cohortnet_tensor::init::uniform(rng, 1, cfg.d_embed, 0.3),
+                    ),
+                    v_m: ps.register(
+                        format!("mflm.biel{f}.m"),
+                        cohortnet_tensor::init::uniform(rng, 1, cfg.d_embed, 0.3),
+                    ),
                     bound_lo: a,
                     bound_hi: b,
                 }
@@ -106,7 +118,13 @@ impl Mflm {
             wq: Linear::new(ps, rng, "mflm.fil.wq", cfg.d_embed, cfg.d_embed),
             wk: Linear::new(ps, rng, "mflm.fil.wk", cfg.d_embed, cfg.d_embed),
             wv: Linear::new(ps, rng, "mflm.fil.wv", cfg.d_embed, cfg.d_embed),
-            feafus: Linear::new(ps, rng, "mflm.feafus", 2 * cfg.d_embed + cfg.d_trend, cfg.d_fused),
+            feafus: Linear::new(
+                ps,
+                rng,
+                "mflm.feafus",
+                2 * cfg.d_embed + cfg.d_trend,
+                cfg.d_fused,
+            ),
             agg: Linear::new(ps, rng, "mflm.agg", cfg.d_hidden, cfg.d_agg),
             head: Linear::new(ps, rng, "mflm.head", nf * cfg.d_agg, cfg.n_labels),
             lgru,
@@ -217,12 +235,24 @@ impl Mflm {
     ) -> MflmTrace {
         let nf = self.n_features();
         let steps = batch.steps.len();
-        let mut lstate: Vec<Var> = self.lgru.iter().map(|c| c.init_state(t, batch.size)).collect();
-        let mut gstate: Vec<Var> = self.ggru.iter().map(|c| c.init_state(t, batch.size)).collect();
+        let mut lstate: Vec<Var> = self
+            .lgru
+            .iter()
+            .map(|c| c.init_state(t, batch.size))
+            .collect();
+        let mut gstate: Vec<Var> = self
+            .ggru
+            .iter()
+            .map(|c| c.init_state(t, batch.size))
+            .collect();
         let mut o_all: Vec<Vec<Var>> = Vec::with_capacity(steps);
         let mut attn_sum = Matrix::zeros(nf, nf);
         let mut attn_count = 0usize;
-        let mut attn_per_step = if record_attention_steps { Some(Vec::with_capacity(steps)) } else { None };
+        let mut attn_per_step = if record_attention_steps {
+            Some(Vec::with_capacity(steps))
+        } else {
+            None
+        };
 
         for step_idx in 0..steps {
             let es = self.embed_step(t, ps, &batch.steps[step_idx], &batch.mask);
@@ -251,8 +281,11 @@ impl Mflm {
             }
             // Trend, fusion, global channel update.
             let mut o_step = Vec::with_capacity(nf);
-            let zero_trend =
-                if self.use_trends { None } else { Some(t.constant(Matrix::zeros(batch.size, self.d_trend))) };
+            let zero_trend = if self.use_trends {
+                None
+            } else {
+                Some(t.constant(Matrix::zeros(batch.size, self.d_trend)))
+            };
             for f in 0..nf {
                 let trend = match zero_trend {
                     Some(z) => z,
@@ -295,8 +328,8 @@ impl Mflm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cohortnet_models::data::{make_batch, prepare};
     use cohortnet_ehr::{profiles, standardize::Standardizer, synth::generate};
+    use cohortnet_models::data::{make_batch, prepare};
     use rand::SeedableRng;
 
     fn setup() -> (CohortNetConfig, cohortnet_models::data::Prepared) {
@@ -343,7 +376,10 @@ mod tests {
         // Each row of attn_sum accumulated batch*T softmax rows (each sums 1).
         for i in 0..20 {
             let row_sum: f32 = trace.attn_sum.row(i).iter().sum();
-            assert!((row_sum - trace.attn_count as f32).abs() < 1e-2, "row {i}: {row_sum}");
+            assert!(
+                (row_sum - trace.attn_count as f32).abs() < 1e-2,
+                "row {i}: {row_sum}"
+            );
         }
         assert_eq!(trace.attn_per_step.unwrap().len(), 4);
     }

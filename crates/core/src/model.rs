@@ -53,7 +53,11 @@ impl CohortNetModel {
 
     /// Builds the `CohortNet w/o c` ablation: identical MFLM, but discovery
     /// is never run, so prediction uses `h̃` alone.
-    pub fn new_without_cohorts(ps: &mut ParamStore, rng: &mut StdRng, cfg: &CohortNetConfig) -> Self {
+    pub fn new_without_cohorts(
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+        cfg: &CohortNetConfig,
+    ) -> Self {
         let mut m = Self::new(ps, rng, cfg);
         m.label = "CohortNet w/o c";
         m
@@ -61,7 +65,12 @@ impl CohortNetModel {
 
     /// Runs Steps 2 + 3 (cohort discovery and representation learning) over
     /// the training set, enabling cohort exploitation in later forwards.
-    pub fn run_discovery(&mut self, ps: &ParamStore, prep: &Prepared, rng: &mut StdRng) -> &Discovery {
+    pub fn run_discovery(
+        &mut self,
+        ps: &ParamStore,
+        prep: &Prepared,
+        rng: &mut StdRng,
+    ) -> &Discovery {
         let d = discover(&self.mflm, ps, prep, &self.cfg, rng);
         self.discovery = Some(d);
         self.discovery.as_ref().unwrap()
@@ -77,7 +86,15 @@ impl CohortNetModel {
         sample_ratio: f32,
         rng: &mut StdRng,
     ) -> &Discovery {
-        let d = crate::discover::discover_with_algo(&self.mflm, ps, prep, &self.cfg, algo, sample_ratio, rng);
+        let d = crate::discover::discover_with_algo(
+            &self.mflm,
+            ps,
+            prep,
+            &self.cfg,
+            algo,
+            sample_ratio,
+            rng,
+        );
         self.discovery = Some(d);
         self.discovery.as_ref().unwrap()
     }
@@ -92,7 +109,12 @@ impl CohortNetModel {
     ) -> FullTrace {
         let mflm_trace = self.mflm.forward(t, ps, batch, record_attention_steps);
         let Some(d) = &self.discovery else {
-            return FullTrace { logits: mflm_trace.logits, mflm: mflm_trace, cem: None, states: None };
+            return FullTrace {
+                logits: mflm_trace.logits,
+                mflm: mflm_trace,
+                cem: None,
+                states: None,
+            };
         };
         // Assign feature states for the batch, then per-feature bitmaps.
         let states = batch_states(t, &mflm_trace, batch, &d.states);
@@ -111,9 +133,16 @@ impl CohortNetModel {
             }
             bitmaps.push(bits);
         }
-        let cem_trace = self.cem.forward(t, ps, &d.pool, &mflm_trace.h_final, &bitmaps, batch.size);
+        let cem_trace = self
+            .cem
+            .forward(t, ps, &d.pool, &mflm_trace.h_final, &bitmaps, batch.size);
         let logits = t.add(mflm_trace.logits, cem_trace.logits);
-        FullTrace { logits, mflm: mflm_trace, cem: Some(cem_trace), states: Some(states) }
+        FullTrace {
+            logits,
+            mflm: mflm_trace,
+            cem: Some(cem_trace),
+            states: Some(states),
+        }
     }
 }
 

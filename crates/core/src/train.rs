@@ -48,6 +48,11 @@ pub struct TrainedCohortNet {
 /// Runs the full four-step pipeline on a prepared (standardised) training
 /// set.
 pub fn train_cohortnet(prep: &Prepared, cfg: &CohortNetConfig) -> TrainedCohortNet {
+    // Fail fast on configs that would alias pattern keys during discovery —
+    // better here than after the pre-training epochs are already spent.
+    if let Err(e) = cfg.validate() {
+        panic!("invalid CohortNetConfig: {e}");
+    }
     let mut ps = ParamStore::new();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut model = CohortNetModel::new(&mut ps, &mut rng, cfg);
@@ -77,13 +82,21 @@ pub fn train_cohortnet(prep: &Prepared, cfg: &CohortNetConfig) -> TrainedCohortN
     };
 
     // Step 4: joint training with cohort exploitation.
-    let tc4 = TrainConfig { epochs: cfg.epochs_exploit, seed: cfg.seed + 1, ..tc1 };
+    let tc4 = TrainConfig {
+        epochs: cfg.epochs_exploit,
+        seed: cfg.seed + 1,
+        ..tc1
+    };
     let step4 = train(&mut model, &mut ps, prep, &tc4);
 
     TrainedCohortNet {
         model,
         params: ps,
-        timing: PipelineTiming { step1, discovery: discovery_timing, step4 },
+        timing: PipelineTiming {
+            step1,
+            discovery: discovery_timing,
+            step4,
+        },
     }
 }
 
@@ -107,7 +120,12 @@ pub fn train_without_cohorts(prep: &Prepared, cfg: &CohortNetConfig) -> TrainedC
         timing: PipelineTiming {
             step1: step1.clone(),
             discovery: DiscoveryTiming::default(),
-            step4: TrainStats { epoch_losses: Vec::new(), sec_per_batch: 0.0, preprocess_sec: 0.0, total_sec: 0.0 },
+            step4: TrainStats {
+                epoch_losses: Vec::new(),
+                sec_per_batch: 0.0,
+                preprocess_sec: 0.0,
+                total_sec: 0.0,
+            },
         },
     }
 }

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the bench targets use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`black_box`], [`criterion_group!`], [`criterion_main!`] — on a simple
+//! wall-clock harness: per benchmark it warms up once, runs `sample_size`
+//! timed samples (each auto-scaled to ≥ ~1 ms of work) and prints
+//! median / mean / min per iteration. No statistics engine, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Opaque hint to the optimiser (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-invocation batch sizing for [`Bencher::iter_batched`] — accepted for
+/// API compatibility; the harness always materialises one setup per call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// Timing loop handle passed to every benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling iterations per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + per-iteration estimate.
+        let t0 = Instant::now();
+        black_box(routine());
+        let est = t0.elapsed().max(Duration::from_nanos(50));
+        // Aim for ~1 ms per sample so fast routines aren't all timer noise.
+        let iters = (Duration::from_millis(1).as_nanos() / est.as_nanos()).clamp(1, 10_000) as u64;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / iters as u32);
+        }
+    }
+
+    /// Times `routine` on inputs created by `setup` (setup excluded from the
+    /// measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size: sample_size.max(1),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "{id:<40} median {:>10}   mean {:>10}   min {:>10}   ({} samples)",
+        fmt_duration(median),
+        fmt_duration(mean),
+        fmt_duration(min),
+        b.samples.len()
+    );
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            _parent: self,
+            name,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_and_batched_iteration_run() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("sum", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

@@ -49,13 +49,34 @@ pub const ARCHETYPES: &[Archetype] = &[
         // nudges BUN up (Dorman 1954, Epstein & Singh 2001 — the studies the
         // paper cites when validating cohort C#03).
         effects: &[
-            Effect { code: "RR", offset: -1.6 },
-            Effect { code: "PCO2", offset: 3.2 },
-            Effect { code: "PH", offset: -2.2 },
-            Effect { code: "HCO3", offset: 1.8 },
-            Effect { code: "SpO2", offset: -1.6 },
-            Effect { code: "BUN", offset: 0.9 },
-            Effect { code: "PIP", offset: 1.2 },
+            Effect {
+                code: "RR",
+                offset: -1.6,
+            },
+            Effect {
+                code: "PCO2",
+                offset: 3.2,
+            },
+            Effect {
+                code: "PH",
+                offset: -2.2,
+            },
+            Effect {
+                code: "HCO3",
+                offset: 1.8,
+            },
+            Effect {
+                code: "SpO2",
+                offset: -1.6,
+            },
+            Effect {
+                code: "BUN",
+                offset: 0.9,
+            },
+            Effect {
+                code: "PIP",
+                offset: 1.2,
+            },
         ],
         mortality_logit: 2.6,
         diagnosis_labels: &[0, 1, 2],
@@ -64,12 +85,30 @@ pub const ARCHETYPES: &[Archetype] = &[
     Archetype {
         name: "acute-kidney-injury",
         effects: &[
-            Effect { code: "BUN", offset: 3.0 },
-            Effect { code: "CR", offset: 3.4 },
-            Effect { code: "K", offset: 1.6 },
-            Effect { code: "HCO3", offset: -1.2 },
-            Effect { code: "PHOS", offset: 1.4 },
-            Effect { code: "CA", offset: -0.8 },
+            Effect {
+                code: "BUN",
+                offset: 3.0,
+            },
+            Effect {
+                code: "CR",
+                offset: 3.4,
+            },
+            Effect {
+                code: "K",
+                offset: 1.6,
+            },
+            Effect {
+                code: "HCO3",
+                offset: -1.2,
+            },
+            Effect {
+                code: "PHOS",
+                offset: 1.4,
+            },
+            Effect {
+                code: "CA",
+                offset: -0.8,
+            },
         ],
         mortality_logit: 2.9,
         diagnosis_labels: &[3, 4],
@@ -78,14 +117,38 @@ pub const ARCHETYPES: &[Archetype] = &[
     Archetype {
         name: "sepsis",
         effects: &[
-            Effect { code: "HR", offset: 2.2 },
-            Effect { code: "Temp", offset: 2.0 },
-            Effect { code: "WBC", offset: 2.6 },
-            Effect { code: "LACT", offset: 3.0 },
-            Effect { code: "SBP", offset: -1.8 },
-            Effect { code: "DBP", offset: -1.4 },
-            Effect { code: "RR", offset: 1.4 },
-            Effect { code: "PLT", offset: -1.0 },
+            Effect {
+                code: "HR",
+                offset: 2.2,
+            },
+            Effect {
+                code: "Temp",
+                offset: 2.0,
+            },
+            Effect {
+                code: "WBC",
+                offset: 2.6,
+            },
+            Effect {
+                code: "LACT",
+                offset: 3.0,
+            },
+            Effect {
+                code: "SBP",
+                offset: -1.8,
+            },
+            Effect {
+                code: "DBP",
+                offset: -1.4,
+            },
+            Effect {
+                code: "RR",
+                offset: 1.4,
+            },
+            Effect {
+                code: "PLT",
+                offset: -1.0,
+            },
         ],
         mortality_logit: 3.2,
         diagnosis_labels: &[5, 6, 7],
@@ -94,12 +157,30 @@ pub const ARCHETYPES: &[Archetype] = &[
     Archetype {
         name: "congestive-heart-failure",
         effects: &[
-            Effect { code: "HR", offset: 1.6 },
-            Effect { code: "SpO2", offset: -1.4 },
-            Effect { code: "RR", offset: 1.8 },
-            Effect { code: "SBP", offset: 1.2 },
-            Effect { code: "TROP", offset: 1.6 },
-            Effect { code: "BUN", offset: 1.0 },
+            Effect {
+                code: "HR",
+                offset: 1.6,
+            },
+            Effect {
+                code: "SpO2",
+                offset: -1.4,
+            },
+            Effect {
+                code: "RR",
+                offset: 1.8,
+            },
+            Effect {
+                code: "SBP",
+                offset: 1.2,
+            },
+            Effect {
+                code: "TROP",
+                offset: 1.6,
+            },
+            Effect {
+                code: "BUN",
+                offset: 1.0,
+            },
         ],
         mortality_logit: 2.2,
         diagnosis_labels: &[8, 9],
@@ -108,12 +189,30 @@ pub const ARCHETYPES: &[Archetype] = &[
     Archetype {
         name: "diabetic-ketoacidosis",
         effects: &[
-            Effect { code: "GLU", offset: 3.6 },
-            Effect { code: "HCO3", offset: -2.4 },
-            Effect { code: "PH", offset: -2.0 },
-            Effect { code: "K", offset: 1.2 },
-            Effect { code: "RR", offset: 1.6 }, // Kussmaul breathing
-            Effect { code: "NA", offset: -1.0 },
+            Effect {
+                code: "GLU",
+                offset: 3.6,
+            },
+            Effect {
+                code: "HCO3",
+                offset: -2.4,
+            },
+            Effect {
+                code: "PH",
+                offset: -2.0,
+            },
+            Effect {
+                code: "K",
+                offset: 1.2,
+            },
+            Effect {
+                code: "RR",
+                offset: 1.6,
+            }, // Kussmaul breathing
+            Effect {
+                code: "NA",
+                offset: -1.0,
+            },
         ],
         mortality_logit: 1.8,
         diagnosis_labels: &[10, 11],
@@ -122,12 +221,30 @@ pub const ARCHETYPES: &[Archetype] = &[
     Archetype {
         name: "acute-liver-failure",
         effects: &[
-            Effect { code: "ALT", offset: 3.8 },
-            Effect { code: "AST", offset: 3.8 },
-            Effect { code: "BILI", offset: 2.6 },
-            Effect { code: "INR", offset: 2.0 },
-            Effect { code: "ALB", offset: -1.6 },
-            Effect { code: "GLU", offset: -0.8 },
+            Effect {
+                code: "ALT",
+                offset: 3.8,
+            },
+            Effect {
+                code: "AST",
+                offset: 3.8,
+            },
+            Effect {
+                code: "BILI",
+                offset: 2.6,
+            },
+            Effect {
+                code: "INR",
+                offset: 2.0,
+            },
+            Effect {
+                code: "ALB",
+                offset: -1.6,
+            },
+            Effect {
+                code: "GLU",
+                offset: -0.8,
+            },
         ],
         mortality_logit: 2.7,
         diagnosis_labels: &[12, 13],
@@ -136,11 +253,26 @@ pub const ARCHETYPES: &[Archetype] = &[
     Archetype {
         name: "copd-exacerbation",
         effects: &[
-            Effect { code: "PCO2", offset: 1.8 },
-            Effect { code: "RR", offset: 2.0 },
-            Effect { code: "SpO2", offset: -1.8 },
-            Effect { code: "FiO2", offset: 1.6 },
-            Effect { code: "HCO3", offset: 1.0 },
+            Effect {
+                code: "PCO2",
+                offset: 1.8,
+            },
+            Effect {
+                code: "RR",
+                offset: 2.0,
+            },
+            Effect {
+                code: "SpO2",
+                offset: -1.8,
+            },
+            Effect {
+                code: "FiO2",
+                offset: 1.6,
+            },
+            Effect {
+                code: "HCO3",
+                offset: 1.0,
+            },
         ],
         mortality_logit: 1.4,
         diagnosis_labels: &[14, 15],
@@ -149,11 +281,26 @@ pub const ARCHETYPES: &[Archetype] = &[
     Archetype {
         name: "gi-bleed",
         effects: &[
-            Effect { code: "HGB", offset: -2.8 },
-            Effect { code: "HR", offset: 1.8 },
-            Effect { code: "SBP", offset: -1.6 },
-            Effect { code: "BUN", offset: 1.8 }, // digested blood raises BUN
-            Effect { code: "PLT", offset: -0.8 },
+            Effect {
+                code: "HGB",
+                offset: -2.8,
+            },
+            Effect {
+                code: "HR",
+                offset: 1.8,
+            },
+            Effect {
+                code: "SBP",
+                offset: -1.6,
+            },
+            Effect {
+                code: "BUN",
+                offset: 1.8,
+            }, // digested blood raises BUN
+            Effect {
+                code: "PLT",
+                offset: -0.8,
+            },
         ],
         mortality_logit: 2.0,
         diagnosis_labels: &[16, 17],

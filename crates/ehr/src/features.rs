@@ -34,38 +34,358 @@ pub struct FeatureDef {
 /// Vital signs come first (frequently sampled), then blood gases and labs
 /// (sparser), matching ICU charting practice.
 pub const CATALOG: &[FeatureDef] = &[
-    FeatureDef { code: "RR", name: "Respiratory rate", unit: "breaths/min", normal_lo: 12.0, normal_hi: 20.0, bound_lo: 0.0, bound_hi: 60.0, missing_rate: 0.02, sampling_rate: 1.0 },
-    FeatureDef { code: "HR", name: "Heart rate", unit: "bpm", normal_lo: 60.0, normal_hi: 100.0, bound_lo: 0.0, bound_hi: 220.0, missing_rate: 0.01, sampling_rate: 1.0 },
-    FeatureDef { code: "SBP", name: "Systolic blood pressure", unit: "mmHg", normal_lo: 90.0, normal_hi: 140.0, bound_lo: 30.0, bound_hi: 260.0, missing_rate: 0.02, sampling_rate: 1.0 },
-    FeatureDef { code: "DBP", name: "Diastolic blood pressure", unit: "mmHg", normal_lo: 60.0, normal_hi: 90.0, bound_lo: 15.0, bound_hi: 160.0, missing_rate: 0.02, sampling_rate: 1.0 },
-    FeatureDef { code: "SpO2", name: "Oxygen saturation", unit: "%", normal_lo: 95.0, normal_hi: 100.0, bound_lo: 50.0, bound_hi: 100.0, missing_rate: 0.02, sampling_rate: 1.0 },
-    FeatureDef { code: "Temp", name: "Body temperature", unit: "°C", normal_lo: 36.1, normal_hi: 37.5, bound_lo: 32.0, bound_hi: 42.0, missing_rate: 0.03, sampling_rate: 0.5 },
-    FeatureDef { code: "GCS", name: "Glasgow coma scale", unit: "score", normal_lo: 14.0, normal_hi: 15.0, bound_lo: 3.0, bound_hi: 15.0, missing_rate: 0.05, sampling_rate: 0.3 },
-    FeatureDef { code: "PIP", name: "Peak inspiratory pressure", unit: "cmH2O", normal_lo: 12.0, normal_hi: 20.0, bound_lo: 0.0, bound_hi: 60.0, missing_rate: 0.45, sampling_rate: 0.5 },
-    FeatureDef { code: "FiO2", name: "Fraction of inspired oxygen", unit: "%", normal_lo: 21.0, normal_hi: 40.0, bound_lo: 21.0, bound_hi: 100.0, missing_rate: 0.30, sampling_rate: 0.4 },
-    FeatureDef { code: "PH", name: "Arterial pH", unit: "pH", normal_lo: 7.35, normal_hi: 7.45, bound_lo: 6.8, bound_hi: 7.8, missing_rate: 0.15, sampling_rate: 0.2 },
-    FeatureDef { code: "PCO2", name: "Partial pressure of CO2", unit: "mmHg", normal_lo: 35.0, normal_hi: 45.0, bound_lo: 10.0, bound_hi: 130.0, missing_rate: 0.15, sampling_rate: 0.2 },
-    FeatureDef { code: "PO2", name: "Partial pressure of O2", unit: "mmHg", normal_lo: 75.0, normal_hi: 100.0, bound_lo: 20.0, bound_hi: 500.0, missing_rate: 0.15, sampling_rate: 0.2 },
-    FeatureDef { code: "HCO3", name: "Bicarbonate", unit: "mEq/L", normal_lo: 22.0, normal_hi: 28.0, bound_lo: 5.0, bound_hi: 50.0, missing_rate: 0.08, sampling_rate: 0.15 },
-    FeatureDef { code: "BUN", name: "Blood urea nitrogen", unit: "mg/dL", normal_lo: 7.0, normal_hi: 20.0, bound_lo: 1.0, bound_hi: 180.0, missing_rate: 0.05, sampling_rate: 0.1 },
-    FeatureDef { code: "CR", name: "Creatinine", unit: "mg/dL", normal_lo: 0.6, normal_hi: 1.2, bound_lo: 0.1, bound_hi: 15.0, missing_rate: 0.05, sampling_rate: 0.1 },
-    FeatureDef { code: "ALT", name: "Alanine aminotransferase", unit: "U/L", normal_lo: 7.0, normal_hi: 56.0, bound_lo: 1.0, bound_hi: 2000.0, missing_rate: 0.20, sampling_rate: 0.08 },
-    FeatureDef { code: "AST", name: "Aspartate aminotransferase", unit: "U/L", normal_lo: 10.0, normal_hi: 40.0, bound_lo: 1.0, bound_hi: 2000.0, missing_rate: 0.20, sampling_rate: 0.08 },
-    FeatureDef { code: "WBC", name: "White blood cell count", unit: "10^9/L", normal_lo: 4.5, normal_hi: 11.0, bound_lo: 0.1, bound_hi: 60.0, missing_rate: 0.05, sampling_rate: 0.1 },
-    FeatureDef { code: "LACT", name: "Lactate", unit: "mmol/L", normal_lo: 0.5, normal_hi: 2.0, bound_lo: 0.1, bound_hi: 20.0, missing_rate: 0.25, sampling_rate: 0.12 },
-    FeatureDef { code: "GLU", name: "Glucose", unit: "mg/dL", normal_lo: 70.0, normal_hi: 140.0, bound_lo: 20.0, bound_hi: 800.0, missing_rate: 0.05, sampling_rate: 0.15 },
-    FeatureDef { code: "NA", name: "Sodium", unit: "mEq/L", normal_lo: 135.0, normal_hi: 145.0, bound_lo: 110.0, bound_hi: 175.0, missing_rate: 0.05, sampling_rate: 0.1 },
-    FeatureDef { code: "CL", name: "Chloride", unit: "mEq/L", normal_lo: 96.0, normal_hi: 106.0, bound_lo: 70.0, bound_hi: 130.0, missing_rate: 0.06, sampling_rate: 0.1 },
-    FeatureDef { code: "K", name: "Potassium", unit: "mEq/L", normal_lo: 3.5, normal_hi: 5.0, bound_lo: 1.5, bound_hi: 9.0, missing_rate: 0.05, sampling_rate: 0.1 },
-    FeatureDef { code: "HGB", name: "Hemoglobin", unit: "g/dL", normal_lo: 12.0, normal_hi: 17.0, bound_lo: 3.0, bound_hi: 22.0, missing_rate: 0.05, sampling_rate: 0.1 },
-    FeatureDef { code: "PLT", name: "Platelets", unit: "10^9/L", normal_lo: 150.0, normal_hi: 400.0, bound_lo: 5.0, bound_hi: 1200.0, missing_rate: 0.06, sampling_rate: 0.08 },
-    FeatureDef { code: "ALB", name: "Albumin", unit: "g/dL", normal_lo: 3.5, normal_hi: 5.0, bound_lo: 1.0, bound_hi: 6.0, missing_rate: 0.30, sampling_rate: 0.05 },
-    FeatureDef { code: "BILI", name: "Total bilirubin", unit: "mg/dL", normal_lo: 0.2, normal_hi: 1.2, bound_lo: 0.1, bound_hi: 40.0, missing_rate: 0.25, sampling_rate: 0.05 },
-    FeatureDef { code: "TROP", name: "Troponin", unit: "ng/mL", normal_lo: 0.0, normal_hi: 0.04, bound_lo: 0.0, bound_hi: 50.0, missing_rate: 0.40, sampling_rate: 0.05 },
-    FeatureDef { code: "INR", name: "International normalized ratio", unit: "ratio", normal_lo: 0.9, normal_hi: 1.2, bound_lo: 0.5, bound_hi: 12.0, missing_rate: 0.20, sampling_rate: 0.06 },
-    FeatureDef { code: "MG", name: "Magnesium", unit: "mg/dL", normal_lo: 1.7, normal_hi: 2.3, bound_lo: 0.5, bound_hi: 5.0, missing_rate: 0.10, sampling_rate: 0.08 },
-    FeatureDef { code: "CA", name: "Calcium", unit: "mg/dL", normal_lo: 8.5, normal_hi: 10.5, bound_lo: 4.0, bound_hi: 16.0, missing_rate: 0.10, sampling_rate: 0.08 },
-    FeatureDef { code: "PHOS", name: "Phosphate", unit: "mg/dL", normal_lo: 2.5, normal_hi: 4.5, bound_lo: 0.5, bound_hi: 12.0, missing_rate: 0.15, sampling_rate: 0.06 },
+    FeatureDef {
+        code: "RR",
+        name: "Respiratory rate",
+        unit: "breaths/min",
+        normal_lo: 12.0,
+        normal_hi: 20.0,
+        bound_lo: 0.0,
+        bound_hi: 60.0,
+        missing_rate: 0.02,
+        sampling_rate: 1.0,
+    },
+    FeatureDef {
+        code: "HR",
+        name: "Heart rate",
+        unit: "bpm",
+        normal_lo: 60.0,
+        normal_hi: 100.0,
+        bound_lo: 0.0,
+        bound_hi: 220.0,
+        missing_rate: 0.01,
+        sampling_rate: 1.0,
+    },
+    FeatureDef {
+        code: "SBP",
+        name: "Systolic blood pressure",
+        unit: "mmHg",
+        normal_lo: 90.0,
+        normal_hi: 140.0,
+        bound_lo: 30.0,
+        bound_hi: 260.0,
+        missing_rate: 0.02,
+        sampling_rate: 1.0,
+    },
+    FeatureDef {
+        code: "DBP",
+        name: "Diastolic blood pressure",
+        unit: "mmHg",
+        normal_lo: 60.0,
+        normal_hi: 90.0,
+        bound_lo: 15.0,
+        bound_hi: 160.0,
+        missing_rate: 0.02,
+        sampling_rate: 1.0,
+    },
+    FeatureDef {
+        code: "SpO2",
+        name: "Oxygen saturation",
+        unit: "%",
+        normal_lo: 95.0,
+        normal_hi: 100.0,
+        bound_lo: 50.0,
+        bound_hi: 100.0,
+        missing_rate: 0.02,
+        sampling_rate: 1.0,
+    },
+    FeatureDef {
+        code: "Temp",
+        name: "Body temperature",
+        unit: "°C",
+        normal_lo: 36.1,
+        normal_hi: 37.5,
+        bound_lo: 32.0,
+        bound_hi: 42.0,
+        missing_rate: 0.03,
+        sampling_rate: 0.5,
+    },
+    FeatureDef {
+        code: "GCS",
+        name: "Glasgow coma scale",
+        unit: "score",
+        normal_lo: 14.0,
+        normal_hi: 15.0,
+        bound_lo: 3.0,
+        bound_hi: 15.0,
+        missing_rate: 0.05,
+        sampling_rate: 0.3,
+    },
+    FeatureDef {
+        code: "PIP",
+        name: "Peak inspiratory pressure",
+        unit: "cmH2O",
+        normal_lo: 12.0,
+        normal_hi: 20.0,
+        bound_lo: 0.0,
+        bound_hi: 60.0,
+        missing_rate: 0.45,
+        sampling_rate: 0.5,
+    },
+    FeatureDef {
+        code: "FiO2",
+        name: "Fraction of inspired oxygen",
+        unit: "%",
+        normal_lo: 21.0,
+        normal_hi: 40.0,
+        bound_lo: 21.0,
+        bound_hi: 100.0,
+        missing_rate: 0.30,
+        sampling_rate: 0.4,
+    },
+    FeatureDef {
+        code: "PH",
+        name: "Arterial pH",
+        unit: "pH",
+        normal_lo: 7.35,
+        normal_hi: 7.45,
+        bound_lo: 6.8,
+        bound_hi: 7.8,
+        missing_rate: 0.15,
+        sampling_rate: 0.2,
+    },
+    FeatureDef {
+        code: "PCO2",
+        name: "Partial pressure of CO2",
+        unit: "mmHg",
+        normal_lo: 35.0,
+        normal_hi: 45.0,
+        bound_lo: 10.0,
+        bound_hi: 130.0,
+        missing_rate: 0.15,
+        sampling_rate: 0.2,
+    },
+    FeatureDef {
+        code: "PO2",
+        name: "Partial pressure of O2",
+        unit: "mmHg",
+        normal_lo: 75.0,
+        normal_hi: 100.0,
+        bound_lo: 20.0,
+        bound_hi: 500.0,
+        missing_rate: 0.15,
+        sampling_rate: 0.2,
+    },
+    FeatureDef {
+        code: "HCO3",
+        name: "Bicarbonate",
+        unit: "mEq/L",
+        normal_lo: 22.0,
+        normal_hi: 28.0,
+        bound_lo: 5.0,
+        bound_hi: 50.0,
+        missing_rate: 0.08,
+        sampling_rate: 0.15,
+    },
+    FeatureDef {
+        code: "BUN",
+        name: "Blood urea nitrogen",
+        unit: "mg/dL",
+        normal_lo: 7.0,
+        normal_hi: 20.0,
+        bound_lo: 1.0,
+        bound_hi: 180.0,
+        missing_rate: 0.05,
+        sampling_rate: 0.1,
+    },
+    FeatureDef {
+        code: "CR",
+        name: "Creatinine",
+        unit: "mg/dL",
+        normal_lo: 0.6,
+        normal_hi: 1.2,
+        bound_lo: 0.1,
+        bound_hi: 15.0,
+        missing_rate: 0.05,
+        sampling_rate: 0.1,
+    },
+    FeatureDef {
+        code: "ALT",
+        name: "Alanine aminotransferase",
+        unit: "U/L",
+        normal_lo: 7.0,
+        normal_hi: 56.0,
+        bound_lo: 1.0,
+        bound_hi: 2000.0,
+        missing_rate: 0.20,
+        sampling_rate: 0.08,
+    },
+    FeatureDef {
+        code: "AST",
+        name: "Aspartate aminotransferase",
+        unit: "U/L",
+        normal_lo: 10.0,
+        normal_hi: 40.0,
+        bound_lo: 1.0,
+        bound_hi: 2000.0,
+        missing_rate: 0.20,
+        sampling_rate: 0.08,
+    },
+    FeatureDef {
+        code: "WBC",
+        name: "White blood cell count",
+        unit: "10^9/L",
+        normal_lo: 4.5,
+        normal_hi: 11.0,
+        bound_lo: 0.1,
+        bound_hi: 60.0,
+        missing_rate: 0.05,
+        sampling_rate: 0.1,
+    },
+    FeatureDef {
+        code: "LACT",
+        name: "Lactate",
+        unit: "mmol/L",
+        normal_lo: 0.5,
+        normal_hi: 2.0,
+        bound_lo: 0.1,
+        bound_hi: 20.0,
+        missing_rate: 0.25,
+        sampling_rate: 0.12,
+    },
+    FeatureDef {
+        code: "GLU",
+        name: "Glucose",
+        unit: "mg/dL",
+        normal_lo: 70.0,
+        normal_hi: 140.0,
+        bound_lo: 20.0,
+        bound_hi: 800.0,
+        missing_rate: 0.05,
+        sampling_rate: 0.15,
+    },
+    FeatureDef {
+        code: "NA",
+        name: "Sodium",
+        unit: "mEq/L",
+        normal_lo: 135.0,
+        normal_hi: 145.0,
+        bound_lo: 110.0,
+        bound_hi: 175.0,
+        missing_rate: 0.05,
+        sampling_rate: 0.1,
+    },
+    FeatureDef {
+        code: "CL",
+        name: "Chloride",
+        unit: "mEq/L",
+        normal_lo: 96.0,
+        normal_hi: 106.0,
+        bound_lo: 70.0,
+        bound_hi: 130.0,
+        missing_rate: 0.06,
+        sampling_rate: 0.1,
+    },
+    FeatureDef {
+        code: "K",
+        name: "Potassium",
+        unit: "mEq/L",
+        normal_lo: 3.5,
+        normal_hi: 5.0,
+        bound_lo: 1.5,
+        bound_hi: 9.0,
+        missing_rate: 0.05,
+        sampling_rate: 0.1,
+    },
+    FeatureDef {
+        code: "HGB",
+        name: "Hemoglobin",
+        unit: "g/dL",
+        normal_lo: 12.0,
+        normal_hi: 17.0,
+        bound_lo: 3.0,
+        bound_hi: 22.0,
+        missing_rate: 0.05,
+        sampling_rate: 0.1,
+    },
+    FeatureDef {
+        code: "PLT",
+        name: "Platelets",
+        unit: "10^9/L",
+        normal_lo: 150.0,
+        normal_hi: 400.0,
+        bound_lo: 5.0,
+        bound_hi: 1200.0,
+        missing_rate: 0.06,
+        sampling_rate: 0.08,
+    },
+    FeatureDef {
+        code: "ALB",
+        name: "Albumin",
+        unit: "g/dL",
+        normal_lo: 3.5,
+        normal_hi: 5.0,
+        bound_lo: 1.0,
+        bound_hi: 6.0,
+        missing_rate: 0.30,
+        sampling_rate: 0.05,
+    },
+    FeatureDef {
+        code: "BILI",
+        name: "Total bilirubin",
+        unit: "mg/dL",
+        normal_lo: 0.2,
+        normal_hi: 1.2,
+        bound_lo: 0.1,
+        bound_hi: 40.0,
+        missing_rate: 0.25,
+        sampling_rate: 0.05,
+    },
+    FeatureDef {
+        code: "TROP",
+        name: "Troponin",
+        unit: "ng/mL",
+        normal_lo: 0.0,
+        normal_hi: 0.04,
+        bound_lo: 0.0,
+        bound_hi: 50.0,
+        missing_rate: 0.40,
+        sampling_rate: 0.05,
+    },
+    FeatureDef {
+        code: "INR",
+        name: "International normalized ratio",
+        unit: "ratio",
+        normal_lo: 0.9,
+        normal_hi: 1.2,
+        bound_lo: 0.5,
+        bound_hi: 12.0,
+        missing_rate: 0.20,
+        sampling_rate: 0.06,
+    },
+    FeatureDef {
+        code: "MG",
+        name: "Magnesium",
+        unit: "mg/dL",
+        normal_lo: 1.7,
+        normal_hi: 2.3,
+        bound_lo: 0.5,
+        bound_hi: 5.0,
+        missing_rate: 0.10,
+        sampling_rate: 0.08,
+    },
+    FeatureDef {
+        code: "CA",
+        name: "Calcium",
+        unit: "mg/dL",
+        normal_lo: 8.5,
+        normal_hi: 10.5,
+        bound_lo: 4.0,
+        bound_hi: 16.0,
+        missing_rate: 0.10,
+        sampling_rate: 0.08,
+    },
+    FeatureDef {
+        code: "PHOS",
+        name: "Phosphate",
+        unit: "mg/dL",
+        normal_lo: 2.5,
+        normal_hi: 4.5,
+        bound_lo: 0.5,
+        bound_hi: 12.0,
+        missing_rate: 0.15,
+        sampling_rate: 0.06,
+    },
 ];
 
 /// Index of a feature code in the catalog.

@@ -61,7 +61,11 @@ pub fn parse_labels(text: &str) -> Result<BTreeMap<usize, Vec<u8>>, CsvError> {
             .and_then(|s| s.trim().parse().ok())
             .ok_or_else(|| CsvError::BadLine(n, "bad patient id".into()))?;
         let labels: Result<Vec<u8>, _> = parts
-            .map(|s| s.trim().parse::<u8>().map_err(|_| CsvError::BadLine(n, "bad label".into())))
+            .map(|s| {
+                s.trim()
+                    .parse::<u8>()
+                    .map_err(|_| CsvError::BadLine(n, "bad label".into()))
+            })
             .collect();
         let labels = labels?;
         if labels.is_empty() {
@@ -88,8 +92,11 @@ pub fn dataset_from_csv(
     name: &str,
 ) -> Result<EhrDataset, CsvError> {
     let feature_indices: Vec<usize> = feature_codes.iter().map(|c| feature_index(c)).collect();
-    let col_of: BTreeMap<&str, usize> =
-        feature_codes.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let col_of: BTreeMap<&str, usize> = feature_codes
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i))
+        .collect();
     let labels = parse_labels(labels_csv)?;
 
     // patient -> per-feature event lists.
@@ -102,7 +109,10 @@ pub fn dataset_from_csv(
         }
         let parts: Vec<&str> = line.split(',').collect();
         if parts.len() != 4 {
-            return Err(CsvError::BadLine(n, format!("expected 4 fields, got {}", parts.len())));
+            return Err(CsvError::BadLine(
+                n,
+                format!("expected 4 fields, got {}", parts.len()),
+            ));
         }
         let id: usize = parts[0]
             .trim()
@@ -122,8 +132,7 @@ pub fn dataset_from_csv(
             .ok_or_else(|| CsvError::UnknownFeature(n, code.to_string()))?;
         events
             .entry(id)
-            .or_insert_with(|| vec![Vec::new(); feature_codes.len()])
-            [col]
+            .or_insert_with(|| vec![Vec::new(); feature_codes.len()])[col]
             .push((hours, value));
     }
 
@@ -178,7 +187,13 @@ pub fn dataset_to_csv(ds: &EhrDataset, horizon_hours: f32) -> (String, String) {
             }
             let code = ds.feature_def(f).code;
             for (t, &v) in series.iter().enumerate() {
-                events.push_str(&format!("{},{},{},{}\n", p.id, (t as f32 + 0.5) * bin, code, v));
+                events.push_str(&format!(
+                    "{},{},{},{}\n",
+                    p.id,
+                    (t as f32 + 0.5) * bin,
+                    code,
+                    v
+                ));
             }
         }
         let label_strs: Vec<String> = p.labels.iter().map(u8::to_string).collect();
@@ -200,7 +215,16 @@ mod tests {
 
     #[test]
     fn parses_events_and_labels() {
-        let ds = dataset_from_csv(EVENTS, LABELS, &["RR", "PCO2"], 4, 4.0, Task::Mortality, "csv").unwrap();
+        let ds = dataset_from_csv(
+            EVENTS,
+            LABELS,
+            &["RR", "PCO2"],
+            4,
+            4.0,
+            Task::Mortality,
+            "csv",
+        )
+        .unwrap();
         assert_eq!(ds.n_patients(), 2);
         ds.validate().unwrap();
         let p1 = &ds.patients[0];
@@ -218,22 +242,32 @@ mod tests {
     #[test]
     fn unknown_feature_is_error() {
         let events = "1,0.5,XYZ,18\n";
-        let err = dataset_from_csv(events, LABELS, &["RR"], 4, 4.0, Task::Mortality, "x").unwrap_err();
+        let err =
+            dataset_from_csv(events, LABELS, &["RR"], 4, 4.0, Task::Mortality, "x").unwrap_err();
         assert!(matches!(err, CsvError::UnknownFeature(1, ref c) if c == "XYZ"));
     }
 
     #[test]
     fn missing_labels_is_error() {
         let labels = "2,0\n";
-        let err = dataset_from_csv(EVENTS, labels, &["RR", "PCO2"], 4, 4.0, Task::Mortality, "x")
-            .unwrap_err();
+        let err = dataset_from_csv(
+            EVENTS,
+            labels,
+            &["RR", "PCO2"],
+            4,
+            4.0,
+            Task::Mortality,
+            "x",
+        )
+        .unwrap_err();
         assert_eq!(err, CsvError::MissingLabels(1));
     }
 
     #[test]
     fn malformed_line_reports_line_number() {
         let events = "1,0.5,RR\n";
-        let err = dataset_from_csv(events, LABELS, &["RR"], 4, 4.0, Task::Mortality, "x").unwrap_err();
+        let err =
+            dataset_from_csv(events, LABELS, &["RR"], 4, 4.0, Task::Mortality, "x").unwrap_err();
         assert!(matches!(err, CsvError::BadLine(1, _)));
     }
 
@@ -256,9 +290,19 @@ mod tests {
 
     #[test]
     fn export_import_round_trip() {
-        let ds = dataset_from_csv(EVENTS, LABELS, &["RR", "PCO2"], 4, 4.0, Task::Mortality, "rt").unwrap();
+        let ds = dataset_from_csv(
+            EVENTS,
+            LABELS,
+            &["RR", "PCO2"],
+            4,
+            4.0,
+            Task::Mortality,
+            "rt",
+        )
+        .unwrap();
         let (ev, lb) = dataset_to_csv(&ds, 4.0);
-        let ds2 = dataset_from_csv(&ev, &lb, &["RR", "PCO2"], 4, 4.0, Task::Mortality, "rt").unwrap();
+        let ds2 =
+            dataset_from_csv(&ev, &lb, &["RR", "PCO2"], 4, 4.0, Task::Mortality, "rt").unwrap();
         assert_eq!(ds2.n_patients(), ds.n_patients());
         // Present features' resampled series survive exactly (each bin's
         // value is re-exported at the bin centre).

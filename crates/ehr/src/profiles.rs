@@ -13,7 +13,11 @@ use crate::record::Task;
 use crate::synth::SynthConfig;
 
 fn codes(n: usize) -> Vec<&'static str> {
-    CATALOG.iter().take(n.min(CATALOG.len())).map(|f| f.code).collect()
+    CATALOG
+        .iter()
+        .take(n.min(CATALOG.len()))
+        .map(|f| f.code)
+        .collect()
 }
 
 fn scaled(n: usize, scale: f32) -> usize {
@@ -68,7 +72,9 @@ pub fn eicu_like(scale: f32) -> SynthConfig {
         time_steps: 48,
         horizon_hours: 48.0,
         feature_codes: codes(24),
-        task: Task::Diagnosis { n_labels: N_DIAGNOSIS_LABELS },
+        task: Task::Diagnosis {
+            n_labels: N_DIAGNOSIS_LABELS,
+        },
         healthy_rate: 0.45,
         comorbidity_rate: 0.30,
         base_mortality_logit: -3.6,
@@ -86,7 +92,10 @@ mod tests {
     fn profiles_have_expected_tasks() {
         assert_eq!(mimic3_like(1.0).task, Task::Mortality);
         assert_eq!(mimic4_like(1.0).task, Task::Mortality);
-        assert!(matches!(eicu_like(1.0).task, Task::Diagnosis { n_labels: 25 }));
+        assert!(matches!(
+            eicu_like(1.0).task,
+            Task::Diagnosis { n_labels: 25 }
+        ));
     }
 
     #[test]

@@ -140,21 +140,33 @@ impl EhrDataset {
         let nl = self.task.n_labels();
         for p in &self.patients {
             if p.values.len() != nf {
-                return Err(format!("patient {}: {} feature rows, expected {nf}", p.id, p.values.len()));
+                return Err(format!(
+                    "patient {}: {} feature rows, expected {nf}",
+                    p.id,
+                    p.values.len()
+                ));
             }
             if p.present.len() != nf {
                 return Err(format!("patient {}: mask width {}", p.id, p.present.len()));
             }
             for (f, series) in p.values.iter().enumerate() {
                 if series.len() != self.time_steps {
-                    return Err(format!("patient {} feature {f}: {} steps", p.id, series.len()));
+                    return Err(format!(
+                        "patient {} feature {f}: {} steps",
+                        p.id,
+                        series.len()
+                    ));
                 }
                 if series.iter().any(|v| !v.is_finite()) {
                     return Err(format!("patient {} feature {f}: non-finite value", p.id));
                 }
             }
             if p.labels.len() != nl {
-                return Err(format!("patient {}: {} labels, expected {nl}", p.id, p.labels.len()));
+                return Err(format!(
+                    "patient {}: {} labels, expected {nl}",
+                    p.id,
+                    p.labels.len()
+                ));
             }
         }
         Ok(())

@@ -46,7 +46,9 @@ pub fn resample(events: &[Event], t_bins: usize, horizon_hours: f32) -> Option<V
         }
     }
     // Back-fill leading gap with the first observation.
-    let first_obs = (0..t_bins).find(|&b| counts[b] > 0).expect("checked non-empty");
+    let first_obs = (0..t_bins)
+        .find(|&b| counts[b] > 0)
+        .expect("checked non-empty");
     let first_val = out[first_obs];
     for b in 0..first_obs {
         out[b] = first_val;

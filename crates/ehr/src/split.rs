@@ -31,7 +31,10 @@ pub fn split_80_10_10(ds: &EhrDataset, seed: u64) -> Split {
 /// Panics unless `0 < train_frac`, `0 <= val_frac`, and
 /// `train_frac + val_frac < 1`.
 pub fn stratified_split(ds: &EhrDataset, train_frac: f64, val_frac: f64, seed: u64) -> Split {
-    assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0, "bad fractions");
+    assert!(
+        train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0,
+        "bad fractions"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut pos: Vec<usize> = Vec::new();
     let mut neg: Vec<usize> = Vec::new();
@@ -45,7 +48,11 @@ pub fn stratified_split(ds: &EhrDataset, train_frac: f64, val_frac: f64, seed: u
     pos.shuffle(&mut rng);
     neg.shuffle(&mut rng);
 
-    let mut split = Split { train: Vec::new(), val: Vec::new(), test: Vec::new() };
+    let mut split = Split {
+        train: Vec::new(),
+        val: Vec::new(),
+        test: Vec::new(),
+    };
     for group in [pos, neg] {
         let n = group.len();
         let n_train = (n as f64 * train_frac).round() as usize;
@@ -94,7 +101,13 @@ mod tests {
         let labels: Vec<u8> = (0..100).map(|i| u8::from(i % 10 == 0)).collect();
         let ds = dataset_with_labels(&labels);
         let s = split_80_10_10(&ds, 1);
-        let mut all: Vec<usize> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        let mut all: Vec<usize> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .copied()
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<_>>());
     }
@@ -115,7 +128,10 @@ mod tests {
         let ds = dataset_with_labels(&labels);
         let s = split_80_10_10(&ds, 3);
         let rate = |idx: &[usize]| {
-            idx.iter().filter(|&&i| ds.patients[i].labels[0] != 0).count() as f64 / idx.len() as f64
+            idx.iter()
+                .filter(|&&i| ds.patients[i].labels[0] != 0)
+                .count() as f64
+                / idx.len() as f64
         };
         assert!((rate(&s.train) - 0.2).abs() < 0.03);
         assert!((rate(&s.test) - 0.2).abs() < 0.07);

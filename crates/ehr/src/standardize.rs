@@ -116,7 +116,11 @@ mod tests {
         assert_eq!(s.mean[0], 4.0);
         s.apply(&mut ds);
         // Feature 0 values standardised: (1-4)/std etc.; mean of all four is 0.
-        let all: Vec<f32> = ds.patients.iter().flat_map(|p| p.values[0].clone()).collect();
+        let all: Vec<f32> = ds
+            .patients
+            .iter()
+            .flat_map(|p| p.values[0].clone())
+            .collect();
         let mean: f32 = all.iter().sum::<f32>() / all.len() as f32;
         assert!(mean.abs() < 1e-6);
         // Constant feature 1 gets epsilon std, values map to 0.

@@ -55,7 +55,10 @@ pub struct SynthConfig {
 impl SynthConfig {
     /// Resolves feature codes to catalog indices.
     pub fn feature_indices(&self) -> Vec<usize> {
-        self.feature_codes.iter().map(|c| feature_index(c)).collect()
+        self.feature_codes
+            .iter()
+            .map(|c| feature_index(c))
+            .collect()
     }
 }
 
@@ -111,7 +114,10 @@ fn generate_patient(
     rng: &mut StdRng,
 ) -> PatientRecord {
     let archetype_ids = draw_archetypes(cfg, rng);
-    let severities: Vec<f32> = archetype_ids.iter().map(|_| rng.gen_range(0.35..1.0f32)).collect();
+    let severities: Vec<f32> = archetype_ids
+        .iter()
+        .map(|_| rng.gen_range(0.35..1.0f32))
+        .collect();
     let onsets: Vec<f32> = archetype_ids
         .iter()
         .map(|_| rng.gen_range(0.0..cfg.horizon_hours * 0.4))
@@ -124,7 +130,10 @@ fn generate_patient(
     for (ai, &arch_idx) in archetype_ids.iter().enumerate() {
         let arch: &Archetype = &ARCHETYPES[arch_idx];
         for e in arch.effects {
-            if let Some(col) = feature_indices.iter().position(|&fi| CATALOG[fi].code == e.code) {
+            if let Some(col) = feature_indices
+                .iter()
+                .position(|&fi| CATALOG[fi].code == e.code)
+            {
                 offsets[col] += e.offset * severities[ai];
             }
         }
@@ -149,7 +158,9 @@ fn generate_patient(
         let n_events = 1 + (rng.gen_range(0.5..1.5f32) * expected_events) as usize;
         let mut ar = 0.0f32; // AR(1) physiological noise state
         let mut events = Vec::with_capacity(n_events);
-        let mut ts_list: Vec<f32> = (0..n_events).map(|_| rng.gen_range(0.0..cfg.horizon_hours)).collect();
+        let mut ts_list: Vec<f32> = (0..n_events)
+            .map(|_| rng.gen_range(0.0..cfg.horizon_hours))
+            .collect();
         ts_list.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for ts in ts_list {
             ar = 0.8 * ar + gauss(rng) * 0.25 * hw * cfg.noise;
@@ -212,13 +223,23 @@ fn generate_patient(
     };
 
     let severity = severities.iter().cloned().fold(0.0, f32::max);
-    PatientRecord { id, values, present, labels, archetypes: archetype_ids, severity }
+    PatientRecord {
+        id,
+        values,
+        present,
+        labels,
+        archetypes: archetype_ids,
+        severity,
+    }
 }
 
 /// Generates a full dataset from a configuration.
 pub fn generate(cfg: &SynthConfig) -> EhrDataset {
     if let Task::Diagnosis { n_labels } = cfg.task {
-        assert!(n_labels <= N_DIAGNOSIS_LABELS, "at most {N_DIAGNOSIS_LABELS} labels supported");
+        assert!(
+            n_labels <= N_DIAGNOSIS_LABELS,
+            "at most {N_DIAGNOSIS_LABELS} labels supported"
+        );
     }
     let feature_indices = cfg.feature_indices();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -317,7 +338,10 @@ mod tests {
         };
         let sick = rate(&|p| !p.archetypes.is_empty());
         let healthy = rate(&|p| p.archetypes.is_empty());
-        assert!(sick > healthy + 0.1, "sick {sick:.2} vs healthy {healthy:.2}");
+        assert!(
+            sick > healthy + 0.1,
+            "sick {sick:.2} vs healthy {healthy:.2}"
+        );
     }
 
     #[test]
@@ -326,8 +350,11 @@ mod tests {
         cfg.n_patients = 500;
         let ds = generate(&cfg);
         // Patients with sepsis (archetype 2) mostly carry label 5.
-        let sepsis: Vec<&PatientRecord> =
-            ds.patients.iter().filter(|p| p.archetypes.contains(&2)).collect();
+        let sepsis: Vec<&PatientRecord> = ds
+            .patients
+            .iter()
+            .filter(|p| p.archetypes.contains(&2))
+            .collect();
         assert!(!sepsis.is_empty());
         let with_label = sepsis.iter().filter(|p| p.labels[5] != 0).count();
         assert!(with_label as f64 / sepsis.len() as f64 > 0.8);

@@ -22,7 +22,12 @@ impl Confusion {
     /// `labels`.
     pub fn at_threshold(scores: &[f32], labels: &[u8], threshold: f32) -> Self {
         assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
-        let mut c = Confusion { tp: 0, fp: 0, tn: 0, fn_: 0 };
+        let mut c = Confusion {
+            tp: 0,
+            fp: 0,
+            tn: 0,
+            fn_: 0,
+        };
         for (&s, &y) in scores.iter().zip(labels) {
             match (s >= threshold, y != 0) {
                 (true, true) => c.tp += 1,
@@ -93,7 +98,11 @@ pub fn roc_auc(scores: &[f32], labels: &[u8]) -> f64 {
     }
     // Sort indices by score ascending; assign average ranks to tie groups.
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0;
     while i < idx.len() {
@@ -118,8 +127,9 @@ pub fn roc_auc(scores: &[f32], labels: &[u8]) -> f64 {
 ///
 /// Computed as `Σ (Rₙ - Rₙ₋₁) · Pₙ` over descending score thresholds with
 /// ties handled jointly — the standard estimator consistent with
-/// Davis & Goadrich (2006). Returns the positive rate for degenerate inputs
-/// with no positives (0.0) so imbalanced-slice callers remain total.
+/// Davis & Goadrich (2006). Degenerate inputs with no positive labels
+/// return `0.0` (the curve has no recall axis to integrate over), keeping
+/// imbalanced-slice callers total instead of panicking.
 pub fn pr_auc(scores: &[f32], labels: &[u8]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
     let total_pos = labels.iter().filter(|&&y| y != 0).count();
@@ -127,7 +137,11 @@ pub fn pr_auc(scores: &[f32], labels: &[u8]) -> f64 {
         return 0.0;
     }
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut prev_recall = 0.0f64;

@@ -40,11 +40,18 @@ pub fn bootstrap_ci(
     metric: impl Fn(&[f32], &[u8]) -> f64,
 ) -> ConfidenceInterval {
     assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
-    assert!(n_boot > 0 && alpha > 0.0 && alpha < 1.0, "bad bootstrap params");
+    assert!(
+        n_boot > 0 && alpha > 0.0 && alpha < 1.0,
+        "bad bootstrap params"
+    );
     let estimate = metric(scores, labels);
     let n = scores.len();
     if n == 0 {
-        return ConfidenceInterval { estimate, lo: estimate, hi: estimate };
+        return ConfidenceInterval {
+            estimate,
+            lo: estimate,
+            hi: estimate,
+        };
     }
     let mut state = seed ^ 0xD6E8FEB86659FD93;
     let mut stats = Vec::with_capacity(n_boot);
@@ -64,11 +71,17 @@ pub fn bootstrap_ci(
         stats.push(metric(&s_buf, &l_buf));
     }
     if stats.is_empty() {
-        return ConfidenceInterval { estimate, lo: estimate, hi: estimate };
+        return ConfidenceInterval {
+            estimate,
+            lo: estimate,
+            hi: estimate,
+        };
     }
     stats.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let idx = |q: f64| -> usize {
-        ((stats.len() as f64 - 1.0) * q).round().clamp(0.0, stats.len() as f64 - 1.0) as usize
+        ((stats.len() as f64 - 1.0) * q)
+            .round()
+            .clamp(0.0, stats.len() as f64 - 1.0) as usize
     };
     ConfidenceInterval {
         estimate,

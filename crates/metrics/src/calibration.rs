@@ -60,8 +60,16 @@ pub fn reliability_bins(scores: &[f32], labels: &[u8], n_bins: usize) -> Vec<Rel
             lo: b as f32 * width,
             hi: (b + 1) as f32 * width,
             count: counts[b],
-            mean_predicted: if counts[b] > 0 { sums[b] / counts[b] as f64 } else { 0.0 },
-            observed_rate: if counts[b] > 0 { pos[b] as f64 / counts[b] as f64 } else { 0.0 },
+            mean_predicted: if counts[b] > 0 {
+                sums[b] / counts[b] as f64
+            } else {
+                0.0
+            },
+            observed_rate: if counts[b] > 0 {
+                pos[b] as f64 / counts[b] as f64
+            } else {
+                0.0
+            },
         })
         .collect()
 }

@@ -26,7 +26,11 @@ fn label_column(data: &[u8], n_labels: usize, label: usize) -> Vec<u8> {
 pub fn macro_report(scores: &[f32], labels: &[u8], n_labels: usize) -> BinaryReport {
     assert!(n_labels > 0, "n_labels must be positive");
     assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
-    assert_eq!(scores.len() % n_labels, 0, "buffer not divisible by n_labels");
+    assert_eq!(
+        scores.len() % n_labels,
+        0,
+        "buffer not divisible by n_labels"
+    );
     let mut roc_sum = 0.0;
     let mut roc_n = 0usize;
     let mut pr_sum = 0.0;
@@ -45,7 +49,11 @@ pub fn macro_report(scores: &[f32], labels: &[u8], n_labels: usize) -> BinaryRep
         f1_sum += f1_score(&s, &y);
     }
     BinaryReport {
-        auc_roc: if roc_n > 0 { roc_sum / roc_n as f64 } else { 0.5 },
+        auc_roc: if roc_n > 0 {
+            roc_sum / roc_n as f64
+        } else {
+            0.5
+        },
         auc_pr: if pr_n > 0 { pr_sum / pr_n as f64 } else { 0.0 },
         f1: f1_sum / n_labels as f64,
     }

@@ -22,7 +22,13 @@ pub struct DipoleModel {
 
 impl DipoleModel {
     /// Builds the model, registering parameters in `ps`.
-    pub fn new(ps: &mut ParamStore, rng: &mut StdRng, n_features: usize, n_labels: usize, hidden: usize) -> Self {
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+        n_features: usize,
+        n_labels: usize,
+        hidden: usize,
+    ) -> Self {
         DipoleModel {
             fwd: GruCell::new(ps, rng, "dipole.fwd", n_features, hidden),
             bwd: GruCell::new(ps, rng, "dipole.bwd", n_features, hidden),

@@ -94,7 +94,8 @@ impl GraspModel {
                     best = c;
                 }
             }
-            out.row_mut(r).copy_from_slice(&self.centroids[best * self.hidden..(best + 1) * self.hidden]);
+            out.row_mut(r)
+                .copy_from_slice(&self.centroids[best * self.hidden..(best + 1) * self.hidden]);
         }
         out
     }
@@ -119,7 +120,11 @@ impl SequenceModel for GraspModel {
         let km = kmeans_fit(
             reps.as_slice(),
             self.hidden,
-            KMeansConfig { k: self.n_clusters, max_iter: 20, tol: 1e-4 },
+            KMeansConfig {
+                k: self.n_clusters,
+                max_iter: 20,
+                tol: 1e-4,
+            },
             rng,
         );
         self.centroids = km.centroids;

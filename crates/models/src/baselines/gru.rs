@@ -17,7 +17,13 @@ pub struct GruModel {
 
 impl GruModel {
     /// Builds the model, registering parameters in `ps`.
-    pub fn new(ps: &mut ParamStore, rng: &mut StdRng, n_features: usize, n_labels: usize, hidden: usize) -> Self {
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+        n_features: usize,
+        n_labels: usize,
+        hidden: usize,
+    ) -> Self {
         GruModel {
             cell: GruCell::new(ps, rng, "gru.cell", n_features, hidden),
             head: Linear::new(ps, rng, "gru.head", hidden, n_labels),

@@ -16,7 +16,13 @@ pub struct LstmModel {
 
 impl LstmModel {
     /// Builds the model, registering parameters in `ps`.
-    pub fn new(ps: &mut ParamStore, rng: &mut StdRng, n_features: usize, n_labels: usize, hidden: usize) -> Self {
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+        n_features: usize,
+        n_labels: usize,
+        hidden: usize,
+    ) -> Self {
         LstmModel {
             cell: LstmCell::new(ps, rng, "lstm.cell", n_features, hidden),
             head: Linear::new(ps, rng, "lstm.head", hidden, n_labels),

@@ -104,7 +104,11 @@ impl SequenceModel for PpnModel {
         let km = kmeans_fit(
             reps.as_slice(),
             self.hidden,
-            KMeansConfig { k: self.n_prototypes, max_iter: 20, tol: 1e-4 },
+            KMeansConfig {
+                k: self.n_prototypes,
+                max_iter: 20,
+                tol: 1e-4,
+            },
             rng,
         );
         // Typical patients: the real representation nearest each centroid —

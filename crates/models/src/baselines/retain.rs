@@ -26,7 +26,13 @@ pub struct RetainModel {
 
 impl RetainModel {
     /// Builds the model, registering parameters in `ps`.
-    pub fn new(ps: &mut ParamStore, rng: &mut StdRng, n_features: usize, n_labels: usize, hidden: usize) -> Self {
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+        n_features: usize,
+        n_labels: usize,
+        hidden: usize,
+    ) -> Self {
         let embed_dim = hidden;
         RetainModel {
             embed: Linear::new(ps, rng, "retain.embed", n_features, embed_dim),
@@ -47,7 +53,12 @@ impl RetainModel {
         alpha
     }
 
-    fn attention_parts(&self, t: &mut Tape, ps: &ParamStore, batch: &Batch) -> (Var, Vec<Var>, Vec<Var>) {
+    fn attention_parts(
+        &self,
+        t: &mut Tape,
+        ps: &ParamStore,
+        batch: &Batch,
+    ) -> (Var, Vec<Var>, Vec<Var>) {
         let steps = batch.steps.len();
         // Visit embeddings v_t.
         let vs: Vec<Var> = batch

@@ -26,7 +26,13 @@ pub struct StageNetModel {
 
 impl StageNetModel {
     /// Builds the model, registering parameters in `ps`.
-    pub fn new(ps: &mut ParamStore, rng: &mut StdRng, n_features: usize, n_labels: usize, hidden: usize) -> Self {
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+        n_features: usize,
+        n_labels: usize,
+        hidden: usize,
+    ) -> Self {
         StageNetModel {
             cell: LstmCell::new(ps, rng, "stagenet.cell", n_features, hidden),
             stage_gate: Linear::new(ps, rng, "stagenet.stage", n_features + hidden, 1),
@@ -55,7 +61,15 @@ impl StageNetModel {
             // Re-calibrate cell memory before the step: stale memory is
             // discounted when the stage shifts (gate -> 0).
             let c_scaled = t.mul_col_broadcast(state.c, gate);
-            state = self.cell.step(t, ps, x, cohortnet_tensor::nn::LstmState { h: state.h, c: c_scaled });
+            state = self.cell.step(
+                t,
+                ps,
+                x,
+                cohortnet_tensor::nn::LstmState {
+                    h: state.h,
+                    c: c_scaled,
+                },
+            );
             stages.push(gate);
         }
         let _ = self.hidden;

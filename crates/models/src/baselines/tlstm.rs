@@ -29,7 +29,13 @@ pub struct TLstmModel {
 
 impl TLstmModel {
     /// Builds the model, registering parameters in `ps`.
-    pub fn new(ps: &mut ParamStore, rng: &mut StdRng, n_features: usize, n_labels: usize, hidden: usize) -> Self {
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+        n_features: usize,
+        n_labels: usize,
+        hidden: usize,
+    ) -> Self {
         TLstmModel {
             cell: LstmCell::new(ps, rng, "tlstm.cell", n_features, hidden),
             decompose: Linear::new(ps, rng, "tlstm.decompose", hidden, hidden),
@@ -60,7 +66,15 @@ impl SequenceModel for TLstmModel {
             let c_short_decayed = t.scale(c_short, g);
             let c_adj = t.add(c_long, c_short_decayed);
             let x = t.constant(step.clone());
-            state = self.cell.step(t, ps, x, LstmState { h: state.h, c: c_adj });
+            state = self.cell.step(
+                t,
+                ps,
+                x,
+                LstmState {
+                    h: state.h,
+                    c: c_adj,
+                },
+            );
         }
         self.head.forward(t, ps, state.h)
     }

@@ -50,13 +50,22 @@ pub fn prepare(ds: &EhrDataset) -> Prepared {
             }
             PreparedPatient {
                 x,
-                mask: p.present.iter().map(|&m| if m { 1.0 } else { 0.0 }).collect(),
+                mask: p
+                    .present
+                    .iter()
+                    .map(|&m| if m { 1.0 } else { 0.0 })
+                    .collect(),
                 labels: p.labels.iter().map(|&l| f32::from(l)).collect(),
                 labels_u8: p.labels.clone(),
             }
         })
         .collect();
-    Prepared { n_features: nf, time_steps: t_steps, n_labels: nl, patients }
+    Prepared {
+        n_features: nf,
+        time_steps: t_steps,
+        n_labels: nl,
+        patients,
+    }
 }
 
 /// A mini-batch of patients as dense matrices.
@@ -82,7 +91,8 @@ pub fn make_batch(prep: &Prepared, indices: &[usize]) -> Batch {
     for t in 0..prep.time_steps {
         let mut m = Matrix::zeros(b, nf);
         for (r, &i) in indices.iter().enumerate() {
-            m.row_mut(r).copy_from_slice(&prep.patients[i].x[t * nf..(t + 1) * nf]);
+            m.row_mut(r)
+                .copy_from_slice(&prep.patients[i].x[t * nf..(t + 1) * nf]);
         }
         steps.push(m);
     }
@@ -94,7 +104,13 @@ pub fn make_batch(prep: &Prepared, indices: &[usize]) -> Batch {
         labels.row_mut(r).copy_from_slice(&prep.patients[i].labels);
         labels_u8.extend_from_slice(&prep.patients[i].labels_u8);
     }
-    Batch { size: b, steps, mask, labels, labels_u8 }
+    Batch {
+        size: b,
+        steps,
+        mask,
+        labels,
+        labels_u8,
+    }
 }
 
 #[cfg(test)]

@@ -34,9 +34,19 @@ pub fn tiny_multilabel_prep() -> Prepared {
 /// Trains briefly and asserts that (a) loss decreased and (b) train-set
 /// AUC-ROC beats chance by a clear margin.
 pub fn assert_learns(model: &mut dyn SequenceModel, ps: &mut ParamStore, prep: &Prepared) {
-    let cfg = TrainConfig { epochs: 6, batch_size: 32, lr: 3e-3, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 6,
+        batch_size: 32,
+        lr: 3e-3,
+        ..Default::default()
+    };
     let stats = train(model, ps, prep, &cfg);
-    assert!(loss_decreased(&stats), "{}: losses {:?}", model.name(), stats.epoch_losses);
+    assert!(
+        loss_decreased(&stats),
+        "{}: losses {:?}",
+        model.name(),
+        stats.epoch_losses
+    );
     let report = evaluate(model, ps, prep, 64);
     assert!(
         report.auc_roc > 0.62,

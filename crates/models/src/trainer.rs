@@ -33,7 +33,14 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 8, batch_size: 64, lr: 1e-3, clip: 5.0, seed: 7, verbose: false }
+        TrainConfig {
+            epochs: 8,
+            batch_size: 64,
+            lr: 1e-3,
+            clip: 5.0,
+            seed: 7,
+            verbose: false,
+        }
     }
 }
 
@@ -148,7 +155,11 @@ pub fn evaluate(
     batch_size: usize,
 ) -> BinaryReport {
     let probs = predict_probs(model, ps, prep, batch_size);
-    let labels: Vec<u8> = prep.patients.iter().flat_map(|p| p.labels_u8.iter().copied()).collect();
+    let labels: Vec<u8> = prep
+        .patients
+        .iter()
+        .flat_map(|p| p.labels_u8.iter().copied())
+        .collect();
     if prep.n_labels == 1 {
         binary_report(&probs, &labels)
     } else {
@@ -203,8 +214,14 @@ mod tests {
         let prep = small_prep();
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(0);
-        let mut model = LastStepLogit { head: Linear::new(&mut ps, &mut rng, "h", prep.n_features, 1) };
-        let cfg = TrainConfig { epochs: 12, lr: 0.01, ..Default::default() };
+        let mut model = LastStepLogit {
+            head: Linear::new(&mut ps, &mut rng, "h", prep.n_features, 1),
+        };
+        let cfg = TrainConfig {
+            epochs: 12,
+            lr: 0.01,
+            ..Default::default()
+        };
         let stats = train(&mut model, &mut ps, &prep, &cfg);
         assert!(loss_decreased(&stats), "losses: {:?}", stats.epoch_losses);
         let report = evaluate(&model, &ps, &prep, 64);
@@ -216,7 +233,9 @@ mod tests {
         let prep = small_prep();
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(1);
-        let model = LastStepLogit { head: Linear::new(&mut ps, &mut rng, "h", prep.n_features, 1) };
+        let model = LastStepLogit {
+            head: Linear::new(&mut ps, &mut rng, "h", prep.n_features, 1),
+        };
         let probs = predict_probs(&model, &ps, &prep, 32);
         assert_eq!(probs.len(), prep.patients.len());
         assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
@@ -227,8 +246,18 @@ mod tests {
         let prep = small_prep();
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(2);
-        let mut model = LastStepLogit { head: Linear::new(&mut ps, &mut rng, "h", prep.n_features, 1) };
-        let stats = train(&mut model, &mut ps, &prep, &TrainConfig { epochs: 2, ..Default::default() });
+        let mut model = LastStepLogit {
+            head: Linear::new(&mut ps, &mut rng, "h", prep.n_features, 1),
+        };
+        let stats = train(
+            &mut model,
+            &mut ps,
+            &prep,
+            &TrainConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(stats.epoch_losses.len(), 2);
         assert!(stats.sec_per_batch > 0.0);
         assert_eq!(stats.preprocess_sec, 0.0);

@@ -1,0 +1,191 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace ships a
+//! small property-testing harness with the `proptest` API subset its tests
+//! use: the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, range and tuple
+//! [`strategy::Strategy`]s and [`collection::vec`].
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! reproduction seed instead of a minimised input) and generation is
+//! deterministic per test name, so failures always reproduce.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            let mut case_index: u64 = 0;
+            while passed < config.cases {
+                let case_seed = $crate::test_runner::case_seed(stringify!($name), case_index);
+                case_index += 1;
+                let mut __rng = $crate::test_runner::new_rng(case_seed);
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                let mut case = || -> $crate::test_runner::TestCaseResult {
+                    $body
+                    Ok(())
+                };
+                match case() {
+                    Ok(()) => passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejections ({rejected})",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case seed {case_seed}: {msg}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (retried with fresh inputs) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject(concat!(
+                "assume failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 5usize..25, x in -1.5f32..1.5) {
+            prop_assert!((5..25).contains(&a));
+            prop_assert!((-1.5..1.5).contains(&x));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(v in collection::vec(0u8..16, 3..9)) {
+            prop_assert!((3..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 16));
+        }
+
+        #[test]
+        fn fixed_size_vec(v in collection::vec(0.0f64..1.0, 8)) {
+            prop_assert_eq!(v.len(), 8);
+        }
+
+        #[test]
+        fn tuples_generate_both_sides(p in (0u32..10, 10u32..20)) {
+            prop_assert!(p.0 < 10 && (10..20).contains(&p.1));
+            prop_assume!(p.0 != 3); // exercise the reject path
+            prop_assert_ne!(p.0, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case seed")]
+    fn failures_panic_with_seed() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(a in 0u32..10) {
+                prop_assert!(a > 100, "a = {a} is never > 100");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,60 @@
+//! Case execution support used by the [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// Cap on total `prop_assume!` rejections before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config requiring `cases` passing cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject(&'static str),
+    /// `prop_assert!`-family failure; the test fails.
+    Fail(String),
+}
+
+/// Result type of a generated case closure.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic seed for the `index`-th case of test `name` (FNV-1a over
+/// the name, mixed with the index).
+pub fn case_seed(name: &str, index: u64) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Fresh generator for one case.
+pub fn new_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

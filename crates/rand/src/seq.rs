@@ -1,0 +1,34 @@
+//! Sequence helpers (upstream `rand::seq` subset).
+
+use crate::Rng;
+
+/// Slice randomisation (upstream `SliceRandom` subset).
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates in-place shuffle.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+    /// Uniformly chosen element, `None` on an empty slice.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0usize..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}

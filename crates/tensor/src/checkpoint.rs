@@ -43,7 +43,13 @@ impl std::error::Error for CheckpointError {}
 pub fn save_params(store: &ParamStore) -> String {
     let mut out = String::from("#cohortnet-params v1\n");
     for e in store.entries() {
-        let _ = write!(out, "param\t{}\t{}\t{}", e.name, e.value.rows(), e.value.cols());
+        let _ = write!(
+            out,
+            "param\t{}\t{}\t{}",
+            e.name,
+            e.value.rows(),
+            e.value.cols()
+        );
         for v in e.value.as_slice() {
             let _ = write!(out, "\t{v}");
         }
@@ -74,7 +80,10 @@ pub fn load_params(store: &mut ParamStore, text: &str) -> Result<(), CheckpointE
         if parts.next() != Some("param") {
             return Err(CheckpointError::BadRecord(n));
         }
-        let name = parts.next().ok_or(CheckpointError::BadRecord(n))?.to_string();
+        let name = parts
+            .next()
+            .ok_or(CheckpointError::BadRecord(n))?
+            .to_string();
         let rows: usize = parts
             .next()
             .and_then(|s| s.parse().ok())
@@ -154,7 +163,10 @@ mod tests {
         let text = save_params(&original);
         let mut other = ParamStore::new();
         other.register("layer.w", Matrix::zeros(3, 4));
-        assert!(matches!(load_params(&mut other, &text), Err(CheckpointError::Mismatch(_))));
+        assert!(matches!(
+            load_params(&mut other, &text),
+            Err(CheckpointError::Mismatch(_))
+        ));
     }
 
     #[test]
@@ -162,15 +174,24 @@ mod tests {
         let original = store();
         let text = save_params(&original).replace("layer.b", "layer.bias");
         let mut fresh = store();
-        assert!(matches!(load_params(&mut fresh, &text), Err(CheckpointError::Mismatch(_))));
+        assert!(matches!(
+            load_params(&mut fresh, &text),
+            Err(CheckpointError::Mismatch(_))
+        ));
     }
 
     #[test]
     fn rejects_bad_header_and_records() {
         let mut fresh = store();
-        assert_eq!(load_params(&mut fresh, "junk"), Err(CheckpointError::BadHeader));
+        assert_eq!(
+            load_params(&mut fresh, "junk"),
+            Err(CheckpointError::BadHeader)
+        );
         let text = "#cohortnet-params v1\nparam\tw\t2\t2\t1.0\n"; // 1 value for 2x2
-        assert!(matches!(load_params(&mut fresh, text), Err(CheckpointError::BadRecord(2))));
+        assert!(matches!(
+            load_params(&mut fresh, text),
+            Err(CheckpointError::BadRecord(2))
+        ));
     }
 
     #[test]

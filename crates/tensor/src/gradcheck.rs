@@ -89,7 +89,14 @@ mod tests {
     fn gradcheck_mlp_tanh() {
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(23);
-        let mlp = Mlp::new(&mut ps, &mut rng, "m", &[2, 4, 1], Activation::Tanh, Activation::Identity);
+        let mlp = Mlp::new(
+            &mut ps,
+            &mut rng,
+            "m",
+            &[2, 4, 1],
+            Activation::Tanh,
+            Activation::Identity,
+        );
         let err = max_grad_error(&mut ps, 1e-2, |t, ps| {
             let x = constant(t, 3, 2, &[0.1, 0.4, -0.3, 0.8, 0.5, -0.9]);
             let y = mlp.forward(t, ps, x);

@@ -39,12 +39,20 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -180,7 +188,11 @@ impl Matrix {
     /// Like [`Matrix::matmul`] but accumulates into `out` (`out += self * rhs`).
     pub fn matmul_acc(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, rhs.rows, "matmul_acc inner dim mismatch");
-        assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul_acc output shape");
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "matmul_acc output shape"
+        );
         for i in 0..self.rows {
             let a_row = self.row(i);
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
@@ -268,7 +280,11 @@ impl Matrix {
 
     /// `self += rhs * s` element-wise, in place.
     pub fn add_scaled_assign(&mut self, rhs: &Matrix, s: f32) {
-        assert_eq!(self.shape(), rhs.shape(), "add_scaled_assign shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "add_scaled_assign shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a += b * s;
         }
@@ -342,8 +358,7 @@ impl Matrix {
             let mut offset = 0;
             for m in parts {
                 assert_eq!(m.rows, rows, "concat_cols row mismatch");
-                out.data[r * total + offset..r * total + offset + m.cols]
-                    .copy_from_slice(m.row(r));
+                out.data[r * total + offset..r * total + offset + m.cols].copy_from_slice(m.row(r));
                 offset += m.cols;
             }
         }
@@ -368,8 +383,7 @@ impl Matrix {
         assert!(start <= end && end <= self.cols, "slice_cols out of range");
         let mut out = Matrix::zeros(self.rows, end - start);
         for r in 0..self.rows {
-            out.row_mut(r)
-                .copy_from_slice(&self.row(r)[start..end]);
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
         }
         out
     }
@@ -437,7 +451,10 @@ impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f32;
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -445,7 +462,10 @@ impl std::ops::Index<(usize, usize)> for Matrix {
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

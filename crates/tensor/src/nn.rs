@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 #[derive(Debug, Clone)]
 pub struct Linear {
     w: ParamId,
-    b: ParamId,
+    b: Option<ParamId>,
     /// Input width.
     pub in_dim: usize,
     /// Output width.
@@ -23,18 +23,60 @@ pub struct Linear {
 
 impl Linear {
     /// Registers a new linear layer's parameters.
-    pub fn new(ps: &mut ParamStore, rng: &mut StdRng, name: &str, in_dim: usize, out_dim: usize) -> Self {
-        let w = ps.register(format!("{name}.w"), init::xavier_uniform(rng, in_dim, out_dim));
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let w = ps.register(
+            format!("{name}.w"),
+            init::xavier_uniform(rng, in_dim, out_dim),
+        );
         let b = ps.register(format!("{name}.b"), init::zeros(1, out_dim));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b: Some(b),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Registers a linear layer with no bias term (`y = x W`), for heads
+    /// whose intercept must live elsewhere — e.g. CohortNet's Eq. 14
+    /// calibration term `w^c · ĥ`, where the only bias is `b^p` on the
+    /// individual path.
+    pub fn new_no_bias(
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let w = ps.register(
+            format!("{name}.w"),
+            init::xavier_uniform(rng, in_dim, out_dim),
+        );
+        Linear {
+            w,
+            b: None,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Applies the layer to a `(batch x in_dim)` node.
     pub fn forward(&self, t: &mut Tape, ps: &ParamStore, x: Var) -> Var {
         let w = t.param(ps, self.w);
-        let b = t.param(ps, self.b);
         let xw = t.matmul(x, w);
-        t.add_row_broadcast(xw, b)
+        match self.b {
+            Some(b) => {
+                let b = t.param(ps, b);
+                t.add_row_broadcast(xw, b)
+            }
+            None => xw,
+        }
     }
 
     /// The weight parameter handle (for introspection, e.g. calibration
@@ -43,8 +85,8 @@ impl Linear {
         self.w
     }
 
-    /// The bias parameter handle.
-    pub fn bias(&self) -> ParamId {
+    /// The bias parameter handle, `None` for bias-free layers.
+    pub fn bias(&self) -> Option<ParamId> {
         self.b
     }
 }
@@ -93,13 +135,20 @@ impl Mlp {
         hidden_act: Activation,
         output_act: Activation,
     ) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let layers = dims
             .windows(2)
             .enumerate()
             .map(|(i, w)| Linear::new(ps, rng, &format!("{name}.l{i}"), w[0], w[1]))
             .collect();
-        Mlp { layers, hidden_act, output_act }
+        Mlp {
+            layers,
+            hidden_act,
+            output_act,
+        }
     }
 
     /// Applies the MLP to a `(batch x dims[0])` node.
@@ -107,7 +156,11 @@ impl Mlp {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             x = layer.forward(t, ps, x);
-            x = if i == last { self.output_act.apply(t, x) } else { self.hidden_act.apply(t, x) };
+            x = if i == last {
+                self.output_act.apply(t, x)
+            } else {
+                self.hidden_act.apply(t, x)
+            };
         }
         x
     }
@@ -141,16 +194,40 @@ pub struct GruCell {
 
 impl GruCell {
     /// Registers a new GRU cell's parameters.
-    pub fn new(ps: &mut ParamStore, rng: &mut StdRng, name: &str, in_dim: usize, hidden_dim: usize) -> Self {
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        hidden_dim: usize,
+    ) -> Self {
         GruCell {
-            wz: ps.register(format!("{name}.wz"), init::xavier_uniform(rng, in_dim, hidden_dim)),
-            uz: ps.register(format!("{name}.uz"), init::recurrent(rng, hidden_dim, hidden_dim)),
+            wz: ps.register(
+                format!("{name}.wz"),
+                init::xavier_uniform(rng, in_dim, hidden_dim),
+            ),
+            uz: ps.register(
+                format!("{name}.uz"),
+                init::recurrent(rng, hidden_dim, hidden_dim),
+            ),
             bz: ps.register(format!("{name}.bz"), init::zeros(1, hidden_dim)),
-            wr: ps.register(format!("{name}.wr"), init::xavier_uniform(rng, in_dim, hidden_dim)),
-            ur: ps.register(format!("{name}.ur"), init::recurrent(rng, hidden_dim, hidden_dim)),
+            wr: ps.register(
+                format!("{name}.wr"),
+                init::xavier_uniform(rng, in_dim, hidden_dim),
+            ),
+            ur: ps.register(
+                format!("{name}.ur"),
+                init::recurrent(rng, hidden_dim, hidden_dim),
+            ),
             br: ps.register(format!("{name}.br"), init::zeros(1, hidden_dim)),
-            wh: ps.register(format!("{name}.wh"), init::xavier_uniform(rng, in_dim, hidden_dim)),
-            uh: ps.register(format!("{name}.uh"), init::recurrent(rng, hidden_dim, hidden_dim)),
+            wh: ps.register(
+                format!("{name}.wh"),
+                init::xavier_uniform(rng, in_dim, hidden_dim),
+            ),
+            uh: ps.register(
+                format!("{name}.uh"),
+                init::recurrent(rng, hidden_dim, hidden_dim),
+            ),
             bh: ps.register(format!("{name}.bh"), init::zeros(1, hidden_dim)),
             in_dim,
             hidden_dim,
@@ -233,27 +310,57 @@ pub struct LstmState {
 
 impl LstmCell {
     /// Registers a new LSTM cell's parameters.
-    pub fn new(ps: &mut ParamStore, rng: &mut StdRng, name: &str, in_dim: usize, hidden_dim: usize) -> Self {
+    pub fn new(
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        in_dim: usize,
+        hidden_dim: usize,
+    ) -> Self {
         let reg_w = |ps: &mut ParamStore, rng: &mut StdRng, s: &str| {
-            ps.register(format!("{name}.{s}"), init::xavier_uniform(rng, in_dim, hidden_dim))
+            ps.register(
+                format!("{name}.{s}"),
+                init::xavier_uniform(rng, in_dim, hidden_dim),
+            )
         };
         let wi = reg_w(ps, rng, "wi");
         let wf = reg_w(ps, rng, "wf");
         let wo = reg_w(ps, rng, "wo");
         let wc = reg_w(ps, rng, "wc");
         let reg_u = |ps: &mut ParamStore, rng: &mut StdRng, s: &str| {
-            ps.register(format!("{name}.{s}"), init::recurrent(rng, hidden_dim, hidden_dim))
+            ps.register(
+                format!("{name}.{s}"),
+                init::recurrent(rng, hidden_dim, hidden_dim),
+            )
         };
         let ui = reg_u(ps, rng, "ui");
         let uf = reg_u(ps, rng, "uf");
         let uo = reg_u(ps, rng, "uo");
         let uc = reg_u(ps, rng, "uc");
         // Forget-gate bias starts at 1 so early training retains memory.
-        let bf = ps.register(format!("{name}.bf"), crate::matrix::Matrix::full(1, hidden_dim, 1.0));
+        let bf = ps.register(
+            format!("{name}.bf"),
+            crate::matrix::Matrix::full(1, hidden_dim, 1.0),
+        );
         let bi = ps.register(format!("{name}.bi"), init::zeros(1, hidden_dim));
         let bo = ps.register(format!("{name}.bo"), init::zeros(1, hidden_dim));
         let bc = ps.register(format!("{name}.bc"), init::zeros(1, hidden_dim));
-        LstmCell { wi, ui, bi, wf, uf, bf, wo, uo, bo, wc, uc, bc, in_dim, hidden_dim }
+        LstmCell {
+            wi,
+            ui,
+            bi,
+            wf,
+            uf,
+            bf,
+            wo,
+            uo,
+            bo,
+            wc,
+            uc,
+            bc,
+            in_dim,
+            hidden_dim,
+        }
     }
 
     /// Creates the initial zero state for a batch.
@@ -314,7 +421,14 @@ mod tests {
     fn mlp_learns_xor() {
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(3);
-        let mlp = Mlp::new(&mut ps, &mut rng, "xor", &[2, 8, 1], Activation::Tanh, Activation::Identity);
+        let mlp = Mlp::new(
+            &mut ps,
+            &mut rng,
+            "xor",
+            &[2, 8, 1],
+            Activation::Tanh,
+            Activation::Identity,
+        );
         let x = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
         let y = Matrix::from_vec(4, 1, vec![0., 1., 1., 0.]);
         let mut opt = Adam::new(0.05);
@@ -407,7 +521,11 @@ mod tests {
             let mut t = Tape::new();
             let mut st = cell.init_state(&mut t, 2);
             for step in 0..3 {
-                let x = t.constant(Matrix::from_vec(2, 1, vec![0.0, if step == 2 { 1.0 } else { 0.0 }]));
+                let x = t.constant(Matrix::from_vec(
+                    2,
+                    1,
+                    vec![0.0, if step == 2 { 1.0 } else { 0.0 }],
+                ));
                 st = cell.step(&mut t, &ps, x, st);
             }
             let logits = head.forward(&mut t, &ps, st.h);

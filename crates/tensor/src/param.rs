@@ -38,7 +38,11 @@ impl ParamStore {
     /// Registers a parameter with an initial value and returns its handle.
     pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
         let grad = Matrix::zeros(value.rows(), value.cols());
-        self.entries.push(ParamEntry { name: name.into(), value, grad });
+        self.entries.push(ParamEntry {
+            name: name.into(),
+            value,
+            grad,
+        });
         ParamId(self.entries.len() - 1)
     }
 

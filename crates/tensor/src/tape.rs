@@ -71,7 +71,9 @@ impl Default for Tape {
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::with_capacity(1024) }
+        Tape {
+            nodes: Vec::with_capacity(1024),
+        }
     }
 
     /// Number of nodes recorded so far.
@@ -85,7 +87,11 @@ impl Tape {
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> Var {
-        self.nodes.push(Node { value, grad: None, op });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -298,7 +304,9 @@ impl Tape {
             self.nodes[root.0].grad = Some(Matrix::full(r, c, 1.0));
         }
         for i in (0..=root.0).rev() {
-            let Some(g) = self.nodes[i].grad.take() else { continue };
+            let Some(g) = self.nodes[i].grad.take() else {
+                continue;
+            };
             let op = self.nodes[i].op.clone();
             let out_value = std::mem::replace(&mut self.nodes[i].value, Matrix::zeros(0, 0));
             self.propagate(&op, &out_value, &g);

@@ -40,8 +40,10 @@ fn main() {
     // A "blood-gas derangement" cohort: anchored on RR, PCO2 or HCO3, with
     // at least one involved state whose mean value lies outside the normal
     // range, elevated mortality, and solid evidence.
-    let gas_features: Vec<usize> =
-        ["RR", "PCO2", "HCO3"].iter().map(|c| ds.feature_column(c)).collect();
+    let gas_features: Vec<usize> = ["RR", "PCO2", "HCO3"]
+        .iter()
+        .map(|c| ds.feature_column(c))
+        .collect();
     let mut findings = Vec::new();
     for &f in &gas_features {
         for c in &pool.per_feature[f] {
@@ -89,7 +91,11 @@ fn main() {
                 }
             }
         }
-        let base_rate = raw.patients.iter().filter(|p| p.archetypes.contains(&0)).count() as f64
+        let base_rate = raw
+            .patients
+            .iter()
+            .filter(|p| p.archetypes.contains(&0))
+            .count() as f64
             / raw.n_patients() as f64;
         println!(
             "\nground truth: {:.0}% of the top cohort's {} members carry the planted \

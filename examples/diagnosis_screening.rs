@@ -49,9 +49,7 @@ fn main() {
         .flatten()
         .filter(|c| c.n_patients >= 20)
         .max_by(|a, b| {
-            let peak = |c: &cohortnet::Cohort| {
-                c.pos_rate.iter().cloned().fold(0.0f32, f32::max)
-            };
+            let peak = |c: &cohortnet::Cohort| c.pos_rate.iter().cloned().fold(0.0f32, f32::max);
             peak(a).partial_cmp(&peak(b)).unwrap()
         });
     if let Some(c) = best {
@@ -60,8 +58,13 @@ fn main() {
             train_ds.feature_def(c.feature).code,
             c.n_patients
         );
-        let mut labelled: Vec<(usize, f32)> =
-            c.pos_rate.iter().copied().enumerate().filter(|&(_, r)| r > 0.2).collect();
+        let mut labelled: Vec<(usize, f32)> = c
+            .pos_rate
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, r)| r > 0.2)
+            .collect();
         labelled.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         for (l, r) in labelled.into_iter().take(5) {
             // Which planted condition usually fires this label?
@@ -69,7 +72,10 @@ fn main() {
                 .iter()
                 .find(|a| a.diagnosis_labels.contains(&l))
                 .map_or("background", |a| a.name);
-            println!("  label {l:>2}: {:.0}% of cohort (typically from: {source})", r * 100.0);
+            println!(
+                "  label {l:>2}: {:.0}% of cohort (typically from: {source})",
+                r * 100.0
+            );
         }
     }
 }

@@ -37,7 +37,10 @@ fn main() {
     let mut ranked: Vec<(usize, f32)> = probs.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
 
-    println!("=== ICU mortality watch-list (top 5 of {} admissions) ===\n", ranked.len());
+    println!(
+        "=== ICU mortality watch-list (top 5 of {} admissions) ===\n",
+        ranked.len()
+    );
     for &(p, risk) in ranked.iter().take(5) {
         let truth = test_ds.patients[p].mortality() != 0;
         let exp = explain_patient(&trained.model, &trained.params, &test_prep, p);

@@ -67,5 +67,8 @@ fn main() {
 
     // Assess one "new" patient.
     let risk = reloaded[0];
-    println!("new patient assessed from the reloaded model: risk {:.1}%", risk * 100.0);
+    println!(
+        "new patient assessed from the reloaded model: risk {:.1}%",
+        risk * 100.0
+    );
 }

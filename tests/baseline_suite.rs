@@ -22,7 +22,12 @@ fn dataset() -> Prepared {
 }
 
 fn check(model: &mut dyn SequenceModel, ps: &mut ParamStore, prep: &Prepared) {
-    let cfg = TrainConfig { epochs: 5, batch_size: 32, lr: 3e-3, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 5,
+        batch_size: 32,
+        lr: 3e-3,
+        ..Default::default()
+    };
     let stats = train(model, ps, prep, &cfg);
     assert!(
         stats.epoch_losses.iter().all(|l| l.is_finite()),
@@ -30,7 +35,9 @@ fn check(model: &mut dyn SequenceModel, ps: &mut ParamStore, prep: &Prepared) {
         model.name()
     );
     let probs = predict_probs(model, ps, prep, 64);
-    assert!(probs.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
+    assert!(probs
+        .iter()
+        .all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
     let report = evaluate(model, ps, prep, 64);
     assert!(
         report.auc_roc > 0.58,
@@ -82,7 +89,11 @@ fn multilabel_heads_work_for_all_architectures() {
         &mut model,
         &mut ps,
         &prep,
-        &TrainConfig { epochs: 1, batch_size: 32, ..Default::default() },
+        &TrainConfig {
+            epochs: 1,
+            batch_size: 32,
+            ..Default::default()
+        },
     );
     assert!(stats.epoch_losses[0].is_finite());
     let probs = predict_probs(&model, &ps, &prep, 32);

@@ -14,7 +14,9 @@ const T: usize = 10;
 
 fn random_states(n_patients: usize, k: u8, seed: u64) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n_patients * T * NF).map(|_| rng.gen_range(0..=k)).collect()
+    (0..n_patients * T * NF)
+        .map(|_| rng.gen_range(0..=k))
+        .collect()
 }
 
 fn masks() -> Vec<Vec<usize>> {
@@ -36,8 +38,12 @@ fn build_pool(states: &[u8], n_patients: usize) -> CohortPool {
     cfg.min_frequency = 1;
     cfg.min_patients = 1;
     cfg.max_cohorts_per_feature = usize::MAX;
-    let h = Matrix::from_fn(n_patients, NF * cfg.d_hidden, |r, c| ((r * 7 + c) % 5) as f32);
-    let labels: Vec<Vec<u8>> = (0..n_patients).map(|i| vec![u8::from(i % 3 == 0)]).collect();
+    let h = Matrix::from_fn(n_patients, NF * cfg.d_hidden, |r, c| {
+        ((r * 7 + c) % 5) as f32
+    });
+    let labels: Vec<Vec<u8>> = (0..n_patients)
+        .map(|i| vec![u8::from(i % 3 == 0)])
+        .collect();
     CohortPool::build(mined, m, &h, &labels, &cfg)
 }
 

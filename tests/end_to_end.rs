@@ -45,7 +45,11 @@ fn full_pipeline_mortality() {
 
     // Cohorts exist and respect the filters.
     let pool = &trained.model.discovery.as_ref().unwrap().pool;
-    assert!(pool.total_cohorts() > 10, "only {} cohorts", pool.total_cohorts());
+    assert!(
+        pool.total_cohorts() > 10,
+        "only {} cohorts",
+        pool.total_cohorts()
+    );
     for c in pool.per_feature.iter().flatten() {
         assert!(c.frequency >= cfg.min_frequency);
         assert!(c.n_patients >= cfg.min_patients);
@@ -56,7 +60,11 @@ fn full_pipeline_mortality() {
     let report = evaluate(&trained.model, &trained.params, &test_prep, 64);
     assert!(report.auc_roc > 0.6, "test AUC-ROC {:.3}", report.auc_roc);
     let prevalence = test_ds.positive_rate();
-    assert!(report.auc_pr > prevalence, "AUC-PR {:.3} <= prevalence {prevalence:.3}", report.auc_pr);
+    assert!(
+        report.auc_pr > prevalence,
+        "AUC-PR {:.3} <= prevalence {prevalence:.3}",
+        report.auc_pr
+    );
 
     // Interpretation works on a held-out patient.
     let ctx = build_context(&trained.model, &trained.params, &train_prep, &scaler);
@@ -84,7 +92,12 @@ fn full_pipeline_multilabel_diagnosis() {
 
     // Multi-label: cohort label blocks have 25 rates.
     let pool = &trained.model.discovery.as_ref().unwrap().pool;
-    let c = pool.per_feature.iter().flatten().next().expect("cohorts exist");
+    let c = pool
+        .per_feature
+        .iter()
+        .flatten()
+        .next()
+        .expect("cohorts exist");
     assert_eq!(c.pos_rate.len(), 25);
 
     let report = evaluate(&trained.model, &trained.params, &prepare(&test_ds), 64);

@@ -40,7 +40,12 @@ fn adaptive_k_pipeline_runs_and_reduces_sparse_state_budgets() {
     let d = trained.model.discovery.as_ref().unwrap();
     // Sparse features (e.g. PIP, missing in ~45% of patients and rarely
     // charted) must get fewer states than dense vitals.
-    let ks: Vec<usize> = d.states.models.iter().map(|m| m.as_ref().map_or(0, |c| c.k)).collect();
+    let ks: Vec<usize> = d
+        .states
+        .models
+        .iter()
+        .map(|m| m.as_ref().map_or(0, |c| c.k))
+        .collect();
     let max_k = ks.iter().copied().max().unwrap();
     let min_k = ks.iter().copied().filter(|&k| k > 0).min().unwrap();
     assert_eq!(max_k, cfg.k_states, "densest feature gets the ceiling");
@@ -58,7 +63,10 @@ fn threshold_masks_pipeline_produces_variable_width_patterns() {
     let trained = train_cohortnet(&prep, &cfg);
     let pool = &trained.model.discovery.as_ref().unwrap().pool;
     let widths: Vec<usize> = pool.masks.iter().map(Vec::len).collect();
-    assert!(widths.iter().all(|&w| (2..=4).contains(&w)), "widths out of range: {widths:?}");
+    assert!(
+        widths.iter().all(|&w| (2..=4).contains(&w)),
+        "widths out of range: {widths:?}"
+    );
     // Every cohort's pattern matches its mask width.
     for (f, cohorts) in pool.per_feature.iter().enumerate() {
         for c in cohorts {
@@ -86,7 +94,8 @@ fn incremental_update_approximates_full_rebuild() {
         patients: prep.patients[half..].to_vec(),
     };
     let mut rng = StdRng::seed_from_u64(1);
-    let d_half = cohortnet::discover::discover(&trained.model.mflm, &trained.params, &first, &cfg, &mut rng);
+    let d_half =
+        cohortnet::discover::discover(&trained.model.mflm, &trained.params, &first, &cfg, &mut rng);
 
     // Helper: states + channel representations of a prepared set under the
     // half's fitted state models.
@@ -99,7 +108,10 @@ fn incremental_update_approximates_full_rebuild() {
         for chunk in (0..n).collect::<Vec<_>>().chunks(32) {
             let batch = make_batch(pp, chunk);
             let mut tape = Tape::new();
-            let trace = trained.model.mflm.forward(&mut tape, &trained.params, &batch, false);
+            let trace = trained
+                .model
+                .mflm
+                .forward(&mut tape, &trained.params, &batch, false);
             let bs = batch_states(&tape, &trace, &batch, &d_half.states);
             for (r, &p) in chunk.iter().enumerate() {
                 states[p * t_steps * nf..(p + 1) * t_steps * nf]
@@ -119,7 +131,13 @@ fn incremental_update_approximates_full_rebuild() {
     // Reference: a rebuild over ALL patients under the SAME states/masks —
     // this isolates the pool-update strategy from state/mask drift.
     let (states_all, h_all) = states_and_h(&prep);
-    let mined_all = mine_patterns(&states_all, prep.patients.len(), t_steps, nf, &d_half.pool.masks);
+    let mined_all = mine_patterns(
+        &states_all,
+        prep.patients.len(),
+        t_steps,
+        nf,
+        &d_half.pool.masks,
+    );
     let labels_all: Vec<Vec<u8>> = prep.patients.iter().map(|p| p.labels_u8.clone()).collect();
     let rebuild = cohortnet::crlm::CohortPool::build(
         mined_all,
@@ -133,7 +151,11 @@ fn incremental_update_approximates_full_rebuild() {
     let mut pool = d_half.pool.clone();
     let (states2, h2) = states_and_h(&second);
     let mined2 = mine_patterns(&states2, second.patients.len(), t_steps, nf, &pool.masks);
-    let labels2: Vec<Vec<u8>> = second.patients.iter().map(|p| p.labels_u8.clone()).collect();
+    let labels2: Vec<Vec<u8>> = second
+        .patients
+        .iter()
+        .map(|p| p.labels_u8.clone())
+        .collect();
     let admitted = pool.update_with(mined2, &h2, &labels2, &cfg);
     assert!(admitted > 0, "second half brought no new patterns");
     let d_full = rebuild;
@@ -160,5 +182,8 @@ fn incremental_update_approximates_full_rebuild() {
     }
     assert!(total > 0, "no well-supported cohorts to check");
     let coverage = covered as f64 / total as f64;
-    assert!(coverage > 0.7, "incremental pool covers only {coverage:.2} of {total}");
+    assert!(
+        coverage > 0.7,
+        "incremental pool covers only {coverage:.2} of {total}"
+    );
 }

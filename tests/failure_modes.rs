@@ -93,8 +93,16 @@ fn dataset_validation_rejects_label_width_drift() {
 
 #[test]
 fn csv_error_messages_carry_context() {
-    let err = dataset_from_csv("1,abc,RR,5\n", "1,0\n", &["RR"], 4, 4.0, Task::Mortality, "x")
-        .unwrap_err();
+    let err = dataset_from_csv(
+        "1,abc,RR,5\n",
+        "1,0\n",
+        &["RR"],
+        4,
+        4.0,
+        Task::Mortality,
+        "x",
+    )
+    .unwrap_err();
     assert_eq!(err, CsvError::BadLine(1, "bad timestamp".into()));
     assert!(err.to_string().contains("line 1"));
 }

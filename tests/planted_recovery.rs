@@ -86,7 +86,12 @@ fn states_separate_planted_value_ranges() {
     // the state means must cover at least one normal half-width.
     let pco2 = ds.feature_column("PCO2");
     let def = ds.feature_def(pco2);
-    let means: Vec<f32> = ctx.summaries[pco2].mean_raw.iter().flatten().copied().collect();
+    let means: Vec<f32> = ctx.summaries[pco2]
+        .mean_raw
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
     assert!(means.len() >= 3, "PCO2 has too few occupied states");
     let max = means.iter().cloned().fold(f32::MIN, f32::max);
     let min = means.iter().cloned().fold(f32::MAX, f32::min);

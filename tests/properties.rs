@@ -12,6 +12,7 @@ use cohortnet_tensor::nn::{Activation, Mlp};
 use cohortnet_tensor::ParamStore;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 proptest! {
@@ -108,8 +109,8 @@ proptest! {
         scores in proptest::collection::vec(0.001f32..0.999, 4..40),
         seed in 0u64..100,
     ) {
-        let labels: Vec<u8> = scores.iter().enumerate().map(|(i, _)| ((i as u64 + seed) % 3 == 0) as u8).collect();
-        prop_assume!(labels.iter().any(|&l| l == 1) && labels.iter().any(|&l| l == 0));
+        let labels: Vec<u8> = scores.iter().enumerate().map(|(i, _)| (i as u64 + seed).is_multiple_of(3) as u8).collect();
+        prop_assume!(labels.contains(&1) && labels.contains(&0));
         let transformed: Vec<f32> = scores.iter().map(|&s| (3.0 * s).exp() + 1.0).collect();
         prop_assert!((roc_auc(&scores, &labels) - roc_auc(&transformed, &labels)).abs() < 1e-9);
         prop_assert!((pr_auc(&scores, &labels) - pr_auc(&transformed, &labels)).abs() < 1e-9);
@@ -119,8 +120,8 @@ proptest! {
     #[test]
     fn auc_inversion_symmetry(n in 4usize..30, seed in 0u64..100) {
         let scores: Vec<f32> = (0..n).map(|i| ((i as u64 * 7919 + seed * 13) % 10007) as f32 / 10007.0).collect();
-        let labels: Vec<u8> = (0..n).map(|i| ((i as u64 * 31 + seed) % 4 == 0) as u8).collect();
-        prop_assume!(labels.iter().any(|&l| l == 1) && labels.iter().any(|&l| l == 0));
+        let labels: Vec<u8> = (0..n).map(|i| (i as u64 * 31 + seed).is_multiple_of(4) as u8).collect();
+        prop_assume!(labels.contains(&1) && labels.contains(&0));
         let inverted: Vec<f32> = scores.iter().map(|&s| -s).collect();
         let sum = roc_auc(&scores, &labels) + roc_auc(&inverted, &labels);
         prop_assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
@@ -141,6 +142,42 @@ proptest! {
         }
     }
 
+    /// Both AUCs are invariant under any joint permutation of the
+    /// (score, label) pairs — ranking metrics must not care about sample
+    /// order.
+    #[test]
+    fn auc_permutation_invariance(
+        scores in proptest::collection::vec(0.0f32..1.0, 4..40),
+        seed in 0u64..1000,
+    ) {
+        let labels: Vec<u8> = scores.iter().enumerate().map(|(i, _)| (i as u64 * 17 + seed).is_multiple_of(3) as u8).collect();
+        prop_assume!(labels.contains(&1) && labels.contains(&0));
+        let mut perm: Vec<usize> = (0..scores.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        perm.shuffle(&mut rng);
+        let p_scores: Vec<f32> = perm.iter().map(|&i| scores[i]).collect();
+        let p_labels: Vec<u8> = perm.iter().map(|&i| labels[i]).collect();
+        prop_assert!((roc_auc(&scores, &labels) - roc_auc(&p_scores, &p_labels)).abs() < 1e-12);
+        prop_assert!((pr_auc(&scores, &labels) - pr_auc(&p_scores, &p_labels)).abs() < 1e-12);
+    }
+
+    /// Both AUCs always land in [0, 1], including degenerate inputs with
+    /// heavy ties or single-class slices.
+    #[test]
+    fn auc_bounded_unit_interval(
+        raw in proptest::collection::vec((0u32..8, 0u8..2), 1..50),
+    ) {
+        // Coarse score grid => plenty of ties.
+        let scores: Vec<f32> = raw.iter().map(|&(s, _)| s as f32 / 7.0).collect();
+        let labels: Vec<u8> = raw.iter().map(|&(_, l)| l).collect();
+        let pr = pr_auc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&pr), "pr_auc {pr}");
+        if labels.contains(&1) && labels.contains(&0) {
+            let roc = roc_auc(&scores, &labels);
+            prop_assert!((0.0..=1.0).contains(&roc), "roc_auc {roc}");
+        }
+    }
+
     /// Pattern keys round-trip for any states under the 4-bit budget.
     #[test]
     fn pattern_key_round_trip(
@@ -154,6 +191,59 @@ proptest! {
         let decoded = decode_key(key, &mask);
         for (pos, &f) in mask.iter().enumerate() {
             prop_assert_eq!(decoded[pos], (f, states[f]));
+        }
+    }
+}
+
+/// Parallel discovery is bit-identical to sequential discovery: same masks,
+/// same cohorts in the same order, same representations, for a fixed seed.
+#[test]
+fn parallel_discovery_matches_sequential() {
+    use cohortnet::config::CohortNetConfig;
+    use cohortnet::discover::discover;
+    use cohortnet::mflm::Mflm;
+    use cohortnet_ehr::{profiles, standardize::Standardizer, synth::generate};
+    use cohortnet_models::data::prepare;
+
+    let mut c = profiles::mimic3_like(0.05);
+    c.n_patients = 48;
+    c.time_steps = 5;
+    let mut ds = generate(&c);
+    let scaler = Standardizer::fit(&ds);
+    scaler.apply(&mut ds);
+    let mut cfg = CohortNetConfig::for_dataset(&ds, &scaler);
+    cfg.k_states = 4;
+    cfg.min_frequency = 3;
+    cfg.min_patients = 2;
+    cfg.state_fit_samples = 1500;
+    let prep = prepare(&ds);
+
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(21);
+    let mflm = Mflm::new(&mut ps, &mut rng, &cfg);
+
+    cfg.n_threads = 1;
+    let serial = discover(&mflm, &ps, &prep, &cfg, &mut StdRng::seed_from_u64(5));
+    cfg.n_threads = 4;
+    let parallel = discover(&mflm, &ps, &prep, &cfg, &mut StdRng::seed_from_u64(5));
+
+    assert_eq!(serial.pool.masks, parallel.pool.masks);
+    assert_eq!(serial.pool.total_cohorts(), parallel.pool.total_cohorts());
+    for (a, b) in serial
+        .pool
+        .per_feature
+        .iter()
+        .zip(&parallel.pool.per_feature)
+    {
+        assert_eq!(a.len(), b.len());
+        for (ca, cb) in a.iter().zip(b) {
+            assert_eq!(ca.pattern, cb.pattern);
+            assert_eq!(ca.frequency, cb.frequency);
+            assert_eq!(ca.n_patients, cb.n_patients);
+            assert_eq!(
+                ca.repr, cb.repr,
+                "cohort representations must match bit-for-bit"
+            );
         }
     }
 }
