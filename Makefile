@@ -1,6 +1,6 @@
 CARGO ?= cargo
 
-.PHONY: verify build test clippy fmt bench-discovery
+.PHONY: verify build test clippy fmt bench-discovery bench-smoke
 
 ## Full local verification: what CI runs, in the same order.
 verify: build test clippy fmt
@@ -21,3 +21,11 @@ fmt:
 ## curve for the discovery pipeline).
 bench-discovery:
 	COHORTNET_FAST=1 COHORTNET_SCALE=0.5 $(CARGO) run --release -p cohortnet-bench --bin fig13_scalability
+
+## Reduced-config perf smoke: fig13 (discovery + training threads sweeps →
+## BENCH_discovery.json) and the GEMM micro-bench (→ BENCH_tensor.json).
+## CI uploads both JSON files as artifacts so the perf trajectory is
+## recorded per PR.
+bench-smoke:
+	COHORTNET_FAST=1 COHORTNET_SCALE=0.5 $(CARGO) run --release -p cohortnet-bench --bin fig13_scalability
+	COHORTNET_FAST=1 $(CARGO) run --release -p cohortnet-bench --bin tensor_gemm

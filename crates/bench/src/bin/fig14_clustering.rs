@@ -39,6 +39,7 @@ fn finetune_and_eval(
         clip: 5.0,
         seed: 11,
         verbose: false,
+        n_threads: 0,
     };
     train(model, ps, train_prep, &tc);
     evaluate(model, ps, test_prep, 64).auc_pr

@@ -1,0 +1,185 @@
+//! GEMM micro-benchmark — records the blocked kernel's throughput against
+//! the naive triple loop it replaced, across sizes, transpose variants, and
+//! thread counts, into `BENCH_tensor.json`.
+//!
+//! Every configuration is also checked bit-identical against the branch-free
+//! naive reference before it is timed: a kernel that drifts by one ULP is a
+//! bug, not a data point (see the determinism contract in
+//! `cohortnet_tensor::gemm` and DESIGN.md).
+//!
+//! Run: `cargo run --release -p cohortnet-bench --bin tensor_gemm`
+//! (`COHORTNET_FAST=1` shrinks sizes and repetitions for smoke runs.)
+
+use cohortnet_bench::fast;
+use cohortnet_bench::report::render_table;
+use cohortnet_tensor::gemm::{gemm_into, set_gemm_threads};
+use cohortnet_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Branch-free naive reference (the pre-PR kernel shape): one k-ascending
+/// accumulation chain per output element.
+fn naive(ta: bool, tb: bool, a: &Matrix, b: &Matrix, out: &mut Matrix, k_dim: usize) {
+    let (m, n) = out.shape();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..k_dim {
+                let av = if ta { a[(k, i)] } else { a[(i, k)] };
+                let bv = if tb { b[(j, k)] } else { b[(k, j)] };
+                acc += av * bv;
+            }
+            out[(i, j)] = acc;
+        }
+    }
+}
+
+/// Best-of-`reps` wall-clock for one closure.
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct GemmRow {
+    variant: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+    naive_sec: f64,
+    blocked_sec: f64,
+    gflops: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let (sizes, reps): (&[(usize, usize, usize)], usize) = if fast() {
+        (&[(64, 64, 64), (128, 128, 128)], 3)
+    } else {
+        (
+            &[
+                (64, 64, 64),
+                (128, 128, 128),
+                (256, 256, 256),
+                (64, 512, 64),
+                (512, 64, 512),
+            ],
+            5,
+        )
+    };
+    let variants: &[(&'static str, bool, bool)] = &[
+        ("A*B", false, false),
+        ("At*B", true, false),
+        ("A*Bt", false, true),
+    ];
+    let thread_counts: &[usize] = if fast() { &[1] } else { &[1, 2, 4] };
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut rows: Vec<GemmRow> = Vec::new();
+
+    for &(m, k, n) in sizes {
+        for &(name, ta, tb) in variants {
+            let (am, ak) = if ta { (k, m) } else { (m, k) };
+            let (bm, bk) = if tb { (n, k) } else { (k, n) };
+            let a = random_matrix(am, ak, &mut rng);
+            let b = random_matrix(bm, bk, &mut rng);
+
+            let mut reference = Matrix::zeros(m, n);
+            naive(ta, tb, &a, &b, &mut reference, k);
+            let naive_sec = time_best(reps, || {
+                let mut out = Matrix::zeros(m, n);
+                naive(ta, tb, &a, &b, &mut out, k);
+            });
+
+            for &threads in thread_counts {
+                set_gemm_threads(threads);
+                let mut out = Matrix::zeros(m, n);
+                gemm_into(ta, tb, &a, &b, &mut out, false);
+                for (idx, (g, w)) in out.as_slice().iter().zip(reference.as_slice()).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "{name} {m}x{k}x{n} threads={threads}: element {idx} drifted"
+                    );
+                }
+                let blocked_sec = time_best(reps, || {
+                    let mut out = Matrix::zeros(m, n);
+                    gemm_into(ta, tb, &a, &b, &mut out, false);
+                });
+                rows.push(GemmRow {
+                    variant: name,
+                    m,
+                    k,
+                    n,
+                    threads,
+                    naive_sec,
+                    blocked_sec,
+                    gflops: 2.0 * (m * k * n) as f64 / blocked_sec / 1e9,
+                    speedup: naive_sec / blocked_sec,
+                });
+            }
+            eprintln!("[tensor_gemm] {name} {m}x{k}x{n} done");
+        }
+    }
+    set_gemm_threads(1);
+
+    println!("== Blocked GEMM vs naive triple loop (bit-identical outputs) ==\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.to_string(),
+                format!("{}x{}x{}", r.m, r.k, r.n),
+                r.threads.to_string(),
+                format!("{:.2}ms", r.naive_sec * 1e3),
+                format!("{:.2}ms", r.blocked_sec * 1e3),
+                format!("{:.2}", r.gflops),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["variant", "size", "threads", "naive", "blocked", "GFLOP/s", "speedup"],
+            &table
+        )
+    );
+
+    let mut out = String::from("{\n  \"gemm\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"variant\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"threads\": {}, \
+             \"naive_sec\": {:.6}, \"blocked_sec\": {:.6}, \"gflops\": {:.3}, \
+             \"speedup\": {:.3}}}{}\n",
+            r.variant,
+            r.m,
+            r.k,
+            r.n,
+            r.threads,
+            r.naive_sec,
+            r.blocked_sec,
+            r.gflops,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_tensor.json", &out) {
+        Ok(()) => eprintln!("[tensor_gemm] wrote BENCH_tensor.json"),
+        Err(e) => eprintln!("[tensor_gemm] could not write BENCH_tensor.json: {e}"),
+    }
+}

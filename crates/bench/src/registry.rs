@@ -185,6 +185,7 @@ fn run_baseline(kind: ModelKind, bundle: &Bundle, opts: &RunOptions) -> RunResul
         clip: 5.0,
         seed: opts.seed,
         verbose: opts.verbose,
+        n_threads: 0,
     };
     let stats = train(model.as_mut(), &mut ps, &bundle.train, &tc);
     let test = evaluate(model.as_ref(), &ps, &bundle.test, 64);
@@ -242,6 +243,7 @@ fn run_cohortnet_variant(kind: ModelKind, bundle: &Bundle, opts: &RunOptions) ->
                 clip: 5.0,
                 seed: opts.seed,
                 verbose: opts.verbose,
+                n_threads: 0,
             };
             let stats = train(&mut model, &mut ps, &bundle.train, &tc);
             let test = evaluate(&model, &ps, &bundle.test, 64);

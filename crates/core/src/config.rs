@@ -79,9 +79,11 @@ pub struct CohortNetConfig {
     /// keeps the paper's fixed top-N rule.
     pub mask_threshold: Option<f32>,
     /// Worker threads for the discovery pipeline (state fitting, inference
-    /// passes, pattern mining, K-Means assignment). `0` selects the machine's
+    /// passes, pattern mining, K-Means assignment) AND for training (Steps 1
+    /// and 4 shard each minibatch across threads). `0` selects the machine's
     /// available parallelism; `1` reproduces fully sequential execution.
-    /// Results are bit-identical for every value — see `cohortnet-parallel`.
+    /// Results — including the training loss trajectory — are bit-identical
+    /// for every value; see `cohortnet-parallel` and the trainer docs.
     pub n_threads: usize,
 }
 

@@ -141,6 +141,14 @@ pub fn discover_with_algo(
     let n_patients = prep.patients.len();
     let indices: Vec<usize> = (0..n_patients).collect();
     let infer_batch = cfg.batch_size.max(16);
+    // Granularity: several inference batches per parallel task, so task
+    // spawn/scheduling overhead amortises (the PR-1 per-batch tasks were so
+    // fine that dispatch cost outweighed the work and the threads sweep
+    // regressed). Each task still loops over `infer_batch`-sized sub-chunks
+    // and returns one harvest per sub-chunk, so forward values and the
+    // driver's fold order are exactly those of the fine-grained loop — the
+    // coarsening is invisible to the determinism contract.
+    let task_rows = infer_batch * 4;
     let threads = cfg.n_threads;
     let mut timing = DiscoveryTiming::default();
 
@@ -153,28 +161,33 @@ pub fn discover_with_algo(
     let mut sampler = StateSampler::new(nf, cfg.d_fused, cfg.state_fit_samples);
     let mut attn_sum = Matrix::zeros(nf, nf);
     let mut attn_count = 0usize;
-    let harvests = cohortnet_parallel::par_chunks(threads, &indices, infer_batch, |_, chunk| {
-        let batch = make_batch(prep, chunk);
+    let harvests = cohortnet_parallel::par_chunks(threads, &indices, task_rows, |_, task| {
         let mut tape = Tape::new();
-        let trace = mflm.forward(&mut tape, ps, &batch, false);
-        let mut offers = Vec::new();
-        for o_step in &trace.o {
-            for (f, &o) in o_step.iter().enumerate() {
-                let values = tape.value(o);
-                for r in 0..batch.size {
-                    if batch.mask[(r, f)] > 0.5 {
-                        offers.push((f, values.row(r).to_vec()));
+        task.chunks(infer_batch)
+            .map(|chunk| {
+                let batch = make_batch(prep, chunk);
+                tape.reset();
+                let trace = mflm.forward(&mut tape, ps, &batch, false);
+                let mut offers = Vec::new();
+                for o_step in &trace.o {
+                    for (f, &o) in o_step.iter().enumerate() {
+                        let values = tape.value(o);
+                        for r in 0..batch.size {
+                            if batch.mask[(r, f)] > 0.5 {
+                                offers.push((f, values.row(r).to_vec()));
+                            }
+                        }
                     }
                 }
-            }
-        }
-        CollectHarvest {
-            attn_sum: trace.attn_sum.clone(),
-            attn_count: trace.attn_count,
-            offers,
-        }
+                CollectHarvest {
+                    attn_sum: trace.attn_sum.clone(),
+                    attn_count: trace.attn_count,
+                    offers,
+                }
+            })
+            .collect::<Vec<_>>()
     });
-    for harvest in &harvests {
+    for harvest in harvests.iter().flatten() {
         attn_sum.add_assign(&harvest.attn_sum);
         attn_count += harvest.attn_count;
         for (f, o) in &harvest.offers {
@@ -206,27 +219,33 @@ pub fn discover_with_algo(
     let mut state_tensor = vec![0u8; n_patients * t_steps * nf];
     let mut h_final_all = Matrix::zeros(n_patients, nf * cfg.d_hidden);
     let states_ref = &states;
-    let harvests = cohortnet_parallel::par_chunks(threads, &indices, infer_batch, |_, chunk| {
-        let batch = make_batch(prep, chunk);
+    let harvests = cohortnet_parallel::par_chunks(threads, &indices, task_rows, |_, task| {
         let mut tape = Tape::new();
-        let trace = mflm.forward(&mut tape, ps, &batch, false);
-        let bs = batch_states(&tape, &trace, &batch, states_ref);
-        let rows = chunk
-            .iter()
-            .enumerate()
-            .map(|(r, &p)| {
-                let grid = bs[r * t_steps * nf..(r + 1) * t_steps * nf].to_vec();
-                let mut h_row = vec![0.0f32; nf * cfg.d_hidden];
-                for (f, &h) in trace.h_final.iter().enumerate() {
-                    let hv = tape.value(h);
-                    h_row[f * cfg.d_hidden..(f + 1) * cfg.d_hidden].copy_from_slice(hv.row(r));
-                }
-                (p, grid, h_row)
+        task.chunks(infer_batch)
+            .map(|chunk| {
+                let batch = make_batch(prep, chunk);
+                tape.reset();
+                let trace = mflm.forward(&mut tape, ps, &batch, false);
+                let bs = batch_states(&tape, &trace, &batch, states_ref);
+                let rows = chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &p)| {
+                        let grid = bs[r * t_steps * nf..(r + 1) * t_steps * nf].to_vec();
+                        let mut h_row = vec![0.0f32; nf * cfg.d_hidden];
+                        for (f, &h) in trace.h_final.iter().enumerate() {
+                            let hv = tape.value(h);
+                            h_row[f * cfg.d_hidden..(f + 1) * cfg.d_hidden]
+                                .copy_from_slice(hv.row(r));
+                        }
+                        (p, grid, h_row)
+                    })
+                    .collect();
+                AssignHarvest { rows }
             })
-            .collect();
-        AssignHarvest { rows }
+            .collect::<Vec<_>>()
     });
-    for harvest in &harvests {
+    for harvest in harvests.iter().flatten() {
         for (p, grid, h_row) in &harvest.rows {
             state_tensor[p * t_steps * nf..(p + 1) * t_steps * nf].copy_from_slice(grid);
             h_final_all.row_mut(*p).copy_from_slice(h_row);

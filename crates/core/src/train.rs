@@ -65,6 +65,7 @@ pub fn train_cohortnet(prep: &Prepared, cfg: &CohortNetConfig) -> TrainedCohortN
         clip: 5.0,
         seed: cfg.seed,
         verbose: cfg.verbose,
+        n_threads: cfg.n_threads,
     };
     let step1 = train(&mut model, &mut ps, prep, &tc1);
 
@@ -112,6 +113,7 @@ pub fn train_without_cohorts(prep: &Prepared, cfg: &CohortNetConfig) -> TrainedC
         clip: 5.0,
         seed: cfg.seed,
         verbose: cfg.verbose,
+        n_threads: cfg.n_threads,
     };
     let step1 = train(&mut model, &mut ps, prep, &tc);
     TrainedCohortNet {

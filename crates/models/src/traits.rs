@@ -10,7 +10,11 @@ use rand::rngs::StdRng;
 /// and return the logits node (`batch x n_labels`). Parameters live in an
 /// external [`ParamStore`] created alongside the model so the shared trainer
 /// in [`crate::trainer`] can optimise any model uniformly.
-pub trait SequenceModel {
+///
+/// `Sync` is a supertrait because the trainer's data-parallel path shares
+/// `&self` across minibatch-shard workers; models are plain parameter-handle
+/// structs, so this costs implementations nothing.
+pub trait SequenceModel: Sync {
     /// Display name used in experiment tables (matches the paper's labels).
     fn name(&self) -> &'static str;
 

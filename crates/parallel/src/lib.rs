@@ -26,13 +26,20 @@ pub fn available_threads() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
-/// Resolves an `n_threads` knob: `0` means auto, anything else is taken
-/// literally (capped at `tasks` — spawning more workers than tasks is waste).
+/// Resolves an `n_threads` knob: `0` means auto, anything else is taken as a
+/// request — capped at `tasks` (spawning more workers than tasks is waste)
+/// and at the machine's available parallelism (oversubscribing a core adds
+/// context switches and cache pressure without adding compute; on a 1-core
+/// host an 8-thread request would otherwise run *slower* than sequential).
+///
+/// Results never depend on the resolved count — every primitive here is
+/// bit-identical for any thread count — so the cap is purely a performance
+/// guard.
 pub fn resolve_threads(n_threads: usize, tasks: usize) -> usize {
     let n = if n_threads == 0 {
         available_threads()
     } else {
-        n_threads
+        n_threads.min(available_threads())
     };
     n.clamp(1, tasks.max(1))
 }
@@ -127,6 +134,99 @@ where
     par_map(n_threads, &idx, |_, &i| f(i))
 }
 
+/// Shared view of a mutable task array where every index is visited exactly
+/// once. Soundness rests on the dynamic scheduler in [`par_map_mut`]: the
+/// atomic counter hands each index to exactly one worker, so no two threads
+/// ever hold a reference to the same slot.
+struct SlotPtr<T>(*mut T);
+unsafe impl<T: Send> Sync for SlotPtr<T> {}
+
+/// Like [`par_map`] but gives each task **exclusive mutable access** to its
+/// slot: `out[i] = f(i, &mut items[i])`. This is what lets workers carry
+/// reusable per-slot state (tape arenas, gradient buffers) across calls
+/// without locks; determinism follows from the same index-ordered contract
+/// as [`par_map`].
+pub fn par_map_mut<T, R, F>(n_threads: usize, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = resolve_threads(n_threads, n);
+    if threads <= 1 || n <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let base = SlotPtr(items.as_mut_ptr());
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        let base = &base;
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| {
+                let mut produced: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // SAFETY: `i` comes from a fetch_add, so each index is
+                    // claimed by exactly one worker; `items` outlives the
+                    // scope and `i < n` is checked above.
+                    let slot = unsafe { &mut *base.0.add(i) };
+                    produced.push((i, f(i, slot)));
+                }
+                produced
+            }));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("parallel worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every task produced a result"))
+        .collect()
+}
+
+/// Mutable counterpart of [`par_chunks`]: `f` gets exclusive access to each
+/// fixed-size chunk of `items`. Chunk decomposition depends only on
+/// `chunk_size`, so disjoint output regions (e.g. GEMM row blocks) can be
+/// filled in parallel with a result independent of the thread count.
+pub fn par_chunks_mut<T, R, F>(n_threads: usize, items: &mut [T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let mut chunks: Vec<&mut [T]> = items.chunks_mut(chunk_size).collect();
+    par_map_mut(n_threads, &mut chunks, |i, chunk| f(i, chunk))
+}
+
+/// Folds `items` with a **fixed-order binary tree** reduction: pairs
+/// `(0,1), (2,3), …` merge first, then pairs of pairs, and so on. The merge
+/// order is a function of `items.len()` alone — never of thread count or
+/// schedule — so floating-point reductions through this function are
+/// bit-identical however the inputs were produced. An odd tail is carried
+/// to the next round unmerged.
+pub fn tree_fold<T>(mut items: Vec<T>, mut merge: impl FnMut(&mut T, T)) -> Option<T> {
+    while items.len() > 1 {
+        let mut round = Vec::with_capacity(items.len().div_ceil(2));
+        let mut it = items.into_iter();
+        while let Some(mut left) = it.next() {
+            if let Some(right) = it.next() {
+                merge(&mut left, right);
+            }
+            round.push(left);
+        }
+        items = round;
+    }
+    items.pop()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,9 +289,59 @@ mod tests {
     #[test]
     fn resolve_threads_semantics() {
         assert_eq!(resolve_threads(1, 100), 1);
-        assert_eq!(resolve_threads(8, 3), 3, "capped at task count");
+        assert_eq!(
+            resolve_threads(8, 3),
+            3.min(available_threads()),
+            "capped at task count and hardware"
+        );
         assert_eq!(resolve_threads(5, 0), 1, "at least one thread");
         assert!(resolve_threads(0, 100) >= 1, "auto resolves to >= 1");
+        assert!(
+            resolve_threads(1_000_000, 1_000_000) <= available_threads(),
+            "requests beyond the hardware are capped, not oversubscribed"
+        );
+    }
+
+    #[test]
+    fn par_map_mut_gives_exclusive_slots() {
+        let mut slots: Vec<Vec<u64>> = (0..97).map(|i| vec![i]).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = par_map_mut(threads, &mut slots, |i, s| {
+                s.push(i as u64 * 2);
+                s.iter().sum::<u64>()
+            });
+            assert_eq!(out.len(), 97);
+            for (i, &v) in out.iter().enumerate() {
+                assert!(v >= i as u64 * 3, "slot {i} mutated by its own task");
+            }
+        }
+        // Each of the 4 calls above appended once: 1 original + 4 pushes.
+        assert!(slots.iter().all(|s| s.len() == 5));
+    }
+
+    #[test]
+    fn par_chunks_mut_fills_disjoint_regions() {
+        let mut data = vec![0u32; 1000];
+        for threads in [1, 3, 8] {
+            data.iter_mut().for_each(|x| *x = 0);
+            par_chunks_mut(threads, &mut data, 64, |ci, chunk| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = (ci * 64 + j) as u32;
+                }
+            });
+            assert!(data.iter().enumerate().all(|(i, &x)| x == i as u32));
+        }
+    }
+
+    #[test]
+    fn tree_fold_is_fixed_order() {
+        // ((a+b)+(c+d))+e for 5 items — verify against the explicit tree.
+        let items: Vec<f32> = vec![1e-8, 1.0, -1.0, 1e-8, 3.0];
+        let got = tree_fold(items.clone(), |a, b| *a += b).unwrap();
+        let expected = (((items[0] + items[1]) + (items[2] + items[3])) + items[4]) as f32;
+        assert_eq!(got.to_bits(), expected.to_bits());
+        assert_eq!(tree_fold(Vec::<u8>::new(), |_, _| {}), None);
+        assert_eq!(tree_fold(vec![42], |_, _| {}), Some(42));
     }
 
     #[test]
@@ -202,14 +352,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "parallel worker panicked")]
     fn worker_panics_propagate() {
-        let items: Vec<usize> = (0..64).collect();
-        par_map(4, &items, |_, &x| {
-            if x == 33 {
-                panic!("boom");
-            }
-            x
-        });
+        // Whether the hardware resolves to the sequential path (1 core) or
+        // real workers, a panicking task must abort the whole call.
+        for threads in [1, 4] {
+            let result = std::panic::catch_unwind(|| {
+                let items: Vec<usize> = (0..64).collect();
+                par_map(threads, &items, |_, &x| {
+                    if x == 33 {
+                        panic!("boom");
+                    }
+                    x
+                })
+            });
+            assert!(result.is_err(), "panic swallowed at {threads} threads");
+        }
     }
 }

@@ -183,6 +183,68 @@ mod tests {
     }
 
     #[test]
+    fn gradcheck_fused_gate_kernels() {
+        // The fused GateAct (σ and tanh) and GruBlend ops, exercised directly
+        // with every operand on the parameter path so all three gradients
+        // (both summands and the bias) are checked.
+        let mut ps = ParamStore::new();
+        let a = ps.register(
+            "a",
+            Matrix::from_vec(2, 3, vec![0.3, -0.2, 0.5, 0.1, 0.7, -0.4]),
+        );
+        let b = ps.register(
+            "b",
+            Matrix::from_vec(2, 3, vec![-0.1, 0.4, 0.2, -0.6, 0.3, 0.8]),
+        );
+        let bias = ps.register("bias", Matrix::from_vec(1, 3, vec![0.05, -0.3, 0.2]));
+        let h = ps.register(
+            "h",
+            Matrix::from_vec(2, 3, vec![0.6, -0.5, 0.1, 0.2, -0.8, 0.4]),
+        );
+        let err = max_grad_error(&mut ps, 1e-2, |t, ps| {
+            let av = t.param(ps, a);
+            let bv = t.param(ps, b);
+            let biasv = t.param(ps, bias);
+            let hv = t.param(ps, h);
+            let z = t.gate_sigmoid(av, bv, biasv);
+            let cand = t.gate_tanh(bv, av, biasv);
+            let blended = t.gru_blend(z, hv, cand);
+            t.mean_all(blended)
+        });
+        assert!(err < TOL, "max grad err {err}");
+    }
+
+    #[test]
+    fn fused_gate_matches_unfused_chain() {
+        // Same inputs through the fused node and the three-op chain it
+        // replaces: values and input gradients must agree.
+        let run = |fused: bool| -> (Matrix, Matrix) {
+            let mut t = Tape::new();
+            let a = constant(&mut t, 2, 2, &[0.4, -1.2, 0.9, 0.3]);
+            let b = constant(&mut t, 2, 2, &[-0.7, 0.5, 0.2, -0.1]);
+            let bias = constant(&mut t, 1, 2, &[0.3, -0.6]);
+            let y = if fused {
+                t.gate_sigmoid(a, b, bias)
+            } else {
+                let s = t.add(a, b);
+                let s = t.add_row_broadcast(s, bias);
+                t.sigmoid(s)
+            };
+            let l = t.mean_all(y);
+            t.backward(l);
+            (t.value(y).clone(), t.grad(a).unwrap().clone())
+        };
+        let (vf, gf) = run(true);
+        let (vu, gu) = run(false);
+        for (x, y) in vf.as_slice().iter().zip(vu.as_slice()) {
+            assert!((x - y).abs() < 1e-6, "fused value diverged: {x} vs {y}");
+        }
+        for (x, y) in gf.as_slice().iter().zip(gu.as_slice()) {
+            assert!((x - y).abs() < 1e-6, "fused grad diverged: {x} vs {y}");
+        }
+    }
+
+    #[test]
     fn gradcheck_transpose_matmul() {
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(41);

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod gemm;
 pub mod gradcheck;
 pub mod init;
 pub mod matrix;
@@ -51,5 +52,5 @@ pub mod param;
 pub mod tape;
 
 pub use matrix::Matrix;
-pub use param::{ParamId, ParamStore};
+pub use param::{GradBuffer, ParamId, ParamStore};
 pub use tape::{Tape, Var};

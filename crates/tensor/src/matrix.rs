@@ -5,9 +5,9 @@
 //! clustering crate consumes flat slices produced here, and the EHR crate
 //! emits batches as matrices.
 //!
-//! The implementation favours clarity and cache-friendly inner loops over
-//! micro-optimisation; `matmul` uses the classic i-k-j ordering so the
-//! innermost loop streams both operands sequentially.
+//! Elementwise ops favour clarity and cache-friendly inner loops; all matrix
+//! products (`matmul`, `matmul_acc`, and the transpose-fused `matmul_tn` /
+//! `matmul_nt` family) share the blocked kernel in [`crate::gemm`].
 
 use std::fmt;
 
@@ -160,52 +160,44 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
+    /// All matrix products route through the blocked kernel in
+    /// [`crate::gemm`]; see its module docs for the determinism contract.
+    ///
     /// # Panics
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, rhs.rows,
-            "matmul shape mismatch: {}x{} * {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * b;
-                }
-            }
-        }
+        crate::gemm::gemm_into(false, false, self, rhs, &mut out, false);
         out
     }
 
     /// Like [`Matrix::matmul`] but accumulates into `out` (`out += self * rhs`).
     pub fn matmul_acc(&self, rhs: &Matrix, out: &mut Matrix) {
-        assert_eq!(self.cols, rhs.rows, "matmul_acc inner dim mismatch");
-        assert_eq!(
-            out.shape(),
-            (self.rows, rhs.cols),
-            "matmul_acc output shape"
-        );
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * b;
-                }
-            }
-        }
+        crate::gemm::gemm_into(false, false, self, rhs, out, true);
+    }
+
+    /// `selfᵀ * rhs` without materialising the transpose.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        crate::gemm::gemm_into(true, false, self, rhs, &mut out, false);
+        out
+    }
+
+    /// `out += selfᵀ * rhs` without materialising the transpose.
+    pub fn matmul_tn_acc(&self, rhs: &Matrix, out: &mut Matrix) {
+        crate::gemm::gemm_into(true, false, self, rhs, out, true);
+    }
+
+    /// `self * rhsᵀ` without materialising the transpose.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        crate::gemm::gemm_into(false, true, self, rhs, &mut out, false);
+        out
+    }
+
+    /// `out += self * rhsᵀ` without materialising the transpose.
+    pub fn matmul_nt_acc(&self, rhs: &Matrix, out: &mut Matrix) {
+        crate::gemm::gemm_into(false, true, self, rhs, out, true);
     }
 
     /// Transposed copy.

@@ -240,29 +240,30 @@ impl GruCell {
     }
 
     /// One recurrent step: `(x: batch x in_dim, h: batch x hidden) -> h'`.
+    ///
+    /// Each gate is one fused node (`σ/tanh(xW + hU + b)`) and the state
+    /// update is the fused blend `(1-z)⊙h + z⊙h̃`.
     pub fn step(&self, t: &mut Tape, ps: &ParamStore, x: Var, h: Var) -> Var {
-        let gate = |t: &mut Tape, w: ParamId, u: ParamId, b: ParamId, hh: Var| {
+        let pre = |t: &mut Tape, w: ParamId, u: ParamId, hh: Var| {
             let wv = t.param(ps, w);
             let uv = t.param(ps, u);
-            let bv = t.param(ps, b);
             let xw = t.matmul(x, wv);
             let hu = t.matmul(hh, uv);
-            let s = t.add(xw, hu);
-            t.add_row_broadcast(s, bv)
+            (xw, hu)
         };
-        let z_pre = gate(t, self.wz, self.uz, self.bz, h);
-        let z = t.sigmoid(z_pre);
-        let r_pre = gate(t, self.wr, self.ur, self.br, h);
-        let r = t.sigmoid(r_pre);
+        let (zxw, zhu) = pre(t, self.wz, self.uz, h);
+        let bz = t.param(ps, self.bz);
+        let z = t.gate_sigmoid(zxw, zhu, bz);
+        let (rxw, rhu) = pre(t, self.wr, self.ur, h);
+        let br = t.param(ps, self.br);
+        let r = t.gate_sigmoid(rxw, rhu, br);
         let rh = t.mul(r, h);
-        let cand_pre = gate(t, self.wh, self.uh, self.bh, rh);
-        // Note: the candidate path must not add `h Uh` twice — `gate` already
-        // used `rh` as the recurrent input.
-        let cand = t.tanh(cand_pre);
-        let zi = t.one_minus(z);
-        let keep = t.mul(zi, h);
-        let update = t.mul(z, cand);
-        t.add(keep, update)
+        // Note: the candidate path must not add `h Uh` twice — the recurrent
+        // matmul below already uses `rh` as its input.
+        let (cxw, chu) = pre(t, self.wh, self.uh, rh);
+        let bh = t.param(ps, self.bh);
+        let cand = t.gate_tanh(cxw, chu, bh);
+        t.gru_blend(z, h, cand)
     }
 
     /// Unrolls the cell over a sequence of inputs, returning all hidden
@@ -371,25 +372,28 @@ impl LstmCell {
         }
     }
 
-    /// One recurrent step.
+    /// One recurrent step. Every gate is one fused
+    /// `σ/tanh(xW + hU + b)` node.
     pub fn step(&self, t: &mut Tape, ps: &ParamStore, x: Var, state: LstmState) -> LstmState {
-        let gate = |t: &mut Tape, w: ParamId, u: ParamId, b: ParamId| {
+        let pre = |t: &mut Tape, w: ParamId, u: ParamId| {
             let wv = t.param(ps, w);
             let uv = t.param(ps, u);
-            let bv = t.param(ps, b);
             let xw = t.matmul(x, wv);
             let hu = t.matmul(state.h, uv);
-            let s = t.add(xw, hu);
-            t.add_row_broadcast(s, bv)
+            (xw, hu)
         };
-        let i_pre = gate(t, self.wi, self.ui, self.bi);
-        let i = t.sigmoid(i_pre);
-        let f_pre = gate(t, self.wf, self.uf, self.bf);
-        let f = t.sigmoid(f_pre);
-        let o_pre = gate(t, self.wo, self.uo, self.bo);
-        let o = t.sigmoid(o_pre);
-        let g_pre = gate(t, self.wc, self.uc, self.bc);
-        let g = t.tanh(g_pre);
+        let (ixw, ihu) = pre(t, self.wi, self.ui);
+        let bi = t.param(ps, self.bi);
+        let i = t.gate_sigmoid(ixw, ihu, bi);
+        let (fxw, fhu) = pre(t, self.wf, self.uf);
+        let bf = t.param(ps, self.bf);
+        let f = t.gate_sigmoid(fxw, fhu, bf);
+        let (oxw, ohu) = pre(t, self.wo, self.uo);
+        let bo = t.param(ps, self.bo);
+        let o = t.gate_sigmoid(oxw, ohu, bo);
+        let (gxw, ghu) = pre(t, self.wc, self.uc);
+        let bc = t.param(ps, self.bc);
+        let g = t.gate_tanh(gxw, ghu, bc);
         let fc = t.mul(f, state.c);
         let ig = t.mul(i, g);
         let c = t.add(fc, ig);

@@ -122,6 +122,60 @@ impl ParamStore {
     }
 }
 
+/// A detached gradient accumulator shaped like a [`ParamStore`].
+///
+/// Data-parallel training gives each minibatch shard its own `GradBuffer`:
+/// every shard flushes its tape into its private buffer, the buffers are
+/// merged with a fixed-order tree reduction, and the result is flushed into
+/// the shared store once — so the accumulated gradient is bit-identical for
+/// any thread count.
+#[derive(Debug, Clone)]
+pub struct GradBuffer {
+    grads: Vec<Matrix>,
+}
+
+impl GradBuffer {
+    /// Creates a zeroed buffer matching the store's parameter shapes.
+    pub fn for_store(store: &ParamStore) -> Self {
+        GradBuffer {
+            grads: store
+                .entries
+                .iter()
+                .map(|e| Matrix::zeros(e.value.rows(), e.value.cols()))
+                .collect(),
+        }
+    }
+
+    /// Clears all gradients, keeping allocations.
+    pub fn zero(&mut self) {
+        for g in &mut self.grads {
+            g.fill_zero();
+        }
+    }
+
+    /// Adds `g` into the buffered gradient of `id`.
+    pub fn accumulate(&mut self, id: ParamId, g: &Matrix) {
+        self.grads[id.0].add_assign(g);
+    }
+
+    /// Element-wise adds another buffer into this one (the tree-reduction
+    /// merge step).
+    pub fn merge_from(&mut self, other: &GradBuffer) {
+        assert_eq!(self.grads.len(), other.grads.len(), "grad buffer mismatch");
+        for (a, b) in self.grads.iter_mut().zip(&other.grads) {
+            a.add_assign(b);
+        }
+    }
+
+    /// Accumulates the buffered gradients into the store.
+    pub fn flush_into(&self, store: &mut ParamStore) {
+        assert_eq!(self.grads.len(), store.entries.len(), "store mismatch");
+        for (i, g) in self.grads.iter().enumerate() {
+            store.entries[i].grad.add_assign(g);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,9 +9,27 @@
 //! The op set is deliberately small — just what recurrent/attention models
 //! over EHR data need — and every op's backward rule is validated against
 //! finite differences in `crate::gradcheck` tests.
+//!
+//! ## Buffer arena
+//!
+//! A tape owns a free-list of `f32` buffers recycled across training steps:
+//! call [`Tape::reset`] instead of constructing a fresh tape each minibatch
+//! and every node value/gradient allocated by the previous step is reused.
+//! One epoch then settles into a steady state with essentially zero allocator
+//! traffic from the tape — the dominant cost of the small per-feature models
+//! this workspace trains (thousands of tiny nodes per batch).
 
 use crate::matrix::Matrix;
 use crate::param::{ParamId, ParamStore};
+
+/// Which activation a fused gate applies (see [`Tape::gate_sigmoid`] /
+/// [`Tape::gate_tanh`]). Both derivatives are computable from the output
+/// value alone, which is what makes the fusion cheap in backward too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GateKind {
+    Sigmoid,
+    Tanh,
+}
 
 /// Handle to a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +67,12 @@ enum Op {
     BceWithLogits(Var, Matrix),
     /// Mean squared error against a constant target.
     Mse(Var, Matrix),
+    /// Fused gate: `act(a + b + bias)` with `bias` a `1 x c` row vector.
+    /// Collapses the add / add_row_broadcast / activation chain every
+    /// GRU/LSTM gate records into one node.
+    GateAct(Var, Var, Var, GateKind),
+    /// Fused GRU state blend: `(1-z) ⊙ h + z ⊙ cand`.
+    GruBlend(Var, Var, Var),
 }
 
 struct Node {
@@ -60,6 +84,8 @@ struct Node {
 /// A single-pass computation graph.
 pub struct Tape {
     nodes: Vec<Node>,
+    /// Recycled `f32` buffers (the arena free-list); see the module docs.
+    pool: Vec<Vec<f32>>,
 }
 
 impl Default for Tape {
@@ -73,7 +99,45 @@ impl Tape {
     pub fn new() -> Self {
         Tape {
             nodes: Vec::with_capacity(1024),
+            pool: Vec::new(),
         }
+    }
+
+    /// Clears the graph for the next forward pass, recycling every node's
+    /// value and gradient buffer into the arena. Reusing one tape via
+    /// `reset` across minibatches is the allocation-free fast path; a fresh
+    /// [`Tape::new`] per step stays correct but re-allocates every buffer.
+    pub fn reset(&mut self) {
+        let mut nodes = std::mem::take(&mut self.nodes);
+        for node in nodes.drain(..) {
+            self.reclaim(node.value);
+            if let Some(g) = node.grad {
+                self.reclaim(g);
+            }
+        }
+        self.nodes = nodes;
+    }
+
+    /// Returns a value buffer to the arena.
+    fn reclaim(&mut self, m: Matrix) {
+        let buf = m.into_vec();
+        if buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Pops a recycled buffer (emptied, capacity retained) or a fresh one.
+    fn grab(&mut self) -> Vec<f32> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// An all-zero `rows x cols` matrix backed by the arena.
+    fn alloc_zero(&mut self, rows: usize, cols: usize) -> Matrix {
+        let mut buf = self.grab();
+        buf.resize(rows * cols, 0.0);
+        Matrix::from_vec(rows, cols, buf)
     }
 
     /// Number of nodes recorded so far.
@@ -115,74 +179,119 @@ impl Tape {
 
     /// Records a parameter leaf by copying its current value from the store.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        self.push(store.value(id).clone(), Op::Param(id))
+        let mut buf = self.grab();
+        let src = store.value(id);
+        buf.extend_from_slice(src.as_slice());
+        let v = Matrix::from_vec(src.rows(), src.cols(), buf);
+        self.push(v, Op::Param(id))
     }
 
     // ------------------------------------------------------------------ ops
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
-        self.push(v, Op::MatMul(a, b))
+        let (m, n) = (self.nodes[a.0].value.rows(), self.nodes[b.0].value.cols());
+        let mut out = self.alloc_zero(m, n);
+        crate::gemm::gemm_into(
+            false,
+            false,
+            &self.nodes[a.0].value,
+            &self.nodes[b.0].value,
+            &mut out,
+            true,
+        );
+        self.push(out, Op::MatMul(a, b))
     }
 
     /// Element-wise sum of equally shaped nodes.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        let mut buf = self.grab();
+        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(am.shape(), bm.shape(), "add shape mismatch");
+        buf.extend(
+            am.as_slice()
+                .iter()
+                .zip(bm.as_slice())
+                .map(|(&x, &y)| x + y),
+        );
+        let v = Matrix::from_vec(am.rows(), am.cols(), buf);
         self.push(v, Op::Add(a, b))
     }
 
     /// `(r x c) + (1 x c)`: adds a row vector (bias) to every row.
     pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        let mut buf = self.grab();
         let (am, bm) = (&self.nodes[a.0].value, &self.nodes[bias.0].value);
         assert_eq!(bm.rows(), 1, "bias must be a row vector");
         assert_eq!(am.cols(), bm.cols(), "bias width mismatch");
-        let mut out = am.clone();
-        for r in 0..out.rows() {
-            for c in 0..out.cols() {
-                out[(r, c)] += bm[(0, c)];
-            }
+        let bias_row = bm.row(0);
+        for r in 0..am.rows() {
+            buf.extend(am.row(r).iter().zip(bias_row).map(|(&x, &b)| x + b));
         }
-        self.push(out, Op::AddRowBroadcast(a, bias))
+        let v = Matrix::from_vec(am.rows(), am.cols(), buf);
+        self.push(v, Op::AddRowBroadcast(a, bias))
     }
 
     /// Element-wise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
+        let mut buf = self.grab();
+        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(am.shape(), bm.shape(), "sub shape mismatch");
+        buf.extend(
+            am.as_slice()
+                .iter()
+                .zip(bm.as_slice())
+                .map(|(&x, &y)| x - y),
+        );
+        let v = Matrix::from_vec(am.rows(), am.cols(), buf);
         self.push(v, Op::Sub(a, b))
     }
 
     /// Element-wise (Hadamard) product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.mul(&self.nodes[b.0].value);
+        let mut buf = self.grab();
+        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(am.shape(), bm.shape(), "mul shape mismatch");
+        buf.extend(
+            am.as_slice()
+                .iter()
+                .zip(bm.as_slice())
+                .map(|(&x, &y)| x * y),
+        );
+        let v = Matrix::from_vec(am.rows(), am.cols(), buf);
         self.push(v, Op::Mul(a, b))
     }
 
     /// `(r x c) * (r x 1)`: scales each row of `a` by the matching entry of
     /// the column vector `w` (e.g. per-sample attention weights).
     pub fn mul_col_broadcast(&mut self, a: Var, w: Var) -> Var {
+        let mut buf = self.grab();
         let (am, wm) = (&self.nodes[a.0].value, &self.nodes[w.0].value);
         assert_eq!(wm.cols(), 1, "weight must be a column vector");
         assert_eq!(am.rows(), wm.rows(), "weight height mismatch");
-        let mut out = am.clone();
-        for r in 0..out.rows() {
+        for r in 0..am.rows() {
             let s = wm[(r, 0)];
-            for c in 0..out.cols() {
-                out[(r, c)] *= s;
-            }
+            buf.extend(am.row(r).iter().map(|&x| x * s));
         }
-        self.push(out, Op::MulColBroadcast(a, w))
+        let v = Matrix::from_vec(am.rows(), am.cols(), buf);
+        self.push(v, Op::MulColBroadcast(a, w))
     }
 
     /// Multiplication by a compile-time scalar.
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
-        let v = self.nodes[a.0].value.scale(s);
+        let mut buf = self.grab();
+        let am = &self.nodes[a.0].value;
+        buf.extend(am.as_slice().iter().map(|&x| x * s));
+        let v = Matrix::from_vec(am.rows(), am.cols(), buf);
         self.push(v, Op::Scale(a, s))
     }
 
     /// Addition of a compile-time scalar.
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x + s);
+        let mut buf = self.grab();
+        let am = &self.nodes[a.0].value;
+        buf.extend(am.as_slice().iter().map(|&x| x + s));
+        let v = Matrix::from_vec(am.rows(), am.cols(), buf);
         self.push(v, Op::AddScalar(a))
     }
 
@@ -200,20 +309,94 @@ impl Tape {
 
     /// Element-wise logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let mut buf = self.grab();
+        let am = &self.nodes[a.0].value;
+        buf.extend(am.as_slice().iter().map(|&x| 1.0 / (1.0 + (-x).exp())));
+        let v = Matrix::from_vec(am.rows(), am.cols(), buf);
         self.push(v, Op::Sigmoid(a))
     }
 
     /// Element-wise hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(f32::tanh);
+        let mut buf = self.grab();
+        let am = &self.nodes[a.0].value;
+        buf.extend(am.as_slice().iter().map(|&x| x.tanh()));
+        let v = Matrix::from_vec(am.rows(), am.cols(), buf);
         self.push(v, Op::Tanh(a))
     }
 
     /// Element-wise rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let mut buf = self.grab();
+        let am = &self.nodes[a.0].value;
+        buf.extend(am.as_slice().iter().map(|&x| x.max(0.0)));
+        let v = Matrix::from_vec(am.rows(), am.cols(), buf);
         self.push(v, Op::Relu(a))
+    }
+
+    /// Fused sigmoid gate: `σ(a + b + bias)` in one node.
+    ///
+    /// Semantically identical to `sigmoid(add_row_broadcast(add(a, b), bias))`
+    /// but records one node instead of three — the shape every GRU/LSTM gate
+    /// takes (`x·W + h·U + b`).
+    pub fn gate_sigmoid(&mut self, a: Var, b: Var, bias: Var) -> Var {
+        self.gate_act(a, b, bias, GateKind::Sigmoid)
+    }
+
+    /// Fused tanh gate: `tanh(a + b + bias)` in one node (see
+    /// [`Tape::gate_sigmoid`]).
+    pub fn gate_tanh(&mut self, a: Var, b: Var, bias: Var) -> Var {
+        self.gate_act(a, b, bias, GateKind::Tanh)
+    }
+
+    fn gate_act(&mut self, a: Var, b: Var, bias: Var, kind: GateKind) -> Var {
+        let mut buf = self.grab();
+        let (am, bm, biasm) = (
+            &self.nodes[a.0].value,
+            &self.nodes[b.0].value,
+            &self.nodes[bias.0].value,
+        );
+        assert_eq!(am.shape(), bm.shape(), "gate operand shape mismatch");
+        assert_eq!(biasm.rows(), 1, "gate bias must be a row vector");
+        assert_eq!(biasm.cols(), am.cols(), "gate bias width mismatch");
+        let bias_row = biasm.row(0);
+        for r in 0..am.rows() {
+            let pre = am.row(r).iter().zip(bm.row(r)).zip(bias_row);
+            match kind {
+                GateKind::Sigmoid => {
+                    buf.extend(pre.map(|((&x, &y), &c)| 1.0 / (1.0 + (-(x + y + c)).exp())));
+                }
+                GateKind::Tanh => {
+                    buf.extend(pre.map(|((&x, &y), &c)| (x + y + c).tanh()));
+                }
+            }
+        }
+        let v = Matrix::from_vec(am.rows(), am.cols(), buf);
+        self.push(v, Op::GateAct(a, b, bias, kind))
+    }
+
+    /// Fused GRU state blend: `(1 - z) ⊙ h + z ⊙ cand` in one node.
+    ///
+    /// Replaces the `one_minus` / `mul` / `mul` / `add` five-node chain at
+    /// the end of every GRU step.
+    pub fn gru_blend(&mut self, z: Var, h: Var, cand: Var) -> Var {
+        let mut buf = self.grab();
+        let (zm, hm, cm) = (
+            &self.nodes[z.0].value,
+            &self.nodes[h.0].value,
+            &self.nodes[cand.0].value,
+        );
+        assert_eq!(zm.shape(), hm.shape(), "blend shape mismatch");
+        assert_eq!(zm.shape(), cm.shape(), "blend shape mismatch");
+        buf.extend(
+            zm.as_slice()
+                .iter()
+                .zip(hm.as_slice())
+                .zip(cm.as_slice())
+                .map(|((&zi, &hi), &ci)| (1.0 - zi) * hi + zi * ci),
+        );
+        let v = Matrix::from_vec(zm.rows(), zm.cols(), buf);
+        self.push(v, Op::GruBlend(z, h, cand))
     }
 
     /// Row-wise softmax.
@@ -291,17 +474,36 @@ impl Tape {
     fn grad_buf(&mut self, v: Var) -> &mut Matrix {
         if self.nodes[v.0].grad.is_none() {
             let (r, c) = self.nodes[v.0].value.shape();
-            self.nodes[v.0].grad = Some(Matrix::zeros(r, c));
+            let m = self.alloc_zero(r, c);
+            self.nodes[v.0].grad = Some(m);
         }
         self.nodes[v.0].grad.as_mut().unwrap()
+    }
+
+    /// Takes ownership of a node's gradient buffer (a zeroed arena buffer if
+    /// none exists yet) so backward rules can accumulate into it while still
+    /// reading other nodes' values; the caller must put it back.
+    fn take_grad(&mut self, v: Var) -> Matrix {
+        match self.nodes[v.0].grad.take() {
+            Some(g) => g,
+            None => {
+                let (r, c) = self.nodes[v.0].value.shape();
+                self.alloc_zero(r, c)
+            }
+        }
     }
 
     /// Runs reverse-mode differentiation seeded at `root` (gradient 1 for
     /// every element of `root`, which is normally a `1 x 1` loss).
     pub fn backward(&mut self, root: Var) {
         {
+            if let Some(old) = self.nodes[root.0].grad.take() {
+                self.reclaim(old);
+            }
             let (r, c) = self.nodes[root.0].value.shape();
-            self.nodes[root.0].grad = Some(Matrix::full(r, c, 1.0));
+            let mut seed = self.alloc_zero(r, c);
+            seed.as_mut_slice().fill(1.0);
+            self.nodes[root.0].grad = Some(seed);
         }
         for i in (0..=root.0).rev() {
             let Some(g) = self.nodes[i].grad.take() else {
@@ -319,13 +521,14 @@ impl Tape {
         match op {
             Op::Leaf | Op::Param(_) => {}
             Op::MatMul(a, b) => {
-                // dA = g * B^T ; dB = A^T * g
-                let bt = self.nodes[b.0].value.transpose();
-                let da = g.matmul(&bt);
-                self.grad_buf(*a).add_assign(&da);
-                let at = self.nodes[a.0].value.transpose();
-                let db = at.matmul(g);
-                self.grad_buf(*b).add_assign(&db);
+                // dA += g · Bᵀ ; dB += Aᵀ · g — transpose-fused GEMM, no
+                // transposed copies and no gradient temporaries.
+                let mut ga = self.take_grad(*a);
+                crate::gemm::gemm_into(false, true, g, &self.nodes[b.0].value, &mut ga, true);
+                self.nodes[a.0].grad = Some(ga);
+                let mut gb = self.take_grad(*b);
+                crate::gemm::gemm_into(true, false, &self.nodes[a.0].value, g, &mut gb, true);
+                self.nodes[b.0].grad = Some(gb);
             }
             Op::Add(a, b) => {
                 self.grad_buf(*a).add_assign(g);
@@ -341,10 +544,26 @@ impl Tape {
                 self.grad_buf(*b).add_scaled_assign(g, -1.0);
             }
             Op::Mul(a, b) => {
-                let da = g.mul(&self.nodes[b.0].value);
-                self.grad_buf(*a).add_assign(&da);
-                let db = g.mul(&self.nodes[a.0].value);
-                self.grad_buf(*b).add_assign(&db);
+                let mut ga = self.take_grad(*a);
+                for ((o, &gi), &bi) in ga
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(self.nodes[b.0].value.as_slice())
+                {
+                    *o += gi * bi;
+                }
+                self.nodes[a.0].grad = Some(ga);
+                let mut gb = self.take_grad(*b);
+                for ((o, &gi), &ai) in gb
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(self.nodes[a.0].value.as_slice())
+                {
+                    *o += gi * ai;
+                }
+                self.nodes[b.0].grad = Some(gb);
             }
             Op::MulColBroadcast(a, w) => {
                 let wm = self.nodes[w.0].value.clone();
@@ -373,16 +592,39 @@ impl Tape {
                 self.grad_buf(*a).add_assign(&da);
             }
             Op::Sigmoid(a) => {
-                let da = g.zip(out, |gi, yi| gi * yi * (1.0 - yi));
-                self.grad_buf(*a).add_assign(&da);
+                let buf = self.grad_buf(*a);
+                for ((o, &gi), &yi) in buf
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(out.as_slice())
+                {
+                    *o += gi * yi * (1.0 - yi);
+                }
             }
             Op::Tanh(a) => {
-                let da = g.zip(out, |gi, yi| gi * (1.0 - yi * yi));
-                self.grad_buf(*a).add_assign(&da);
+                let buf = self.grad_buf(*a);
+                for ((o, &gi), &yi) in buf
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(out.as_slice())
+                {
+                    *o += gi * (1.0 - yi * yi);
+                }
             }
             Op::Relu(a) => {
-                let da = g.zip(out, |gi, yi| if yi > 0.0 { gi } else { 0.0 });
-                self.grad_buf(*a).add_assign(&da);
+                let buf = self.grad_buf(*a);
+                for ((o, &gi), &yi) in buf
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(out.as_slice())
+                {
+                    if yi > 0.0 {
+                        *o += gi;
+                    }
+                }
             }
             Op::SoftmaxRows(a) => {
                 // dx = y * (g - <g, y>_row)
@@ -462,6 +704,81 @@ impl Tape {
                 let dp = p.zip(targets, |a, b| (a - b) * s);
                 self.grad_buf(*pred).add_assign(&dp);
             }
+            Op::GateAct(a, b, bias, kind) => {
+                // Pre-activation gradient gp = g · act'(y), with act'
+                // computed from the output value alone:
+                // σ: y(1-y); tanh: 1-y². Both summed operands receive gp,
+                // the bias receives its column sums.
+                let deriv = |gi: f32, yi: f32| match kind {
+                    GateKind::Sigmoid => gi * yi * (1.0 - yi),
+                    GateKind::Tanh => gi * (1.0 - yi * yi),
+                };
+                let mut ga = self.take_grad(*a);
+                for ((o, &gi), &yi) in ga
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(out.as_slice())
+                {
+                    *o += deriv(gi, yi);
+                }
+                self.nodes[a.0].grad = Some(ga);
+                let mut gb = self.take_grad(*b);
+                for ((o, &gi), &yi) in gb
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(out.as_slice())
+                {
+                    *o += deriv(gi, yi);
+                }
+                self.nodes[b.0].grad = Some(gb);
+                let mut gbias = self.take_grad(*bias);
+                {
+                    let row = gbias.row_mut(0);
+                    for r in 0..out.rows() {
+                        for ((o, &gi), &yi) in row.iter_mut().zip(g.row(r)).zip(out.row(r)) {
+                            *o += deriv(gi, yi);
+                        }
+                    }
+                }
+                self.nodes[bias.0].grad = Some(gbias);
+            }
+            Op::GruBlend(z, h, cand) => {
+                // y = (1-z)⊙h + z⊙cand:
+                // dz += g⊙(cand-h); dh += g⊙(1-z); dcand += g⊙z.
+                let mut gz = self.take_grad(*z);
+                for (((o, &gi), &ci), &hi) in gz
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(self.nodes[cand.0].value.as_slice())
+                    .zip(self.nodes[h.0].value.as_slice())
+                {
+                    *o += gi * (ci - hi);
+                }
+                self.nodes[z.0].grad = Some(gz);
+                let mut gh = self.take_grad(*h);
+                for ((o, &gi), &zi) in gh
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(self.nodes[z.0].value.as_slice())
+                {
+                    *o += gi * (1.0 - zi);
+                }
+                self.nodes[h.0].grad = Some(gh);
+                let mut gc = self.take_grad(*cand);
+                for ((o, &gi), &zi) in gc
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(self.nodes[z.0].value.as_slice())
+                {
+                    *o += gi * zi;
+                }
+                self.nodes[cand.0].grad = Some(gc);
+            }
         }
     }
 
@@ -473,6 +790,18 @@ impl Tape {
         for node in &self.nodes {
             if let (Op::Param(id), Some(g)) = (&node.op, &node.grad) {
                 store.accumulate_grad(*id, g);
+            }
+        }
+    }
+
+    /// Accumulates parameter-leaf gradients into a detached
+    /// [`crate::param::GradBuffer`] instead of the shared store — the
+    /// per-shard half of data-parallel training, where workers must not
+    /// touch the store concurrently.
+    pub fn flush_grads_into(&self, buf: &mut crate::param::GradBuffer) {
+        for node in &self.nodes {
+            if let (Op::Param(id), Some(g)) = (&node.op, &node.grad) {
+                buf.accumulate(*id, g);
             }
         }
     }
@@ -606,6 +935,48 @@ mod tests {
         t.backward(l);
         let g = t.grad(x).unwrap();
         assert!(g.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_recycles_buffers_and_keeps_results_identical() {
+        // Train-loop shape: one tape reused across steps via reset() must
+        // produce bit-identical values and gradients to fresh tapes.
+        let mut ps = ParamStore::new();
+        let w = ps.register("w", Matrix::from_vec(2, 2, vec![0.5, -0.3, 0.8, 0.1]));
+        let run = |t: &mut Tape, ps: &ParamStore| -> (f32, Matrix) {
+            let wv = t.param(ps, w);
+            let x = t.constant(Matrix::from_vec(2, 2, vec![1.0, 2.0, -1.0, 0.5]));
+            let y = t.matmul(x, wv);
+            let s = t.sigmoid(y);
+            let l = t.mean_all(s);
+            t.backward(l);
+            (t.value(l)[(0, 0)], t.grad(wv).unwrap().clone())
+        };
+        let mut reused = Tape::new();
+        for _ in 0..3 {
+            reused.reset();
+            let (loss_reused, grad_reused) = run(&mut reused, &ps);
+            let mut fresh = Tape::new();
+            let (loss_fresh, grad_fresh) = run(&mut fresh, &ps);
+            assert_eq!(loss_reused.to_bits(), loss_fresh.to_bits());
+            for (a, b) in grad_reused.as_slice().iter().zip(grad_fresh.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn reset_empties_the_graph() {
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::zeros(4, 4));
+        let _ = t.sigmoid(a);
+        assert_eq!(t.len(), 2);
+        t.reset();
+        assert!(t.is_empty());
+        // The tape is fully usable after reset.
+        let b = t.constant(Matrix::full(2, 2, 1.0));
+        let c = t.tanh(b);
+        assert_eq!(t.value(c).shape(), (2, 2));
     }
 
     #[test]
