@@ -1,6 +1,6 @@
 CARGO ?= cargo
 
-.PHONY: verify build test clippy fmt bench-discovery bench-smoke
+.PHONY: verify build test clippy fmt bench-discovery bench-smoke serve-smoke
 
 ## Full local verification: what CI runs, in the same order.
 verify: build test clippy fmt
@@ -9,7 +9,7 @@ build:
 	$(CARGO) build --release
 
 test:
-	$(CARGO) test -q
+	$(CARGO) test -q --workspace
 
 clippy:
 	$(CARGO) clippy --all-targets -- -D warnings
@@ -29,3 +29,10 @@ bench-discovery:
 bench-smoke:
 	COHORTNET_FAST=1 COHORTNET_SCALE=0.5 $(CARGO) run --release -p cohortnet-bench --bin fig13_scalability
 	COHORTNET_FAST=1 $(CARGO) run --release -p cohortnet-bench --bin tensor_gemm
+	COHORTNET_FAST=1 $(CARGO) run --release -p cohortnet-bench --bin serve_throughput
+
+## End-to-end serving smoke: trains a tiny model, writes a snapshot, starts
+## the HTTP server, exercises /score (asserting batch-composition
+## bit-identity), /explain, /cohorts, /healthz and /metrics, then drains.
+serve-smoke:
+	$(CARGO) run --release -p cohortnet-serve --bin serve-smoke

@@ -1,0 +1,255 @@
+//! Serving throughput bench — drives the full HTTP path of
+//! `cohortnet-serve` with concurrent closed-loop clients and records
+//! requests/second plus client-side p50/p99 latency per batching
+//! configuration into `BENCH_serve.json`.
+//!
+//! The interesting comparison is `max_batch = 1` (every request scored on
+//! its own) against micro-batching (`max_batch = 16`, 2 ms coalescing
+//! window) under concurrency: batching amortises per-batch overhead into
+//! one GEMM over many rows. On a single-core host the win shrinks, so the
+//! harness asserts *no regression* there and a strict win on multi-core
+//! hosts at concurrency >= 8.
+//!
+//! Run: `cargo run --release -p cohortnet-bench --bin serve_throughput`
+//! (`COHORTNET_FAST=1` shrinks the request counts for smoke runs.)
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use cohortnet::infer::ScoreRequest;
+use cohortnet::snapshot::load_snapshot;
+use cohortnet_bench::fast;
+use cohortnet_bench::report::render_table;
+use cohortnet_serve::{demo, serve, EngineConfig, ServerConfig};
+
+fn request(addr: SocketAddr, body: &str) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "POST /score HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    raw.split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status")
+}
+
+fn score_body(e: &ScoreRequest) -> String {
+    let join = |v: &[f32]| {
+        v.iter()
+            .map(|x| format!("{x}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        "{{\"instances\":[{{\"x\":[{}],\"mask\":[{}]}}]}}",
+        join(&e.x),
+        join(&e.mask)
+    )
+}
+
+struct RunResult {
+    label: &'static str,
+    concurrency: usize,
+    max_batch: usize,
+    max_delay_us: u64,
+    total_requests: usize,
+    rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Runs one closed-loop load test: `concurrency` client threads each fire
+/// `per_client` sequential single-instance requests.
+fn run_load(
+    label: &'static str,
+    snapshot: &str,
+    bodies: &[String],
+    engine: EngineConfig,
+    concurrency: usize,
+    per_client: usize,
+) -> RunResult {
+    let loaded = load_snapshot(snapshot).expect("snapshot loads");
+    let server = serve(loaded, ServerConfig { port: 0, engine }).expect("server starts");
+    let addr = server.addr();
+
+    // Warm-up: one request per client slot so thread/socket setup is off
+    // the clock.
+    for body in bodies.iter().take(concurrency) {
+        assert_eq!(request(addr, body), 200);
+    }
+
+    let started = Instant::now();
+    let latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|c| {
+                let bodies = &bodies;
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let body = &bodies[(c * per_client + i) % bodies.len()];
+                        let t = Instant::now();
+                        let status = request(addr, body);
+                        lats.push(t.elapsed().as_micros() as u64);
+                        assert_eq!(status, 200, "load request failed");
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let total = concurrency * per_client;
+    let mut sorted = latencies;
+    sorted.sort_unstable();
+    RunResult {
+        label,
+        concurrency,
+        max_batch: engine.max_batch,
+        max_delay_us: engine.max_delay_us,
+        total_requests: total,
+        rps: total as f64 / wall,
+        p50_us: percentile(&sorted, 0.50),
+        p99_us: percentile(&sorted, 0.99),
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let per_client = if fast() { 8 } else { 24 };
+
+    eprintln!("[serve_throughput] training demo model...");
+    let bundle = demo::demo_bundle();
+    let bodies: Vec<String> = bundle.examples.iter().map(score_body).collect();
+
+    let batch1 = EngineConfig {
+        max_batch: 1,
+        max_delay_us: 0,
+        threads: 0,
+        queue_cap: 1024,
+    };
+    let batched = EngineConfig {
+        max_batch: 16,
+        max_delay_us: 2_000,
+        threads: 0,
+        queue_cap: 1024,
+    };
+
+    let mut results = Vec::new();
+    for concurrency in [1usize, 8] {
+        for (label, engine) in [("batch1", batch1), ("batched", batched)] {
+            let r = run_load(
+                label,
+                &bundle.snapshot,
+                &bodies,
+                engine,
+                concurrency,
+                per_client,
+            );
+            eprintln!(
+                "[serve_throughput] {label} c={concurrency}: {:.1} rps, p50 {}us, p99 {}us",
+                r.rps, r.p50_us, r.p99_us
+            );
+            results.push(r);
+        }
+    }
+
+    println!("== cohortnet-serve throughput (host cores: {cores}) ==\n");
+    let table: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.to_string(),
+                r.concurrency.to_string(),
+                r.max_batch.to_string(),
+                r.max_delay_us.to_string(),
+                r.total_requests.to_string(),
+                format!("{:.1}", r.rps),
+                r.p50_us.to_string(),
+                r.p99_us.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "config",
+                "conc",
+                "max_batch",
+                "delay_us",
+                "requests",
+                "rps",
+                "p50_us",
+                "p99_us"
+            ],
+            &table
+        )
+    );
+
+    let mut out = format!("{{\n  \"host_cores\": {cores},\n  \"serve\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"config\": \"{}\", \"concurrency\": {}, \"max_batch\": {}, \
+             \"max_delay_us\": {}, \"requests\": {}, \"rps\": {:.3}, \"p50_us\": {}, \
+             \"p99_us\": {}}}{}\n",
+            r.label,
+            r.concurrency,
+            r.max_batch,
+            r.max_delay_us,
+            r.total_requests,
+            r.rps,
+            r.p50_us,
+            r.p99_us,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_serve.json", &out) {
+        Ok(()) => eprintln!("[serve_throughput] wrote BENCH_serve.json"),
+        Err(e) => eprintln!("[serve_throughput] could not write BENCH_serve.json: {e}"),
+    }
+
+    // Batching must pay for itself under concurrency. On a multi-core host
+    // it must beat one-by-one scoring at concurrency 8 outright; a
+    // single-core host cannot overlap clients with the batcher, so there we
+    // only require no meaningful regression (honest numbers still land in
+    // the JSON above).
+    let rps_of = |label: &str, conc: usize| {
+        results
+            .iter()
+            .find(|r| r.label == label && r.concurrency == conc)
+            .map(|r| r.rps)
+            .expect("run present")
+    };
+    let b1 = rps_of("batch1", 8);
+    let bn = rps_of("batched", 8);
+    if cores >= 2 {
+        assert!(
+            bn > b1,
+            "micro-batching should beat batch=1 at concurrency 8 on {cores} cores: {bn:.1} vs {b1:.1} rps"
+        );
+    } else {
+        assert!(
+            bn >= 0.85 * b1,
+            "micro-batching regressed on a single-core host: {bn:.1} vs {b1:.1} rps"
+        );
+    }
+    eprintln!("[serve_throughput] ok (batched {bn:.1} rps vs batch1 {b1:.1} rps at c=8)");
+}

@@ -16,7 +16,7 @@ use cohortnet_tensor::Matrix;
 use std::collections::HashMap;
 
 /// One discovered cohort `ξ = ⟨η, C(η)⟩`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cohort {
     /// The anchor feature `i` this cohort was discovered for.
     pub feature: usize,
@@ -37,7 +37,7 @@ pub struct Cohort {
 
 /// The cohort pool `Pool(ξ)` plus the pattern masks needed to match new
 /// patients.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CohortPool {
     /// Pattern masks `ψ_i` (sorted feature-index lists).
     pub masks: Vec<Vec<usize>>,

@@ -1,0 +1,516 @@
+//! Inference-only forward path for serving (no autodiff tape).
+//!
+//! [`Inferencer::compile`] snapshots a trained [`CohortNetModel`]'s weights
+//! out of the [`ParamStore`] into plain matrices, precomputes everything that
+//! is constant per model — the CEM cohort keys/values (projections of the
+//! constant cohort matrices of Eq. 9) and the packed [`CohortIndex`] for
+//! Eq. 10 matching — and then [`Inferencer::score`] replays the exact
+//! training-time forward pass using the gradient-free op mirrors of
+//! [`cohortnet_tensor::infer`].
+//!
+//! Two contracts, both test-enforced:
+//!
+//! * **bit-identity** — `score` logits equal [`CohortNetModel::forward_trace`]
+//!   logits to the bit, because every mirror op computes the identical
+//!   expression with the identical iteration order and the same GEMM kernel;
+//! * **row independence** — every op maps batch row `r` to output row `r`
+//!   without reading other rows, so a patient's scores do not depend on which
+//!   other patients share the minibatch (or on how many worker threads the
+//!   GEMM uses). This is what lets the serving engine coalesce concurrent
+//!   requests into one batch without changing any response.
+
+use crate::cdm::FeatureStates;
+use crate::index::CohortIndex;
+use crate::model::CohortNetModel;
+use cohortnet_parallel::par_map;
+use cohortnet_tensor::infer::{
+    add_row_broadcast, gate_sigmoid, gate_tanh, gru_blend, mul_col_broadcast, sigmoid, tanh,
+};
+use cohortnet_tensor::nn::{GruCell, Linear};
+use cohortnet_tensor::{Matrix, ParamStore};
+
+/// A weight-snapshot of a [`Linear`] layer.
+#[derive(Debug, Clone)]
+struct LinW {
+    w: Matrix,
+    b: Option<Matrix>,
+}
+
+impl LinW {
+    fn from(lin: &Linear, ps: &ParamStore) -> Self {
+        LinW {
+            w: ps.value(lin.weight()).clone(),
+            b: lin.bias().map(|b| ps.value(b).clone()),
+        }
+    }
+
+    /// Mirrors [`Linear::forward`]: matmul plus optional bias broadcast.
+    fn forward(&self, x: &Matrix) -> Matrix {
+        let xw = x.matmul(&self.w);
+        match &self.b {
+            Some(b) => add_row_broadcast(&xw, b),
+            None => xw,
+        }
+    }
+}
+
+/// A weight-snapshot of a [`GruCell`].
+#[derive(Debug, Clone)]
+struct GruW {
+    wz: Matrix,
+    uz: Matrix,
+    bz: Matrix,
+    wr: Matrix,
+    ur: Matrix,
+    br: Matrix,
+    wh: Matrix,
+    uh: Matrix,
+    bh: Matrix,
+    hidden: usize,
+}
+
+impl GruW {
+    fn from(cell: &GruCell, ps: &ParamStore) -> Self {
+        let p = cell.params();
+        let g = |id| ps.value(id).clone();
+        GruW {
+            wz: g(p.wz),
+            uz: g(p.uz),
+            bz: g(p.bz),
+            wr: g(p.wr),
+            ur: g(p.ur),
+            br: g(p.br),
+            wh: g(p.wh),
+            uh: g(p.uh),
+            bh: g(p.bh),
+            hidden: ps.value(p.uz).rows(),
+        }
+    }
+
+    /// Mirrors [`GruCell::step`] node-for-node.
+    fn step(&self, x: &Matrix, h: &Matrix) -> Matrix {
+        let z = gate_sigmoid(&x.matmul(&self.wz), &h.matmul(&self.uz), &self.bz);
+        let r = gate_sigmoid(&x.matmul(&self.wr), &h.matmul(&self.ur), &self.br);
+        let rh = r.mul(h);
+        let cand = gate_tanh(&x.matmul(&self.wh), &rh.matmul(&self.uh), &self.bh);
+        gru_blend(&z, h, &cand)
+    }
+}
+
+/// A weight-snapshot of one BiEL channel (Eq. 1).
+#[derive(Debug, Clone)]
+struct BielW {
+    v_a: Matrix,
+    v_b: Matrix,
+    v_m: Matrix,
+    lo: f32,
+    hi: f32,
+}
+
+/// The cohort-calibration half of the compiled model (absent for a model
+/// that never ran discovery — the `w/o c` configuration).
+#[derive(Debug, Clone)]
+struct CohortPath {
+    states: FeatureStates,
+    index: CohortIndex,
+    n_cohorts: Vec<usize>,
+    /// Precomputed `W_K · C_i` per feature (`|C_i| x d_att`).
+    keys: Vec<Matrix>,
+    /// Precomputed `W_V · C_i` per feature (`|C_i| x d_v`).
+    values: Vec<Matrix>,
+    wq: LinW,
+    /// The bias-free calibration head weight `w^c`.
+    head_w: Matrix,
+    d_value: usize,
+}
+
+/// One scored minibatch.
+#[derive(Debug, Clone)]
+pub struct ScoreOutput {
+    /// Combined logits of Eq. 14 (`batch x n_labels`).
+    pub logits: Matrix,
+    /// Individual-path logits `w^p·h̃ + b^p` alone.
+    pub base_logits: Matrix,
+    /// Cohort-calibration logits `w^c·ĥ`, `None` without discovery.
+    pub cem_logits: Option<Matrix>,
+    /// `σ(logits)` — the predicted probabilities.
+    pub probs: Matrix,
+}
+
+/// A dense time-series scoring request: one patient's raw (standardized)
+/// grid plus the presence mask, in the same layout as
+/// [`cohortnet_models::data::PreparedPatient`].
+#[derive(Debug, Clone)]
+pub struct ScoreRequest {
+    /// Row-major `(T x F)` standardized feature values.
+    pub x: Vec<f32>,
+    /// Per-feature presence flags (`F` entries, `1.0` = observed).
+    pub mask: Vec<f32>,
+}
+
+/// A compiled, tape-free CohortNet ready for online scoring.
+#[derive(Debug, Clone)]
+pub struct Inferencer {
+    nf: usize,
+    d_embed: usize,
+    d_trend: usize,
+    n_labels: usize,
+    time_steps: usize,
+    use_interactions: bool,
+    use_trends: bool,
+    biel: Vec<BielW>,
+    fil_q: LinW,
+    fil_k: LinW,
+    fil_v: LinW,
+    lgru: Vec<GruW>,
+    feafus: LinW,
+    ggru: Vec<GruW>,
+    agg: LinW,
+    head: LinW,
+    cohorts: Option<CohortPath>,
+}
+
+impl Inferencer {
+    /// Snapshots `model`'s weights and precomputes the serving-time
+    /// constants (cohort keys/values, packed cohort index).
+    ///
+    /// `time_steps` is the grid length the model was trained on — scoring
+    /// requests must carry exactly `time_steps * n_features` values (the
+    /// config does not record it; the data pipeline does).
+    pub fn compile(model: &CohortNetModel, ps: &ParamStore, time_steps: usize) -> Self {
+        let mflm = &model.mflm;
+        let nf = mflm.n_features();
+        let biel = (0..nf)
+            .map(|f| {
+                let p = mflm.biel_params(f);
+                BielW {
+                    v_a: ps.value(p.v_a).clone(),
+                    v_b: ps.value(p.v_b).clone(),
+                    v_m: ps.value(p.v_m).clone(),
+                    lo: p.bound_lo,
+                    hi: p.bound_hi,
+                }
+            })
+            .collect();
+        let (wq, wk, wv) = mflm.fil_projections();
+        let cohorts = model.discovery.as_ref().map(|d| {
+            let (cq, ck, cv) = model.cem.projections();
+            let ckw = LinW::from(ck, ps);
+            let cvw = LinW::from(cv, ps);
+            let mut keys = Vec::with_capacity(nf);
+            let mut values = Vec::with_capacity(nf);
+            let mut n_cohorts = Vec::with_capacity(nf);
+            for i in 0..nf {
+                let nc = d.pool.per_feature[i].len();
+                n_cohorts.push(nc);
+                if nc == 0 {
+                    keys.push(Matrix::zeros(0, 0));
+                    values.push(Matrix::zeros(0, 0));
+                } else {
+                    let c_i = d.pool.cohort_matrix(i);
+                    keys.push(ckw.forward(&c_i));
+                    values.push(cvw.forward(&c_i));
+                }
+            }
+            CohortPath {
+                states: d.states.clone(),
+                index: CohortIndex::compile(&d.pool),
+                n_cohorts,
+                keys,
+                values,
+                wq: LinW::from(cq, ps),
+                head_w: ps.value(model.cem.head().weight()).clone(),
+                d_value: model.cem.d_value,
+            }
+        });
+        Inferencer {
+            nf,
+            d_embed: mflm.d_embed,
+            d_trend: mflm.d_trend,
+            n_labels: model.cfg.n_labels,
+            time_steps,
+            use_interactions: mflm.interactions_enabled(),
+            use_trends: mflm.trends_enabled(),
+            biel,
+            fil_q: LinW::from(wq, ps),
+            fil_k: LinW::from(wk, ps),
+            fil_v: LinW::from(wv, ps),
+            lgru: (0..nf).map(|f| GruW::from(mflm.lgru(f), ps)).collect(),
+            feafus: LinW::from(mflm.feafus(), ps),
+            ggru: (0..nf).map(|f| GruW::from(mflm.ggru(f), ps)).collect(),
+            agg: LinW::from(mflm.agg(), ps),
+            head: LinW::from(mflm.head(), ps),
+            cohorts,
+        }
+    }
+
+    /// Number of medical features the model was trained on.
+    pub fn n_features(&self) -> usize {
+        self.nf
+    }
+
+    /// Number of time steps per patient grid.
+    pub fn time_steps(&self) -> usize {
+        self.time_steps
+    }
+
+    /// Number of prediction labels.
+    pub fn n_labels(&self) -> usize {
+        self.n_labels
+    }
+
+    /// Whether the cohort-calibration path is active.
+    pub fn has_cohorts(&self) -> bool {
+        self.cohorts.is_some()
+    }
+
+    /// Mirrors `Mflm::embed_step` for one time step.
+    fn embed_step(&self, step: &Matrix, mask: &Matrix) -> Vec<Matrix> {
+        let batch = step.rows();
+        (0..self.nf)
+            .map(|f| {
+                let ch = &self.biel[f];
+                let range = (ch.hi - ch.lo).max(1e-4);
+                let mut w_a = Matrix::zeros(batch, 1);
+                let mut w_b = Matrix::zeros(batch, 1);
+                let mut m_on = Matrix::zeros(batch, 1);
+                let mut m_off = Matrix::zeros(batch, 1);
+                for r in 0..batch {
+                    let x = step[(r, f)].clamp(ch.lo, ch.hi);
+                    w_a[(r, 0)] = (x - ch.lo) / range;
+                    w_b[(r, 0)] = (ch.hi - x) / range;
+                    let present = mask[(r, f)] > 0.5;
+                    m_on[(r, 0)] = f32::from(present);
+                    m_off[(r, 0)] = f32::from(!present);
+                }
+                let ea = w_a.matmul(&ch.v_a);
+                let eb = w_b.matmul(&ch.v_b);
+                let e_present = ea.add(&eb);
+                let e_masked = mul_col_broadcast(&e_present, &m_on);
+                let em = m_off.matmul(&ch.v_m);
+                e_masked.add(&em)
+            })
+            .collect()
+    }
+
+    /// Mirrors `Mflm::interact_step` (attention outputs only — the recorded
+    /// attention mass is a training/discovery concern).
+    fn interact_step(&self, es: &[Matrix]) -> Vec<Matrix> {
+        let nf = es.len();
+        let scale = 1.0 / (self.d_embed as f32).sqrt();
+        let qs: Vec<Matrix> = es.iter().map(|e| self.fil_q.forward(e)).collect();
+        let ks: Vec<Matrix> = es.iter().map(|e| self.fil_k.forward(e)).collect();
+        let vs: Vec<Matrix> = es.iter().map(|e| self.fil_v.forward(e)).collect();
+        let mut us = Vec::with_capacity(nf);
+        for i in 0..nf {
+            let scores: Vec<Matrix> = (0..nf)
+                .map(|j| qs[i].mul(&ks[j]).sum_cols().scale(scale))
+                .collect();
+            let parts: Vec<&Matrix> = scores.iter().collect();
+            let alpha = Matrix::concat_cols(&parts).softmax_rows();
+            let mut u: Option<Matrix> = None;
+            for (j, v) in vs.iter().enumerate() {
+                let w = mul_col_broadcast(v, &alpha.slice_cols(j, j + 1));
+                u = Some(match u {
+                    Some(acc) => acc.add(&w),
+                    None => w,
+                });
+            }
+            us.push(u.unwrap());
+        }
+        us
+    }
+
+    /// Scores one minibatch: `steps` is one `(batch x F)` matrix per time
+    /// step, `mask` the `(batch x F)` presence mask.
+    ///
+    /// Bit-identical to the tape forward over the same rows, regardless of
+    /// batch composition or GEMM thread count.
+    pub fn score(&self, steps: &[Matrix], mask: &Matrix) -> ScoreOutput {
+        let batch = mask.rows();
+        assert_eq!(mask.cols(), self.nf, "mask width != n_features");
+        let t_steps = steps.len();
+        let mut lstate: Vec<Matrix> = (0..self.nf)
+            .map(|f| Matrix::zeros(batch, self.lgru[f].hidden))
+            .collect();
+        let mut gstate: Vec<Matrix> = (0..self.nf)
+            .map(|f| Matrix::zeros(batch, self.ggru[f].hidden))
+            .collect();
+        // State grid in discover::batch_states layout: `[r*T*F + t*F + f]`.
+        let mut state_grid = self
+            .cohorts
+            .as_ref()
+            .map(|_| vec![0u8; batch * t_steps * self.nf]);
+
+        for (t, step) in steps.iter().enumerate() {
+            assert_eq!(step.cols(), self.nf, "step width != n_features");
+            assert_eq!(step.rows(), batch, "step batch size mismatch");
+            let es = self.embed_step(step, mask);
+            let us = if self.use_interactions {
+                self.interact_step(&es)
+            } else {
+                vec![Matrix::zeros(batch, self.d_embed); self.nf]
+            };
+            let zero_trend = if self.use_trends {
+                None
+            } else {
+                Some(Matrix::zeros(batch, self.d_trend))
+            };
+            for f in 0..self.nf {
+                let trend = match &zero_trend {
+                    Some(z) => z,
+                    None => {
+                        lstate[f] = self.lgru[f].step(&es[f], &lstate[f]);
+                        &lstate[f]
+                    }
+                };
+                let joined = Matrix::concat_cols(&[&es[f], &us[f], trend]);
+                let o = tanh(&self.feafus.forward(&joined));
+                gstate[f] = self.ggru[f].step(&o, &gstate[f]);
+                if let (Some(grid), Some(c)) = (state_grid.as_mut(), self.cohorts.as_ref()) {
+                    for r in 0..batch {
+                        let present = mask[(r, f)] > 0.5;
+                        grid[r * t_steps * self.nf + t * self.nf + f] =
+                            c.states.assign(f, o.row(r), present);
+                    }
+                }
+            }
+        }
+
+        let compressed: Vec<Matrix> = (0..self.nf)
+            .map(|f| tanh(&self.agg.forward(&gstate[f])))
+            .collect();
+        let parts: Vec<&Matrix> = compressed.iter().collect();
+        let tilde_h = Matrix::concat_cols(&parts);
+        let base_logits = self.head.forward(&tilde_h);
+
+        let Some(c) = &self.cohorts else {
+            return ScoreOutput {
+                logits: base_logits.clone(),
+                probs: sigmoid(&base_logits),
+                base_logits,
+                cem_logits: None,
+            };
+        };
+        let grid = state_grid.expect("state grid recorded when cohorts active");
+        let cem_logits = self.cem_forward(c, &gstate, &grid, batch, t_steps);
+        let logits = base_logits.add(&cem_logits);
+        ScoreOutput {
+            probs: sigmoid(&logits),
+            logits,
+            base_logits,
+            cem_logits: Some(cem_logits),
+        }
+    }
+
+    /// Mirrors [`crate::cem::Cem::forward`] with precomputed keys/values and
+    /// the packed cohort index in place of the hash-map pool lookup.
+    fn cem_forward(
+        &self,
+        c: &CohortPath,
+        h_final: &[Matrix],
+        grid: &[u8],
+        batch: usize,
+        t_steps: usize,
+    ) -> Matrix {
+        let mut contexts = Vec::with_capacity(self.nf);
+        for i in 0..self.nf {
+            let nc = c.n_cohorts[i];
+            if nc == 0 {
+                contexts.push(Matrix::zeros(batch, c.d_value));
+                continue;
+            }
+            let q = c.wq.forward(&h_final[i]);
+            // `matmul_nt(q, keys)` is bit-equal to `q · keysᵀ` (tested in
+            // the tensor crate) — the tape path materialises the transpose.
+            let scores = q.matmul_nt(&c.keys[i]);
+            let mut mask = Matrix::zeros(batch, nc);
+            let mut any = Matrix::zeros(batch, 1);
+            for r in 0..batch {
+                let row_grid = &grid[r * t_steps * self.nf..(r + 1) * t_steps * self.nf];
+                let bits = c.index.bitmap_words(i, row_grid, t_steps, self.nf);
+                let mut has = false;
+                for qx in 0..nc {
+                    if bits[qx >> 6] >> (qx & 63) & 1 == 1 {
+                        has = true;
+                    } else {
+                        mask[(r, qx)] = -1e9;
+                    }
+                }
+                any[(r, 0)] = f32::from(has);
+            }
+            let masked = scores.add(&mask);
+            let beta = masked.softmax_rows();
+            let ctx_raw = beta.matmul(&c.values[i]);
+            contexts.push(mul_col_broadcast(&ctx_raw, &any));
+        }
+        let parts: Vec<&Matrix> = contexts.iter().collect();
+        let h_hat = Matrix::concat_cols(&parts);
+        h_hat.matmul(&c.head_w)
+    }
+
+    /// Scores a slice of per-patient requests, assembling the minibatch
+    /// internally. Request order is preserved: output row `r` is request `r`.
+    pub fn score_requests(&self, reqs: &[ScoreRequest]) -> ScoreOutput {
+        let batch = reqs.len();
+        let t_steps = self.time_steps;
+        for (r, req) in reqs.iter().enumerate() {
+            assert_eq!(
+                req.x.len(),
+                t_steps * self.nf,
+                "request {r}: grid must be T*F = {} values",
+                t_steps * self.nf
+            );
+            assert_eq!(
+                req.mask.len(),
+                self.nf,
+                "request {r}: mask must have F = {} values",
+                self.nf
+            );
+        }
+        let mut steps = Vec::with_capacity(t_steps);
+        for t in 0..t_steps {
+            let mut m = Matrix::zeros(batch, self.nf);
+            for (r, req) in reqs.iter().enumerate() {
+                m.row_mut(r)
+                    .copy_from_slice(&req.x[t * self.nf..(t + 1) * self.nf]);
+            }
+            steps.push(m);
+        }
+        let mut mask = Matrix::zeros(batch, self.nf);
+        for (r, req) in reqs.iter().enumerate() {
+            mask.row_mut(r).copy_from_slice(&req.mask);
+        }
+        self.score(&steps, &mask)
+    }
+
+    /// [`Inferencer::score_requests`] sharded over `n_threads` workers via
+    /// [`cohortnet_parallel`]. Row independence makes the result bit-equal
+    /// to the single-threaded call; shards are reassembled in request order.
+    pub fn score_requests_parallel(&self, reqs: &[ScoreRequest], n_threads: usize) -> ScoreOutput {
+        if reqs.len() <= 1 || n_threads == 1 {
+            return self.score_requests(reqs);
+        }
+        let shard = reqs.len().div_ceil(n_threads.max(1));
+        let chunks: Vec<&[ScoreRequest]> = reqs.chunks(shard).collect();
+        let outs = par_map(n_threads, &chunks, |_, chunk| self.score_requests(chunk));
+        let logits: Vec<&Matrix> = outs.iter().map(|o| &o.logits).collect();
+        let base: Vec<&Matrix> = outs.iter().map(|o| &o.base_logits).collect();
+        let probs: Vec<&Matrix> = outs.iter().map(|o| &o.probs).collect();
+        let cem = if outs.iter().all(|o| o.cem_logits.is_some()) {
+            let parts: Vec<&Matrix> = outs
+                .iter()
+                .map(|o| o.cem_logits.as_ref().expect("checked above"))
+                .collect();
+            Some(Matrix::concat_rows(&parts))
+        } else {
+            None
+        };
+        ScoreOutput {
+            logits: Matrix::concat_rows(&logits),
+            base_logits: Matrix::concat_rows(&base),
+            cem_logits: cem,
+            probs: Matrix::concat_rows(&probs),
+        }
+    }
+}

@@ -50,12 +50,18 @@ pub mod config;
 pub mod crlm;
 pub mod discover;
 pub mod export;
+pub mod index;
+pub mod infer;
 pub mod interpret;
 pub mod mflm;
 pub mod model;
+pub mod snapshot;
 pub mod train;
 
 pub use config::CohortNetConfig;
 pub use crlm::{Cohort, CohortPool};
+pub use index::CohortIndex;
+pub use infer::Inferencer;
 pub use model::CohortNetModel;
+pub use snapshot::{load_snapshot, save_snapshot, LoadedModel, SnapshotError};
 pub use train::{train_cohortnet, train_without_cohorts, TrainedCohortNet};

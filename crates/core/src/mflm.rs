@@ -29,6 +29,22 @@ struct BielChannel {
     bound_hi: f32,
 }
 
+/// Parameter handles and bounds of one BiEL channel, exposed for the
+/// gradient-free inference mirror (see [`Mflm::biel_params`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BielParams {
+    /// Lower-anchor embedding `v_a` (`1 x d_embed`).
+    pub v_a: ParamId,
+    /// Upper-anchor embedding `v_b` (`1 x d_embed`).
+    pub v_b: ParamId,
+    /// Missing-value embedding `v_m` (`1 x d_embed`).
+    pub v_m: ParamId,
+    /// Feature lower bound used by the interpolation weights.
+    pub bound_lo: f32,
+    /// Feature upper bound used by the interpolation weights.
+    pub bound_hi: f32,
+}
+
 /// The Multi-channel Feature Learning Module.
 #[derive(Debug, Clone)]
 pub struct Mflm {
@@ -147,6 +163,54 @@ impl Mflm {
     /// The prediction-head weight (`w^p`) — used by Eq. 14's combination.
     pub fn head(&self) -> &Linear {
         &self.head
+    }
+
+    /// Parameter handles and bounds of feature `f`'s BiEL channel (Eq. 1) —
+    /// consumed by the gradient-free inference mirror in [`crate::infer`].
+    pub fn biel_params(&self, f: usize) -> BielParams {
+        let ch = &self.biel[f];
+        BielParams {
+            v_a: ch.v_a,
+            v_b: ch.v_b,
+            v_m: ch.v_m,
+            bound_lo: ch.bound_lo,
+            bound_hi: ch.bound_hi,
+        }
+    }
+
+    /// The FIL `(W_Q, W_K, W_V)` projections of Eq. 2.
+    pub fn fil_projections(&self) -> (&Linear, &Linear, &Linear) {
+        (&self.wq, &self.wk, &self.wv)
+    }
+
+    /// Feature `f`'s trend GRU (Eq. 3).
+    pub fn lgru(&self, f: usize) -> &GruCell {
+        &self.lgru[f]
+    }
+
+    /// Feature `f`'s global channel GRU (Eq. 5).
+    pub fn ggru(&self, f: usize) -> &GruCell {
+        &self.ggru[f]
+    }
+
+    /// The FeaFus fusion layer (Eq. 4).
+    pub fn feafus(&self) -> &Linear {
+        &self.feafus
+    }
+
+    /// The FeaAgg compression layer (Eq. 6).
+    pub fn agg(&self) -> &Linear {
+        &self.agg
+    }
+
+    /// Whether FIL feature interactions are enabled (ablation flag).
+    pub fn interactions_enabled(&self) -> bool {
+        self.use_interactions
+    }
+
+    /// Whether trend GRUs are enabled (ablation flag).
+    pub fn trends_enabled(&self) -> bool {
+        self.use_trends
     }
 
     /// BiEL embeddings for all features at one time step.

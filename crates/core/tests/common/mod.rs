@@ -1,0 +1,29 @@
+//! Shared fixture: a tiny trained CohortNet (with discovery artefacts) on
+//! synthetic data — small enough for test-time training, big enough to
+//! exercise the cohort path.
+
+use cohortnet::config::CohortNetConfig;
+use cohortnet::train::{train_cohortnet, TrainedCohortNet};
+use cohortnet_ehr::{profiles, standardize::Standardizer, synth::generate};
+use cohortnet_models::data::{prepare, Prepared};
+
+/// Trains a tiny CohortNet end to end (Steps 1–4, discovery included).
+pub fn tiny_trained() -> (TrainedCohortNet, Prepared, Standardizer, usize) {
+    let mut c = profiles::mimic3_like(0.05);
+    c.n_patients = 50;
+    c.time_steps = 4;
+    let mut ds = generate(&c);
+    let scaler = Standardizer::fit(&ds);
+    scaler.apply(&mut ds);
+    let mut cfg = CohortNetConfig::for_dataset(&ds, &scaler);
+    cfg.k_states = 4;
+    cfg.min_frequency = 3;
+    cfg.min_patients = 2;
+    cfg.state_fit_samples = 1000;
+    cfg.epochs_pretrain = 2;
+    cfg.epochs_exploit = 1;
+    cfg.batch_size = 16;
+    let prep = prepare(&ds);
+    let trained = train_cohortnet(&prep, &cfg);
+    (trained, prep, scaler, 4)
+}

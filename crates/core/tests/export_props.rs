@@ -1,0 +1,108 @@
+//! Property test: cohort-pool serialisation round-trips *exactly*.
+//!
+//! `pool_to_string` uses Rust's shortest round-trip float formatting, so
+//! `pool_from_str(pool_to_string(p)) == p` must hold structurally — and the
+//! floats must survive to the bit (checked separately, because `==` cannot
+//! distinguish `0.0` from `-0.0`). Pools are generated from a drawn `u64`
+//! seed (the in-tree `proptest` stand-in has no `prop_flat_map`, so all
+//! dependent values are derived in the body, following `gemm_props.rs`).
+
+use cohortnet::cdm::decode_key;
+use cohortnet::crlm::{Cohort, CohortPool};
+use cohortnet::export::{pool_from_str, pool_to_string};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Any finite f32, drawn uniformly over the bit patterns: covers subnormals,
+/// signed zeros, and extreme magnitudes — the values most likely to expose a
+/// lossy formatter.
+fn finite_f32(rng: &mut StdRng) -> f32 {
+    loop {
+        let v = f32::from_bits(rng.next_u64() as u32);
+        if v.is_finite() {
+            return v;
+        }
+    }
+}
+
+fn random_pool(seed: u64) -> CohortPool {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nf = rng.gen_range(1usize..5);
+    let n_labels = rng.gen_range(1usize..3);
+    let repr_dim = rng.gen_range(1usize..6);
+
+    let mut masks: Vec<Vec<usize>> = Vec::with_capacity(nf);
+    for f in 0..nf {
+        // A sorted subset of features that always contains the anchor, as
+        // discovery produces (Eq. 8 masks are anchor + top interactions).
+        let mask: Vec<usize> = (0..nf).filter(|&j| j == f || rng.gen_bool(0.4)).collect();
+        masks.push(mask);
+    }
+
+    let mut per_feature: Vec<Vec<Cohort>> = Vec::with_capacity(nf);
+    let mut index: Vec<HashMap<u64, usize>> = Vec::with_capacity(nf);
+    for f in 0..nf {
+        // Some features keep an empty cohort set — a legal pool state.
+        let n_cohorts = if rng.gen_bool(0.2) {
+            0
+        } else {
+            rng.gen_range(1usize..5)
+        };
+        let mut cohorts = Vec::with_capacity(n_cohorts);
+        let mut idx = HashMap::new();
+        let mut seen = HashSet::new();
+        for _ in 0..n_cohorts {
+            let key: u64 = masks[f]
+                .iter()
+                .enumerate()
+                .map(|(pos, _)| u64::from(rng.gen_range(0u8..16)) << (4 * pos))
+                .sum();
+            if !seen.insert(key) {
+                continue; // duplicate pattern; keys are unique per feature
+            }
+            idx.insert(key, cohorts.len());
+            cohorts.push(Cohort {
+                feature: f,
+                key,
+                pattern: decode_key(key, &masks[f]),
+                repr: (0..repr_dim).map(|_| finite_f32(&mut rng)).collect(),
+                frequency: rng.gen_range(1usize..1000),
+                n_patients: rng.gen_range(1usize..100),
+                pos_rate: (0..n_labels).map(|_| finite_f32(&mut rng)).collect(),
+            });
+        }
+        per_feature.push(cohorts);
+        index.push(idx);
+    }
+    CohortPool::from_parts(masks, per_feature, index, repr_dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pool_round_trips_exactly(seed in 0u64..u64::MAX) {
+        let original = random_pool(seed);
+        let text = pool_to_string(&original);
+        let parsed = pool_from_str(&text).unwrap();
+        prop_assert_eq!(&parsed, &original);
+        // Bit-level float equality, stricter than `==`.
+        for (a, b) in original
+            .per_feature
+            .iter()
+            .flatten()
+            .zip(parsed.per_feature.iter().flatten())
+        {
+            for (x, y) in a.repr.iter().zip(&b.repr) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in a.pos_rate.iter().zip(&b.pos_rate) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // Serialise → parse → serialise is byte-identical.
+        prop_assert_eq!(pool_to_string(&parsed), text);
+    }
+}

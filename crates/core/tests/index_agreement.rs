@@ -1,0 +1,184 @@
+//! Agreement tests for the compiled cohort index (Eq. 10).
+//!
+//! Three implementations of cohort matching must agree on every patient:
+//!
+//! 1. a *pattern-literal linear scan* — compares each cohort's decoded
+//!    `(feature, state)` pairs directly against the state grid, with no key
+//!    encoding at all (the ground truth);
+//! 2. the existing [`CohortPool::bitmap`] hash path;
+//! 3. the new packed [`CohortIndex`] used by the serving hot path.
+//!
+//! Pools are drawn from a seeded generator covering features with empty
+//! cohort sets and masks at the `n_top` boundary (16 masked features — the
+//! full 64-bit pattern key, 4 bits per position).
+
+use cohortnet::cdm::decode_key;
+use cohortnet::crlm::{Cohort, CohortPool};
+use cohortnet::index::CohortIndex;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Ground truth: bit `q` set iff cohort `q`'s decoded pattern literally
+/// matches the grid at some time step.
+fn linear_scan(
+    pool: &CohortPool,
+    feature: usize,
+    states: &[u8],
+    t_steps: usize,
+    nf: usize,
+) -> Vec<bool> {
+    pool.per_feature[feature]
+        .iter()
+        .map(|c| {
+            (0..t_steps).any(|t| {
+                let row = &states[t * nf..(t + 1) * nf];
+                c.pattern.iter().all(|&(f, s)| row[f] == s)
+            })
+        })
+        .collect()
+}
+
+/// Builds a pool with the given masks and random cohorts; `empty_features`
+/// keep a zero-cohort set.
+fn pool_with(
+    masks: Vec<Vec<usize>>,
+    empty_features: &[usize],
+    max_state: u8,
+    rng: &mut StdRng,
+) -> CohortPool {
+    let nf = masks.len();
+    let repr_dim = 3;
+    let mut per_feature = Vec::with_capacity(nf);
+    let mut index = Vec::with_capacity(nf);
+    for f in 0..nf {
+        let n_cohorts = if empty_features.contains(&f) {
+            0
+        } else {
+            rng.gen_range(1usize..6)
+        };
+        let mut cohorts: Vec<Cohort> = Vec::new();
+        let mut idx = HashMap::new();
+        let mut seen = HashSet::new();
+        for _ in 0..n_cohorts {
+            let key: u64 = masks[f]
+                .iter()
+                .enumerate()
+                .map(|(pos, _)| u64::from(rng.gen_range(0u8..=max_state)) << (4 * pos))
+                .sum();
+            if !seen.insert(key) {
+                continue;
+            }
+            idx.insert(key, cohorts.len());
+            cohorts.push(Cohort {
+                feature: f,
+                key,
+                pattern: decode_key(key, &masks[f]),
+                repr: vec![0.5; repr_dim],
+                frequency: 1,
+                n_patients: 1,
+                pos_rate: vec![0.0],
+            });
+        }
+        per_feature.push(cohorts);
+        index.push(idx);
+    }
+    CohortPool::from_parts(masks, per_feature, index, repr_dim)
+}
+
+/// Random (T x F) state grid. Half the rows are copied from cohort patterns
+/// so matches actually occur; the rest are uniform noise.
+fn random_grid(
+    pool: &CohortPool,
+    t_steps: usize,
+    nf: usize,
+    max_state: u8,
+    rng: &mut StdRng,
+) -> Vec<u8> {
+    let mut grid: Vec<u8> = (0..t_steps * nf)
+        .map(|_| rng.gen_range(0u8..=max_state))
+        .collect();
+    for t in 0..t_steps {
+        if !rng.gen_bool(0.5) {
+            continue;
+        }
+        let f = rng.gen_range(0usize..nf);
+        if let Some(c) = pool.per_feature[f].first() {
+            for &(feat, state) in &c.pattern {
+                grid[t * nf + feat] = state;
+            }
+        }
+    }
+    grid
+}
+
+fn assert_all_agree(pool: &CohortPool, grid: &[u8], t_steps: usize, nf: usize) {
+    let index = CohortIndex::compile(pool);
+    for f in 0..nf {
+        let truth = linear_scan(pool, f, grid, t_steps, nf);
+        let via_pool = pool.bitmap(f, grid, t_steps, nf);
+        let via_index = index.bitmap(f, grid, t_steps, nf);
+        assert_eq!(via_pool, truth, "pool.bitmap disagrees on feature {f}");
+        assert_eq!(via_index, truth, "CohortIndex disagrees on feature {f}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random pools (incl. empty-cohort features) and random patients:
+    /// all three matchers agree on every feature.
+    #[test]
+    fn index_matches_linear_scan(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nf = rng.gen_range(2usize..6);
+        let max_state = rng.gen_range(1u8..=15);
+        let masks: Vec<Vec<usize>> = (0..nf)
+            .map(|f| (0..nf).filter(|&j| j == f || rng.gen_bool(0.4)).collect())
+            .collect();
+        // Always keep at least one feature with an empty cohort set.
+        let empty = vec![rng.gen_range(0usize..nf)];
+        let pool = pool_with(masks, &empty, max_state, &mut rng);
+        let t_steps = rng.gen_range(1usize..8);
+        for _ in 0..4 {
+            let grid = random_grid(&pool, t_steps, nf, max_state, &mut rng);
+            assert_all_agree(&pool, &grid, t_steps, nf);
+        }
+    }
+}
+
+/// `n_top` boundary: a mask of 16 features uses all 64 bits of the pattern
+/// key (4 bits per position, states up to 15 = `k_states` max + missing).
+#[test]
+fn full_width_masks_agree() {
+    let nf = 16usize;
+    let mut rng = StdRng::seed_from_u64(99);
+    // Every feature's mask is all 16 features — the n_top = 15 boundary.
+    let masks: Vec<Vec<usize>> = (0..nf).map(|_| (0..nf).collect()).collect();
+    let pool = pool_with(masks, &[3], 15, &mut rng);
+    for t_steps in [1usize, 3, 6] {
+        for _ in 0..8 {
+            let grid = random_grid(&pool, t_steps, nf, 15, &mut rng);
+            assert_all_agree(&pool, &grid, t_steps, nf);
+        }
+    }
+    // The top mask position really exercises the high nibble of the key.
+    let c = pool.per_feature[0].first().expect("cohort exists");
+    assert_eq!(c.pattern.len(), 16);
+}
+
+/// A feature whose cohort list is empty yields an empty bitmap from every
+/// path, and a zero-width packed bitmap.
+#[test]
+fn empty_cohort_set_yields_empty_bitmap() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let masks = vec![vec![0, 1], vec![0, 1]];
+    let pool = pool_with(masks, &[1], 3, &mut rng);
+    let index = CohortIndex::compile(&pool);
+    let grid = vec![1u8, 2, 3, 0];
+    assert_eq!(pool.bitmap(1, &grid, 2, 2), Vec::<bool>::new());
+    assert_eq!(index.bitmap(1, &grid, 2, 2), Vec::<bool>::new());
+    assert_eq!(index.bitmap_words(1, &grid, 2, 2), Vec::<u64>::new());
+    assert_eq!(index.n_cohorts(1), 0);
+}

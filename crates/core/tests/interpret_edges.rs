@@ -1,0 +1,128 @@
+//! Edge cases for `interpret::explain_patient`: patients matching zero
+//! cohorts (an empty discovered pool) and degenerate single-feature
+//! configurations.
+
+use cohortnet::config::CohortNetConfig;
+use cohortnet::interpret::explain_patient;
+use cohortnet::train::train_cohortnet;
+use cohortnet_ehr::{profiles, standardize::Standardizer, synth::generate};
+use cohortnet_models::data::{prepare, Prepared, PreparedPatient};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn empty_pool_explanation_falls_back_to_base_risk() {
+    // A frequency filter no pattern can pass: discovery runs, the pool is
+    // empty, and every patient is a zero-cohort patient.
+    let mut c = profiles::mimic3_like(0.05);
+    c.n_patients = 40;
+    c.time_steps = 4;
+    let mut ds = generate(&c);
+    let scaler = Standardizer::fit(&ds);
+    scaler.apply(&mut ds);
+    let mut cfg = CohortNetConfig::for_dataset(&ds, &scaler);
+    cfg.k_states = 4;
+    cfg.min_frequency = 1_000_000;
+    cfg.min_patients = 1_000_000;
+    cfg.state_fit_samples = 1000;
+    cfg.epochs_pretrain = 2;
+    cfg.epochs_exploit = 1;
+    cfg.batch_size = 16;
+    let prep = prepare(&ds);
+    let trained = train_cohortnet(&prep, &cfg);
+    let pool = &trained
+        .model
+        .discovery
+        .as_ref()
+        .expect("discovery ran")
+        .pool;
+    assert!(
+        pool.per_feature.iter().all(Vec::is_empty),
+        "filter should have emptied the pool"
+    );
+
+    let exp = explain_patient(&trained.model, &trained.params, &prep, 0);
+    assert!(exp.cohorts.is_empty(), "no cohorts can be relevant");
+    for &s in &exp.feature_scores {
+        assert_eq!(s, 0.0, "zero contexts must give zero feature scores");
+    }
+    // With every CEM context zeroed the calibration adds exactly nothing:
+    // the calibrated risk equals the individual-path risk bit for bit.
+    assert_eq!(exp.base_prob.len(), exp.full_prob.len());
+    for (b, f) in exp.base_prob.iter().zip(&exp.full_prob) {
+        assert_eq!(b.to_bits(), f.to_bits(), "empty pool changed the risk");
+    }
+}
+
+#[test]
+fn single_feature_model_explains_patients() {
+    // One feature: the FIL attention is a 1x1 softmax (== 1.0) and every
+    // pattern involves only the anchor feature itself.
+    let nf = 1;
+    let t_steps = 4;
+    let mut rng = StdRng::seed_from_u64(11);
+    let patients: Vec<PreparedPatient> = (0..40)
+        .map(|_| {
+            let x: Vec<f32> = (0..t_steps * nf)
+                .map(|_| rng.gen_range(-1.5f64..1.5) as f32)
+                .collect();
+            let sick = x.iter().sum::<f32>() > 0.0;
+            PreparedPatient {
+                x,
+                mask: vec![1.0; nf],
+                labels: vec![if sick { 1.0 } else { 0.0 }],
+                labels_u8: vec![u8::from(sick)],
+            }
+        })
+        .collect();
+    let prep = Prepared {
+        n_features: nf,
+        time_steps: t_steps,
+        n_labels: 1,
+        patients,
+    };
+    let mut cfg = CohortNetConfig::default_dims();
+    cfg.bounds = vec![(-2.0, 2.0)];
+    cfg.k_states = 3;
+    cfg.n_top = 0;
+    cfg.min_frequency = 2;
+    cfg.min_patients = 1;
+    cfg.state_fit_samples = 1000;
+    cfg.epochs_pretrain = 2;
+    cfg.epochs_exploit = 1;
+    cfg.batch_size = 16;
+    cfg.validate().expect("config valid");
+
+    let trained = train_cohortnet(&prep, &cfg);
+    let d = trained.model.discovery.as_ref().expect("discovery ran");
+    assert_eq!(d.pool.masks.len(), 1);
+    assert_eq!(d.pool.masks[0], vec![0], "mask is the anchor itself");
+    assert!(
+        !d.pool.per_feature[0].is_empty(),
+        "a permissive filter should keep at least one single-feature cohort"
+    );
+
+    for p in 0..3 {
+        let exp = explain_patient(&trained.model, &trained.params, &prep, p);
+        assert_eq!(exp.feature_scores.len(), 1);
+        assert!(exp.base_prob[0] > 0.0 && exp.base_prob[0] < 1.0);
+        assert!(exp.full_prob[0] > 0.0 && exp.full_prob[0] < 1.0);
+        assert_eq!(exp.attention.len(), t_steps);
+        for a in &exp.attention {
+            assert_eq!(a.shape(), (1, 1));
+            assert!((a[(0, 0)] - 1.0).abs() < 1e-6, "1x1 softmax must be 1");
+        }
+        for cc in &exp.cohorts {
+            assert_eq!(cc.feature, 0);
+            assert!(!cc.matched_steps.is_empty());
+            assert!(cc.beta >= 0.0 && cc.beta <= 1.0 + 1e-5);
+        }
+        // The single feature carries the whole cohort calibration.
+        let z_cohort: f32 = exp.cohorts.iter().map(|c| c.score).sum();
+        assert!(
+            (exp.feature_scores[0] - z_cohort).abs() < 1e-4,
+            "Eq. 16 vs Eq. 17 disagree on a single feature: {} vs {z_cohort}",
+            exp.feature_scores[0]
+        );
+    }
+}

@@ -9,7 +9,7 @@
 use crate::record::EhrDataset;
 
 /// Fitted per-feature standardisation statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Standardizer {
     /// Per-feature mean over present values.
     pub mean: Vec<f32>,
@@ -74,7 +74,109 @@ impl Standardizer {
     pub fn destandardize(&self, f: usize, v: f32) -> f32 {
         v * self.std[f] + self.mean[f]
     }
+
+    /// Standardises one raw value of feature `f` (the inverse of
+    /// [`Standardizer::destandardize`]). Absent features should be mapped to
+    /// `0.0` by the caller, matching [`Standardizer::apply`].
+    pub fn standardize(&self, f: usize, v: f32) -> f32 {
+        (v - self.mean[f]) / self.std[f]
+    }
+
+    /// Serialises the fitted statistics to a line-oriented text form whose
+    /// floats round-trip exactly (Rust's shortest round-trip `{}` formatting),
+    /// for embedding in model snapshots.
+    pub fn to_text(&self) -> String {
+        let join = |v: &[f32]| {
+            v.iter()
+                .map(|x| format!("{x}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "#cohortnet-scaler v1\nmean\t{}\nstd\t{}\n",
+            join(&self.mean),
+            join(&self.std)
+        )
+    }
+
+    /// Parses the text form produced by [`Standardizer::to_text`].
+    pub fn from_text(text: &str) -> Result<Standardizer, ScalerParseError> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(l) if l.trim() == "#cohortnet-scaler v1" => {}
+            _ => return Err(ScalerParseError::BadHeader),
+        }
+        let mut mean: Option<Vec<f32>> = None;
+        let mut std: Option<Vec<f32>> = None;
+        for (idx, line) in lines.enumerate() {
+            let line_no = idx + 2;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (tag, rest) = line
+                .split_once('\t')
+                .ok_or(ScalerParseError::BadRecord(line_no))?;
+            let values: Result<Vec<f32>, _> = if rest.is_empty() {
+                Ok(Vec::new())
+            } else {
+                rest.split(',').map(str::parse).collect()
+            };
+            let values = values.map_err(|_| ScalerParseError::BadRecord(line_no))?;
+            match tag {
+                "mean" => mean = Some(values),
+                "std" => std = Some(values),
+                _ => return Err(ScalerParseError::BadRecord(line_no)),
+            }
+        }
+        let mean = mean.ok_or(ScalerParseError::MissingField("mean"))?;
+        let std = std.ok_or(ScalerParseError::MissingField("std"))?;
+        if mean.len() != std.len() {
+            return Err(ScalerParseError::WidthMismatch {
+                mean: mean.len(),
+                std: std.len(),
+            });
+        }
+        Ok(Standardizer { mean, std })
+    }
 }
+
+/// Errors raised while parsing a serialised [`Standardizer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScalerParseError {
+    /// Missing or wrong `#cohortnet-scaler v1` header line.
+    BadHeader,
+    /// A malformed record, with its 1-based line number.
+    BadRecord(usize),
+    /// The `mean` or `std` record was absent.
+    MissingField(&'static str),
+    /// `mean` and `std` have different lengths.
+    WidthMismatch {
+        /// Length of the parsed `mean` vector.
+        mean: usize,
+        /// Length of the parsed `std` vector.
+        std: usize,
+    },
+}
+
+impl std::fmt::Display for ScalerParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScalerParseError::BadHeader => write!(f, "missing #cohortnet-scaler v1 header"),
+            ScalerParseError::BadRecord(line) => {
+                write!(f, "malformed scaler record at line {line}")
+            }
+            ScalerParseError::MissingField(name) => {
+                write!(f, "scaler is missing its {name} record")
+            }
+            ScalerParseError::WidthMismatch { mean, std } => {
+                write!(f, "scaler mean has {mean} features but std has {std}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScalerParseError {}
 
 #[cfg(test)]
 mod tests {
@@ -141,6 +243,43 @@ mod tests {
         assert_eq!(s.mean[1], 100.0);
         s.apply(&mut ds);
         assert!(ds.patients[1].values[1].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn text_round_trip_is_exact_and_byte_identical() {
+        let s = Standardizer {
+            mean: vec![0.1, -0.0, 1e-38, 12345.678],
+            std: vec![1e-4, 2.5, 3.0, 0.33333334],
+        };
+        let text = s.to_text();
+        let parsed = Standardizer::from_text(&text).unwrap();
+        for (a, b) in s.mean.iter().zip(&parsed.mean) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in s.std.iter().zip(&parsed.std) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_input() {
+        assert_eq!(
+            Standardizer::from_text("nope"),
+            Err(ScalerParseError::BadHeader)
+        );
+        assert_eq!(
+            Standardizer::from_text("#cohortnet-scaler v1\nmean\tx\nstd\t1\n"),
+            Err(ScalerParseError::BadRecord(2))
+        );
+        assert_eq!(
+            Standardizer::from_text("#cohortnet-scaler v1\nstd\t1\n"),
+            Err(ScalerParseError::MissingField("mean"))
+        );
+        assert_eq!(
+            Standardizer::from_text("#cohortnet-scaler v1\nmean\t1,2\nstd\t1\n"),
+            Err(ScalerParseError::WidthMismatch { mean: 2, std: 1 })
+        );
     }
 
     #[test]

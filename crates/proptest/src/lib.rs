@@ -63,11 +63,11 @@ macro_rules! __proptest_items {
                 case_index += 1;
                 let mut __rng = $crate::test_runner::new_rng(case_seed);
                 $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
-                let mut case = || -> $crate::test_runner::TestCaseResult {
+                let case_result = (|| -> $crate::test_runner::TestCaseResult {
                     $body
                     Ok(())
-                };
-                match case() {
+                })();
+                match case_result {
                     Ok(()) => passed += 1,
                     Err($crate::test_runner::TestCaseError::Reject(_)) => {
                         rejected += 1;

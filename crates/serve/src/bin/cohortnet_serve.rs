@@ -1,0 +1,126 @@
+//! `cohortnet-serve` — serve a trained CohortNet snapshot over HTTP.
+//!
+//! ```text
+//! cohortnet-serve --snapshot model.cns --port 8080
+//! cohortnet-serve --demo                       # train a tiny demo model first
+//! cohortnet-serve --demo-snapshot model.cns    # write a demo snapshot and exit
+//! ```
+
+use cohortnet::snapshot::load_snapshot;
+use cohortnet_serve::{demo, serve, EngineConfig, ServerConfig};
+
+struct Args {
+    snapshot: Option<String>,
+    demo: bool,
+    demo_snapshot: Option<String>,
+    port: u16,
+    engine: EngineConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cohortnet-serve (--snapshot PATH | --demo | --demo-snapshot PATH)\n\
+         \x20        [--port N (default 8080)] [--max-batch N (default 16)]\n\
+         \x20        [--max-delay-us N (default 2000)] [--threads N (default 0 = all cores)]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        snapshot: None,
+        demo: false,
+        demo_snapshot: None,
+        port: 8080,
+        engine: EngineConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--snapshot" => args.snapshot = Some(value("--snapshot")),
+            "--demo" => args.demo = true,
+            "--demo-snapshot" => args.demo_snapshot = Some(value("--demo-snapshot")),
+            "--port" => args.port = parse_num(&value("--port"), "--port"),
+            "--max-batch" => {
+                args.engine.max_batch = parse_num(&value("--max-batch"), "--max-batch")
+            }
+            "--max-delay-us" => {
+                args.engine.max_delay_us = parse_num(&value("--max-delay-us"), "--max-delay-us")
+            }
+            "--threads" => args.engine.threads = parse_num(&value("--threads"), "--threads"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, name: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{name}: not a number: {text}");
+        usage()
+    })
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(path) = &args.demo_snapshot {
+        eprintln!("training demo model...");
+        let bundle = demo::demo_bundle();
+        std::fs::write(path, &bundle.snapshot).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1)
+        });
+        eprintln!("wrote demo snapshot to {path}");
+        return;
+    }
+
+    let text = if args.demo {
+        eprintln!("training demo model...");
+        demo::demo_bundle().snapshot
+    } else if let Some(path) = &args.snapshot {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1)
+        })
+    } else {
+        usage()
+    };
+
+    let loaded = load_snapshot(&text).unwrap_or_else(|e| {
+        eprintln!("snapshot rejected: {e}");
+        std::process::exit(1)
+    });
+    eprintln!(
+        "loaded snapshot: {} features, {} time steps, {} labels, cohorts: {}",
+        loaded.model.cfg.n_features(),
+        loaded.time_steps,
+        loaded.model.cfg.n_labels,
+        loaded.model.discovery.is_some()
+    );
+
+    let server = serve(
+        loaded,
+        ServerConfig {
+            port: args.port,
+            engine: args.engine,
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot bind port {}: {e}", args.port);
+        std::process::exit(1)
+    });
+    eprintln!("serving on http://{}", server.addr());
+    server.join();
+    eprintln!("shut down");
+}

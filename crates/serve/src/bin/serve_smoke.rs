@@ -1,0 +1,180 @@
+//! `serve-smoke` — end-to-end smoke test: train a tiny model, write a
+//! snapshot, load it back, start the server, exercise every endpoint over
+//! real sockets (asserting the batching determinism contract), then shut
+//! down gracefully. Exits non-zero on any failure.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use cohortnet::snapshot::load_snapshot;
+use cohortnet_serve::{demo, serve, EngineConfig, ServerConfig};
+
+/// Fires one HTTP request and returns `(status, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn score_body(examples: &[cohortnet::infer::ScoreRequest]) -> String {
+    let instances: Vec<String> = examples
+        .iter()
+        .map(|e| format!("{{\"x\":[{}],\"mask\":[{}]}}", join(&e.x), join(&e.mask)))
+        .collect();
+    format!("{{\"instances\":[{}]}}", instances.join(","))
+}
+
+fn join(values: &[f32]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Extracts the rendered prediction objects from a `/score` response body.
+fn predictions(body: &str) -> Vec<String> {
+    let inner = body
+        .strip_prefix("{\"predictions\":[")
+        .and_then(|s| s.strip_suffix("]}"))
+        .unwrap_or_else(|| panic!("unexpected /score body: {body}"));
+    // Predictions are flat objects (no nested braces), so splitting on
+    // "},{" is safe.
+    inner
+        .split("},{")
+        .map(|s| {
+            let s = s.strip_prefix('{').unwrap_or(s);
+            let s = s.strip_suffix('}').unwrap_or(s);
+            s.to_string()
+        })
+        .collect()
+}
+
+fn main() {
+    let snapshot_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/serve-smoke.cns".to_string());
+
+    eprintln!("serve-smoke: training demo model...");
+    let bundle = demo::demo_bundle();
+    std::fs::write(&snapshot_path, &bundle.snapshot).expect("write snapshot");
+    let text = std::fs::read_to_string(&snapshot_path).expect("read snapshot back");
+    assert_eq!(text, bundle.snapshot, "snapshot drifted through the disk");
+    let loaded = load_snapshot(&text).expect("snapshot loads");
+    assert!(
+        loaded.model.discovery.is_some(),
+        "demo model has no cohorts"
+    );
+
+    let server = serve(
+        loaded,
+        ServerConfig {
+            port: 0,
+            engine: EngineConfig {
+                max_batch: 8,
+                max_delay_us: 1_000,
+                threads: 0,
+                queue_cap: 64,
+            },
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+    eprintln!("serve-smoke: serving on {addr}");
+
+    // /healthz
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "healthz: {body}");
+    assert!(body.contains("\"status\":\"ok\""), "healthz body: {body}");
+    assert!(
+        body.contains("\"has_cohorts\":true"),
+        "healthz body: {body}"
+    );
+
+    // /score: one instance alone, then all eight in one request — the
+    // determinism contract says each row renders identically either way.
+    let solo: Vec<String> = bundle
+        .examples
+        .iter()
+        .map(|e| {
+            let (status, body) =
+                request(addr, "POST", "/score", &score_body(std::slice::from_ref(e)));
+            assert_eq!(status, 200, "solo score: {body}");
+            predictions(&body).remove(0)
+        })
+        .collect();
+    let (status, body) = request(addr, "POST", "/score", &score_body(&bundle.examples));
+    assert_eq!(status, 200, "batch score: {body}");
+    let batched = predictions(&body);
+    assert_eq!(batched.len(), bundle.examples.len());
+    for (i, (s, b)) in solo.iter().zip(&batched).enumerate() {
+        assert_eq!(s, b, "instance {i} scored differently alone vs batched");
+    }
+
+    // /score input validation.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/score",
+        "{\"instances\":[{\"x\":[1],\"mask\":[1]}]}",
+    );
+    assert_eq!(status, 400, "short instance must be rejected: {body}");
+    let (status, _) = request(addr, "POST", "/score", "not json");
+    assert_eq!(status, 400);
+
+    // /explain
+    let e = &bundle.examples[0];
+    let explain_body = format!("{{\"x\":[{}],\"mask\":[{}]}}", join(&e.x), join(&e.mask));
+    let (status, body) = request(addr, "POST", "/explain", &explain_body);
+    assert_eq!(status, 200, "explain: {body}");
+    assert!(body.contains("\"base_prob\""), "explain body: {body}");
+    assert!(body.contains("\"cohorts\""), "explain body: {body}");
+
+    // /cohorts
+    let (status, body) = request(addr, "GET", "/cohorts", "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"has_cohorts\":true"),
+        "cohorts body: {body}"
+    );
+
+    // 404 and 405 paths.
+    let (status, _) = request(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/score", "");
+    assert_eq!(status, 405);
+
+    // /metrics
+    let (status, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("cohortnet_requests_total"),
+        "metrics body: {body}"
+    );
+    assert!(
+        body.contains("cohortnet_batch_size_bucket"),
+        "metrics body: {body}"
+    );
+
+    // Graceful shutdown.
+    let (status, _) = request(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    server.join();
+    println!("serve-smoke: ok");
+}

@@ -1,0 +1,69 @@
+//! A tiny end-to-end training run on synthetic data producing a real
+//! snapshot. Shared by the CLI's `--demo` mode, the `serve-smoke` binary,
+//! and the integration tests, so they all exercise the same artifact the
+//! production path would load.
+
+use cohortnet::config::CohortNetConfig;
+use cohortnet::infer::ScoreRequest;
+use cohortnet::snapshot::save_snapshot;
+use cohortnet::train::train_cohortnet;
+use cohortnet_ehr::{profiles, standardize::Standardizer, synth::generate};
+use cohortnet_models::data::prepare;
+
+/// A demo model plus ready-made requests drawn from its training data.
+pub struct DemoBundle {
+    /// The snapshot text (write it to disk or feed it to `load_snapshot`).
+    pub snapshot: String,
+    /// Standardized scoring requests for the first few training patients.
+    pub examples: Vec<ScoreRequest>,
+}
+
+/// Trains a tiny CohortNet (discovery included) on synthetic vitals and
+/// snapshots it. Deterministic; takes a few seconds in release builds.
+pub fn demo_bundle() -> DemoBundle {
+    let mut c = profiles::mimic3_like(0.05);
+    c.n_patients = 50;
+    c.time_steps = 4;
+    let mut ds = generate(&c);
+    let scaler = Standardizer::fit(&ds);
+    scaler.apply(&mut ds);
+    let mut cfg = CohortNetConfig::for_dataset(&ds, &scaler);
+    cfg.k_states = 4;
+    cfg.min_frequency = 3;
+    cfg.min_patients = 2;
+    cfg.state_fit_samples = 1000;
+    cfg.epochs_pretrain = 2;
+    cfg.epochs_exploit = 1;
+    cfg.batch_size = 16;
+    let prep = prepare(&ds);
+    let trained = train_cohortnet(&prep, &cfg);
+    let snapshot = save_snapshot(&trained.model, &trained.params, &scaler, prep.time_steps);
+    let examples = prep
+        .patients
+        .iter()
+        .take(8)
+        .map(|p| ScoreRequest {
+            x: p.x.clone(),
+            mask: p.mask.clone(),
+        })
+        .collect();
+    DemoBundle { snapshot, examples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohortnet::snapshot::load_snapshot;
+
+    #[test]
+    fn demo_snapshot_loads_and_scores() {
+        let bundle = demo_bundle();
+        let loaded = load_snapshot(&bundle.snapshot).expect("demo snapshot loads");
+        let inf = loaded.inferencer();
+        let out = inf.score_requests(&bundle.examples);
+        assert_eq!(out.probs.rows(), bundle.examples.len());
+        for &p in out.probs.as_slice() {
+            assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! The micro-batching request engine.
+//!
+//! Requests enter a bounded queue; a single batcher thread coalesces them
+//! into minibatches of up to `max_batch` requests, waiting at most
+//! `max_delay_us` after the oldest queued request before scoring whatever
+//! has accumulated. Batches are scored through
+//! [`Inferencer::score_requests_parallel`], whose GEMM contract makes every
+//! output row a function of its own input only — so a request's result is
+//! bit-identical whether it is scored alone or coalesced into any batch,
+//! at any worker count.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cohortnet::infer::{Inferencer, ScoreRequest};
+
+use crate::metrics::Metrics;
+
+/// Batching knobs for the request engine.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Maximum requests coalesced into one scored minibatch.
+    pub max_batch: usize,
+    /// Maximum time the oldest queued request waits for company before the
+    /// batch is scored anyway, in microseconds.
+    pub max_delay_us: u64,
+    /// Worker threads used to score a minibatch (0 = all available cores).
+    pub threads: usize,
+    /// Queue capacity; requests beyond it are rejected with
+    /// [`EngineError::Overloaded`].
+    pub queue_cap: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_batch: 16,
+            max_delay_us: 2_000,
+            threads: 0,
+            queue_cap: 1024,
+        }
+    }
+}
+
+/// The score of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowScore {
+    /// Calibrated per-label probability (Eq. 14).
+    pub prob: Vec<f32>,
+    /// Combined logit (individual + cohort paths).
+    pub logit: Vec<f32>,
+    /// Logit of the individual (MFLM) path alone.
+    pub base_logit: Vec<f32>,
+    /// Logit contribution of the cohort (CEM) path, when the model has
+    /// discovery artefacts.
+    pub cem_logit: Option<Vec<f32>>,
+}
+
+/// Why a request was not scored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The request payload has the wrong shape.
+    BadRequest(String),
+    /// The queue is full; retry later.
+    Overloaded,
+    /// The engine is draining for shutdown.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::BadRequest(why) => write!(f, "bad request: {why}"),
+            EngineError::Overloaded => write!(f, "queue full, retry later"),
+            EngineError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+struct Pending {
+    req: ScoreRequest,
+    tx: mpsc::Sender<RowScore>,
+    enqueued: Instant,
+}
+
+struct Shared {
+    inf: Arc<Inferencer>,
+    queue: Mutex<VecDeque<Pending>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    cfg: EngineConfig,
+    metrics: Arc<Metrics>,
+}
+
+/// The micro-batching scoring engine. Cheap to share behind an [`Arc`];
+/// every handler thread calls [`Engine::score`] and blocks until the
+/// batcher replies.
+pub struct Engine {
+    shared: Arc<Shared>,
+    batcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Starts the engine (spawns the batcher thread) over a compiled
+    /// inferencer.
+    pub fn start(inf: Inferencer, cfg: EngineConfig, metrics: Arc<Metrics>) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.queue_cap >= 1, "queue_cap must be at least 1");
+        let shared = Arc::new(Shared {
+            inf: Arc::new(inf),
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cfg,
+            metrics,
+        });
+        let worker = Arc::clone(&shared);
+        let batcher = std::thread::Builder::new()
+            .name("cohortnet-batcher".into())
+            .spawn(move || batcher_loop(&worker))
+            .expect("spawn batcher thread");
+        Engine {
+            shared,
+            batcher: Mutex::new(Some(batcher)),
+        }
+    }
+
+    /// The compiled inferencer the engine scores with.
+    pub fn inferencer(&self) -> &Inferencer {
+        &self.shared.inf
+    }
+
+    /// The engine's metrics registry.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.shared.metrics
+    }
+
+    /// The batching configuration the engine runs with.
+    pub fn config(&self) -> EngineConfig {
+        self.shared.cfg
+    }
+
+    /// Scores one request, blocking until the batcher replies. The result
+    /// is bit-identical no matter which batch the request lands in.
+    ///
+    /// # Errors
+    /// [`EngineError::BadRequest`] on shape mismatch, `Overloaded` when the
+    /// queue is full, `ShuttingDown` once shutdown has begun.
+    pub fn score(&self, req: ScoreRequest) -> Result<RowScore, EngineError> {
+        let s = &self.shared;
+        let want_x = s.inf.time_steps() * s.inf.n_features();
+        if req.x.len() != want_x {
+            s.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::BadRequest(format!(
+                "x has {} values, expected time_steps * n_features = {} * {} = {}",
+                req.x.len(),
+                s.inf.time_steps(),
+                s.inf.n_features(),
+                want_x
+            )));
+        }
+        if req.mask.len() != s.inf.n_features() {
+            s.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::BadRequest(format!(
+                "mask has {} values, expected n_features = {}",
+                req.mask.len(),
+                s.inf.n_features()
+            )));
+        }
+        if s.shutdown.load(Ordering::SeqCst) {
+            s.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::ShuttingDown);
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = s.queue.lock().expect("engine queue poisoned");
+            if q.len() >= s.cfg.queue_cap {
+                drop(q);
+                s.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+                return Err(EngineError::Overloaded);
+            }
+            q.push_back(Pending {
+                req,
+                tx,
+                enqueued: Instant::now(),
+            });
+        }
+        s.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        s.cv.notify_all();
+        match rx.recv() {
+            Ok(row) => {
+                s.metrics.responses_ok.fetch_add(1, Ordering::Relaxed);
+                Ok(row)
+            }
+            Err(_) => {
+                s.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+                Err(EngineError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Scores several requests, enqueueing them all before waiting so they
+    /// can coalesce into the same minibatch. Results come back in input
+    /// order; the first failure aborts (remaining rows are still scored and
+    /// discarded by the batcher).
+    ///
+    /// # Errors
+    /// Same failure modes as [`Engine::score`].
+    pub fn score_many(&self, reqs: Vec<ScoreRequest>) -> Result<Vec<RowScore>, EngineError> {
+        let s = &self.shared;
+        for req in &reqs {
+            let want_x = s.inf.time_steps() * s.inf.n_features();
+            if req.x.len() != want_x || req.mask.len() != s.inf.n_features() {
+                s.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+                return Err(EngineError::BadRequest(format!(
+                    "instance shapes must be x: {} (= {} x {}), mask: {}",
+                    want_x,
+                    s.inf.time_steps(),
+                    s.inf.n_features(),
+                    s.inf.n_features()
+                )));
+            }
+        }
+        if s.shutdown.load(Ordering::SeqCst) {
+            s.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::ShuttingDown);
+        }
+        let n = reqs.len();
+        let mut receivers = Vec::with_capacity(n);
+        {
+            let mut q = s.queue.lock().expect("engine queue poisoned");
+            if q.len() + n > s.cfg.queue_cap {
+                drop(q);
+                s.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+                return Err(EngineError::Overloaded);
+            }
+            let now = Instant::now();
+            for req in reqs {
+                let (tx, rx) = mpsc::channel();
+                q.push_back(Pending {
+                    req,
+                    tx,
+                    enqueued: now,
+                });
+                receivers.push(rx);
+            }
+        }
+        s.metrics
+            .requests_total
+            .fetch_add(n as u64, Ordering::Relaxed);
+        s.cv.notify_all();
+        let mut rows = Vec::with_capacity(n);
+        for rx in receivers {
+            match rx.recv() {
+                Ok(row) => {
+                    s.metrics.responses_ok.fetch_add(1, Ordering::Relaxed);
+                    rows.push(row);
+                }
+                Err(_) => {
+                    s.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+                    return Err(EngineError::ShuttingDown);
+                }
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Stops accepting requests, drains the queue, and joins the batcher.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        if let Some(handle) = self
+            .batcher
+            .lock()
+            .expect("engine batcher handle poisoned")
+            .take()
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Collects the next minibatch: blocks while the queue is empty, then waits
+/// until either `max_batch` requests have accumulated or the oldest request
+/// has been queued for `max_delay_us`. Returns `None` when shut down with an
+/// empty queue.
+fn next_batch(s: &Shared) -> Option<Vec<Pending>> {
+    let delay = Duration::from_micros(s.cfg.max_delay_us);
+    let mut q = s.queue.lock().expect("engine queue poisoned");
+    loop {
+        if q.is_empty() {
+            if s.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            // Idle: nap until a request arrives (re-check shutdown
+            // periodically in case the notify raced the wait).
+            q =
+                s.cv.wait_timeout(q, Duration::from_millis(50))
+                    .expect("engine queue poisoned")
+                    .0;
+            continue;
+        }
+        if q.len() >= s.cfg.max_batch || s.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let oldest = q.front().expect("non-empty queue").enqueued;
+        let now = Instant::now();
+        let deadline = oldest + delay;
+        if now >= deadline {
+            break;
+        }
+        q =
+            s.cv.wait_timeout(q, deadline - now)
+                .expect("engine queue poisoned")
+                .0;
+    }
+    let take = q.len().min(s.cfg.max_batch);
+    Some(q.drain(..take).collect())
+}
+
+fn batcher_loop(s: &Shared) {
+    while let Some(batch) = next_batch(s) {
+        let reqs: Vec<ScoreRequest> = batch.iter().map(|p| p.req.clone()).collect();
+        let out = s.inf.score_requests_parallel(&reqs, s.cfg.threads);
+        s.metrics.batches_total.fetch_add(1, Ordering::Relaxed);
+        s.metrics.batch_size.observe(batch.len() as u64);
+        let now = Instant::now();
+        for (r, pending) in batch.iter().enumerate() {
+            let row = RowScore {
+                prob: out.probs.row(r).to_vec(),
+                logit: out.logits.row(r).to_vec(),
+                base_logit: out.base_logits.row(r).to_vec(),
+                cem_logit: out.cem_logits.as_ref().map(|m| m.row(r).to_vec()),
+            };
+            // A dropped receiver just means the caller gave up; keep going.
+            let _ = pending.tx.send(row);
+            let waited = now.saturating_duration_since(pending.enqueued);
+            s.metrics.latency_us.observe(waited.as_micros() as u64);
+        }
+    }
+}

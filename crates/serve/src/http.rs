@@ -1,0 +1,204 @@
+//! A deliberately small HTTP/1.1 layer over [`std::net::TcpStream`]: enough
+//! to parse the request line, headers and body of the server's endpoints and
+//! to write well-formed responses. One request per connection
+//! (`Connection: close`), which keeps the accept loop and shutdown simple.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Hard cap on request body size (16 MiB) — scoring payloads are small.
+pub const MAX_BODY_BYTES: usize = 16 << 20;
+
+/// Hard cap on request head (request line + headers) size.
+pub const MAX_HEAD_BYTES: usize = 64 << 10;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-case (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path without query string.
+    pub path: String,
+    /// Decoded request body.
+    pub body: String,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The request violates the supported HTTP subset.
+    Malformed(String),
+    /// Head or body exceeded the size caps.
+    TooLarge,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+            HttpError::TooLarge => write!(f, "request too large"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads and parses one request from the stream. Applies a read timeout so
+/// a stalled client cannot pin a handler thread forever.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+
+    // Read until the blank line ending the head.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("non-utf8 head".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty head".into()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+        .to_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing path".into()))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+
+    // Body: whatever followed the head in the buffer, then the remainder
+    // from the socket.
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| HttpError::Malformed("non-utf8 body".into()))?;
+
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes a complete response and flushes.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes a JSON response.
+pub fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    write_response(stream, status, "application/json", body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).expect("connect");
+            c.write_all(&raw).expect("write");
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        let req = read_request(&mut conn);
+        writer.join().expect("writer thread");
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = round_trip(
+            b"POST /score?verbose=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"",
+        )
+        .expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/score");
+        assert_eq!(req.body, "{\"a\"");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = round_trip(b"GET /healthz HTTP/1.1\r\n\r\n").expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let err = round_trip(b"POST /score HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+            .expect_err("must fail");
+        assert!(matches!(err, HttpError::Malformed(_)), "{err}");
+    }
+}

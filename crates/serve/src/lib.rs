@@ -1,0 +1,31 @@
+//! # cohortnet-serve
+//!
+//! Online scoring for trained CohortNet snapshots: a micro-batching request
+//! engine over the tape-free [`cohortnet::infer::Inferencer`], fronted by a
+//! dependency-free HTTP/1.1 server on [`std::net::TcpListener`].
+//!
+//! * [`engine`] — bounded request queue that coalesces concurrent requests
+//!   into minibatches (`max_batch` / `max_delay_us` knobs). The determinism
+//!   contract is inherited from the inferencer's row independence: a request
+//!   scores bit-identically alone or inside any batch.
+//! * [`server`] — `POST /score`, `POST /explain`, `GET /cohorts`,
+//!   `GET /healthz`, `GET /metrics`, `POST /shutdown`; graceful drain on
+//!   shutdown.
+//! * [`metrics`] — request counters plus batch-size and latency histograms
+//!   in Prometheus text format.
+//! * [`json`] — the minimal JSON parser/renderer the endpoints use.
+//! * [`demo`] — a tiny synthetic-data training run producing a real
+//!   snapshot, shared by the CLI's `--demo` mode, the smoke binary and the
+//!   integration tests.
+
+#![warn(missing_docs)]
+
+pub mod demo;
+pub mod engine;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+
+pub use engine::{Engine, EngineConfig, EngineError, RowScore};
+pub use server::{serve, Server, ServerConfig};

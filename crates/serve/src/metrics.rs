@@ -1,0 +1,204 @@
+//! Lock-free serving metrics: request counters plus batch-size and latency
+//! histograms, rendered in Prometheus text exposition format.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-bucket cumulative histogram with atomic counters.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper bound of each bucket (ascending); an implicit `+Inf` bucket
+    /// follows the last bound.
+    bounds: &'static [u64],
+    /// Per-bucket observation counts (len = bounds.len() + 1).
+    buckets: Vec<AtomicU64>,
+    /// Sum of all observed values.
+    sum: AtomicU64,
+    /// Total observation count.
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending bucket upper bounds.
+    pub fn new(bounds: &'static [u64]) -> Self {
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observation count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The value at (or just above) the given quantile, estimated from the
+    /// bucket bounds; `None` when empty. Used by the throughput bench.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return Some(self.bounds.get(i).copied().unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    fn render(&self, out: &mut String, name: &str, help: &str) {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, bound) in self.bounds.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        }
+        cumulative += self.buckets[self.bounds.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("{name}_sum {}\n", self.sum()));
+        out.push_str(&format!("{name}_count {}\n", self.count()));
+    }
+}
+
+/// Bucket bounds for batch sizes (requests per scored minibatch).
+pub const BATCH_SIZE_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Bucket bounds for request latency in microseconds.
+pub const LATENCY_US_BOUNDS: &[u64] = &[
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000,
+];
+
+/// All serving metrics, shared between the engine and the HTTP handlers.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Requests accepted into the queue.
+    pub requests_total: AtomicU64,
+    /// Requests answered successfully.
+    pub responses_ok: AtomicU64,
+    /// Requests answered with an error (bad input, overload, shutdown).
+    pub responses_err: AtomicU64,
+    /// Minibatches scored by the engine.
+    pub batches_total: AtomicU64,
+    /// Requests coalesced per scored minibatch.
+    pub batch_size: Histogram,
+    /// Queue-to-response latency per request, microseconds.
+    pub latency_us: Histogram,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Metrics {
+            requests_total: AtomicU64::new(0),
+            responses_ok: AtomicU64::new(0),
+            responses_err: AtomicU64::new(0),
+            batches_total: AtomicU64::new(0),
+            batch_size: Histogram::new(BATCH_SIZE_BOUNDS),
+            latency_us: Histogram::new(LATENCY_US_BOUNDS),
+        }
+    }
+
+    /// Renders everything in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, help, counter) in [
+            (
+                "cohortnet_requests_total",
+                "Scoring requests accepted into the queue.",
+                &self.requests_total,
+            ),
+            (
+                "cohortnet_responses_ok_total",
+                "Scoring requests answered successfully.",
+                &self.responses_ok,
+            ),
+            (
+                "cohortnet_responses_err_total",
+                "Scoring requests answered with an error.",
+                &self.responses_err,
+            ),
+            (
+                "cohortnet_batches_total",
+                "Minibatches scored by the engine.",
+                &self.batches_total,
+            ),
+        ] {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}\n",
+                counter.load(Ordering::Relaxed)
+            ));
+        }
+        self.batch_size.render(
+            &mut out,
+            "cohortnet_batch_size",
+            "Requests coalesced per scored minibatch.",
+        );
+        self.latency_us.render(
+            &mut out,
+            "cohortnet_request_latency_us",
+            "Queue-to-response latency per request, microseconds.",
+        );
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new(&[1, 4, 16]);
+        for v in [1, 1, 3, 5, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 110);
+        assert_eq!(h.quantile(0.5), Some(4)); // 3rd of 5 lands in le=4
+        assert_eq!(h.quantile(1.0), Some(u64::MAX)); // overflow bucket
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative() {
+        let m = Metrics::new();
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.batch_size.observe(1);
+        m.batch_size.observe(2);
+        let text = m.render_prometheus();
+        assert!(text.contains("cohortnet_requests_total 3"));
+        assert!(text.contains("cohortnet_batch_size_bucket{le=\"1\"} 1"));
+        assert!(text.contains("cohortnet_batch_size_bucket{le=\"2\"} 2"));
+        assert!(text.contains("cohortnet_batch_size_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("cohortnet_batch_size_count 2"));
+    }
+}

@@ -1,0 +1,430 @@
+//! The HTTP scoring server.
+//!
+//! Endpoints:
+//!
+//! * `POST /score` — body `{"instances": [{"x": [...], "mask": [...]}]}`;
+//!   every instance is a standardized `T x F` grid (row-major) plus an `F`
+//!   presence mask. Returns `{"predictions": [...]}` in input order.
+//! * `POST /explain` — body is one instance; returns the paper's Fig. 9
+//!   decomposition via [`cohortnet::interpret::explain_patient`]. `409`
+//!   when the snapshot has no discovery artefacts.
+//! * `GET /cohorts` — the discovered cohort pool (Table 2 data).
+//! * `GET /healthz` — liveness plus model shape.
+//! * `GET /metrics` — Prometheus text format.
+//! * `POST /shutdown` — graceful drain: stop accepting, finish queued work.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cohortnet::infer::ScoreRequest;
+use cohortnet::interpret::explain_patient;
+use cohortnet::snapshot::LoadedModel;
+use cohortnet_models::data::{Prepared, PreparedPatient};
+
+use crate::engine::{Engine, EngineConfig, EngineError, RowScore};
+use crate::http::{read_request, write_json, write_response, HttpError, Request};
+use crate::json::{self, num_arr, obj, Json};
+use crate::metrics::Metrics;
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// TCP port to bind on 127.0.0.1 (0 = ephemeral, for tests).
+    pub port: u16,
+    /// Batching knobs for the scoring engine.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            port: 8080,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+struct AppState {
+    engine: Engine,
+    loaded: LoadedModel,
+    metrics: Arc<Metrics>,
+    stop: AtomicBool,
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`]) stops the
+/// accept loop, drains in-flight requests, and joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Binds the listener, starts the engine and the accept loop, and returns
+/// the running server.
+///
+/// # Errors
+/// Propagates listener bind failures.
+pub fn serve(loaded: LoadedModel, cfg: ServerConfig) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let metrics = Arc::new(Metrics::new());
+    let engine = Engine::start(loaded.inferencer(), cfg.engine, Arc::clone(&metrics));
+    let state = Arc::new(AppState {
+        engine,
+        loaded,
+        metrics,
+        stop: AtomicBool::new(false),
+    });
+
+    let loop_state = Arc::clone(&state);
+    let accept = std::thread::Builder::new()
+        .name("cohortnet-accept".into())
+        .spawn(move || accept_loop(&listener, &loop_state))
+        .expect("spawn accept thread");
+
+    Ok(Server {
+        addr,
+        state,
+        accept: Mutex::new(Some(accept)),
+    })
+}
+
+impl Server {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful stop and blocks until the accept loop, all
+    /// handler threads, and the engine have finished. Idempotent.
+    pub fn shutdown(&self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.lock().expect("accept handle poisoned").take() {
+            let _ = handle.join();
+        }
+        self.state.engine.shutdown();
+    }
+
+    /// Blocks until the server stops (via `POST /shutdown` or
+    /// [`Server::shutdown`] from another thread).
+    pub fn join(&self) {
+        if let Some(handle) = self.accept.lock().expect("accept handle poisoned").take() {
+            let _ = handle.join();
+        }
+        self.state.engine.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<AppState>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !state.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_state = Arc::clone(state);
+                let handle = std::thread::Builder::new()
+                    .name("cohortnet-conn".into())
+                    .spawn(move || handle_connection(stream, &conn_state))
+                    .expect("spawn connection thread");
+                handlers.push(handle);
+                // Reap finished handlers so long-lived servers don't
+                // accumulate join handles.
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<AppState>) {
+    let req = match read_request(&mut stream) {
+        Ok(req) => req,
+        Err(HttpError::TooLarge) => {
+            let _ = write_json(&mut stream, 413, &error_body("request too large"));
+            return;
+        }
+        Err(e) => {
+            let _ = write_json(&mut stream, 400, &error_body(&e.to_string()));
+            return;
+        }
+    };
+    let (status, content_type, body) = route(&req, state);
+    let _ = write_response(&mut stream, status, content_type, &body);
+}
+
+fn error_body(message: &str) -> String {
+    json::render(&obj(vec![("error", Json::Str(message.to_string()))]))
+}
+
+fn route(req: &Request, state: &Arc<AppState>) -> (u16, &'static str, String) {
+    const JSON_CT: &str = "application/json";
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/score") => handle_score(req, state),
+        ("POST", "/explain") => handle_explain(req, state),
+        ("GET", "/cohorts") => (200, JSON_CT, cohorts_body(state)),
+        ("GET", "/healthz") => (200, JSON_CT, healthz_body(state)),
+        ("GET", "/metrics") => (
+            200,
+            "text/plain; version=0.0.4",
+            state.metrics.render_prometheus(),
+        ),
+        ("POST", "/shutdown") => {
+            state.stop.store(true, Ordering::SeqCst);
+            (200, JSON_CT, error_body_ok())
+        }
+        (_, "/score" | "/explain" | "/shutdown") => {
+            (405, JSON_CT, error_body("use POST for this endpoint"))
+        }
+        (_, "/cohorts" | "/healthz" | "/metrics") => {
+            (405, JSON_CT, error_body("use GET for this endpoint"))
+        }
+        _ => (404, JSON_CT, error_body("unknown endpoint")),
+    }
+}
+
+fn error_body_ok() -> String {
+    json::render(&obj(vec![("status", Json::Str("shutting down".into()))]))
+}
+
+/// Decodes one `{"x": [...], "mask": [...]}` instance.
+fn parse_instance(value: &Json) -> Result<ScoreRequest, String> {
+    let x = value
+        .get("x")
+        .and_then(Json::as_f32_vec)
+        .ok_or("instance needs a numeric array field \"x\"")?;
+    let mask = value
+        .get("mask")
+        .and_then(Json::as_f32_vec)
+        .ok_or("instance needs a numeric array field \"mask\"")?;
+    Ok(ScoreRequest { x, mask })
+}
+
+fn row_to_json(row: &RowScore) -> Json {
+    let mut pairs = vec![
+        ("prob", num_arr(&row.prob)),
+        ("logit", num_arr(&row.logit)),
+        ("base_logit", num_arr(&row.base_logit)),
+    ];
+    if let Some(cem) = &row.cem_logit {
+        pairs.push(("cem_logit", num_arr(cem)));
+    }
+    obj(pairs)
+}
+
+fn handle_score(req: &Request, state: &Arc<AppState>) -> (u16, &'static str, String) {
+    const JSON_CT: &str = "application/json";
+    let parsed = match json::parse(&req.body) {
+        Ok(v) => v,
+        Err(e) => return (400, JSON_CT, error_body(&format!("invalid json: {e}"))),
+    };
+    let Some(instances) = parsed.get("instances").and_then(Json::as_arr) else {
+        return (
+            400,
+            JSON_CT,
+            error_body("body needs an array field \"instances\""),
+        );
+    };
+    if instances.is_empty() {
+        return (400, JSON_CT, error_body("\"instances\" is empty"));
+    }
+    let mut reqs = Vec::with_capacity(instances.len());
+    for (i, inst) in instances.iter().enumerate() {
+        match parse_instance(inst) {
+            Ok(r) => reqs.push(r),
+            Err(why) => {
+                return (400, JSON_CT, error_body(&format!("instance {i}: {why}")));
+            }
+        }
+    }
+    match state.engine.score_many(reqs) {
+        Ok(rows) => {
+            let predictions = Json::Arr(rows.iter().map(row_to_json).collect());
+            (
+                200,
+                JSON_CT,
+                json::render(&obj(vec![("predictions", predictions)])),
+            )
+        }
+        Err(EngineError::BadRequest(why)) => (400, JSON_CT, error_body(&why)),
+        Err(EngineError::Overloaded) => (
+            503,
+            JSON_CT,
+            error_body(&EngineError::Overloaded.to_string()),
+        ),
+        Err(EngineError::ShuttingDown) => (
+            503,
+            JSON_CT,
+            error_body(&EngineError::ShuttingDown.to_string()),
+        ),
+    }
+}
+
+fn handle_explain(req: &Request, state: &Arc<AppState>) -> (u16, &'static str, String) {
+    const JSON_CT: &str = "application/json";
+    if state.loaded.model.discovery.is_none() {
+        return (
+            409,
+            JSON_CT,
+            error_body("snapshot has no discovery artefacts; /explain needs a trained pool"),
+        );
+    }
+    let parsed = match json::parse(&req.body) {
+        Ok(v) => v,
+        Err(e) => return (400, JSON_CT, error_body(&format!("invalid json: {e}"))),
+    };
+    let score_req = match parse_instance(&parsed) {
+        Ok(r) => r,
+        Err(why) => return (400, JSON_CT, error_body(why.as_str())),
+    };
+    let inf = state.engine.inferencer();
+    let (nf, t_steps, nl) = (inf.n_features(), inf.time_steps(), inf.n_labels());
+    if score_req.x.len() != t_steps * nf || score_req.mask.len() != nf {
+        return (
+            400,
+            JSON_CT,
+            error_body(&format!(
+                "instance shapes must be x: {} (= {t_steps} x {nf}), mask: {nf}",
+                t_steps * nf
+            )),
+        );
+    }
+    // explain_patient works on a prepared dataset; wrap the single instance
+    // as a one-patient dataset with dummy labels (labels are unused by the
+    // explanation itself).
+    let prep = Prepared {
+        n_features: nf,
+        time_steps: t_steps,
+        n_labels: nl,
+        patients: vec![PreparedPatient {
+            x: score_req.x,
+            mask: score_req.mask,
+            labels: vec![0.0; nl],
+            labels_u8: vec![0; nl],
+        }],
+    };
+    let exp = explain_patient(&state.loaded.model, &state.loaded.params, &prep, 0);
+    let cohorts = Json::Arr(
+        exp.cohorts
+            .iter()
+            .map(|c| {
+                obj(vec![
+                    ("feature", Json::Num(c.feature as f64)),
+                    ("cohort", Json::Num(c.cohort as f64)),
+                    ("beta", Json::Num(f64::from(c.beta))),
+                    ("score", Json::Num(f64::from(c.score))),
+                    (
+                        "matched_steps",
+                        Json::Arr(
+                            c.matched_steps
+                                .iter()
+                                .map(|&t| Json::Num(t as f64))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let attention = Json::Arr(
+        exp.attention
+            .iter()
+            .map(|m| Json::Arr((0..m.rows()).map(|r| num_arr(m.row(r))).collect()))
+            .collect(),
+    );
+    let body = obj(vec![
+        ("base_prob", num_arr(&exp.base_prob)),
+        ("full_prob", num_arr(&exp.full_prob)),
+        ("feature_scores", num_arr(&exp.feature_scores)),
+        ("cohorts", cohorts),
+        ("attention", attention),
+    ]);
+    (200, JSON_CT, json::render(&body))
+}
+
+fn healthz_body(state: &Arc<AppState>) -> String {
+    let inf = state.engine.inferencer();
+    let cfg = state.engine.config();
+    json::render(&obj(vec![
+        ("status", Json::Str("ok".into())),
+        (
+            "snapshot_version",
+            Json::Str(cohortnet::snapshot::SNAPSHOT_VERSION.into()),
+        ),
+        ("n_features", Json::Num(inf.n_features() as f64)),
+        ("time_steps", Json::Num(inf.time_steps() as f64)),
+        ("n_labels", Json::Num(inf.n_labels() as f64)),
+        ("has_cohorts", Json::Bool(inf.has_cohorts())),
+        ("max_batch", Json::Num(cfg.max_batch as f64)),
+        ("max_delay_us", Json::Num(cfg.max_delay_us as f64)),
+    ]))
+}
+
+fn cohorts_body(state: &Arc<AppState>) -> String {
+    let Some(d) = state.loaded.model.discovery.as_ref() else {
+        return json::render(&obj(vec![
+            ("has_cohorts", Json::Bool(false)),
+            ("features", Json::Arr(Vec::new())),
+        ]));
+    };
+    let pool = &d.pool;
+    let features = Json::Arr(
+        pool.per_feature
+            .iter()
+            .enumerate()
+            .map(|(i, cohorts)| {
+                let mask = Json::Arr(pool.masks[i].iter().map(|&f| Json::Num(f as f64)).collect());
+                let rows = Json::Arr(
+                    cohorts
+                        .iter()
+                        .enumerate()
+                        .map(|(q, c)| {
+                            let pattern = Json::Arr(
+                                c.pattern
+                                    .iter()
+                                    .map(|&(f, s)| {
+                                        Json::Arr(vec![
+                                            Json::Num(f as f64),
+                                            Json::Num(f64::from(s)),
+                                        ])
+                                    })
+                                    .collect(),
+                            );
+                            obj(vec![
+                                ("cohort", Json::Num(q as f64)),
+                                ("pattern", pattern),
+                                ("frequency", Json::Num(c.frequency as f64)),
+                                ("n_patients", Json::Num(c.n_patients as f64)),
+                                ("pos_rate", num_arr(&c.pos_rate)),
+                            ])
+                        })
+                        .collect(),
+                );
+                obj(vec![
+                    ("feature", Json::Num(i as f64)),
+                    ("mask", mask),
+                    ("cohorts", rows),
+                ])
+            })
+            .collect(),
+    );
+    json::render(&obj(vec![
+        ("has_cohorts", Json::Bool(true)),
+        ("features", features),
+    ]))
+}

@@ -1,0 +1,186 @@
+//! Server-level determinism contract: the rendered `/score` prediction of a
+//! request is identical whether it is sent alone or batched, whatever the
+//! server's `max_batch` / worker-thread configuration.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use cohortnet::infer::ScoreRequest;
+use cohortnet::snapshot::load_snapshot;
+use cohortnet_serve::{serve, EngineConfig, ServerConfig};
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn join(values: &[f32]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn score_body(examples: &[ScoreRequest]) -> String {
+    let instances: Vec<String> = examples
+        .iter()
+        .map(|e| format!("{{\"x\":[{}],\"mask\":[{}]}}", join(&e.x), join(&e.mask)))
+        .collect();
+    format!("{{\"instances\":[{}]}}", instances.join(","))
+}
+
+fn predictions(body: &str) -> Vec<String> {
+    let inner = body
+        .strip_prefix("{\"predictions\":[")
+        .and_then(|s| s.strip_suffix("]}"))
+        .unwrap_or_else(|| panic!("unexpected /score body: {body}"));
+    inner
+        .split("},{")
+        .map(|s| s.trim_matches(['{', '}']).to_string())
+        .collect()
+}
+
+#[test]
+fn score_is_bit_identical_across_batch_and_thread_configs() {
+    let bundle = cohortnet_serve::demo::demo_bundle();
+    let configs = [
+        EngineConfig {
+            max_batch: 1,
+            max_delay_us: 0,
+            threads: 1,
+            queue_cap: 64,
+        },
+        EngineConfig {
+            max_batch: 4,
+            max_delay_us: 500,
+            threads: 2,
+            queue_cap: 64,
+        },
+        EngineConfig {
+            max_batch: 8,
+            max_delay_us: 1_000,
+            threads: 4,
+            queue_cap: 64,
+        },
+    ];
+
+    // Reference: every example scored alone on the batch=1 single-thread
+    // server; then every other configuration — and the all-at-once batch —
+    // must render the same prediction text (text equality here is bit
+    // equality: probabilities render via Rust's shortest round-trip float
+    // formatting).
+    let mut reference: Option<Vec<String>> = None;
+    for cfg in configs {
+        let loaded = load_snapshot(&bundle.snapshot).expect("snapshot loads");
+        let server = serve(
+            loaded,
+            ServerConfig {
+                port: 0,
+                engine: cfg,
+            },
+        )
+        .expect("server starts");
+        let addr = server.addr();
+
+        let solo: Vec<String> = bundle
+            .examples
+            .iter()
+            .map(|e| {
+                let (status, body) =
+                    request(addr, "POST", "/score", &score_body(std::slice::from_ref(e)));
+                assert_eq!(status, 200, "solo score: {body}");
+                predictions(&body).remove(0)
+            })
+            .collect();
+        let (status, body) = request(addr, "POST", "/score", &score_body(&bundle.examples));
+        assert_eq!(status, 200, "batch score: {body}");
+        let batched = predictions(&body);
+        assert_eq!(batched.len(), bundle.examples.len());
+        assert_eq!(
+            solo, batched,
+            "batched rows differ from solo rows at max_batch={}",
+            cfg.max_batch
+        );
+        match &reference {
+            None => reference = Some(solo),
+            Some(want) => assert_eq!(
+                want, &solo,
+                "scores differ across server configs at max_batch={} threads={}",
+                cfg.max_batch, cfg.threads
+            ),
+        }
+
+        server.shutdown();
+    }
+}
+
+#[test]
+fn server_rejects_bad_input_and_serves_introspection() {
+    let bundle = cohortnet_serve::demo::demo_bundle();
+    let loaded = load_snapshot(&bundle.snapshot).expect("snapshot loads");
+    let server = serve(
+        loaded,
+        ServerConfig {
+            port: 0,
+            engine: EngineConfig::default(),
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    let (status, _) = request(addr, "POST", "/score", "{\"instances\":[]}");
+    assert_eq!(status, 400);
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/score",
+        "{\"instances\":[{\"x\":[0.5],\"mask\":[1]}]}",
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(
+        body.contains("must be"),
+        "error should name the shape: {body}"
+    );
+
+    let (status, body) = request(addr, "GET", "/cohorts", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"has_cohorts\":true"), "{body}");
+
+    let e = &bundle.examples[0];
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/explain",
+        &format!("{{\"x\":[{}],\"mask\":[{}]}}", join(&e.x), join(&e.mask)),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"full_prob\""), "{body}");
+
+    let (status, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("cohortnet_requests_total"), "{body}");
+
+    server.shutdown();
+}

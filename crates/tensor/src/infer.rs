@@ -1,0 +1,187 @@
+//! Gradient-free mirrors of the [`crate::tape::Tape`] forward ops.
+//!
+//! Each function here computes the *exact* expression its tape counterpart
+//! records — same per-element formula, same iteration structure, same GEMM
+//! kernel — so a forward pass assembled from these helpers is bit-identical
+//! to the tape forward pass over the same inputs, while allocating no graph.
+//!
+//! Two properties follow from the op set and are what online serving relies
+//! on (see the batching determinism contract in DESIGN.md):
+//!
+//! * **bit-identity with training forward** — scores computed at serving
+//!   time equal `Tape`-computed scores to the bit;
+//! * **row independence** — every op maps input row `r` to output row `r`
+//!   without reading other rows (matmuls by the GEMM contract: parallelism
+//!   splits output rows and each element is one k-ascending chain), so a
+//!   patient's output is unchanged by which other patients share the batch.
+
+use crate::matrix::Matrix;
+
+/// Element-wise logistic sigmoid — mirrors [`crate::tape::Tape::sigmoid`].
+pub fn sigmoid(a: &Matrix) -> Matrix {
+    a.map(|x| 1.0 / (1.0 + (-x).exp()))
+}
+
+/// Element-wise hyperbolic tangent — mirrors [`crate::tape::Tape::tanh`].
+pub fn tanh(a: &Matrix) -> Matrix {
+    a.map(|x| x.tanh())
+}
+
+/// `(r x c) + (1 x c)` bias addition — mirrors
+/// [`crate::tape::Tape::add_row_broadcast`].
+pub fn add_row_broadcast(a: &Matrix, bias: &Matrix) -> Matrix {
+    assert_eq!(bias.rows(), 1, "bias must be a row vector");
+    assert_eq!(a.cols(), bias.cols(), "bias width mismatch");
+    let bias_row = bias.row(0);
+    let mut buf = Vec::with_capacity(a.rows() * a.cols());
+    for r in 0..a.rows() {
+        buf.extend(a.row(r).iter().zip(bias_row).map(|(&x, &b)| x + b));
+    }
+    Matrix::from_vec(a.rows(), a.cols(), buf)
+}
+
+/// `(r x c) * (r x 1)` per-row scaling — mirrors
+/// [`crate::tape::Tape::mul_col_broadcast`].
+pub fn mul_col_broadcast(a: &Matrix, w: &Matrix) -> Matrix {
+    assert_eq!(w.cols(), 1, "weight must be a column vector");
+    assert_eq!(a.rows(), w.rows(), "weight height mismatch");
+    let mut buf = Vec::with_capacity(a.rows() * a.cols());
+    for r in 0..a.rows() {
+        let s = w[(r, 0)];
+        buf.extend(a.row(r).iter().map(|&x| x * s));
+    }
+    Matrix::from_vec(a.rows(), a.cols(), buf)
+}
+
+/// Fused sigmoid gate `σ(a + b + bias)` — mirrors
+/// [`crate::tape::Tape::gate_sigmoid`].
+pub fn gate_sigmoid(a: &Matrix, b: &Matrix, bias: &Matrix) -> Matrix {
+    gate(a, b, bias, |p| 1.0 / (1.0 + (-p).exp()))
+}
+
+/// Fused tanh gate `tanh(a + b + bias)` — mirrors
+/// [`crate::tape::Tape::gate_tanh`].
+pub fn gate_tanh(a: &Matrix, b: &Matrix, bias: &Matrix) -> Matrix {
+    gate(a, b, bias, |p| p.tanh())
+}
+
+fn gate(a: &Matrix, b: &Matrix, bias: &Matrix, act: impl Fn(f32) -> f32) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "gate operand shape mismatch");
+    assert_eq!(bias.rows(), 1, "gate bias must be a row vector");
+    assert_eq!(bias.cols(), a.cols(), "gate bias width mismatch");
+    let bias_row = bias.row(0);
+    let mut buf = Vec::with_capacity(a.rows() * a.cols());
+    for r in 0..a.rows() {
+        buf.extend(
+            a.row(r)
+                .iter()
+                .zip(b.row(r))
+                .zip(bias_row)
+                .map(|((&x, &y), &c)| act(x + y + c)),
+        );
+    }
+    Matrix::from_vec(a.rows(), a.cols(), buf)
+}
+
+/// Fused GRU state blend `(1 - z) ⊙ h + z ⊙ cand` — mirrors
+/// [`crate::tape::Tape::gru_blend`].
+pub fn gru_blend(z: &Matrix, h: &Matrix, cand: &Matrix) -> Matrix {
+    assert_eq!(z.shape(), h.shape(), "blend shape mismatch");
+    assert_eq!(z.shape(), cand.shape(), "blend shape mismatch");
+    let buf = z
+        .as_slice()
+        .iter()
+        .zip(h.as_slice())
+        .zip(cand.as_slice())
+        .map(|((&zi, &hi), &ci)| (1.0 - zi) * hi + zi * ci)
+        .collect();
+    Matrix::from_vec(z.rows(), z.cols(), buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamStore;
+    use crate::tape::Tape;
+
+    fn m(rows: usize, cols: usize, seed: u32) -> Matrix {
+        // Deterministic awkward fill: mixes signs, magnitudes and zeros.
+        Matrix::from_fn(rows, cols, |r, c| {
+            let v = ((r * 31 + c * 17 + seed as usize) % 13) as f32 - 6.0;
+            v * 0.37
+        })
+    }
+
+    /// Every mirror op matches its tape counterpart to the bit.
+    #[test]
+    fn mirrors_match_tape_bitwise() {
+        let a = m(4, 5, 1);
+        let b = m(4, 5, 2);
+        let bias = m(1, 5, 3);
+        let w = m(4, 1, 4);
+
+        let mut t = Tape::new();
+        let ps = ParamStore::new();
+        let _ = &ps;
+        let av = t.constant(a.clone());
+        let bv = t.constant(b.clone());
+        let biasv = t.constant(bias.clone());
+        let wv = t.constant(w.clone());
+
+        let pairs: Vec<(Matrix, Matrix)> = vec![
+            (sigmoid(&a), {
+                let v = t.sigmoid(av);
+                t.value(v).clone()
+            }),
+            (tanh(&a), {
+                let v = t.tanh(av);
+                t.value(v).clone()
+            }),
+            (add_row_broadcast(&a, &bias), {
+                let v = t.add_row_broadcast(av, biasv);
+                t.value(v).clone()
+            }),
+            (mul_col_broadcast(&a, &w), {
+                let v = t.mul_col_broadcast(av, wv);
+                t.value(v).clone()
+            }),
+            (gate_sigmoid(&a, &b, &bias), {
+                let v = t.gate_sigmoid(av, bv, biasv);
+                t.value(v).clone()
+            }),
+            (gate_tanh(&a, &b, &bias), {
+                let v = t.gate_tanh(av, bv, biasv);
+                t.value(v).clone()
+            }),
+            (gru_blend(&sigmoid(&a), &b, &tanh(&a)), {
+                let z = t.sigmoid(av);
+                let cand = t.tanh(av);
+                let v = t.gru_blend(z, bv, cand);
+                t.value(v).clone()
+            }),
+        ];
+        for (i, (got, want)) in pairs.iter().enumerate() {
+            assert_eq!(got.shape(), want.shape(), "op {i} shape");
+            for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(g.to_bits(), w.to_bits(), "op {i} drifted");
+            }
+        }
+    }
+
+    /// `Matrix::matmul` (fresh, non-accumulating) equals the tape's
+    /// accumulate-into-zeros matmul bit-for-bit: both are one k-ascending
+    /// chain per element seeded at 0.
+    #[test]
+    fn matmul_matches_tape_bitwise() {
+        let a = m(6, 7, 5);
+        let b = m(7, 4, 6);
+        let mut t = Tape::new();
+        let av = t.constant(a.clone());
+        let bv = t.constant(b.clone());
+        let want = t.matmul(av, bv);
+        let got = a.matmul(&b);
+        for (g, w) in got.as_slice().iter().zip(t.value(want).as_slice()) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+}

@@ -44,6 +44,7 @@
 pub mod checkpoint;
 pub mod gemm;
 pub mod gradcheck;
+pub mod infer;
 pub mod init;
 pub mod matrix;
 pub mod nn;

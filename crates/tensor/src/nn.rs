@@ -192,7 +192,47 @@ pub struct GruCell {
     pub hidden_dim: usize,
 }
 
+/// The nine parameter handles of a [`GruCell`], in gate order. Exposed for
+/// gradient-free inference mirrors that read weights straight from the
+/// [`ParamStore`] without recording a tape (see `cohortnet::infer`).
+#[derive(Debug, Clone, Copy)]
+pub struct GruParams {
+    /// Update-gate input weights `Wz`.
+    pub wz: ParamId,
+    /// Update-gate recurrent weights `Uz`.
+    pub uz: ParamId,
+    /// Update-gate bias `bz`.
+    pub bz: ParamId,
+    /// Reset-gate input weights `Wr`.
+    pub wr: ParamId,
+    /// Reset-gate recurrent weights `Ur`.
+    pub ur: ParamId,
+    /// Reset-gate bias `br`.
+    pub br: ParamId,
+    /// Candidate input weights `Wh`.
+    pub wh: ParamId,
+    /// Candidate recurrent weights `Uh`.
+    pub uh: ParamId,
+    /// Candidate bias `bh`.
+    pub bh: ParamId,
+}
+
 impl GruCell {
+    /// The cell's parameter handles (see [`GruParams`]).
+    pub fn params(&self) -> GruParams {
+        GruParams {
+            wz: self.wz,
+            uz: self.uz,
+            bz: self.bz,
+            wr: self.wr,
+            ur: self.ur,
+            br: self.br,
+            wh: self.wh,
+            uh: self.uh,
+            bh: self.bh,
+        }
+    }
+
     /// Registers a new GRU cell's parameters.
     pub fn new(
         ps: &mut ParamStore,
