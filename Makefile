@@ -1,6 +1,6 @@
 CARGO ?= cargo
 
-.PHONY: verify build test clippy fmt bench-discovery bench-smoke serve-smoke
+.PHONY: verify build test clippy fmt bench-discovery bench-smoke serve-smoke trace-smoke
 
 ## Full local verification: what CI runs, in the same order.
 verify: build test clippy fmt
@@ -30,9 +30,17 @@ bench-smoke:
 	COHORTNET_FAST=1 COHORTNET_SCALE=0.5 $(CARGO) run --release -p cohortnet-bench --bin fig13_scalability
 	COHORTNET_FAST=1 $(CARGO) run --release -p cohortnet-bench --bin tensor_gemm
 	COHORTNET_FAST=1 $(CARGO) run --release -p cohortnet-bench --bin serve_throughput
+	COHORTNET_FAST=1 $(CARGO) run --release -p cohortnet-bench --bin obs_overhead
 
 ## End-to-end serving smoke: trains a tiny model, writes a snapshot, starts
 ## the HTTP server, exercises /score (asserting batch-composition
 ## bit-identity), /explain, /cohorts, /healthz and /metrics, then drains.
 serve-smoke:
 	$(CARGO) run --release -p cohortnet-serve --bin serve-smoke
+
+## Span-tracing smoke: trains a tiny pipeline with COHORTNET_TRACE set,
+## then asserts trace.json is valid Chrome trace event JSON containing the
+## expected stage spans (MFLM/CDM/CRLM/CEM + sub-stages). CI uploads the
+## trace as an artifact.
+trace-smoke:
+	COHORTNET_TRACE=trace.json $(CARGO) run --release -p cohortnet-bench --bin trace_smoke

@@ -1,0 +1,162 @@
+//! `obs_overhead` — measures what the observability layer costs, into
+//! `BENCH_obs.json`.
+//!
+//! Three numbers matter:
+//!
+//! 1. the **disabled gate**: ns per `span()` / log call when tracing and the
+//!    level filter reject it — contractually one relaxed atomic load;
+//! 2. the **estimated disabled overhead** of a traced discovery run: gate
+//!    cost times the number of instrumentation sites hit, as a fraction of
+//!    the run — this is the price every un-traced production run pays;
+//! 3. the **enabled overhead**: wall-clock delta of the same discovery with
+//!    span collection on (in memory), which is what `COHORTNET_TRACE` costs.
+//!
+//! Run: `cargo run --release -p cohortnet-bench --bin obs_overhead`
+//! (`COHORTNET_FAST=1` shrinks the workload for smoke runs.)
+
+use cohortnet::config::CohortNetConfig;
+use cohortnet::discover::discover;
+use cohortnet::mflm::Mflm;
+use cohortnet_bench::fast;
+use cohortnet_bench::report::render_table;
+use cohortnet_ehr::{profiles, standardize::Standardizer, synth::generate};
+use cohortnet_models::data::{prepare, Prepared};
+use cohortnet_obs::log::Level;
+use cohortnet_obs::{obs_trace, trace};
+use cohortnet_tensor::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn gate_ns(iters: u64, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn setup() -> (CohortNetConfig, Prepared, ParamStore, Mflm) {
+    let mut c = profiles::mimic3_like(0.05);
+    c.n_patients = if fast() { 96 } else { 240 };
+    c.time_steps = 6;
+    let mut ds = generate(&c);
+    let scaler = Standardizer::fit(&ds);
+    scaler.apply(&mut ds);
+    let mut cfg = CohortNetConfig::for_dataset(&ds, &scaler);
+    cfg.k_states = 4;
+    cfg.min_frequency = 3;
+    cfg.min_patients = 2;
+    cfg.state_fit_samples = 2000;
+    let prep = prepare(&ds);
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(11);
+    let mflm = Mflm::new(&mut ps, &mut rng, &cfg);
+    (cfg, prep, ps, mflm)
+}
+
+fn main() {
+    // --- 1. Disabled-gate micro-bench. -----------------------------------
+    trace::disable();
+    let iters: u64 = if fast() { 2_000_000 } else { 20_000_000 };
+    let span_gate_ns = gate_ns(iters, || {
+        black_box(cohortnet_obs::span::span(black_box("bench.noop")));
+    });
+    // Trace-level logs are rejected by the default `info` filter.
+    let log_gate_ns = gate_ns(iters, || {
+        obs_trace!(target: "cohortnet.bench", "noop", i = black_box(1u64));
+    });
+    assert!(
+        !cohortnet_obs::log::enabled(Level::Trace),
+        "default filter must reject trace-level logs for this bench"
+    );
+
+    // --- 2/3. Discovery with tracing off vs on (in memory). --------------
+    let (cfg, prep, ps, mflm) = setup();
+    let reps = if fast() { 3 } else { 5 };
+    let run = || {
+        let d = discover(&mflm, &ps, &prep, &cfg, &mut StdRng::seed_from_u64(5));
+        black_box(d.pool.total_cohorts())
+    };
+    // Warm-up + span count for the estimate.
+    trace::clear();
+    trace::enable();
+    run();
+    let spans_per_run = trace::snapshot().len() as f64;
+    trace::disable();
+    trace::clear();
+
+    let mut off_sec = f64::INFINITY;
+    let mut on_sec = f64::INFINITY;
+    // Interleave off/on reps so drift hits both sides equally.
+    for _ in 0..reps {
+        let t = Instant::now();
+        run();
+        off_sec = off_sec.min(t.elapsed().as_secs_f64());
+
+        trace::enable();
+        let t = Instant::now();
+        run();
+        on_sec = on_sec.min(t.elapsed().as_secs_f64());
+        trace::disable();
+        trace::clear();
+    }
+
+    let est_disabled_pct = span_gate_ns * spans_per_run / (off_sec * 1e9) * 100.0;
+    let enabled_pct = (on_sec - off_sec) / off_sec * 100.0;
+
+    println!(
+        "{}",
+        render_table(
+            &["measure", "value"],
+            &[
+                vec![
+                    "span gate (disabled)".into(),
+                    format!("{span_gate_ns:.1} ns/op")
+                ],
+                vec![
+                    "log gate (filtered)".into(),
+                    format!("{log_gate_ns:.1} ns/op")
+                ],
+                vec!["spans per discovery".into(), format!("{spans_per_run:.0}")],
+                vec!["discovery, tracing off".into(), format!("{off_sec:.4} s")],
+                vec!["discovery, tracing on".into(), format!("{on_sec:.4} s")],
+                vec![
+                    "est. disabled overhead".into(),
+                    format!("{est_disabled_pct:.4} %")
+                ],
+                vec!["enabled overhead".into(), format!("{enabled_pct:.2} %")],
+            ],
+        )
+    );
+
+    let json = format!(
+        "{{\n  \"obs_overhead\": {{\n    \"span_gate_ns\": {span_gate_ns:.2},\n    \
+         \"log_gate_ns\": {log_gate_ns:.2},\n    \"spans_per_discovery\": {spans_per_run:.0},\n    \
+         \"discovery_off_sec\": {off_sec:.6},\n    \"discovery_on_sec\": {on_sec:.6},\n    \
+         \"est_disabled_overhead_pct\": {est_disabled_pct:.5},\n    \
+         \"enabled_overhead_pct\": {enabled_pct:.3}\n  }}\n}}\n"
+    );
+    match std::fs::write("BENCH_obs.json", &json) {
+        Ok(()) => eprintln!("[obs_overhead] wrote BENCH_obs.json"),
+        Err(e) => eprintln!("[obs_overhead] could not write BENCH_obs.json: {e}"),
+    }
+
+    // The disabled path must stay within noise: the gate is a relaxed load
+    // (generous 150ns bound survives shared CI hosts), and the estimated
+    // whole-run cost must be far under the 1% contract.
+    assert!(
+        span_gate_ns < 150.0,
+        "span gate too slow: {span_gate_ns:.1} ns"
+    );
+    assert!(
+        log_gate_ns < 150.0,
+        "log gate too slow: {log_gate_ns:.1} ns"
+    );
+    assert!(
+        est_disabled_pct < 1.0,
+        "estimated disabled overhead {est_disabled_pct:.4}% breaks the ≤1% contract"
+    );
+    println!("obs_overhead: ok");
+}

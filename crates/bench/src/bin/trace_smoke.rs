@@ -1,0 +1,112 @@
+//! `trace-smoke` — runs the four-step pipeline on a tiny synthetic dataset
+//! with span tracing exporting to a file (the `COHORTNET_TRACE` mode), then
+//! asserts the file is valid JSON in Chrome trace event format and contains
+//! the expected stage spans for all four paper modules (MFLM, CDM, CRLM,
+//! CEM) plus the mining/retrieval sub-stages. Exits non-zero on any failure.
+//!
+//! Run: `COHORTNET_TRACE=trace.json cargo run --release -p cohortnet-bench
+//! --bin trace_smoke` (the path defaults to `trace.json` when unset).
+
+use cohortnet::config::CohortNetConfig;
+use cohortnet::train::train_cohortnet;
+use cohortnet_ehr::{profiles, standardize::Standardizer, synth::generate};
+use cohortnet_models::data::prepare;
+use cohortnet_serve::json::{self, Json};
+
+fn main() {
+    let path = std::env::var("COHORTNET_TRACE").unwrap_or_else(|_| "trace.json".to_string());
+    // Configure programmatically so the smoke works with or without the env
+    // var set (init_from_env would also pick the var up, idempotently).
+    cohortnet_obs::trace::set_output(Some(path.clone()));
+    cohortnet_obs::trace::enable();
+
+    eprintln!("trace-smoke: training tiny pipeline (trace -> {path})...");
+    let mut c = profiles::mimic3_like(0.05);
+    c.n_patients = 96;
+    c.time_steps = 5;
+    c.healthy_rate = 0.5;
+    let mut ds = generate(&c);
+    let scaler = Standardizer::fit(&ds);
+    scaler.apply(&mut ds);
+    let mut cfg = CohortNetConfig::for_dataset(&ds, &scaler);
+    cfg.k_states = 4;
+    cfg.min_frequency = 3;
+    cfg.min_patients = 2;
+    cfg.state_fit_samples = 1500;
+    cfg.epochs_pretrain = 2;
+    cfg.epochs_exploit = 1;
+    cfg.batch_size = 32;
+    let prep = prepare(&ds);
+    let trained = train_cohortnet(&prep, &cfg);
+    assert!(
+        trained.model.discovery.is_some(),
+        "pipeline found no cohorts"
+    );
+
+    // train_cohortnet flushed the trace on exit; validate the file.
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("trace file {path} missing: {e}"));
+    let parsed = json::parse(&text).unwrap_or_else(|e| panic!("trace is not valid JSON: {e}"));
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("trace has no traceEvents array");
+    assert!(!events.is_empty(), "traceEvents is empty");
+
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    for want in [
+        // Pipeline root + the four paper modules.
+        "train.pipeline",
+        "mflm.pretrain",
+        "discover",
+        "crlm.represent",
+        "cem.exploit",
+        // Discovery stages and sub-stages.
+        "cdm.collect",
+        "cdm.fit",
+        "cdm.assign",
+        "cdm.mine",
+        "cdm.fit.feature",
+        "cdm.mine.feature",
+        "crlm.retrieve",
+        // Trainer + scheduler instrumentation.
+        "train.epoch",
+        "par.map",
+    ] {
+        assert!(
+            names.iter().any(|n| *n == want),
+            "span {want} missing from trace; got: {names:?}"
+        );
+    }
+    // Events are well-formed complete events with timing and span ids.
+    for e in events {
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+        assert!(e.get("ts").and_then(Json::as_f64).is_some());
+        assert!(e.get("dur").and_then(Json::as_f64).is_some());
+        assert!(e
+            .get("args")
+            .and_then(|a| a.get("span_id"))
+            .and_then(Json::as_f64)
+            .is_some());
+    }
+    // Nesting survived the export: some discovery stage has the `discover`
+    // root as its parent.
+    let discover_ids: Vec<f64> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("discover"))
+        .filter_map(|e| e.get("args")?.get("span_id")?.as_f64())
+        .collect();
+    let nested = events.iter().any(|e| {
+        e.get("name").and_then(Json::as_str) == Some("cdm.fit")
+            && e.get("args")
+                .and_then(|a| a.get("parent_id"))
+                .and_then(Json::as_f64)
+                .is_some_and(|p| discover_ids.contains(&p))
+    });
+    assert!(nested, "cdm.fit is not nested under discover");
+
+    println!("trace-smoke: ok ({} events in {path})", events.len());
+}

@@ -230,6 +230,11 @@ impl StateSampler {
             if s.is_empty() || k == 0 {
                 return None;
             }
+            let mut fit_span = cohortnet_obs::span::span("cdm.fit.feature");
+            fit_span
+                .arg("feature", f)
+                .arg("k", k)
+                .arg("samples", s.len() / self.dim);
             let mut rng = cohortnet_parallel::task_rng(seeds[f]);
             let n = s.len() / self.dim;
             let mut take = ((n as f32 * ratio).round() as usize).clamp(1, n);
@@ -415,6 +420,8 @@ pub fn mine_patterns_threads(
         "state tensor shape"
     );
     cohortnet_parallel::par_indices(n_threads, nf, |i| {
+        let mut mine_span = cohortnet_obs::span::span("cdm.mine.feature");
+        mine_span.arg("feature", i);
         let mut mined: HashMap<u64, PatternStats> = HashMap::new();
         for p in 0..n_patients {
             for t in 0..t_steps {

@@ -95,6 +95,8 @@ impl CohortPool {
         let mut per_feature = Vec::with_capacity(nf);
         let mut index = Vec::with_capacity(nf);
         for (i, patterns) in mined.into_iter().enumerate() {
+            let mut feature_span = cohortnet_obs::span::span("crlm.retrieve");
+            feature_span.arg("feature", i);
             // Credibility filters (§3.5): drop infrequent patterns.
             let mut kept: Vec<(u64, PatternStats)> = patterns
                 .into_iter()

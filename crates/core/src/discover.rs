@@ -20,9 +20,76 @@ use crate::config::CohortNetConfig;
 use crate::crlm::CohortPool;
 use crate::mflm::{Mflm, MflmTrace};
 use cohortnet_models::data::{make_batch, Batch, Prepared};
+use cohortnet_obs::{obs_debug, obs_info};
 use cohortnet_tensor::{Matrix, ParamStore, Tape};
 use rand::rngs::StdRng;
 use std::time::Instant;
+
+/// Log target for the discovery pipeline.
+const LOG: &str = "cohortnet.discover";
+
+/// Registers (get-or-create) the discovery stage telemetry in the global
+/// registry and records one run's timings.
+fn publish_stage_metrics(timing: &DiscoveryTiming, cohorts: usize) {
+    let reg = cohortnet_obs::metrics::global();
+    reg.counter(
+        "cohortnet_discover_runs_total",
+        "Discovery pipeline runs completed.",
+    )
+    .inc();
+    reg.counter(
+        "cohortnet_discover_cohorts_last",
+        "Cohorts found by discovery runs (cumulative).",
+    )
+    .add(cohorts as u64);
+    for (name, help, sec) in [
+        (
+            "cohortnet_discover_collect_us",
+            "Pass-1 representation collection time per run, microseconds.",
+            timing.collect_sec,
+        ),
+        (
+            "cohortnet_discover_fit_us",
+            "Per-feature state-fit time per run, microseconds.",
+            timing.fit_sec,
+        ),
+        (
+            "cohortnet_discover_assign_us",
+            "Pass-2 state-assignment time per run, microseconds.",
+            timing.assign_sec,
+        ),
+        (
+            "cohortnet_discover_mine_us",
+            "Pattern-mining time per run, microseconds.",
+            timing.mine_sec,
+        ),
+        (
+            "cohortnet_discover_represent_us",
+            "Cohort retrieval + representation time per run, microseconds.",
+            timing.represent_sec,
+        ),
+    ] {
+        reg.histogram(name, help, cohortnet_obs::metrics::DURATION_US_BOUNDS)
+            .observe((sec * 1e6) as u64);
+    }
+}
+
+/// The stage-summary table logged at the end of every discovery run.
+fn log_stage_summary(timing: &DiscoveryTiming, cohorts: usize, threads: usize) {
+    obs_info!(
+        target: LOG,
+        "discovery stage summary",
+        collect_s = format!("{:.3}", timing.collect_sec),
+        fit_s = format!("{:.3}", timing.fit_sec),
+        assign_s = format!("{:.3}", timing.assign_sec),
+        mine_s = format!("{:.3}", timing.mine_sec),
+        represent_s = format!("{:.3}", timing.represent_sec),
+        step2_s = format!("{:.3}", timing.step2_sec()),
+        step3_s = format!("{:.3}", timing.step3_sec()),
+        cohorts = cohorts,
+        n_threads = threads,
+    );
+}
 
 /// Everything pass 1 extracts from one inference batch. Workers return these
 /// and the driver folds them **in chunk order**, so the attention reduction
@@ -136,9 +203,23 @@ pub fn discover_with_algo(
     if let Err(e) = cfg.validate() {
         panic!("invalid CohortNetConfig: {e}");
     }
+    cohortnet_obs::init_from_env();
+    let mut discover_span = cohortnet_obs::span::span("discover");
     let nf = prep.n_features;
     let t_steps = prep.time_steps;
     let n_patients = prep.patients.len();
+    discover_span
+        .arg("patients", n_patients)
+        .arg("features", nf)
+        .arg("time_steps", t_steps);
+    obs_debug!(
+        target: LOG,
+        "discovery start",
+        patients = n_patients,
+        features = nf,
+        time_steps = t_steps,
+        n_threads = cfg.n_threads,
+    );
     let indices: Vec<usize> = (0..n_patients).collect();
     let infer_batch = cfg.batch_size.max(16);
     // Granularity: several inference batches per parallel task, so task
@@ -158,6 +239,7 @@ pub fn discover_with_algo(
     // the reservoir sampler consumes the parent RNG exactly as the
     // sequential loop would.
     let t0 = Instant::now();
+    let stage_span = cohortnet_obs::span::span("cdm.collect");
     let mut sampler = StateSampler::new(nf, cfg.d_fused, cfg.state_fit_samples);
     let mut attn_sum = Matrix::zeros(nf, nf);
     let mut attn_count = 0usize;
@@ -196,11 +278,13 @@ pub fn discover_with_algo(
     }
     drop(harvests);
     let attn_mean = attn_sum.scale(1.0 / attn_count.max(1) as f32);
+    drop(stage_span);
     timing.collect_sec = t0.elapsed().as_secs_f64();
 
     // ---- Fit state models and pattern masks (one thread per feature fit,
     // each on its own seed-split RNG stream).
     let t0 = Instant::now();
+    let stage_span = cohortnet_obs::span::span("cdm.fit");
     let ks = if cfg.adaptive_k {
         sampler.adaptive_ks(cfg.k_states)
     } else {
@@ -211,11 +295,13 @@ pub fn discover_with_algo(
         Some(th) => crate::cdm::build_masks_threshold(&attn_mean, th, cfg.n_top),
         None => build_masks(&attn_mean, cfg.n_top),
     };
+    drop(stage_span);
     timing.fit_sec = t0.elapsed().as_secs_f64();
 
     // ---- Pass 2: assign all states; harvest h_i^T. No RNG involved — each
     // worker's rows land at positions fixed by the patient index.
     let t0 = Instant::now();
+    let stage_span = cohortnet_obs::span::span("cdm.assign");
     let mut state_tensor = vec![0u8; n_patients * t_steps * nf];
     let mut h_final_all = Matrix::zeros(n_patients, nf * cfg.d_hidden);
     let states_ref = &states;
@@ -252,18 +338,29 @@ pub fn discover_with_algo(
         }
     }
     drop(harvests);
+    drop(stage_span);
     timing.assign_sec = t0.elapsed().as_secs_f64();
 
     // ---- Mine patterns, sharded per anchor feature.
     let t0 = Instant::now();
+    let stage_span = cohortnet_obs::span::span("cdm.mine");
     let mined = mine_patterns_threads(&state_tensor, n_patients, t_steps, nf, &masks, threads);
+    drop(stage_span);
     timing.mine_sec = t0.elapsed().as_secs_f64();
 
     // ---- Step 3: cohort representations.
     let t0 = Instant::now();
+    let stage_span = cohortnet_obs::span::span("crlm.represent");
     let labels: Vec<Vec<u8>> = prep.patients.iter().map(|p| p.labels_u8.clone()).collect();
     let pool = CohortPool::build(mined, masks, &h_final_all, &labels, cfg);
+    drop(stage_span);
     timing.represent_sec = t0.elapsed().as_secs_f64();
+
+    let cohorts = pool.total_cohorts();
+    publish_stage_metrics(&timing, cohorts);
+    log_stage_summary(&timing, cohorts, cfg.n_threads);
+    drop(discover_span);
+    cohortnet_obs::trace::flush();
 
     Discovery {
         states,

@@ -13,9 +13,13 @@ use crate::discover::DiscoveryTiming;
 use crate::model::CohortNetModel;
 use cohortnet_models::data::Prepared;
 use cohortnet_models::trainer::{train, TrainConfig, TrainStats};
+use cohortnet_obs::obs_info;
 use cohortnet_tensor::ParamStore;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Log target for pipeline-level events.
+const LOG: &str = "cohortnet.train";
 
 /// Wall-clock breakdown of the full pipeline.
 #[derive(Debug, Clone)]
@@ -53,6 +57,12 @@ pub fn train_cohortnet(prep: &Prepared, cfg: &CohortNetConfig) -> TrainedCohortN
     if let Err(e) = cfg.validate() {
         panic!("invalid CohortNetConfig: {e}");
     }
+    cohortnet_obs::init_from_env();
+    let mut pipeline_span = cohortnet_obs::span::span("train.pipeline");
+    pipeline_span
+        .arg("patients", prep.patients.len())
+        .arg("epochs_pretrain", cfg.epochs_pretrain)
+        .arg("epochs_exploit", cfg.epochs_exploit);
     let mut ps = ParamStore::new();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut model = CohortNetModel::new(&mut ps, &mut rng, cfg);
@@ -67,16 +77,20 @@ pub fn train_cohortnet(prep: &Prepared, cfg: &CohortNetConfig) -> TrainedCohortN
         verbose: cfg.verbose,
         n_threads: cfg.n_threads,
     };
-    let step1 = train(&mut model, &mut ps, prep, &tc1);
+    let step1 = {
+        let _span = cohortnet_obs::span::span("mflm.pretrain");
+        train(&mut model, &mut ps, prep, &tc1)
+    };
 
     // Steps 2 + 3: discovery.
     let discovery_timing = {
         let d = model.run_discovery(&ps, prep, &mut rng);
         if cfg.verbose {
-            eprintln!(
-                "[CohortNet] discovered {} cohorts ({}s)",
-                d.pool.total_cohorts(),
-                d.timing.step2_sec() + d.timing.step3_sec()
+            obs_info!(
+                target: LOG,
+                "cohort discovery complete",
+                cohorts = d.pool.total_cohorts(),
+                preprocess_s = format!("{:.3}", d.timing.step2_sec() + d.timing.step3_sec()),
             );
         }
         d.timing.clone()
@@ -88,8 +102,13 @@ pub fn train_cohortnet(prep: &Prepared, cfg: &CohortNetConfig) -> TrainedCohortN
         seed: cfg.seed + 1,
         ..tc1
     };
-    let step4 = train(&mut model, &mut ps, prep, &tc4);
+    let step4 = {
+        let _span = cohortnet_obs::span::span("cem.exploit");
+        train(&mut model, &mut ps, prep, &tc4)
+    };
 
+    drop(pipeline_span);
+    cohortnet_obs::trace::flush();
     TrainedCohortNet {
         model,
         params: ps,

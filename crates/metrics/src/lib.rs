@@ -4,6 +4,9 @@
 //! AUC-PR (the paper's primary metric for imbalanced EHR outcomes), F1, and
 //! their macro-averaged multi-label variants for diagnosis prediction.
 //!
+//! This crate is about **model quality**, not telemetry: operational
+//! counters, histograms, logging and tracing live in `cohortnet-obs`.
+//!
 //! ```
 //! use cohortnet_metrics::binary_report;
 //! let r = binary_report(&[0.9, 0.7, 0.3, 0.1], &[1, 1, 0, 0]);

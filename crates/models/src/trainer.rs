@@ -26,12 +26,17 @@
 use crate::data::{make_batch, Batch, Prepared};
 use crate::traits::SequenceModel;
 use cohortnet_metrics::{binary_report, macro_report, BinaryReport};
+use cohortnet_obs::log::Level;
+use cohortnet_obs::obs_log;
 use cohortnet_tensor::optim::Adam;
 use cohortnet_tensor::{GradBuffer, ParamStore, Tape};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::time::Instant;
+
+/// Log target for training-loop events.
+const LOG: &str = "cohortnet.trainer";
 
 /// Most shards a full minibatch is split into.
 const MAX_SHARDS: usize = 8;
@@ -125,6 +130,13 @@ pub fn train(
     cfg: &TrainConfig,
 ) -> TrainStats {
     let start = Instant::now();
+    let metrics = cohortnet_obs::metrics::global();
+    let epochs_total = metrics.counter("cohortnet_train_epochs_total", "Completed training epochs");
+    let step_us = metrics.histogram(
+        "cohortnet_train_step_us",
+        "Wall-clock microseconds per training step (forward + backward + update)",
+        cohortnet_obs::metrics::DURATION_US_BOUNDS,
+    );
     let mut opt = Adam::new(cfg.lr);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..prep.patients.len()).collect();
@@ -137,7 +149,10 @@ pub fn train(
     let mut slots: Vec<ShardSlot> = Vec::new();
 
     for epoch in 0..cfg.epochs {
+        let mut epoch_span = cohortnet_obs::span::span("train.epoch");
+        epoch_span.arg("model", model.name()).arg("epoch", epoch);
         if model.needs_refresh() {
+            let _refresh_span = cohortnet_obs::span::span("train.refresh");
             let t0 = Instant::now();
             model.refresh(ps, prep, &mut rng);
             preprocess_sec += t0.elapsed().as_secs_f64();
@@ -183,16 +198,31 @@ pub fn train(
                 ps.clip_grad_norm(cfg.clip);
             }
             opt.step(ps);
-            batch_time += t0.elapsed().as_secs_f64();
+            let step_sec = t0.elapsed().as_secs_f64();
+            step_us.observe((step_sec * 1e6) as u64);
+            batch_time += step_sec;
             batch_count += 1;
             loss_sum += batch_loss as f64;
             n_batches += 1;
         }
         let mean = (loss_sum / n_batches.max(1) as f64) as f32;
         epoch_losses.push(mean);
-        if cfg.verbose {
-            eprintln!("[{}] epoch {epoch}: loss {mean:.4}", model.name());
-        }
+        epochs_total.inc();
+        // Per-epoch progress: Info when the caller asked for it, otherwise
+        // Debug so `COHORTNET_LOG=debug` can still surface the trajectory.
+        let lvl = if cfg.verbose {
+            Level::Info
+        } else {
+            Level::Debug
+        };
+        obs_log!(
+            lvl,
+            target: LOG,
+            "epoch complete",
+            model = model.name(),
+            epoch = epoch,
+            loss = format!("{mean:.4}"),
+        );
     }
 
     TrainStats {

@@ -1,0 +1,54 @@
+//! # cohortnet-obs
+//!
+//! Telemetry for the CohortNet workspace. **This crate is observability,
+//! not evaluation**: `cohortnet-metrics` computes model-quality metrics
+//! (AUC-ROC, AUC-PR, F1); `cohortnet-obs` measures the *system* — what ran,
+//! how long it took, and how often.
+//!
+//! Three instruments, one overhead contract:
+//!
+//! * [`log`] — a structured, leveled logger (`target` + level + `key=value`
+//!   fields). Filtered by the `COHORTNET_LOG` env var
+//!   (`warn`, `debug`, `info,cohortnet.serve=debug`, ...), rendered as
+//!   human-readable text or JSON lines (`COHORTNET_LOG_FORMAT=json`).
+//! * [`span`] + [`trace`] — hierarchical spans with monotonic timing and
+//!   per-thread parent tracking. When `COHORTNET_TRACE=path` is set (or
+//!   tracing is enabled programmatically), finished spans are collected and
+//!   exported as Chrome-trace-format JSON loadable in `chrome://tracing` /
+//!   `ui.perfetto.dev`.
+//! * [`metrics`] — lock-free [`metrics::Counter`] / [`metrics::Gauge`] /
+//!   [`metrics::Histogram`] families behind a [`metrics::Registry`] rendered
+//!   in Prometheus text exposition format. A process-wide
+//!   [`metrics::global`] registry lets discovery, training and serving all
+//!   publish through one endpoint.
+//!
+//! ## Overhead contract
+//!
+//! Instrumentation is compiled in but must cost nothing when idle: a
+//! disabled span or log event is **one relaxed atomic load** — no clock
+//! read, no allocation, no lock. Timing is *observed* everywhere but
+//! *influences* nothing: no compute path may branch on a measured duration,
+//! so the workspace's bit-determinism contract (same outputs for every
+//! thread count, traced or untraced) is preserved by construction.
+
+#![warn(missing_docs)]
+
+pub mod log;
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+use std::sync::Once;
+
+/// Reads `COHORTNET_LOG`, `COHORTNET_LOG_FORMAT` and `COHORTNET_TRACE` and
+/// configures the logger and the span collector accordingly. Idempotent and
+/// cheap after the first call — library entry points (discovery, training,
+/// serving) call it so any binary in the workspace honours the env vars
+/// without its own wiring.
+pub fn init_from_env() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        log::configure_from_env();
+        trace::configure_from_env();
+    });
+}

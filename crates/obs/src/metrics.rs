@@ -1,0 +1,350 @@
+//! Lock-free metric families behind a Prometheus-rendered registry.
+//!
+//! [`Counter`], [`Gauge`] and [`Histogram`] are plain atomics — safe to
+//! hammer from any number of threads with no locks on the observation path.
+//! A [`Registry`] owns named families and renders them all in Prometheus
+//! text exposition format; [`Registry::counter`]-style accessors are
+//! get-or-create, so independent subsystems can register the same family
+//! and share the underlying atomics.
+//!
+//! The process-wide [`global`] registry is where offline stages (discovery,
+//! training) publish; the serving layer renders its per-server registry and
+//! the global one through a single `/metrics` endpoint, which is what makes
+//! the workspace's telemetry "one registry" from an operator's view.
+//!
+//! (Not to be confused with `cohortnet-metrics`, the *evaluation*-metrics
+//! crate: AUC-ROC, AUC-PR, F1.)
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (queue depths, in-flight requests).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket cumulative histogram with atomic counters.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper bound of each bucket (ascending); an implicit `+Inf` bucket
+    /// follows the last bound.
+    bounds: &'static [u64],
+    /// Per-bucket observation counts (len = bounds.len() + 1).
+    buckets: Vec<AtomicU64>,
+    /// Sum of all observed values.
+    sum: AtomicU64,
+    /// Total observation count.
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending bucket upper bounds.
+    pub fn new(bounds: &'static [u64]) -> Self {
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The bucket bounds this histogram was built with.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Total observation count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The value at (or just above) the given quantile, estimated from the
+    /// bucket bounds; `None` when empty. Used by the throughput bench.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return Some(self.bounds.get(i).copied().unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    fn render(&self, out: &mut String, name: &str, help: &str) {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, bound) in self.bounds.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        }
+        cumulative += self.buckets[self.bounds.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("{name}_sum {}\n", self.sum()));
+        out.push_str(&format!("{name}_count {}\n", self.count()));
+    }
+}
+
+/// Bucket bounds for micro-second durations, 100µs to 60s — wide enough for
+/// request latencies and offline pipeline stages alike.
+pub const DURATION_US_BOUNDS: &[u64] = &[
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000, 30_000_000, 60_000_000,
+];
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A set of named metric families rendered together. Registration takes a
+/// short lock; observation on the returned handles is lock-free.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let families = self.families.lock().expect("registry poisoned");
+        f.debug_struct("Registry")
+            .field("families", &families.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Gets or creates the counter family `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut families = self.families.lock().expect("registry poisoned");
+        if let Some(f) = families.iter().find(|f| f.name == name) {
+            match &f.metric {
+                Metric::Counter(c) => return Arc::clone(c),
+                _ => panic!("metric {name} already registered with a different type"),
+            }
+        }
+        let c = Arc::new(Counter::new());
+        families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: Metric::Counter(Arc::clone(&c)),
+        });
+        c
+    }
+
+    /// Gets or creates the gauge family `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut families = self.families.lock().expect("registry poisoned");
+        if let Some(f) = families.iter().find(|f| f.name == name) {
+            match &f.metric {
+                Metric::Gauge(g) => return Arc::clone(g),
+                _ => panic!("metric {name} already registered with a different type"),
+            }
+        }
+        let g = Arc::new(Gauge::new());
+        families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: Metric::Gauge(Arc::clone(&g)),
+        });
+        g
+    }
+
+    /// Gets or creates the histogram family `name` over `bounds`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different type or with
+    /// different bounds.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &'static [u64]) -> Arc<Histogram> {
+        let mut families = self.families.lock().expect("registry poisoned");
+        if let Some(f) = families.iter().find(|f| f.name == name) {
+            match &f.metric {
+                Metric::Histogram(h) if h.bounds() == bounds => return Arc::clone(h),
+                Metric::Histogram(_) => {
+                    panic!("histogram {name} already registered with different bounds")
+                }
+                _ => panic!("metric {name} already registered with a different type"),
+            }
+        }
+        let h = Arc::new(Histogram::new(bounds));
+        families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: Metric::Histogram(Arc::clone(&h)),
+        });
+        h
+    }
+
+    /// Renders every family in Prometheus text exposition format, in
+    /// registration order.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().expect("registry poisoned");
+        let mut out = String::new();
+        for f in families.iter() {
+            match &f.metric {
+                Metric::Counter(c) => out.push_str(&format!(
+                    "# HELP {0} {1}\n# TYPE {0} counter\n{0} {2}\n",
+                    f.name,
+                    f.help,
+                    c.get()
+                )),
+                Metric::Gauge(g) => out.push_str(&format!(
+                    "# HELP {0} {1}\n# TYPE {0} gauge\n{0} {2}\n",
+                    f.name,
+                    f.help,
+                    g.get()
+                )),
+                Metric::Histogram(h) => h.render(&mut out, &f.name, &f.help),
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry: offline stages (discovery, training) publish
+/// here, and servers append it to their `/metrics` rendering.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new(&[1, 4, 16]);
+        for v in [1, 1, 3, 5, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 110);
+        assert_eq!(h.quantile(0.5), Some(4)); // 3rd of 5 lands in le=4
+        assert_eq!(h.quantile(1.0), Some(u64::MAX)); // overflow bucket
+    }
+
+    #[test]
+    fn registry_renders_all_types_and_is_get_or_create() {
+        let r = Registry::new();
+        let c = r.counter("unit_requests_total", "Requests.");
+        c.add(3);
+        // Second registration returns the same underlying counter.
+        r.counter("unit_requests_total", "Requests.").inc();
+        assert_eq!(c.get(), 4);
+        let g = r.gauge("unit_queue_depth", "Depth.");
+        g.set(7);
+        g.add(-2);
+        let h = r.histogram("unit_latency_us", "Latency.", &[1, 2]);
+        h.observe(1);
+        h.observe(9);
+        let text = r.render();
+        assert!(text.contains("# TYPE unit_requests_total counter"));
+        assert!(text.contains("unit_requests_total 4"));
+        assert!(text.contains("# TYPE unit_queue_depth gauge"));
+        assert!(text.contains("unit_queue_depth 5"));
+        assert!(text.contains("unit_latency_us_bucket{le=\"1\"} 1"));
+        assert!(text.contains("unit_latency_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("unit_latency_us_count 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn registry_rejects_type_confusion() {
+        let r = Registry::new();
+        r.counter("unit_x", "X.");
+        r.gauge("unit_x", "X again.");
+    }
+}

@@ -15,6 +15,13 @@
 //!
 //! Built on [`std::thread::scope`] — no external dependencies, no
 //! thread-pool state to manage; workers borrow the task inputs directly.
+//!
+//! The scheduler is instrumented with `cohortnet-obs` spans: every
+//! [`par_map`]/[`par_map_mut`] call opens a `par.map` span on the calling
+//! thread and a `par.task` span per task on whichever worker runs it, so a
+//! Chrome trace of a run shows the task-level schedule. Disabled spans cost
+//! one relaxed atomic load per task and never influence scheduling or
+//! results.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -72,8 +79,18 @@ where
 {
     let n = items.len();
     let threads = resolve_threads(n_threads, n);
+    let mut map_span = cohortnet_obs::span::span("par.map");
+    map_span.arg("tasks", n).arg("threads", threads);
     if threads <= 1 || n <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let mut s = cohortnet_obs::span::span("par.task");
+                s.arg("index", i);
+                f(i, t)
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -90,6 +107,8 @@ where
                     if i >= n {
                         break;
                     }
+                    let mut s = cohortnet_obs::span::span("par.task");
+                    s.arg("index", i);
                     produced.push((i, f(i, &items[i])));
                 }
                 produced
@@ -154,8 +173,18 @@ where
 {
     let n = items.len();
     let threads = resolve_threads(n_threads, n);
+    let mut map_span = cohortnet_obs::span::span("par.map");
+    map_span.arg("tasks", n).arg("threads", threads);
     if threads <= 1 || n <= 1 {
-        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, t)| {
+                let mut s = cohortnet_obs::span::span("par.task");
+                s.arg("index", i);
+                f(i, t)
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let base = SlotPtr(items.as_mut_ptr());
@@ -175,6 +204,8 @@ where
                     // claimed by exactly one worker; `items` outlives the
                     // scope and `i < n` is checked above.
                     let slot = unsafe { &mut *base.0.add(i) };
+                    let mut s = cohortnet_obs::span::span("par.task");
+                    s.arg("index", i);
                     produced.push((i, f(i, slot)));
                 }
                 produced

@@ -7,7 +7,11 @@
 //! ```
 
 use cohortnet::snapshot::load_snapshot;
+use cohortnet_obs::obs_info;
 use cohortnet_serve::{demo, serve, EngineConfig, ServerConfig};
+
+/// Log target for server-lifecycle events.
+const LOG: &str = "cohortnet.serve.bin";
 
 struct Args {
     snapshot: Option<String>,
@@ -72,21 +76,22 @@ fn parse_num<T: std::str::FromStr>(text: &str, name: &str) -> T {
 }
 
 fn main() {
+    cohortnet_obs::init_from_env();
     let args = parse_args();
 
     if let Some(path) = &args.demo_snapshot {
-        eprintln!("training demo model...");
+        obs_info!(target: LOG, "training demo model");
         let bundle = demo::demo_bundle();
         std::fs::write(path, &bundle.snapshot).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1)
         });
-        eprintln!("wrote demo snapshot to {path}");
+        obs_info!(target: LOG, "wrote demo snapshot", path = path);
         return;
     }
 
     let text = if args.demo {
-        eprintln!("training demo model...");
+        obs_info!(target: LOG, "training demo model");
         demo::demo_bundle().snapshot
     } else if let Some(path) = &args.snapshot {
         std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -101,12 +106,13 @@ fn main() {
         eprintln!("snapshot rejected: {e}");
         std::process::exit(1)
     });
-    eprintln!(
-        "loaded snapshot: {} features, {} time steps, {} labels, cohorts: {}",
-        loaded.model.cfg.n_features(),
-        loaded.time_steps,
-        loaded.model.cfg.n_labels,
-        loaded.model.discovery.is_some()
+    obs_info!(
+        target: LOG,
+        "loaded snapshot",
+        features = loaded.model.cfg.n_features(),
+        time_steps = loaded.time_steps,
+        labels = loaded.model.cfg.n_labels,
+        cohorts = loaded.model.discovery.is_some(),
     );
 
     let server = serve(
@@ -120,7 +126,8 @@ fn main() {
         eprintln!("cannot bind port {}: {e}", args.port);
         std::process::exit(1)
     });
-    eprintln!("serving on http://{}", server.addr());
+    obs_info!(target: LOG, "serving", url = format!("http://{}", server.addr()));
     server.join();
-    eprintln!("shut down");
+    cohortnet_obs::trace::flush();
+    obs_info!(target: LOG, "shut down");
 }

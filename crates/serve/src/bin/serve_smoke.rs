@@ -9,8 +9,8 @@ use std::net::{SocketAddr, TcpStream};
 use cohortnet::snapshot::load_snapshot;
 use cohortnet_serve::{demo, serve, EngineConfig, ServerConfig};
 
-/// Fires one HTTP request and returns `(status, body)`.
-fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+/// Fires one HTTP request and returns `(status, response head, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let head = format!(
         "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -25,11 +25,19 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Stri
         .nth(1)
         .and_then(|s| s.parse().ok())
         .expect("status line");
-    let body = raw
+    let (head, body) = raw
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
-    (status, body)
+    (status, head, body)
+}
+
+/// Extracts a response header value (case-insensitive name) from a raw head.
+fn header<'h>(head: &'h str, name: &str) -> Option<&'h str> {
+    head.lines().find_map(|line| {
+        let (n, v) = line.split_once(':')?;
+        n.trim().eq_ignore_ascii_case(name).then_some(v.trim())
+    })
 }
 
 fn score_body(examples: &[cohortnet::infer::ScoreRequest]) -> String {
@@ -70,6 +78,9 @@ fn main() {
     let snapshot_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "target/serve-smoke.cns".to_string());
+    // Mirror log lines into memory so we can assert the served request id
+    // shows up in the structured log.
+    let log_capture = cohortnet_obs::log::capture_start();
 
     eprintln!("serve-smoke: training demo model...");
     let bundle = demo::demo_bundle();
@@ -99,7 +110,7 @@ fn main() {
     eprintln!("serve-smoke: serving on {addr}");
 
     // /healthz
-    let (status, body) = request(addr, "GET", "/healthz", "");
+    let (status, _, body) = request(addr, "GET", "/healthz", "");
     assert_eq!(status, 200, "healthz: {body}");
     assert!(body.contains("\"status\":\"ok\""), "healthz body: {body}");
     assert!(
@@ -113,14 +124,25 @@ fn main() {
         .examples
         .iter()
         .map(|e| {
-            let (status, body) =
+            let (status, _, body) =
                 request(addr, "POST", "/score", &score_body(std::slice::from_ref(e)));
             assert_eq!(status, 200, "solo score: {body}");
             predictions(&body).remove(0)
         })
         .collect();
-    let (status, body) = request(addr, "POST", "/score", &score_body(&bundle.examples));
+    let (status, head, body) = request(addr, "POST", "/score", &score_body(&bundle.examples));
     assert_eq!(status, 200, "batch score: {body}");
+    // Every response carries a request id, and the same id appears in the
+    // structured request log.
+    let rid = header(&head, "X-Request-Id")
+        .unwrap_or_else(|| panic!("no X-Request-Id header in: {head}"))
+        .to_string();
+    assert!(!rid.is_empty(), "empty X-Request-Id");
+    let logged = log_capture.contents();
+    assert!(
+        logged.contains(&rid),
+        "request id {rid} not found in captured log:\n{logged}"
+    );
     let batched = predictions(&body);
     assert_eq!(batched.len(), bundle.examples.len());
     for (i, (s, b)) in solo.iter().zip(&batched).enumerate() {
@@ -128,26 +150,26 @@ fn main() {
     }
 
     // /score input validation.
-    let (status, body) = request(
+    let (status, _, body) = request(
         addr,
         "POST",
         "/score",
         "{\"instances\":[{\"x\":[1],\"mask\":[1]}]}",
     );
     assert_eq!(status, 400, "short instance must be rejected: {body}");
-    let (status, _) = request(addr, "POST", "/score", "not json");
+    let (status, _, _) = request(addr, "POST", "/score", "not json");
     assert_eq!(status, 400);
 
     // /explain
     let e = &bundle.examples[0];
     let explain_body = format!("{{\"x\":[{}],\"mask\":[{}]}}", join(&e.x), join(&e.mask));
-    let (status, body) = request(addr, "POST", "/explain", &explain_body);
+    let (status, _, body) = request(addr, "POST", "/explain", &explain_body);
     assert_eq!(status, 200, "explain: {body}");
     assert!(body.contains("\"base_prob\""), "explain body: {body}");
     assert!(body.contains("\"cohorts\""), "explain body: {body}");
 
     // /cohorts
-    let (status, body) = request(addr, "GET", "/cohorts", "");
+    let (status, _, body) = request(addr, "GET", "/cohorts", "");
     assert_eq!(status, 200);
     assert!(
         body.contains("\"has_cohorts\":true"),
@@ -155,26 +177,32 @@ fn main() {
     );
 
     // 404 and 405 paths.
-    let (status, _) = request(addr, "GET", "/nope", "");
+    let (status, _, _) = request(addr, "GET", "/nope", "");
     assert_eq!(status, 404);
-    let (status, _) = request(addr, "GET", "/score", "");
+    let (status, _, _) = request(addr, "GET", "/score", "");
     assert_eq!(status, 405);
 
-    // /metrics
-    let (status, body) = request(addr, "GET", "/metrics", "");
+    // /metrics: the unified registry exposes request counters plus the
+    // stage histograms (queue wait vs batch compute).
+    let (status, _, body) = request(addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
-    assert!(
-        body.contains("cohortnet_requests_total"),
-        "metrics body: {body}"
-    );
-    assert!(
-        body.contains("cohortnet_batch_size_bucket"),
-        "metrics body: {body}"
-    );
+    for family in [
+        "cohortnet_requests_total",
+        "cohortnet_batch_size_bucket",
+        "cohortnet_queue_wait_us_bucket",
+        "cohortnet_batch_compute_us_bucket",
+        "cohortnet_queue_depth",
+    ] {
+        assert!(
+            body.contains(family),
+            "{family} missing from /metrics: {body}"
+        );
+    }
 
     // Graceful shutdown.
-    let (status, _) = request(addr, "POST", "/shutdown", "");
+    let (status, _, _) = request(addr, "POST", "/shutdown", "");
     assert_eq!(status, 200);
     server.join();
+    drop(log_capture);
     println!("serve-smoke: ok");
 }

@@ -155,7 +155,7 @@ impl Engine {
         let s = &self.shared;
         let want_x = s.inf.time_steps() * s.inf.n_features();
         if req.x.len() != want_x {
-            s.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+            s.metrics.responses_err.inc();
             return Err(EngineError::BadRequest(format!(
                 "x has {} values, expected time_steps * n_features = {} * {} = {}",
                 req.x.len(),
@@ -165,7 +165,7 @@ impl Engine {
             )));
         }
         if req.mask.len() != s.inf.n_features() {
-            s.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+            s.metrics.responses_err.inc();
             return Err(EngineError::BadRequest(format!(
                 "mask has {} values, expected n_features = {}",
                 req.mask.len(),
@@ -173,7 +173,7 @@ impl Engine {
             )));
         }
         if s.shutdown.load(Ordering::SeqCst) {
-            s.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+            s.metrics.responses_err.inc();
             return Err(EngineError::ShuttingDown);
         }
         let (tx, rx) = mpsc::channel();
@@ -181,7 +181,7 @@ impl Engine {
             let mut q = s.queue.lock().expect("engine queue poisoned");
             if q.len() >= s.cfg.queue_cap {
                 drop(q);
-                s.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+                s.metrics.responses_err.inc();
                 return Err(EngineError::Overloaded);
             }
             q.push_back(Pending {
@@ -189,16 +189,17 @@ impl Engine {
                 tx,
                 enqueued: Instant::now(),
             });
+            s.metrics.queue_depth.set(q.len() as i64);
         }
-        s.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        s.metrics.requests_total.inc();
         s.cv.notify_all();
         match rx.recv() {
             Ok(row) => {
-                s.metrics.responses_ok.fetch_add(1, Ordering::Relaxed);
+                s.metrics.responses_ok.inc();
                 Ok(row)
             }
             Err(_) => {
-                s.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+                s.metrics.responses_err.inc();
                 Err(EngineError::ShuttingDown)
             }
         }
@@ -216,7 +217,7 @@ impl Engine {
         for req in &reqs {
             let want_x = s.inf.time_steps() * s.inf.n_features();
             if req.x.len() != want_x || req.mask.len() != s.inf.n_features() {
-                s.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+                s.metrics.responses_err.inc();
                 return Err(EngineError::BadRequest(format!(
                     "instance shapes must be x: {} (= {} x {}), mask: {}",
                     want_x,
@@ -227,7 +228,7 @@ impl Engine {
             }
         }
         if s.shutdown.load(Ordering::SeqCst) {
-            s.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+            s.metrics.responses_err.inc();
             return Err(EngineError::ShuttingDown);
         }
         let n = reqs.len();
@@ -236,7 +237,7 @@ impl Engine {
             let mut q = s.queue.lock().expect("engine queue poisoned");
             if q.len() + n > s.cfg.queue_cap {
                 drop(q);
-                s.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+                s.metrics.responses_err.inc();
                 return Err(EngineError::Overloaded);
             }
             let now = Instant::now();
@@ -249,20 +250,19 @@ impl Engine {
                 });
                 receivers.push(rx);
             }
+            s.metrics.queue_depth.set(q.len() as i64);
         }
-        s.metrics
-            .requests_total
-            .fetch_add(n as u64, Ordering::Relaxed);
+        s.metrics.requests_total.add(n as u64);
         s.cv.notify_all();
         let mut rows = Vec::with_capacity(n);
         for rx in receivers {
             match rx.recv() {
                 Ok(row) => {
-                    s.metrics.responses_ok.fetch_add(1, Ordering::Relaxed);
+                    s.metrics.responses_ok.inc();
                     rows.push(row);
                 }
                 Err(_) => {
-                    s.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+                    s.metrics.responses_err.inc();
                     return Err(EngineError::ShuttingDown);
                 }
             }
@@ -327,14 +327,27 @@ fn next_batch(s: &Shared) -> Option<Vec<Pending>> {
                 .0;
     }
     let take = q.len().min(s.cfg.max_batch);
-    Some(q.drain(..take).collect())
+    let batch: Vec<Pending> = q.drain(..take).collect();
+    s.metrics.queue_depth.set(q.len() as i64);
+    Some(batch)
 }
 
 fn batcher_loop(s: &Shared) {
     while let Some(batch) = next_batch(s) {
+        let mut batch_span = cohortnet_obs::span::span("serve.batch");
+        batch_span.arg("size", batch.len());
+        // Queue wait ends when the batch starts scoring.
+        let batch_start = Instant::now();
+        for pending in &batch {
+            let waited = batch_start.saturating_duration_since(pending.enqueued);
+            s.metrics.queue_wait_us.observe(waited.as_micros() as u64);
+        }
         let reqs: Vec<ScoreRequest> = batch.iter().map(|p| p.req.clone()).collect();
         let out = s.inf.score_requests_parallel(&reqs, s.cfg.threads);
-        s.metrics.batches_total.fetch_add(1, Ordering::Relaxed);
+        s.metrics
+            .batch_compute_us
+            .observe(batch_start.elapsed().as_micros() as u64);
+        s.metrics.batches_total.inc();
         s.metrics.batch_size.observe(batch.len() as u64);
         let now = Instant::now();
         for (r, pending) in batch.iter().enumerate() {

@@ -126,12 +126,14 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Writes a complete response and flushes.
+/// Writes a complete response and flushes. `extra_headers` are emitted
+/// verbatim after the standard head (used for `X-Request-Id`).
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     content_type: &str,
     body: &str,
+    extra_headers: &[(&str, &str)],
 ) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
@@ -143,18 +145,27 @@ pub fn write_response(
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
 }
 
 /// Writes a JSON response.
-pub fn write_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    write_response(stream, status, "application/json", body)
+pub fn write_json(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    write_response(stream, status, "application/json", body, extra_headers)
 }
 
 #[cfg(test)]
@@ -193,6 +204,31 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
         assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn response_includes_extra_headers() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let reader = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).expect("connect");
+            let mut out = String::new();
+            c.read_to_string(&mut out).expect("read");
+            out
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        write_response(
+            &mut conn,
+            200,
+            "text/plain",
+            "hi",
+            &[("X-Request-Id", "abc-1")],
+        )
+        .expect("write");
+        drop(conn);
+        let raw = reader.join().expect("reader thread");
+        assert!(raw.contains("X-Request-Id: abc-1\r\n"), "{raw}");
+        assert!(raw.ends_with("hi"), "{raw}");
     }
 
     #[test]

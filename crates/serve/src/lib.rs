@@ -11,8 +11,10 @@
 //! * [`server`] — `POST /score`, `POST /explain`, `GET /cohorts`,
 //!   `GET /healthz`, `GET /metrics`, `POST /shutdown`; graceful drain on
 //!   shutdown.
-//! * [`metrics`] — request counters plus batch-size and latency histograms
-//!   in Prometheus text format.
+//! * [`metrics`] — serving metric families (request counters, queue gauge,
+//!   stage histograms), a thin shim over [`cohortnet_obs::metrics`]; the
+//!   `/metrics` endpoint renders the per-server registry plus the process
+//!   global one in Prometheus text format.
 //! * [`json`] — the minimal JSON parser/renderer the endpoints use.
 //! * [`demo`] — a tiny synthetic-data training run producing a real
 //!   snapshot, shared by the CLI's `--demo` mode, the smoke binary and the

@@ -1,87 +1,18 @@
-//! Lock-free serving metrics: request counters plus batch-size and latency
-//! histograms, rendered in Prometheus text exposition format.
+//! Serving metrics, backed by [`cohortnet_obs::metrics`].
+//!
+//! This module is a thin shim: the counter/gauge/histogram primitives and
+//! the Prometheus renderer live in `cohortnet-obs` (the workspace telemetry
+//! crate — not `cohortnet-metrics`, which holds *evaluation* metrics such as
+//! AUC-ROC and F1). Each server builds its own [`Registry`] so tests and
+//! benches that run several servers in one process never share histograms;
+//! [`Metrics::render_prometheus`] appends the process-wide
+//! [`cohortnet_obs::metrics::global`] registry, so the `/metrics` endpoint
+//! exposes discovery and training telemetry alongside the serving families —
+//! one unified registry from the operator's point of view.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// A fixed-bucket cumulative histogram with atomic counters.
-#[derive(Debug)]
-pub struct Histogram {
-    /// Upper bound of each bucket (ascending); an implicit `+Inf` bucket
-    /// follows the last bound.
-    bounds: &'static [u64],
-    /// Per-bucket observation counts (len = bounds.len() + 1).
-    buckets: Vec<AtomicU64>,
-    /// Sum of all observed values.
-    sum: AtomicU64,
-    /// Total observation count.
-    count: AtomicU64,
-}
-
-impl Histogram {
-    /// A histogram over the given ascending bucket upper bounds.
-    pub fn new(bounds: &'static [u64]) -> Self {
-        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
-        Histogram {
-            bounds,
-            buckets,
-            sum: AtomicU64::new(0),
-            count: AtomicU64::new(0),
-        }
-    }
-
-    /// Records one observation.
-    pub fn observe(&self, value: u64) {
-        let idx = self
-            .bounds
-            .iter()
-            .position(|&b| value <= b)
-            .unwrap_or(self.bounds.len());
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total observation count.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Sum of all observed values.
-    pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
-    }
-
-    /// The value at (or just above) the given quantile, estimated from the
-    /// bucket bounds; `None` when empty. Used by the throughput bench.
-    pub fn quantile(&self, q: f64) -> Option<u64> {
-        let total = self.count();
-        if total == 0 {
-            return None;
-        }
-        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= target {
-                return Some(self.bounds.get(i).copied().unwrap_or(u64::MAX));
-            }
-        }
-        Some(u64::MAX)
-    }
-
-    fn render(&self, out: &mut String, name: &str, help: &str) {
-        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
-        let mut cumulative = 0u64;
-        for (i, bound) in self.bounds.iter().enumerate() {
-            cumulative += self.buckets[i].load(Ordering::Relaxed);
-            out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
-        }
-        cumulative += self.buckets[self.bounds.len()].load(Ordering::Relaxed);
-        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
-        out.push_str(&format!("{name}_sum {}\n", self.sum()));
-        out.push_str(&format!("{name}_count {}\n", self.count()));
-    }
-}
+pub use cohortnet_obs::metrics::{Counter, Gauge, Histogram, Registry};
 
 /// Bucket bounds for batch sizes (requests per scored minibatch).
 pub const BATCH_SIZE_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
@@ -93,75 +24,94 @@ pub const LATENCY_US_BOUNDS: &[u64] = &[
 ];
 
 /// All serving metrics, shared between the engine and the HTTP handlers.
+/// Handles are pre-registered `Arc`s into the per-server registry, so the
+/// observation path stays lock-free.
 #[derive(Debug)]
 pub struct Metrics {
+    registry: Arc<Registry>,
     /// Requests accepted into the queue.
-    pub requests_total: AtomicU64,
+    pub requests_total: Arc<Counter>,
     /// Requests answered successfully.
-    pub responses_ok: AtomicU64,
+    pub responses_ok: Arc<Counter>,
     /// Requests answered with an error (bad input, overload, shutdown).
-    pub responses_err: AtomicU64,
+    pub responses_err: Arc<Counter>,
     /// Minibatches scored by the engine.
-    pub batches_total: AtomicU64,
+    pub batches_total: Arc<Counter>,
+    /// Requests currently waiting in the engine queue.
+    pub queue_depth: Arc<Gauge>,
     /// Requests coalesced per scored minibatch.
-    pub batch_size: Histogram,
+    pub batch_size: Arc<Histogram>,
     /// Queue-to-response latency per request, microseconds.
-    pub latency_us: Histogram,
+    pub latency_us: Arc<Histogram>,
+    /// Time a request spent queued before its batch started scoring,
+    /// microseconds.
+    pub queue_wait_us: Arc<Histogram>,
+    /// Forward-pass time per scored minibatch, microseconds.
+    pub batch_compute_us: Arc<Histogram>,
+    /// Response render + write time per request, microseconds.
+    pub render_us: Arc<Histogram>,
 }
 
 impl Metrics {
-    /// Fresh zeroed metrics.
+    /// Fresh zeroed metrics in a private registry.
     pub fn new() -> Self {
+        let registry = Arc::new(Registry::new());
         Metrics {
-            requests_total: AtomicU64::new(0),
-            responses_ok: AtomicU64::new(0),
-            responses_err: AtomicU64::new(0),
-            batches_total: AtomicU64::new(0),
-            batch_size: Histogram::new(BATCH_SIZE_BOUNDS),
-            latency_us: Histogram::new(LATENCY_US_BOUNDS),
+            requests_total: registry.counter(
+                "cohortnet_requests_total",
+                "Scoring requests accepted into the queue.",
+            ),
+            responses_ok: registry.counter(
+                "cohortnet_responses_ok_total",
+                "Scoring requests answered successfully.",
+            ),
+            responses_err: registry.counter(
+                "cohortnet_responses_err_total",
+                "Scoring requests answered with an error.",
+            ),
+            batches_total: registry.counter(
+                "cohortnet_batches_total",
+                "Minibatches scored by the engine.",
+            ),
+            queue_depth: registry.gauge(
+                "cohortnet_queue_depth",
+                "Requests currently waiting in the engine queue.",
+            ),
+            batch_size: registry.histogram(
+                "cohortnet_batch_size",
+                "Requests coalesced per scored minibatch.",
+                BATCH_SIZE_BOUNDS,
+            ),
+            latency_us: registry.histogram(
+                "cohortnet_request_latency_us",
+                "Queue-to-response latency per request, microseconds.",
+                LATENCY_US_BOUNDS,
+            ),
+            queue_wait_us: registry.histogram(
+                "cohortnet_queue_wait_us",
+                "Time queued before the batch started scoring, microseconds.",
+                LATENCY_US_BOUNDS,
+            ),
+            batch_compute_us: registry.histogram(
+                "cohortnet_batch_compute_us",
+                "Forward-pass time per scored minibatch, microseconds.",
+                LATENCY_US_BOUNDS,
+            ),
+            render_us: registry.histogram(
+                "cohortnet_render_us",
+                "Response render + write time per request, microseconds.",
+                LATENCY_US_BOUNDS,
+            ),
+            registry,
         }
     }
 
-    /// Renders everything in Prometheus text exposition format.
+    /// Renders the per-server registry followed by the process-wide
+    /// [`cohortnet_obs::metrics::global`] registry (discovery + training
+    /// families) in Prometheus text exposition format.
     pub fn render_prometheus(&self) -> String {
-        let mut out = String::new();
-        for (name, help, counter) in [
-            (
-                "cohortnet_requests_total",
-                "Scoring requests accepted into the queue.",
-                &self.requests_total,
-            ),
-            (
-                "cohortnet_responses_ok_total",
-                "Scoring requests answered successfully.",
-                &self.responses_ok,
-            ),
-            (
-                "cohortnet_responses_err_total",
-                "Scoring requests answered with an error.",
-                &self.responses_err,
-            ),
-            (
-                "cohortnet_batches_total",
-                "Minibatches scored by the engine.",
-                &self.batches_total,
-            ),
-        ] {
-            out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}\n",
-                counter.load(Ordering::Relaxed)
-            ));
-        }
-        self.batch_size.render(
-            &mut out,
-            "cohortnet_batch_size",
-            "Requests coalesced per scored minibatch.",
-        );
-        self.latency_us.render(
-            &mut out,
-            "cohortnet_request_latency_us",
-            "Queue-to-response latency per request, microseconds.",
-        );
+        let mut out = self.registry.render();
+        out.push_str(&cohortnet_obs::metrics::global().render());
         out
     }
 }
@@ -191,7 +141,7 @@ mod tests {
     #[test]
     fn prometheus_rendering_is_cumulative() {
         let m = Metrics::new();
-        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.requests_total.add(3);
         m.batch_size.observe(1);
         m.batch_size.observe(2);
         let text = m.render_prometheus();
@@ -200,5 +150,23 @@ mod tests {
         assert!(text.contains("cohortnet_batch_size_bucket{le=\"2\"} 2"));
         assert!(text.contains("cohortnet_batch_size_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("cohortnet_batch_size_count 2"));
+    }
+
+    #[test]
+    fn per_server_metrics_are_isolated() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        a.requests_total.add(5);
+        assert_eq!(b.requests_total.get(), 0);
+    }
+
+    #[test]
+    fn render_includes_global_registry() {
+        let tag = "cohortnet_test_shim_global_total";
+        cohortnet_obs::metrics::global()
+            .counter(tag, "Shim render test marker.")
+            .inc();
+        let text = Metrics::new().render_prometheus();
+        assert!(text.contains(tag), "{text}");
     }
 }

@@ -14,20 +14,39 @@
 //! * `POST /shutdown` — graceful drain: stop accepting, finish queued work.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cohortnet::infer::ScoreRequest;
 use cohortnet::interpret::explain_patient;
 use cohortnet::snapshot::LoadedModel;
 use cohortnet_models::data::{Prepared, PreparedPatient};
+use cohortnet_obs::obs_info;
 
 use crate::engine::{Engine, EngineConfig, EngineError, RowScore};
 use crate::http::{read_request, write_json, write_response, HttpError, Request};
 use crate::json::{self, num_arr, obj, Json};
 use crate::metrics::Metrics;
+
+/// Log target for request-lifecycle events.
+const LOG: &str = "cohortnet.serve";
+
+/// A process-unique request id: hex boot-time millis, then a sequence
+/// number. Echoed to clients as `X-Request-Id` and attached to the
+/// request log line, so a response can be joined to its server-side trace.
+fn next_request_id() -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    static BOOT_MS: OnceLock<u64> = OnceLock::new();
+    let boot = BOOT_MS.get_or_init(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
+    });
+    format!("{boot:x}-{:x}", SEQ.fetch_add(1, Ordering::Relaxed))
+}
 
 /// Server configuration.
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +87,7 @@ pub struct Server {
 /// # Errors
 /// Propagates listener bind failures.
 pub fn serve(loaded: LoadedModel, cfg: ServerConfig) -> std::io::Result<Server> {
+    cohortnet_obs::init_from_env();
     let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -153,19 +173,45 @@ fn accept_loop(listener: &TcpListener, state: &Arc<AppState>) {
 }
 
 fn handle_connection(mut stream: TcpStream, state: &Arc<AppState>) {
+    let rid = next_request_id();
+    let rid_header: [(&str, &str); 1] = [("X-Request-Id", rid.as_str())];
+    let t0 = Instant::now();
+    let mut req_span = cohortnet_obs::span::span("serve.request");
+    req_span.arg("request_id", &rid);
     let req = match read_request(&mut stream) {
         Ok(req) => req,
         Err(HttpError::TooLarge) => {
-            let _ = write_json(&mut stream, 413, &error_body("request too large"));
+            let _ = write_json(
+                &mut stream,
+                413,
+                &error_body("request too large"),
+                &rid_header,
+            );
             return;
         }
         Err(e) => {
-            let _ = write_json(&mut stream, 400, &error_body(&e.to_string()));
+            let _ = write_json(&mut stream, 400, &error_body(&e.to_string()), &rid_header);
             return;
         }
     };
+    req_span.arg("method", &req.method).arg("path", &req.path);
     let (status, content_type, body) = route(&req, state);
-    let _ = write_response(&mut stream, status, content_type, &body);
+    let render_t0 = Instant::now();
+    let _ = write_response(&mut stream, status, content_type, &body, &rid_header);
+    state
+        .metrics
+        .render_us
+        .observe(render_t0.elapsed().as_micros() as u64);
+    req_span.arg("status", status);
+    obs_info!(
+        target: LOG,
+        "request",
+        request_id = rid,
+        method = req.method,
+        path = req.path,
+        status = status,
+        dur_us = t0.elapsed().as_micros(),
+    );
 }
 
 fn error_body(message: &str) -> String {

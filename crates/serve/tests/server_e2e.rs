@@ -24,10 +24,15 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Stri
         .nth(1)
         .and_then(|s| s.parse().ok())
         .expect("status line");
-    let body = raw
+    let (head, body) = raw
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
+    assert!(
+        head.lines()
+            .any(|l| l.to_ascii_lowercase().starts_with("x-request-id:")),
+        "response lacks X-Request-Id: {head}"
+    );
     (status, body)
 }
 
@@ -180,7 +185,14 @@ fn server_rejects_bad_input_and_serves_introspection() {
 
     let (status, body) = request(addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
-    assert!(body.contains("cohortnet_requests_total"), "{body}");
+    for family in [
+        "cohortnet_requests_total",
+        "cohortnet_queue_wait_us_bucket",
+        "cohortnet_batch_compute_us_bucket",
+        "cohortnet_queue_depth",
+    ] {
+        assert!(body.contains(family), "{family} missing: {body}");
+    }
 
     server.shutdown();
 }

@@ -1,0 +1,244 @@
+//! Cross-crate observability contracts:
+//!
+//! * the metrics registry is exact under concurrent hammering from the
+//!   workspace's own scheduler;
+//! * span nesting is tracked per thread with sane timing windows;
+//! * tracing observes the pipeline without perturbing it — discovery and
+//!   training outputs are bit-identical with collection off, on, and
+//!   exporting to a file, at every thread count.
+
+use cohortnet::config::CohortNetConfig;
+use cohortnet::discover::discover;
+use cohortnet::mflm::Mflm;
+use cohortnet::train::train_cohortnet;
+use cohortnet_ehr::{profiles, standardize::Standardizer, synth::generate};
+use cohortnet_models::data::{prepare, Prepared};
+use cohortnet_obs::metrics::Registry;
+use cohortnet_obs::trace;
+use cohortnet_tensor::ParamStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Serialises tests that flip the process-wide trace collector.
+static OBS_GLOBAL: Mutex<()> = Mutex::new(());
+
+#[test]
+fn registry_is_exact_under_concurrent_hammering() {
+    let reg = Registry::new();
+    let workers = 8usize;
+    let per_worker = 5_000u64;
+    // Each task re-registers the same families (get-or-create) and hammers
+    // them; the final values must be exact, not approximate.
+    let sums = cohortnet_parallel::par_indices(4, workers, |w| {
+        let counter = reg.counter("it_hits_total", "Hammered hits.");
+        let gauge = reg.gauge("it_level", "Hammered gauge.");
+        let hist = reg.histogram("it_values", "Hammered values.", &[10, 100, 1_000]);
+        let mut local = 0u64;
+        for i in 0..per_worker {
+            counter.inc();
+            gauge.add(1);
+            gauge.add(-1);
+            let v = (w as u64 * per_worker + i) % 2_000;
+            hist.observe(v);
+            local += v;
+        }
+        local
+    });
+    let want_sum: u64 = sums.iter().sum();
+    let counter = reg.counter("it_hits_total", "Hammered hits.");
+    let gauge = reg.gauge("it_level", "Hammered gauge.");
+    let hist = reg.histogram("it_values", "Hammered values.", &[10, 100, 1_000]);
+    assert_eq!(counter.get(), workers as u64 * per_worker);
+    assert_eq!(gauge.get(), 0);
+    assert_eq!(hist.count(), workers as u64 * per_worker);
+    assert_eq!(hist.sum(), want_sum);
+    let text = reg.render();
+    assert!(
+        text.contains(&format!("it_hits_total {}", workers as u64 * per_worker)),
+        "{text}"
+    );
+}
+
+#[test]
+fn span_nesting_is_tracked_per_thread_with_sane_windows() {
+    let _guard = OBS_GLOBAL.lock().expect("obs test lock poisoned");
+    trace::clear();
+    trace::enable();
+    cohortnet_parallel::par_indices(4, 6, |i| {
+        let mut outer = cohortnet_obs::span::span("it.outer");
+        outer.arg("task", i);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let _inner = cohortnet_obs::span::span("it.inner");
+    });
+    trace::disable();
+    let events = trace::snapshot();
+    trace::clear();
+
+    let inners: Vec<_> = events.iter().filter(|e| e.name == "it.inner").collect();
+    let outers: Vec<_> = events.iter().filter(|e| e.name == "it.outer").collect();
+    assert_eq!(inners.len(), 6, "{events:?}");
+    assert_eq!(outers.len(), 6, "{events:?}");
+    for inner in &inners {
+        let parent = events
+            .iter()
+            .find(|e| e.id == inner.parent)
+            .unwrap_or_else(|| panic!("inner span {} has no recorded parent", inner.id));
+        assert_eq!(parent.name, "it.outer");
+        // Parent and child live on the same thread, and the child's window
+        // sits inside the parent's.
+        assert_eq!(parent.tid, inner.tid);
+        assert!(parent.start_us <= inner.start_us);
+        assert!(inner.start_us + inner.dur_us <= parent.start_us + parent.dur_us);
+        // The outer span slept ≥1ms before opening the inner one.
+        assert!(parent.dur_us >= 1_000, "parent dur {}us", parent.dur_us);
+    }
+    // Each outer is itself nested under a scheduler task span.
+    for outer in &outers {
+        let parent = events
+            .iter()
+            .find(|e| e.id == outer.parent)
+            .unwrap_or_else(|| panic!("outer span {} has no recorded parent", outer.id));
+        assert_eq!(parent.name, "par.task");
+    }
+}
+
+fn tiny_dataset() -> (CohortNetConfig, Prepared) {
+    let mut c = profiles::mimic3_like(0.05);
+    c.n_patients = 80;
+    c.time_steps = 5;
+    c.healthy_rate = 0.5;
+    let mut ds = generate(&c);
+    let scaler = Standardizer::fit(&ds);
+    scaler.apply(&mut ds);
+    let mut cfg = CohortNetConfig::for_dataset(&ds, &scaler);
+    cfg.k_states = 4;
+    cfg.min_frequency = 3;
+    cfg.min_patients = 2;
+    cfg.state_fit_samples = 1500;
+    cfg.epochs_pretrain = 2;
+    cfg.epochs_exploit = 1;
+    cfg.batch_size = 32;
+    (cfg, prepare(&ds))
+}
+
+/// Fingerprint of a discovery result: every cohort representation, bit-wise.
+fn discovery_bits(cfg: &CohortNetConfig, prep: &Prepared) -> Vec<u32> {
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(21);
+    let mflm = Mflm::new(&mut ps, &mut rng, cfg);
+    let d = discover(&mflm, &ps, prep, cfg, &mut StdRng::seed_from_u64(5));
+    d.pool
+        .per_feature
+        .iter()
+        .flatten()
+        .flat_map(|c| c.repr.iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+/// Fingerprint of a short training run: loss curve + final parameters.
+fn training_bits(cfg: &CohortNetConfig, prep: &Prepared) -> (Vec<u32>, Vec<u32>) {
+    let trained = train_cohortnet(prep, cfg);
+    let losses = trained
+        .timing
+        .step1
+        .epoch_losses
+        .iter()
+        .chain(&trained.timing.step4.epoch_losses)
+        .map(|l| l.to_bits())
+        .collect();
+    let params = trained
+        .params
+        .entries()
+        .flat_map(|e| e.value.as_slice().iter().map(|v| v.to_bits()))
+        .collect();
+    (losses, params)
+}
+
+#[test]
+fn tracing_never_perturbs_discovery_or_training() {
+    let _guard = OBS_GLOBAL.lock().expect("obs test lock poisoned");
+    trace::disable();
+    trace::clear();
+    trace::set_output(None);
+    let (mut cfg, prep) = tiny_dataset();
+
+    let trace_path = std::env::temp_dir().join("cohortnet-obs-it-trace.json");
+    let _ = std::fs::remove_file(&trace_path);
+
+    for n_threads in [1usize, 4] {
+        cfg.n_threads = n_threads;
+        // Reference: tracing fully off.
+        let ref_disc = discovery_bits(&cfg, &prep);
+        let (ref_losses, ref_params) = training_bits(&cfg, &prep);
+        assert!(!ref_disc.is_empty());
+        assert!(!ref_params.is_empty());
+
+        // Collection on, in memory.
+        trace::enable();
+        let on_disc = discovery_bits(&cfg, &prep);
+        let (on_losses, on_params) = training_bits(&cfg, &prep);
+        trace::disable();
+
+        // Collection on, exporting to a file (the COHORTNET_TRACE mode).
+        trace::set_output(Some(trace_path.to_string_lossy().into_owned()));
+        trace::enable();
+        let file_disc = discovery_bits(&cfg, &prep);
+        let (file_losses, file_params) = training_bits(&cfg, &prep);
+        trace::disable();
+        trace::set_output(None);
+
+        assert_eq!(
+            ref_disc, on_disc,
+            "tracing changed discovery at {n_threads} threads"
+        );
+        assert_eq!(
+            ref_disc, file_disc,
+            "trace export changed discovery at {n_threads} threads"
+        );
+        assert_eq!(
+            ref_losses, on_losses,
+            "tracing changed losses at {n_threads} threads"
+        );
+        assert_eq!(
+            ref_losses, file_losses,
+            "trace export changed losses at {n_threads} threads"
+        );
+        assert_eq!(
+            ref_params, on_params,
+            "tracing changed params at {n_threads} threads"
+        );
+        assert_eq!(
+            ref_params, file_params,
+            "trace export changed params at {n_threads} threads"
+        );
+    }
+
+    // The pipeline recorded spans for all four paper modules plus the
+    // discovery sub-stages, and the exported file contains them.
+    let events = trace::snapshot();
+    for name in [
+        "train.pipeline",
+        "mflm.pretrain",
+        "discover",
+        "cdm.collect",
+        "cdm.fit",
+        "cdm.assign",
+        "cdm.mine",
+        "crlm.represent",
+        "crlm.retrieve",
+        "cdm.fit.feature",
+        "train.epoch",
+        "cem.exploit",
+    ] {
+        assert!(
+            events.iter().any(|e| e.name == name),
+            "no {name} span recorded"
+        );
+    }
+    let json = std::fs::read_to_string(&trace_path).expect("trace file written");
+    assert!(json.contains("\"traceEvents\""), "{json}");
+    assert!(json.contains("\"name\":\"discover\""));
+    trace::clear();
+    let _ = std::fs::remove_file(&trace_path);
+}
