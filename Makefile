@@ -1,6 +1,9 @@
 CARGO ?= cargo
 
-.PHONY: verify build test clippy fmt bench-discovery bench-smoke serve-smoke trace-smoke
+.PHONY: verify build test clippy fmt bench-discovery bench-smoke serve-smoke trace-smoke chaos-smoke
+
+## Seeds the chaos harness runs at (CI runs all three and uploads the logs).
+CHAOS_SEEDS ?= 42 7 1234
 
 ## Full local verification: what CI runs, in the same order.
 verify: build test clippy fmt
@@ -37,6 +40,16 @@ bench-smoke:
 ## bit-identity), /explain, /cohorts, /healthz and /metrics, then drains.
 serve-smoke:
 	$(CARGO) run --release -p cohortnet-serve --bin serve-smoke
+
+## Seeded fault-injection run: reference pass, then a chaos pass injecting
+## worker panics, scoring latency, queue rejection, snapshot corruption and
+## client-side request mutations. Asserts zero hangs, zero unhandled panics
+## and bit-identical non-faulted scores; writes target/CHAOS_RUN_<seed>.log
+## per seed (uploaded by CI as an artifact).
+chaos-smoke:
+	for seed in $(CHAOS_SEEDS); do \
+		$(CARGO) run --release -p cohortnet-serve --bin chaos-smoke -- $$seed || exit 1; \
+	done
 
 ## Span-tracing smoke: trains a tiny pipeline with COHORTNET_TRACE set,
 ## then asserts trace.json is valid Chrome trace event JSON containing the

@@ -13,30 +13,22 @@
 //! Run: `cargo run --release -p cohortnet-bench --bin serve_throughput`
 //! (`COHORTNET_FAST=1` shrinks the request counts for smoke runs.)
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::time::Instant;
 
 use cohortnet::infer::ScoreRequest;
 use cohortnet::snapshot::load_snapshot;
 use cohortnet_bench::fast;
 use cohortnet_bench::report::render_table;
+use cohortnet_serve::client::{request_with_retry, RetryPolicy};
 use cohortnet_serve::{demo, serve, EngineConfig, ServerConfig};
 
 fn request(addr: SocketAddr, body: &str) -> u16 {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    let head = format!(
-        "POST /score HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes()).expect("write head");
-    stream.write_all(body.as_bytes()).expect("write body");
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw).expect("read response");
-    raw.split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .expect("status")
+    // The retrying client absorbs transient backpressure (429/503 +
+    // Retry-After) so closed-loop clients measure throughput, not luck.
+    request_with_retry(addr, "POST", "/score", body, RetryPolicy::default())
+        .expect("request")
+        .status
 }
 
 fn score_body(e: &ScoreRequest) -> String {
@@ -80,7 +72,15 @@ fn run_load(
     per_client: usize,
 ) -> RunResult {
     let loaded = load_snapshot(snapshot).expect("snapshot loads");
-    let server = serve(loaded, ServerConfig { port: 0, engine }).expect("server starts");
+    let server = serve(
+        loaded,
+        ServerConfig {
+            port: 0,
+            engine,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
     let addr = server.addr();
 
     // Warm-up: one request per client slot so thread/socket setup is off
@@ -143,12 +143,14 @@ fn main() {
         max_delay_us: 0,
         threads: 0,
         queue_cap: 1024,
+        ..EngineConfig::default()
     };
     let batched = EngineConfig {
         max_batch: 16,
         max_delay_us: 2_000,
         threads: 0,
         queue_cap: 1024,
+        ..EngineConfig::default()
     };
 
     let mut results = Vec::new();

@@ -452,6 +452,13 @@ impl Inferencer {
     /// Scores a slice of per-patient requests, assembling the minibatch
     /// internally. Request order is preserved: output row `r` is request `r`.
     pub fn score_requests(&self, reqs: &[ScoreRequest]) -> ScoreOutput {
+        // Chaos injection sites (inert single atomic load unless a plan is
+        // installed): `infer.worker` simulates a worker-thread panic
+        // mid-batch — via `score_requests_parallel` this runs *inside* a
+        // `par_map` worker — and `infer.latency` stalls the forward pass
+        // without touching any computed value.
+        cohortnet_chaos::panic_if_fires("infer.worker");
+        cohortnet_chaos::delay_ms_if_fires("infer.latency");
         let batch = reqs.len();
         let t_steps = self.time_steps;
         for (r, req) in reqs.iter().enumerate() {

@@ -505,6 +505,17 @@ fn split_sections(text: &str) -> Result<Vec<String>, SnapshotError> {
 /// Reconstructs a model from snapshot text, cross-checking every section
 /// against the embedded config.
 pub fn load_snapshot(text: &str) -> Result<LoadedModel, SnapshotError> {
+    // Chaos site `snapshot.corrupt`: when a plan schedules it, one payload
+    // byte is flipped before parsing, so every caller's corrupt-snapshot
+    // path (typed error, CLI fallback) can be exercised against a real
+    // artifact. Inert (one relaxed atomic load) without a plan.
+    if let Some(corrupted) = cohortnet_chaos::corrupt_if_fires("snapshot.corrupt", text) {
+        return load_snapshot_inner(&corrupted);
+    }
+    load_snapshot_inner(text)
+}
+
+fn load_snapshot_inner(text: &str) -> Result<LoadedModel, SnapshotError> {
     let sections = split_sections(text)?;
     let (cfg, time_steps) = config_from_text(&sections[0])?;
     cfg.validate().map_err(SnapshotError::Config)?;

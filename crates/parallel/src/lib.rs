@@ -88,6 +88,7 @@ where
             .map(|(i, t)| {
                 let mut s = cohortnet_obs::span::span("par.task");
                 s.arg("index", i);
+                cohortnet_chaos::delay_ms_if_fires("par.task.delay");
                 f(i, t)
             })
             .collect();
@@ -109,6 +110,10 @@ where
                     }
                     let mut s = cohortnet_obs::span::span("par.task");
                     s.arg("index", i);
+                    // Chaos site: artificial per-task latency (wall-clock
+                    // only; the index-ordered merge keeps results
+                    // bit-identical whatever the schedule).
+                    cohortnet_chaos::delay_ms_if_fires("par.task.delay");
                     produced.push((i, f(i, &items[i])));
                 }
                 produced

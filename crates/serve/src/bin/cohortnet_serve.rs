@@ -17,15 +17,17 @@ struct Args {
     snapshot: Option<String>,
     demo: bool,
     demo_snapshot: Option<String>,
-    port: u16,
-    engine: EngineConfig,
+    server: ServerConfig,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: cohortnet-serve (--snapshot PATH | --demo | --demo-snapshot PATH)\n\
          \x20        [--port N (default 8080)] [--max-batch N (default 16)]\n\
-         \x20        [--max-delay-us N (default 2000)] [--threads N (default 0 = all cores)]"
+         \x20        [--max-delay-us N (default 2000)] [--threads N (default 0 = all cores)]\n\
+         \x20        [--deadline-ms N (default 0 = no queue deadline)]\n\
+         \x20        [--read-timeout-ms N (default 0 = built-in 10s)]\n\
+         \x20        [--max-connections N (default 256, 0 = unlimited)]"
     );
     std::process::exit(2)
 }
@@ -35,8 +37,11 @@ fn parse_args() -> Args {
         snapshot: None,
         demo: false,
         demo_snapshot: None,
-        port: 8080,
-        engine: EngineConfig::default(),
+        server: ServerConfig {
+            port: 8080,
+            engine: EngineConfig::default(),
+            ..ServerConfig::default()
+        },
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -50,14 +55,26 @@ fn parse_args() -> Args {
             "--snapshot" => args.snapshot = Some(value("--snapshot")),
             "--demo" => args.demo = true,
             "--demo-snapshot" => args.demo_snapshot = Some(value("--demo-snapshot")),
-            "--port" => args.port = parse_num(&value("--port"), "--port"),
+            "--port" => args.server.port = parse_num(&value("--port"), "--port"),
             "--max-batch" => {
-                args.engine.max_batch = parse_num(&value("--max-batch"), "--max-batch")
+                args.server.engine.max_batch = parse_num(&value("--max-batch"), "--max-batch")
             }
             "--max-delay-us" => {
-                args.engine.max_delay_us = parse_num(&value("--max-delay-us"), "--max-delay-us")
+                args.server.engine.max_delay_us =
+                    parse_num(&value("--max-delay-us"), "--max-delay-us")
             }
-            "--threads" => args.engine.threads = parse_num(&value("--threads"), "--threads"),
+            "--threads" => args.server.engine.threads = parse_num(&value("--threads"), "--threads"),
+            "--deadline-ms" => {
+                args.server.engine.deadline_ms = parse_num(&value("--deadline-ms"), "--deadline-ms")
+            }
+            "--read-timeout-ms" => {
+                args.server.read_timeout_ms =
+                    parse_num(&value("--read-timeout-ms"), "--read-timeout-ms")
+            }
+            "--max-connections" => {
+                args.server.max_connections =
+                    parse_num(&value("--max-connections"), "--max-connections")
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -115,17 +132,13 @@ fn main() {
         cohorts = loaded.model.discovery.is_some(),
     );
 
-    let server = serve(
-        loaded,
-        ServerConfig {
-            port: args.port,
-            engine: args.engine,
-        },
-    )
-    .unwrap_or_else(|e| {
-        eprintln!("cannot bind port {}: {e}", args.port);
+    let server = serve(loaded, args.server).unwrap_or_else(|e| {
+        eprintln!("cannot bind port {}: {e}", args.server.port);
         std::process::exit(1)
     });
+    // Unconditional, parse-friendly startup line (the obs log may be
+    // disabled); tests and scripts read the bound address from here.
+    eprintln!("listening on http://{}", server.addr());
     obs_info!(target: LOG, "serving", url = format!("http://{}", server.addr()));
     server.join();
     cohortnet_obs::trace::flush();

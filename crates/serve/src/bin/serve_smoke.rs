@@ -3,33 +3,18 @@
 //! real sockets (asserting the batching determinism contract), then shut
 //! down gracefully. Exits non-zero on any failure.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 
 use cohortnet::snapshot::load_snapshot;
+use cohortnet_serve::client::{request_with_retry, RetryPolicy};
 use cohortnet_serve::{demo, serve, EngineConfig, ServerConfig};
 
-/// Fires one HTTP request and returns `(status, response head, body)`.
+/// Fires one HTTP request through the retrying client (capped backoff on
+/// transient 408/429/503) and returns `(status, response head, body)`.
 fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes()).expect("write head");
-    stream.write_all(body.as_bytes()).expect("write body");
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw).expect("read response");
-    let status: u16 = raw
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .expect("status line");
-    let (head, body) = raw
-        .split_once("\r\n\r\n")
-        .map(|(h, b)| (h.to_string(), b.to_string()))
-        .unwrap_or_default();
-    (status, head, body)
+    let resp = request_with_retry(addr, method, path, body, RetryPolicy::default())
+        .unwrap_or_else(|e| panic!("{method} {path}: {e}"));
+    (resp.status, resp.head, resp.body)
 }
 
 /// Extracts a response header value (case-insensitive name) from a raw head.
@@ -102,7 +87,9 @@ fn main() {
                 max_delay_us: 1_000,
                 threads: 0,
                 queue_cap: 64,
+                ..EngineConfig::default()
             },
+            ..ServerConfig::default()
         },
     )
     .expect("server starts");

@@ -1,0 +1,221 @@
+//! A minimal blocking HTTP/1.1 client for the server's endpoints, plus a
+//! seeded retrying wrapper.
+//!
+//! The smoke binary, the throughput bench, the chaos harness and the
+//! integration tests all need the same three things: fire one request over
+//! a real socket, read the whole response, and — when the server answers
+//! with backpressure (`429`/`503`) or the connection drops — retry with
+//! capped exponential backoff. The jittered backoff schedule comes from
+//! [`cohortnet_chaos::backoff_ms`], so a retry trace is reproducible from
+//! its seed.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A fully read HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Raw response head (status line + headers).
+    pub head: String,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// Looks up a response header value by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.head.lines().find_map(|line| {
+            let (n, v) = line.split_once(':')?;
+            n.trim().eq_ignore_ascii_case(name).then_some(v.trim())
+        })
+    }
+}
+
+/// Fires one request and reads the full response (the server speaks
+/// `Connection: close`, so EOF delimits the body).
+///
+/// # Errors
+/// Propagates socket failures; a response without a parsable status line is
+/// reported as [`std::io::ErrorKind::InvalidData`].
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    read_response(&mut stream)
+}
+
+/// Reads and splits one full response from an already written stream.
+///
+/// # Errors
+/// Propagates socket failures; a response without a parsable status line is
+/// reported as [`std::io::ErrorKind::InvalidData`].
+pub fn read_response(stream: &mut TcpStream) -> std::io::Result<Response> {
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("no status line in response: {raw:?}"),
+            )
+        })?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or((raw.clone(), String::new()));
+    Ok(Response { status, head, body })
+}
+
+/// Retry schedule for [`request_with_retry`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub attempts: u32,
+    /// Base backoff before the second attempt, milliseconds.
+    pub base_ms: u64,
+    /// Backoff cap, milliseconds.
+    pub max_ms: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_ms: 25,
+            max_ms: 1_000,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Whether a status is worth retrying: the server's backpressure answers.
+pub fn is_retryable_status(status: u16) -> bool {
+    matches!(status, 408 | 429 | 503)
+}
+
+/// Fires a request, retrying on connection errors and retryable statuses
+/// (`408`/`429`/`503`) with capped exponential backoff + deterministic
+/// jitter. Returns the last response (even if still retryable) once the
+/// attempt budget runs out.
+///
+/// # Errors
+/// The last connection error, when every attempt failed at the socket level.
+pub fn request_with_retry(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    policy: RetryPolicy,
+) -> std::io::Result<Response> {
+    let attempts = policy.attempts.max(1);
+    let mut last_err: Option<std::io::Error> = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            let ms = cohortnet_chaos::backoff_ms(
+                policy.seed,
+                attempt - 1,
+                policy.base_ms,
+                policy.max_ms,
+            );
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        match request(addr, method, path, body) {
+            Ok(resp) if is_retryable_status(resp.status) && attempt + 1 < attempts => {
+                last_err = None;
+                continue;
+            }
+            Ok(resp) => return Ok(resp),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err
+        .unwrap_or_else(|| std::io::Error::other("retry budget exhausted with a retryable status")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A one-shot server thread answering each accepted connection with a
+    /// fixed raw response.
+    fn canned_server(responses: Vec<&'static str>) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || {
+            for raw in responses {
+                let (mut conn, _) = listener.accept().expect("accept");
+                // Drain the request head so the client's write succeeds.
+                let mut buf = [0u8; 4096];
+                let _ = conn.read(&mut buf);
+                conn.write_all(raw.as_bytes()).expect("write response");
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn parses_status_head_and_body() {
+        let (addr, server) = canned_server(vec![
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nX-Request-Id: r-1\r\n\r\nhello",
+        ]);
+        let resp = request(addr, "GET", "/healthz", "").expect("request");
+        server.join().expect("server thread");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "hello");
+        assert_eq!(resp.header("x-request-id"), Some("r-1"));
+    }
+
+    #[test]
+    fn retries_past_backpressure_to_success() {
+        let (addr, server) = canned_server(vec![
+            "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\n\r\n",
+            "HTTP/1.1 429 Too Many Requests\r\nRetry-After: 1\r\n\r\n",
+            "HTTP/1.1 200 OK\r\n\r\nok",
+        ]);
+        let policy = RetryPolicy {
+            attempts: 4,
+            base_ms: 1,
+            max_ms: 4,
+            seed: 7,
+        };
+        let resp = request_with_retry(addr, "GET", "/", "", policy).expect("eventually succeeds");
+        server.join().expect("server thread");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "ok");
+    }
+
+    #[test]
+    fn returns_last_retryable_response_when_budget_runs_out() {
+        let (addr, server) = canned_server(vec![
+            "HTTP/1.1 503 Service Unavailable\r\n\r\n",
+            "HTTP/1.1 503 Service Unavailable\r\n\r\n",
+        ]);
+        let policy = RetryPolicy {
+            attempts: 2,
+            base_ms: 1,
+            max_ms: 2,
+            seed: 7,
+        };
+        let resp = request_with_retry(addr, "GET", "/", "", policy).expect("last response");
+        server.join().expect("server thread");
+        assert_eq!(resp.status, 503);
+    }
+}

@@ -8,16 +8,45 @@
 //! output row a function of its own input only — so a request's result is
 //! bit-identical whether it is scored alone or coalesced into any batch,
 //! at any worker count.
+//!
+//! ## Degradation contract
+//!
+//! The engine must degrade, never hang:
+//!
+//! * **Deadlines** — a request that has already waited longer than
+//!   `deadline_ms` in the queue is answered with
+//!   [`EngineError::DeadlineExceeded`] instead of being scored, so
+//!   backpressure turns into fast 429s rather than ever-growing latency.
+//! * **Panic isolation** — a panic while scoring a batch (e.g. an injected
+//!   `infer.worker` chaos fault in a worker thread) is caught; the engine
+//!   restarts scoring in degraded mode, re-scoring each request of the
+//!   poisoned batch individually. Row independence makes the rescued rows
+//!   bit-identical to an unpoisoned run; only a request whose own rescue
+//!   panics again gets [`EngineError::Internal`]. Every capture increments
+//!   the `engine_restarts` counter.
+//! * **Batcher self-heal** — if the batcher loop itself panics outside
+//!   batch scoring, the thread restarts it (bounded by
+//!   [`MAX_BATCHER_RESTARTS`]); when the bound is exhausted the queue is
+//!   drained with errors so callers unblock instead of waiting forever.
 
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cohortnet::infer::{Inferencer, ScoreRequest};
+use cohortnet_obs::{obs_error, obs_warn};
 
 use crate::metrics::Metrics;
+
+/// Log target for engine degradation events.
+const LOG: &str = "cohortnet.serve.engine";
+
+/// How many times the batcher loop restarts after an escaped panic before
+/// giving up and draining the queue with errors.
+pub const MAX_BATCHER_RESTARTS: u64 = 100;
 
 /// Batching knobs for the request engine.
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +61,10 @@ pub struct EngineConfig {
     /// Queue capacity; requests beyond it are rejected with
     /// [`EngineError::Overloaded`].
     pub queue_cap: usize,
+    /// Per-request queue deadline in milliseconds (0 = none): a request
+    /// still queued after this long is answered with
+    /// [`EngineError::DeadlineExceeded`] instead of being scored.
+    pub deadline_ms: u64,
 }
 
 impl Default for EngineConfig {
@@ -41,6 +74,7 @@ impl Default for EngineConfig {
             max_delay_us: 2_000,
             threads: 0,
             queue_cap: 1024,
+            deadline_ms: 0,
         }
     }
 }
@@ -66,6 +100,10 @@ pub enum EngineError {
     BadRequest(String),
     /// The queue is full; retry later.
     Overloaded,
+    /// The request sat in the queue past its deadline; retry later.
+    DeadlineExceeded,
+    /// Scoring this request panicked even in isolation.
+    Internal(String),
     /// The engine is draining for shutdown.
     ShuttingDown,
 }
@@ -75,6 +113,10 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::BadRequest(why) => write!(f, "bad request: {why}"),
             EngineError::Overloaded => write!(f, "queue full, retry later"),
+            EngineError::DeadlineExceeded => {
+                write!(f, "request deadline exceeded in queue, retry later")
+            }
+            EngineError::Internal(why) => write!(f, "internal scoring failure: {why}"),
             EngineError::ShuttingDown => write!(f, "server is shutting down"),
         }
     }
@@ -82,9 +124,11 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+type Reply = Result<RowScore, EngineError>;
+
 struct Pending {
     req: ScoreRequest,
-    tx: mpsc::Sender<RowScore>,
+    tx: mpsc::Sender<Reply>,
     enqueued: Instant,
 }
 
@@ -122,7 +166,7 @@ impl Engine {
         let worker = Arc::clone(&shared);
         let batcher = std::thread::Builder::new()
             .name("cohortnet-batcher".into())
-            .spawn(move || batcher_loop(&worker))
+            .spawn(move || batcher_thread(&worker))
             .expect("spawn batcher thread");
         Engine {
             shared,
@@ -145,18 +189,11 @@ impl Engine {
         self.shared.cfg
     }
 
-    /// Scores one request, blocking until the batcher replies. The result
-    /// is bit-identical no matter which batch the request lands in.
-    ///
-    /// # Errors
-    /// [`EngineError::BadRequest`] on shape mismatch, `Overloaded` when the
-    /// queue is full, `ShuttingDown` once shutdown has begun.
-    pub fn score(&self, req: ScoreRequest) -> Result<RowScore, EngineError> {
+    fn shape_error(&self, req: &ScoreRequest) -> Option<EngineError> {
         let s = &self.shared;
         let want_x = s.inf.time_steps() * s.inf.n_features();
         if req.x.len() != want_x {
-            s.metrics.responses_err.inc();
-            return Err(EngineError::BadRequest(format!(
+            return Some(EngineError::BadRequest(format!(
                 "x has {} values, expected time_steps * n_features = {} * {} = {}",
                 req.x.len(),
                 s.inf.time_steps(),
@@ -165,106 +202,99 @@ impl Engine {
             )));
         }
         if req.mask.len() != s.inf.n_features() {
-            s.metrics.responses_err.inc();
-            return Err(EngineError::BadRequest(format!(
+            return Some(EngineError::BadRequest(format!(
                 "mask has {} values, expected n_features = {}",
                 req.mask.len(),
                 s.inf.n_features()
             )));
         }
-        if s.shutdown.load(Ordering::SeqCst) {
-            s.metrics.responses_err.inc();
-            return Err(EngineError::ShuttingDown);
-        }
-        let (tx, rx) = mpsc::channel();
-        {
-            let mut q = s.queue.lock().expect("engine queue poisoned");
-            if q.len() >= s.cfg.queue_cap {
-                drop(q);
-                s.metrics.responses_err.inc();
-                return Err(EngineError::Overloaded);
-            }
-            q.push_back(Pending {
-                req,
-                tx,
-                enqueued: Instant::now(),
-            });
-            s.metrics.queue_depth.set(q.len() as i64);
-        }
-        s.metrics.requests_total.inc();
-        s.cv.notify_all();
-        match rx.recv() {
-            Ok(row) => {
-                s.metrics.responses_ok.inc();
-                Ok(row)
-            }
-            Err(_) => {
-                s.metrics.responses_err.inc();
-                Err(EngineError::ShuttingDown)
-            }
-        }
+        None
+    }
+
+    /// Scores one request, blocking until the batcher replies. The result
+    /// is bit-identical no matter which batch the request lands in.
+    ///
+    /// # Errors
+    /// [`EngineError::BadRequest`] on shape mismatch, `Overloaded` when the
+    /// queue is full, `DeadlineExceeded` when the request aged out in the
+    /// queue, `Internal` when scoring it panicked even in isolation,
+    /// `ShuttingDown` once shutdown has begun.
+    pub fn score(&self, req: ScoreRequest) -> Result<RowScore, EngineError> {
+        let mut rows = self.score_many(vec![req])?;
+        rows.pop().unwrap_or(Err(EngineError::ShuttingDown))
     }
 
     /// Scores several requests, enqueueing them all before waiting so they
     /// can coalesce into the same minibatch. Results come back in input
-    /// order; the first failure aborts (remaining rows are still scored and
-    /// discarded by the batcher).
+    /// order, **one per request**: a request that fails (bad shape,
+    /// deadline, isolated panic) carries its own error while the rest of
+    /// the batch still scores — and scores bit-identically to a run where
+    /// the failing request was never sent.
     ///
     /// # Errors
-    /// Same failure modes as [`Engine::score`].
-    pub fn score_many(&self, reqs: Vec<ScoreRequest>) -> Result<Vec<RowScore>, EngineError> {
+    /// Whole-call failures only: `Overloaded` when the queue cannot take
+    /// the batch, `ShuttingDown` once shutdown has begun.
+    pub fn score_many(&self, reqs: Vec<ScoreRequest>) -> Result<Vec<Reply>, EngineError> {
         let s = &self.shared;
-        for req in &reqs {
-            let want_x = s.inf.time_steps() * s.inf.n_features();
-            if req.x.len() != want_x || req.mask.len() != s.inf.n_features() {
-                s.metrics.responses_err.inc();
-                return Err(EngineError::BadRequest(format!(
-                    "instance shapes must be x: {} (= {} x {}), mask: {}",
-                    want_x,
-                    s.inf.time_steps(),
-                    s.inf.n_features(),
-                    s.inf.n_features()
-                )));
-            }
-        }
         if s.shutdown.load(Ordering::SeqCst) {
             s.metrics.responses_err.inc();
             return Err(EngineError::ShuttingDown);
         }
-        let n = reqs.len();
-        let mut receivers = Vec::with_capacity(n);
+        // Chaos site `engine.enqueue.reject`: simulates queue saturation so
+        // the 503/Retry-After path can be driven without real overload.
+        if cohortnet_chaos::fires("engine.enqueue.reject") {
+            s.metrics.responses_err.inc();
+            return Err(EngineError::Overloaded);
+        }
+        // Per-request shape validation: a malformed instance fails alone
+        // instead of aborting its neighbours.
+        let checked: Vec<Result<ScoreRequest, EngineError>> = reqs
+            .into_iter()
+            .map(|req| match self.shape_error(&req) {
+                None => Ok(req),
+                Some(e) => Err(e),
+            })
+            .collect();
+        let n_valid = checked.iter().filter(|r| r.is_ok()).count();
+        let mut slots: Vec<Result<mpsc::Receiver<Reply>, EngineError>> =
+            Vec::with_capacity(checked.len());
         {
             let mut q = s.queue.lock().expect("engine queue poisoned");
-            if q.len() + n > s.cfg.queue_cap {
+            if q.len() + n_valid > s.cfg.queue_cap {
                 drop(q);
                 s.metrics.responses_err.inc();
                 return Err(EngineError::Overloaded);
             }
             let now = Instant::now();
-            for req in reqs {
-                let (tx, rx) = mpsc::channel();
-                q.push_back(Pending {
-                    req,
-                    tx,
-                    enqueued: now,
-                });
-                receivers.push(rx);
+            for item in checked {
+                match item {
+                    Ok(req) => {
+                        let (tx, rx) = mpsc::channel();
+                        q.push_back(Pending {
+                            req,
+                            tx,
+                            enqueued: now,
+                        });
+                        slots.push(Ok(rx));
+                    }
+                    Err(e) => slots.push(Err(e)),
+                }
             }
             s.metrics.queue_depth.set(q.len() as i64);
         }
-        s.metrics.requests_total.add(n as u64);
+        s.metrics.requests_total.add(n_valid as u64);
         s.cv.notify_all();
-        let mut rows = Vec::with_capacity(n);
-        for rx in receivers {
-            match rx.recv() {
-                Ok(row) => {
-                    s.metrics.responses_ok.inc();
-                    rows.push(row);
-                }
-                Err(_) => {
-                    s.metrics.responses_err.inc();
-                    return Err(EngineError::ShuttingDown);
-                }
+        let rows: Vec<Reply> = slots
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(rx) => rx.recv().unwrap_or(Err(EngineError::ShuttingDown)),
+                Err(e) => Err(e),
+            })
+            .collect();
+        for row in &rows {
+            match row {
+                Ok(_) => s.metrics.responses_ok.inc(),
+                Err(_) => s.metrics.responses_err.inc(),
             }
         }
         Ok(rows)
@@ -332,35 +362,131 @@ fn next_batch(s: &Shared) -> Option<Vec<Pending>> {
     Some(batch)
 }
 
+/// Builds a [`RowScore`] from row `r` of a scored output.
+fn row_score(out: &cohortnet::infer::ScoreOutput, r: usize) -> RowScore {
+    RowScore {
+        prob: out.probs.row(r).to_vec(),
+        logit: out.logits.row(r).to_vec(),
+        base_logit: out.base_logits.row(r).to_vec(),
+        cem_logit: out.cem_logits.as_ref().map(|m| m.row(r).to_vec()),
+    }
+}
+
+/// Scores one batch with panic capture. The happy path is one parallel
+/// forward over the whole batch; a captured panic downgrades to per-request
+/// rescue scoring so one poisoned request cannot take its neighbours down.
+fn score_batch(s: &Shared, batch: &[Pending]) -> Vec<Reply> {
+    let reqs: Vec<ScoreRequest> = batch.iter().map(|p| p.req.clone()).collect();
+    let scored = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        s.inf.score_requests_parallel(&reqs, s.cfg.threads)
+    }));
+    match scored {
+        Ok(out) => (0..batch.len()).map(|r| Ok(row_score(&out, r))).collect(),
+        Err(_) => {
+            s.metrics.engine_restarts.inc();
+            s.metrics.batch_rescues.inc();
+            obs_warn!(
+                target: LOG,
+                "batch scoring panicked; rescuing requests individually",
+                batch = batch.len(),
+            );
+            batch
+                .iter()
+                .map(|p| {
+                    let one = std::slice::from_ref(&p.req);
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| s.inf.score_requests(one))) {
+                        Ok(out) => Ok(row_score(&out, 0)),
+                        Err(_) => {
+                            s.metrics.rows_failed.inc();
+                            Err(EngineError::Internal(
+                                "scoring this request panicked even in isolation".into(),
+                            ))
+                        }
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
 fn batcher_loop(s: &Shared) {
     while let Some(batch) = next_batch(s) {
         let mut batch_span = cohortnet_obs::span::span("serve.batch");
         batch_span.arg("size", batch.len());
         // Queue wait ends when the batch starts scoring.
         let batch_start = Instant::now();
+        // Enforce per-request deadlines before spending compute: expired
+        // requests are answered immediately and do not join the minibatch.
+        let (batch, expired): (Vec<Pending>, Vec<Pending>) = if s.cfg.deadline_ms > 0 {
+            let deadline = Duration::from_millis(s.cfg.deadline_ms);
+            batch
+                .into_iter()
+                .partition(|p| batch_start.saturating_duration_since(p.enqueued) <= deadline)
+        } else {
+            (batch, Vec::new())
+        };
+        for pending in expired {
+            s.metrics.requests_rejected_deadline.inc();
+            let _ = pending.tx.send(Err(EngineError::DeadlineExceeded));
+        }
+        if batch.is_empty() {
+            continue;
+        }
         for pending in &batch {
             let waited = batch_start.saturating_duration_since(pending.enqueued);
             s.metrics.queue_wait_us.observe(waited.as_micros() as u64);
         }
-        let reqs: Vec<ScoreRequest> = batch.iter().map(|p| p.req.clone()).collect();
-        let out = s.inf.score_requests_parallel(&reqs, s.cfg.threads);
+        let rows = score_batch(s, &batch);
         s.metrics
             .batch_compute_us
             .observe(batch_start.elapsed().as_micros() as u64);
         s.metrics.batches_total.inc();
         s.metrics.batch_size.observe(batch.len() as u64);
         let now = Instant::now();
-        for (r, pending) in batch.iter().enumerate() {
-            let row = RowScore {
-                prob: out.probs.row(r).to_vec(),
-                logit: out.logits.row(r).to_vec(),
-                base_logit: out.base_logits.row(r).to_vec(),
-                cem_logit: out.cem_logits.as_ref().map(|m| m.row(r).to_vec()),
-            };
+        for (pending, row) in batch.iter().zip(rows) {
             // A dropped receiver just means the caller gave up; keep going.
             let _ = pending.tx.send(row);
             let waited = now.saturating_duration_since(pending.enqueued);
             s.metrics.latency_us.observe(waited.as_micros() as u64);
+        }
+    }
+}
+
+/// The batcher thread body: runs [`batcher_loop`], restarting it if it ever
+/// panics outside the per-batch capture, so the engine degrades instead of
+/// silently hanging every caller. After [`MAX_BATCHER_RESTARTS`] escapes the
+/// queue is drained with errors and the thread exits; pending and future
+/// callers get [`EngineError::ShuttingDown`]-style replies, never a hang.
+fn batcher_thread(s: &Shared) {
+    let mut restarts = 0u64;
+    loop {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| batcher_loop(s))) {
+            Ok(()) => return,
+            Err(_) => {
+                restarts += 1;
+                s.metrics.engine_restarts.inc();
+                obs_warn!(
+                    target: LOG,
+                    "batcher loop panicked; restarting",
+                    restarts = restarts,
+                );
+                if restarts >= MAX_BATCHER_RESTARTS {
+                    obs_error!(
+                        target: LOG,
+                        "batcher restart budget exhausted; draining queue with errors",
+                        restarts = restarts,
+                    );
+                    s.shutdown.store(true, Ordering::SeqCst);
+                    if let Ok(mut q) = s.queue.lock() {
+                        for pending in q.drain(..) {
+                            let _ = pending.tx.send(Err(EngineError::Internal(
+                                "scoring engine restart budget exhausted".into(),
+                            )));
+                        }
+                    }
+                    return;
+                }
+            }
         }
     }
 }

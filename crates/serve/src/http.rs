@@ -33,6 +33,8 @@ pub enum HttpError {
     Malformed(String),
     /// Head or body exceeded the size caps.
     TooLarge,
+    /// The client stalled past the read timeout mid-request.
+    Timeout,
 }
 
 impl std::fmt::Display for HttpError {
@@ -41,6 +43,7 @@ impl std::fmt::Display for HttpError {
             HttpError::Io(e) => write!(f, "io error: {e}"),
             HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
             HttpError::TooLarge => write!(f, "request too large"),
+            HttpError::Timeout => write!(f, "read timed out waiting for the request"),
         }
     }
 }
@@ -49,14 +52,31 @@ impl std::error::Error for HttpError {}
 
 impl From<std::io::Error> for HttpError {
     fn from(e: std::io::Error) -> Self {
+        // A read timeout surfaces as WouldBlock or TimedOut depending on
+        // the platform; both mean "the client stalled", mapped to a typed
+        // error so the server can answer 408 instead of a generic 400.
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            return HttpError::Timeout;
+        }
         HttpError::Io(e)
     }
 }
 
-/// Reads and parses one request from the stream. Applies a read timeout so
-/// a stalled client cannot pin a handler thread forever.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+/// Default read timeout when the caller passes `timeout = None` to
+/// [`read_request`] (the historical hard-coded value).
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Reads and parses one request from the stream. Applies the given read
+/// timeout (default [`DEFAULT_READ_TIMEOUT`]) so a stalled client cannot
+/// pin a handler thread forever; a stall surfaces as [`HttpError::Timeout`].
+pub fn read_request(
+    stream: &mut TcpStream,
+    timeout: Option<Duration>,
+) -> Result<Request, HttpError> {
+    stream.set_read_timeout(Some(timeout.unwrap_or(DEFAULT_READ_TIMEOUT)))?;
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
 
@@ -140,8 +160,10 @@ pub fn write_response(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
@@ -182,7 +204,7 @@ mod tests {
             c.write_all(&raw).expect("write");
         });
         let (mut conn, _) = listener.accept().expect("accept");
-        let req = read_request(&mut conn);
+        let req = read_request(&mut conn, None);
         writer.join().expect("writer thread");
         req
     }
@@ -229,6 +251,19 @@ mod tests {
         let raw = reader.join().expect("reader thread");
         assert!(raw.contains("X-Request-Id: abc-1\r\n"), "{raw}");
         assert!(raw.ends_with("hi"), "{raw}");
+    }
+
+    #[test]
+    fn stalled_client_yields_timeout_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        // Connect but never send a byte: the read must give up with the
+        // typed Timeout error instead of blocking the handler forever.
+        let client = TcpStream::connect(addr).expect("connect");
+        let (mut conn, _) = listener.accept().expect("accept");
+        let err = read_request(&mut conn, Some(Duration::from_millis(50))).expect_err("must fail");
+        assert!(matches!(err, HttpError::Timeout), "{err}");
+        drop(client);
     }
 
     #[test]

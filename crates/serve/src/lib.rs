@@ -15,6 +15,9 @@
 //!   stage histograms), a thin shim over [`cohortnet_obs::metrics`]; the
 //!   `/metrics` endpoint renders the per-server registry plus the process
 //!   global one in Prometheus text format.
+//! * [`client`] — a minimal blocking HTTP client plus a seeded retrying
+//!   wrapper (capped exponential backoff + deterministic jitter), shared by
+//!   the smoke binary, the throughput bench and the chaos harness.
 //! * [`json`] — the minimal JSON parser/renderer the endpoints use.
 //! * [`demo`] — a tiny synthetic-data training run producing a real
 //!   snapshot, shared by the CLI's `--demo` mode, the smoke binary and the
@@ -22,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod demo;
 pub mod engine;
 pub mod http;

@@ -37,6 +37,19 @@ pub struct Metrics {
     pub responses_err: Arc<Counter>,
     /// Minibatches scored by the engine.
     pub batches_total: Arc<Counter>,
+    /// Requests rejected because they aged past the queue deadline.
+    pub requests_rejected_deadline: Arc<Counter>,
+    /// Times the engine captured a scoring panic and restarted (degraded
+    /// rescue scoring or batcher-loop restart).
+    pub engine_restarts: Arc<Counter>,
+    /// Minibatches that fell back to per-request rescue scoring after a
+    /// captured panic.
+    pub batch_rescues: Arc<Counter>,
+    /// Requests whose scoring panicked even in isolation.
+    pub rows_failed: Arc<Counter>,
+    /// Connections rejected at accept because the connection limit was
+    /// reached.
+    pub conns_rejected: Arc<Counter>,
     /// Requests currently waiting in the engine queue.
     pub queue_depth: Arc<Gauge>,
     /// Requests coalesced per scored minibatch.
@@ -72,6 +85,26 @@ impl Metrics {
             batches_total: registry.counter(
                 "cohortnet_batches_total",
                 "Minibatches scored by the engine.",
+            ),
+            requests_rejected_deadline: registry.counter(
+                "cohortnet_requests_rejected_deadline_total",
+                "Requests rejected because they aged past the queue deadline.",
+            ),
+            engine_restarts: registry.counter(
+                "cohortnet_engine_restarts_total",
+                "Captured scoring panics that triggered an engine restart.",
+            ),
+            batch_rescues: registry.counter(
+                "cohortnet_batch_rescues_total",
+                "Minibatches rescued request-by-request after a captured panic.",
+            ),
+            rows_failed: registry.counter(
+                "cohortnet_rows_failed_total",
+                "Requests whose scoring panicked even in isolation.",
+            ),
+            conns_rejected: registry.counter(
+                "cohortnet_conns_rejected_total",
+                "Connections rejected at the connection limit.",
             ),
             queue_depth: registry.gauge(
                 "cohortnet_queue_depth",

@@ -14,7 +14,7 @@
 //! * `POST /shutdown` — graceful drain: stop accepting, finish queued work.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -53,6 +53,15 @@ fn next_request_id() -> String {
 pub struct ServerConfig {
     /// TCP port to bind on 127.0.0.1 (0 = ephemeral, for tests).
     pub port: u16,
+    /// Per-connection read timeout in milliseconds (0 = the
+    /// [`crate::http::DEFAULT_READ_TIMEOUT`] default). A client that stalls
+    /// mid-request past this gets `408 Request Timeout` and its handler
+    /// thread is released.
+    pub read_timeout_ms: u64,
+    /// Maximum simultaneously open connections (0 = unlimited). Connections
+    /// beyond the limit are answered immediately with `503` +
+    /// `Retry-After` instead of piling up handler threads.
+    pub max_connections: usize,
     /// Batching knobs for the scoring engine.
     pub engine: EngineConfig,
 }
@@ -61,6 +70,8 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             port: 8080,
+            read_timeout_ms: 0,
+            max_connections: 256,
             engine: EngineConfig::default(),
         }
     }
@@ -71,6 +82,19 @@ struct AppState {
     loaded: LoadedModel,
     metrics: Arc<Metrics>,
     stop: AtomicBool,
+    read_timeout: Option<Duration>,
+    max_connections: usize,
+    active_conns: AtomicUsize,
+}
+
+/// Decrements the active-connection gauge when a handler thread finishes,
+/// no matter how it exits.
+struct ConnPermit<'a>(&'a AppState);
+
+impl Drop for ConnPermit<'_> {
+    fn drop(&mut self) {
+        self.0.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A running server. Dropping it (or calling [`Server::shutdown`]) stops the
@@ -88,6 +112,7 @@ pub struct Server {
 /// Propagates listener bind failures.
 pub fn serve(loaded: LoadedModel, cfg: ServerConfig) -> std::io::Result<Server> {
     cohortnet_obs::init_from_env();
+    cohortnet_chaos::init_from_env();
     let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -99,6 +124,13 @@ pub fn serve(loaded: LoadedModel, cfg: ServerConfig) -> std::io::Result<Server> 
         loaded,
         metrics,
         stop: AtomicBool::new(false),
+        read_timeout: if cfg.read_timeout_ms == 0 {
+            None
+        } else {
+            Some(Duration::from_millis(cfg.read_timeout_ms))
+        },
+        max_connections: cfg.max_connections,
+        active_conns: AtomicUsize::new(0),
     });
 
     let loop_state = Arc::clone(&state);
@@ -150,11 +182,32 @@ fn accept_loop(listener: &TcpListener, state: &Arc<AppState>) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     while !state.stop.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
+                // Connection-limit gate: answer over-limit connections
+                // immediately with a retryable 503 instead of letting
+                // handler threads (each potentially holding a stalled
+                // client for the full read timeout) grow without bound.
+                if state.max_connections > 0
+                    && state.active_conns.load(Ordering::SeqCst) >= state.max_connections
+                {
+                    state.metrics.conns_rejected.inc();
+                    let _ = write_json(
+                        &mut stream,
+                        503,
+                        &error_body("connection limit reached, retry later"),
+                        &[("Retry-After", "1")],
+                    );
+                    continue;
+                }
+                state.active_conns.fetch_add(1, Ordering::SeqCst);
                 let conn_state = Arc::clone(state);
                 let handle = std::thread::Builder::new()
                     .name("cohortnet-conn".into())
-                    .spawn(move || handle_connection(stream, &conn_state))
+                    .spawn(move || {
+                        let permit = ConnPermit(&conn_state);
+                        handle_connection(stream, &conn_state);
+                        drop(permit);
+                    })
                     .expect("spawn connection thread");
                 handlers.push(handle);
                 // Reap finished handlers so long-lived servers don't
@@ -178,13 +231,22 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<AppState>) {
     let t0 = Instant::now();
     let mut req_span = cohortnet_obs::span::span("serve.request");
     req_span.arg("request_id", &rid);
-    let req = match read_request(&mut stream) {
+    let req = match read_request(&mut stream, state.read_timeout) {
         Ok(req) => req,
         Err(HttpError::TooLarge) => {
             let _ = write_json(
                 &mut stream,
                 413,
                 &error_body("request too large"),
+                &rid_header,
+            );
+            return;
+        }
+        Err(HttpError::Timeout) => {
+            let _ = write_json(
+                &mut stream,
+                408,
+                &error_body(&HttpError::Timeout.to_string()),
                 &rid_header,
             );
             return;
@@ -196,8 +258,16 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<AppState>) {
     };
     req_span.arg("method", &req.method).arg("path", &req.path);
     let (status, content_type, body) = route(&req, state);
+    // Backpressure statuses carry Retry-After so well-behaved clients back
+    // off instead of hammering a saturated queue.
+    let retry_headers: [(&str, &str); 2] = [("X-Request-Id", rid.as_str()), ("Retry-After", "1")];
+    let headers: &[(&str, &str)] = if status == 429 || status == 503 {
+        &retry_headers
+    } else {
+        &rid_header
+    };
     let render_t0 = Instant::now();
-    let _ = write_response(&mut stream, status, content_type, &body, &rid_header);
+    let _ = write_response(&mut stream, status, content_type, &body, headers);
     state
         .metrics
         .render_us
@@ -300,24 +370,45 @@ fn handle_score(req: &Request, state: &Arc<AppState>) -> (u16, &'static str, Str
     }
     match state.engine.score_many(reqs) {
         Ok(rows) => {
-            let predictions = Json::Arr(rows.iter().map(row_to_json).collect());
+            // Per-request isolation: each prediction slot carries either a
+            // score or that request's own error, in input order. The batch
+            // status reflects the worst case only when nothing succeeded.
+            let any_ok = rows.iter().any(Result::is_ok);
+            let all_bad_request = rows
+                .iter()
+                .all(|r| matches!(r, Err(EngineError::BadRequest(_))));
+            let all_deadline = rows
+                .iter()
+                .all(|r| matches!(r, Err(EngineError::DeadlineExceeded)));
+            let status = if any_ok {
+                200
+            } else if all_bad_request {
+                400
+            } else if all_deadline {
+                429
+            } else {
+                500
+            };
+            let predictions = Json::Arr(
+                rows.iter()
+                    .map(|row| match row {
+                        Ok(score) => row_to_json(score),
+                        Err(e) => obj(vec![("error", Json::Str(e.to_string()))]),
+                    })
+                    .collect(),
+            );
             (
-                200,
+                status,
                 JSON_CT,
                 json::render(&obj(vec![("predictions", predictions)])),
             )
         }
-        Err(EngineError::BadRequest(why)) => (400, JSON_CT, error_body(&why)),
         Err(EngineError::Overloaded) => (
             503,
             JSON_CT,
             error_body(&EngineError::Overloaded.to_string()),
         ),
-        Err(EngineError::ShuttingDown) => (
-            503,
-            JSON_CT,
-            error_body(&EngineError::ShuttingDown.to_string()),
-        ),
+        Err(e) => (503, JSON_CT, error_body(&e.to_string())),
     }
 }
 
@@ -418,6 +509,16 @@ fn healthz_body(state: &Arc<AppState>) -> String {
         ("has_cohorts", Json::Bool(inf.has_cohorts())),
         ("max_batch", Json::Num(cfg.max_batch as f64)),
         ("max_delay_us", Json::Num(cfg.max_delay_us as f64)),
+        ("deadline_ms", Json::Num(cfg.deadline_ms as f64)),
+        (
+            "read_timeout_ms",
+            Json::Num(
+                state
+                    .read_timeout
+                    .unwrap_or(crate::http::DEFAULT_READ_TIMEOUT)
+                    .as_millis() as f64,
+            ),
+        ),
     ]))
 }
 

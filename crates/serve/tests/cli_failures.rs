@@ -1,0 +1,248 @@
+//! CLI failure round-trips: every snapshot rejection path the library
+//! exposes must also surface through the `cohortnet-serve` binary as a
+//! non-zero exit with a `snapshot rejected: ...` line naming the cause —
+//! and the `--demo` fallback must come up, serve, and shut down cleanly
+//! without any snapshot at all.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::sync::OnceLock;
+
+use cohortnet_serve::client::read_response;
+use cohortnet_serve::demo;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_cohortnet-serve")
+}
+
+/// One deterministic trained snapshot (with discovery sections) shared by
+/// every tamper case.
+fn snapshot_text() -> &'static str {
+    static TEXT: OnceLock<String> = OnceLock::new();
+    TEXT.get_or_init(|| demo::demo_bundle().snapshot)
+}
+
+/// FNV-1a 64 — the snapshot checksum function, local copy for re-tagging
+/// tampered sections.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Applies `edit` to the named section's payload and rewrites that
+/// section's header (line count + checksum) so the tampering is
+/// *consistent*: the checksum passes and the loader must catch the semantic
+/// problem itself.
+fn tamper(text: &str, section: &str, edit: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    let mut lines = text.lines().peekable();
+    out.push_str(lines.next().expect("snapshot header"));
+    out.push('\n');
+    while let Some(line) = lines.next() {
+        let parts: Vec<&str> = line.split(' ').collect();
+        assert_eq!(parts[0], "#section", "expected a section header: {line}");
+        let name = parts[1];
+        let n: usize = parts[2].parse().expect("line count");
+        let mut payload = String::new();
+        for _ in 0..n {
+            payload.push_str(lines.next().expect("payload line"));
+            payload.push('\n');
+        }
+        let payload = if name == section {
+            edit(&payload)
+        } else {
+            payload
+        };
+        let count = payload.lines().count();
+        let sum = fnv64(payload.as_bytes());
+        out.push_str(&format!("#section {name} {count} {sum:016x}\n"));
+        out.push_str(&payload);
+    }
+    out
+}
+
+/// Rewrites `key=<anything>` to `key=<value>` in a config payload.
+fn set_config(payload: &str, key: &str, value: &str) -> String {
+    payload
+        .lines()
+        .map(|l| {
+            if l.starts_with(&format!("{key}=")) {
+                format!("{key}={value}")
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+/// Runs `cohortnet-serve --snapshot <tampered>` and asserts it exits 1 with
+/// a `snapshot rejected` line mentioning `expect_in_stderr`.
+fn assert_cli_rejects(case: &str, text: &str, expect_in_stderr: &str) {
+    let dir = std::env::temp_dir().join(format!("cohortnet-cli-{case}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("snapshot.cns");
+    std::fs::write(&path, text).expect("write tampered snapshot");
+    let out = Command::new(bin())
+        .args([
+            "--snapshot",
+            path.to_str().expect("utf8 path"),
+            "--port",
+            "0",
+        ])
+        .output()
+        .expect("run cohortnet-serve");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{case}: expected exit 1, got {:?}; stderr:\n{stderr}",
+        out.status
+    );
+    assert!(
+        stderr.contains("snapshot rejected"),
+        "{case}: stderr lacks the rejection line:\n{stderr}"
+    );
+    assert!(
+        stderr.contains(expect_in_stderr),
+        "{case}: stderr should mention {expect_in_stderr:?}:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_rejects_wrong_header() {
+    let text = snapshot_text().replace("#cohortnet-snapshot v1", "#cohortnet-snapshot v9");
+    assert_cli_rejects("wrong-header", &text, "header");
+}
+
+#[test]
+fn cli_rejects_corrupt_section_payload() {
+    // Flip one digit inside the params payload without re-tagging the
+    // checksum.
+    let text = snapshot_text();
+    let needle = "param\t";
+    let idx = text.find(needle).expect("params payload present");
+    let mut bytes = text.as_bytes().to_vec();
+    bytes[idx + needle.len() + 16] ^= 0x01;
+    let text = String::from_utf8(bytes).expect("still utf-8");
+    assert_cli_rejects("corrupt-payload", &text, "corrupt");
+}
+
+#[test]
+fn cli_rejects_k_states_disagreement() {
+    let text = tamper(snapshot_text(), "states", |payload| {
+        payload.replacen("k\t4", "k\t3", 1)
+    });
+    assert_cli_rejects("k-states", &text, "k_states");
+}
+
+#[test]
+fn cli_rejects_feature_count_disagreement() {
+    let text = tamper(snapshot_text(), "scaler", |payload| {
+        payload
+            .lines()
+            .map(|l| {
+                if l.starts_with("mean\t") || l.starts_with("std\t") {
+                    let cut = l.rfind(',').expect("has several values");
+                    l[..cut].to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n"
+    });
+    assert_cli_rejects("feature-count", &text, "features");
+}
+
+#[test]
+fn cli_rejects_architecture_drift() {
+    let text = tamper(snapshot_text(), "config", |payload| {
+        set_config(payload, "d_hidden", "8")
+    });
+    assert_cli_rejects("arch-drift", &text, "params");
+}
+
+#[test]
+fn cli_rejects_invalid_config() {
+    let text = tamper(snapshot_text(), "config", |payload| {
+        set_config(payload, "k_states", "16")
+    });
+    assert_cli_rejects("invalid-k", &text, "k_states");
+    let text = tamper(snapshot_text(), "config", |payload| {
+        set_config(payload, "time_steps", "0")
+    });
+    assert_cli_rejects("invalid-t", &text, "time_steps");
+}
+
+#[test]
+fn cli_rejects_partial_discovery_sections() {
+    let text = tamper(snapshot_text(), "pool", |_| "none\n".to_string());
+    assert_cli_rejects("partial-discovery", &text, "discovery");
+}
+
+#[test]
+fn cli_demo_fallback_serves_and_shuts_down() {
+    // `--demo` needs no snapshot at all: the binary trains its own model,
+    // announces the bound address, serves, and drains on POST /shutdown.
+    let mut child = Command::new(bin())
+        .args(["--demo", "--port", "0"])
+        .stderr(Stdio::piped())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn cohortnet-serve --demo");
+    let stderr = child.stderr.take().expect("stderr pipe");
+    let mut lines = BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("child exited before announcing its address")
+            .expect("read child stderr");
+        if let Some(rest) = line.strip_prefix("listening on http://") {
+            break rest.trim().to_string();
+        }
+    };
+
+    let mut stream = TcpStream::connect(&addr).expect("connect to demo server");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .expect("write healthz");
+    let resp = read_response(&mut stream).expect("healthz response");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"status\":\"ok\""), "{}", resp.body);
+
+    let mut stream = TcpStream::connect(&addr).expect("connect for shutdown");
+    stream
+        .write_all(
+            b"POST /shutdown HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        )
+        .expect("write shutdown");
+    let resp = read_response(&mut stream).expect("shutdown response");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    let status = child.wait().expect("child exit status");
+    assert!(status.success(), "demo server exited with {status}");
+}
+
+#[test]
+fn cli_demo_snapshot_writes_a_loadable_artifact() {
+    let dir = std::env::temp_dir().join(format!("cohortnet-cli-demo-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("demo.cns");
+    let out = Command::new(bin())
+        .args(["--demo-snapshot", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("run cohortnet-serve");
+    assert!(out.status.success(), "{:?}", out.status);
+    let text = std::fs::read_to_string(&path).expect("snapshot written");
+    assert!(cohortnet::snapshot::load_snapshot(&text).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}

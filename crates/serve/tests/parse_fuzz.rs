@@ -1,0 +1,146 @@
+//! Fuzz the server's two hand-rolled parsers — `json::parse` and
+//! `http::read_request` — with seeded byte soups, mutations of valid
+//! payloads, and size-cap boundary cases. The contract under fuzz: every
+//! input yields `Ok` or a *typed* error ([`HttpError::Malformed`] /
+//! [`HttpError::TooLarge`] / [`HttpError::Timeout`], which the server maps
+//! to 400/413/408) — never a panic and never a hang.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use cohortnet_serve::http::{read_request, HttpError, Request, MAX_BODY_BYTES, MAX_HEAD_BYTES};
+use cohortnet_serve::json;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A canonical valid `/score` body to mutate.
+const VALID_BODY: &str =
+    "{\"instances\":[{\"x\":[0.5,-1.25,3e2,0.0],\"mask\":[1,0,1,1]},{\"x\":[1],\"mask\":[0]}]}";
+
+/// A canonical valid request head to mutate.
+fn valid_raw(body: &str) -> Vec<u8> {
+    format!(
+        "POST /score HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn random_bytes(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0usize..max_len);
+    (0..len).map(|_| rng.gen_range(0u8..=255)).collect()
+}
+
+/// Writes `raw` to a real socket, closes the write side, and parses it with
+/// a short read timeout so a parser hang fails the test instead of wedging
+/// it.
+fn feed(raw: &[u8]) -> Result<Request, HttpError> {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let raw = raw.to_vec();
+    let writer = std::thread::spawn(move || {
+        let mut c = TcpStream::connect(addr).expect("connect");
+        let _ = c.write_all(&raw);
+        // Dropping the stream closes it: the parser sees EOF, not a stall.
+    });
+    let (mut conn, _) = listener.accept().expect("accept");
+    let result = read_request(&mut conn, Some(Duration::from_millis(2_000)));
+    writer.join().expect("writer thread");
+    result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary byte soups (lossily decoded): the JSON parser returns a
+    /// typed `Err(String)` or a value, never panics.
+    #[test]
+    fn json_parse_survives_byte_soup(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let soup = random_bytes(&mut rng, 512);
+        let text = String::from_utf8_lossy(&soup);
+        let _ = json::parse(&text);
+    }
+
+    /// Truncations and single-byte corruptions of a valid body: parse
+    /// completes, and the undamaged original still parses.
+    #[test]
+    fn json_parse_survives_mutations(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bytes = VALID_BODY.as_bytes().to_vec();
+        let cut = rng.gen_range(0usize..=bytes.len());
+        bytes.truncate(cut);
+        if !bytes.is_empty() && rng.gen_bool(0.5) {
+            let idx = rng.gen_range(0usize..bytes.len());
+            bytes[idx] ^= 1 << rng.gen_range(0u8..8);
+        }
+        let _ = json::parse(&String::from_utf8_lossy(&bytes));
+        prop_assert!(json::parse(VALID_BODY).is_ok());
+    }
+
+    /// Arbitrary byte soups over a real socket: the HTTP reader answers
+    /// with `Ok` or a typed error without panicking or hanging.
+    #[test]
+    fn http_reader_survives_byte_soup(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let soup = random_bytes(&mut rng, 2048);
+        match feed(&soup) {
+            Ok(req) => prop_assert!(!req.method.is_empty()),
+            Err(HttpError::Malformed(_) | HttpError::TooLarge | HttpError::Io(_)) => {}
+            Err(HttpError::Timeout) => {
+                prop_assert!(false, "reader stalled on {} closed bytes", soup.len());
+            }
+        }
+    }
+
+    /// Truncations of a valid request at every boundary: either a complete
+    /// parse (cut landed after the declared body) or a typed error.
+    #[test]
+    fn http_reader_survives_truncation(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let raw = valid_raw(VALID_BODY);
+        let cut = rng.gen_range(0usize..=raw.len());
+        match feed(&raw[..cut]) {
+            Ok(req) => prop_assert_eq!(req.path.as_str(), "/score"),
+            Err(HttpError::Malformed(_) | HttpError::TooLarge | HttpError::Io(_)) => {}
+            Err(HttpError::Timeout) => prop_assert!(false, "reader stalled at cut {cut}"),
+        }
+    }
+}
+
+#[test]
+fn http_reader_rejects_oversized_declared_body() {
+    let raw = format!(
+        "POST /score HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        MAX_BODY_BYTES + 1
+    );
+    let err = feed(raw.as_bytes()).expect_err("oversized body must be rejected");
+    assert!(matches!(err, HttpError::TooLarge), "{err}");
+}
+
+#[test]
+fn http_reader_rejects_oversized_head() {
+    let mut raw = b"GET /".to_vec();
+    raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 1024));
+    let err = feed(&raw).expect_err("oversized head must be rejected");
+    assert!(matches!(err, HttpError::TooLarge), "{err}");
+}
+
+#[test]
+fn http_reader_rejects_non_numeric_content_length() {
+    let err = feed(b"POST /score HTTP/1.1\r\nContent-Length: banana\r\n\r\n")
+        .expect_err("bad content-length must be rejected");
+    assert!(matches!(err, HttpError::Malformed(_)), "{err}");
+}
+
+#[test]
+fn json_parser_handles_pathological_nesting_without_overflow() {
+    // Deep nesting is the classic recursive-descent stack breaker; the
+    // parser must answer (value or error) without blowing the stack.
+    for depth in [64usize, 512, 4096] {
+        let deep = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        let _ = json::parse(&deep);
+    }
+}

@@ -72,18 +72,21 @@ fn score_is_bit_identical_across_batch_and_thread_configs() {
             max_delay_us: 0,
             threads: 1,
             queue_cap: 64,
+            ..EngineConfig::default()
         },
         EngineConfig {
             max_batch: 4,
             max_delay_us: 500,
             threads: 2,
             queue_cap: 64,
+            ..EngineConfig::default()
         },
         EngineConfig {
             max_batch: 8,
             max_delay_us: 1_000,
             threads: 4,
             queue_cap: 64,
+            ..EngineConfig::default()
         },
     ];
 
@@ -100,6 +103,7 @@ fn score_is_bit_identical_across_batch_and_thread_configs() {
             ServerConfig {
                 port: 0,
                 engine: cfg,
+                ..ServerConfig::default()
             },
         )
         .expect("server starts");
@@ -146,6 +150,7 @@ fn server_rejects_bad_input_and_serves_introspection() {
         ServerConfig {
             port: 0,
             engine: EngineConfig::default(),
+            ..ServerConfig::default()
         },
     )
     .expect("server starts");
@@ -165,9 +170,23 @@ fn server_rejects_bad_input_and_serves_introspection() {
     );
     assert_eq!(status, 400, "{body}");
     assert!(
-        body.contains("must be"),
+        body.contains("expected"),
         "error should name the shape: {body}"
     );
+    // Per-request isolation: the shape error rides in its own prediction
+    // slot, so a mixed batch still scores the valid instance.
+    let good = &bundle.examples[0];
+    let mixed = format!(
+        "{{\"instances\":[{{\"x\":[{}],\"mask\":[{}]}},{{\"x\":[0.5],\"mask\":[1]}}]}}",
+        join(&good.x),
+        join(&good.mask)
+    );
+    let (status, body) = request(addr, "POST", "/score", &mixed);
+    assert_eq!(status, 200, "mixed batch should partially succeed: {body}");
+    let preds = predictions(&body);
+    assert_eq!(preds.len(), 2, "{body}");
+    assert!(preds[0].contains("\"prob\""), "{body}");
+    assert!(preds[1].contains("\"error\""), "{body}");
 
     let (status, body) = request(addr, "GET", "/cohorts", "");
     assert_eq!(status, 200);
@@ -193,6 +212,51 @@ fn server_rejects_bad_input_and_serves_introspection() {
     ] {
         assert!(body.contains(family), "{family} missing: {body}");
     }
+
+    server.shutdown();
+}
+
+#[test]
+fn configurable_read_timeout_answers_stalled_clients_with_408() {
+    let bundle = cohortnet_serve::demo::demo_bundle();
+    let loaded = load_snapshot(&bundle.snapshot).expect("snapshot loads");
+    let server = serve(
+        loaded,
+        ServerConfig {
+            port: 0,
+            read_timeout_ms: 200,
+            engine: EngineConfig::default(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    // The configured timeout is visible on /healthz.
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"read_timeout_ms\":200"), "{body}");
+
+    // Stall mid-head: write a partial request and go quiet. The server must
+    // answer 408 once the configured timeout elapses — well before the old
+    // hard-coded 10s — and free the handler thread.
+    let started = std::time::Instant::now();
+    let mut stalled = TcpStream::connect(addr).expect("connect");
+    stalled
+        .write_all(b"POST /score HTTP/1.1\r\nContent-Le")
+        .expect("partial write");
+
+    // A concurrent healthy request is served while the stalled one waits.
+    let (status, _) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "stalled client must not block other requests");
+
+    let resp = cohortnet_serve::client::read_response(&mut stalled).expect("408 response");
+    assert_eq!(resp.status, 408, "{}", resp.body);
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "408 took {:?}; the configured 200ms timeout was ignored",
+        started.elapsed()
+    );
 
     server.shutdown();
 }

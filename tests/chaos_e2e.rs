@@ -1,0 +1,335 @@
+//! Chaos end-to-end suite: seeded fault plans driven over a real socket
+//! against the full serving stack. Three guarantees under test:
+//!
+//! (a) **Bit-identity under faults** — requests that are not themselves
+//!     faulted score bit-identically to a fault-free run (the engine's
+//!     rescue path re-scores rows individually, and row independence makes
+//!     the rescued result equal to the unfaulted one).
+//! (b) **Panic survival** — the server absorbs N injected worker panics,
+//!     keeps answering, and reports exactly N engine restarts on
+//!     `/metrics`.
+//! (c) **Stall isolation** — a slow/stalled client never blocks other
+//!     connections; it is eventually answered `408` by the read timeout.
+//!
+//! Determinism rules: plans are seeded, servers run `threads: 1`, and
+//! requests are driven sequentially, so every site's call order — and
+//! therefore every injection decision — replays exactly.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use cohortnet::snapshot::load_snapshot;
+use cohortnet_chaos::{install, ChaosPlan, When};
+use cohortnet_serve::client::{request, RetryPolicy};
+use cohortnet_serve::{demo, serve, EngineConfig, ServerConfig};
+
+/// Chaos plans are process-global; every test in this binary serialises on
+/// this lock so one test's plan never leaks into another's call counters.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The demo model is deterministic but takes seconds to train; share one
+/// bundle across the whole binary.
+fn bundle() -> &'static demo::DemoBundle {
+    static BUNDLE: OnceLock<demo::DemoBundle> = OnceLock::new();
+    BUNDLE.get_or_init(demo::demo_bundle)
+}
+
+/// A single-threaded, deterministic server: one `score_requests` call per
+/// minibatch, so the `infer.worker` site's call index equals the batch
+/// ordinal (rescued rows append further calls).
+fn start_server() -> cohortnet_serve::Server {
+    let loaded = load_snapshot(&bundle().snapshot).expect("snapshot loads");
+    serve(
+        loaded,
+        ServerConfig {
+            port: 0,
+            read_timeout_ms: 400,
+            engine: EngineConfig {
+                max_batch: 16,
+                max_delay_us: 500,
+                threads: 1,
+                queue_cap: 64,
+                ..EngineConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts")
+}
+
+fn join(values: &[f32]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn score_body(examples: &[cohortnet::infer::ScoreRequest]) -> String {
+    let instances: Vec<String> = examples
+        .iter()
+        .map(|e| format!("{{\"x\":[{}],\"mask\":[{}]}}", join(&e.x), join(&e.mask)))
+        .collect();
+    format!("{{\"instances\":[{}]}}", instances.join(","))
+}
+
+/// Sends every example solo, then all of them as one batch; returns all
+/// response bodies in order. Panics on any non-200.
+fn drive_scores(addr: SocketAddr) -> Vec<String> {
+    let mut bodies = Vec::new();
+    for e in &bundle().examples {
+        let resp = request(addr, "POST", "/score", &score_body(std::slice::from_ref(e)))
+            .expect("solo request");
+        assert_eq!(resp.status, 200, "solo score failed: {}", resp.body);
+        bodies.push(resp.body);
+    }
+    let resp =
+        request(addr, "POST", "/score", &score_body(&bundle().examples)).expect("batch request");
+    assert_eq!(resp.status, 200, "batch score failed: {}", resp.body);
+    bodies.push(resp.body);
+    bodies
+}
+
+/// Reads the value of a counter family from a `/metrics` response body.
+fn metric_value(metrics_body: &str, family: &str) -> Option<f64> {
+    metrics_body.lines().find_map(|line| {
+        let rest = line.strip_prefix(family)?;
+        rest.trim().parse().ok()
+    })
+}
+
+fn fetch_metrics(addr: SocketAddr) -> String {
+    let resp = request(addr, "GET", "/metrics", "").expect("/metrics");
+    assert_eq!(resp.status, 200);
+    resp.body
+}
+
+/// (a) Bit-identity: a run poisoned with worker panics and injected latency
+/// must return byte-identical score bodies to a fault-free run — the
+/// faulted batches are rescued row-by-row, and delays never touch values.
+#[test]
+fn poisoned_run_scores_bit_identical_to_fault_free_run() {
+    let _s = serial();
+
+    // Fault-free reference run.
+    let server = start_server();
+    let reference = drive_scores(server.addr());
+    server.shutdown();
+
+    // Poisoned run at seed 42: panic the 2nd and 9th `score_requests`
+    // calls — two solo batches (each rescue re-scores the row as the next
+    // call, shifting later indices) — plus probabilistic latency, which is
+    // value-neutral by contract.
+    let plan = ChaosPlan::new(42)
+        .site("infer.worker", When::At(vec![2, 9]), 0)
+        .site("infer.latency", When::Prob(0.25), 5);
+    let guard = install(plan);
+    let server = start_server();
+    let poisoned = drive_scores(server.addr());
+
+    let metrics = fetch_metrics(server.addr());
+    let restarts = metric_value(&metrics, "cohortnet_engine_restarts_total ")
+        .expect("engine restart counter on /metrics");
+    assert!(
+        restarts >= 2.0,
+        "expected both injected panics captured, saw {restarts} restarts"
+    );
+    server.shutdown();
+    drop(guard);
+
+    assert_eq!(
+        reference.len(),
+        poisoned.len(),
+        "runs answered different request counts"
+    );
+    for (i, (want, got)) in reference.iter().zip(&poisoned).enumerate() {
+        assert_eq!(
+            want, got,
+            "request {i} scored differently under the seed-42 fault plan"
+        );
+    }
+}
+
+/// (b) Panic survival: N injected worker panics on solo batches → the
+/// server answers every request and `/metrics` reports exactly N engine
+/// restarts (each rescue re-scores the one row successfully).
+#[test]
+fn server_survives_n_worker_panics_and_counts_restarts() {
+    let _s = serial();
+    // Solo batches make call indices exact: batch k is call 2k-1 when every
+    // odd call panics and its rescue consumes the following (even) call.
+    let n_panics = 3u64;
+    let plan = ChaosPlan::new(7).site("infer.worker", When::At(vec![1, 3, 5]), 0);
+    let guard = install(plan);
+    let server = start_server();
+    let addr = server.addr();
+
+    for (k, e) in bundle().examples.iter().take(5).enumerate() {
+        let resp =
+            request(addr, "POST", "/score", &score_body(std::slice::from_ref(e))).expect("request");
+        assert_eq!(
+            resp.status, 200,
+            "request {k} failed under panic injection: {}",
+            resp.body
+        );
+        assert!(resp.body.contains("\"prob\""), "{}", resp.body);
+    }
+
+    let metrics = fetch_metrics(addr);
+    let restarts = metric_value(&metrics, "cohortnet_engine_restarts_total ")
+        .expect("engine restart counter on /metrics");
+    assert_eq!(
+        restarts, n_panics as f64,
+        "engine restarts must equal the number of injected panics"
+    );
+    let injected = metric_value(&metrics, "cohortnet_chaos_injected_infer_worker_total ")
+        .expect("chaos site counter on /metrics");
+    assert!(
+        injected >= n_panics as f64,
+        "chaos counter should record the injections, saw {injected}"
+    );
+    server.shutdown();
+    drop(guard);
+}
+
+/// (c) Stall isolation: stalled clients (connected, half a request written,
+/// then silent) never block healthy traffic, and each eventually gets `408`
+/// from the configured read timeout instead of pinning a thread for 10s.
+#[test]
+fn stalled_clients_do_not_block_healthy_traffic() {
+    let _s = serial();
+    let server = start_server();
+    let addr = server.addr();
+
+    let mut stalled: Vec<TcpStream> = (0..3)
+        .map(|_| {
+            let mut c = TcpStream::connect(addr).expect("connect");
+            c.write_all(b"POST /score HTTP/1.1\r\nContent-Le")
+                .expect("partial write");
+            c
+        })
+        .collect();
+
+    // Healthy traffic while three handlers sit inside stalled reads.
+    let healthy_t0 = Instant::now();
+    for e in bundle().examples.iter().take(3) {
+        let resp = request(addr, "POST", "/score", &score_body(std::slice::from_ref(e)))
+            .expect("healthy request");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+    assert!(
+        healthy_t0.elapsed() < Duration::from_secs(5),
+        "healthy requests took {:?} behind stalled clients",
+        healthy_t0.elapsed()
+    );
+
+    // Every stalled connection is answered 408 once the 400ms timeout hits.
+    for (i, conn) in stalled.iter_mut().enumerate() {
+        let resp = cohortnet_serve::client::read_response(conn)
+            .unwrap_or_else(|e| panic!("stalled conn {i} got no response: {e}"));
+        assert_eq!(resp.status, 408, "stalled conn {i}: {}", resp.body);
+    }
+    server.shutdown();
+}
+
+/// Per-request deadlines: a request that ages in the queue behind an
+/// injected-slow batch is answered `429 + Retry-After` instead of being
+/// scored late, and the rejection shows up on `/metrics`.
+#[test]
+fn queued_request_past_deadline_gets_429_with_retry_after() {
+    let _s = serial();
+    // One-request batches, a 30ms queue deadline, and a 300ms injected
+    // stall on the first forward pass: request B queues behind A, ages past
+    // its deadline while A scores, and must be rejected, not served stale.
+    let plan = ChaosPlan::new(11).site("infer.latency", When::At(vec![1]), 300);
+    let guard = install(plan);
+    let loaded = load_snapshot(&bundle().snapshot).expect("snapshot loads");
+    let server = serve(
+        loaded,
+        ServerConfig {
+            port: 0,
+            engine: EngineConfig {
+                max_batch: 1,
+                max_delay_us: 0,
+                threads: 1,
+                queue_cap: 64,
+                deadline_ms: 30,
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+    let body_a = score_body(std::slice::from_ref(&bundle().examples[0]));
+    let body_b = score_body(std::slice::from_ref(&bundle().examples[1]));
+
+    let slow = std::thread::spawn(move || request(addr, "POST", "/score", &body_a));
+    // Let A reach the batcher (and its 300ms stall) before B enqueues.
+    std::thread::sleep(Duration::from_millis(100));
+    let resp = request(addr, "POST", "/score", &body_b).expect("request B");
+    assert_eq!(resp.status, 429, "{}", resp.body);
+    assert_eq!(resp.header("Retry-After"), Some("1"), "{}", resp.head);
+    assert!(resp.body.contains("deadline"), "{}", resp.body);
+
+    let resp_a = slow.join().expect("thread A").expect("request A");
+    assert_eq!(
+        resp_a.status, 200,
+        "slow-but-in-deadline A: {}",
+        resp_a.body
+    );
+
+    let metrics = fetch_metrics(addr);
+    let rejected = metric_value(&metrics, "cohortnet_requests_rejected_deadline_total ")
+        .expect("deadline counter on /metrics");
+    assert!(
+        rejected >= 1.0,
+        "deadline rejection not counted: {rejected}"
+    );
+    server.shutdown();
+    drop(guard);
+}
+
+/// Queue-saturation injection: `engine.enqueue.reject` turns into a `503 +
+/// Retry-After` for the plain client, and the retrying client rides over it.
+#[test]
+fn injected_queue_saturation_yields_retryable_503() {
+    let _s = serial();
+    let plan = ChaosPlan::new(5).site("engine.enqueue.reject", When::At(vec![1]), 0);
+    let guard = install(plan);
+    let server = start_server();
+    let addr = server.addr();
+    let e = &bundle().examples[0];
+
+    // First enqueue is rejected: the plain client sees the backpressure
+    // answer with its Retry-After hint...
+    let resp =
+        request(addr, "POST", "/score", &score_body(std::slice::from_ref(e))).expect("request");
+    assert_eq!(resp.status, 503, "{}", resp.body);
+    assert_eq!(resp.header("Retry-After"), Some("1"), "{}", resp.head);
+
+    // ...and the retrying client turns the same schedule into a success.
+    let plan = ChaosPlan::new(5).site("engine.enqueue.reject", When::At(vec![1]), 0);
+    drop(guard);
+    let guard = install(plan);
+    let resp = cohortnet_serve::client::request_with_retry(
+        addr,
+        "POST",
+        "/score",
+        &score_body(std::slice::from_ref(e)),
+        RetryPolicy {
+            attempts: 3,
+            base_ms: 5,
+            max_ms: 20,
+            seed: 5,
+        },
+    )
+    .expect("retry client");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    server.shutdown();
+    drop(guard);
+}

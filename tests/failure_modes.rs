@@ -1,6 +1,10 @@
 //! Failure-injection tests: the workspace's error surfaces must fail loudly
-//! and precisely, not corrupt state or mis-train silently.
+//! and precisely, not corrupt state or mis-train silently. Snapshot
+//! corruption — byte flips and the `snapshot.corrupt` chaos site — must
+//! surface as typed [`SnapshotError`]s, never as a panic or abort.
 
+use cohortnet::snapshot::{load_snapshot, save_snapshot, SnapshotError};
+use cohortnet_chaos::{ChaosPlan, When};
 use cohortnet_clustering::{kmeans_fit, KMeansConfig};
 use cohortnet_ehr::io::{dataset_from_csv, CsvError};
 use cohortnet_ehr::record::{EhrDataset, PatientRecord, Task};
@@ -116,6 +120,79 @@ fn mflm_requires_bounds() {
     let mut ps = cohortnet_tensor::ParamStore::new();
     let mut rng = StdRng::seed_from_u64(0);
     let _ = cohortnet::mflm::Mflm::new(&mut ps, &mut rng, &cfg);
+}
+
+// --------------------------------------------------------------- snapshot
+
+/// The chaos plan is process-global and `snapshot.corrupt` keys on call
+/// order, so the snapshot tests serialise on this lock.
+fn snapshot_serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A quick untrained snapshot (no discovery pass), enough to exercise the
+/// load-time integrity checks.
+fn untrained_snapshot() -> String {
+    let mut c = cohortnet_ehr::profiles::mimic3_like(0.05);
+    c.n_patients = 10;
+    c.time_steps = 3;
+    let mut ds = cohortnet_ehr::synth::generate(&c);
+    let scaler = cohortnet_ehr::standardize::Standardizer::fit(&ds);
+    scaler.apply(&mut ds);
+    let cfg = cohortnet::config::CohortNetConfig::for_dataset(&ds, &scaler);
+    let mut ps = cohortnet_tensor::ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(11);
+    let model = cohortnet::model::CohortNetModel::new(&mut ps, &mut rng, &cfg);
+    save_snapshot(&model, &ps, &scaler, 3)
+}
+
+#[test]
+fn corrupted_snapshot_load_returns_typed_error_not_abort() {
+    let _s = snapshot_serial();
+    let text = untrained_snapshot();
+    // Flip single bytes at positions spread across the artifact (past the
+    // version header, which has its own rejection path): every corruption
+    // must come back as a typed SnapshotError, never a panic.
+    let body_start = text.find('\n').expect("header line") + 1;
+    let len = text.len();
+    for frac in [0usize, 1, 2, 5, 9] {
+        let idx = body_start + (len - body_start - 1) * frac / 9;
+        let mut bytes = text.clone().into_bytes();
+        bytes[idx] = (bytes[idx] ^ 0x01) | 0x20;
+        let corrupt = String::from_utf8_lossy(&bytes).into_owned();
+        if corrupt == text {
+            continue;
+        }
+        let Err(err) = load_snapshot(&corrupt) else {
+            panic!("corruption at byte {idx} must be rejected");
+        };
+        // The error is typed and printable — this is what the CLI reports
+        // as `snapshot rejected: ...` instead of aborting.
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+#[test]
+fn chaos_snapshot_corruption_site_degrades_to_typed_error() {
+    let _s = snapshot_serial();
+    let text = untrained_snapshot();
+    let guard = cohortnet_chaos::install(ChaosPlan::new(3).site(
+        "snapshot.corrupt",
+        When::At(vec![1]),
+        257,
+    ));
+    // First load hits the injected corruption: a typed checksum failure.
+    match load_snapshot(&text) {
+        Err(SnapshotError::Checksum { .. }) => {}
+        Err(other) => panic!("expected a checksum error, got {other}"),
+        Ok(_) => panic!("injected corruption must be rejected"),
+    }
+    // The site fires only on call 1: the next load of the same text is
+    // clean, proving the fault was injected, not latent.
+    assert!(load_snapshot(&text).is_ok());
+    drop(guard);
+    assert!(load_snapshot(&text).is_ok());
 }
 
 #[test]
