@@ -1,6 +1,6 @@
 CARGO ?= cargo
 
-.PHONY: verify build test clippy fmt bench-discovery bench-smoke serve-smoke trace-smoke chaos-smoke
+.PHONY: verify build test clippy fmt bench-discovery bench-smoke serve-smoke trace-smoke chaos-smoke load-smoke
 
 ## Seeds the chaos harness runs at (CI runs all three and uploads the logs).
 CHAOS_SEEDS ?= 42 7 1234
@@ -50,6 +50,16 @@ chaos-smoke:
 	for seed in $(CHAOS_SEEDS); do \
 		$(CARGO) run --release -p cohortnet-serve --bin chaos-smoke -- $$seed || exit 1; \
 	done
+
+## Open-loop serving load smoke: seeded Poisson arrivals against the
+## event-loop server — 1000 keep-alive connections on /score plus a
+## keep-alive vs close-per-request comparison at equal concurrency —
+## merging sustained rps / p50 / p99 / error rates into the "open_loop"
+## section of BENCH_serve.json (uploaded by CI with the bench artifacts).
+## serve_throughput rewrites that file from scratch, so CI runs this
+## target after bench-smoke and the merge keeps both sections.
+load-smoke:
+	COHORTNET_FAST=1 $(CARGO) run --release -p cohortnet-bench --bin serve_load
 
 ## Span-tracing smoke: trains a tiny pipeline with COHORTNET_TRACE set,
 ## then asserts trace.json is valid Chrome trace event JSON containing the

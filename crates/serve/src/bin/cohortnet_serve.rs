@@ -27,7 +27,9 @@ fn usage() -> ! {
          \x20        [--max-delay-us N (default 2000)] [--threads N (default 0 = all cores)]\n\
          \x20        [--deadline-ms N (default 0 = no queue deadline)]\n\
          \x20        [--read-timeout-ms N (default 0 = built-in 10s)]\n\
-         \x20        [--max-connections N (default 256, 0 = unlimited)]"
+         \x20        [--idle-timeout-ms N (default 0 = built-in 30s keep-alive idle close)]\n\
+         \x20        [--max-connections N (default 256, 0 = unlimited)]\n\
+         \x20        [--workers N (default 0 = built-in 16 request workers)]"
     );
     std::process::exit(2)
 }
@@ -71,10 +73,15 @@ fn parse_args() -> Args {
                 args.server.read_timeout_ms =
                     parse_num(&value("--read-timeout-ms"), "--read-timeout-ms")
             }
+            "--idle-timeout-ms" => {
+                args.server.idle_timeout_ms =
+                    parse_num(&value("--idle-timeout-ms"), "--idle-timeout-ms")
+            }
             "--max-connections" => {
                 args.server.max_connections =
                     parse_num(&value("--max-connections"), "--max-connections")
             }
+            "--workers" => args.server.workers = parse_num(&value("--workers"), "--workers"),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");

@@ -8,6 +8,13 @@
 //! capped exponential backoff. The jittered backoff schedule comes from
 //! [`cohortnet_chaos::backoff_ms`], so a retry trace is reproducible from
 //! its seed.
+//!
+//! Two framings coexist here. [`request`]/[`read_response`] speak
+//! `Connection: close` and read to EOF — one request per socket.
+//! [`Connection`] holds a keep-alive socket open across requests, framing
+//! each response by its `Content-Length` via the incremental
+//! [`try_parse_response`] (which the open-loop load harness also drives
+//! directly over nonblocking sockets).
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -79,6 +86,122 @@ pub fn read_response(stream: &mut TcpStream) -> std::io::Result<Response> {
         .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or((raw.clone(), String::new()));
     Ok(Response { status, head, body })
+}
+
+/// Attempts to parse one complete `Content-Length`-framed response from
+/// the start of `buf`, returning it plus the bytes it consumed (bytes past
+/// that belong to the next pipelined response). `Ok(None)` means the
+/// buffer holds only a prefix — read more and retry.
+///
+/// # Errors
+/// [`std::io::ErrorKind::InvalidData`] for a head that is not UTF-8, has
+/// no parsable status line, or lacks `Content-Length` (an EOF-framed
+/// response cannot be keep-alive framed).
+pub fn try_parse_response(buf: &[u8]) -> std::io::Result<Option<(Response, usize)>> {
+    let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return Ok(None);
+    };
+    let invalid = |why: String| std::io::Error::new(std::io::ErrorKind::InvalidData, why);
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| invalid("non-utf8 response head".into()))?
+        .to_string();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid(format!("no status line in response: {head:?}")))?;
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| {
+            let (n, v) = line.split_once(':')?;
+            n.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| v.trim().parse().ok())?
+        })
+        .ok_or_else(|| invalid(format!("response lacks content-length: {head:?}")))?;
+    let consumed = head_end + 4 + content_length;
+    if buf.len() < consumed {
+        return Ok(None);
+    }
+    let body = String::from_utf8_lossy(&buf[head_end + 4..consumed]).into_owned();
+    Ok(Some((Response { status, head, body }, consumed)))
+}
+
+/// A blocking keep-alive connection: many requests over one socket, each
+/// response framed by `Content-Length`.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Connection {
+    /// Opens a keep-alive connection to the server.
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        Ok(Connection {
+            stream: TcpStream::connect(addr)?,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Writes one request without reading the reply (no `Connection:`
+    /// header — HTTP/1.1 defaults to keep-alive).
+    ///
+    /// # Errors
+    /// Propagates socket failures.
+    pub fn send(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<()> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()
+    }
+
+    /// Reads the next framed response, leaving any pipelined surplus
+    /// buffered for the following call.
+    ///
+    /// # Errors
+    /// [`std::io::ErrorKind::UnexpectedEof`] when the server closes before
+    /// a full response; [`std::io::ErrorKind::InvalidData`] on an
+    /// unparsable response.
+    pub fn read_reply(&mut self) -> std::io::Result<Response> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some((resp, consumed)) = try_parse_response(&self.buf)? {
+                self.buf.drain(..consumed);
+                return Ok(resp);
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// One request-response round trip on the held connection.
+    ///
+    /// # Errors
+    /// Propagates [`Connection::send`] / [`Connection::read_reply`]
+    /// failures.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<Response> {
+        self.send(method, path, body)?;
+        self.read_reply()
+    }
+
+    /// The underlying socket, for tests that poke at timeouts or
+    /// half-closes.
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
 }
 
 /// Retry schedule for [`request_with_retry`].
@@ -181,6 +304,29 @@ mod tests {
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, "hello");
         assert_eq!(resp.header("x-request-id"), Some("r-1"));
+    }
+
+    #[test]
+    fn incremental_response_parser_frames_by_content_length() {
+        let first = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nok";
+        let second = b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n";
+        let mut raw = first.to_vec();
+        raw.extend_from_slice(second);
+        for cut in 0..first.len() {
+            let partial = try_parse_response(&raw[..cut]).expect("prefix parses");
+            assert!(partial.is_none(), "complete at premature cut {cut}");
+        }
+        let (resp, consumed) = try_parse_response(&raw)
+            .expect("parses")
+            .expect("complete response");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "ok");
+        assert_eq!(consumed, first.len(), "must stop at the frame boundary");
+        let (resp, consumed) = try_parse_response(&raw[first.len()..])
+            .expect("parses")
+            .expect("second response");
+        assert_eq!(resp.status, 404);
+        assert_eq!(consumed, second.len());
     }
 
     #[test]

@@ -1,7 +1,23 @@
-//! A deliberately small HTTP/1.1 layer over [`std::net::TcpStream`]: enough
-//! to parse the request line, headers and body of the server's endpoints and
-//! to write well-formed responses. One request per connection
-//! (`Connection: close`), which keeps the accept loop and shutdown simple.
+//! A deliberately small HTTP/1.1 layer: enough to parse the request line,
+//! headers and body of the server's endpoints and to write well-formed
+//! responses.
+//!
+//! The core is the *incremental* parser [`try_parse_request`]: it looks at
+//! whatever bytes have arrived so far and answers "complete request
+//! (+ how many bytes it consumed)", "need more bytes", or a typed error.
+//! That shape serves two callers:
+//!
+//! * the event-loop server feeds it per-connection receive buffers as
+//!   readiness events deliver bytes, which is what makes HTTP/1.1
+//!   keep-alive possible (leftover bytes after `consumed` are simply the
+//!   start of the next request);
+//! * the blocking [`read_request`] wraps it in a read loop over a
+//!   [`TcpStream`] for tests, tools and the client side of the fuzz
+//!   harness.
+//!
+//! Keep-alive is negotiated per request: HTTP/1.1 defaults to keep-alive,
+//! HTTP/1.0 (or anything else) to close, and an explicit `Connection:`
+//! header wins either way. The parsed verdict rides on [`Request::close`].
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -22,6 +38,20 @@ pub struct Request {
     pub path: String,
     /// Decoded request body.
     pub body: String,
+    /// Whether the connection must close after the response: `true` for
+    /// `Connection: close`, for HTTP/1.0 without `Connection: keep-alive`,
+    /// and for unrecognized protocol versions.
+    pub close: bool,
+}
+
+/// A complete request plus the number of buffer bytes it occupied; bytes
+/// past `consumed` belong to the next pipelined request.
+#[derive(Debug)]
+pub struct ParsedRequest {
+    /// The parsed request.
+    pub req: Request,
+    /// Bytes of the buffer this request consumed (head + body).
+    pub consumed: usize,
 }
 
 /// Why a request could not be parsed.
@@ -69,30 +99,23 @@ impl From<std::io::Error> for HttpError {
 /// [`read_request`] (the historical hard-coded value).
 pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Reads and parses one request from the stream. Applies the given read
-/// timeout (default [`DEFAULT_READ_TIMEOUT`]) so a stalled client cannot
-/// pin a handler thread forever; a stall surfaces as [`HttpError::Timeout`].
-pub fn read_request(
-    stream: &mut TcpStream,
-    timeout: Option<Duration>,
-) -> Result<Request, HttpError> {
-    stream.set_read_timeout(Some(timeout.unwrap_or(DEFAULT_READ_TIMEOUT)))?;
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-
-    // Read until the blank line ending the head.
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
+/// Attempts to parse one complete request from the start of `buf`.
+///
+/// Returns `Ok(Some(_))` with the request and its consumed length,
+/// `Ok(None)` when the buffer holds only a prefix of a request (read more
+/// and retry), or a typed error once the bytes can never become a valid
+/// request (oversized head/body, bad syntax).
+///
+/// # Errors
+/// [`HttpError::TooLarge`] on cap violations, [`HttpError::Malformed`] on
+/// syntax errors; never [`HttpError::Io`] / [`HttpError::Timeout`] (those
+/// belong to the transport driving the buffer).
+pub fn try_parse_request(buf: &[u8]) -> Result<Option<ParsedRequest>, HttpError> {
+    let Some(head_end) = find_head_end(buf) else {
         if buf.len() > MAX_HEAD_BYTES {
             return Err(HttpError::TooLarge);
         }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(HttpError::Malformed("connection closed mid-head".into()));
-        }
-        buf.extend_from_slice(&chunk[..n]);
+        return Ok(None);
     };
 
     let head = std::str::from_utf8(&buf[..head_end])
@@ -110,15 +133,29 @@ pub fn read_request(
         .next()
         .ok_or_else(|| HttpError::Malformed("missing path".into()))?;
     let path = target.split('?').next().unwrap_or(target).to_string();
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 and unknown versions to
+    // close. An explicit Connection header below overrides.
+    let version = parts.next().unwrap_or("").trim();
+    let mut close = !version.eq_ignore_ascii_case("HTTP/1.1");
 
     let mut content_length = 0usize;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
                     .trim()
                     .parse()
                     .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        close = true;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        close = false;
+                    }
+                }
             }
         }
     }
@@ -126,35 +163,70 @@ pub fn read_request(
         return Err(HttpError::TooLarge);
     }
 
-    // Body: whatever followed the head in the buffer, then the remainder
-    // from the socket.
-    let mut body = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
+    let body_start = head_end + 4;
+    let consumed = body_start + content_length;
+    if buf.len() < consumed {
+        return Ok(None);
+    }
+    let body = std::str::from_utf8(&buf[body_start..consumed])
+        .map_err(|_| HttpError::Malformed("non-utf8 body".into()))?
+        .to_string();
+
+    Ok(Some(ParsedRequest {
+        req: Request {
+            method,
+            path,
+            body,
+            close,
+        },
+        consumed,
+    }))
+}
+
+/// Reads and parses one request from the stream. Applies the given read
+/// timeout (default [`DEFAULT_READ_TIMEOUT`]) so a stalled client cannot
+/// pin the caller forever; a stall surfaces as [`HttpError::Timeout`].
+pub fn read_request(
+    stream: &mut TcpStream,
+    timeout: Option<Duration>,
+) -> Result<Request, HttpError> {
+    stream.set_read_timeout(Some(timeout.unwrap_or(DEFAULT_READ_TIMEOUT)))?;
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(parsed) = try_parse_request(&buf)? {
+            return Ok(parsed.req);
+        }
         let n = stream.read(&mut chunk)?;
         if n == 0 {
-            return Err(HttpError::Malformed("connection closed mid-body".into()));
+            return Err(HttpError::Malformed(
+                if find_head_end(&buf).is_none() {
+                    "connection closed mid-head"
+                } else {
+                    "connection closed mid-body"
+                }
+                .into(),
+            ));
         }
-        body.extend_from_slice(&chunk[..n]);
+        buf.extend_from_slice(&chunk[..n]);
     }
-    body.truncate(content_length);
-    let body = String::from_utf8(body).map_err(|_| HttpError::Malformed("non-utf8 body".into()))?;
-
-    Ok(Request { method, path, body })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Writes a complete response and flushes. `extra_headers` are emitted
-/// verbatim after the standard head (used for `X-Request-Id`).
-pub fn write_response(
-    stream: &mut TcpStream,
+/// Renders a complete response as bytes. `extra_headers` are emitted
+/// verbatim after the standard head (used for `X-Request-Id`); `close`
+/// selects the `Connection:` verdict, which must match what the server
+/// actually does with the socket afterwards.
+pub fn render_response(
     status: u16,
     content_type: &str,
     body: &str,
     extra_headers: &[(&str, &str)],
-) -> std::io::Result<()> {
+    close: bool,
+) -> Vec<u8> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -167,16 +239,30 @@ pub fn write_response(
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
+    let connection = if close { "close" } else { "keep-alive" };
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     );
     for (name, value) in extra_headers {
         head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Writes a complete `Connection: close` response and flushes.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let raw = render_response(status, content_type, body, extra_headers, true);
+    stream.write_all(&raw)?;
     stream.flush()
 }
 
@@ -218,6 +304,7 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/score");
         assert_eq!(req.body, "{\"a\"");
+        assert!(!req.close, "bare HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -226,6 +313,60 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
         assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn incremental_parse_waits_for_every_byte() {
+        let raw = b"POST /score HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        for cut in 0..raw.len() {
+            let status = try_parse_request(&raw[..cut]).expect("prefix is never an error");
+            assert!(status.is_none(), "complete at premature cut {cut}");
+        }
+        let parsed = try_parse_request(raw)
+            .expect("parses")
+            .expect("complete request");
+        assert_eq!(parsed.consumed, raw.len());
+        assert_eq!(parsed.req.body, "hello");
+    }
+
+    #[test]
+    fn incremental_parse_reports_pipelined_leftover() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let first = try_parse_request(raw)
+            .expect("parses")
+            .expect("complete request");
+        assert_eq!(first.req.path, "/healthz");
+        let rest = &raw[first.consumed..];
+        let second = try_parse_request(rest)
+            .expect("parses")
+            .expect("complete request");
+        assert_eq!(second.req.path, "/metrics");
+        assert_eq!(first.consumed + second.consumed, raw.len());
+    }
+
+    #[test]
+    fn connection_negotiation_follows_version_and_header() {
+        let cases: [(&[u8], bool); 5] = [
+            (b"GET / HTTP/1.1\r\n\r\n", false),
+            (b"GET / HTTP/1.0\r\n\r\n", true),
+            (b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", true),
+            (b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", false),
+            (
+                b"GET / HTTP/1.1\r\nConnection: Keep-Alive, TE\r\n\r\n",
+                false,
+            ),
+        ];
+        for (raw, want_close) in cases {
+            let parsed = try_parse_request(raw)
+                .expect("parses")
+                .expect("complete request");
+            assert_eq!(
+                parsed.req.close,
+                want_close,
+                "close verdict for {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
     }
 
     #[test]
@@ -250,7 +391,15 @@ mod tests {
         drop(conn);
         let raw = reader.join().expect("reader thread");
         assert!(raw.contains("X-Request-Id: abc-1\r\n"), "{raw}");
+        assert!(raw.contains("Connection: close\r\n"), "{raw}");
         assert!(raw.ends_with("hi"), "{raw}");
+    }
+
+    #[test]
+    fn rendered_keepalive_response_says_so() {
+        let raw = render_response(200, "application/json", "{}", &[], false);
+        let text = String::from_utf8(raw).expect("ascii response");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Online scoring for trained CohortNet snapshots: a micro-batching request
 //! engine over the tape-free [`cohortnet::infer::Inferencer`], fronted by a
-//! dependency-free HTTP/1.1 server on [`std::net::TcpListener`].
+//! dependency-free HTTP/1.1 server built on a readiness event loop.
 //!
 //! * [`engine`] — bounded request queue that coalesces concurrent requests
 //!   into minibatches (`max_batch` / `max_delay_us` knobs). The determinism
@@ -10,7 +10,13 @@
 //!   scores bit-identically alone or inside any batch.
 //! * [`server`] — `POST /score`, `POST /explain`, `GET /cohorts`,
 //!   `GET /healthz`, `GET /metrics`, `POST /shutdown`; graceful drain on
-//!   shutdown.
+//!   shutdown. The transport core is a nonblocking event loop with
+//!   HTTP/1.1 keep-alive and exact connection limiting.
+//! * [`reactor`] — the dependency-free readiness layer under the loop:
+//!   epoll on Linux, poll(2) elsewhere (or via
+//!   `COHORTNET_SERVE_BACKEND=poll`), plus the self-pipe waker. Public so
+//!   the bench crate's open-loop load harness can drive thousands of
+//!   client sockets off the same primitive.
 //! * [`metrics`] — serving metric families (request counters, queue gauge,
 //!   stage histograms), a thin shim over [`cohortnet_obs::metrics`]; the
 //!   `/metrics` endpoint renders the per-server registry plus the process
@@ -28,9 +34,11 @@
 pub mod client;
 pub mod demo;
 pub mod engine;
+mod eventloop;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod reactor;
 pub mod server;
 
 pub use engine::{Engine, EngineConfig, EngineError, RowScore};

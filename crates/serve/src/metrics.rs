@@ -50,6 +50,15 @@ pub struct Metrics {
     /// Connections rejected at accept because the connection limit was
     /// reached.
     pub conns_rejected: Arc<Counter>,
+    /// Keep-alive idle connections closed by the idle timeout.
+    pub conns_idle_closed: Arc<Counter>,
+    /// Requests served beyond the first on a keep-alive connection.
+    pub keepalive_requests: Arc<Counter>,
+    /// Requests answered `503` because the dispatch queue between the
+    /// event loop and the workers was full.
+    pub dispatch_rejected: Arc<Counter>,
+    /// Connections currently open (holding a `max_connections` slot).
+    pub conns_active: Arc<Gauge>,
     /// Requests currently waiting in the engine queue.
     pub queue_depth: Arc<Gauge>,
     /// Requests coalesced per scored minibatch.
@@ -106,6 +115,19 @@ impl Metrics {
                 "cohortnet_conns_rejected_total",
                 "Connections rejected at the connection limit.",
             ),
+            conns_idle_closed: registry.counter(
+                "cohortnet_conns_idle_closed_total",
+                "Keep-alive connections closed by the idle timeout.",
+            ),
+            keepalive_requests: registry.counter(
+                "cohortnet_keepalive_requests_total",
+                "Requests served beyond the first on a keep-alive connection.",
+            ),
+            dispatch_rejected: registry.counter(
+                "cohortnet_dispatch_rejected_total",
+                "Requests answered 503 because the dispatch queue was full.",
+            ),
+            conns_active: registry.gauge("cohortnet_conns_active", "Connections currently open."),
             queue_depth: registry.gauge(
                 "cohortnet_queue_depth",
                 "Requests currently waiting in the engine queue.",

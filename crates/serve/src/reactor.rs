@@ -1,0 +1,676 @@
+//! A dependency-free readiness reactor: the thin OS layer under the
+//! server's event loop (and the open-loop load harness in
+//! `cohortnet-bench`).
+//!
+//! [`Poller`] multiplexes readiness over many nonblocking sockets with one
+//! of two backends behind a single API:
+//!
+//! * **epoll** (Linux, the default there) — O(ready) wakeups, scales to
+//!   tens of thousands of registered connections;
+//! * **poll(2)** (any Unix; forced with `COHORTNET_SERVE_BACKEND=poll`) —
+//!   the portable fallback, O(registered) per wait, plenty for the same
+//!   correctness semantics at moderate connection counts.
+//!
+//! Both are driven level-triggered: an event keeps firing while the
+//! condition holds, so a handler that does not fully drain a socket is
+//! re-woken instead of wedging the connection. No third-party crates are
+//! involved: the two backends call the libc symbols (`epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, `poll`, `close`) that Rust's std already
+//! links on every Unix target.
+//!
+//! [`Waker`] is a self-pipe built on [`UnixStream::pair`]: worker threads
+//! call [`Waker::wake`] to interrupt a blocked [`Poller::wait`] from
+//! outside the loop (e.g. when a scored response is ready to write).
+
+use std::io::{self, Read, Write};
+use std::os::raw::c_int;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Which readiness conditions a registration listens for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub read: bool,
+    /// Wake when the fd is writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Writable only.
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+    /// No conditions: stay registered but deliver nothing (used to apply
+    /// backpressure to a connection while its request is in flight).
+    pub const NONE: Interest = Interest {
+        read: false,
+        write: false,
+    };
+}
+
+/// One readiness event delivered by [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// The fd is readable (data or EOF pending).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The peer closed or the socket errored (`EPOLLHUP`/`EPOLLERR`);
+    /// delivered even when the registered interest is [`Interest::NONE`].
+    pub closed: bool,
+}
+
+/// Reactor backend selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Linux `epoll(7)`.
+    Epoll,
+    /// Portable `poll(2)`.
+    Poll,
+}
+
+#[cfg(target_os = "linux")]
+mod sys_epoll {
+    use std::os::raw::c_int;
+
+    // On x86_64 the kernel ABI packs epoll_event (12 bytes); every other
+    // architecture uses natural alignment (16 bytes).
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Debug, Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout_ms: c_int,
+        ) -> c_int;
+    }
+}
+
+mod sys_poll {
+    use std::os::raw::{c_int, c_short, c_ulong};
+
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+    pub const POLLNVAL: c_short = 0x020;
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout_ms: c_int) -> c_int;
+    }
+}
+
+extern "C" {
+    fn close(fd: c_int) -> c_int;
+}
+
+/// Converts an optional wait budget into the millisecond argument both
+/// backends take: `None` blocks forever; sub-millisecond budgets round up
+/// so a short timeout never turns into a busy spin.
+fn timeout_ms(timeout: Option<Duration>) -> c_int {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis().min(i32::MAX as u128) as c_int;
+            if ms == 0 && !d.is_zero() {
+                1
+            } else {
+                ms
+            }
+        }
+    }
+}
+
+/// A readiness multiplexer over nonblocking fds. See the module docs for
+/// the backend split.
+pub struct Poller {
+    imp: Imp,
+}
+
+enum Imp {
+    #[cfg(target_os = "linux")]
+    Epoll {
+        epfd: RawFd,
+        buf: Vec<sys_epoll::EpollEvent>,
+    },
+    Poll {
+        entries: Vec<(RawFd, u64, Interest)>,
+    },
+}
+
+impl Poller {
+    /// Opens a poller with the platform default backend (epoll on Linux,
+    /// poll elsewhere). `COHORTNET_SERVE_BACKEND=poll` forces the portable
+    /// fallback, which is how the test suite exercises both paths on one
+    /// machine.
+    ///
+    /// # Errors
+    /// Propagates `epoll_create1` failure.
+    pub fn new() -> io::Result<Poller> {
+        let forced_poll = std::env::var("COHORTNET_SERVE_BACKEND")
+            .map(|v| v.eq_ignore_ascii_case("poll"))
+            .unwrap_or(false);
+        if forced_poll {
+            return Poller::with_backend(Backend::Poll);
+        }
+        #[cfg(target_os = "linux")]
+        {
+            Poller::with_backend(Backend::Epoll)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Poller::with_backend(Backend::Poll)
+        }
+    }
+
+    /// Opens a poller with an explicit backend.
+    ///
+    /// # Errors
+    /// Propagates `epoll_create1` failure; requesting [`Backend::Epoll`]
+    /// off-Linux is [`io::ErrorKind::Unsupported`].
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        match backend {
+            Backend::Epoll => {
+                #[cfg(target_os = "linux")]
+                {
+                    let epfd = unsafe { sys_epoll::epoll_create1(sys_epoll::EPOLL_CLOEXEC) };
+                    if epfd < 0 {
+                        return Err(io::Error::last_os_error());
+                    }
+                    Ok(Poller {
+                        imp: Imp::Epoll {
+                            epfd,
+                            buf: vec![sys_epoll::EpollEvent { events: 0, data: 0 }; 1024],
+                        },
+                    })
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    Err(io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        "epoll backend requires Linux",
+                    ))
+                }
+            }
+            Backend::Poll => Ok(Poller {
+                imp: Imp::Poll {
+                    entries: Vec::new(),
+                },
+            }),
+        }
+    }
+
+    /// The backend actually in use, for logs and `/healthz`.
+    pub fn backend(&self) -> &'static str {
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll { .. } => "epoll",
+            Imp::Poll { .. } => "poll",
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn epoll_mask(interest: Interest) -> u32 {
+        use sys_epoll::{EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+        let mut mask = 0;
+        if interest.read {
+            // RDHUP rides read interest only: an Interest::NONE connection
+            // (request in flight) must stay silent even if the peer
+            // half-closes, or a level-triggered loop would spin on it.
+            mask |= EPOLLIN | EPOLLRDHUP;
+        }
+        if interest.write {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    #[cfg(target_os = "linux")]
+    fn epoll_ctl(
+        epfd: RawFd,
+        op: c_int,
+        fd: RawFd,
+        interest: Interest,
+        token: u64,
+    ) -> io::Result<()> {
+        let mut ev = sys_epoll::EpollEvent {
+            events: Self::epoll_mask(interest),
+            data: token,
+        };
+        let rc = unsafe { sys_epoll::epoll_ctl(epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Starts watching `fd` under `token` with the given interest.
+    ///
+    /// # Errors
+    /// Propagates `epoll_ctl` failure (e.g. an already registered fd).
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll { epfd, .. } => {
+                Self::epoll_ctl(*epfd, sys_epoll::EPOLL_CTL_ADD, fd, interest, token)
+            }
+            Imp::Poll { entries } => {
+                entries.push((fd, token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Changes the interest set of a registered fd.
+    ///
+    /// # Errors
+    /// Propagates `epoll_ctl` failure; unknown fds are
+    /// [`io::ErrorKind::NotFound`] on the poll backend.
+    pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll { epfd, .. } => {
+                Self::epoll_ctl(*epfd, sys_epoll::EPOLL_CTL_MOD, fd, interest, token)
+            }
+            Imp::Poll { entries } => {
+                for entry in entries.iter_mut() {
+                    if entry.0 == fd {
+                        entry.1 = token;
+                        entry.2 = interest;
+                        return Ok(());
+                    }
+                }
+                Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+            }
+        }
+    }
+
+    /// Stops watching `fd`. Must run before the fd is closed on the poll
+    /// backend (epoll drops closed fds on its own, but the poll fallback
+    /// would report `POLLNVAL` forever).
+    ///
+    /// # Errors
+    /// Propagates `epoll_ctl` failure.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll { epfd, .. } => {
+                Self::epoll_ctl(*epfd, sys_epoll::EPOLL_CTL_DEL, fd, Interest::NONE, 0)
+            }
+            Imp::Poll { entries } => {
+                entries.retain(|&(f, _, _)| f != fd);
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocks until at least one registered fd is ready or the timeout
+    /// elapses, filling `out` with the ready set (`out` is cleared first;
+    /// empty after a pure timeout). `EINTR` is retried internally.
+    ///
+    /// # Errors
+    /// Propagates backend wait failures.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        out.clear();
+        let budget = timeout_ms(timeout);
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll { epfd, buf } => loop {
+                let n = unsafe {
+                    sys_epoll::epoll_wait(*epfd, buf.as_mut_ptr(), buf.len() as c_int, budget)
+                };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(err);
+                }
+                for i in 0..n as usize {
+                    let ev = buf[i];
+                    let bits = ev.events;
+                    out.push(Event {
+                        token: ev.data,
+                        readable: bits & (sys_epoll::EPOLLIN | sys_epoll::EPOLLRDHUP) != 0,
+                        writable: bits & sys_epoll::EPOLLOUT != 0,
+                        closed: bits & (sys_epoll::EPOLLERR | sys_epoll::EPOLLHUP) != 0,
+                    });
+                }
+                return Ok(());
+            },
+            Imp::Poll { entries } => {
+                use sys_poll::{PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+                let mut fds: Vec<PollFd> = entries
+                    .iter()
+                    .map(|&(fd, _, interest)| PollFd {
+                        fd,
+                        events: if interest.read { POLLIN } else { 0 }
+                            | if interest.write { POLLOUT } else { 0 },
+                        revents: 0,
+                    })
+                    .collect();
+                loop {
+                    let n = unsafe {
+                        sys_poll::poll(fds.as_mut_ptr(), fds.len() as std::os::raw::c_ulong, budget)
+                    };
+                    if n < 0 {
+                        let err = io::Error::last_os_error();
+                        if err.kind() == io::ErrorKind::Interrupted {
+                            continue;
+                        }
+                        return Err(err);
+                    }
+                    break;
+                }
+                for (slot, &(_, token, _)) in fds.iter().zip(entries.iter()) {
+                    let bits = slot.revents;
+                    if bits == 0 {
+                        continue;
+                    }
+                    out.push(Event {
+                        token,
+                        readable: bits & (POLLIN | POLLHUP) != 0,
+                        writable: bits & POLLOUT != 0,
+                        closed: bits & (POLLERR | POLLHUP | POLLNVAL) != 0,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll { epfd, .. } => {
+                let _ = unsafe { close(*epfd) };
+            }
+            Imp::Poll { .. } => {}
+        }
+    }
+}
+
+/// The wake-side handle of a self-pipe: any thread can interrupt the event
+/// loop's [`Poller::wait`]. Cheap to share behind an `Arc`; a wake while a
+/// previous wake is still pending coalesces (the pipe holds at most a few
+/// bytes and `wake` ignores `WouldBlock`).
+#[derive(Debug)]
+pub struct Waker {
+    tx: UnixStream,
+}
+
+impl Waker {
+    /// Signals the paired [`WakeReceiver`]. Never blocks.
+    pub fn wake(&self) {
+        // A full pipe means a wake is already pending — mission accomplished.
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+/// The loop-side handle of the self-pipe: register [`WakeReceiver::fd`]
+/// for read interest and [`drain`](WakeReceiver::drain) it when it fires.
+#[derive(Debug)]
+pub struct WakeReceiver {
+    rx: UnixStream,
+}
+
+impl WakeReceiver {
+    /// The fd to register in the poller.
+    pub fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Consumes all pending wake bytes so level-triggered polling quiesces.
+    pub fn drain(&self) {
+        let mut sink = [0u8; 64];
+        while matches!((&self.rx).read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+/// Builds a connected [`Waker`]/[`WakeReceiver`] pair (both ends
+/// nonblocking).
+///
+/// # Errors
+/// Propagates socketpair construction failures.
+pub fn waker_pair() -> io::Result<(Waker, WakeReceiver)> {
+    let (tx, rx) = UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx }, WakeReceiver { rx }))
+}
+
+/// Best-effort raise of `RLIMIT_NOFILE` to at least `want` fds, returning
+/// the effective soft limit afterwards. The open-loop load harness calls
+/// this before opening thousands of sockets; on failure the caller scales
+/// its connection count down to what the limit allows.
+pub fn raise_nofile_limit(want: u64) -> u64 {
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+    #[cfg(target_os = "linux")]
+    const RLIMIT_NOFILE: c_int = 7;
+    #[cfg(not(target_os = "linux"))]
+    const RLIMIT_NOFILE: c_int = 8;
+    extern "C" {
+        fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+    }
+    let mut lim = RLimit { cur: 0, max: 0 };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 0;
+    }
+    if lim.cur >= want {
+        return lim.cur;
+    }
+    let raised = RLimit {
+        cur: want.min(lim.max),
+        max: lim.max,
+    };
+    if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } == 0 {
+        raised.cur
+    } else {
+        lim.cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn backends() -> Vec<Backend> {
+        #[cfg(target_os = "linux")]
+        {
+            vec![Backend::Epoll, Backend::Poll]
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            vec![Backend::Poll]
+        }
+    }
+
+    /// A connected nonblocking TCP pair.
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        client.set_nonblocking(true).expect("nonblocking");
+        server.set_nonblocking(true).expect("nonblocking");
+        (client, server)
+    }
+
+    #[test]
+    fn read_readiness_fires_after_peer_writes() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).expect("poller");
+            let (client, server) = tcp_pair();
+            poller
+                .register(server.as_raw_fd(), 7, Interest::READ)
+                .expect("register");
+            let mut events = Vec::new();
+
+            // Nothing pending: a short wait times out empty.
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .expect("wait");
+            assert!(events.is_empty(), "{backend:?}: spurious event {events:?}");
+
+            (&client).write_all(b"x").expect("peer write");
+            poller
+                .wait(&mut events, Some(Duration::from_millis(1000)))
+                .expect("wait");
+            assert_eq!(events.len(), 1, "{backend:?}: {events:?}");
+            assert_eq!(events[0].token, 7);
+            assert!(events[0].readable, "{backend:?}: {events:?}");
+        }
+    }
+
+    #[test]
+    fn write_readiness_and_modify_and_deregister() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).expect("poller");
+            let (_client, server) = tcp_pair();
+            let fd = server.as_raw_fd();
+            poller.register(fd, 1, Interest::WRITE).expect("register");
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(1000)))
+                .expect("wait");
+            assert!(
+                events.iter().any(|e| e.token == 1 && e.writable),
+                "{backend:?}: fresh socket not writable: {events:?}"
+            );
+
+            // Interest::NONE silences the fd without deregistering it.
+            poller.modify(fd, 1, Interest::NONE).expect("modify");
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .expect("wait");
+            assert!(
+                events.is_empty(),
+                "{backend:?}: NONE still fired {events:?}"
+            );
+
+            poller.deregister(fd).expect("deregister");
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .expect("wait");
+            assert!(events.is_empty(), "{backend:?}: {events:?}");
+        }
+    }
+
+    #[test]
+    fn peer_hangup_is_delivered_as_closed_or_readable() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).expect("poller");
+            let (client, server) = tcp_pair();
+            poller
+                .register(server.as_raw_fd(), 3, Interest::READ)
+                .expect("register");
+            drop(client);
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(1000)))
+                .expect("wait");
+            assert_eq!(events.len(), 1, "{backend:?}: {events:?}");
+            assert!(
+                events[0].readable || events[0].closed,
+                "{backend:?}: hangup invisible: {events:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).expect("poller");
+            let (waker, wake_rx) = waker_pair().expect("waker pair");
+            poller
+                .register(wake_rx.fd(), 9, Interest::READ)
+                .expect("register");
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                waker.wake();
+                waker
+            });
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(10)))
+                .expect("wait");
+            assert!(
+                events.iter().any(|e| e.token == 9 && e.readable),
+                "{backend:?}: wake lost: {events:?}"
+            );
+            wake_rx.drain();
+            // Coalesced double wake: drain leaves the pipe quiet.
+            let waker = handle.join().expect("wake thread");
+            waker.wake();
+            waker.wake();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(1000)))
+                .expect("wait");
+            assert!(!events.is_empty(), "{backend:?}: second wake lost");
+            wake_rx.drain();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .expect("wait");
+            assert!(events.is_empty(), "{backend:?}: drain incomplete");
+        }
+    }
+
+    #[test]
+    fn default_backend_matches_platform() {
+        let poller = Poller::new().expect("poller");
+        #[cfg(target_os = "linux")]
+        assert_eq!(poller.backend(), "epoll");
+        #[cfg(not(target_os = "linux"))]
+        assert_eq!(poller.backend(), "poll");
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable() {
+        let lim = raise_nofile_limit(64);
+        assert!(lim >= 64, "soft fd limit suspiciously low: {lim}");
+    }
+}

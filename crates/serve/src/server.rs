@@ -12,31 +12,42 @@
 //! * `GET /healthz` — liveness plus model shape.
 //! * `GET /metrics` — Prometheus text format.
 //! * `POST /shutdown` — graceful drain: stop accepting, finish queued work.
+//!
+//! The transport is a single-threaded readiness event loop
+//! ([`crate::eventloop`]) over the dependency-free [`crate::reactor`]
+//! (epoll on Linux, poll elsewhere): nonblocking accept, per-connection
+//! state machines, HTTP/1.1 keep-alive with an idle timeout, and an exact
+//! `max_connections` bound whose over-limit `503`s can never block the
+//! accept path. Complete requests are handed to a small worker pool that
+//! runs the blocking router + micro-batching engine and posts rendered
+//! responses back to the loop.
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use cohortnet::infer::ScoreRequest;
 use cohortnet::interpret::explain_patient;
 use cohortnet::snapshot::LoadedModel;
 use cohortnet_models::data::{Prepared, PreparedPatient};
-use cohortnet_obs::obs_info;
 
 use crate::engine::{Engine, EngineConfig, EngineError, RowScore};
-use crate::http::{read_request, write_json, write_response, HttpError, Request};
+use crate::eventloop::{self, ConnLimiter, Done, JobQueue};
+use crate::http::Request;
 use crate::json::{self, num_arr, obj, Json};
 use crate::metrics::Metrics;
+use crate::reactor::{waker_pair, Interest, Poller, Waker};
 
 /// Log target for request-lifecycle events.
-const LOG: &str = "cohortnet.serve";
+pub(crate) const LOG: &str = "cohortnet.serve";
 
 /// A process-unique request id: hex boot-time millis, then a sequence
 /// number. Echoed to clients as `X-Request-Id` and attached to the
 /// request log line, so a response can be joined to its server-side trace.
-fn next_request_id() -> String {
+pub(crate) fn next_request_id() -> String {
     static SEQ: AtomicU64 = AtomicU64::new(1);
     static BOOT_MS: OnceLock<u64> = OnceLock::new();
     let boot = BOOT_MS.get_or_init(|| {
@@ -48,6 +59,17 @@ fn next_request_id() -> String {
     format!("{boot:x}-{:x}", SEQ.fetch_add(1, Ordering::Relaxed))
 }
 
+/// Default idle-connection timeout when [`ServerConfig::idle_timeout_ms`]
+/// is 0: how long a keep-alive connection may sit between requests before
+/// the server closes it silently.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default worker-pool size when [`ServerConfig::workers`] is 0. Workers
+/// block in the engine while their batch scores, so the pool is sized well
+/// past the core count — it bounds concurrent *requests being routed*, not
+/// CPU use (the engine's own `threads` knob governs that).
+pub const DEFAULT_WORKERS: usize = 16;
+
 /// Server configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
@@ -55,13 +77,20 @@ pub struct ServerConfig {
     pub port: u16,
     /// Per-connection read timeout in milliseconds (0 = the
     /// [`crate::http::DEFAULT_READ_TIMEOUT`] default). A client that stalls
-    /// mid-request past this gets `408 Request Timeout` and its handler
-    /// thread is released.
+    /// mid-request past this gets `408 Request Timeout`.
     pub read_timeout_ms: u64,
-    /// Maximum simultaneously open connections (0 = unlimited). Connections
-    /// beyond the limit are answered immediately with `503` +
-    /// `Retry-After` instead of piling up handler threads.
+    /// Idle keep-alive timeout in milliseconds (0 = the
+    /// [`DEFAULT_IDLE_TIMEOUT`] default). A connection with no request in
+    /// progress for this long is closed without a response.
+    pub idle_timeout_ms: u64,
+    /// Maximum simultaneously open connections (0 = unlimited), enforced
+    /// exactly at the event loop. Connections beyond the limit are answered
+    /// with `503` + `Retry-After` on their own nonblocking state machine.
     pub max_connections: usize,
+    /// Request worker threads between the event loop and the engine
+    /// (0 = [`DEFAULT_WORKERS`]). Bounds concurrently routed requests; the
+    /// dispatch queue holds `8 x workers` more before answering `503`.
+    pub workers: usize,
     /// Batching knobs for the scoring engine.
     pub engine: EngineConfig,
 }
@@ -71,45 +100,51 @@ impl Default for ServerConfig {
         ServerConfig {
             port: 8080,
             read_timeout_ms: 0,
+            idle_timeout_ms: 0,
             max_connections: 256,
+            workers: 0,
             engine: EngineConfig::default(),
         }
     }
 }
 
-struct AppState {
-    engine: Engine,
-    loaded: LoadedModel,
-    metrics: Arc<Metrics>,
-    stop: AtomicBool,
-    read_timeout: Option<Duration>,
-    max_connections: usize,
-    active_conns: AtomicUsize,
+pub(crate) struct AppState {
+    pub(crate) engine: Engine,
+    pub(crate) loaded: LoadedModel,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) stop: AtomicBool,
+    pub(crate) read_timeout: Option<Duration>,
+    pub(crate) idle_timeout: Duration,
+    pub(crate) limiter: ConnLimiter,
+    pub(crate) jobs: JobQueue,
+    pub(crate) completions: Mutex<Vec<Done>>,
+    pub(crate) waker: Waker,
+    /// Set by the event loop on exit (all paths); `Server::finish` waits on
+    /// it so `join`/`shutdown` share one stop routine.
+    pub(crate) done: (Mutex<bool>, Condvar),
+    pub(crate) worker_count: usize,
 }
 
-/// Decrements the active-connection gauge when a handler thread finishes,
-/// no matter how it exits.
-struct ConnPermit<'a>(&'a AppState);
-
-impl Drop for ConnPermit<'_> {
-    fn drop(&mut self) {
-        self.0.active_conns.fetch_sub(1, Ordering::SeqCst);
+impl AppState {
+    pub(crate) fn effective_read_timeout(&self) -> Duration {
+        self.read_timeout
+            .unwrap_or(crate::http::DEFAULT_READ_TIMEOUT)
     }
 }
 
 /// A running server. Dropping it (or calling [`Server::shutdown`]) stops the
-/// accept loop, drains in-flight requests, and joins every thread.
+/// event loop, drains in-flight requests, and joins every thread.
 pub struct Server {
     addr: SocketAddr,
     state: Arc<AppState>,
-    accept: Mutex<Option<JoinHandle<()>>>,
+    eventloop: Mutex<Option<JoinHandle<()>>>,
 }
 
-/// Binds the listener, starts the engine and the accept loop, and returns
-/// the running server.
+/// Binds the listener, starts the engine, the worker pool and the event
+/// loop, and returns the running server.
 ///
 /// # Errors
-/// Propagates listener bind failures.
+/// Propagates listener bind and reactor setup failures.
 pub fn serve(loaded: LoadedModel, cfg: ServerConfig) -> std::io::Result<Server> {
     cohortnet_obs::init_from_env();
     cohortnet_chaos::init_from_env();
@@ -119,6 +154,20 @@ pub fn serve(loaded: LoadedModel, cfg: ServerConfig) -> std::io::Result<Server> 
 
     let metrics = Arc::new(Metrics::new());
     let engine = Engine::start(loaded.inferencer(), cfg.engine, Arc::clone(&metrics));
+    let workers = if cfg.workers == 0 {
+        DEFAULT_WORKERS
+    } else {
+        cfg.workers
+    };
+    let (waker, wake_rx) = waker_pair()?;
+    let mut poller = Poller::new()?;
+    poller.register(
+        listener.as_raw_fd(),
+        eventloop::TOKEN_LISTENER,
+        Interest::READ,
+    )?;
+    poller.register(wake_rx.fd(), eventloop::TOKEN_WAKER, Interest::READ)?;
+
     let state = Arc::new(AppState {
         engine,
         loaded,
@@ -129,20 +178,29 @@ pub fn serve(loaded: LoadedModel, cfg: ServerConfig) -> std::io::Result<Server> 
         } else {
             Some(Duration::from_millis(cfg.read_timeout_ms))
         },
-        max_connections: cfg.max_connections,
-        active_conns: AtomicUsize::new(0),
+        idle_timeout: if cfg.idle_timeout_ms == 0 {
+            DEFAULT_IDLE_TIMEOUT
+        } else {
+            Duration::from_millis(cfg.idle_timeout_ms)
+        },
+        limiter: ConnLimiter::new(cfg.max_connections),
+        jobs: JobQueue::new(workers * 8),
+        completions: Mutex::new(Vec::new()),
+        waker,
+        done: (Mutex::new(false), Condvar::new()),
+        worker_count: workers,
     });
 
     let loop_state = Arc::clone(&state);
-    let accept = std::thread::Builder::new()
-        .name("cohortnet-accept".into())
-        .spawn(move || accept_loop(&listener, &loop_state))
-        .expect("spawn accept thread");
+    let handle = std::thread::Builder::new()
+        .name("cohortnet-eventloop".into())
+        .spawn(move || eventloop::run(listener, poller, wake_rx, loop_state))
+        .expect("spawn event loop thread");
 
     Ok(Server {
         addr,
         state,
-        accept: Mutex::new(Some(accept)),
+        eventloop: Mutex::new(Some(handle)),
     })
 }
 
@@ -152,23 +210,41 @@ impl Server {
         self.addr
     }
 
-    /// Requests a graceful stop and blocks until the accept loop, all
-    /// handler threads, and the engine have finished. Idempotent.
-    pub fn shutdown(&self) {
-        self.state.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept.lock().expect("accept handle poisoned").take() {
+    /// The one stop routine both [`Server::shutdown`] and [`Server::join`]
+    /// funnel through: wait for the event loop to finish draining (it sets
+    /// the done flag on every exit path), join its thread, then shut the
+    /// engine down. Idempotent and safe to race from several threads.
+    fn finish(&self) {
+        let (lock, cv) = &self.state.done;
+        let mut done = lock.lock().expect("done flag poisoned");
+        while !*done {
+            done = cv.wait(done).expect("done flag poisoned");
+        }
+        drop(done);
+        if let Some(handle) = self
+            .eventloop
+            .lock()
+            .expect("event loop handle poisoned")
+            .take()
+        {
             let _ = handle.join();
         }
         self.state.engine.shutdown();
     }
 
+    /// Requests a graceful stop and blocks until the event loop, the worker
+    /// pool, and the engine have finished. Idempotent.
+    pub fn shutdown(&self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        self.state.waker.wake();
+        self.finish();
+    }
+
     /// Blocks until the server stops (via `POST /shutdown` or
-    /// [`Server::shutdown`] from another thread).
+    /// [`Server::shutdown`] from another thread), then completes the same
+    /// drain ordering as [`Server::shutdown`].
     pub fn join(&self) {
-        if let Some(handle) = self.accept.lock().expect("accept handle poisoned").take() {
-            let _ = handle.join();
-        }
-        self.state.engine.shutdown();
+        self.finish();
     }
 }
 
@@ -178,117 +254,11 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, state: &Arc<AppState>) {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    while !state.stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((mut stream, _)) => {
-                // Connection-limit gate: answer over-limit connections
-                // immediately with a retryable 503 instead of letting
-                // handler threads (each potentially holding a stalled
-                // client for the full read timeout) grow without bound.
-                if state.max_connections > 0
-                    && state.active_conns.load(Ordering::SeqCst) >= state.max_connections
-                {
-                    state.metrics.conns_rejected.inc();
-                    let _ = write_json(
-                        &mut stream,
-                        503,
-                        &error_body("connection limit reached, retry later"),
-                        &[("Retry-After", "1")],
-                    );
-                    continue;
-                }
-                state.active_conns.fetch_add(1, Ordering::SeqCst);
-                let conn_state = Arc::clone(state);
-                let handle = std::thread::Builder::new()
-                    .name("cohortnet-conn".into())
-                    .spawn(move || {
-                        let permit = ConnPermit(&conn_state);
-                        handle_connection(stream, &conn_state);
-                        drop(permit);
-                    })
-                    .expect("spawn connection thread");
-                handlers.push(handle);
-                // Reap finished handlers so long-lived servers don't
-                // accumulate join handles.
-                handlers.retain(|h| !h.is_finished());
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
-    for handle in handlers {
-        let _ = handle.join();
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, state: &Arc<AppState>) {
-    let rid = next_request_id();
-    let rid_header: [(&str, &str); 1] = [("X-Request-Id", rid.as_str())];
-    let t0 = Instant::now();
-    let mut req_span = cohortnet_obs::span::span("serve.request");
-    req_span.arg("request_id", &rid);
-    let req = match read_request(&mut stream, state.read_timeout) {
-        Ok(req) => req,
-        Err(HttpError::TooLarge) => {
-            let _ = write_json(
-                &mut stream,
-                413,
-                &error_body("request too large"),
-                &rid_header,
-            );
-            return;
-        }
-        Err(HttpError::Timeout) => {
-            let _ = write_json(
-                &mut stream,
-                408,
-                &error_body(&HttpError::Timeout.to_string()),
-                &rid_header,
-            );
-            return;
-        }
-        Err(e) => {
-            let _ = write_json(&mut stream, 400, &error_body(&e.to_string()), &rid_header);
-            return;
-        }
-    };
-    req_span.arg("method", &req.method).arg("path", &req.path);
-    let (status, content_type, body) = route(&req, state);
-    // Backpressure statuses carry Retry-After so well-behaved clients back
-    // off instead of hammering a saturated queue.
-    let retry_headers: [(&str, &str); 2] = [("X-Request-Id", rid.as_str()), ("Retry-After", "1")];
-    let headers: &[(&str, &str)] = if status == 429 || status == 503 {
-        &retry_headers
-    } else {
-        &rid_header
-    };
-    let render_t0 = Instant::now();
-    let _ = write_response(&mut stream, status, content_type, &body, headers);
-    state
-        .metrics
-        .render_us
-        .observe(render_t0.elapsed().as_micros() as u64);
-    req_span.arg("status", status);
-    obs_info!(
-        target: LOG,
-        "request",
-        request_id = rid,
-        method = req.method,
-        path = req.path,
-        status = status,
-        dur_us = t0.elapsed().as_micros(),
-    );
-}
-
-fn error_body(message: &str) -> String {
+pub(crate) fn error_body(message: &str) -> String {
     json::render(&obj(vec![("error", Json::Str(message.to_string()))]))
 }
 
-fn route(req: &Request, state: &Arc<AppState>) -> (u16, &'static str, String) {
+pub(crate) fn route(req: &Request, state: &Arc<AppState>) -> (u16, &'static str, String) {
     const JSON_CT: &str = "application/json";
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/score") => handle_score(req, state),
@@ -302,6 +272,7 @@ fn route(req: &Request, state: &Arc<AppState>) -> (u16, &'static str, String) {
         ),
         ("POST", "/shutdown") => {
             state.stop.store(true, Ordering::SeqCst);
+            state.waker.wake();
             (200, JSON_CT, error_body_ok())
         }
         (_, "/score" | "/explain" | "/shutdown") => {
@@ -512,13 +483,13 @@ fn healthz_body(state: &Arc<AppState>) -> String {
         ("deadline_ms", Json::Num(cfg.deadline_ms as f64)),
         (
             "read_timeout_ms",
-            Json::Num(
-                state
-                    .read_timeout
-                    .unwrap_or(crate::http::DEFAULT_READ_TIMEOUT)
-                    .as_millis() as f64,
-            ),
+            Json::Num(state.effective_read_timeout().as_millis() as f64),
         ),
+        (
+            "idle_timeout_ms",
+            Json::Num(state.idle_timeout.as_millis() as f64),
+        ),
+        ("workers", Json::Num(state.worker_count as f64)),
     ]))
 }
 

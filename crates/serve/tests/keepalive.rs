@@ -1,0 +1,414 @@
+//! Keep-alive conformance and accept-path contracts of the event-loop
+//! server core:
+//!
+//! * sequential and pipelined requests on one connection score
+//!   bit-identically to one-shot `Connection: close` requests;
+//! * the idle timeout closes a quiet keep-alive connection cleanly (EOF,
+//!   no stray bytes), and `Connection: close` is honored when requested;
+//! * early error responses survive a client that is still sending
+//!   (write-side shutdown + bounded drain instead of an RST);
+//! * `--max-connections` is exact under concurrent accept stress — the
+//!   active gauge can never pass the cap — and a byte-at-a-time sender
+//!   never blocks other connections.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use cohortnet::snapshot::load_snapshot;
+use cohortnet_serve::client::{self, Connection};
+use cohortnet_serve::http::MAX_BODY_BYTES;
+use cohortnet_serve::{serve, Server, ServerConfig};
+
+fn demo_server(cfg: ServerConfig) -> Server {
+    let bundle = cohortnet_serve::demo::demo_bundle();
+    let loaded = load_snapshot(&bundle.snapshot).expect("snapshot loads");
+    serve(loaded, cfg).expect("server starts")
+}
+
+fn join(values: &[f32]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn score_bodies() -> Vec<String> {
+    cohortnet_serve::demo::demo_bundle()
+        .examples
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"instances\":[{{\"x\":[{}],\"mask\":[{}]}}]}}",
+                join(&e.x),
+                join(&e.mask)
+            )
+        })
+        .collect()
+}
+
+/// Reads one counter/gauge value from a `/metrics` body.
+fn metric_value(metrics_body: &str, family: &str) -> f64 {
+    metrics_body
+        .lines()
+        .find_map(|line| line.strip_prefix(family)?.trim().parse().ok())
+        .unwrap_or(0.0)
+}
+
+#[test]
+fn sequential_requests_on_one_connection_match_close_mode() {
+    let server = demo_server(ServerConfig {
+        port: 0,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let bodies = score_bodies();
+
+    // Reference: one-shot close-mode requests.
+    let reference: Vec<String> = bodies
+        .iter()
+        .map(|b| {
+            let resp = client::request(addr, "POST", "/score", b).expect("close-mode request");
+            assert_eq!(resp.status, 200, "{}", resp.body);
+            resp.body
+        })
+        .collect();
+
+    // Same requests over a single keep-alive connection.
+    let mut conn = Connection::connect(addr).expect("connect");
+    for (i, body) in bodies.iter().enumerate() {
+        let resp = conn
+            .request("POST", "/score", body)
+            .expect("keep-alive request");
+        assert_eq!(resp.status, 200, "request {i}: {}", resp.body);
+        assert_eq!(
+            resp.header("connection"),
+            Some("keep-alive"),
+            "request {i}: {}",
+            resp.head
+        );
+        assert_eq!(
+            resp.body, reference[i],
+            "keep-alive response {i} differs from close-mode"
+        );
+    }
+    drop(conn);
+
+    // The server counted the connection reuse.
+    let resp = client::request(addr, "GET", "/metrics", "").expect("/metrics");
+    let reused = metric_value(&resp.body, "cohortnet_keepalive_requests_total ");
+    assert!(
+        reused >= (bodies.len() - 1) as f64,
+        "keep-alive reuse not counted: {reused}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_without_corruption() {
+    let server = demo_server(ServerConfig {
+        port: 0,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let bodies = score_bodies();
+
+    let expect: Vec<String> = bodies
+        .iter()
+        .take(4)
+        .map(|b| {
+            client::request(addr, "POST", "/score", b)
+                .expect("reference")
+                .body
+        })
+        .collect();
+
+    // Fire all four requests in one burst, then read four framed
+    // responses: the server works them one at a time per connection, so
+    // ordering and framing must both hold.
+    let mut conn = Connection::connect(addr).expect("connect");
+    for body in bodies.iter().take(4) {
+        conn.send("POST", "/score", body).expect("pipelined send");
+    }
+    for (i, want) in expect.iter().enumerate() {
+        let resp = conn.read_reply().expect("pipelined reply");
+        assert_eq!(resp.status, 200, "pipelined reply {i}: {}", resp.body);
+        assert_eq!(&resp.body, want, "pipelined reply {i} out of order");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn idle_timeout_closes_quiet_connections_cleanly() {
+    let server = demo_server(ServerConfig {
+        port: 0,
+        idle_timeout_ms: 200,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+
+    let mut conn = Connection::connect(addr).expect("connect");
+    let resp = conn.request("GET", "/healthz", "").expect("first request");
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.body.contains("\"idle_timeout_ms\":200"),
+        "{}",
+        resp.body
+    );
+
+    // Go quiet past the idle timeout: the server must close with a bare
+    // FIN — EOF with zero stray bytes, so no later response can corrupt.
+    let started = Instant::now();
+    conn.stream()
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut leftover = Vec::new();
+    conn.stream()
+        .read_to_end(&mut leftover)
+        .expect("clean EOF, not a reset");
+    assert!(
+        leftover.is_empty(),
+        "stray bytes after idle close: {:?}",
+        String::from_utf8_lossy(&leftover)
+    );
+    assert!(
+        started.elapsed() >= Duration::from_millis(150),
+        "closed before the idle timeout: {:?}",
+        started.elapsed()
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "idle close took {:?}",
+        started.elapsed()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn connection_close_is_honored_when_requested() {
+    let server = demo_server(ServerConfig {
+        port: 0,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .expect("write request");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut raw = String::new();
+    // read_to_string returning at all proves the server closed the socket.
+    stream.read_to_string(&mut raw).expect("read to EOF");
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+    let head = raw.split("\r\n\r\n").next().unwrap_or("");
+    assert!(
+        head.to_ascii_lowercase().contains("connection: close"),
+        "{head}"
+    );
+    server.shutdown();
+}
+
+/// Satellite regression: an early error response (413 here) used to be
+/// written and the socket dropped while the client was still mid-send,
+/// which could RST the response away. The server now half-closes and
+/// drains, so a slow sender reliably reads the status.
+#[test]
+fn slow_sender_still_observes_the_413() {
+    let server = demo_server(ServerConfig {
+        port: 0,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let head = format!(
+        "POST /score HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+        MAX_BODY_BYTES + 1
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    // The server has already decided on 413 by now; keep sending body
+    // chunks anyway, slowly, like a client that has not read the verdict
+    // yet. The writes may eventually fail once the drain budget closes the
+    // socket — what must NOT fail is reading the 413 afterwards.
+    let chunk = vec![b'x'; 32 << 10];
+    for _ in 0..3 {
+        std::thread::sleep(Duration::from_millis(40));
+        if stream.write_all(&chunk).is_err() {
+            break;
+        }
+    }
+    let resp = client::read_response(&mut stream).expect("413 must be readable");
+    assert_eq!(resp.status, 413, "{}", resp.body);
+    assert!(
+        resp.header("x-request-id").is_some(),
+        "413 lacks X-Request-Id: {}",
+        resp.head
+    );
+    server.shutdown();
+}
+
+/// Acceptance: the accept path never blocks on a stalled client. One
+/// byte-at-a-time sender trickles a valid request while a burst of other
+/// connections complete; the trickler still gets its answer at the end.
+#[test]
+fn byte_at_a_time_sender_does_not_block_other_connections() {
+    let server = demo_server(ServerConfig {
+        port: 0,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+
+    let trickler = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+        for &byte in raw.iter() {
+            stream.write_all(&[byte]).expect("trickled byte");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        client::read_response(&mut stream).expect("trickled response")
+    });
+
+    // While the trickler crawls (~1.4s), healthy traffic flows freely.
+    let t0 = Instant::now();
+    for i in 0..20 {
+        let resp = client::request(addr, "GET", "/healthz", "").expect("healthy request");
+        assert_eq!(resp.status, 200, "healthy request {i}");
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "healthy traffic stalled behind the trickler: {:?}",
+        t0.elapsed()
+    );
+
+    let resp = trickler.join().expect("trickler thread");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    server.shutdown();
+}
+
+/// Acceptance: `--max-connections` is exact under concurrent accept
+/// stress. With the cap at 4 and 32 keep-alive clients connecting at
+/// once, exactly 4 win and hold their slot; the rest get a retryable 503
+/// on a connection that never blocked the accept path; the active gauge
+/// never exceeds the cap.
+#[test]
+fn max_connections_is_exact_under_concurrent_accepts() {
+    const CAP: usize = 4;
+    const CLIENTS: usize = 32;
+    let server = demo_server(ServerConfig {
+        port: 0,
+        max_connections: CAP,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+
+    let start = Arc::new(Barrier::new(CLIENTS));
+    let hold = Arc::new(Barrier::new(CLIENTS));
+    let ok = Arc::new(AtomicUsize::new(0));
+    let rejected = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let (start, hold) = (Arc::clone(&start), Arc::clone(&hold));
+            let (ok, rejected) = (Arc::clone(&ok), Arc::clone(&rejected));
+            std::thread::spawn(move || {
+                start.wait();
+                let mut conn = Connection::connect(addr).expect("connect");
+                conn.stream()
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .expect("read timeout");
+                let resp = conn.request("GET", "/healthz", "").expect("response");
+                match resp.status {
+                    200 => {
+                        ok.fetch_add(1, Ordering::SeqCst);
+                    }
+                    503 => {
+                        assert_eq!(
+                            resp.header("retry-after"),
+                            Some("1"),
+                            "client {i}: 503 without Retry-After: {}",
+                            resp.head
+                        );
+                        rejected.fetch_add(1, Ordering::SeqCst);
+                    }
+                    other => panic!("client {i}: unexpected status {other}: {}", resp.body),
+                }
+                // Winners hold their keep-alive slot until every client has
+                // its verdict, so slots cannot recycle mid-test.
+                hold.wait();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    assert_eq!(
+        ok.load(Ordering::SeqCst),
+        CAP,
+        "admitted connections must equal the cap exactly"
+    );
+    assert_eq!(
+        rejected.load(Ordering::SeqCst),
+        CLIENTS - CAP,
+        "every over-cap connection must get a 503"
+    );
+
+    // All clients dropped: the loop reaps them; the gauge returns to 0 and
+    // the counters agree with the exact split.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let resp = client::request(addr, "GET", "/metrics", "").expect("/metrics");
+        assert_eq!(resp.status, 200, "over-cap /metrics rejected: gauge stuck");
+        let active = metric_value(&resp.body, "cohortnet_conns_active ");
+        let rej = metric_value(&resp.body, "cohortnet_conns_rejected_total ");
+        assert!(
+            active <= CAP as f64,
+            "active gauge passed the cap: {active}"
+        );
+        assert_eq!(rej, (CLIENTS - CAP) as f64, "rejected counter drifted");
+        if active <= 1.0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "held connections never reaped: active={active}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    server.shutdown();
+}
+
+/// The portable poll(2) backend serves the same protocol (forced via the
+/// env knob; Linux CI otherwise always runs epoll).
+#[test]
+fn poll_fallback_backend_serves_requests() {
+    std::env::set_var("COHORTNET_SERVE_BACKEND", "poll");
+    let server = demo_server(ServerConfig {
+        port: 0,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let mut conn = Connection::connect(addr).expect("connect");
+    for _ in 0..3 {
+        let resp = conn
+            .request("GET", "/healthz", "")
+            .expect("keep-alive request");
+        assert_eq!(resp.status, 200);
+    }
+    let body = score_bodies().remove(0);
+    let resp = conn.request("POST", "/score", &body).expect("score");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    drop(conn);
+    server.shutdown();
+    std::env::remove_var("COHORTNET_SERVE_BACKEND");
+}
