@@ -1,18 +1,24 @@
 CARGO ?= cargo
 
-.PHONY: verify build test clippy fmt bench-discovery bench-smoke serve-smoke trace-smoke chaos-smoke load-smoke
+.PHONY: verify build test test-scalar clippy fmt bench-discovery bench-smoke serve-smoke trace-smoke chaos-smoke load-smoke
 
 ## Seeds the chaos harness runs at (CI runs all three and uploads the logs).
 CHAOS_SEEDS ?= 42 7 1234
 
 ## Full local verification: what CI runs, in the same order.
-verify: build test clippy fmt
+verify: build test test-scalar clippy fmt
 
 build:
 	$(CARGO) build --release
 
 test:
 	$(CARGO) test -q --workspace
+
+## The tensor suite with SIMD forced off — proves the scalar fallback and
+## the env override path on hosts where detection would pick AVX2 (the
+## cross-backend bit-identity tests cover the other direction).
+test-scalar:
+	COHORTNET_SIMD=scalar $(CARGO) test -q -p cohortnet-tensor
 
 clippy:
 	$(CARGO) clippy --all-targets -- -D warnings

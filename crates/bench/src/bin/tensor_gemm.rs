@@ -1,18 +1,32 @@
-//! GEMM micro-benchmark — records the blocked kernel's throughput against
-//! the naive triple loop it replaced, across sizes, transpose variants, and
-//! thread counts, into `BENCH_tensor.json`.
+//! Tensor kernel micro-benchmarks — blocked GEMM vs the naive triple loop,
+//! the SIMD backends against each other, and the int8 quantized kernel
+//! against f32 — written to `BENCH_tensor.json`.
 //!
-//! Every configuration is also checked bit-identical against the branch-free
+//! Every f32 configuration is checked bit-identical against the branch-free
 //! naive reference before it is timed: a kernel that drifts by one ULP is a
 //! bug, not a data point (see the determinism contract in
-//! `cohortnet_tensor::gemm` and DESIGN.md).
+//! `cohortnet_tensor::gemm` and DESIGN.md §11). The int8 kernel is checked
+//! bit-identical across backends, and its accuracy cost is reported as
+//! AUC / PR-AUC drift on a small trained model rather than ULPs.
+//!
+//! The report records `host_cpus`; on single-core hosts the thread sweep is
+//! skipped (every count would time the same sequential code path).
 //!
 //! Run: `cargo run --release -p cohortnet-bench --bin tensor_gemm`
 //! (`COHORTNET_FAST=1` shrinks sizes and repetitions for smoke runs.)
 
+use cohortnet::config::CohortNetConfig;
+use cohortnet::infer::{Inferencer, ScoreRequest};
+use cohortnet::quant::{QuantInferencer, QuantTable};
+use cohortnet::train::train_without_cohorts;
 use cohortnet_bench::fast;
 use cohortnet_bench::report::render_table;
+use cohortnet_ehr::{profiles, standardize::Standardizer, synth::generate};
+use cohortnet_metrics::{pr_auc, roc_auc};
+use cohortnet_models::data::prepare;
 use cohortnet_tensor::gemm::{gemm_into, set_gemm_threads};
+use cohortnet_tensor::quant::{qgemm, QuantMatrix};
+use cohortnet_tensor::simd::{self, set_backend, supported_backends, Backend};
 use cohortnet_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -65,37 +79,56 @@ struct GemmRow {
     speedup: f64,
 }
 
-fn main() {
-    let (sizes, reps): (&[(usize, usize, usize)], usize) = if fast() {
-        (&[(64, 64, 64), (128, 128, 128)], 3)
+struct SimdRow {
+    backend: Backend,
+    sec: f64,
+    gflops: f64,
+    speedup_vs_scalar: f64,
+}
+
+struct QuantReport {
+    m: usize,
+    k: usize,
+    n: usize,
+    f32_sec: f64,
+    f32_gflops: f64,
+    f32_weight_gbytes_per_sec: f64,
+    int8_sec: f64,
+    int8_gops: f64,
+    int8_weight_gbytes_per_sec: f64,
+    int8_effective_gbytes_per_sec: f64,
+    weight_bandwidth_amplification: f64,
+    auc_f32: f64,
+    auc_int8: f64,
+    pr_auc_f32: f64,
+    pr_auc_int8: f64,
+}
+
+/// Sweep the classic blocked-vs-naive comparison (on the detected backend).
+fn bench_gemm(reps: usize, thread_counts: &[usize], rng: &mut StdRng) -> Vec<GemmRow> {
+    let sizes: &[(usize, usize, usize)] = if fast() {
+        &[(64, 64, 64), (128, 128, 128)]
     } else {
-        (
-            &[
-                (64, 64, 64),
-                (128, 128, 128),
-                (256, 256, 256),
-                (64, 512, 64),
-                (512, 64, 512),
-            ],
-            5,
-        )
+        &[
+            (64, 64, 64),
+            (128, 128, 128),
+            (256, 256, 256),
+            (64, 512, 64),
+            (512, 64, 512),
+        ]
     };
     let variants: &[(&'static str, bool, bool)] = &[
         ("A*B", false, false),
         ("At*B", true, false),
         ("A*Bt", false, true),
     ];
-    let thread_counts: &[usize] = if fast() { &[1] } else { &[1, 2, 4] };
-
-    let mut rng = StdRng::seed_from_u64(42);
     let mut rows: Vec<GemmRow> = Vec::new();
-
     for &(m, k, n) in sizes {
         for &(name, ta, tb) in variants {
             let (am, ak) = if ta { (k, m) } else { (m, k) };
             let (bm, bk) = if tb { (n, k) } else { (k, n) };
-            let a = random_matrix(am, ak, &mut rng);
-            let b = random_matrix(bm, bk, &mut rng);
+            let a = random_matrix(am, ak, rng);
+            let b = random_matrix(bm, bk, rng);
 
             let mut reference = Matrix::zeros(m, n);
             naive(ta, tb, &a, &b, &mut reference, k);
@@ -133,8 +166,149 @@ fn main() {
             }
             eprintln!("[tensor_gemm] {name} {m}x{k}x{n} done");
         }
+        set_gemm_threads(1);
     }
-    set_gemm_threads(1);
+    rows
+}
+
+/// Time every supported SIMD backend on one square GEMM; outputs must stay
+/// bit-identical to the scalar backend (the 0-ULP contract).
+fn bench_simd(size: usize, reps: usize, rng: &mut StdRng) -> Vec<SimdRow> {
+    let a = random_matrix(size, size, rng);
+    let b = random_matrix(size, size, rng);
+    let flops = 2.0 * (size as f64).powi(3);
+
+    assert!(set_backend(Backend::Scalar));
+    let mut reference = Matrix::zeros(size, size);
+    gemm_into(false, false, &a, &b, &mut reference, false);
+
+    let mut timed: Vec<(Backend, f64)> = Vec::new();
+    for backend in supported_backends() {
+        assert!(set_backend(backend));
+        let mut out = Matrix::zeros(size, size);
+        gemm_into(false, false, &a, &b, &mut out, false);
+        for (idx, (g, w)) in out.as_slice().iter().zip(reference.as_slice()).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "backend {} drifted from scalar at element {idx}",
+                backend.name()
+            );
+        }
+        let sec = time_best(reps, || {
+            let mut out = Matrix::zeros(size, size);
+            gemm_into(false, false, &a, &b, &mut out, false);
+        });
+        timed.push((backend, sec));
+        eprintln!("[tensor_gemm] simd {} done", backend.name());
+    }
+    assert!(set_backend(simd::detect()));
+    let scalar_sec = timed
+        .iter()
+        .find(|(b, _)| *b == Backend::Scalar)
+        .map(|&(_, s)| s)
+        .expect("scalar backend is always supported");
+    timed
+        .into_iter()
+        .map(|(backend, sec)| SimdRow {
+            backend,
+            sec,
+            gflops: flops / sec / 1e9,
+            speedup_vs_scalar: scalar_sec / sec,
+        })
+        .collect()
+}
+
+/// Time the int8 kernel against the f32 kernel on the same logical GEMM and
+/// measure the accuracy cost on a small trained model.
+fn bench_quant(size: usize, reps: usize, rng: &mut StdRng) -> QuantReport {
+    let (m, k, n) = (size, size, size);
+    let x = random_matrix(m, k, rng);
+    let w = random_matrix(k, n, rng);
+    let qw = QuantMatrix::quantize(&w);
+
+    let f32_sec = time_best(reps, || {
+        let mut out = Matrix::zeros(m, n);
+        gemm_into(false, false, &x, &w, &mut out, false);
+    });
+    let mut qout = Matrix::zeros(m, n);
+    let int8_sec = time_best(reps, || qgemm(&x, &qw, &mut qout));
+
+    // Weight-panel traffic for the full product, ignoring cache reuse: every
+    // output row streams the whole k x n weight panel — 4 bytes/element for
+    // f32, 1 for int8. The int8 kernel does the same logical GEMM from a
+    // quarter of the physical traffic, so its *effective* (f32-equivalent)
+    // bytes served per second is 4x its physical rate: that is the capacity
+    // metric for a weight-bandwidth-bound serving fleet.
+    let panel = (m * k * n) as f64;
+    let f32_bps = panel * 4.0 / f32_sec;
+    let int8_bps = panel * 1.0 / int8_sec;
+    let int8_effective_bps = panel * 4.0 / int8_sec;
+
+    // Accuracy contract input: a tiny trained trunk, scored by both paths.
+    let mut profile = profiles::mimic3_like(0.1);
+    profile.n_patients = if fast() { 24 } else { 80 };
+    profile.time_steps = 4;
+    let mut ds = generate(&profile);
+    let scaler = Standardizer::fit(&ds);
+    scaler.apply(&mut ds);
+    let mut cfg = CohortNetConfig::for_dataset(&ds, &scaler);
+    cfg.epochs_pretrain = if fast() { 1 } else { 3 };
+    cfg.epochs_exploit = 0;
+    cfg.verbose = false;
+    let prep = prepare(&ds);
+    let trained = train_without_cohorts(&prep, &cfg);
+
+    let f32_inf = Inferencer::compile(&trained.model, &trained.params, prep.time_steps);
+    let table = QuantTable::build(&trained.model, &trained.params);
+    let q_inf = QuantInferencer::compile(&trained.model, &trained.params, prep.time_steps, &table);
+    let reqs: Vec<ScoreRequest> = prep
+        .patients
+        .iter()
+        .map(|p| ScoreRequest {
+            x: p.x.clone(),
+            mask: p.mask.clone(),
+        })
+        .collect();
+    let labels: Vec<u8> = prep.patients.iter().map(|p| p.labels_u8[0]).collect();
+    let f = f32_inf.score_requests(&reqs);
+    let q = q_inf.score_requests(&reqs);
+
+    QuantReport {
+        m,
+        k,
+        n,
+        f32_sec,
+        f32_gflops: 2.0 * panel / f32_sec / 1e9,
+        f32_weight_gbytes_per_sec: f32_bps / 1e9,
+        int8_sec,
+        int8_gops: 2.0 * panel / int8_sec / 1e9,
+        int8_weight_gbytes_per_sec: int8_bps / 1e9,
+        int8_effective_gbytes_per_sec: int8_effective_bps / 1e9,
+        weight_bandwidth_amplification: int8_effective_bps / f32_bps,
+        auc_f32: roc_auc(f.probs.as_slice(), &labels),
+        auc_int8: roc_auc(q.probs.as_slice(), &labels),
+        pr_auc_f32: pr_auc(f.probs.as_slice(), &labels),
+        pr_auc_int8: pr_auc(q.probs.as_slice(), &labels),
+    }
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let reps = if fast() { 3 } else { 5 };
+    // A single-core host runs every "thread count" on the same sequential
+    // path — sweeping it three more times measures nothing.
+    let thread_counts: &[usize] = if fast() || host_cpus == 1 {
+        &[1]
+    } else {
+        &[1, 2, 4]
+    };
+    let simd_size = if fast() { 128 } else { 256 };
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let rows = bench_gemm(reps, thread_counts, &mut rng);
+    let simd_rows = bench_simd(simd_size, reps, &mut rng);
+    let quant = bench_quant(simd_size, reps, &mut rng);
 
     println!("== Blocked GEMM vs naive triple loop (bit-identical outputs) ==\n");
     let table: Vec<Vec<String>> = rows
@@ -159,7 +333,69 @@ fn main() {
         )
     );
 
-    let mut out = String::from("{\n  \"gemm\": [\n");
+    println!("\n== SIMD backends, {simd_size}^3 GEMM (bit-identical outputs) ==\n");
+    let table: Vec<Vec<String>> = simd_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.backend.name().to_string(),
+                format!("{:.2}ms", r.sec * 1e3),
+                format!("{:.2}", r.gflops),
+                format!("{:.2}x", r.speedup_vs_scalar),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["backend", "time", "GFLOP/s", "vs scalar"], &table)
+    );
+
+    println!("\n== int8 quantized kernel vs f32, {simd_size}^3 ==\n");
+    println!(
+        "{}",
+        render_table(
+            &["path", "time", "G(FL)OP/s", "weight GB/s", "AUC", "PR-AUC"],
+            &[
+                vec![
+                    "f32".into(),
+                    format!("{:.2}ms", quant.f32_sec * 1e3),
+                    format!("{:.2}", quant.f32_gflops),
+                    format!("{:.2}", quant.f32_weight_gbytes_per_sec),
+                    format!("{:.4}", quant.auc_f32),
+                    format!("{:.4}", quant.pr_auc_f32),
+                ],
+                vec![
+                    "int8".into(),
+                    format!("{:.2}ms", quant.int8_sec * 1e3),
+                    format!("{:.2}", quant.int8_gops),
+                    format!("{:.2}", quant.int8_weight_gbytes_per_sec),
+                    format!("{:.4}", quant.auc_int8),
+                    format!("{:.4}", quant.pr_auc_int8),
+                ],
+            ]
+        )
+    );
+    println!(
+        "int8 serves {:.2} f32-equivalent weight GB/s from {:.2} GB/s physical \
+         ({:.2}x the f32 kernel's bytes-served rate); AUC drift {:+.4}, PR-AUC drift {:+.4}",
+        quant.int8_effective_gbytes_per_sec,
+        quant.int8_weight_gbytes_per_sec,
+        quant.weight_bandwidth_amplification,
+        quant.auc_int8 - quant.auc_f32,
+        quant.pr_auc_int8 - quant.pr_auc_f32,
+    );
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(&format!(
+        "  \"thread_sweep_skipped\": {},\n",
+        thread_counts.len() == 1
+    ));
+    out.push_str(&format!(
+        "  \"detected_backend\": \"{}\",\n",
+        simd::detect().name()
+    ));
+    out.push_str("  \"gemm\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"variant\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"threads\": {}, \
@@ -177,7 +413,51 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"simd\": {{\n    \"size\": [{simd_size}, {simd_size}, {simd_size}],\n    \
+         \"scalar_baseline_note\": \"the scalar backend is the same blocked kernel \
+auto-vectorized by LLVM to SSE2 width, not a naive loop\",\n    \"backends\": [\n"
+    ));
+    for (i, r) in simd_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"backend\": \"{}\", \"sec\": {:.6}, \"gflops\": {:.3}, \
+             \"speedup_vs_scalar\": {:.3}}}{}\n",
+            r.backend.name(),
+            r.sec,
+            r.gflops,
+            r.speedup_vs_scalar,
+            if i + 1 < simd_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ]\n  },\n");
+    out.push_str(&format!(
+        "  \"quant\": {{\n    \"size\": [{}, {}, {}],\n    \"scheme\": \"{}\",\n    \
+         \"f32_sec\": {:.6}, \"f32_gflops\": {:.3}, \"f32_weight_gbytes_per_sec\": {:.3},\n    \
+         \"int8_sec\": {:.6}, \"int8_gops\": {:.3}, \"int8_weight_gbytes_per_sec\": {:.3},\n    \
+         \"int8_effective_gbytes_per_sec\": {:.3}, \"weight_bandwidth_amplification\": {:.3},\n    \
+         \"auc_f32\": {:.6}, \"auc_int8\": {:.6}, \"auc_drift\": {:.6},\n    \
+         \"pr_auc_f32\": {:.6}, \"pr_auc_int8\": {:.6}, \"pr_auc_drift\": {:.6}\n  }}\n",
+        quant.m,
+        quant.k,
+        quant.n,
+        cohortnet::quant::QUANT_SCHEME,
+        quant.f32_sec,
+        quant.f32_gflops,
+        quant.f32_weight_gbytes_per_sec,
+        quant.int8_sec,
+        quant.int8_gops,
+        quant.int8_weight_gbytes_per_sec,
+        quant.int8_effective_gbytes_per_sec,
+        quant.weight_bandwidth_amplification,
+        quant.auc_f32,
+        quant.auc_int8,
+        quant.auc_int8 - quant.auc_f32,
+        quant.pr_auc_f32,
+        quant.pr_auc_int8,
+        quant.pr_auc_int8 - quant.pr_auc_f32,
+    ));
+    out.push_str("}\n");
     match std::fs::write("BENCH_tensor.json", &out) {
         Ok(()) => eprintln!("[tensor_gemm] wrote BENCH_tensor.json"),
         Err(e) => eprintln!("[tensor_gemm] could not write BENCH_tensor.json: {e}"),

@@ -22,31 +22,80 @@
 use crate::cdm::FeatureStates;
 use crate::index::CohortIndex;
 use crate::model::CohortNetModel;
+use crate::quant::QuantTable;
 use cohortnet_parallel::par_map;
 use cohortnet_tensor::infer::{
     add_row_broadcast, gate_sigmoid, gate_tanh, gru_blend, mul_col_broadcast, sigmoid, tanh,
 };
 use cohortnet_tensor::nn::{GruCell, Linear};
+use cohortnet_tensor::quant::{qgemm, QuantMatrix};
 use cohortnet_tensor::{Matrix, ParamStore};
+
+/// A trunk weight matrix in either precision: the f32 snapshot (bit-identical
+/// to training) or the int8 per-channel quantization (snapshot-anchored
+/// reproducibility, see [`crate::quant`]).
+#[derive(Debug, Clone)]
+enum MatW {
+    F32(Matrix),
+    Quant(QuantMatrix),
+}
+
+impl MatW {
+    /// `x · W` through whichever kernel this weight carries.
+    fn apply(&self, x: &Matrix) -> Matrix {
+        match self {
+            MatW::F32(w) => x.matmul(w),
+            MatW::Quant(q) => {
+                let mut out = Matrix::zeros(x.rows(), q.n());
+                qgemm(x, q, &mut out);
+                out
+            }
+        }
+    }
+}
+
+/// Resolves one trunk weight: f32 from the param store, or its int8
+/// quantization when a table is active (the table is built from the same
+/// enumeration, so a missing name is a programming error, not bad data).
+fn trunk_w(table: Option<&QuantTable>, name: &str, w: &Matrix) -> MatW {
+    match table {
+        Some(t) => MatW::Quant(
+            t.get(name)
+                .unwrap_or_else(|| panic!("quant table is missing trunk tensor {name:?}"))
+                .clone(),
+        ),
+        None => MatW::F32(w.clone()),
+    }
+}
 
 /// A weight-snapshot of a [`Linear`] layer.
 #[derive(Debug, Clone)]
 struct LinW {
-    w: Matrix,
+    w: MatW,
     b: Option<Matrix>,
 }
 
 impl LinW {
     fn from(lin: &Linear, ps: &ParamStore) -> Self {
         LinW {
-            w: ps.value(lin.weight()).clone(),
+            w: MatW::F32(ps.value(lin.weight()).clone()),
+            b: lin.bias().map(|b| ps.value(b).clone()),
+        }
+    }
+
+    /// Like [`LinW::from`] but quantizing the weight through `table` when
+    /// one is active (biases always stay f32 — they are added once at the
+    /// epilogue and cost nothing).
+    fn from_trunk(lin: &Linear, ps: &ParamStore, table: Option<&QuantTable>, name: &str) -> Self {
+        LinW {
+            w: trunk_w(table, name, ps.value(lin.weight())),
             b: lin.bias().map(|b| ps.value(b).clone()),
         }
     }
 
     /// Mirrors [`Linear::forward`]: matmul plus optional bias broadcast.
     fn forward(&self, x: &Matrix) -> Matrix {
-        let xw = x.matmul(&self.w);
+        let xw = self.w.apply(x);
         match &self.b {
             Some(b) => add_row_broadcast(&xw, b),
             None => xw,
@@ -57,42 +106,42 @@ impl LinW {
 /// A weight-snapshot of a [`GruCell`].
 #[derive(Debug, Clone)]
 struct GruW {
-    wz: Matrix,
-    uz: Matrix,
+    wz: MatW,
+    uz: MatW,
     bz: Matrix,
-    wr: Matrix,
-    ur: Matrix,
+    wr: MatW,
+    ur: MatW,
     br: Matrix,
-    wh: Matrix,
-    uh: Matrix,
+    wh: MatW,
+    uh: MatW,
     bh: Matrix,
     hidden: usize,
 }
 
 impl GruW {
-    fn from(cell: &GruCell, ps: &ParamStore) -> Self {
+    fn from(cell: &GruCell, ps: &ParamStore, table: Option<&QuantTable>, prefix: &str) -> Self {
         let p = cell.params();
-        let g = |id| ps.value(id).clone();
+        let w = |id, suffix: &str| trunk_w(table, &format!("{prefix}.{suffix}"), ps.value(id));
         GruW {
-            wz: g(p.wz),
-            uz: g(p.uz),
-            bz: g(p.bz),
-            wr: g(p.wr),
-            ur: g(p.ur),
-            br: g(p.br),
-            wh: g(p.wh),
-            uh: g(p.uh),
-            bh: g(p.bh),
+            wz: w(p.wz, "wz"),
+            uz: w(p.uz, "uz"),
+            bz: ps.value(p.bz).clone(),
+            wr: w(p.wr, "wr"),
+            ur: w(p.ur, "ur"),
+            br: ps.value(p.br).clone(),
+            wh: w(p.wh, "wh"),
+            uh: w(p.uh, "uh"),
+            bh: ps.value(p.bh).clone(),
             hidden: ps.value(p.uz).rows(),
         }
     }
 
     /// Mirrors [`GruCell::step`] node-for-node.
     fn step(&self, x: &Matrix, h: &Matrix) -> Matrix {
-        let z = gate_sigmoid(&x.matmul(&self.wz), &h.matmul(&self.uz), &self.bz);
-        let r = gate_sigmoid(&x.matmul(&self.wr), &h.matmul(&self.ur), &self.br);
+        let z = gate_sigmoid(&self.wz.apply(x), &self.uz.apply(h), &self.bz);
+        let r = gate_sigmoid(&self.wr.apply(x), &self.ur.apply(h), &self.br);
         let rh = r.mul(h);
-        let cand = gate_tanh(&x.matmul(&self.wh), &rh.matmul(&self.uh), &self.bh);
+        let cand = gate_tanh(&self.wh.apply(x), &self.uh.apply(&rh), &self.bh);
         gru_blend(&z, h, &cand)
     }
 }
@@ -168,6 +217,7 @@ pub struct Inferencer {
     agg: LinW,
     head: LinW,
     cohorts: Option<CohortPath>,
+    quantized: bool,
 }
 
 impl Inferencer {
@@ -178,6 +228,28 @@ impl Inferencer {
     /// requests must carry exactly `time_steps * n_features` values (the
     /// config does not record it; the data pipeline does).
     pub fn compile(model: &CohortNetModel, ps: &ParamStore, time_steps: usize) -> Self {
+        Self::compile_inner(model, ps, time_steps, None)
+    }
+
+    /// [`Inferencer::compile`] with the MFLM trunk weights replaced by their
+    /// int8 quantizations from `table` (built by [`crate::quant`] with the
+    /// same stable tensor names). The BiEL embedding, all biases, and the
+    /// cohort-exploitation path stay f32.
+    pub(crate) fn compile_with_table(
+        model: &CohortNetModel,
+        ps: &ParamStore,
+        time_steps: usize,
+        table: &QuantTable,
+    ) -> Self {
+        Self::compile_inner(model, ps, time_steps, Some(table))
+    }
+
+    fn compile_inner(
+        model: &CohortNetModel,
+        ps: &ParamStore,
+        time_steps: usize,
+        table: Option<&QuantTable>,
+    ) -> Self {
         let mflm = &model.mflm;
         let nf = mflm.n_features();
         let biel = (0..nf)
@@ -232,16 +304,27 @@ impl Inferencer {
             use_interactions: mflm.interactions_enabled(),
             use_trends: mflm.trends_enabled(),
             biel,
-            fil_q: LinW::from(wq, ps),
-            fil_k: LinW::from(wk, ps),
-            fil_v: LinW::from(wv, ps),
-            lgru: (0..nf).map(|f| GruW::from(mflm.lgru(f), ps)).collect(),
-            feafus: LinW::from(mflm.feafus(), ps),
-            ggru: (0..nf).map(|f| GruW::from(mflm.ggru(f), ps)).collect(),
-            agg: LinW::from(mflm.agg(), ps),
-            head: LinW::from(mflm.head(), ps),
+            fil_q: LinW::from_trunk(wq, ps, table, "mflm.fil.q"),
+            fil_k: LinW::from_trunk(wk, ps, table, "mflm.fil.k"),
+            fil_v: LinW::from_trunk(wv, ps, table, "mflm.fil.v"),
+            lgru: (0..nf)
+                .map(|f| GruW::from(mflm.lgru(f), ps, table, &format!("mflm.lgru.{f}")))
+                .collect(),
+            feafus: LinW::from_trunk(mflm.feafus(), ps, table, "mflm.feafus"),
+            ggru: (0..nf)
+                .map(|f| GruW::from(mflm.ggru(f), ps, table, &format!("mflm.ggru.{f}")))
+                .collect(),
+            agg: LinW::from_trunk(mflm.agg(), ps, table, "mflm.agg"),
+            head: LinW::from_trunk(mflm.head(), ps, table, "mflm.head"),
             cohorts,
+            quantized: table.is_some(),
         }
+    }
+
+    /// Whether the MFLM trunk runs the int8 quantized kernels (`true` only
+    /// for inferencers compiled through [`crate::quant::QuantInferencer`]).
+    pub fn quantized(&self) -> bool {
+        self.quantized
     }
 
     /// Number of medical features the model was trained on.

@@ -55,6 +55,7 @@ pub mod infer;
 pub mod interpret;
 pub mod mflm;
 pub mod model;
+pub mod quant;
 pub mod snapshot;
 pub mod train;
 
@@ -63,5 +64,6 @@ pub use crlm::{Cohort, CohortPool};
 pub use index::CohortIndex;
 pub use infer::Inferencer;
 pub use model::CohortNetModel;
-pub use snapshot::{load_snapshot, save_snapshot, LoadedModel, SnapshotError};
+pub use quant::{QuantInferencer, QuantTable, Scorer};
+pub use snapshot::{load_snapshot, save_snapshot, save_snapshot_quant, LoadedModel, SnapshotError};
 pub use train::{train_cohortnet, train_without_cohorts, TrainedCohortNet};

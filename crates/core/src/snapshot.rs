@@ -24,6 +24,7 @@
 //! #section states <n_lines> <fnv1a64-hex>
 //! #section pool <n_lines> <fnv1a64-hex>
 //! #section attn <n_lines> <fnv1a64-hex>
+//! #section quant <n_lines> <fnv1a64-hex>    (optional)
 //! ```
 //!
 //! Sections appear in exactly that order; each header carries the payload's
@@ -32,6 +33,14 @@
 //! different model. All floats use Rust's shortest round-trip formatting, so
 //! `save → load → save` is byte-identical and a loaded model scores
 //! bit-identically to the in-memory one (both test-enforced).
+//!
+//! The trailing `quant` section ([`save_snapshot_quant`]) carries the int8
+//! per-channel trunk quantization of [`crate::quant`]. It is *optional and
+//! forward-compatible*: a snapshot without it loads and serves exactly as
+//! before, and a quant payload whose scheme line this build does not
+//! implement downgrades to the f32 path with a warning rather than failing
+//! the load. A structurally corrupt quant section (bad checksum, malformed
+//! payload) still fails loudly.
 //!
 //! Loading re-runs [`CohortNetConfig::validate`] and cross-checks every
 //! section against the embedded config (feature counts, `k_states`,
@@ -45,7 +54,9 @@ use crate::export::{pool_from_str, pool_to_string, PoolParseError};
 use crate::index::Fnv1a64;
 use crate::infer::Inferencer;
 use crate::model::CohortNetModel;
+use crate::quant::{QuantInferencer, QuantParseError, QuantTable, Scorer};
 use cohortnet_ehr::standardize::{ScalerParseError, Standardizer};
+use cohortnet_obs::obs_warn;
 use cohortnet_tensor::checkpoint::{load_params, save_params, CheckpointError};
 use cohortnet_tensor::{Matrix, ParamStore};
 use rand::rngs::StdRng;
@@ -59,6 +70,10 @@ pub const SNAPSHOT_VERSION: &str = "v1";
 
 const HEADER: &str = "#cohortnet-snapshot v1";
 const SECTIONS: [&str; 6] = ["config", "scaler", "params", "states", "pool", "attn"];
+/// Name of the optional trailing quantization section.
+const QUANT_SECTION: &str = "quant";
+/// Log target for snapshot load events.
+const LOG: &str = "cohortnet.snapshot";
 
 /// Everything loaded back from a snapshot.
 pub struct LoadedModel {
@@ -70,12 +85,42 @@ pub struct LoadedModel {
     pub scaler: Standardizer,
     /// Grid length (time steps per patient) the model was trained on.
     pub time_steps: usize,
+    /// The int8 trunk quantization stored in the snapshot's `quant`
+    /// section — `None` for pre-quant snapshots and for quant payloads
+    /// whose scheme this build does not implement (both serve f32).
+    pub quant: Option<QuantTable>,
 }
 
 impl LoadedModel {
     /// Compiles the loaded model into a tape-free [`Inferencer`].
     pub fn inferencer(&self) -> Inferencer {
         Inferencer::compile(&self.model, &self.params, self.time_steps)
+    }
+
+    /// Compiles the int8 quantized inferencer: from the snapshot's stored
+    /// table when present, otherwise by quantizing the restored f32 weights
+    /// with the same pure function (identical result for a fixed snapshot
+    /// either way — the stored section just skips the work).
+    pub fn quant_inferencer(&self) -> QuantInferencer {
+        match &self.quant {
+            Some(table) => {
+                QuantInferencer::compile(&self.model, &self.params, self.time_steps, table)
+            }
+            None => {
+                let table = QuantTable::build(&self.model, &self.params);
+                QuantInferencer::compile(&self.model, &self.params, self.time_steps, &table)
+            }
+        }
+    }
+
+    /// The serving-stack model handle: quantized trunk when `quant` is
+    /// requested, f32 otherwise.
+    pub fn scorer(&self, quant: bool) -> Scorer {
+        if quant {
+            Scorer::Quant(self.quant_inferencer())
+        } else {
+            Scorer::F32(self.inferencer())
+        }
     }
 }
 
@@ -111,6 +156,9 @@ pub enum SnapshotError {
     Pool(PoolParseError),
     /// The attention section is malformed.
     Attn(String),
+    /// The quant section is structurally broken (an *unsupported scheme* is
+    /// not an error — it downgrades to f32 with a warning).
+    Quant(String),
     /// A section disagrees with the embedded config (feature count,
     /// `k_states`, widths, …).
     Mismatch(String),
@@ -147,6 +195,7 @@ impl std::fmt::Display for SnapshotError {
             }
             SnapshotError::Pool(e) => write!(f, "bad pool section: {e}"),
             SnapshotError::Attn(why) => write!(f, "bad attention section: {why}"),
+            SnapshotError::Quant(why) => write!(f, "bad quant section: {why}"),
             SnapshotError::Mismatch(why) => {
                 write!(f, "snapshot is internally inconsistent: {why}")
             }
@@ -453,9 +502,69 @@ pub fn save_snapshot(
     out
 }
 
-/// Splits the snapshot into its six named section payloads, verifying the
-/// header, order, line counts and checksums.
-fn split_sections(text: &str) -> Result<Vec<String>, SnapshotError> {
+/// [`save_snapshot`] plus the optional trailing `quant` section: the int8
+/// per-channel trunk quantization computed here, at save time, so serving
+/// replicas never redo the scale computation.
+pub fn save_snapshot_quant(
+    model: &CohortNetModel,
+    ps: &ParamStore,
+    scaler: &Standardizer,
+    time_steps: usize,
+) -> String {
+    let mut out = save_snapshot(model, ps, scaler, time_steps);
+    let table = QuantTable::build(model, ps);
+    push_section(&mut out, QUANT_SECTION, &table.to_text());
+    out
+}
+
+/// One `#section` header split into its payload, advancing `cursor`.
+fn read_section(
+    lines: &[&str],
+    cursor: &mut usize,
+    expected: &'static str,
+) -> Result<String, SnapshotError> {
+    let header = *lines
+        .get(*cursor)
+        .ok_or(SnapshotError::MissingSection(expected))?;
+    let parts: Vec<&str> = header.split(' ').collect();
+    if parts.len() != 4 || parts[0] != "#section" {
+        return Err(SnapshotError::BadSectionHeader(*cursor + 1));
+    }
+    if parts[1] != expected {
+        return Err(SnapshotError::MissingSection(expected));
+    }
+    let n: usize = parts[2]
+        .parse()
+        .map_err(|_| SnapshotError::BadSectionHeader(*cursor + 1))?;
+    let sum = u64::from_str_radix(parts[3], 16)
+        .map_err(|_| SnapshotError::BadSectionHeader(*cursor + 1))?;
+    *cursor += 1;
+    if *cursor + n > lines.len() {
+        return Err(SnapshotError::Checksum {
+            section: expected.to_string(),
+            expected: sum,
+            actual: 0, // truncated before the payload even ends
+        });
+    }
+    let mut payload = lines[*cursor..*cursor + n].join("\n");
+    payload.push('\n');
+    *cursor += n;
+    let actual = fnv64(payload.as_bytes());
+    if actual != sum {
+        return Err(SnapshotError::Checksum {
+            section: expected.to_string(),
+            expected: sum,
+            actual,
+        });
+    }
+    Ok(payload)
+}
+
+/// Splits the snapshot into its six required section payloads plus the
+/// optional `quant` payload, verifying the header, order, line counts and
+/// checksums. Trailing content that is not a quant section header is
+/// ignored (as it always was), so older readers stay compatible.
+fn split_sections(text: &str) -> Result<(Vec<String>, Option<String>), SnapshotError> {
     let lines: Vec<&str> = text.lines().collect();
     if lines.first().map(|l| l.trim()) != Some(HEADER) {
         return Err(SnapshotError::BadHeader);
@@ -463,43 +572,15 @@ fn split_sections(text: &str) -> Result<Vec<String>, SnapshotError> {
     let mut cursor = 1usize;
     let mut payloads = Vec::with_capacity(SECTIONS.len());
     for expected in SECTIONS {
-        let header = *lines
-            .get(cursor)
-            .ok_or(SnapshotError::MissingSection(expected))?;
-        let parts: Vec<&str> = header.split(' ').collect();
-        if parts.len() != 4 || parts[0] != "#section" {
-            return Err(SnapshotError::BadSectionHeader(cursor + 1));
-        }
-        if parts[1] != expected {
-            return Err(SnapshotError::MissingSection(expected));
-        }
-        let n: usize = parts[2]
-            .parse()
-            .map_err(|_| SnapshotError::BadSectionHeader(cursor + 1))?;
-        let sum = u64::from_str_radix(parts[3], 16)
-            .map_err(|_| SnapshotError::BadSectionHeader(cursor + 1))?;
-        cursor += 1;
-        if cursor + n > lines.len() {
-            return Err(SnapshotError::Checksum {
-                section: expected.to_string(),
-                expected: sum,
-                actual: 0, // truncated before the payload even ends
-            });
-        }
-        let mut payload = lines[cursor..cursor + n].join("\n");
-        payload.push('\n');
-        cursor += n;
-        let actual = fnv64(payload.as_bytes());
-        if actual != sum {
-            return Err(SnapshotError::Checksum {
-                section: expected.to_string(),
-                expected: sum,
-                actual,
-            });
-        }
-        payloads.push(payload);
+        payloads.push(read_section(&lines, &mut cursor, expected)?);
     }
-    Ok(payloads)
+    let quant = match lines.get(cursor) {
+        Some(l) if l.starts_with(&format!("#section {QUANT_SECTION} ")) => {
+            Some(read_section(&lines, &mut cursor, QUANT_SECTION)?)
+        }
+        _ => None,
+    };
+    Ok((payloads, quant))
 }
 
 /// Reconstructs a model from snapshot text, cross-checking every section
@@ -516,7 +597,28 @@ pub fn load_snapshot(text: &str) -> Result<LoadedModel, SnapshotError> {
 }
 
 fn load_snapshot_inner(text: &str) -> Result<LoadedModel, SnapshotError> {
-    let sections = split_sections(text)?;
+    let (sections, quant_payload) = split_sections(text)?;
+    // Parse the optional quant section first so a scheme from the future
+    // downgrades to f32 (warn, not error) while structural breakage still
+    // fails the load like any other corrupt section.
+    let quant = match &quant_payload {
+        None => None,
+        Some(payload) => match QuantTable::from_text(payload) {
+            Ok(table) => Some(table),
+            Err(QuantParseError::UnsupportedScheme(scheme)) => {
+                obs_warn!(
+                    target: LOG,
+                    "snapshot quant section uses an unsupported scheme; serving will fall back to f32",
+                    scheme = scheme,
+                    supported = crate::quant::QUANT_SCHEME,
+                );
+                None
+            }
+            Err(e @ QuantParseError::Malformed { .. }) => {
+                return Err(SnapshotError::Quant(e.to_string()))
+            }
+        },
+    };
     let (cfg, time_steps) = config_from_text(&sections[0])?;
     cfg.validate().map_err(SnapshotError::Config)?;
     let nf = cfg.n_features();
@@ -552,6 +654,7 @@ fn load_snapshot_inner(text: &str) -> Result<LoadedModel, SnapshotError> {
             params: ps,
             scaler,
             time_steps,
+            quant,
         });
     }
     if nones != 0 {
@@ -626,5 +729,6 @@ fn load_snapshot_inner(text: &str) -> Result<LoadedModel, SnapshotError> {
         params: ps,
         scaler,
         time_steps,
+        quant,
     })
 }

@@ -29,7 +29,8 @@ fn usage() -> ! {
          \x20        [--read-timeout-ms N (default 0 = built-in 10s)]\n\
          \x20        [--idle-timeout-ms N (default 0 = built-in 30s keep-alive idle close)]\n\
          \x20        [--max-connections N (default 256, 0 = unlimited)]\n\
-         \x20        [--workers N (default 0 = built-in 16 request workers)]"
+         \x20        [--workers N (default 0 = built-in 16 request workers)]\n\
+         \x20        [--quant (serve the int8 quantized trunk; default f32)]"
     );
     std::process::exit(2)
 }
@@ -82,6 +83,7 @@ fn parse_args() -> Args {
                     parse_num(&value("--max-connections"), "--max-connections")
             }
             "--workers" => args.server.workers = parse_num(&value("--workers"), "--workers"),
+            "--quant" => args.server.quant = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");

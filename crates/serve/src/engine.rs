@@ -37,6 +37,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cohortnet::infer::{Inferencer, ScoreRequest};
+use cohortnet::quant::Scorer;
 use cohortnet_obs::{obs_error, obs_warn};
 
 use crate::metrics::Metrics;
@@ -133,7 +134,7 @@ struct Pending {
 }
 
 struct Shared {
-    inf: Arc<Inferencer>,
+    scorer: Arc<Scorer>,
     queue: Mutex<VecDeque<Pending>>,
     cv: Condvar,
     shutdown: AtomicBool,
@@ -151,12 +152,18 @@ pub struct Engine {
 
 impl Engine {
     /// Starts the engine (spawns the batcher thread) over a compiled
-    /// inferencer.
+    /// inferencer (f32 path).
     pub fn start(inf: Inferencer, cfg: EngineConfig, metrics: Arc<Metrics>) -> Self {
+        Engine::start_scorer(Scorer::F32(inf), cfg, metrics)
+    }
+
+    /// Starts the engine over either precision path — [`Scorer::F32`] or
+    /// the int8 [`Scorer::Quant`] (the `--quant` serving mode).
+    pub fn start_scorer(scorer: Scorer, cfg: EngineConfig, metrics: Arc<Metrics>) -> Self {
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
         assert!(cfg.queue_cap >= 1, "queue_cap must be at least 1");
         let shared = Arc::new(Shared {
-            inf: Arc::new(inf),
+            scorer: Arc::new(scorer),
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -174,9 +181,15 @@ impl Engine {
         }
     }
 
-    /// The compiled inferencer the engine scores with.
+    /// The compiled inferencer the engine scores with (the quantized-trunk
+    /// one in `--quant` mode).
     pub fn inferencer(&self) -> &Inferencer {
-        &self.shared.inf
+        self.shared.scorer.inferencer()
+    }
+
+    /// Whether the engine scores through the int8 quantized trunk.
+    pub fn quantized(&self) -> bool {
+        self.shared.scorer.quantized()
     }
 
     /// The engine's metrics registry.
@@ -191,21 +204,22 @@ impl Engine {
 
     fn shape_error(&self, req: &ScoreRequest) -> Option<EngineError> {
         let s = &self.shared;
-        let want_x = s.inf.time_steps() * s.inf.n_features();
+        let inf = s.scorer.inferencer();
+        let want_x = inf.time_steps() * inf.n_features();
         if req.x.len() != want_x {
             return Some(EngineError::BadRequest(format!(
                 "x has {} values, expected time_steps * n_features = {} * {} = {}",
                 req.x.len(),
-                s.inf.time_steps(),
-                s.inf.n_features(),
+                inf.time_steps(),
+                inf.n_features(),
                 want_x
             )));
         }
-        if req.mask.len() != s.inf.n_features() {
+        if req.mask.len() != inf.n_features() {
             return Some(EngineError::BadRequest(format!(
                 "mask has {} values, expected n_features = {}",
                 req.mask.len(),
-                s.inf.n_features()
+                inf.n_features()
             )));
         }
         None
@@ -378,7 +392,7 @@ fn row_score(out: &cohortnet::infer::ScoreOutput, r: usize) -> RowScore {
 fn score_batch(s: &Shared, batch: &[Pending]) -> Vec<Reply> {
     let reqs: Vec<ScoreRequest> = batch.iter().map(|p| p.req.clone()).collect();
     let scored = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        s.inf.score_requests_parallel(&reqs, s.cfg.threads)
+        s.scorer.score_requests_parallel(&reqs, s.cfg.threads)
     }));
     match scored {
         Ok(out) => (0..batch.len()).map(|r| Ok(row_score(&out, r))).collect(),
@@ -394,7 +408,9 @@ fn score_batch(s: &Shared, batch: &[Pending]) -> Vec<Reply> {
                 .iter()
                 .map(|p| {
                     let one = std::slice::from_ref(&p.req);
-                    match std::panic::catch_unwind(AssertUnwindSafe(|| s.inf.score_requests(one))) {
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        s.scorer.inferencer().score_requests(one)
+                    })) {
                         Ok(out) => Ok(row_score(&out, 0)),
                         Err(_) => {
                             s.metrics.rows_failed.inc();

@@ -10,7 +10,7 @@
 //! exposes discovery and training telemetry alongside the serving families —
 //! one unified registry from the operator's point of view.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 pub use cohortnet_obs::metrics::{Counter, Gauge, Histogram, Registry};
 
@@ -72,6 +72,11 @@ pub struct Metrics {
     pub batch_compute_us: Arc<Histogram>,
     /// Response render + write time per request, microseconds.
     pub render_us: Arc<Histogram>,
+    /// Active kernel path, set once at server start: the SIMD backend name
+    /// and whether the int8 quantized trunk is serving. Rendered as a
+    /// `cohortnet_build_info` gauge with labels so fleet health checks can
+    /// spot a replica silently running the fallback path.
+    build_info: OnceLock<(&'static str, bool)>,
 }
 
 impl Metrics {
@@ -157,15 +162,30 @@ impl Metrics {
                 "Response render + write time per request, microseconds.",
                 LATENCY_US_BOUNDS,
             ),
+            build_info: OnceLock::new(),
             registry,
         }
+    }
+
+    /// Records the kernel path this server scores with (first call wins).
+    pub fn set_build_info(&self, simd_backend: &'static str, quant: bool) {
+        let _ = self.build_info.set((simd_backend, quant));
     }
 
     /// Renders the per-server registry followed by the process-wide
     /// [`cohortnet_obs::metrics::global`] registry (discovery + training
     /// families) in Prometheus text exposition format.
     pub fn render_prometheus(&self) -> String {
-        let mut out = self.registry.render();
+        let mut out = String::new();
+        if let Some((simd, quant)) = self.build_info.get() {
+            out.push_str("# HELP cohortnet_build_info Active kernel path (constant 1).\n");
+            out.push_str("# TYPE cohortnet_build_info gauge\n");
+            out.push_str(&format!(
+                "cohortnet_build_info{{simd=\"{simd}\",quant=\"{}\"}} 1\n",
+                if *quant { "on" } else { "off" }
+            ));
+        }
+        out.push_str(&self.registry.render());
         out.push_str(&cohortnet_obs::metrics::global().render());
         out
     }

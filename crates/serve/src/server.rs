@@ -93,6 +93,9 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Batching knobs for the scoring engine.
     pub engine: EngineConfig,
+    /// Score through the int8 quantized trunk ([`cohortnet::quant`])
+    /// instead of the bit-identical-to-training f32 path.
+    pub quant: bool,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +107,7 @@ impl Default for ServerConfig {
             max_connections: 256,
             workers: 0,
             engine: EngineConfig::default(),
+            quant: false,
         }
     }
 }
@@ -153,7 +157,8 @@ pub fn serve(loaded: LoadedModel, cfg: ServerConfig) -> std::io::Result<Server> 
     listener.set_nonblocking(true)?;
 
     let metrics = Arc::new(Metrics::new());
-    let engine = Engine::start(loaded.inferencer(), cfg.engine, Arc::clone(&metrics));
+    let engine = Engine::start_scorer(loaded.scorer(cfg.quant), cfg.engine, Arc::clone(&metrics));
+    metrics.set_build_info(cohortnet_tensor::simd::active().name(), cfg.quant);
     let workers = if cfg.workers == 0 {
         DEFAULT_WORKERS
     } else {
@@ -478,6 +483,11 @@ fn healthz_body(state: &Arc<AppState>) -> String {
         ("time_steps", Json::Num(inf.time_steps() as f64)),
         ("n_labels", Json::Num(inf.n_labels() as f64)),
         ("has_cohorts", Json::Bool(inf.has_cohorts())),
+        (
+            "simd_backend",
+            Json::Str(cohortnet_tensor::simd::active().name().into()),
+        ),
+        ("quant", Json::Bool(state.engine.quantized())),
         ("max_batch", Json::Num(cfg.max_batch as f64)),
         ("max_delay_us", Json::Num(cfg.max_delay_us as f64)),
         ("deadline_ms", Json::Num(cfg.deadline_ms as f64)),

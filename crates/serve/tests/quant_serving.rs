@@ -1,0 +1,185 @@
+//! Serving contract for the SIMD dispatch and the int8 quantized path:
+//!
+//! - `/score` renders bit-identical predictions whichever SIMD backend is
+//!   active (the f32 kernels are 0-ULP across scalar/SSE2/AVX2, and text
+//!   rendering is shortest-round-trip, so text equality is bit equality);
+//! - a `--quant` server scores every request, reports `"quant":true` on
+//!   `/healthz`, and stays reproducible across engine configurations;
+//! - `/healthz` and `/metrics` expose the active kernel backend.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use cohortnet::infer::ScoreRequest;
+use cohortnet::snapshot::load_snapshot;
+use cohortnet_serve::{serve, EngineConfig, ServerConfig};
+use cohortnet_tensor::simd::{set_backend, supported_backends};
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn join(values: &[f32]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn score_body(examples: &[ScoreRequest]) -> String {
+    let instances: Vec<String> = examples
+        .iter()
+        .map(|e| format!("{{\"x\":[{}],\"mask\":[{}]}}", join(&e.x), join(&e.mask)))
+        .collect();
+    format!("{{\"instances\":[{}]}}", instances.join(","))
+}
+
+fn start(snapshot: &str, quant: bool, engine: EngineConfig) -> cohortnet_serve::Server {
+    let loaded = load_snapshot(snapshot).expect("snapshot loads");
+    serve(
+        loaded,
+        ServerConfig {
+            port: 0,
+            quant,
+            engine,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts")
+}
+
+#[test]
+fn score_is_bit_identical_across_simd_backends() {
+    let bundle = cohortnet_serve::demo::demo_bundle();
+    // Both precisions carry a backend-invariance guarantee: f32 by the 0-ULP
+    // kernel contract, int8 by exact integer accumulation.
+    for quant in [false, true] {
+        let mut reference: Option<String> = None;
+        for backend in supported_backends() {
+            assert!(set_backend(backend));
+            let server = start(&bundle.snapshot, quant, EngineConfig::default());
+            let (status, body) = request(
+                server.addr(),
+                "POST",
+                "/score",
+                &score_body(&bundle.examples),
+            );
+            assert_eq!(status, 200, "{body}");
+            match &reference {
+                None => reference = Some(body),
+                Some(want) => assert_eq!(
+                    want,
+                    &body,
+                    "quant={quant}: /score drifted on backend {}",
+                    backend.name()
+                ),
+            }
+            server.shutdown();
+        }
+    }
+}
+
+#[test]
+fn quant_server_scores_and_reports_its_kernel_path() {
+    let bundle = cohortnet_serve::demo::demo_bundle();
+    let server = start(&bundle.snapshot, true, EngineConfig::default());
+    let addr = server.addr();
+
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"quant\":true"), "{body}");
+    let active = cohortnet_tensor::simd::active().name();
+    assert!(
+        body.contains(&format!("\"simd_backend\":\"{active}\"")),
+        "{body}"
+    );
+
+    let (status, body) = request(addr, "POST", "/score", &score_body(&bundle.examples));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"prob\""), "{body}");
+
+    let (status, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains(&format!(
+            "cohortnet_build_info{{simd=\"{active}\",quant=\"on\"}} 1"
+        )),
+        "build info gauge missing: {body}"
+    );
+    server.shutdown();
+
+    // The f32 server reports the same backend with quant off.
+    let server = start(&bundle.snapshot, false, EngineConfig::default());
+    let (status, body) = request(server.addr(), "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"quant\":false"), "{body}");
+    let (status, body) = request(server.addr(), "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains(&format!(
+            "cohortnet_build_info{{simd=\"{active}\",quant=\"off\"}} 1"
+        )),
+        "build info gauge missing: {body}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn quant_scores_are_reproducible_across_engine_configs() {
+    let bundle = cohortnet_serve::demo::demo_bundle();
+    let configs = [
+        EngineConfig {
+            max_batch: 1,
+            max_delay_us: 0,
+            threads: 1,
+            queue_cap: 64,
+            ..EngineConfig::default()
+        },
+        EngineConfig {
+            max_batch: 8,
+            max_delay_us: 1_000,
+            threads: 4,
+            queue_cap: 64,
+            ..EngineConfig::default()
+        },
+    ];
+    let mut reference: Option<String> = None;
+    for cfg in configs {
+        let server = start(&bundle.snapshot, true, cfg);
+        let (status, body) = request(
+            server.addr(),
+            "POST",
+            "/score",
+            &score_body(&bundle.examples),
+        );
+        assert_eq!(status, 200, "{body}");
+        match &reference {
+            None => reference = Some(body),
+            Some(want) => assert_eq!(
+                want, &body,
+                "quant scores differ across engine configs at max_batch={}",
+                cfg.max_batch
+            ),
+        }
+        server.shutdown();
+    }
+}

@@ -31,17 +31,18 @@
 //! The blocked path packs `op(B)` once into K-major `NR`-wide column panels
 //! and walks the output in `MR x NR` register tiles; `op(A)` is packed per
 //! `MR`-row strip into a K-major tile so the micro-kernel's inner loop is a
-//! pure streaming multiply-add over two contiguous buffers. Small products
-//! skip packing entirely and use cache-friendly loop orders chosen per
-//! transpose variant (the chain order is the same either way).
+//! pure streaming multiply-add over two contiguous buffers. The micro-kernel
+//! and the panel width `NR` come from [`crate::simd`]'s runtime-dispatched
+//! backend (AVX2 uses 16-wide panels, SSE2/scalar 8-wide); every backend
+//! honours the same per-element chain, so the choice is invisible in the
+//! output bits. Small products skip packing entirely and use cache-friendly
+//! loop orders chosen per transpose variant (the chain order is the same
+//! either way).
 
 use crate::matrix::Matrix;
+use crate::simd::{self, GemmSpec, MR};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Rows per register tile (micro-kernel height).
-const MR: usize = 4;
-/// Columns per register tile / packed panel width (micro-kernel width).
-const NR: usize = 8;
 /// Output rows handed to one parallel task (multiple of `MR`).
 const ROW_BLOCK: usize = 64;
 /// Below this many multiply-adds the packed path costs more than it saves.
@@ -114,8 +115,10 @@ pub fn gemm_into(ta: bool, tb: bool, a: &Matrix, b: &Matrix, out: &mut Matrix, a
         return;
     }
 
-    // Pack op(B) once into K-major NR-wide panels, shared by every row block.
-    let packed_b = pack_b(b, tb, ka, n);
+    // Pack op(B) once into K-major panels (width set by the active SIMD
+    // backend), shared by every row block.
+    let spec = simd::gemm_spec();
+    let packed_b = pack_b(b, tb, ka, n, spec.nr);
 
     let threads = if work >= PAR_MIN_WORK {
         let blocks = m.div_ceil(ROW_BLOCK);
@@ -127,7 +130,7 @@ pub fn gemm_into(ta: bool, tb: bool, a: &Matrix, b: &Matrix, out: &mut Matrix, a
     let row_chunk = ROW_BLOCK * n;
     if threads <= 1 {
         for (block, chunk) in out.as_mut_slice().chunks_mut(row_chunk).enumerate() {
-            gemm_row_block(ta, a, &packed_b, chunk, block * ROW_BLOCK, n, ka);
+            gemm_row_block(ta, a, &packed_b, chunk, block * ROW_BLOCK, n, ka, spec);
         }
     } else {
         let packed_b = &packed_b;
@@ -135,34 +138,37 @@ pub fn gemm_into(ta: bool, tb: bool, a: &Matrix, b: &Matrix, out: &mut Matrix, a
             threads,
             out.as_mut_slice(),
             row_chunk,
-            |block, chunk| gemm_row_block(ta, a, packed_b, chunk, block * ROW_BLOCK, n, ka),
+            |block, chunk| gemm_row_block(ta, a, packed_b, chunk, block * ROW_BLOCK, n, ka, spec),
         );
     }
 }
 
-/// Packs `op(B)` (K x n) into ceil(n/NR) panels, each K-major and NR floats
-/// wide, zero-padded on the right edge. Panel `p` holds columns
-/// `p*NR .. p*NR+NR`; within a panel, the `k`-th row of NR values is
-/// contiguous, so the micro-kernel streams it with unit stride.
-fn pack_b(b: &Matrix, tb: bool, k_dim: usize, n: usize) -> Vec<f32> {
-    let panels = n.div_ceil(NR);
-    let mut packed = vec![0.0f32; panels * k_dim * NR];
+/// Packs `op(B)` (K x n) into ceil(n/panel_nr) panels, each K-major and
+/// `panel_nr` floats wide, zero-padded on the right edge. Panel `p` holds
+/// columns `p*panel_nr .. (p+1)*panel_nr`; within a panel, the `k`-th row of
+/// `panel_nr` values is contiguous, so the micro-kernel streams it with unit
+/// stride. The width comes from the active backend's [`GemmSpec`]; packing
+/// layout never affects the per-element chains, so backends with different
+/// widths remain bit-identical.
+fn pack_b(b: &Matrix, tb: bool, k_dim: usize, n: usize, panel_nr: usize) -> Vec<f32> {
+    let panels = n.div_ceil(panel_nr);
+    let mut packed = vec![0.0f32; panels * k_dim * panel_nr];
     for p in 0..panels {
-        let j0 = p * NR;
-        let nr = NR.min(n - j0);
-        let panel = &mut packed[p * k_dim * NR..(p + 1) * k_dim * NR];
+        let j0 = p * panel_nr;
+        let nr = panel_nr.min(n - j0);
+        let panel = &mut packed[p * k_dim * panel_nr..(p + 1) * k_dim * panel_nr];
         if tb {
             // op(B)[k][j] = B[j][k]: walk B rows j0..j0+nr once each.
             for j in 0..nr {
                 let src = b.row(j0 + j);
                 for k in 0..k_dim {
-                    panel[k * NR + j] = src[k];
+                    panel[k * panel_nr + j] = src[k];
                 }
             }
         } else {
             for k in 0..k_dim {
                 let src = &b.row(k)[j0..j0 + nr];
-                panel[k * NR..k * NR + nr].copy_from_slice(src);
+                panel[k * panel_nr..k * panel_nr + nr].copy_from_slice(src);
             }
         }
     }
@@ -172,6 +178,7 @@ fn pack_b(b: &Matrix, tb: bool, k_dim: usize, n: usize) -> Vec<f32> {
 /// Computes one ROW_BLOCK-rows slice of the output against all packed panels.
 /// `chunk` is the row-major output storage for rows `i0 ..` (its length
 /// determines how many rows this block really has).
+#[allow(clippy::too_many_arguments)]
 fn gemm_row_block(
     ta: bool,
     a: &Matrix,
@@ -180,20 +187,22 @@ fn gemm_row_block(
     i0: usize,
     n: usize,
     k_dim: usize,
+    spec: GemmSpec,
 ) {
     debug_assert_eq!(chunk.len() % n, 0);
     let block_rows = chunk.len() / n;
-    let panels = n.div_ceil(NR);
+    let panel_nr = spec.nr;
+    let panels = n.div_ceil(panel_nr);
     let mut a_tile = vec![0.0f32; k_dim * MR];
     let mut strip = 0;
     while strip < block_rows {
         let mr = MR.min(block_rows - strip);
         pack_a_strip(a, ta, i0 + strip, mr, k_dim, &mut a_tile);
         for p in 0..panels {
-            let j0 = p * NR;
-            let nr = NR.min(n - j0);
-            let panel = &packed_b[p * k_dim * NR..(p + 1) * k_dim * NR];
-            microkernel(
+            let j0 = p * panel_nr;
+            let nr = panel_nr.min(n - j0);
+            let panel = &packed_b[p * k_dim * panel_nr..(p + 1) * k_dim * panel_nr];
+            (spec.kernel)(
                 k_dim,
                 &a_tile,
                 panel,
@@ -227,40 +236,6 @@ fn pack_a_strip(a: &Matrix, ta: bool, i0: usize, mr: usize, k_dim: usize, tile: 
             }
             dst[mr..].fill(0.0);
         }
-    }
-}
-
-/// The MR x NR register tile. Loads the live C sub-tile, streams the packed
-/// operands over the full K extent in increasing-k order (one chain per
-/// element — the determinism contract), and stores the live region back.
-#[inline(always)]
-fn microkernel(
-    k_dim: usize,
-    a_tile: &[f32],
-    b_panel: &[f32],
-    c: &mut [f32],
-    ldc: usize,
-    mr: usize,
-    nr: usize,
-) {
-    let mut acc = [[0.0f32; NR]; MR];
-    for i in 0..mr {
-        let c_row = &c[i * ldc..i * ldc + nr];
-        acc[i][..nr].copy_from_slice(c_row);
-    }
-    for k in 0..k_dim {
-        let a_col = &a_tile[k * MR..k * MR + MR];
-        let b_row = &b_panel[k * NR..k * NR + NR];
-        for i in 0..MR {
-            let a_ik = a_col[i];
-            for j in 0..NR {
-                acc[i][j] += a_ik * b_row[j];
-            }
-        }
-    }
-    for i in 0..mr {
-        let c_row = &mut c[i * ldc..i * ldc + nr];
-        c_row.copy_from_slice(&acc[i][..nr]);
     }
 }
 
@@ -433,6 +408,24 @@ mod tests {
             assert_bits_equal(&out, &reference, &format!("threads={threads}"));
         }
         set_gemm_threads(1);
+    }
+
+    #[test]
+    fn every_backend_matches_naive_bitwise() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        // Large enough for the packed path, ragged against both the 8-wide
+        // and 16-wide panel edges.
+        let a = random_matrix(&mut rng, 70, 45);
+        let b = random_matrix(&mut rng, 45, 37);
+        let want = naive(false, false, &a, &b, None);
+        let before = crate::simd::active();
+        for backend in crate::simd::supported_backends() {
+            assert!(crate::simd::set_backend(backend));
+            let mut out = Matrix::zeros(70, 37);
+            gemm_into(false, false, &a, &b, &mut out, false);
+            assert_bits_equal(&out, &want, &format!("backend={}", backend.name()));
+        }
+        crate::simd::set_backend(before);
     }
 
     #[test]

@@ -70,15 +70,21 @@ fn gate(a: &Matrix, b: &Matrix, bias: &Matrix, act: impl Fn(f32) -> f32) -> Matr
     assert_eq!(bias.rows(), 1, "gate bias must be a row vector");
     assert_eq!(bias.cols(), a.cols(), "gate bias width mismatch");
     let bias_row = bias.row(0);
-    let mut buf = Vec::with_capacity(a.rows() * a.cols());
+    // The pre-activation `(x + y) + c` is SIMD-dispatched (lane-per-element,
+    // scalar add order — bit-identical across backends); the transcendental
+    // stays scalar libm so its bits match the tape kernel exactly.
+    let mut buf = vec![0.0f32; a.rows() * a.cols()];
+    let cols = a.cols();
     for r in 0..a.rows() {
-        buf.extend(
-            a.row(r)
-                .iter()
-                .zip(b.row(r))
-                .zip(bias_row)
-                .map(|((&x, &y), &c)| act(x + y + c)),
+        crate::simd::add3(
+            &mut buf[r * cols..(r + 1) * cols],
+            a.row(r),
+            b.row(r),
+            bias_row,
         );
+    }
+    for p in buf.iter_mut() {
+        *p = act(*p);
     }
     Matrix::from_vec(a.rows(), a.cols(), buf)
 }
@@ -88,13 +94,8 @@ fn gate(a: &Matrix, b: &Matrix, bias: &Matrix, act: impl Fn(f32) -> f32) -> Matr
 pub fn gru_blend(z: &Matrix, h: &Matrix, cand: &Matrix) -> Matrix {
     assert_eq!(z.shape(), h.shape(), "blend shape mismatch");
     assert_eq!(z.shape(), cand.shape(), "blend shape mismatch");
-    let buf = z
-        .as_slice()
-        .iter()
-        .zip(h.as_slice())
-        .zip(cand.as_slice())
-        .map(|((&zi, &hi), &ci)| (1.0 - zi) * hi + zi * ci)
-        .collect();
+    let mut buf = vec![0.0f32; z.rows() * z.cols()];
+    crate::simd::gru_blend_slices(&mut buf, z.as_slice(), h.as_slice(), cand.as_slice());
     Matrix::from_vec(z.rows(), z.cols(), buf)
 }
 
@@ -166,6 +167,39 @@ mod tests {
                 assert_eq!(g.to_bits(), w.to_bits(), "op {i} drifted");
             }
         }
+    }
+
+    /// The fused gate/blend mirrors are bit-identical under every SIMD
+    /// backend the host supports (including ragged row widths).
+    #[test]
+    fn gate_kernels_bit_identical_across_backends() {
+        let a = m(5, 19, 7);
+        let b = m(5, 19, 8);
+        let bias = m(1, 19, 9);
+        let z = sigmoid(&a);
+        let cand = tanh(&b);
+
+        let before = crate::simd::active();
+        assert!(crate::simd::set_backend(crate::simd::Backend::Scalar));
+        let want = [
+            gate_sigmoid(&a, &b, &bias),
+            gate_tanh(&a, &b, &bias),
+            gru_blend(&z, &a, &cand),
+        ];
+        for backend in crate::simd::supported_backends() {
+            assert!(crate::simd::set_backend(backend));
+            let got = [
+                gate_sigmoid(&a, &b, &bias),
+                gate_tanh(&a, &b, &bias),
+                gru_blend(&z, &a, &cand),
+            ];
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                for (gv, wv) in g.as_slice().iter().zip(w.as_slice()) {
+                    assert_eq!(gv.to_bits(), wv.to_bits(), "op {i} drifted on {backend:?}");
+                }
+            }
+        }
+        crate::simd::set_backend(before);
     }
 
     /// `Matrix::matmul` (fresh, non-accumulating) equals the tape's

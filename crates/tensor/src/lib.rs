@@ -50,6 +50,8 @@ pub mod matrix;
 pub mod nn;
 pub mod optim;
 pub mod param;
+pub mod quant;
+pub mod simd;
 pub mod tape;
 
 pub use matrix::Matrix;

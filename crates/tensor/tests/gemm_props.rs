@@ -14,6 +14,7 @@
 //! caught: skipping a `+ 0.0 * b` term changes `-0.0` outcomes and rounding.
 
 use cohortnet_tensor::gemm::{gemm_into, set_gemm_threads};
+use cohortnet_tensor::simd::{set_backend, supported_backends};
 use cohortnet_tensor::Matrix;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -127,11 +128,20 @@ proptest! {
         set_gemm_threads(1);
         let mut base = Matrix::zeros(m, n);
         gemm_into(ta, tb, &a, &b, &mut base, false);
-        for threads in [2usize, 4, 8] {
-            set_gemm_threads(threads);
-            let mut out = Matrix::zeros(m, n);
-            gemm_into(ta, tb, &a, &b, &mut out, false);
-            assert_bits_equal(&out, &base, &format!("threads={threads}"))?;
+        // Neither thread count nor SIMD backend may change a bit — sweep the
+        // cross product against the sequential result.
+        for backend in supported_backends() {
+            prop_assert!(set_backend(backend));
+            for threads in [1usize, 2, 4, 8] {
+                set_gemm_threads(threads);
+                let mut out = Matrix::zeros(m, n);
+                gemm_into(ta, tb, &a, &b, &mut out, false);
+                assert_bits_equal(
+                    &out,
+                    &base,
+                    &format!("backend={} threads={threads}", backend.name()),
+                )?;
+            }
         }
         set_gemm_threads(1);
     }
@@ -189,7 +199,7 @@ fn check_variant(
     let ((am, ak), (bm, bk)) = operand_shapes(ta, tb, m, k, n);
     let a = fill(am, ak, &mut rng);
     let b = fill(bm, bk, &mut rng);
-    let mut out = if accumulate {
+    let out = if accumulate {
         fill(m, n, &mut rng)
     } else {
         Matrix::zeros(m, n)
@@ -200,10 +210,19 @@ fn check_variant(
         Matrix::zeros(m, n)
     };
     naive(ta, tb, &a, &b, &mut want, k);
-    gemm_into(ta, tb, &a, &b, &mut out, accumulate);
-    assert_bits_equal(
-        &out,
-        &want,
-        &format!("m={m} k={k} n={n} ta={ta} tb={tb} acc={accumulate}"),
-    )
+    // Every supported SIMD backend must hit the same naive chain bitwise.
+    for backend in supported_backends() {
+        prop_assert!(set_backend(backend));
+        let mut got = out.clone();
+        gemm_into(ta, tb, &a, &b, &mut got, accumulate);
+        assert_bits_equal(
+            &got,
+            &want,
+            &format!(
+                "m={m} k={k} n={n} ta={ta} tb={tb} acc={accumulate} backend={}",
+                backend.name()
+            ),
+        )?;
+    }
+    Ok(())
 }
