@@ -1,12 +1,12 @@
 CARGO ?= cargo
 
-.PHONY: verify build test test-scalar clippy fmt bench-discovery bench-smoke serve-smoke trace-smoke chaos-smoke load-smoke
+.PHONY: verify build test test-scalar clippy fmt bench-discovery bench-smoke serve-smoke trace-smoke chaos-smoke load-smoke fleet-smoke
 
 ## Seeds the chaos harness runs at (CI runs all three and uploads the logs).
 CHAOS_SEEDS ?= 42 7 1234
 
 ## Full local verification: what CI runs, in the same order.
-verify: build test test-scalar clippy fmt
+verify: build test test-scalar clippy fmt fleet-smoke
 
 build:
 	$(CARGO) build --release
@@ -66,6 +66,17 @@ chaos-smoke:
 ## target after bench-smoke and the merge keeps both sections.
 load-smoke:
 	COHORTNET_FAST=1 $(CARGO) run --release -p cohortnet-bench --bin serve_load
+
+## Fleet acceptance smoke: boots a 3-replica router on the demo model and
+## proves (in release mode, open-loop load on 1000 connections) that a
+## mid-run snapshot hot-swap and a chaos replica kill complete with zero
+## dropped and zero non-2xx requests, canary bit-identity before the flip,
+## and post-swap scores bit-identical to a cold server — plus rejection of
+## a poisoned artifact and a live f32 -> int8 scheme swap. Narration goes
+## to target/FLEET_SMOKE.log and the runs merge into the "fleet" section
+## of BENCH_serve.json (both uploaded by CI).
+fleet-smoke:
+	COHORTNET_FAST=1 $(CARGO) run --release -p cohortnet-bench --bin fleet_smoke
 
 ## Span-tracing smoke: trains a tiny pipeline with COHORTNET_TRACE set,
 ## then asserts trace.json is valid Chrome trace event JSON containing the

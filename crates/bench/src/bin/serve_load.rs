@@ -7,9 +7,8 @@
 //! offered load), this harness schedules request arrival times up front
 //! from a seeded exponential inter-arrival process and measures every
 //! latency from the *scheduled* arrival, not from the moment the socket
-//! write happened. A server that falls behind therefore shows up as
-//! queueing delay in p99 instead of being laundered out of the numbers
-//! (the coordinated-omission trap).
+//! write happened — the coordinated-omission trap. The event loop itself
+//! lives in [`cohortnet_bench::openloop`], shared with `fleet_smoke`.
 //!
 //! Three profiles run against in-process demo servers:
 //!
@@ -20,360 +19,28 @@
 //!   and once paying connect + teardown per request. The ratio is the
 //!   keep-alive win at equal concurrency.
 //!
-//! Client sockets are driven nonblocking off the same
-//! [`cohortnet_serve::reactor::Poller`] the server uses, so thousands of
-//! idle connections cost one fd each, not one thread each.
-//!
 //! Results merge into `BENCH_serve.json` under an `"open_loop"` key,
-//! preserving whatever `serve_throughput` already wrote there.
+//! preserving whatever `serve_throughput` already wrote there. Every run
+//! entry is tagged `topology: "single"` / `scheme: "plain"` so the fleet
+//! numbers `fleet_smoke` records alongside never overwrite the
+//! single-process trajectory.
 //!
 //! Run: `cargo run --release -p cohortnet-bench --bin serve_load`
 //! (`COHORTNET_FAST=1` shrinks rates and durations for smoke runs but
 //! keeps the 1000-connection profile — idle sockets are cheap.)
 
-use std::collections::VecDeque;
-use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpStream};
-use std::os::fd::AsRawFd;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use cohortnet::infer::ScoreRequest;
 use cohortnet::snapshot::load_snapshot;
 use cohortnet_bench::fast;
+use cohortnet_bench::openloop::{self, Mode, Profile, RunResult};
 use cohortnet_bench::report::render_table;
-use cohortnet_serve::client::try_parse_response;
 use cohortnet_serve::json::{self, Json};
-use cohortnet_serve::reactor::{raise_nofile_limit, Event, Interest, Poller};
+use cohortnet_serve::reactor::raise_nofile_limit;
 use cohortnet_serve::{demo, serve, ServerConfig};
-use rand::{Rng, SeedableRng, StdRng};
 
 /// Seed for the arrival process; fixed so runs are comparable.
 const SEED: u64 = 42;
-
-/// Hard wall-clock ceiling past the scheduled end before a run aborts.
-const DRAIN_CEILING: Duration = Duration::from_secs(30);
-
-#[derive(Clone, Copy, PartialEq)]
-enum Mode {
-    KeepAlive,
-    ClosePerRequest,
-}
-
-struct Profile {
-    name: &'static str,
-    mode: Mode,
-    conns: usize,
-    target_rps: f64,
-    duration: Duration,
-    method: &'static str,
-    path: &'static str,
-    /// Request bodies cycled round-robin (empty slice = empty body).
-    bodies: Vec<String>,
-}
-
-/// One client connection slot.
-struct Conn {
-    stream: TcpStream,
-    token: u64,
-    out: Vec<u8>,
-    out_pos: usize,
-    inbuf: Vec<u8>,
-    /// Scheduled arrival of the request in flight, `None` when idle.
-    sched: Option<Instant>,
-    interest: Interest,
-}
-
-#[derive(Default)]
-struct Tally {
-    completed: usize,
-    /// 2xx responses.
-    ok: usize,
-    /// Retryable backpressure (429/503).
-    rejected: usize,
-    /// Any other status.
-    errors: usize,
-    /// Requests lost to a connection dying mid-flight, plus anything
-    /// still unanswered if the drain ceiling aborts the run.
-    dropped: usize,
-    latencies_us: Vec<u64>,
-}
-
-struct RunResult {
-    name: &'static str,
-    mode: &'static str,
-    conns: usize,
-    target_rps: f64,
-    achieved_rps: f64,
-    completed: usize,
-    ok: usize,
-    rejected: usize,
-    errors: usize,
-    dropped: usize,
-    p50_us: u64,
-    p99_us: u64,
-}
-
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
-    sorted[idx]
-}
-
-fn score_body(e: &ScoreRequest) -> String {
-    let join = |v: &[f32]| {
-        v.iter()
-            .map(|x| format!("{x}"))
-            .collect::<Vec<_>>()
-            .join(",")
-    };
-    format!(
-        "{{\"instances\":[{{\"x\":[{}],\"mask\":[{}]}}]}}",
-        join(&e.x),
-        join(&e.mask)
-    )
-}
-
-enum ReadStep {
-    /// A full response arrived; its status code.
-    Done(u16),
-    NeedMore,
-    Broken,
-}
-
-/// All mutable state of one profile run. Connections live in fixed
-/// slots; each reconnect bumps the slot's generation so the poller token
-/// (`gen * conns + slot`) of a dead socket can never alias a live one.
-struct Harness<'p> {
-    profile: &'p Profile,
-    addr: SocketAddr,
-    poller: Poller,
-    conns: Vec<Option<Conn>>,
-    gens: Vec<u64>,
-    idle: VecDeque<usize>,
-    tally: Tally,
-    in_flight: usize,
-    body_cursor: usize,
-}
-
-impl<'p> Harness<'p> {
-    fn new(profile: &'p Profile, addr: SocketAddr) -> Harness<'p> {
-        let mut h = Harness {
-            profile,
-            addr,
-            poller: Poller::new().expect("poller"),
-            conns: (0..profile.conns).map(|_| None).collect(),
-            gens: vec![0; profile.conns],
-            idle: VecDeque::new(),
-            tally: Tally::default(),
-            in_flight: 0,
-            body_cursor: 0,
-        };
-        for slot in 0..profile.conns {
-            h.reconnect(slot);
-            h.idle.push_back(slot);
-        }
-        h
-    }
-
-    /// Opens a fresh socket in `slot` under a new token. On failure the
-    /// slot is left empty and skipped at dispatch time.
-    fn reconnect(&mut self, slot: usize) {
-        if let Some(old) = self.conns[slot].take() {
-            let _ = self.poller.deregister(old.stream.as_raw_fd());
-        }
-        self.gens[slot] += 1;
-        let token = self.gens[slot] * self.profile.conns as u64 + slot as u64;
-        // Loopback connects complete in microseconds; the cost still lands
-        // inside the measured window for close-per-request mode, which is
-        // exactly the overhead that mode exists to expose.
-        let stream = match TcpStream::connect(self.addr) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("[serve_load] reconnect failed on slot {slot}: {e}");
-                return;
-            }
-        };
-        stream.set_nodelay(true).expect("nodelay");
-        stream.set_nonblocking(true).expect("nonblocking");
-        if self
-            .poller
-            .register(stream.as_raw_fd(), token, Interest::NONE)
-            .is_err()
-        {
-            return;
-        }
-        self.conns[slot] = Some(Conn {
-            stream,
-            token,
-            out: Vec::new(),
-            out_pos: 0,
-            inbuf: Vec::new(),
-            sched: None,
-            interest: Interest::NONE,
-        });
-    }
-
-    fn set_interest(&mut self, slot: usize, interest: Interest) {
-        let conn = self.conns[slot].as_mut().expect("conn present");
-        if conn.interest != interest {
-            self.poller
-                .modify(conn.stream.as_raw_fd(), conn.token, interest)
-                .expect("modify interest");
-            conn.interest = interest;
-        }
-    }
-
-    /// Writes as much pending output as the socket accepts; returns
-    /// `false` if the connection broke.
-    fn pump_write(&mut self, slot: usize) -> bool {
-        let conn = self.conns[slot].as_mut().expect("conn present");
-        while conn.out_pos < conn.out.len() {
-            match conn.stream.write(&conn.out[conn.out_pos..]) {
-                Ok(0) => return false,
-                Ok(n) => conn.out_pos += n,
-                Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
-                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(_) => return false,
-            }
-        }
-        true
-    }
-
-    fn pump_read(&mut self, slot: usize) -> ReadStep {
-        let conn = self.conns[slot].as_mut().expect("conn present");
-        let mut chunk = [0u8; 16 << 10];
-        let mut saw_eof = false;
-        loop {
-            match conn.stream.read(&mut chunk) {
-                Ok(0) => {
-                    saw_eof = true;
-                    break;
-                }
-                Ok(n) => conn.inbuf.extend_from_slice(&chunk[..n]),
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-                Err(_) => return ReadStep::Broken,
-            }
-        }
-        match try_parse_response(&conn.inbuf) {
-            Ok(Some((resp, consumed))) => {
-                conn.inbuf.drain(..consumed);
-                ReadStep::Done(resp.status)
-            }
-            Ok(None) if saw_eof => ReadStep::Broken,
-            Ok(None) => ReadStep::NeedMore,
-            Err(_) => ReadStep::Broken,
-        }
-    }
-
-    /// Starts the request scheduled at `sched` on the idle conn `slot`.
-    fn start_request(&mut self, slot: usize, sched: Instant) {
-        let body = if self.profile.bodies.is_empty() {
-            ""
-        } else {
-            self.body_cursor = (self.body_cursor + 1) % self.profile.bodies.len();
-            &self.profile.bodies[self.body_cursor]
-        };
-        let close = match self.profile.mode {
-            Mode::KeepAlive => "",
-            Mode::ClosePerRequest => "Connection: close\r\n",
-        };
-        let out = format!(
-            "{} {} HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\n{}\r\n{}",
-            self.profile.method,
-            self.profile.path,
-            body.len(),
-            close,
-            body
-        )
-        .into_bytes();
-        {
-            let conn = self.conns[slot].as_mut().expect("conn present");
-            conn.out = out;
-            conn.out_pos = 0;
-            conn.sched = Some(sched);
-        }
-        self.in_flight += 1;
-        if self.pump_write(slot) {
-            let conn = self.conns[slot].as_ref().expect("conn present");
-            let want = if conn.out_pos < conn.out.len() {
-                Interest::WRITE
-            } else {
-                Interest::READ
-            };
-            self.set_interest(slot, want);
-        } else {
-            self.fail_request(slot);
-        }
-    }
-
-    /// Drops a broken in-flight request and readies a replacement socket.
-    fn fail_request(&mut self, slot: usize) {
-        self.tally.dropped += 1;
-        self.in_flight -= 1;
-        self.reconnect(slot);
-        self.idle.push_back(slot);
-    }
-
-    /// Records a completed response and recycles the connection per mode.
-    fn finish_request(&mut self, slot: usize, status: u16) {
-        let conn = self.conns[slot].as_mut().expect("conn present");
-        let sched = conn.sched.take().expect("request in flight");
-        let lat = Instant::now().saturating_duration_since(sched);
-        self.tally.latencies_us.push(lat.as_micros() as u64);
-        self.tally.completed += 1;
-        self.in_flight -= 1;
-        match status {
-            200..=299 => self.tally.ok += 1,
-            429 | 503 => self.tally.rejected += 1,
-            _ => self.tally.errors += 1,
-        }
-        match self.profile.mode {
-            Mode::KeepAlive => self.set_interest(slot, Interest::NONE),
-            Mode::ClosePerRequest => self.reconnect(slot),
-        }
-        self.idle.push_back(slot);
-    }
-
-    fn handle_event(&mut self, ev: &Event) {
-        let slot = (ev.token % self.profile.conns as u64) as usize;
-        let Some(conn) = self.conns[slot].as_ref() else {
-            return;
-        };
-        if conn.token != ev.token {
-            return; // stale event for a socket this slot already replaced
-        }
-        if conn.sched.is_none() {
-            // An idle keep-alive conn the server hung up on (e.g. its idle
-            // timeout); replace it so the slot stays usable and the
-            // level-triggered HUP stops firing.
-            if ev.closed {
-                self.reconnect(slot);
-            }
-            return;
-        }
-        if ev.writable && conn.out_pos < conn.out.len() {
-            if !self.pump_write(slot) {
-                self.fail_request(slot);
-                return;
-            }
-            let conn = self.conns[slot].as_ref().expect("conn present");
-            if conn.out_pos >= conn.out.len() {
-                self.set_interest(slot, Interest::READ);
-            }
-        }
-        if ev.readable || ev.closed {
-            match self.pump_read(slot) {
-                ReadStep::Done(status) => self.finish_request(slot, status),
-                ReadStep::NeedMore => {}
-                ReadStep::Broken => self.fail_request(slot),
-            }
-        }
-    }
-}
 
 /// Runs one open-loop profile against a fresh in-process demo server.
 fn run_profile(profile: &Profile, snapshot: &str) -> RunResult {
@@ -387,101 +54,9 @@ fn run_profile(profile: &Profile, snapshot: &str) -> RunResult {
         },
     )
     .expect("server starts");
-
-    // Precompute the Poisson arrival schedule: exponential inter-arrival
-    // gaps at the target rate, fixed seed, so every run offers the same
-    // load pattern.
-    let mut rng = StdRng::seed_from_u64(SEED);
-    let mut offsets = Vec::new();
-    let mut t = 0.0f64;
-    while t < profile.duration.as_secs_f64() {
-        let u: f64 = rng.next_f64();
-        t += -(1.0 - u).ln() / profile.target_rps;
-        offsets.push(t);
-    }
-
-    let mut h = Harness::new(profile, server.addr());
-    h.tally.latencies_us.reserve(offsets.len());
-    let mut waiting: VecDeque<Instant> = VecDeque::new();
-    let mut events: Vec<Event> = Vec::new();
-    let mut next = 0usize;
-
-    let t0 = Instant::now();
-    let schedule: Vec<Instant> = offsets
-        .iter()
-        .map(|s| t0 + Duration::from_secs_f64(*s))
-        .collect();
-    let abort_at = t0 + profile.duration + DRAIN_CEILING;
-
-    loop {
-        let now = Instant::now();
-        while next < schedule.len() && schedule[next] <= now {
-            waiting.push_back(schedule[next]);
-            next += 1;
-        }
-        // Hand due arrivals to idle connections. When none are idle the
-        // arrival waits here with its original timestamp — that queueing
-        // time is part of its measured latency.
-        while !waiting.is_empty() {
-            let Some(slot) = h.idle.pop_front() else {
-                break;
-            };
-            if h.conns[slot].is_none() {
-                continue; // reconnect failed earlier; slot leaves rotation
-            }
-            let sched = waiting.pop_front().expect("nonempty");
-            h.start_request(slot, sched);
-        }
-
-        if next == schedule.len() && h.in_flight == 0 && waiting.is_empty() {
-            break;
-        }
-        if now > abort_at {
-            eprintln!(
-                "[serve_load] {}: aborting drain with {} in flight, {} unsent",
-                profile.name,
-                h.in_flight,
-                waiting.len() + (schedule.len() - next)
-            );
-            h.tally.dropped += h.in_flight + waiting.len() + (schedule.len() - next);
-            break;
-        }
-
-        let timeout = if next < schedule.len() {
-            schedule[next]
-                .saturating_duration_since(now)
-                .min(Duration::from_millis(10))
-        } else {
-            Duration::from_millis(5)
-        };
-        h.poller.wait(&mut events, Some(timeout)).expect("poll");
-        let batch: Vec<Event> = events.drain(..).collect();
-        for ev in &batch {
-            h.handle_event(ev);
-        }
-    }
-    let wall = t0.elapsed().as_secs_f64();
+    let result = openloop::run(profile, server.addr(), SEED);
     server.shutdown();
-
-    h.tally.latencies_us.sort_unstable();
-    let tally = h.tally;
-    RunResult {
-        name: profile.name,
-        mode: match profile.mode {
-            Mode::KeepAlive => "keepalive",
-            Mode::ClosePerRequest => "close",
-        },
-        conns: profile.conns,
-        target_rps: profile.target_rps,
-        achieved_rps: tally.completed as f64 / wall,
-        completed: tally.completed,
-        ok: tally.ok,
-        rejected: tally.rejected,
-        errors: tally.errors,
-        dropped: tally.dropped,
-        p50_us: percentile(&tally.latencies_us, 0.50),
-        p99_us: percentile(&tally.latencies_us, 0.99),
-    }
+    result
 }
 
 fn num(v: f64) -> Json {
@@ -489,35 +64,10 @@ fn num(v: f64) -> Json {
 }
 
 /// Adds/replaces the `"open_loop"` section of `BENCH_serve.json`,
-/// keeping whatever else (the closed-loop `serve` section) is there.
+/// keeping whatever else is there (the closed-loop `serve` section from
+/// `serve_throughput`, the `fleet` section from `fleet_smoke`).
 fn merge_into_bench_json(results: &[RunResult], rps_ratio: f64, p99_ratio: f64) {
-    let path = "BENCH_serve.json";
-    let mut root = match std::fs::read_to_string(path) {
-        Ok(text) => json::parse(&text).unwrap_or(Json::Obj(Default::default())),
-        Err(_) => Json::Obj(Default::default()),
-    };
-    let runs: Vec<Json> = results
-        .iter()
-        .map(|r| {
-            json::obj(vec![
-                ("profile", Json::Str(r.name.to_string())),
-                ("mode", Json::Str(r.mode.to_string())),
-                ("conns", num(r.conns as f64)),
-                ("target_rps", num(r.target_rps)),
-                (
-                    "achieved_rps",
-                    num((r.achieved_rps * 1000.0).round() / 1000.0),
-                ),
-                ("completed", num(r.completed as f64)),
-                ("ok", num(r.ok as f64)),
-                ("rejected", num(r.rejected as f64)),
-                ("errors", num(r.errors as f64)),
-                ("dropped", num(r.dropped as f64)),
-                ("p50_us", num(r.p50_us as f64)),
-                ("p99_us", num(r.p99_us as f64)),
-            ])
-        })
-        .collect();
+    let runs: Vec<Json> = results.iter().map(openloop::run_json).collect();
     let open_loop = json::obj(vec![
         ("seed", num(SEED as f64)),
         ("fast", Json::Bool(fast())),
@@ -531,15 +81,7 @@ fn merge_into_bench_json(results: &[RunResult], rps_ratio: f64, p99_ratio: f64) 
             num((p99_ratio * 1000.0).round() / 1000.0),
         ),
     ]);
-    if let Json::Obj(map) = &mut root {
-        map.insert("open_loop".to_string(), open_loop);
-    } else {
-        root = json::obj(vec![("open_loop", open_loop)]);
-    }
-    match std::fs::write(path, json::render(&root) + "\n") {
-        Ok(()) => eprintln!("[serve_load] merged open_loop into {path}"),
-        Err(e) => eprintln!("[serve_load] could not write {path}: {e}"),
-    }
+    openloop::merge_section("BENCH_serve.json", "open_loop", open_loop);
 }
 
 fn main() {
@@ -555,7 +97,7 @@ fn main() {
 
     eprintln!("[serve_load] training demo model...");
     let bundle = demo::demo_bundle();
-    let bodies: Vec<String> = bundle.examples.iter().map(score_body).collect();
+    let bodies: Vec<String> = bundle.examples.iter().map(openloop::score_body).collect();
 
     // The 1000-connection profile stays at 1000 even in FAST mode: idle
     // keep-alive sockets are nearly free under the readiness loop, and
@@ -584,6 +126,8 @@ fn main() {
             method: "POST",
             path: "/score",
             bodies: bodies.clone(),
+            topology: "single",
+            scheme: "plain",
         },
         Profile {
             name: "keepalive_healthz",
@@ -594,6 +138,8 @@ fn main() {
             method: "GET",
             path: "/healthz",
             bodies: Vec::new(),
+            topology: "single",
+            scheme: "plain",
         },
         Profile {
             name: "close_healthz",
@@ -604,6 +150,8 @@ fn main() {
             method: "GET",
             path: "/healthz",
             bodies: Vec::new(),
+            topology: "single",
+            scheme: "plain",
         },
     ];
 

@@ -77,7 +77,7 @@ fn main() {
         "par.map",
     ] {
         assert!(
-            names.iter().any(|n| *n == want),
+            names.contains(&want),
             "span {want} missing from trace; got: {names:?}"
         );
     }

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod datasets;
+pub mod openloop;
 pub mod registry;
 pub mod report;
 

@@ -3,8 +3,11 @@
 //! Deterministic, seeded fault injection for the CohortNet workspace.
 //!
 //! Production code is sprinkled with named *injection sites* — e.g.
-//! `infer.worker` at the top of the inference forward pass, or
-//! `engine.enqueue.reject` in the request queue. A site is one call to
+//! `infer.worker` at the top of the inference forward pass,
+//! `engine.enqueue.reject` in the request queue, or the fleet router's
+//! `fleet.replica.kill` (argument selects the replica to take down) and
+//! `fleet.reload.corrupt` (flips a byte of the snapshot read during
+//! `/admin/reload`). A site is one call to
 //! [`fires`] (or a convenience wrapper such as [`panic_if_fires`] /
 //! [`delay_ms_if_fires`]). With no plan installed the whole crate is inert
 //! and every site costs **one relaxed atomic load** — the same overhead

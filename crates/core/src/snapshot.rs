@@ -89,9 +89,19 @@ pub struct LoadedModel {
     /// section — `None` for pre-quant snapshots and for quant payloads
     /// whose scheme this build does not implement (both serve f32).
     pub quant: Option<QuantTable>,
+    /// FNV-1a-64 over the full snapshot text this model was loaded from.
+    /// Surfaced on `/healthz` (and per replica by the fleet router) so an
+    /// operator can tell which artifact a process is actually serving.
+    pub fingerprint: u64,
 }
 
 impl LoadedModel {
+    /// The snapshot fingerprint as the 16-hex-digit string `/healthz`
+    /// reports.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint)
+    }
+
     /// Compiles the loaded model into a tape-free [`Inferencer`].
     pub fn inferencer(&self) -> Inferencer {
         Inferencer::compile(&self.model, &self.params, self.time_steps)
@@ -205,7 +215,10 @@ impl std::fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
-fn fnv64(bytes: &[u8]) -> u64 {
+/// FNV-1a-64 of a byte string — the hash behind section checksums, the
+/// snapshot fingerprint on `/healthz`, and the fleet router's consistent
+/// hash ring.
+pub fn fnv64(bytes: &[u8]) -> u64 {
     let mut h = Fnv1a64::default();
     h.write(bytes);
     h.finish()
@@ -597,6 +610,7 @@ pub fn load_snapshot(text: &str) -> Result<LoadedModel, SnapshotError> {
 }
 
 fn load_snapshot_inner(text: &str) -> Result<LoadedModel, SnapshotError> {
+    let fingerprint = fnv64(text.as_bytes());
     let (sections, quant_payload) = split_sections(text)?;
     // Parse the optional quant section first so a scheme from the future
     // downgrades to f32 (warn, not error) while structural breakage still
@@ -655,6 +669,7 @@ fn load_snapshot_inner(text: &str) -> Result<LoadedModel, SnapshotError> {
             scaler,
             time_steps,
             quant,
+            fingerprint,
         });
     }
     if nones != 0 {
@@ -730,5 +745,6 @@ fn load_snapshot_inner(text: &str) -> Result<LoadedModel, SnapshotError> {
         scaler,
         time_steps,
         quant,
+        fingerprint,
     })
 }

@@ -1,0 +1,262 @@
+//! Per-replica health as a small explicit state machine.
+//!
+//! The router samples each replica's own serving counters (restarts,
+//! rescues, failed rows) after every dispatch; a fault is either a failed
+//! call or a counter moving. The machine is deliberately pure — no clocks,
+//! no I/O — so every transition is unit-testable and a chaos run with a
+//! fixed seed walks a reproducible health trajectory:
+//!
+//! ```text
+//! healthy --eject_after consecutive faults--> ejected
+//! ejected --probe_after skipped dispatches--> probation
+//! probation --readmit_after consecutive oks--> healthy
+//! probation --any fault--> ejected
+//! (any) --kill--> dead            (terminal: chaos kill / operator kill)
+//! ```
+
+/// Thresholds for the health transitions.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthPolicy {
+    /// Consecutive faults that eject a healthy replica.
+    pub eject_after: u32,
+    /// Dispatches routed *past* an ejected replica before it earns a
+    /// probation slot (a dispatch-count clock, not a wall clock, so the
+    /// schedule is deterministic under test).
+    pub probe_after: u32,
+    /// Consecutive clean results that readmit a probation replica.
+    pub readmit_after: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            eject_after: 3,
+            probe_after: 32,
+            readmit_after: 5,
+        }
+    }
+}
+
+/// Where a replica currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// In rotation; counts consecutive faults toward ejection.
+    Healthy {
+        /// Consecutive faults observed so far.
+        consecutive_faults: u32,
+    },
+    /// Out of rotation; counts skipped dispatches toward a probe.
+    Ejected {
+        /// Dispatches routed elsewhere since ejection.
+        skipped: u32,
+    },
+    /// Back in rotation on trial; counts clean results toward readmission.
+    Probation {
+        /// Consecutive clean results so far.
+        oks: u32,
+    },
+    /// Terminal: the replica's engine is gone (killed). Never readmitted.
+    Dead,
+}
+
+/// The state machine: current [`HealthState`] plus its [`HealthPolicy`].
+#[derive(Debug)]
+pub struct HealthMachine {
+    state: HealthState,
+    policy: HealthPolicy,
+    /// Total state transitions, for the `/healthz` report.
+    transitions: u64,
+}
+
+impl HealthMachine {
+    /// A healthy machine under `policy`.
+    pub fn new(policy: HealthPolicy) -> Self {
+        HealthMachine {
+            state: HealthState::Healthy {
+                consecutive_faults: 0,
+            },
+            policy,
+            transitions: 0,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Total state transitions so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// The state's wire name, as reported on `/healthz`.
+    pub fn name(&self) -> &'static str {
+        match self.state {
+            HealthState::Healthy { .. } => "healthy",
+            HealthState::Ejected { .. } => "ejected",
+            HealthState::Probation { .. } => "probation",
+            HealthState::Dead => "dead",
+        }
+    }
+
+    /// Whether the dispatcher should route to this replica.
+    pub fn eligible(&self) -> bool {
+        matches!(
+            self.state,
+            HealthState::Healthy { .. } | HealthState::Probation { .. }
+        )
+    }
+
+    fn transition(&mut self, next: HealthState) {
+        self.state = next;
+        self.transitions += 1;
+    }
+
+    /// Records a clean result.
+    pub fn note_ok(&mut self) {
+        match self.state {
+            HealthState::Healthy {
+                consecutive_faults: 0,
+            }
+            | HealthState::Ejected { .. }
+            | HealthState::Dead => {}
+            HealthState::Healthy { .. } => {
+                // Reset the fault streak without counting a transition.
+                self.state = HealthState::Healthy {
+                    consecutive_faults: 0,
+                };
+            }
+            HealthState::Probation { oks } => {
+                if oks + 1 >= self.policy.readmit_after {
+                    self.transition(HealthState::Healthy {
+                        consecutive_faults: 0,
+                    });
+                } else {
+                    self.state = HealthState::Probation { oks: oks + 1 };
+                }
+            }
+        }
+    }
+
+    /// Records a fault (failed dispatch or a fault counter moving).
+    pub fn note_fault(&mut self) {
+        match self.state {
+            HealthState::Healthy { consecutive_faults } => {
+                if consecutive_faults + 1 >= self.policy.eject_after {
+                    self.transition(HealthState::Ejected { skipped: 0 });
+                } else {
+                    self.state = HealthState::Healthy {
+                        consecutive_faults: consecutive_faults + 1,
+                    };
+                }
+            }
+            HealthState::Probation { .. } => {
+                self.transition(HealthState::Ejected { skipped: 0 });
+            }
+            HealthState::Ejected { .. } | HealthState::Dead => {}
+        }
+    }
+
+    /// Records a dispatch routed past this replica while ejected; after
+    /// `probe_after` of them the replica earns a probation slot.
+    pub fn note_skip(&mut self) {
+        if let HealthState::Ejected { skipped } = self.state {
+            if skipped + 1 >= self.policy.probe_after {
+                self.transition(HealthState::Probation { oks: 0 });
+            } else {
+                self.state = HealthState::Ejected {
+                    skipped: skipped + 1,
+                };
+            }
+        }
+    }
+
+    /// Terminal kill — the replica's engine is gone.
+    pub fn kill(&mut self) {
+        if self.state != HealthState::Dead {
+            self.transition(HealthState::Dead);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> HealthMachine {
+        HealthMachine::new(HealthPolicy {
+            eject_after: 3,
+            probe_after: 4,
+            readmit_after: 2,
+        })
+    }
+
+    #[test]
+    fn ejects_after_consecutive_faults_only() {
+        let mut m = machine();
+        m.note_fault();
+        m.note_fault();
+        m.note_ok(); // streak broken
+        m.note_fault();
+        m.note_fault();
+        assert!(m.eligible(), "two faults after a reset must not eject");
+        m.note_fault();
+        assert_eq!(m.state(), HealthState::Ejected { skipped: 0 });
+        assert!(!m.eligible());
+    }
+
+    #[test]
+    fn ejected_earns_probation_then_readmission() {
+        let mut m = machine();
+        for _ in 0..3 {
+            m.note_fault();
+        }
+        // Results and faults no longer move an ejected replica; only skips do.
+        m.note_ok();
+        m.note_fault();
+        assert_eq!(m.state(), HealthState::Ejected { skipped: 0 });
+        for _ in 0..4 {
+            m.note_skip();
+        }
+        assert_eq!(m.state(), HealthState::Probation { oks: 0 });
+        assert!(m.eligible(), "probation is back in rotation");
+        m.note_ok();
+        m.note_ok();
+        assert_eq!(
+            m.state(),
+            HealthState::Healthy {
+                consecutive_faults: 0
+            }
+        );
+    }
+
+    #[test]
+    fn probation_fault_reejects_immediately() {
+        let mut m = machine();
+        for _ in 0..3 {
+            m.note_fault();
+        }
+        for _ in 0..4 {
+            m.note_skip();
+        }
+        m.note_ok();
+        m.note_fault();
+        assert_eq!(m.state(), HealthState::Ejected { skipped: 0 });
+    }
+
+    #[test]
+    fn dead_is_terminal() {
+        let mut m = machine();
+        m.kill();
+        assert_eq!(m.state(), HealthState::Dead);
+        assert_eq!(m.name(), "dead");
+        m.note_ok();
+        m.note_skip();
+        m.note_fault();
+        assert_eq!(m.state(), HealthState::Dead);
+        let t = m.transitions();
+        m.kill();
+        assert_eq!(m.transitions(), t, "re-kill must not count");
+    }
+}

@@ -146,16 +146,33 @@ impl Histogram {
     }
 
     fn render(&self, out: &mut String, name: &str, help: &str) {
+        self.render_with(out, name, help, "");
+    }
+
+    /// Renders with an extra label clause merged into every sample line
+    /// (`extra` is either empty or `key="value",` — note the trailing
+    /// comma, so it composes with the `le` label).
+    fn render_with(&self, out: &mut String, name: &str, help: &str, extra: &str) {
         out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
         let mut cumulative = 0u64;
         for (i, bound) in self.bounds.iter().enumerate() {
             cumulative += self.buckets[i].load(Ordering::Relaxed);
-            out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+            out.push_str(&format!(
+                "{name}_bucket{{{extra}le=\"{bound}\"}} {cumulative}\n"
+            ));
         }
         cumulative += self.buckets[self.bounds.len()].load(Ordering::Relaxed);
-        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
-        out.push_str(&format!("{name}_sum {}\n", self.sum()));
-        out.push_str(&format!("{name}_count {}\n", self.count()));
+        out.push_str(&format!(
+            "{name}_bucket{{{extra}le=\"+Inf\"}} {cumulative}\n"
+        ));
+        let plain = extra.strip_suffix(',').unwrap_or(extra);
+        if plain.is_empty() {
+            out.push_str(&format!("{name}_sum {}\n", self.sum()));
+            out.push_str(&format!("{name}_count {}\n", self.count()));
+        } else {
+            out.push_str(&format!("{name}_sum{{{plain}}} {}\n", self.sum()));
+            out.push_str(&format!("{name}_count{{{plain}}} {}\n", self.count()));
+        }
     }
 }
 
@@ -291,6 +308,35 @@ impl Registry {
         }
         out
     }
+
+    /// Renders every family with a `key="value"` label attached to each
+    /// sample (merged with the histogram `le` label). This is how a fleet
+    /// router exposes per-replica registries side by side under one
+    /// `/metrics` endpoint without the family names colliding.
+    pub fn render_labeled(&self, key: &str, value: &str) -> String {
+        let families = self.families.lock().expect("registry poisoned");
+        let label = format!("{key}=\"{value}\"");
+        let extra = format!("{label},");
+        let mut out = String::new();
+        for f in families.iter() {
+            match &f.metric {
+                Metric::Counter(c) => out.push_str(&format!(
+                    "# HELP {0} {1}\n# TYPE {0} counter\n{0}{{{label}}} {2}\n",
+                    f.name,
+                    f.help,
+                    c.get()
+                )),
+                Metric::Gauge(g) => out.push_str(&format!(
+                    "# HELP {0} {1}\n# TYPE {0} gauge\n{0}{{{label}}} {2}\n",
+                    f.name,
+                    f.help,
+                    g.get()
+                )),
+                Metric::Histogram(h) => h.render_with(&mut out, &f.name, &f.help, &extra),
+            }
+        }
+        out
+    }
 }
 
 /// The process-wide registry: offline stages (discovery, training) publish
@@ -338,6 +384,35 @@ mod tests {
         assert!(text.contains("unit_latency_us_bucket{le=\"1\"} 1"));
         assert!(text.contains("unit_latency_us_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("unit_latency_us_count 2"));
+    }
+
+    #[test]
+    fn labeled_render_tags_every_sample() {
+        let r = Registry::new();
+        r.counter("unit_served_total", "Served.").add(2);
+        r.gauge("unit_depth", "Depth.").set(3);
+        let h = r.histogram("unit_lat_us", "Latency.", &[10]);
+        h.observe(5);
+        h.observe(50);
+        let text = r.render_labeled("replica", "1");
+        assert!(
+            text.contains("unit_served_total{replica=\"1\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("unit_depth{replica=\"1\"} 3"), "{text}");
+        assert!(
+            text.contains("unit_lat_us_bucket{replica=\"1\",le=\"10\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("unit_lat_us_bucket{replica=\"1\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("unit_lat_us_sum{replica=\"1\"} 55"), "{text}");
+        assert!(
+            text.contains("unit_lat_us_count{replica=\"1\"} 2"),
+            "{text}"
+        );
     }
 
     #[test]

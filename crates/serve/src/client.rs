@@ -4,10 +4,11 @@
 //! The smoke binary, the throughput bench, the chaos harness and the
 //! integration tests all need the same three things: fire one request over
 //! a real socket, read the whole response, and — when the server answers
-//! with backpressure (`429`/`503`) or the connection drops — retry with
-//! capped exponential backoff. The jittered backoff schedule comes from
-//! [`cohortnet_chaos::backoff_ms`], so a retry trace is reproducible from
-//! its seed.
+//! with backpressure (`429`/`503`) or the connection drops — retry after a
+//! wait. A `Retry-After: <seconds>` header on the retryable response is
+//! honored (capped at the policy's `max_ms`); otherwise the jittered
+//! exponential backoff schedule from [`cohortnet_chaos::backoff_ms`]
+//! applies, so a retry trace is reproducible from its seed.
 //!
 //! Two framings coexist here. [`request`]/[`read_response`] speak
 //! `Connection: close` and read to EOF — one request per socket.
@@ -233,10 +234,21 @@ pub fn is_retryable_status(status: u16) -> bool {
     matches!(status, 408 | 429 | 503)
 }
 
+/// The server-advised wait from a `Retry-After` header, in milliseconds,
+/// capped at `max_ms`. Only the delta-seconds form is understood (the
+/// HTTP-date form is ignored — the seeded backoff then applies).
+fn retry_after_ms(resp: &Response, max_ms: u64) -> Option<u64> {
+    let secs: u64 = resp.header("retry-after")?.parse().ok()?;
+    Some(secs.saturating_mul(1_000).min(max_ms.max(1)))
+}
+
 /// Fires a request, retrying on connection errors and retryable statuses
-/// (`408`/`429`/`503`) with capped exponential backoff + deterministic
-/// jitter. Returns the last response (even if still retryable) once the
-/// attempt budget runs out.
+/// (`408`/`429`/`503`). When the retryable response carries a
+/// `Retry-After: <seconds>` header the server's advice wins (capped at
+/// `max_ms`); otherwise the sleep falls back to capped exponential
+/// backoff with deterministic jitter from the policy seed. Returns the
+/// last response (even if still retryable) once the attempt budget runs
+/// out.
 ///
 /// # Errors
 /// The last connection error, when every attempt failed at the socket level.
@@ -249,18 +261,17 @@ pub fn request_with_retry(
 ) -> std::io::Result<Response> {
     let attempts = policy.attempts.max(1);
     let mut last_err: Option<std::io::Error> = None;
+    let mut advised_ms: Option<u64> = None;
     for attempt in 0..attempts {
         if attempt > 0 {
-            let ms = cohortnet_chaos::backoff_ms(
-                policy.seed,
-                attempt - 1,
-                policy.base_ms,
-                policy.max_ms,
-            );
+            let ms = advised_ms.take().unwrap_or_else(|| {
+                cohortnet_chaos::backoff_ms(policy.seed, attempt - 1, policy.base_ms, policy.max_ms)
+            });
             std::thread::sleep(Duration::from_millis(ms));
         }
         match request(addr, method, path, body) {
             Ok(resp) if is_retryable_status(resp.status) && attempt + 1 < attempts => {
+                advised_ms = retry_after_ms(&resp, policy.max_ms);
                 last_err = None;
                 continue;
             }
@@ -346,6 +357,57 @@ mod tests {
         server.join().expect("server thread");
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, "ok");
+    }
+
+    #[test]
+    fn honors_retry_after_header_over_seeded_backoff() {
+        let (addr, server) = canned_server(vec![
+            "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 0\r\n\r\n",
+            "HTTP/1.1 200 OK\r\n\r\nok",
+        ]);
+        // The seeded backoff would sleep >= base_ms/2 = 30s; honoring the
+        // server's Retry-After: 0 is the only way this finishes promptly.
+        let policy = RetryPolicy {
+            attempts: 2,
+            base_ms: 60_000,
+            max_ms: 60_000,
+            seed: 7,
+        };
+        let t0 = std::time::Instant::now();
+        let resp = request_with_retry(addr, "GET", "/", "", policy).expect("succeeds");
+        server.join().expect("server thread");
+        assert_eq!(resp.status, 200);
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "Retry-After: 0 must preempt the {}ms seeded backoff (took {:?})",
+            policy.base_ms,
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn falls_back_to_seeded_backoff_without_retry_after() {
+        let (addr, server) = canned_server(vec![
+            "HTTP/1.1 503 Service Unavailable\r\n\r\n",
+            "HTTP/1.1 200 OK\r\n\r\nok",
+        ]);
+        let policy = RetryPolicy {
+            attempts: 2,
+            base_ms: 200,
+            max_ms: 200,
+            seed: 7,
+        };
+        let t0 = std::time::Instant::now();
+        let resp = request_with_retry(addr, "GET", "/", "", policy).expect("succeeds");
+        server.join().expect("server thread");
+        assert_eq!(resp.status, 200);
+        // backoff_ms jitter is in [0.5, 1.0] x base, so the fallback sleep
+        // is at least base_ms/2.
+        assert!(
+            t0.elapsed() >= Duration::from_millis(100),
+            "no Retry-After -> seeded backoff must apply (took {:?})",
+            t0.elapsed()
+        );
     }
 
     #[test]

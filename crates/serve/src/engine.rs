@@ -160,10 +160,18 @@ impl Engine {
     /// Starts the engine over either precision path — [`Scorer::F32`] or
     /// the int8 [`Scorer::Quant`] (the `--quant` serving mode).
     pub fn start_scorer(scorer: Scorer, cfg: EngineConfig, metrics: Arc<Metrics>) -> Self {
+        Engine::start_shared(Arc::new(scorer), cfg, metrics)
+    }
+
+    /// Starts the engine over an already shared scorer. The fleet router
+    /// runs N replica engines around one compiled [`Scorer`] (and builds a
+    /// fresh engine around the same `Arc` during a hot-swap flip), so the
+    /// compiled weights are never duplicated per replica.
+    pub fn start_shared(scorer: Arc<Scorer>, cfg: EngineConfig, metrics: Arc<Metrics>) -> Self {
         assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
         assert!(cfg.queue_cap >= 1, "queue_cap must be at least 1");
         let shared = Arc::new(Shared {
-            scorer: Arc::new(scorer),
+            scorer,
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -378,11 +386,20 @@ fn next_batch(s: &Shared) -> Option<Vec<Pending>> {
 
 /// Builds a [`RowScore`] from row `r` of a scored output.
 fn row_score(out: &cohortnet::infer::ScoreOutput, r: usize) -> RowScore {
-    RowScore {
-        prob: out.probs.row(r).to_vec(),
-        logit: out.logits.row(r).to_vec(),
-        base_logit: out.base_logits.row(r).to_vec(),
-        cem_logit: out.cem_logits.as_ref().map(|m| m.row(r).to_vec()),
+    RowScore::from_output(out, r)
+}
+
+impl RowScore {
+    /// Extracts row `r` of a scored output. Public so the fleet router's
+    /// canary check can score through the same path the engines use and
+    /// compare rendered responses byte for byte.
+    pub fn from_output(out: &cohortnet::infer::ScoreOutput, r: usize) -> RowScore {
+        RowScore {
+            prob: out.probs.row(r).to_vec(),
+            logit: out.logits.row(r).to_vec(),
+            base_logit: out.base_logits.row(r).to_vec(),
+            cem_logit: out.cem_logits.as_ref().map(|m| m.row(r).to_vec()),
+        }
     }
 }
 

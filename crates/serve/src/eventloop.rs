@@ -53,7 +53,7 @@ use cohortnet_obs::obs_info;
 
 use crate::http::{render_response, try_parse_request, HttpError, Request};
 use crate::reactor::{Interest, Poller, WakeReceiver};
-use crate::server::{error_body, next_request_id, route, AppState, LOG};
+use crate::server::{error_body, next_request_id, AppState, ServerCtl, LOG};
 
 /// Listener registration token.
 pub(crate) const TOKEN_LISTENER: u64 = 0;
@@ -516,10 +516,9 @@ fn worker_loop(state: &Arc<AppState>) {
         span.arg("request_id", &job.rid);
         span.arg("method", &job.req.method)
             .arg("path", &job.req.path);
-        let (status, content_type, body) = route(&job.req, state);
-        // `/shutdown` always closes: the loop is about to drain anyway, and
-        // promising keep-alive on a dying connection helps nobody.
-        let close = job.req.close || job.req.path == "/shutdown";
+        let resp = state.app.handle(&job.req, &ServerCtl::new(state));
+        let status = resp.status;
+        let close = job.req.close || resp.close;
         let rid_header: [(&str, &str); 1] = [("X-Request-Id", job.rid.as_str())];
         let retry_headers: [(&str, &str); 2] =
             [("X-Request-Id", job.rid.as_str()), ("Retry-After", "1")];
@@ -529,7 +528,7 @@ fn worker_loop(state: &Arc<AppState>) {
             &rid_header
         };
         let render_t0 = Instant::now();
-        let bytes = render_response(status, content_type, &body, headers, close);
+        let bytes = render_response(status, resp.content_type, &resp.body, headers, close);
         state
             .metrics
             .render_us

@@ -11,7 +11,10 @@
 //! * [`server`] — `POST /score`, `POST /explain`, `GET /cohorts`,
 //!   `GET /healthz`, `GET /metrics`, `POST /shutdown`; graceful drain on
 //!   shutdown. The transport core is a nonblocking event loop with
-//!   HTTP/1.1 keep-alive and exact connection limiting.
+//!   HTTP/1.1 keep-alive and exact connection limiting, split from the
+//!   application along the [`server::App`] trait — [`serve`] runs the
+//!   single-model scoring app, [`serve_app`] runs anything else (the
+//!   `cohortnet-fleet` router) behind the identical transport.
 //! * [`reactor`] — the dependency-free readiness layer under the loop:
 //!   epoll on Linux, poll(2) elsewhere (or via
 //!   `COHORTNET_SERVE_BACKEND=poll`), plus the self-pipe waker. Public so
@@ -42,4 +45,6 @@ pub mod reactor;
 pub mod server;
 
 pub use engine::{Engine, EngineConfig, EngineError, RowScore};
-pub use server::{serve, Server, ServerConfig};
+pub use server::{
+    serve, serve_app, App, AppResponse, Server, ServerConfig, ServerCtl, TransportConfig,
+};

@@ -172,6 +172,15 @@ impl Metrics {
         let _ = self.build_info.set((simd_backend, quant));
     }
 
+    /// Renders only this registry's families, each sample tagged with a
+    /// `key="value"` label. The fleet router uses this to expose one
+    /// registry per replica engine under a single `/metrics` endpoint
+    /// (the global registry is appended once by the router, not per
+    /// replica).
+    pub fn render_labeled(&self, key: &str, value: &str) -> String {
+        self.registry.render_labeled(key, value)
+    }
+
     /// Renders the per-server registry followed by the process-wide
     /// [`cohortnet_obs::metrics::global`] registry (discovery + training
     /// families) in Prometheus text exposition format.

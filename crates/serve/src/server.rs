@@ -9,7 +9,7 @@
 //!   decomposition via [`cohortnet::interpret::explain_patient`]. `409`
 //!   when the snapshot has no discovery artefacts.
 //! * `GET /cohorts` — the discovered cohort pool (Table 2 data).
-//! * `GET /healthz` — liveness plus model shape.
+//! * `GET /healthz` — liveness, model shape and the snapshot fingerprint.
 //! * `GET /metrics` — Prometheus text format.
 //! * `POST /shutdown` — graceful drain: stop accepting, finish queued work.
 //!
@@ -19,8 +19,14 @@
 //! state machines, HTTP/1.1 keep-alive with an idle timeout, and an exact
 //! `max_connections` bound whose over-limit `503`s can never block the
 //! accept path. Complete requests are handed to a small worker pool that
-//! runs the blocking router + micro-batching engine and posts rendered
-//! responses back to the loop.
+//! runs the blocking application ([`App`]) and posts rendered responses
+//! back to the loop.
+//!
+//! The transport and the application are split along the [`App`] trait:
+//! [`serve`] wires the single-model scoring app ([`ScoreApp`], private)
+//! into [`serve_app`], and the `cohortnet-fleet` crate wires a
+//! multi-replica router into the very same transport — same event loop,
+//! same keep-alive/drain semantics, different routing.
 
 use std::net::{SocketAddr, TcpListener};
 use std::os::unix::io::AsRawFd;
@@ -29,7 +35,7 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use cohortnet::infer::ScoreRequest;
+use cohortnet::infer::{Inferencer, ScoreRequest};
 use cohortnet::interpret::explain_patient;
 use cohortnet::snapshot::LoadedModel;
 use cohortnet_models::data::{Prepared, PreparedPatient};
@@ -43,6 +49,9 @@ use crate::reactor::{waker_pair, Interest, Poller, Waker};
 
 /// Log target for request-lifecycle events.
 pub(crate) const LOG: &str = "cohortnet.serve";
+
+/// The JSON content type every structured endpoint answers with.
+pub const JSON_CT: &str = "application/json";
 
 /// A process-unique request id: hex boot-time millis, then a sequence
 /// number. Echoed to clients as `X-Request-Id` and attached to the
@@ -59,20 +68,22 @@ pub(crate) fn next_request_id() -> String {
     format!("{boot:x}-{:x}", SEQ.fetch_add(1, Ordering::Relaxed))
 }
 
-/// Default idle-connection timeout when [`ServerConfig::idle_timeout_ms`]
+/// Default idle-connection timeout when [`TransportConfig::idle_timeout_ms`]
 /// is 0: how long a keep-alive connection may sit between requests before
 /// the server closes it silently.
 pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Default worker-pool size when [`ServerConfig::workers`] is 0. Workers
+/// Default worker-pool size when [`TransportConfig::workers`] is 0. Workers
 /// block in the engine while their batch scores, so the pool is sized well
 /// past the core count — it bounds concurrent *requests being routed*, not
 /// CPU use (the engine's own `threads` knob governs that).
 pub const DEFAULT_WORKERS: usize = 16;
 
-/// Server configuration.
+/// Transport-level configuration: everything the event loop needs, nothing
+/// the application does. [`ServerConfig`] embeds one implicitly; the fleet
+/// router passes one to [`serve_app`] directly.
 #[derive(Debug, Clone, Copy)]
-pub struct ServerConfig {
+pub struct TransportConfig {
     /// TCP port to bind on 127.0.0.1 (0 = ephemeral, for tests).
     pub port: u16,
     /// Per-connection read timeout in milliseconds (0 = the
@@ -87,9 +98,65 @@ pub struct ServerConfig {
     /// exactly at the event loop. Connections beyond the limit are answered
     /// with `503` + `Retry-After` on their own nonblocking state machine.
     pub max_connections: usize,
-    /// Request worker threads between the event loop and the engine
+    /// Request worker threads between the event loop and the application
     /// (0 = [`DEFAULT_WORKERS`]). Bounds concurrently routed requests; the
     /// dispatch queue holds `8 x workers` more before answering `503`.
+    pub workers: usize,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            port: 8080,
+            read_timeout_ms: 0,
+            idle_timeout_ms: 0,
+            max_connections: 256,
+            workers: 0,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// The read timeout with the built-in default applied.
+    pub(crate) fn effective_read_timeout(&self) -> Duration {
+        if self.read_timeout_ms == 0 {
+            crate::http::DEFAULT_READ_TIMEOUT
+        } else {
+            Duration::from_millis(self.read_timeout_ms)
+        }
+    }
+
+    /// The idle timeout with the built-in default applied.
+    pub(crate) fn effective_idle_timeout(&self) -> Duration {
+        if self.idle_timeout_ms == 0 {
+            DEFAULT_IDLE_TIMEOUT
+        } else {
+            Duration::from_millis(self.idle_timeout_ms)
+        }
+    }
+
+    /// The worker-pool size with the built-in default applied.
+    pub(crate) fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            DEFAULT_WORKERS
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// Server configuration for the single-model scoring server ([`serve`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// TCP port to bind on 127.0.0.1 (0 = ephemeral, for tests).
+    pub port: u16,
+    /// See [`TransportConfig::read_timeout_ms`].
+    pub read_timeout_ms: u64,
+    /// See [`TransportConfig::idle_timeout_ms`].
+    pub idle_timeout_ms: u64,
+    /// See [`TransportConfig::max_connections`].
+    pub max_connections: usize,
+    /// See [`TransportConfig::workers`].
     pub workers: usize,
     /// Batching knobs for the scoring engine.
     pub engine: EngineConfig,
@@ -112,9 +179,96 @@ impl Default for ServerConfig {
     }
 }
 
+impl ServerConfig {
+    /// The transport slice of this configuration.
+    pub fn transport(&self) -> TransportConfig {
+        TransportConfig {
+            port: self.port,
+            read_timeout_ms: self.read_timeout_ms,
+            idle_timeout_ms: self.idle_timeout_ms,
+            max_connections: self.max_connections,
+            workers: self.workers,
+        }
+    }
+}
+
+/// A rendered application response, before HTTP framing.
+#[derive(Debug, Clone)]
+pub struct AppResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+    /// Server-initiated close: the connection is closed after this
+    /// response even if the client asked for keep-alive (ORed with the
+    /// client's own `Connection: close`).
+    pub close: bool,
+}
+
+impl AppResponse {
+    /// A JSON response that keeps the connection open.
+    pub fn json(status: u16, body: String) -> Self {
+        AppResponse {
+            status,
+            content_type: JSON_CT,
+            body,
+            close: false,
+        }
+    }
+
+    /// Marks the response as connection-closing.
+    pub fn closing(mut self) -> Self {
+        self.close = true;
+        self
+    }
+}
+
+/// Transport controls handed to [`App::handle`]: the one thing an
+/// application may do to the transport is ask it to stop (the
+/// `POST /shutdown` path).
+pub struct ServerCtl<'a> {
+    stop: &'a AtomicBool,
+    waker: &'a Waker,
+}
+
+impl ServerCtl<'_> {
+    pub(crate) fn new(state: &AppState) -> ServerCtl<'_> {
+        ServerCtl {
+            stop: &state.stop,
+            waker: &state.waker,
+        }
+    }
+
+    /// Requests a graceful stop: the event loop stops accepting, finishes
+    /// in-flight work, and drains — same semantics as [`Server::shutdown`].
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.waker.wake();
+    }
+}
+
+/// What the transport asks of an application: route one parsed request to
+/// a response. Implemented by this crate's single-model scoring app (via
+/// [`serve`]) and by the `cohortnet-fleet` multi-replica router — both run
+/// behind the identical event-loop transport through [`serve_app`].
+///
+/// `handle` runs on a worker thread and may block (the scoring engine
+/// does); the event loop itself never calls it.
+pub trait App: Send + Sync + 'static {
+    /// Routes one request. `ctl` lets a shutdown endpoint stop the
+    /// transport.
+    fn handle(&self, req: &Request, ctl: &ServerCtl<'_>) -> AppResponse;
+
+    /// Called exactly once after the event loop and the worker pool have
+    /// drained and joined (from [`Server::shutdown`]/[`Server::join`]):
+    /// shut down engines and other blocking resources here.
+    fn on_drained(&self) {}
+}
+
 pub(crate) struct AppState {
-    pub(crate) engine: Engine,
-    pub(crate) loaded: LoadedModel,
+    pub(crate) app: Arc<dyn App>,
     pub(crate) metrics: Arc<Metrics>,
     pub(crate) stop: AtomicBool,
     pub(crate) read_timeout: Option<Duration>,
@@ -144,26 +298,25 @@ pub struct Server {
     eventloop: Mutex<Option<JoinHandle<()>>>,
 }
 
-/// Binds the listener, starts the engine, the worker pool and the event
-/// loop, and returns the running server.
+/// Binds the listener and runs an arbitrary [`App`] behind the event-loop
+/// transport. `metrics` receives the transport-level families (connection
+/// and dispatch counters); the app renders `/metrics` itself, so pass the
+/// same instance there when the two should share one registry.
 ///
 /// # Errors
 /// Propagates listener bind and reactor setup failures.
-pub fn serve(loaded: LoadedModel, cfg: ServerConfig) -> std::io::Result<Server> {
+pub fn serve_app(
+    app: Arc<dyn App>,
+    cfg: TransportConfig,
+    metrics: Arc<Metrics>,
+) -> std::io::Result<Server> {
     cohortnet_obs::init_from_env();
     cohortnet_chaos::init_from_env();
     let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
-    let metrics = Arc::new(Metrics::new());
-    let engine = Engine::start_scorer(loaded.scorer(cfg.quant), cfg.engine, Arc::clone(&metrics));
-    metrics.set_build_info(cohortnet_tensor::simd::active().name(), cfg.quant);
-    let workers = if cfg.workers == 0 {
-        DEFAULT_WORKERS
-    } else {
-        cfg.workers
-    };
+    let workers = cfg.effective_workers();
     let (waker, wake_rx) = waker_pair()?;
     let mut poller = Poller::new()?;
     poller.register(
@@ -174,8 +327,7 @@ pub fn serve(loaded: LoadedModel, cfg: ServerConfig) -> std::io::Result<Server> 
     poller.register(wake_rx.fd(), eventloop::TOKEN_WAKER, Interest::READ)?;
 
     let state = Arc::new(AppState {
-        engine,
-        loaded,
+        app,
         metrics,
         stop: AtomicBool::new(false),
         read_timeout: if cfg.read_timeout_ms == 0 {
@@ -183,11 +335,7 @@ pub fn serve(loaded: LoadedModel, cfg: ServerConfig) -> std::io::Result<Server> 
         } else {
             Some(Duration::from_millis(cfg.read_timeout_ms))
         },
-        idle_timeout: if cfg.idle_timeout_ms == 0 {
-            DEFAULT_IDLE_TIMEOUT
-        } else {
-            Duration::from_millis(cfg.idle_timeout_ms)
-        },
+        idle_timeout: cfg.effective_idle_timeout(),
         limiter: ConnLimiter::new(cfg.max_connections),
         jobs: JobQueue::new(workers * 8),
         completions: Mutex::new(Vec::new()),
@@ -209,6 +357,27 @@ pub fn serve(loaded: LoadedModel, cfg: ServerConfig) -> std::io::Result<Server> 
     })
 }
 
+/// Binds the listener, starts the engine, the worker pool and the event
+/// loop, and returns the running single-model scoring server.
+///
+/// # Errors
+/// Propagates listener bind and reactor setup failures.
+pub fn serve(loaded: LoadedModel, cfg: ServerConfig) -> std::io::Result<Server> {
+    let metrics = Arc::new(Metrics::new());
+    let engine = Engine::start_scorer(loaded.scorer(cfg.quant), cfg.engine, Arc::clone(&metrics));
+    metrics.set_build_info(cohortnet_tensor::simd::active().name(), cfg.quant);
+    let transport = cfg.transport();
+    let app = Arc::new(ScoreApp {
+        engine,
+        loaded,
+        metrics: Arc::clone(&metrics),
+        read_timeout: transport.effective_read_timeout(),
+        idle_timeout: transport.effective_idle_timeout(),
+        workers: transport.effective_workers(),
+    });
+    serve_app(app, transport, metrics)
+}
+
 impl Server {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
@@ -217,8 +386,9 @@ impl Server {
 
     /// The one stop routine both [`Server::shutdown`] and [`Server::join`]
     /// funnel through: wait for the event loop to finish draining (it sets
-    /// the done flag on every exit path), join its thread, then shut the
-    /// engine down. Idempotent and safe to race from several threads.
+    /// the done flag on every exit path), join its thread, then let the
+    /// application shut its engines down. Idempotent and safe to race from
+    /// several threads.
     fn finish(&self) {
         let (lock, cv) = &self.state.done;
         let mut done = lock.lock().expect("done flag poisoned");
@@ -234,7 +404,7 @@ impl Server {
         {
             let _ = handle.join();
         }
-        self.state.engine.shutdown();
+        self.state.app.on_drained();
     }
 
     /// Requests a graceful stop and blocks until the event loop, the worker
@@ -259,38 +429,65 @@ impl Drop for Server {
     }
 }
 
-pub(crate) fn error_body(message: &str) -> String {
+/// Renders the standard `{"error": message}` body.
+pub fn error_body(message: &str) -> String {
     json::render(&obj(vec![("error", Json::Str(message.to_string()))]))
 }
 
-pub(crate) fn route(req: &Request, state: &Arc<AppState>) -> (u16, &'static str, String) {
-    const JSON_CT: &str = "application/json";
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/score") => handle_score(req, state),
-        ("POST", "/explain") => handle_explain(req, state),
-        ("GET", "/cohorts") => (200, JSON_CT, cohorts_body(state)),
-        ("GET", "/healthz") => (200, JSON_CT, healthz_body(state)),
-        ("GET", "/metrics") => (
-            200,
-            "text/plain; version=0.0.4",
-            state.metrics.render_prometheus(),
-        ),
-        ("POST", "/shutdown") => {
-            state.stop.store(true, Ordering::SeqCst);
-            state.waker.wake();
-            (200, JSON_CT, error_body_ok())
+/// The single-model scoring application behind [`serve`].
+struct ScoreApp {
+    engine: Engine,
+    loaded: LoadedModel,
+    metrics: Arc<Metrics>,
+    read_timeout: Duration,
+    idle_timeout: Duration,
+    workers: usize,
+}
+
+impl App for ScoreApp {
+    fn handle(&self, req: &Request, ctl: &ServerCtl<'_>) -> AppResponse {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/score") => {
+                let (status, body) = self.handle_score(req);
+                AppResponse::json(status, body)
+            }
+            ("POST", "/explain") => {
+                let (status, body) =
+                    explain_response(&self.loaded, self.engine.inferencer(), &req.body);
+                AppResponse::json(status, body)
+            }
+            ("GET", "/cohorts") => AppResponse::json(200, cohorts_json(&self.loaded)),
+            ("GET", "/healthz") => AppResponse::json(200, self.healthz_body()),
+            ("GET", "/metrics") => AppResponse {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body: self.metrics.render_prometheus(),
+                close: false,
+            },
+            ("POST", "/shutdown") => {
+                // `/shutdown` always closes: the loop is about to drain
+                // anyway, and promising keep-alive on a dying connection
+                // helps nobody.
+                ctl.request_stop();
+                AppResponse::json(200, shutdown_body()).closing()
+            }
+            (_, "/score" | "/explain" | "/shutdown") => {
+                AppResponse::json(405, error_body("use POST for this endpoint"))
+            }
+            (_, "/cohorts" | "/healthz" | "/metrics") => {
+                AppResponse::json(405, error_body("use GET for this endpoint"))
+            }
+            _ => AppResponse::json(404, error_body("unknown endpoint")),
         }
-        (_, "/score" | "/explain" | "/shutdown") => {
-            (405, JSON_CT, error_body("use POST for this endpoint"))
-        }
-        (_, "/cohorts" | "/healthz" | "/metrics") => {
-            (405, JSON_CT, error_body("use GET for this endpoint"))
-        }
-        _ => (404, JSON_CT, error_body("unknown endpoint")),
+    }
+
+    fn on_drained(&self) {
+        self.engine.shutdown();
     }
 }
 
-fn error_body_ok() -> String {
+/// The `{"status": "shutting down"}` body `POST /shutdown` answers with.
+pub fn shutdown_body() -> String {
     json::render(&obj(vec![("status", Json::Str("shutting down".into()))]))
 }
 
@@ -307,6 +504,28 @@ fn parse_instance(value: &Json) -> Result<ScoreRequest, String> {
     Ok(ScoreRequest { x, mask })
 }
 
+/// Decodes a `/score` body into its instances.
+///
+/// # Errors
+/// A human-readable message for the `400` response.
+pub fn parse_score_instances(body: &str) -> Result<Vec<ScoreRequest>, String> {
+    let parsed = json::parse(body).map_err(|e| format!("invalid json: {e}"))?;
+    let Some(instances) = parsed.get("instances").and_then(Json::as_arr) else {
+        return Err("body needs an array field \"instances\"".into());
+    };
+    if instances.is_empty() {
+        return Err("\"instances\" is empty".into());
+    }
+    let mut reqs = Vec::with_capacity(instances.len());
+    for (i, inst) in instances.iter().enumerate() {
+        match parse_instance(inst) {
+            Ok(r) => reqs.push(r),
+            Err(why) => return Err(format!("instance {i}: {why}")),
+        }
+    }
+    Ok(reqs)
+}
+
 fn row_to_json(row: &RowScore) -> Json {
     let mut pairs = vec![
         ("prob", num_arr(&row.prob)),
@@ -319,98 +538,115 @@ fn row_to_json(row: &RowScore) -> Json {
     obj(pairs)
 }
 
-fn handle_score(req: &Request, state: &Arc<AppState>) -> (u16, &'static str, String) {
-    const JSON_CT: &str = "application/json";
-    let parsed = match json::parse(&req.body) {
-        Ok(v) => v,
-        Err(e) => return (400, JSON_CT, error_body(&format!("invalid json: {e}"))),
+/// Renders the `/score` response for a scored batch: per-request isolation
+/// means each prediction slot carries either a score or that request's own
+/// error, in input order; the batch status reflects the worst case only
+/// when nothing succeeded. Shared verbatim by the single-model server and
+/// the fleet router, which is what makes their response bytes comparable
+/// bit for bit.
+pub fn score_rows_response(rows: &[Result<RowScore, EngineError>]) -> (u16, String) {
+    let any_ok = rows.iter().any(Result::is_ok);
+    let all_bad_request = rows
+        .iter()
+        .all(|r| matches!(r, Err(EngineError::BadRequest(_))));
+    let all_deadline = rows
+        .iter()
+        .all(|r| matches!(r, Err(EngineError::DeadlineExceeded)));
+    let status = if any_ok {
+        200
+    } else if all_bad_request {
+        400
+    } else if all_deadline {
+        429
+    } else {
+        500
     };
-    let Some(instances) = parsed.get("instances").and_then(Json::as_arr) else {
-        return (
-            400,
-            JSON_CT,
-            error_body("body needs an array field \"instances\""),
-        );
-    };
-    if instances.is_empty() {
-        return (400, JSON_CT, error_body("\"instances\" is empty"));
-    }
-    let mut reqs = Vec::with_capacity(instances.len());
-    for (i, inst) in instances.iter().enumerate() {
-        match parse_instance(inst) {
-            Ok(r) => reqs.push(r),
-            Err(why) => {
-                return (400, JSON_CT, error_body(&format!("instance {i}: {why}")));
-            }
+    let predictions = Json::Arr(
+        rows.iter()
+            .map(|row| match row {
+                Ok(score) => row_to_json(score),
+                Err(e) => obj(vec![("error", Json::Str(e.to_string()))]),
+            })
+            .collect(),
+    );
+    (
+        status,
+        json::render(&obj(vec![("predictions", predictions)])),
+    )
+}
+
+impl ScoreApp {
+    fn handle_score(&self, req: &Request) -> (u16, String) {
+        let reqs = match parse_score_instances(&req.body) {
+            Ok(reqs) => reqs,
+            Err(why) => return (400, error_body(&why)),
+        };
+        match self.engine.score_many(reqs) {
+            Ok(rows) => score_rows_response(&rows),
+            Err(e) => (503, error_body(&e.to_string())),
         }
     }
-    match state.engine.score_many(reqs) {
-        Ok(rows) => {
-            // Per-request isolation: each prediction slot carries either a
-            // score or that request's own error, in input order. The batch
-            // status reflects the worst case only when nothing succeeded.
-            let any_ok = rows.iter().any(Result::is_ok);
-            let all_bad_request = rows
-                .iter()
-                .all(|r| matches!(r, Err(EngineError::BadRequest(_))));
-            let all_deadline = rows
-                .iter()
-                .all(|r| matches!(r, Err(EngineError::DeadlineExceeded)));
-            let status = if any_ok {
-                200
-            } else if all_bad_request {
-                400
-            } else if all_deadline {
-                429
-            } else {
-                500
-            };
-            let predictions = Json::Arr(
-                rows.iter()
-                    .map(|row| match row {
-                        Ok(score) => row_to_json(score),
-                        Err(e) => obj(vec![("error", Json::Str(e.to_string()))]),
-                    })
-                    .collect(),
-            );
+
+    fn healthz_body(&self) -> String {
+        let inf = self.engine.inferencer();
+        let cfg = self.engine.config();
+        json::render(&obj(vec![
+            ("status", Json::Str("ok".into())),
             (
-                status,
-                JSON_CT,
-                json::render(&obj(vec![("predictions", predictions)])),
-            )
-        }
-        Err(EngineError::Overloaded) => (
-            503,
-            JSON_CT,
-            error_body(&EngineError::Overloaded.to_string()),
-        ),
-        Err(e) => (503, JSON_CT, error_body(&e.to_string())),
+                "snapshot_version",
+                Json::Str(cohortnet::snapshot::SNAPSHOT_VERSION.into()),
+            ),
+            (
+                "snapshot_fingerprint",
+                Json::Str(self.loaded.fingerprint_hex()),
+            ),
+            ("n_features", Json::Num(inf.n_features() as f64)),
+            ("time_steps", Json::Num(inf.time_steps() as f64)),
+            ("n_labels", Json::Num(inf.n_labels() as f64)),
+            ("has_cohorts", Json::Bool(inf.has_cohorts())),
+            (
+                "simd_backend",
+                Json::Str(cohortnet_tensor::simd::active().name().into()),
+            ),
+            ("quant", Json::Bool(self.engine.quantized())),
+            ("max_batch", Json::Num(cfg.max_batch as f64)),
+            ("max_delay_us", Json::Num(cfg.max_delay_us as f64)),
+            ("deadline_ms", Json::Num(cfg.deadline_ms as f64)),
+            (
+                "read_timeout_ms",
+                Json::Num(self.read_timeout.as_millis() as f64),
+            ),
+            (
+                "idle_timeout_ms",
+                Json::Num(self.idle_timeout.as_millis() as f64),
+            ),
+            ("workers", Json::Num(self.workers as f64)),
+        ]))
     }
 }
 
-fn handle_explain(req: &Request, state: &Arc<AppState>) -> (u16, &'static str, String) {
-    const JSON_CT: &str = "application/json";
-    if state.loaded.model.discovery.is_none() {
+/// Renders the `/explain` response for one instance body against a loaded
+/// model, using `inf` only for its shape. Shared by the single-model
+/// server and the fleet router.
+pub fn explain_response(loaded: &LoadedModel, inf: &Inferencer, body: &str) -> (u16, String) {
+    if loaded.model.discovery.is_none() {
         return (
             409,
-            JSON_CT,
             error_body("snapshot has no discovery artefacts; /explain needs a trained pool"),
         );
     }
-    let parsed = match json::parse(&req.body) {
+    let parsed = match json::parse(body) {
         Ok(v) => v,
-        Err(e) => return (400, JSON_CT, error_body(&format!("invalid json: {e}"))),
+        Err(e) => return (400, error_body(&format!("invalid json: {e}"))),
     };
     let score_req = match parse_instance(&parsed) {
         Ok(r) => r,
-        Err(why) => return (400, JSON_CT, error_body(why.as_str())),
+        Err(why) => return (400, error_body(why.as_str())),
     };
-    let inf = state.engine.inferencer();
     let (nf, t_steps, nl) = (inf.n_features(), inf.time_steps(), inf.n_labels());
     if score_req.x.len() != t_steps * nf || score_req.mask.len() != nf {
         return (
             400,
-            JSON_CT,
             error_body(&format!(
                 "instance shapes must be x: {} (= {t_steps} x {nf}), mask: {nf}",
                 t_steps * nf
@@ -431,7 +667,7 @@ fn handle_explain(req: &Request, state: &Arc<AppState>) -> (u16, &'static str, S
             labels_u8: vec![0; nl],
         }],
     };
-    let exp = explain_patient(&state.loaded.model, &state.loaded.params, &prep, 0);
+    let exp = explain_patient(&loaded.model, &loaded.params, &prep, 0);
     let cohorts = Json::Arr(
         exp.cohorts
             .iter()
@@ -467,44 +703,13 @@ fn handle_explain(req: &Request, state: &Arc<AppState>) -> (u16, &'static str, S
         ("cohorts", cohorts),
         ("attention", attention),
     ]);
-    (200, JSON_CT, json::render(&body))
+    (200, json::render(&body))
 }
 
-fn healthz_body(state: &Arc<AppState>) -> String {
-    let inf = state.engine.inferencer();
-    let cfg = state.engine.config();
-    json::render(&obj(vec![
-        ("status", Json::Str("ok".into())),
-        (
-            "snapshot_version",
-            Json::Str(cohortnet::snapshot::SNAPSHOT_VERSION.into()),
-        ),
-        ("n_features", Json::Num(inf.n_features() as f64)),
-        ("time_steps", Json::Num(inf.time_steps() as f64)),
-        ("n_labels", Json::Num(inf.n_labels() as f64)),
-        ("has_cohorts", Json::Bool(inf.has_cohorts())),
-        (
-            "simd_backend",
-            Json::Str(cohortnet_tensor::simd::active().name().into()),
-        ),
-        ("quant", Json::Bool(state.engine.quantized())),
-        ("max_batch", Json::Num(cfg.max_batch as f64)),
-        ("max_delay_us", Json::Num(cfg.max_delay_us as f64)),
-        ("deadline_ms", Json::Num(cfg.deadline_ms as f64)),
-        (
-            "read_timeout_ms",
-            Json::Num(state.effective_read_timeout().as_millis() as f64),
-        ),
-        (
-            "idle_timeout_ms",
-            Json::Num(state.idle_timeout.as_millis() as f64),
-        ),
-        ("workers", Json::Num(state.worker_count as f64)),
-    ]))
-}
-
-fn cohorts_body(state: &Arc<AppState>) -> String {
-    let Some(d) = state.loaded.model.discovery.as_ref() else {
+/// Renders the `GET /cohorts` body for a loaded model. Shared by the
+/// single-model server and the fleet router.
+pub fn cohorts_json(loaded: &LoadedModel) -> String {
+    let Some(d) = loaded.model.discovery.as_ref() else {
         return json::render(&obj(vec![
             ("has_cohorts", Json::Bool(false)),
             ("features", Json::Arr(Vec::new())),

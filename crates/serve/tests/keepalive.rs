@@ -388,6 +388,89 @@ fn max_connections_is_exact_under_concurrent_accepts() {
     server.shutdown();
 }
 
+/// Graceful drain under keep-alive: `POST /shutdown` with idle keep-alive
+/// connections open and a request in flight must (a) answer the in-flight
+/// request — never 503 it — bit-identically to a pre-shutdown reference,
+/// (b) close the idle connections with a clean EOF, and (c) let the server
+/// join without hanging.
+#[test]
+fn shutdown_drains_in_flight_and_cuts_idle_keepalive_cleanly() {
+    let server = demo_server(ServerConfig {
+        port: 0,
+        // A generous coalescing window keeps the in-flight request parked
+        // in the engine while /shutdown lands.
+        engine: cohortnet_serve::EngineConfig {
+            max_batch: 64,
+            max_delay_us: 300_000,
+            ..cohortnet_serve::EngineConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let body = score_bodies().remove(0);
+
+    // Pre-shutdown reference for bit-identity of the drained response.
+    let want = client::request(addr, "POST", "/score", &body)
+        .expect("reference request")
+        .body;
+
+    // Two idle keep-alive connections (each proves liveness first).
+    let mut idle: Vec<Connection> = (0..2)
+        .map(|i| {
+            let mut c = Connection::connect(addr).expect("connect idle");
+            let resp = c.request("GET", "/healthz", "").expect("idle warmup");
+            assert_eq!(resp.status, 200, "idle conn {i}");
+            c
+        })
+        .collect();
+
+    // One request sent but not yet answered: the batching delay holds it.
+    let mut busy = Connection::connect(addr).expect("connect busy");
+    busy.send("POST", "/score", &body).expect("send in-flight");
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Shutdown while the request is still in flight.
+    let resp = client::request(addr, "POST", "/shutdown", "").expect("shutdown");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    // (a) The accepted request is answered, not 503'd, and bit-identical.
+    busy.stream()
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let resp = busy.read_reply().expect("drained response");
+    assert_eq!(
+        resp.status, 200,
+        "in-flight request must drain, not be rejected: {}",
+        resp.body
+    );
+    assert_eq!(resp.body, want, "drained response differs from reference");
+
+    // (b) Idle connections get a bare FIN: EOF with zero stray bytes.
+    for (i, conn) in idle.iter_mut().enumerate() {
+        conn.stream()
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        let mut leftover = Vec::new();
+        conn.stream()
+            .read_to_end(&mut leftover)
+            .expect("clean EOF on idle conn");
+        assert!(
+            leftover.is_empty(),
+            "idle conn {i} got stray bytes at shutdown: {:?}",
+            String::from_utf8_lossy(&leftover)
+        );
+    }
+
+    // (c) The drain completes promptly.
+    let t0 = Instant::now();
+    server.join();
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "shutdown drain hung: {:?}",
+        t0.elapsed()
+    );
+}
+
 /// The portable poll(2) backend serves the same protocol (forced via the
 /// env knob; Linux CI otherwise always runs epoll).
 #[test]

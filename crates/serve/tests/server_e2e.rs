@@ -159,6 +159,16 @@ fn server_rejects_bad_input_and_serves_introspection() {
     let (status, body) = request(addr, "GET", "/healthz", "");
     assert_eq!(status, 200);
     assert!(body.contains("\"status\":\"ok\""), "{body}");
+    // The advertised fingerprint is FNV-1a-64 over the exact snapshot text
+    // this server loaded — recomputable by any client holding the artifact.
+    let want_fp = format!(
+        "{:016x}",
+        cohortnet::snapshot::fnv64(bundle.snapshot.as_bytes())
+    );
+    assert!(
+        body.contains(&format!("\"snapshot_fingerprint\":\"{want_fp}\"")),
+        "fingerprint {want_fp} missing: {body}"
+    );
 
     let (status, _) = request(addr, "POST", "/score", "{\"instances\":[]}");
     assert_eq!(status, 400);
