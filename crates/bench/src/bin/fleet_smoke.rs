@@ -414,6 +414,74 @@ fn main() {
         "quant hot-swap ok: fingerprint {want_fp}, scores match cold quant server"
     ));
 
+    // 6. Stage attribution: the router's flight recorder must account for
+    // where `/score` latency went. The recorded stages (accept + queue +
+    // batch-wait + compute + render + write) have to cover the measured
+    // total at the tail — if the p99 of stage sums falls under 90% of the
+    // p99 of totals, some stage is unattributed and the `/debug` triage
+    // surface is lying.
+    let (status, dbg) = request(addr, "GET", "/debug/requests?n=1024", "");
+    assert_eq!(status, 200, "/debug/requests failed: {dbg}");
+    let parsed = json::parse(&dbg).expect("debug requests parses");
+    let rows = parsed
+        .get("requests")
+        .and_then(Json::as_arr)
+        .expect("requests array");
+    let mut totals: Vec<f64> = Vec::new();
+    let mut sums: Vec<f64> = Vec::new();
+    let mut replica_seen = false;
+    for r in rows {
+        if r.get("route").and_then(Json::as_str) != Some("/score")
+            || r.get("status").and_then(Json::as_f64) != Some(200.0)
+        {
+            continue;
+        }
+        let f = |k: &str| r.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        let total = f("total_us");
+        if total <= 0.0 {
+            continue;
+        }
+        totals.push(total);
+        sums.push(
+            f("accept_us")
+                + f("queue_us")
+                + f("batch_wait_us")
+                + f("compute_us")
+                + f("render_us")
+                + f("write_us"),
+        );
+        replica_seen |= f("replica") >= 0.0;
+    }
+    assert!(
+        totals.len() >= 100,
+        "flight recorder holds too few scored requests: {}",
+        totals.len()
+    );
+    assert!(replica_seen, "no /score record attributes a replica");
+    let p99 = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        v[(v.len() - 1) * 99 / 100]
+    };
+    let (p99_total, p99_sum) = (p99(&mut totals), p99(&mut sums));
+    log.say(format!(
+        "stage attribution over {} scored requests: p99 total {:.0}us, \
+         p99 stage sum {:.0}us ({:.0}% covered)",
+        totals.len(),
+        p99_total,
+        p99_sum,
+        p99_sum / p99_total * 100.0
+    ));
+    assert!(
+        p99_sum >= 0.9 * p99_total,
+        "stages account for too little of the tail: stage-sum p99 {p99_sum:.0}us \
+         vs total p99 {p99_total:.0}us"
+    );
+    let _ = std::fs::create_dir_all("target");
+    match std::fs::write("target/DEBUG_REQUESTS.json", &dbg) {
+        Ok(()) => log.say("wrote target/DEBUG_REQUESTS.json"),
+        Err(e) => log.say(format!("could not write target/DEBUG_REQUESTS.json: {e}")),
+    }
+
     fleet.shutdown();
     for p in [&same_path, &quant_path] {
         let _ = std::fs::remove_file(p);

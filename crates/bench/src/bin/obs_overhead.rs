@@ -10,9 +10,19 @@
 //!    the run — this is the price every un-traced production run pays;
 //! 3. the **enabled overhead**: wall-clock delta of the same discovery with
 //!    span collection on (in memory), which is what `COHORTNET_TRACE` costs.
+//!    Reps interleave off/on and the delta is the *median of paired
+//!    differences*, so machine drift cancels instead of producing the
+//!    nonsense negative percentages a min-vs-min comparison can emit; the
+//!    headline number is additionally clamped at 0 (raw value reported
+//!    alongside);
+//! 4. the **flight-recorder cost**: ns per [`FlightRecorder::record`] call
+//!    — the always-on per-request price of `/debug/requests`.
 //!
 //! Run: `cargo run --release -p cohortnet-bench --bin obs_overhead`
-//! (`COHORTNET_FAST=1` shrinks the workload for smoke runs.)
+//! (`COHORTNET_FAST=1` shrinks the workload for smoke runs.
+//! `COHORTNET_STRICT_GATE=1` additionally asserts the gate stayed within
+//! 2x of the recorded 3.85 ns baseline — too flaky for shared CI hosts,
+//! useful on quiet hardware.)
 
 use cohortnet::config::CohortNetConfig;
 use cohortnet::discover::discover;
@@ -21,6 +31,7 @@ use cohortnet_bench::fast;
 use cohortnet_bench::report::render_table;
 use cohortnet_ehr::{profiles, standardize::Standardizer, synth::generate};
 use cohortnet_models::data::{prepare, Prepared};
+use cohortnet_obs::flight::{FlightRecord, FlightRecorder};
 use cohortnet_obs::log::Level;
 use cohortnet_obs::{obs_trace, trace};
 use cohortnet_tensor::ParamStore;
@@ -28,6 +39,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 use std::time::Instant;
+
+/// The disabled-gate cost recorded when the gate contract was set (see
+/// BENCH_obs.json history): a relaxed atomic load on this repo's reference
+/// hardware. `COHORTNET_STRICT_GATE=1` asserts we stay within 2x of it.
+const BASELINE_GATE_NS: f64 = 3.85;
 
 fn gate_ns(iters: u64, mut f: impl FnMut()) -> f64 {
     let t0 = Instant::now();
@@ -72,6 +88,14 @@ fn main() {
         "default filter must reject trace-level logs for this bench"
     );
 
+    // Flight-recorder cost: the always-on per-request slot write.
+    let ring = FlightRecorder::new();
+    let rec = FlightRecord::default();
+    let flight_iters = iters / 10;
+    let flight_record_ns = gate_ns(flight_iters, || {
+        ring.record(black_box(&rec));
+    });
+
     // --- 2/3. Discovery with tracing off vs on (in memory). --------------
     let (cfg, prep, ps, mflm) = setup();
     let reps = if fast() { 3 } else { 5 };
@@ -89,22 +113,34 @@ fn main() {
 
     let mut off_sec = f64::INFINITY;
     let mut on_sec = f64::INFINITY;
-    // Interleave off/on reps so drift hits both sides equally.
+    let mut deltas: Vec<f64> = Vec::with_capacity(reps);
+    // Interleave off/on reps so drift hits both sides equally, and keep the
+    // *paired* per-rep delta: comparing each on-rep to its adjacent off-rep
+    // cancels slow drift that min-vs-min across all reps cannot.
     for _ in 0..reps {
         let t = Instant::now();
         run();
-        off_sec = off_sec.min(t.elapsed().as_secs_f64());
+        let off = t.elapsed().as_secs_f64();
+        off_sec = off_sec.min(off);
 
         trace::enable();
         let t = Instant::now();
         run();
-        on_sec = on_sec.min(t.elapsed().as_secs_f64());
+        let on = t.elapsed().as_secs_f64();
+        on_sec = on_sec.min(on);
         trace::disable();
         trace::clear();
+        deltas.push(on - off);
     }
+    deltas.sort_by(|a, b| a.partial_cmp(b).expect("finite delta"));
+    let median_delta = deltas[deltas.len() / 2];
 
     let est_disabled_pct = span_gate_ns * spans_per_run / (off_sec * 1e9) * 100.0;
-    let enabled_pct = (on_sec - off_sec) / off_sec * 100.0;
+    // Raw median-of-pairs percentage can still dip below zero in noise; the
+    // headline number is clamped (tracing cannot make discovery faster).
+    let enabled_pct_raw = median_delta / off_sec * 100.0;
+    let enabled_pct = enabled_pct_raw.max(0.0);
+    let gate_ratio = span_gate_ns / BASELINE_GATE_NS;
 
     println!(
         "{}",
@@ -119,12 +155,24 @@ fn main() {
                     "log gate (filtered)".into(),
                     format!("{log_gate_ns:.1} ns/op")
                 ],
+                vec![
+                    "flight record".into(),
+                    format!("{flight_record_ns:.1} ns/op")
+                ],
+                vec![
+                    "gate vs 3.85ns baseline".into(),
+                    format!("{gate_ratio:.2}x")
+                ],
                 vec!["spans per discovery".into(), format!("{spans_per_run:.0}")],
                 vec!["discovery, tracing off".into(), format!("{off_sec:.4} s")],
                 vec!["discovery, tracing on".into(), format!("{on_sec:.4} s")],
                 vec![
                     "est. disabled overhead".into(),
                     format!("{est_disabled_pct:.4} %")
+                ],
+                vec![
+                    "enabled overhead (raw)".into(),
+                    format!("{enabled_pct_raw:.2} %")
                 ],
                 vec!["enabled overhead".into(), format!("{enabled_pct:.2} %")],
             ],
@@ -133,9 +181,12 @@ fn main() {
 
     let json = format!(
         "{{\n  \"obs_overhead\": {{\n    \"span_gate_ns\": {span_gate_ns:.2},\n    \
-         \"log_gate_ns\": {log_gate_ns:.2},\n    \"spans_per_discovery\": {spans_per_run:.0},\n    \
+         \"log_gate_ns\": {log_gate_ns:.2},\n    \"flight_record_ns\": {flight_record_ns:.2},\n    \
+         \"span_gate_ratio_vs_baseline\": {gate_ratio:.3},\n    \
+         \"spans_per_discovery\": {spans_per_run:.0},\n    \
          \"discovery_off_sec\": {off_sec:.6},\n    \"discovery_on_sec\": {on_sec:.6},\n    \
          \"est_disabled_overhead_pct\": {est_disabled_pct:.5},\n    \
+         \"enabled_overhead_pct_raw\": {enabled_pct_raw:.3},\n    \
          \"enabled_overhead_pct\": {enabled_pct:.3}\n  }}\n}}\n"
     );
     match std::fs::write("BENCH_obs.json", &json) {
@@ -158,5 +209,18 @@ fn main() {
         est_disabled_pct < 1.0,
         "estimated disabled overhead {est_disabled_pct:.4}% breaks the ≤1% contract"
     );
+    // The flight recorder is always on: a slot write is a handful of atomic
+    // ops plus a ~128-byte memcpy, nowhere near a microsecond.
+    assert!(
+        flight_record_ns < 1000.0,
+        "flight record too slow: {flight_record_ns:.1} ns"
+    );
+    if std::env::var("COHORTNET_STRICT_GATE").is_ok_and(|v| v == "1") {
+        assert!(
+            gate_ratio <= 2.0,
+            "span gate {span_gate_ns:.2} ns is {gate_ratio:.2}x the {BASELINE_GATE_NS} ns \
+             baseline (strict 2x bound)"
+        );
+    }
     println!("obs_overhead: ok");
 }

@@ -2,16 +2,42 @@
 //! with span tracing exporting to a file (the `COHORTNET_TRACE` mode), then
 //! asserts the file is valid JSON in Chrome trace event format and contains
 //! the expected stage spans for all four paper modules (MFLM, CDM, CRLM,
-//! CEM) plus the mining/retrieval sub-stages. Exits non-zero on any failure.
+//! CEM) plus the mining/retrieval sub-stages. A second phase boots a small
+//! fleet, traces one `/score`, and asserts the export is a single
+//! *connected* flame across threads: the router worker's `serve.request`
+//! span is an ancestor of the replica batcher's `serve.batch` span even
+//! though they ran on different threads. Exits non-zero on any failure.
 //!
 //! Run: `COHORTNET_TRACE=trace.json cargo run --release -p cohortnet-bench
 //! --bin trace_smoke` (the path defaults to `trace.json` when unset).
 
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+
 use cohortnet::config::CohortNetConfig;
 use cohortnet::train::train_cohortnet;
+use cohortnet_bench::openloop;
 use cohortnet_ehr::{profiles, standardize::Standardizer, synth::generate};
+use cohortnet_fleet::{serve_fleet, FleetConfig};
 use cohortnet_models::data::prepare;
 use cohortnet_serve::json::{self, Json};
+use cohortnet_serve::{demo, TransportConfig};
+
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    raw.split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line")
+}
 
 fn main() {
     let path = std::env::var("COHORTNET_TRACE").unwrap_or_else(|_| "trace.json".to_string());
@@ -107,6 +133,70 @@ fn main() {
                 .is_some_and(|p| discover_ids.contains(&p))
     });
     assert!(nested, "cdm.fit is not nested under discover");
+    let n_pipeline = events.len();
 
-    println!("trace-smoke: ok ({} events in {path})", events.len());
+    // Phase 2: request tracing through the fleet. One `/score` through a
+    // 2-replica fleet must come out as a single connected flame: the router
+    // worker's `serve.request` span an ancestor of the replica batcher's
+    // `serve.batch` span, on *different* threads, linked by the explicit
+    // `Span::follows` baton rather than the per-thread span stack.
+    eprintln!("trace-smoke: tracing one fleet /score...");
+    let bundle = demo::demo_bundle();
+    cohortnet_obs::trace::clear();
+    let fleet = serve_fleet(
+        &bundle.snapshot,
+        FleetConfig {
+            replicas: 2,
+            transport: TransportConfig {
+                port: 0,
+                ..TransportConfig::default()
+            },
+            ..FleetConfig::default()
+        },
+    )
+    .expect("fleet starts");
+    let status = post(
+        fleet.addr(),
+        "/score",
+        &openloop::score_body(&bundle.examples[0]),
+    );
+    assert_eq!(status, 200, "fleet /score failed");
+    fleet.shutdown();
+
+    let spans = cohortnet_obs::trace::snapshot();
+    let by_id: std::collections::HashMap<u64, &cohortnet_obs::trace::Event> =
+        spans.iter().map(|e| (e.id, e)).collect();
+    let trace_arg = |e: &cohortnet_obs::trace::Event| {
+        e.args
+            .iter()
+            .find(|(k, _)| *k == "trace")
+            .map(|(_, v)| v.clone())
+    };
+    let mut connected = false;
+    for batch in spans.iter().filter(|e| e.name == "serve.batch") {
+        let mut cur = batch.parent;
+        while cur != 0 {
+            let Some(p) = by_id.get(&cur) else { break };
+            if p.name == "serve.request" && p.tid != batch.tid {
+                assert_eq!(
+                    trace_arg(p),
+                    trace_arg(batch),
+                    "request and batch spans carry different trace ids"
+                );
+                connected = true;
+            }
+            cur = p.parent;
+        }
+    }
+    assert!(
+        connected,
+        "fleet /score did not export a connected cross-thread trace \
+         (no serve.batch span with a serve.request ancestor on another thread); \
+         span names: {:?}",
+        spans.iter().map(|e| e.name).collect::<Vec<_>>()
+    );
+    println!(
+        "trace-smoke: ok ({n_pipeline} pipeline events in {path}; fleet /score \
+         request span linked across threads to its batch span)"
+    );
 }

@@ -31,8 +31,8 @@ use cohortnet_serve::http::Request;
 use cohortnet_serve::json::{self, obj, Json};
 use cohortnet_serve::metrics::Metrics;
 use cohortnet_serve::server::{
-    cohorts_json, error_body, explain_response, parse_score_instances, score_rows_response,
-    shutdown_body,
+    cohorts_json, debug_requests_body, debug_trace_body, error_body, explain_response,
+    parse_score_instances, score_rows_response, shutdown_body,
 };
 use cohortnet_serve::{
     serve_app, App, AppResponse, Engine, EngineConfig, EngineError, Server, ServerCtl,
@@ -183,6 +183,9 @@ impl FleetApp {
                 Ok(rows) => {
                     replica.note_result(true);
                     replica.note_served();
+                    // Stage attribution: which replica actually served (a
+                    // retried dispatch overwrites the failed attempt's id).
+                    cohortnet_obs::stage::note_replica(replica.id as i32);
                     let (status, body) = score_rows_response(&rows);
                     return AppResponse::json(status, body);
                 }
@@ -245,6 +248,46 @@ impl FleetApp {
         ]))
     }
 
+    /// The `GET /debug/config` body for the router: resolved fleet and
+    /// engine knobs, the serving fingerprint, kernel path and
+    /// observability state — the fleet twin of the single server's view.
+    fn debug_config_body(&self, ctl: &ServerCtl<'_>) -> String {
+        let model = self.model();
+        json::render(&obj(vec![
+            ("role", Json::Str("fleet".into())),
+            ("policy", Json::Str(self.pool.policy().name().into())),
+            ("n_replicas", Json::Num(self.pool.replicas().len() as f64)),
+            (
+                "snapshot_fingerprint",
+                Json::Str(model.loaded.fingerprint_hex()),
+            ),
+            (
+                "simd_backend",
+                Json::Str(cohortnet_tensor::simd::active().name().into()),
+            ),
+            ("quant", Json::Bool(model.quant)),
+            ("max_batch", Json::Num(self.engine_cfg.max_batch as f64)),
+            (
+                "max_delay_us",
+                Json::Num(self.engine_cfg.max_delay_us as f64),
+            ),
+            ("deadline_ms", Json::Num(self.engine_cfg.deadline_ms as f64)),
+            ("queue_cap", Json::Num(self.engine_cfg.queue_cap as f64)),
+            ("engine_threads", Json::Num(self.engine_cfg.threads as f64)),
+            (
+                "reloads",
+                Json::Num(self.reloads.load(std::sync::atomic::Ordering::Relaxed) as f64),
+            ),
+            ("trace_enabled", Json::Bool(cohortnet_obs::trace::enabled())),
+            (
+                "flight_slots",
+                Json::Num(cohortnet_obs::flight::FLIGHT_SLOTS as f64),
+            ),
+            ("flight_total", Json::Num(ctl.flight().total() as f64)),
+            ("flight_dropped", Json::Num(ctl.flight().dropped() as f64)),
+        ]))
+    }
+
     /// The router's transport registry + the process-global registry, then
     /// every replica's registry labeled `replica="<id>"`. Family HELP/TYPE
     /// headers repeat per replica — fine for this repo's test consumers,
@@ -286,6 +329,11 @@ impl App for FleetApp {
             }
             ("GET", "/cohorts") => AppResponse::json(200, cohorts_json(&self.model().loaded)),
             ("GET", "/healthz") => AppResponse::json(200, self.healthz_body()),
+            ("GET", "/debug/requests") => {
+                AppResponse::json(200, debug_requests_body(ctl.flight(), &req.query))
+            }
+            ("GET", "/debug/config") => AppResponse::json(200, self.debug_config_body(ctl)),
+            ("GET", "/debug/trace") => AppResponse::json(200, debug_trace_body(&req.query)),
             ("GET", "/metrics") => AppResponse {
                 status: 200,
                 content_type: "text/plain; version=0.0.4",
@@ -303,9 +351,11 @@ impl App for FleetApp {
             (_, "/score" | "/explain" | "/admin/reload" | "/shutdown") => {
                 AppResponse::json(405, error_body("use POST for this endpoint"))
             }
-            (_, "/cohorts" | "/healthz" | "/metrics") => {
-                AppResponse::json(405, error_body("use GET for this endpoint"))
-            }
+            (
+                _,
+                "/cohorts" | "/healthz" | "/metrics" | "/debug/requests" | "/debug/config"
+                | "/debug/trace",
+            ) => AppResponse::json(405, error_body("use GET for this endpoint")),
             _ => AppResponse::json(404, error_body("unknown endpoint")),
         }
     }

@@ -349,3 +349,51 @@ fn chaos_kill_reroutes_without_client_visible_errors() {
 
     fleet.shutdown();
 }
+
+#[test]
+fn debug_requests_attributes_the_serving_replica() {
+    let _s = serial();
+    let b = bundle();
+    let fleet = serve_fleet(&b.snapshot, fleet_config(2, DispatchPolicy::LeastLoaded))
+        .expect("fleet starts");
+    let addr = fleet.addr();
+    let body = score_body(&b.examples, None);
+    for _ in 0..4 {
+        let (status, resp) = request(addr, "POST", "/score", &body);
+        assert_eq!(status, 200, "{resp}");
+    }
+
+    let (status, resp) = request(addr, "GET", "/debug/requests", "");
+    assert_eq!(status, 200, "{resp}");
+    let parsed = json::parse(&resp).expect("debug requests parses");
+    let replicas: Vec<f64> = parsed
+        .get("requests")
+        .and_then(Json::as_arr)
+        .expect("requests array")
+        .iter()
+        .filter(|r| {
+            r.get("route").and_then(Json::as_str) == Some("/score")
+                && r.get("status").and_then(Json::as_f64) == Some(200.0)
+        })
+        .filter_map(|r| r.get("replica").and_then(Json::as_f64))
+        .collect();
+    assert!(replicas.len() >= 4, "scored requests missing: {resp}");
+    assert!(
+        replicas.iter().all(|&r| (0.0..2.0).contains(&r)),
+        "every routed /score must name its replica: {replicas:?}"
+    );
+
+    // The router's /debug/config resolves fleet-level flags.
+    let (status, resp) = request(addr, "GET", "/debug/config", "");
+    assert_eq!(status, 200, "{resp}");
+    let cfg = json::parse(&resp).expect("debug config parses");
+    assert_eq!(cfg.get("role").and_then(Json::as_str), Some("fleet"));
+    assert_eq!(cfg.get("n_replicas").and_then(Json::as_f64), Some(2.0));
+    let want_fp = format!("{:016x}", fnv64(b.snapshot.as_bytes()));
+    assert_eq!(
+        cfg.get("snapshot_fingerprint").and_then(Json::as_str),
+        Some(want_fp.as_str())
+    );
+
+    fleet.shutdown();
+}

@@ -1,0 +1,235 @@
+//! Trace context: the identity a request carries across threads and hops.
+//!
+//! Per-thread parent tracking ([`crate::span`]) builds well-formed span
+//! trees *within* a thread, but a `/score` crosses at least four threads
+//! (event loop → worker → engine batcher, and router → replica in the
+//! fleet). [`TraceCtx`] is the explicit baton passed across those seams: a
+//! 128-bit trace id, the span id of the logical parent, and a sampled bit.
+//! [`crate::span::Span::follows`] re-parents a span onto a ctx, so the
+//! exported Chrome trace renders one connected flame across threads.
+//!
+//! The text encoding is W3C-`traceparent`-shaped
+//! (`00-<32 hex trace-id>-<16 hex parent-span>-<2 hex flags>`), so a
+//! caller-supplied `traceparent` HTTP header joins the server's spans to
+//! the client's trace, and [`TraceCtx::encode`] can be injected into
+//! outbound hops.
+//!
+//! Creation is cheap and lock-free (one `fetch_add` plus bit mixing) and
+//! never branches on whether tracing is enabled — a ctx also identifies
+//! the request in the always-on flight recorder ([`crate::flight`]).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The HTTP request header carrying an encoded [`TraceCtx`].
+pub const TRACEPARENT_HEADER: &str = "traceparent";
+
+/// A request's trace identity, passed explicitly across thread seams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// 128-bit trace id shared by every span of one logical request.
+    pub trace_id: u128,
+    /// Span id of the logical parent (0 = root, no parent).
+    pub parent_span: u64,
+    /// Sampled flag — carried for propagation; the process-global trace
+    /// collector gate ([`crate::trace::enabled`]) decides actual recording.
+    pub sampled: bool,
+}
+
+/// Murmur3/splitmix-style 64-bit finalizer; avalanches counter bits so
+/// consecutive trace ids don't share prefixes.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// Per-process entropy mixed into every trace id so ids from different
+/// processes (e.g. fleet router vs a client) don't collide.
+fn boot_entropy() -> u64 {
+    static BOOT: OnceLock<u64> = OnceLock::new();
+    *BOOT.get_or_init(|| {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        mix64(nanos ^ (std::process::id() as u64).rotate_left(32))
+    })
+}
+
+impl TraceCtx {
+    /// Mints a fresh root ctx: new trace id, no parent. One `fetch_add`
+    /// plus bit mixing — cheap enough to run on every request.
+    pub fn root() -> TraceCtx {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let boot = boot_entropy();
+        let hi = mix64(n ^ boot);
+        let lo = mix64(n.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ boot.rotate_left(17));
+        TraceCtx {
+            trace_id: ((hi as u128) << 64) | lo as u128,
+            parent_span: 0,
+            sampled: crate::trace::enabled(),
+        }
+    }
+
+    /// A child ctx: same trace, parented under `span_id`. This is the
+    /// value to hand across a queue so the far side's span links back.
+    pub fn child(&self, span_id: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace_id,
+            parent_span: span_id,
+            sampled: self.sampled,
+        }
+    }
+
+    /// Encodes as a `traceparent`-style header value:
+    /// `00-<32 hex trace-id>-<16 hex parent-span>-<01|00>`.
+    pub fn encode(&self) -> String {
+        format!(
+            "00-{:032x}-{:016x}-{:02x}",
+            self.trace_id,
+            self.parent_span,
+            u8::from(self.sampled)
+        )
+    }
+
+    /// Parses a `traceparent`-style value. Returns `None` for anything
+    /// malformed (wrong field count, wrong width, non-hex) or for an
+    /// all-zero trace id, which the W3C spec deems invalid.
+    pub fn parse(s: &str) -> Option<TraceCtx> {
+        let mut parts = s.trim().split('-');
+        let version = parts.next()?;
+        let trace = parts.next()?;
+        let parent = parts.next()?;
+        let flags = parts.next()?;
+        if parts.next().is_some() || version.len() != 2 || trace.len() != 32 {
+            return None;
+        }
+        if parent.len() != 16 || flags.len() != 2 {
+            return None;
+        }
+        u8::from_str_radix(version, 16).ok()?;
+        let trace_id = u128::from_str_radix(trace, 16).ok()?;
+        let parent_span = u64::from_str_radix(parent, 16).ok()?;
+        let flags = u8::from_str_radix(flags, 16).ok()?;
+        if trace_id == 0 {
+            return None;
+        }
+        Some(TraceCtx {
+            trace_id,
+            parent_span,
+            sampled: flags & 1 == 1,
+        })
+    }
+
+    /// The trace id as 32 lowercase hex chars (flight-recorder rendering).
+    pub fn trace_hex(&self) -> String {
+        format!("{:032x}", self.trace_id)
+    }
+}
+
+thread_local! {
+    /// The ctx of the request currently being handled on this thread.
+    static CURRENT: Cell<Option<TraceCtx>> = const { Cell::new(None) };
+}
+
+/// The ctx of the request currently being handled on this thread, if a
+/// [`scope`] guard is live. Stages that enqueue work onto other threads
+/// (e.g. the engine's micro-batch queue) read this to stamp the baton.
+pub fn current() -> Option<TraceCtx> {
+    CURRENT.with(Cell::get)
+}
+
+/// Restores the previous thread-current ctx when dropped.
+pub struct CtxGuard {
+    prev: Option<TraceCtx>,
+}
+
+/// Installs `ctx` as this thread's current request ctx for the guard's
+/// lifetime. Worker threads wrap each request's `handle` call in a scope;
+/// everything called synchronously underneath sees it via [`current`].
+pub fn scope(ctx: TraceCtx) -> CtxGuard {
+    let prev = CURRENT.with(|c| c.replace(Some(ctx)));
+    CtxGuard { prev }
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_parse_round_trip() {
+        let ctx = TraceCtx {
+            trace_id: 0x0123_4567_89ab_cdef_0011_2233_4455_6677,
+            parent_span: 0xdead_beef_cafe_f00d,
+            sampled: true,
+        };
+        let text = ctx.encode();
+        assert_eq!(
+            text,
+            "00-0123456789abcdef0011223344556677-deadbeefcafef00d-01"
+        );
+        assert_eq!(TraceCtx::parse(&text), Some(ctx));
+        let unsampled = TraceCtx {
+            sampled: false,
+            ..ctx
+        };
+        assert_eq!(TraceCtx::parse(&unsampled.encode()), Some(unsampled));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "00",
+            "00-abc-def-01",
+            "00-0123456789abcdef0011223344556677-deadbeefcafef00d",
+            "00-0123456789abcdef0011223344556677-deadbeefcafef00d-01-extra",
+            "zz-0123456789abcdef0011223344556677-deadbeefcafef00d-01",
+            "00-0123456789abcdef0011223344556677-deadbeefcafeXXXX-01",
+            "00-00000000000000000000000000000000-deadbeefcafef00d-01",
+        ] {
+            assert_eq!(TraceCtx::parse(bad), None, "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn roots_are_unique_and_children_inherit() {
+        let a = TraceCtx::root();
+        let b = TraceCtx::root();
+        assert_ne!(a.trace_id, b.trace_id);
+        assert_eq!(a.parent_span, 0);
+        let child = a.child(42);
+        assert_eq!(child.trace_id, a.trace_id);
+        assert_eq!(child.parent_span, 42);
+    }
+
+    #[test]
+    fn scope_restores_previous() {
+        assert_eq!(current(), None);
+        let outer = TraceCtx::root();
+        {
+            let _g = scope(outer);
+            assert_eq!(current(), Some(outer));
+            {
+                let inner = outer.child(7);
+                let _g2 = scope(inner);
+                assert_eq!(current(), Some(inner));
+            }
+            assert_eq!(current(), Some(outer));
+        }
+        assert_eq!(current(), None);
+    }
+}

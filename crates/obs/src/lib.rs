@@ -21,6 +21,12 @@
 //!   in Prometheus text exposition format. A process-wide
 //!   [`metrics::global`] registry lets discovery, training and serving all
 //!   publish through one endpoint.
+//! * [`ctx`] + [`stage`] + [`flight`] — request-scoped telemetry for the
+//!   serving path: a [`ctx::TraceCtx`] baton links spans across thread
+//!   seams (`traceparent`-style text encoding for the HTTP edge), a
+//!   [`stage::StageTimings`] attributes one request's latency to its
+//!   pipeline stages, and the always-on [`flight::FlightRecorder`] keeps
+//!   the last 1024 completed requests for post-hoc triage.
 //!
 //! ## Overhead contract
 //!
@@ -33,9 +39,12 @@
 
 #![warn(missing_docs)]
 
+pub mod ctx;
+pub mod flight;
 pub mod log;
 pub mod metrics;
 pub mod span;
+pub mod stage;
 pub mod trace;
 
 use std::sync::Once;

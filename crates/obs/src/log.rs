@@ -18,6 +18,12 @@
 //! The hot-path gate is [`enabled`]: one relaxed atomic load against the
 //! maximum level any target admits. The [`crate::obs_info!`]-family macros
 //! only format their message and fields after that gate passes.
+//!
+//! Warn lines are additionally rate-limited per call site (token bucket,
+//! [`WARN_BURST`] burst / [`WARN_REFILL_PER_SEC`] refill) so a poisoned
+//! hot loop cannot flood stderr; swallowed lines are counted in the
+//! `cohortnet_log_suppressed_total` metric and summarized on the site's
+//! next emitted line as a `suppressed=N` field. Errors are never limited.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -120,10 +126,26 @@ impl Filter {
     }
 }
 
+/// Warn-site token bucket: burst capacity per call site. A site that has
+/// warned this many times without pause is suppressed until it refills.
+pub const WARN_BURST: f64 = 8.0;
+
+/// Warn-site token bucket: refill rate in tokens per second.
+pub const WARN_REFILL_PER_SEC: f64 = 2.0;
+
+/// Per-call-site token bucket state for warn rate limiting.
+struct SiteBucket {
+    tokens: f64,
+    last_refill: Instant,
+    suppressed: u64,
+}
+
 struct LogState {
     filter: Filter,
     format: Format,
     capture: Option<Arc<Mutex<String>>>,
+    /// Warn-site buckets, keyed by `file:line` of the macro call site.
+    sites: std::collections::HashMap<&'static str, SiteBucket>,
 }
 
 /// Fast gate: the highest level any target admits. 3 == the `info` default.
@@ -136,6 +158,7 @@ fn state() -> &'static Mutex<LogState> {
             filter: Filter::parse("info"),
             format: Format::Text,
             capture: None,
+            sites: std::collections::HashMap::new(),
         })
     })
 }
@@ -220,14 +243,70 @@ fn json_escape(text: &str, out: &mut String) {
     }
 }
 
+/// Total warn lines swallowed by the per-site rate limiter, also exported
+/// via the global registry as `cohortnet_log_suppressed_total`.
+pub fn suppressed_total() -> u64 {
+    suppressed_counter().get()
+}
+
+fn suppressed_counter() -> &'static Arc<crate::metrics::Counter> {
+    static COUNTER: OnceLock<Arc<crate::metrics::Counter>> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        crate::metrics::global().counter(
+            "cohortnet_log_suppressed_total",
+            "Warn lines swallowed by the per-call-site rate limiter.",
+        )
+    })
+}
+
 /// Formats and emits one record. Call through the [`crate::obs_info!`]-family
 /// macros, which apply the [`enabled`] gate first.
 pub fn write(level: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
+    write_at(level, target, "", msg, fields);
+}
+
+/// Like [`write`], with the macro call site (`file:line`) attached. Warn
+/// records are token-bucket rate-limited per site ([`WARN_BURST`] burst,
+/// [`WARN_REFILL_PER_SEC`] refill) so one hot warn site — say, a
+/// chaos-poisoned engine rejecting every batch — cannot flood stderr.
+/// Suppressed lines are counted in `cohortnet_log_suppressed_total`, and
+/// the next line the site does emit carries a `suppressed=N` field.
+pub fn write_at(
+    level: Level,
+    target: &str,
+    site: &'static str,
+    msg: &str,
+    fields: &[(&str, String)],
+) {
     let line = {
-        let state = state().lock().expect("log state poisoned");
+        let mut state = state().lock().expect("log state poisoned");
         if level as u8 > state.filter.level_for(target) {
             return;
         }
+        let mut summary: Option<(&str, String)> = None;
+        if level == Level::Warn && !site.is_empty() {
+            let now = Instant::now();
+            let bucket = state.sites.entry(site).or_insert(SiteBucket {
+                tokens: WARN_BURST,
+                last_refill: now,
+                suppressed: 0,
+            });
+            let elapsed = now.duration_since(bucket.last_refill).as_secs_f64();
+            bucket.tokens = (bucket.tokens + elapsed * WARN_REFILL_PER_SEC).min(WARN_BURST);
+            bucket.last_refill = now;
+            if bucket.tokens < 1.0 {
+                bucket.suppressed += 1;
+                drop(state);
+                suppressed_counter().inc();
+                return;
+            }
+            bucket.tokens -= 1.0;
+            if bucket.suppressed > 0 {
+                summary = Some(("suppressed", bucket.suppressed.to_string()));
+                bucket.suppressed = 0;
+            }
+        }
+        let state = &*state;
         let mut line = String::with_capacity(64 + msg.len());
         match state.format {
             Format::Text => {
@@ -236,9 +315,9 @@ pub fn write(level: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
                     "[{elapsed:9.3}s {:5} {target}] {msg}",
                     level.as_str().to_ascii_uppercase()
                 ));
-                if !fields.is_empty() {
+                if !fields.is_empty() || summary.is_some() {
                     line.push_str(" |");
-                    for (k, v) in fields {
+                    for (k, v) in fields.iter().chain(summary.iter()) {
                         line.push_str(&format!(" {k}={v}"));
                     }
                 }
@@ -255,7 +334,7 @@ pub fn write(level: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
                 line.push_str("\",\"msg\":\"");
                 json_escape(msg, &mut line);
                 line.push('"');
-                for (k, v) in fields {
+                for (k, v) in fields.iter().chain(summary.iter()) {
                     line.push_str(",\"");
                     json_escape(k, &mut line);
                     line.push_str("\":\"");
@@ -280,9 +359,10 @@ pub fn write(level: Level, target: &str, msg: &str, fields: &[(&str, String)]) {
 macro_rules! obs_log {
     ($lvl:expr, target: $target:expr, $msg:expr $(, $k:ident = $v:expr)* $(,)?) => {{
         if $crate::log::enabled($lvl) {
-            $crate::log::write(
+            $crate::log::write_at(
                 $lvl,
                 $target,
+                ::std::concat!(::std::file!(), ":", ::std::line!()),
                 ::std::convert::AsRef::<str>::as_ref(&$msg),
                 &[$((stringify!($k), ::std::format!("{}", $v))),*],
             );
@@ -357,5 +437,73 @@ mod tests {
         let mut out = String::new();
         json_escape("a\"b\\c\nd", &mut out);
         assert_eq!(out, "a\\\"b\\\\c\\nd");
+    }
+
+    /// Serializes tests that use the process-global capture slot.
+    static CAPTURE_LOCK: Mutex<()> = Mutex::new(());
+
+    /// One fixed call site for the rate-limit test — the bucket is keyed
+    /// by `file:line` of the macro expansion, so every call must share it.
+    fn warn_from_one_site(i: u64) {
+        obs_warn!(target: "unit.ratelimit", "same warn again", attempt = i);
+    }
+
+    #[test]
+    fn warn_sites_are_rate_limited_with_summary() {
+        let _serial = CAPTURE_LOCK.lock().unwrap();
+        let cap = capture_start();
+        let before = suppressed_total();
+        for i in 0..30 {
+            // One call site, hammered: the bucket admits the burst and
+            // swallows the rest.
+            warn_from_one_site(i);
+        }
+        let emitted = cap
+            .contents()
+            .lines()
+            .filter(|l| l.contains("unit.ratelimit"))
+            .count();
+        assert!(emitted >= 1, "burst must emit something");
+        assert!(emitted < 30, "flood must be clipped, got {emitted} lines");
+        let swallowed = suppressed_total() - before;
+        assert_eq!(swallowed as usize + emitted, 30);
+
+        // After a refill the site speaks again and reports what was lost.
+        std::thread::sleep(std::time::Duration::from_millis(600));
+        warn_from_one_site(99);
+        let text = cap.contents();
+        drop(cap);
+        let last = text
+            .lines()
+            .filter(|l| l.contains("unit.ratelimit"))
+            .next_back()
+            .unwrap();
+        assert!(last.contains("suppressed="), "{last}");
+    }
+
+    #[test]
+    fn distinct_warn_sites_do_not_share_buckets() {
+        let _serial = CAPTURE_LOCK.lock().unwrap();
+        let cap = capture_start();
+        for _ in 0..3 {
+            obs_warn!(target: "unit.ratelimit.a", "site a");
+            obs_warn!(target: "unit.ratelimit.b", "site b");
+        }
+        let text = cap.contents();
+        drop(cap);
+        assert_eq!(text.matches("site a").count(), 3, "{text}");
+        assert_eq!(text.matches("site b").count(), 3, "{text}");
+    }
+
+    #[test]
+    fn errors_are_never_rate_limited() {
+        let _serial = CAPTURE_LOCK.lock().unwrap();
+        let cap = capture_start();
+        for _ in 0..40 {
+            obs_error!(target: "unit.ratelimit.err", "must all land");
+        }
+        let text = cap.contents();
+        drop(cap);
+        assert_eq!(text.matches("must all land").count(), 40);
     }
 }

@@ -86,6 +86,9 @@ pub struct Histogram {
     sum: AtomicU64,
     /// Total observation count.
     count: AtomicU64,
+    /// Largest value ever observed — bounds the top quantile, which the
+    /// overflow bucket alone cannot (its upper edge is `+Inf`).
+    max: AtomicU64,
 }
 
 impl Histogram {
@@ -97,6 +100,7 @@ impl Histogram {
             buckets,
             sum: AtomicU64::new(0),
             count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
         }
     }
 
@@ -110,6 +114,7 @@ impl Histogram {
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
     }
 
     /// The bucket bounds this histogram was built with.
@@ -127,22 +132,33 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Largest value ever observed (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
     /// The value at (or just above) the given quantile, estimated from the
     /// bucket bounds; `None` when empty. Used by the throughput bench.
+    ///
+    /// Every estimate is clamped to the observed max, so a quantile that
+    /// lands in the overflow bucket reports the real largest observation
+    /// instead of a meaningless `u64::MAX`, and a top quantile inside a
+    /// bounded bucket never exceeds any value actually seen.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         let total = self.count();
         if total == 0 {
             return None;
         }
+        let max = self.max();
         let target = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= target {
-                return Some(self.bounds.get(i).copied().unwrap_or(u64::MAX));
+                return Some(self.bounds.get(i).copied().unwrap_or(max).min(max));
             }
         }
-        Some(u64::MAX)
+        Some(max)
     }
 
     fn render(&self, out: &mut String, name: &str, help: &str) {
@@ -169,9 +185,11 @@ impl Histogram {
         if plain.is_empty() {
             out.push_str(&format!("{name}_sum {}\n", self.sum()));
             out.push_str(&format!("{name}_count {}\n", self.count()));
+            out.push_str(&format!("{name}_max {}\n", self.max()));
         } else {
             out.push_str(&format!("{name}_sum{{{plain}}} {}\n", self.sum()));
             out.push_str(&format!("{name}_count{{{plain}}} {}\n", self.count()));
+            out.push_str(&format!("{name}_max{{{plain}}} {}\n", self.max()));
         }
     }
 }
@@ -312,10 +330,11 @@ impl Registry {
     /// Renders every family with a `key="value"` label attached to each
     /// sample (merged with the histogram `le` label). This is how a fleet
     /// router exposes per-replica registries side by side under one
-    /// `/metrics` endpoint without the family names colliding.
+    /// `/metrics` endpoint without the family names colliding. The label
+    /// value is escaped per the Prometheus exposition rules.
     pub fn render_labeled(&self, key: &str, value: &str) -> String {
         let families = self.families.lock().expect("registry poisoned");
-        let label = format!("{key}=\"{value}\"");
+        let label = format!("{key}=\"{}\"", escape_label_value(value));
         let extra = format!("{label},");
         let mut out = String::new();
         for f in families.iter() {
@@ -339,6 +358,22 @@ impl Registry {
     }
 }
 
+/// Escapes a label value for the Prometheus text exposition format:
+/// backslash, double-quote and newline must be written as `\\`, `\"` and
+/// `\n` inside the quoted value.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
 /// The process-wide registry: offline stages (discovery, training) publish
 /// here, and servers append it to their `/metrics` rendering.
 pub fn global() -> &'static Registry {
@@ -358,8 +393,23 @@ mod tests {
         }
         assert_eq!(h.count(), 5);
         assert_eq!(h.sum(), 110);
+        assert_eq!(h.max(), 100);
         assert_eq!(h.quantile(0.5), Some(4)); // 3rd of 5 lands in le=4
-        assert_eq!(h.quantile(1.0), Some(u64::MAX)); // overflow bucket
+                                              // Overflow bucket clamps to the observed max, not u64::MAX.
+        assert_eq!(h.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn quantile_never_exceeds_observed_max() {
+        let h = Histogram::new(&[10, 100]);
+        h.observe(2);
+        h.observe(3);
+        // p100 lands in le=10 but only 3 was ever seen.
+        assert_eq!(h.quantile(1.0), Some(3));
+        assert_eq!(h.max(), 3);
+        let empty = Histogram::new(&[10]);
+        assert_eq!(empty.quantile(1.0), None);
+        assert_eq!(empty.max(), 0);
     }
 
     #[test]
@@ -411,6 +461,120 @@ mod tests {
         assert!(text.contains("unit_lat_us_sum{replica=\"1\"} 55"), "{text}");
         assert!(
             text.contains("unit_lat_us_count{replica=\"1\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("unit_lat_us_max{replica=\"1\"} 50"), "{text}");
+    }
+
+    #[test]
+    fn labeled_render_escapes_label_values() {
+        let r = Registry::new();
+        r.counter("unit_esc_total", "Escaping.").inc();
+        let text = r.render_labeled("replica", "a\"b\\c\nd");
+        assert!(
+            text.contains("unit_esc_total{replica=\"a\\\"b\\\\c\\nd\"} 1"),
+            "{text}"
+        );
+        // The rendered line must stay a single line.
+        let sample = text
+            .lines()
+            .find(|l| l.starts_with("unit_esc_total"))
+            .unwrap();
+        assert!(sample.ends_with("} 1"), "{sample}");
+        assert_eq!(escape_label_value("plain-1"), "plain-1");
+    }
+
+    #[test]
+    fn labeled_render_exact_text_round_trip() {
+        let r = Registry::new();
+        r.counter("unit_rt_total", "Round trip.").add(7);
+        r.gauge("unit_rt_depth", "Depth.").set(-2);
+        let h = r.histogram("unit_rt_us", "Histo.", &[5, 50]);
+        h.observe(3);
+        h.observe(60);
+        let expected = "\
+# HELP unit_rt_total Round trip.\n\
+# TYPE unit_rt_total counter\n\
+unit_rt_total{replica=\"2\"} 7\n\
+# HELP unit_rt_depth Depth.\n\
+# TYPE unit_rt_depth gauge\n\
+unit_rt_depth{replica=\"2\"} -2\n\
+# HELP unit_rt_us Histo.\n\
+# TYPE unit_rt_us histogram\n\
+unit_rt_us_bucket{replica=\"2\",le=\"5\"} 1\n\
+unit_rt_us_bucket{replica=\"2\",le=\"50\"} 1\n\
+unit_rt_us_bucket{replica=\"2\",le=\"+Inf\"} 2\n\
+unit_rt_us_sum{replica=\"2\"} 63\n\
+unit_rt_us_count{replica=\"2\"} 2\n\
+unit_rt_us_max{replica=\"2\"} 60\n";
+        assert_eq!(r.render_labeled("replica", "2"), expected);
+    }
+
+    #[test]
+    fn labeled_render_is_consistent_under_hammering() {
+        use std::sync::Arc as StdArc;
+        let r = StdArc::new(Registry::new());
+        let c = r.counter("unit_hammer_total", "Hammered.");
+        let h = r.histogram("unit_hammer_us", "Hammered.", &[10]);
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let c = StdArc::clone(&c);
+                let h = StdArc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        c.inc();
+                        h.observe(i % 20);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            let text = r.render_labeled("replica", "9");
+            // Cumulative bucket lines must stay monotone within a render
+            // even while observations land concurrently.
+            let bucket = |le: &str| -> u64 {
+                text.lines()
+                    .find(|l| l.contains(&format!("le=\"{le}\"")))
+                    .and_then(|l| l.rsplit(' ').next())
+                    .and_then(|v| v.parse().ok())
+                    .unwrap()
+            };
+            assert!(bucket("10") <= bucket("+Inf"), "{text}");
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        let text = r.render_labeled("replica", "9");
+        assert!(
+            text.contains("unit_hammer_total{replica=\"9\"} 20000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("unit_hammer_us_count{replica=\"9\"} 20000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("unit_hammer_us_max{replica=\"9\"} 19"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn labeled_render_merges_with_pre_labeled_histogram_families() {
+        // A histogram's own `le` label must compose with the injected
+        // label (injected first, `le` last) — not collide or duplicate.
+        let r = Registry::new();
+        let h = r.histogram("unit_merge_us", "Merge.", &[1]);
+        h.observe(1);
+        let text = r.render_labeled("replica", "0");
+        assert!(
+            text.contains("unit_merge_us_bucket{replica=\"0\",le=\"1\"} 1"),
+            "{text}"
+        );
+        assert_eq!(text.matches("le=\"1\"").count(), 1, "{text}");
+        assert_eq!(
+            text.matches("replica=\"0\",replica=\"0\"").count(),
+            0,
             "{text}"
         );
     }

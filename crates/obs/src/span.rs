@@ -103,6 +103,28 @@ impl Span {
     pub fn is_recording(&self) -> bool {
         self.0.is_some()
     }
+
+    /// This span's id (0 on an inert guard). Hand `ctx.child(span.id())`
+    /// across a queue so the far side can link back with [`Span::follows`].
+    pub fn id(&self) -> u64 {
+        self.0.as_ref().map_or(0, |a| a.id)
+    }
+
+    /// Re-parents this span onto an explicit [`crate::ctx::TraceCtx`],
+    /// overriding the thread-local parent stack. This is the cross-thread
+    /// link: a span opened on the far side of a queue `follows` the ctx
+    /// that rode along with the work item, so the exported trace connects
+    /// threads that per-thread parent tracking cannot. Also stamps the
+    /// trace id as a span arg. A no-op on an inert span.
+    pub fn follows(&mut self, ctx: &crate::ctx::TraceCtx) -> &mut Span {
+        if let Some(active) = &mut self.0 {
+            active.parent = ctx.parent_span;
+            active
+                .args
+                .push(("trace", format!("{:032x}", ctx.trace_id)));
+        }
+        self
+    }
 }
 
 impl Drop for Span {
@@ -153,6 +175,44 @@ mod tests {
         assert!(!trace::snapshot()
             .iter()
             .any(|e| e.name == "should.not.record"));
+    }
+
+    #[test]
+    fn follows_links_spans_across_threads() {
+        let _guard = TOGGLE.lock().unwrap();
+        trace::enable();
+        let ctx = crate::ctx::TraceCtx::root();
+        let parent_id;
+        let handed;
+        {
+            let mut parent = span("unit.follow.parent");
+            parent.follows(&ctx);
+            parent_id = parent.id();
+            assert_ne!(parent_id, 0);
+            handed = ctx.child(parent_id);
+        }
+        let worker = std::thread::spawn(move || {
+            let mut child = span("unit.follow.child");
+            child.follows(&handed);
+        });
+        worker.join().unwrap();
+        trace::disable();
+        let events = trace::snapshot();
+        let parent = events
+            .iter()
+            .find(|e| e.name == "unit.follow.parent")
+            .unwrap();
+        let child = events
+            .iter()
+            .find(|e| e.name == "unit.follow.child")
+            .unwrap();
+        assert_eq!(parent.parent, 0);
+        assert_eq!(child.parent, parent.id);
+        assert_ne!(child.tid, parent.tid, "spawned thread gets its own tid");
+        let hex = format!("{:032x}", ctx.trace_id);
+        for e in [parent, child] {
+            assert!(e.args.iter().any(|(k, v)| *k == "trace" && *v == hex));
+        }
     }
 
     #[test]

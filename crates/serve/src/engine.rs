@@ -38,7 +38,8 @@ use std::time::{Duration, Instant};
 
 use cohortnet::infer::{Inferencer, ScoreRequest};
 use cohortnet::quant::Scorer;
-use cohortnet_obs::{obs_error, obs_warn};
+use cohortnet_obs::ctx::TraceCtx;
+use cohortnet_obs::{obs_error, obs_warn, stage};
 
 use crate::metrics::Metrics;
 
@@ -127,10 +128,32 @@ impl std::error::Error for EngineError {}
 
 type Reply = Result<RowScore, EngineError>;
 
+/// What the batcher sends back per request: the reply plus the stage
+/// numbers measured on the batcher thread. The *caller's* thread stamps
+/// them into its own stage scratch ([`stage::note_engine`]), so
+/// attribution never needs a lock on the batcher side.
+struct Delivery {
+    reply: Reply,
+    /// Enqueue → batch compute started, µs.
+    queued_us: u32,
+    /// Forward-pass duration of the batch this request scored in, µs.
+    compute_us: u32,
+    /// Size of that batch (0 when the request never joined one).
+    batch_size: u32,
+}
+
 struct Pending {
     req: ScoreRequest,
-    tx: mpsc::Sender<Reply>,
+    tx: mpsc::Sender<Delivery>,
     enqueued: Instant,
+    /// Trace context of the enqueuing request, so the batcher's span can
+    /// link back across the thread boundary.
+    ctx: Option<TraceCtx>,
+}
+
+/// Duration as µs, saturating into a `u32` (~71 minutes).
+fn us32(d: Duration) -> u32 {
+    d.as_micros().min(u32::MAX as u128) as u32
 }
 
 struct Shared {
@@ -278,8 +301,9 @@ impl Engine {
             })
             .collect();
         let n_valid = checked.iter().filter(|r| r.is_ok()).count();
-        let mut slots: Vec<Result<mpsc::Receiver<Reply>, EngineError>> =
+        let mut slots: Vec<Result<mpsc::Receiver<Delivery>, EngineError>> =
             Vec::with_capacity(checked.len());
+        let ctx = cohortnet_obs::ctx::current();
         {
             let mut q = s.queue.lock().expect("engine queue poisoned");
             if q.len() + n_valid > s.cfg.queue_cap {
@@ -296,6 +320,7 @@ impl Engine {
                             req,
                             tx,
                             enqueued: now,
+                            ctx,
                         });
                         slots.push(Ok(rx));
                     }
@@ -306,13 +331,31 @@ impl Engine {
         }
         s.metrics.requests_total.add(n_valid as u64);
         s.cv.notify_all();
+        // Collect replies and fold the batcher-measured stage numbers into
+        // this thread's scratch. Several requests may land in different
+        // batches; the worst (max) wait/compute describes the call.
+        let mut stage_max: Option<(u32, u32, u32)> = None;
         let rows: Vec<Reply> = slots
             .into_iter()
             .map(|slot| match slot {
-                Ok(rx) => rx.recv().unwrap_or(Err(EngineError::ShuttingDown)),
+                Ok(rx) => match rx.recv() {
+                    Ok(d) => {
+                        let (q_us, c_us, bsz) = stage_max.unwrap_or((0, 0, 0));
+                        stage_max = Some((
+                            q_us.max(d.queued_us),
+                            c_us.max(d.compute_us),
+                            bsz.max(d.batch_size),
+                        ));
+                        d.reply
+                    }
+                    Err(_) => Err(EngineError::ShuttingDown),
+                },
                 Err(e) => Err(e),
             })
             .collect();
+        if let Some((q_us, c_us, bsz)) = stage_max {
+            stage::note_engine(q_us, c_us, bsz);
+        }
         for row in &rows {
             match row {
                 Ok(_) => s.metrics.responses_ok.inc(),
@@ -460,25 +503,43 @@ fn batcher_loop(s: &Shared) {
         };
         for pending in expired {
             s.metrics.requests_rejected_deadline.inc();
-            let _ = pending.tx.send(Err(EngineError::DeadlineExceeded));
+            let waited = batch_start.saturating_duration_since(pending.enqueued);
+            let _ = pending.tx.send(Delivery {
+                reply: Err(EngineError::DeadlineExceeded),
+                queued_us: us32(waited),
+                compute_us: 0,
+                batch_size: 0,
+            });
         }
         if batch.is_empty() {
             continue;
+        }
+        // Cross-thread trace link: the batch span follows the ctx of the
+        // first request that carried one, so one fleet `/score` renders as
+        // a single connected flame across worker and batcher threads.
+        if let Some(ctx) = batch.iter().find_map(|p| p.ctx) {
+            batch_span.follows(&ctx);
         }
         for pending in &batch {
             let waited = batch_start.saturating_duration_since(pending.enqueued);
             s.metrics.queue_wait_us.observe(waited.as_micros() as u64);
         }
         let rows = score_batch(s, &batch);
-        s.metrics
-            .batch_compute_us
-            .observe(batch_start.elapsed().as_micros() as u64);
+        let compute_us = us32(batch_start.elapsed());
+        s.metrics.batch_compute_us.observe(compute_us as u64);
         s.metrics.batches_total.inc();
         s.metrics.batch_size.observe(batch.len() as u64);
         let now = Instant::now();
+        let batch_size = batch.len() as u32;
         for (pending, row) in batch.iter().zip(rows) {
+            let queued = batch_start.saturating_duration_since(pending.enqueued);
             // A dropped receiver just means the caller gave up; keep going.
-            let _ = pending.tx.send(row);
+            let _ = pending.tx.send(Delivery {
+                reply: row,
+                queued_us: us32(queued),
+                compute_us,
+                batch_size,
+            });
             let waited = now.saturating_duration_since(pending.enqueued);
             s.metrics.latency_us.observe(waited.as_micros() as u64);
         }
@@ -512,9 +573,14 @@ fn batcher_thread(s: &Shared) {
                     s.shutdown.store(true, Ordering::SeqCst);
                     if let Ok(mut q) = s.queue.lock() {
                         for pending in q.drain(..) {
-                            let _ = pending.tx.send(Err(EngineError::Internal(
-                                "scoring engine restart budget exhausted".into(),
-                            )));
+                            let _ = pending.tx.send(Delivery {
+                                reply: Err(EngineError::Internal(
+                                    "scoring engine restart budget exhausted".into(),
+                                )),
+                                queued_us: 0,
+                                compute_us: 0,
+                                batch_size: 0,
+                            });
                         }
                     }
                     return;

@@ -49,7 +49,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cohortnet_obs::obs_info;
+use cohortnet_obs::flight::{FixedStr, FlightRecord};
+use cohortnet_obs::{ctx, obs_info, stage};
 
 use crate::http::{render_response, try_parse_request, HttpError, Request};
 use crate::reactor::{Interest, Poller, WakeReceiver};
@@ -135,6 +136,43 @@ pub(crate) struct Job {
     pub(crate) rid: String,
     /// When the request was fully parsed (request log latency origin).
     pub(crate) t0: Instant,
+    /// When the request's first byte arrived (total-latency origin).
+    pub(crate) t_first: Instant,
+    /// First byte → fully parsed, µs (the accept stage).
+    pub(crate) accept_us: u32,
+}
+
+/// A flight-recorder entry waiting on its final stage. Built by whoever
+/// rendered the response (worker or loop-level error path); the event
+/// loop stamps `write_us`/`total_us` when the last byte flushes, then
+/// commits the record to the ring.
+pub(crate) struct FlightPending {
+    pub(crate) record: FlightRecord,
+    /// First byte of the request (total-latency origin).
+    pub(crate) start: Instant,
+    /// Response handed to the event loop (write-stage origin).
+    pub(crate) ready: Instant,
+}
+
+impl FlightPending {
+    /// An entry for a loop-level error response (no worker involved): the
+    /// whole wait so far is attributed to the accept stage.
+    fn error(rid: &str, route: &str, status: u16, first_byte: Option<Instant>) -> FlightPending {
+        let now = Instant::now();
+        let start = first_byte.unwrap_or(now);
+        let mut record = FlightRecord {
+            rid: FixedStr::new(rid),
+            route: FixedStr::new(route),
+            status,
+            ..FlightRecord::default()
+        };
+        record.stage.accept_us = us32(now.saturating_duration_since(start));
+        FlightPending {
+            record,
+            start,
+            ready: now,
+        }
+    }
 }
 
 /// Rendered response bytes handed back from a worker to the event loop.
@@ -142,6 +180,12 @@ pub(crate) struct Done {
     pub(crate) conn: u64,
     pub(crate) bytes: Vec<u8>,
     pub(crate) close: bool,
+    pub(crate) flight: Option<FlightPending>,
+}
+
+/// Duration as µs, saturating into a `u32` (~71 minutes).
+fn us32(d: Duration) -> u32 {
+    d.as_micros().min(u32::MAX as u128) as u32
 }
 
 struct JobQueueInner {
@@ -235,6 +279,12 @@ struct Conn {
     has_permit: bool,
     /// Requests fully served on this connection (keep-alive depth).
     served: u64,
+    /// When the current request's first byte arrived (None between
+    /// requests); consumed at parse completion into the accept stage.
+    req_first_byte: Option<Instant>,
+    /// Flight-recorder entry for the response being written, committed to
+    /// the ring when the last byte flushes.
+    flight: Option<FlightPending>,
 }
 
 impl Conn {
@@ -255,6 +305,8 @@ impl Conn {
             peer_eof: false,
             has_permit: false,
             served: 0,
+            req_first_byte: None,
+            flight: None,
         }
         .with_permit(has_permit)
     }
@@ -315,7 +367,9 @@ fn set_interest(conn: &mut Conn, poller: &mut Poller, want: Interest) -> bool {
 
 /// Renders a loop-level (not worker-routed) response with its own request
 /// id, mirroring what `handle_connection` used to attach to early errors.
-fn render_error(status: u16, message: &str, retry_after: bool) -> Vec<u8> {
+/// Returns the rendered bytes plus the request id, so the caller can file
+/// a matching flight-recorder entry.
+fn render_error(status: u16, message: &str, retry_after: bool) -> (Vec<u8>, String) {
     let rid = next_request_id();
     let body = error_body(message);
     let retry_headers: [(&str, &str); 2] = [("X-Request-Id", rid.as_str()), ("Retry-After", "1")];
@@ -325,7 +379,8 @@ fn render_error(status: u16, message: &str, retry_after: bool) -> Vec<u8> {
     } else {
         &plain_headers
     };
-    render_response(status, "application/json", &body, headers, true)
+    let bytes = render_response(status, "application/json", &body, headers, true);
+    (bytes, rid)
 }
 
 /// Drives a connection as far as it can go without blocking, from any
@@ -347,6 +402,15 @@ fn pump(
                     conn.out.clear();
                     conn.out_pos = 0;
                     conn.served += 1;
+                    if let Some(mut pending) = conn.flight.take() {
+                        let now = Instant::now();
+                        let write_us = us32(now.saturating_duration_since(pending.ready));
+                        pending.record.stage.write_us = write_us;
+                        pending.record.total_us =
+                            us32(now.saturating_duration_since(pending.start));
+                        state.metrics.stage_write_us.observe(write_us as u64);
+                        state.flight.record(&pending.record);
+                    }
                     if conn.drain_after_write {
                         // FIN after the response bytes, then discard late
                         // request data so the client reliably reads the
@@ -375,12 +439,18 @@ fn pump(
             ConnState::Reading => match try_parse_request(&conn.buf) {
                 Ok(Some(parsed)) => {
                     conn.buf.drain(..parsed.consumed);
+                    let t_first = conn.req_first_byte.take().unwrap_or_else(Instant::now);
+                    let accept_us = us32(t_first.elapsed());
+                    state.metrics.stage_accept_us.observe(accept_us as u64);
                     if stopping {
-                        conn.queue_response(
-                            render_error(503, "server is shutting down", true),
-                            true,
-                            false,
-                        );
+                        let (bytes, rid) = render_error(503, "server is shutting down", true);
+                        conn.flight = Some(FlightPending::error(
+                            &rid,
+                            &parsed.req.path,
+                            503,
+                            Some(t_first),
+                        ));
+                        conn.queue_response(bytes, true, false);
                         continue;
                     }
                     if conn.served > 0 {
@@ -391,6 +461,8 @@ fn pump(
                         req: parsed.req,
                         rid: next_request_id(),
                         t0: Instant::now(),
+                        t_first,
+                        accept_us,
                     };
                     match state.jobs.try_push(job) {
                         Ok(()) => {
@@ -400,11 +472,15 @@ fn pump(
                         }
                         Err(job) => {
                             state.metrics.dispatch_rejected.inc();
-                            conn.queue_response(
-                                render_error(503, "server overloaded, retry later", true),
-                                job.req.close,
-                                false,
-                            );
+                            let (bytes, rid) =
+                                render_error(503, "server overloaded, retry later", true);
+                            conn.flight = Some(FlightPending::error(
+                                &rid,
+                                &job.req.path,
+                                503,
+                                Some(job.t_first),
+                            ));
+                            conn.queue_response(bytes, job.req.close, false);
                             continue;
                         }
                     }
@@ -420,7 +496,14 @@ fn pump(
                             "connection closed mid-head"
                         };
                         let msg = HttpError::Malformed(why.into()).to_string();
-                        conn.queue_response(render_error(400, &msg, false), true, true);
+                        let (bytes, rid) = render_error(400, &msg, false);
+                        conn.flight = Some(FlightPending::error(
+                            &rid,
+                            "",
+                            400,
+                            conn.req_first_byte.take(),
+                        ));
+                        conn.queue_response(bytes, true, true);
                         continue;
                     }
                     return set_interest(conn, poller, Interest::READ);
@@ -430,7 +513,14 @@ fn pump(
                         HttpError::TooLarge => (413, "request too large".to_string()),
                         other => (400, other.to_string()),
                     };
-                    conn.queue_response(render_error(status, &msg, false), true, true);
+                    let (bytes, rid) = render_error(status, &msg, false);
+                    conn.flight = Some(FlightPending::error(
+                        &rid,
+                        "",
+                        status,
+                        conn.req_first_byte.take(),
+                    ));
+                    conn.queue_response(bytes, true, true);
                     continue;
                 }
             },
@@ -478,6 +568,9 @@ fn on_readable(
                     break;
                 }
                 Ok(n) => {
+                    if conn.req_first_byte.is_none() {
+                        conn.req_first_byte = Some(Instant::now());
+                    }
                     conn.buf.extend_from_slice(&chunk[..n]);
                     conn.last_activity = Instant::now();
                     // Yield to the parser once a request could plausibly be
@@ -512,28 +605,54 @@ pub(crate) fn spawn_workers(state: &Arc<AppState>, n: usize) -> Vec<JoinHandle<(
 
 fn worker_loop(state: &Arc<AppState>) {
     while let Some(job) = state.jobs.pop() {
+        let queue_us = us32(job.t0.elapsed());
+        state
+            .metrics
+            .stage_dispatch_wait_us
+            .observe(queue_us as u64);
+        stage::begin(job.accept_us, queue_us);
+        // Continue the client's trace if it sent a valid `traceparent`;
+        // otherwise start a fresh root. The request span `follows` this
+        // ctx, and stages running on other threads (the batcher) link back
+        // through the ctx published in the thread-local scope below.
+        let ctx0 = job
+            .req
+            .traceparent
+            .as_deref()
+            .and_then(ctx::TraceCtx::parse)
+            .unwrap_or_else(ctx::TraceCtx::root);
         let mut span = cohortnet_obs::span::span("serve.request");
+        span.follows(&ctx0);
         span.arg("request_id", &job.rid);
         span.arg("method", &job.req.method)
             .arg("path", &job.req.path);
-        let resp = state.app.handle(&job.req, &ServerCtl::new(state));
+        let resp = {
+            let _ctx = ctx::scope(ctx0.child(span.id()));
+            state.app.handle(&job.req, &ServerCtl::new(state))
+        };
         let status = resp.status;
         let close = job.req.close || resp.close;
-        let rid_header: [(&str, &str); 1] = [("X-Request-Id", job.rid.as_str())];
-        let retry_headers: [(&str, &str); 2] =
-            [("X-Request-Id", job.rid.as_str()), ("Retry-After", "1")];
-        let headers: &[(&str, &str)] = if status == 429 || status == 503 {
-            &retry_headers
-        } else {
-            &rid_header
-        };
+        let timing;
+        let mut headers: Vec<(&str, &str)> = vec![("X-Request-Id", job.rid.as_str())];
+        if status == 429 || status == 503 {
+            headers.push(("Retry-After", "1"));
+        }
+        if job.req.debug_timing {
+            timing = stage::peek().server_timing_value();
+            headers.push(("Server-Timing", timing.as_str()));
+        }
         let render_t0 = Instant::now();
-        let bytes = render_response(status, resp.content_type, &resp.body, headers, close);
-        state
-            .metrics
-            .render_us
-            .observe(render_t0.elapsed().as_micros() as u64);
+        let bytes = render_response(status, resp.content_type, &resp.body, &headers, close);
+        let render_us = us32(render_t0.elapsed());
+        state.metrics.render_us.observe(render_us as u64);
+        stage::note_render(render_us);
+        let timings = stage::take();
         span.arg("status", status);
+        span.arg("queue_us", timings.queue_us)
+            .arg("compute_us", timings.compute_us);
+        if timings.batch_size > 0 {
+            span.arg("batch", timings.batch_size);
+        }
         obs_info!(
             target: LOG,
             "request",
@@ -543,6 +662,14 @@ fn worker_loop(state: &Arc<AppState>) {
             status = status,
             dur_us = job.t0.elapsed().as_micros(),
         );
+        let mut record = FlightRecord {
+            rid: FixedStr::new(&job.rid),
+            route: FixedStr::new(&job.req.path),
+            status,
+            stage: timings,
+            ..FlightRecord::default()
+        };
+        record.set_trace(&ctx0);
         state
             .completions
             .lock()
@@ -551,6 +678,11 @@ fn worker_loop(state: &Arc<AppState>) {
                 conn: job.conn,
                 bytes,
                 close,
+                flight: Some(FlightPending {
+                    record,
+                    start: job.t_first,
+                    ready: Instant::now(),
+                }),
             });
         state.waker.wake();
     }
@@ -673,6 +805,7 @@ pub(crate) fn run(
             if conn.state != ConnState::Busy {
                 continue;
             }
+            conn.flight = done.flight;
             conn.queue_response(done.bytes, done.close, false);
             if !pump(conn, &mut poller, &state, stopping, &mut inflight) {
                 if let Some(conn) = conns.remove(&done.conn) {
@@ -695,11 +828,10 @@ pub(crate) fn run(
                         let mut conn = Conn::new(stream, token, admitted);
                         if !admitted {
                             state.metrics.conns_rejected.inc();
-                            conn.queue_response(
-                                render_error(503, "connection limit reached, retry later", true),
-                                true,
-                                true,
-                            );
+                            let (bytes, rid) =
+                                render_error(503, "connection limit reached, retry later", true);
+                            conn.flight = Some(FlightPending::error(&rid, "", 503, None));
+                            conn.queue_response(bytes, true, true);
                         }
                         let want = if admitted {
                             Interest::READ
@@ -767,7 +899,14 @@ pub(crate) fn run(
                     continue;
                 };
                 let msg = HttpError::Timeout.to_string();
-                conn.queue_response(render_error(408, &msg, false), true, true);
+                let (bytes, rid) = render_error(408, &msg, false);
+                conn.flight = Some(FlightPending::error(
+                    &rid,
+                    "",
+                    408,
+                    conn.req_first_byte.take(),
+                ));
+                conn.queue_response(bytes, true, true);
                 if !pump(conn, &mut poller, &state, stopping, &mut inflight) {
                     if let Some(conn) = conns.remove(&token) {
                         close_conn!(conn);
@@ -869,11 +1008,13 @@ mod tests {
             req: Request {
                 method: "GET".into(),
                 path: "/healthz".into(),
-                body: String::new(),
                 close: true,
+                ..Request::default()
             },
             rid: format!("r{i}"),
             t0: Instant::now(),
+            t_first: Instant::now(),
+            accept_us: 0,
         };
         assert!(q.try_push(job(1)).is_ok());
         assert!(q.try_push(job(2)).is_ok());

@@ -30,18 +30,26 @@ pub const MAX_BODY_BYTES: usize = 16 << 20;
 pub const MAX_HEAD_BYTES: usize = 64 << 10;
 
 /// A parsed HTTP request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Request {
     /// Request method, upper-case (`GET`, `POST`, ...).
     pub method: String,
     /// Request path without query string.
     pub path: String,
+    /// Raw query string (text after `?`, without it; empty when absent).
+    pub query: String,
     /// Decoded request body.
     pub body: String,
     /// Whether the connection must close after the response: `true` for
     /// `Connection: close`, for HTTP/1.0 without `Connection: keep-alive`,
     /// and for unrecognized protocol versions.
     pub close: bool,
+    /// Whether the client sent `X-Debug-Timing: 1`, asking for a
+    /// `Server-Timing` header with per-stage latency attribution.
+    pub debug_timing: bool,
+    /// The raw `traceparent` header value, when the client sent one —
+    /// joins the server's spans to the caller's trace.
+    pub traceparent: Option<String>,
 }
 
 /// A complete request plus the number of buffer bytes it occupied; bytes
@@ -132,13 +140,18 @@ pub fn try_parse_request(buf: &[u8]) -> Result<Option<ParsedRequest>, HttpError>
     let target = parts
         .next()
         .ok_or_else(|| HttpError::Malformed("missing path".into()))?;
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     // HTTP/1.1 defaults to keep-alive; HTTP/1.0 and unknown versions to
     // close. An explicit Connection header below overrides.
     let version = parts.next().unwrap_or("").trim();
     let mut close = !version.eq_ignore_ascii_case("HTTP/1.1");
 
     let mut content_length = 0usize;
+    let mut debug_timing = false;
+    let mut traceparent = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim();
@@ -156,6 +169,10 @@ pub fn try_parse_request(buf: &[u8]) -> Result<Option<ParsedRequest>, HttpError>
                         close = false;
                     }
                 }
+            } else if name.eq_ignore_ascii_case("x-debug-timing") {
+                debug_timing = value.trim() == "1";
+            } else if name.eq_ignore_ascii_case("traceparent") {
+                traceparent = Some(value.trim().to_string());
             }
         }
     }
@@ -176,11 +193,26 @@ pub fn try_parse_request(buf: &[u8]) -> Result<Option<ParsedRequest>, HttpError>
         req: Request {
             method,
             path,
+            query,
             body,
             close,
+            debug_timing,
+            traceparent,
         },
         consumed,
     }))
+}
+
+/// Looks up `key` in a raw query string (`a=1&b=2` form, no percent
+/// decoding). A bare token (`?on`) matches as a key with an empty value.
+pub fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = match pair.split_once('=') {
+            Some((k, v)) => (k, v),
+            None => (pair, ""),
+        };
+        (k == key).then_some(v)
+    })
 }
 
 /// Reads and parses one request from the stream. Applies the given read
@@ -303,8 +335,41 @@ mod tests {
         .expect("parses");
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/score");
+        assert_eq!(req.query, "verbose=1");
         assert_eq!(req.body, "{\"a\"");
         assert!(!req.close, "bare HTTP/1.1 defaults to keep-alive");
+        assert!(!req.debug_timing);
+        assert_eq!(req.traceparent, None);
+    }
+
+    #[test]
+    fn captures_debug_timing_and_traceparent_headers() {
+        let parsed = try_parse_request(
+            b"POST /score HTTP/1.1\r\nX-Debug-Timing: 1\r\n\
+              traceparent: 00-0123456789abcdef0011223344556677-deadbeefcafef00d-01\r\n\
+              Content-Length: 0\r\n\r\n",
+        )
+        .expect("parses")
+        .expect("complete");
+        assert!(parsed.req.debug_timing);
+        assert_eq!(
+            parsed.req.traceparent.as_deref(),
+            Some("00-0123456789abcdef0011223344556677-deadbeefcafef00d-01")
+        );
+        // Any value other than "1" leaves the flag off.
+        let parsed = try_parse_request(b"GET / HTTP/1.1\r\nX-Debug-Timing: yes\r\n\r\n")
+            .expect("parses")
+            .expect("complete");
+        assert!(!parsed.req.debug_timing);
+    }
+
+    #[test]
+    fn query_param_lookup() {
+        assert_eq!(query_param("view=slowest&n=5", "view"), Some("slowest"));
+        assert_eq!(query_param("view=slowest&n=5", "n"), Some("5"));
+        assert_eq!(query_param("on", "on"), Some(""));
+        assert_eq!(query_param("", "view"), None);
+        assert_eq!(query_param("viewx=1", "view"), None);
     }
 
     #[test]

@@ -9,8 +9,14 @@
 //!   contract is inherited from the inferencer's row independence: a request
 //!   scores bit-identically alone or inside any batch.
 //! * [`server`] — `POST /score`, `POST /explain`, `GET /cohorts`,
-//!   `GET /healthz`, `GET /metrics`, `POST /shutdown`; graceful drain on
-//!   shutdown. The transport core is a nonblocking event loop with
+//!   `GET /healthz`, `GET /metrics`, `GET /debug/{requests,config,trace}`,
+//!   `POST /shutdown`; graceful drain on shutdown. Every request gets
+//!   per-stage latency attribution (accept/queue/batch-wait/compute/
+//!   render/write) recorded into an always-on flight recorder
+//!   ([`cohortnet_obs::flight`]) behind `/debug/requests`, echoed as a
+//!   `Server-Timing` header on `X-Debug-Timing: 1`, and — when tracing is
+//!   on — linked into one connected cross-thread trace via
+//!   [`cohortnet_obs::ctx`]. The transport core is a nonblocking event loop with
 //!   HTTP/1.1 keep-alive and exact connection limiting, split from the
 //!   application along the [`server::App`] trait — [`serve`] runs the
 //!   single-model scoring app, [`serve_app`] runs anything else (the
@@ -46,5 +52,6 @@ pub mod server;
 
 pub use engine::{Engine, EngineConfig, EngineError, RowScore};
 pub use server::{
-    serve, serve_app, App, AppResponse, Server, ServerConfig, ServerCtl, TransportConfig,
+    debug_requests_body, debug_trace_body, serve, serve_app, App, AppResponse, Server,
+    ServerConfig, ServerCtl, TransportConfig,
 };

@@ -72,6 +72,12 @@ pub struct Metrics {
     pub batch_compute_us: Arc<Histogram>,
     /// Response render + write time per request, microseconds.
     pub render_us: Arc<Histogram>,
+    /// First request byte on the socket → request fully parsed, µs.
+    pub stage_accept_us: Arc<Histogram>,
+    /// Parsed job queued for dispatch → picked up by a worker, µs.
+    pub stage_dispatch_wait_us: Arc<Histogram>,
+    /// Response handed to the event loop → last byte flushed, µs.
+    pub stage_write_us: Arc<Histogram>,
     /// Active kernel path, set once at server start: the SIMD backend name
     /// and whether the int8 quantized trunk is serving. Rendered as a
     /// `cohortnet_build_info` gauge with labels so fleet health checks can
@@ -162,6 +168,21 @@ impl Metrics {
                 "Response render + write time per request, microseconds.",
                 LATENCY_US_BOUNDS,
             ),
+            stage_accept_us: registry.histogram(
+                "cohortnet_stage_accept_us",
+                "First request byte to fully parsed, microseconds.",
+                LATENCY_US_BOUNDS,
+            ),
+            stage_dispatch_wait_us: registry.histogram(
+                "cohortnet_stage_dispatch_wait_us",
+                "Dispatch-queue wait before a worker picked the job up, microseconds.",
+                LATENCY_US_BOUNDS,
+            ),
+            stage_write_us: registry.histogram(
+                "cohortnet_stage_write_us",
+                "Response handed off until the last byte flushed, microseconds.",
+                LATENCY_US_BOUNDS,
+            ),
             build_info: OnceLock::new(),
             registry,
         }
@@ -219,7 +240,9 @@ mod tests {
         assert_eq!(h.count(), 5);
         assert_eq!(h.sum(), 110);
         assert_eq!(h.quantile(0.5), Some(4)); // 3rd of 5 lands in le=4
-        assert_eq!(h.quantile(1.0), Some(u64::MAX)); // overflow bucket
+                                              // Overflow bucket clamps to the observed max, not u64::MAX.
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert_eq!(h.max(), 100);
     }
 
     #[test]

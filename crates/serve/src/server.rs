@@ -39,10 +39,11 @@ use cohortnet::infer::{Inferencer, ScoreRequest};
 use cohortnet::interpret::explain_patient;
 use cohortnet::snapshot::LoadedModel;
 use cohortnet_models::data::{Prepared, PreparedPatient};
+use cohortnet_obs::flight::{FlightRecord, FlightRecorder, FLIGHT_SLOTS};
 
 use crate::engine::{Engine, EngineConfig, EngineError, RowScore};
 use crate::eventloop::{self, ConnLimiter, Done, JobQueue};
-use crate::http::Request;
+use crate::http::{query_param, Request};
 use crate::json::{self, num_arr, obj, Json};
 use crate::metrics::Metrics;
 use crate::reactor::{waker_pair, Interest, Poller, Waker};
@@ -225,12 +226,13 @@ impl AppResponse {
     }
 }
 
-/// Transport controls handed to [`App::handle`]: the one thing an
-/// application may do to the transport is ask it to stop (the
-/// `POST /shutdown` path).
+/// Transport controls handed to [`App::handle`]: an application may ask
+/// the transport to stop (the `POST /shutdown` path) and may read its
+/// flight recorder (the `/debug/requests` path).
 pub struct ServerCtl<'a> {
     stop: &'a AtomicBool,
     waker: &'a Waker,
+    flight: &'a FlightRecorder,
 }
 
 impl ServerCtl<'_> {
@@ -238,6 +240,7 @@ impl ServerCtl<'_> {
         ServerCtl {
             stop: &state.stop,
             waker: &state.waker,
+            flight: &state.flight,
         }
     }
 
@@ -246,6 +249,12 @@ impl ServerCtl<'_> {
     pub fn request_stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
         self.waker.wake();
+    }
+
+    /// The transport's flight recorder: the last [`FLIGHT_SLOTS`] completed
+    /// requests with per-stage timings, written by the event loop.
+    pub fn flight(&self) -> &FlightRecorder {
+        self.flight
     }
 }
 
@@ -277,6 +286,10 @@ pub(crate) struct AppState {
     pub(crate) jobs: JobQueue,
     pub(crate) completions: Mutex<Vec<Done>>,
     pub(crate) waker: Waker,
+    /// Always-on ring of the last completed requests (see
+    /// [`cohortnet_obs::flight`]); written by the event loop when a
+    /// response's last byte flushes, read by `/debug/requests`.
+    pub(crate) flight: Arc<FlightRecorder>,
     /// Set by the event loop on exit (all paths); `Server::finish` waits on
     /// it so `join`/`shutdown` share one stop routine.
     pub(crate) done: (Mutex<bool>, Condvar),
@@ -340,6 +353,7 @@ pub fn serve_app(
         jobs: JobQueue::new(workers * 8),
         completions: Mutex::new(Vec::new()),
         waker,
+        flight: Arc::new(FlightRecorder::new()),
         done: (Mutex::new(false), Condvar::new()),
         worker_count: workers,
     });
@@ -458,6 +472,11 @@ impl App for ScoreApp {
             }
             ("GET", "/cohorts") => AppResponse::json(200, cohorts_json(&self.loaded)),
             ("GET", "/healthz") => AppResponse::json(200, self.healthz_body()),
+            ("GET", "/debug/requests") => {
+                AppResponse::json(200, debug_requests_body(ctl.flight(), &req.query))
+            }
+            ("GET", "/debug/config") => AppResponse::json(200, self.debug_config_body(ctl)),
+            ("GET", "/debug/trace") => AppResponse::json(200, debug_trace_body(&req.query)),
             ("GET", "/metrics") => AppResponse {
                 status: 200,
                 content_type: "text/plain; version=0.0.4",
@@ -474,9 +493,11 @@ impl App for ScoreApp {
             (_, "/score" | "/explain" | "/shutdown") => {
                 AppResponse::json(405, error_body("use POST for this endpoint"))
             }
-            (_, "/cohorts" | "/healthz" | "/metrics") => {
-                AppResponse::json(405, error_body("use GET for this endpoint"))
-            }
+            (
+                _,
+                "/cohorts" | "/healthz" | "/metrics" | "/debug/requests" | "/debug/config"
+                | "/debug/trace",
+            ) => AppResponse::json(405, error_body("use GET for this endpoint")),
             _ => AppResponse::json(404, error_body("unknown endpoint")),
         }
     }
@@ -623,6 +644,108 @@ impl ScoreApp {
             ("workers", Json::Num(self.workers as f64)),
         ]))
     }
+
+    /// The `GET /debug/config` body: every resolved knob the server is
+    /// actually running with, plus the snapshot fingerprint, kernel path
+    /// and observability state — one curl for "what is this process?".
+    fn debug_config_body(&self, ctl: &ServerCtl<'_>) -> String {
+        let cfg = self.engine.config();
+        json::render(&obj(vec![
+            (
+                "snapshot_fingerprint",
+                Json::Str(self.loaded.fingerprint_hex()),
+            ),
+            (
+                "simd_backend",
+                Json::Str(cohortnet_tensor::simd::active().name().into()),
+            ),
+            ("quant", Json::Bool(self.engine.quantized())),
+            ("max_batch", Json::Num(cfg.max_batch as f64)),
+            ("max_delay_us", Json::Num(cfg.max_delay_us as f64)),
+            ("deadline_ms", Json::Num(cfg.deadline_ms as f64)),
+            ("queue_cap", Json::Num(cfg.queue_cap as f64)),
+            ("engine_threads", Json::Num(cfg.threads as f64)),
+            (
+                "read_timeout_ms",
+                Json::Num(self.read_timeout.as_millis() as f64),
+            ),
+            (
+                "idle_timeout_ms",
+                Json::Num(self.idle_timeout.as_millis() as f64),
+            ),
+            ("workers", Json::Num(self.workers as f64)),
+            ("trace_enabled", Json::Bool(cohortnet_obs::trace::enabled())),
+            ("flight_slots", Json::Num(FLIGHT_SLOTS as f64)),
+            ("flight_total", Json::Num(ctl.flight().total() as f64)),
+            ("flight_dropped", Json::Num(ctl.flight().dropped() as f64)),
+        ]))
+    }
+}
+
+/// One flight-recorder entry as a JSON object (the `/debug/requests`
+/// row shape).
+fn flight_record_json(r: &FlightRecord) -> Json {
+    obj(vec![
+        ("seq", Json::Num(r.seq as f64)),
+        ("rid", Json::Str(r.rid.as_str().to_string())),
+        ("trace", Json::Str(r.trace_hex())),
+        ("route", Json::Str(r.route.as_str().to_string())),
+        ("status", Json::Num(f64::from(r.status))),
+        ("total_us", Json::Num(f64::from(r.total_us))),
+        ("accept_us", Json::Num(f64::from(r.stage.accept_us))),
+        ("queue_us", Json::Num(f64::from(r.stage.queue_us))),
+        ("batch_wait_us", Json::Num(f64::from(r.stage.batch_wait_us))),
+        ("compute_us", Json::Num(f64::from(r.stage.compute_us))),
+        ("render_us", Json::Num(f64::from(r.stage.render_us))),
+        ("write_us", Json::Num(f64::from(r.stage.write_us))),
+        ("batch_size", Json::Num(f64::from(r.stage.batch_size))),
+        ("replica", Json::Num(f64::from(r.stage.replica))),
+    ])
+}
+
+/// Renders the `GET /debug/requests` body from a flight recorder. The
+/// query string selects the view: `view=recent` (default, newest first),
+/// `view=slowest` (by total latency), `view=errors` (status ≥ 400, newest
+/// first); `n=<count>` caps the rows (default 32). Shared by the
+/// single-model server and the fleet router so both triage surfaces read
+/// identically.
+pub fn debug_requests_body(flight: &FlightRecorder, query: &str) -> String {
+    let view = query_param(query, "view").unwrap_or("recent");
+    let n = query_param(query, "n")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(32)
+        .min(FLIGHT_SLOTS);
+    let mut records = flight.snapshot();
+    match view {
+        "slowest" => records.sort_by_key(|r| std::cmp::Reverse(r.total_us)),
+        "errors" => records.retain(|r| r.status >= 400),
+        _ => {}
+    }
+    records.truncate(n);
+    json::render(&obj(vec![
+        ("view", Json::Str(view.to_string())),
+        ("total", Json::Num(flight.total() as f64)),
+        ("dropped", Json::Num(flight.dropped() as f64)),
+        (
+            "requests",
+            Json::Arr(records.iter().map(flight_record_json).collect()),
+        ),
+    ]))
+}
+
+/// Handles `GET /debug/trace`: `?on` enables the process-wide trace
+/// collector, `?off` disables it, no argument just reports. Shared by the
+/// single-model server and the fleet router.
+pub fn debug_trace_body(query: &str) -> String {
+    if query_param(query, "on").is_some() {
+        cohortnet_obs::trace::enable();
+    } else if query_param(query, "off").is_some() {
+        cohortnet_obs::trace::disable();
+    }
+    json::render(&obj(vec![(
+        "tracing",
+        Json::Bool(cohortnet_obs::trace::enabled()),
+    )]))
 }
 
 /// Renders the `/explain` response for one instance body against a loaded

@@ -1,0 +1,308 @@
+//! The request-tracing and triage contract: `Server-Timing` is gated on
+//! `X-Debug-Timing: 1`, `/debug/{requests,config,trace}` answer with the
+//! stage attribution and resolved configuration, scores stay bit-identical
+//! with tracing on, and one `/score` exports as a connected cross-thread
+//! trace (request span on the worker, batch span on the batcher).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use cohortnet::infer::ScoreRequest;
+use cohortnet::snapshot::{fnv64, load_snapshot};
+use cohortnet_serve::demo::{demo_bundle, DemoBundle};
+use cohortnet_serve::json::{self, Json};
+use cohortnet_serve::{serve, EngineConfig, Server, ServerConfig};
+
+/// Tracing enable/disable and the span buffer are process-global; tests
+/// that toggle or snapshot them serialize here.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One demo training run shared by every test in this binary.
+fn bundle() -> &'static DemoBundle {
+    static BUNDLE: OnceLock<DemoBundle> = OnceLock::new();
+    BUNDLE.get_or_init(demo_bundle)
+}
+
+fn boot() -> Server {
+    serve(
+        load_snapshot(&bundle().snapshot).expect("snapshot loads"),
+        ServerConfig {
+            port: 0,
+            engine: EngineConfig {
+                max_batch: 4,
+                max_delay_us: 200,
+                threads: 2,
+                queue_cap: 64,
+                ..EngineConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts")
+}
+
+/// Raw request returning (status, response head, body) so header presence
+/// can be asserted. `extra` lines are injected verbatim into the head.
+fn request_full(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra: &str,
+    body: &str,
+) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\n{extra}Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or_default();
+    (status, head, body)
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let (status, _, body) = request_full(addr, method, path, "", body);
+    (status, body)
+}
+
+fn join(values: &[f32]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn score_body(examples: &[ScoreRequest]) -> String {
+    let instances: Vec<String> = examples
+        .iter()
+        .map(|e| format!("{{\"x\":[{}],\"mask\":[{}]}}", join(&e.x), join(&e.mask)))
+        .collect();
+    format!("{{\"instances\":[{}]}}", instances.join(","))
+}
+
+fn header<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    let prefix = format!("{}:", name.to_ascii_lowercase());
+    head.lines()
+        .find(|l| l.to_ascii_lowercase().starts_with(&prefix))
+        .map(|l| l[prefix.len()..].trim())
+}
+
+#[test]
+fn server_timing_header_is_gated_on_debug_timing() {
+    let server = boot();
+    let addr = server.addr();
+    let body = score_body(&bundle().examples);
+
+    let (status, head, _) = request_full(addr, "POST", "/score", "", &body);
+    assert_eq!(status, 200);
+    assert!(
+        header(&head, "Server-Timing").is_none(),
+        "Server-Timing must be absent without X-Debug-Timing: {head}"
+    );
+
+    let (status, head, _) = request_full(addr, "POST", "/score", "X-Debug-Timing: 1\r\n", &body);
+    assert_eq!(status, 200);
+    let timing = header(&head, "Server-Timing")
+        .unwrap_or_else(|| panic!("no Server-Timing with X-Debug-Timing: {head}"));
+    for stage in [
+        "accept;dur=",
+        "queue;dur=",
+        "batch_wait;dur=",
+        "compute;dur=",
+        "batch;desc=",
+    ] {
+        assert!(timing.contains(stage), "{stage} missing from: {timing}");
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn debug_requests_reports_stage_timings_and_views() {
+    let server = boot();
+    let addr = server.addr();
+    let body = score_body(&bundle().examples);
+    for _ in 0..3 {
+        let (status, resp) = request(addr, "POST", "/score", &body);
+        assert_eq!(status, 200, "{resp}");
+    }
+    let (status, resp) = request(addr, "POST", "/score", "{\"instances\":[]}");
+    assert_eq!(status, 400, "{resp}");
+
+    let (status, resp) = request(addr, "GET", "/debug/requests", "");
+    assert_eq!(status, 200, "{resp}");
+    let parsed = json::parse(&resp).expect("debug requests parses");
+    assert!(parsed.get("total").and_then(Json::as_f64).unwrap_or(0.0) >= 4.0);
+    let rows = parsed
+        .get("requests")
+        .and_then(Json::as_arr)
+        .expect("requests array");
+    let scored = rows
+        .iter()
+        .find(|r| {
+            r.get("route").and_then(Json::as_str) == Some("/score")
+                && r.get("status").and_then(Json::as_f64) == Some(200.0)
+        })
+        .unwrap_or_else(|| panic!("no scored /score record: {resp}"));
+    let f = |k: &str| scored.get(k).and_then(Json::as_f64).unwrap_or(-1.0);
+    assert!(f("total_us") > 0.0, "{resp}");
+    assert!(f("compute_us") >= 0.0, "{resp}");
+    assert!(f("batch_size") >= 1.0, "{resp}");
+    assert_eq!(f("replica"), -1.0, "single server attributes no replica");
+    assert!(
+        scored
+            .get("rid")
+            .and_then(Json::as_str)
+            .is_some_and(|r| !r.is_empty()),
+        "{resp}"
+    );
+    assert!(
+        scored
+            .get("trace")
+            .and_then(Json::as_str)
+            .is_some_and(|t| t.len() == 32),
+        "record lacks a trace id: {resp}"
+    );
+
+    // The slowest view is sorted by total and respects the n cap.
+    let (status, resp) = request(addr, "GET", "/debug/requests?view=slowest&n=2", "");
+    assert_eq!(status, 200);
+    let parsed = json::parse(&resp).expect("slowest view parses");
+    let totals: Vec<f64> = parsed
+        .get("requests")
+        .and_then(Json::as_arr)
+        .expect("requests array")
+        .iter()
+        .filter_map(|r| r.get("total_us").and_then(Json::as_f64))
+        .collect();
+    assert!(totals.len() <= 2, "{resp}");
+    assert!(
+        totals.windows(2).all(|w| w[0] >= w[1]),
+        "not sorted: {resp}"
+    );
+
+    // The errors view retains only the 400.
+    let (status, resp) = request(addr, "GET", "/debug/requests?view=errors", "");
+    assert_eq!(status, 200);
+    let parsed = json::parse(&resp).expect("errors view parses");
+    let statuses: Vec<f64> = parsed
+        .get("requests")
+        .and_then(Json::as_arr)
+        .expect("requests array")
+        .iter()
+        .filter_map(|r| r.get("status").and_then(Json::as_f64))
+        .collect();
+    assert!(!statuses.is_empty(), "400 missing from errors view: {resp}");
+    assert!(statuses.iter().all(|&s| s >= 400.0), "{resp}");
+
+    server.shutdown();
+}
+
+#[test]
+fn debug_config_reports_resolved_flags_and_fingerprint() {
+    let server = boot();
+    let addr = server.addr();
+
+    let (status, resp) = request(addr, "GET", "/debug/config", "");
+    assert_eq!(status, 200, "{resp}");
+    let parsed = json::parse(&resp).expect("debug config parses");
+    let want_fp = format!("{:016x}", fnv64(bundle().snapshot.as_bytes()));
+    assert_eq!(
+        parsed.get("snapshot_fingerprint").and_then(Json::as_str),
+        Some(want_fp.as_str()),
+        "{resp}"
+    );
+    assert!(
+        parsed
+            .get("simd_backend")
+            .and_then(Json::as_str)
+            .is_some_and(|b| !b.is_empty()),
+        "{resp}"
+    );
+    assert_eq!(parsed.get("max_batch").and_then(Json::as_f64), Some(4.0));
+    assert_eq!(
+        parsed.get("engine_threads").and_then(Json::as_f64),
+        Some(2.0)
+    );
+    assert_eq!(parsed.get("quant").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        parsed.get("flight_slots").and_then(Json::as_f64),
+        Some(cohortnet_obs::flight::FLIGHT_SLOTS as f64)
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn score_bytes_bit_identical_with_tracing_on_and_trace_connects_threads() {
+    let _guard = serial();
+    cohortnet_obs::trace::disable();
+    cohortnet_obs::trace::clear();
+
+    let server = boot();
+    let addr = server.addr();
+    let body = score_body(&bundle().examples);
+
+    let (status, cold) = request(addr, "POST", "/score", &body);
+    assert_eq!(status, 200, "{cold}");
+
+    // Flip tracing on through the triage surface itself.
+    let (status, resp) = request(addr, "GET", "/debug/trace?on", "");
+    assert_eq!(status, 200, "{resp}");
+    assert!(resp.contains("\"tracing\":true"), "{resp}");
+    assert!(cohortnet_obs::trace::enabled());
+
+    let (status, traced) = request(addr, "POST", "/score", &body);
+    assert_eq!(status, 200, "{traced}");
+    assert_eq!(
+        cold, traced,
+        "/score bytes must be bit-identical with tracing on"
+    );
+
+    let (status, resp) = request(addr, "GET", "/debug/trace?off", "");
+    assert_eq!(status, 200, "{resp}");
+    assert!(resp.contains("\"tracing\":false"), "{resp}");
+    assert!(!cohortnet_obs::trace::enabled());
+    server.shutdown();
+
+    // The traced request came out as one connected flame: the batcher
+    // thread's serve.batch span has the worker thread's serve.request span
+    // as an ancestor, linked by the explicit context baton.
+    let spans = cohortnet_obs::trace::snapshot();
+    let by_id: std::collections::HashMap<u64, &cohortnet_obs::trace::Event> =
+        spans.iter().map(|e| (e.id, e)).collect();
+    let mut connected = false;
+    for batch in spans.iter().filter(|e| e.name == "serve.batch") {
+        let mut cur = batch.parent;
+        while cur != 0 {
+            let Some(p) = by_id.get(&cur) else { break };
+            if p.name == "serve.request" && p.tid != batch.tid {
+                connected = true;
+            }
+            cur = p.parent;
+        }
+    }
+    assert!(
+        connected,
+        "no serve.batch span with a serve.request ancestor on another thread; \
+         span names: {:?}",
+        spans.iter().map(|e| e.name).collect::<Vec<_>>()
+    );
+    cohortnet_obs::trace::clear();
+}
