@@ -1,12 +1,12 @@
 CARGO ?= cargo
 
-.PHONY: verify build test test-scalar clippy fmt bench-discovery bench-smoke serve-smoke trace-smoke chaos-smoke load-smoke fleet-smoke
+.PHONY: verify build test test-scalar clippy fmt bench-discovery bench-smoke serve-smoke trace-smoke chaos-smoke load-smoke fleet-smoke stream-smoke
 
 ## Seeds the chaos harness runs at (CI runs all three and uploads the logs).
 CHAOS_SEEDS ?= 42 7 1234
 
 ## Full local verification: what CI runs, in the same order.
-verify: build test test-scalar clippy fmt fleet-smoke
+verify: build test test-scalar clippy fmt fleet-smoke stream-smoke
 
 build:
 	$(CARGO) build --release
@@ -77,6 +77,17 @@ load-smoke:
 ## of BENCH_serve.json (both uploaded by CI).
 fleet-smoke:
 	COHORTNET_FAST=1 $(CARGO) run --release -p cohortnet-bench --bin fleet_smoke
+
+## Streaming ingestion smoke: boots a --stream server on the demo model and
+## proves prefix identity over HTTP (chunked /ingest replay byte-equal to
+## the batch oracle), a clean open-loop /ingest replay across concurrent
+## sessions (zero drops, zero non-2xx, staleness histogram populated), and
+## that incremental cohort-index probing beats a from-scratch re-probe at
+## every prefix. Narration goes to target/STREAM_SMOKE.log and the runs
+## merge into the "stream" section of BENCH_serve.json (both uploaded by
+## CI).
+stream-smoke:
+	COHORTNET_FAST=1 $(CARGO) run --release -p cohortnet-bench --bin stream_smoke
 
 ## Span-tracing smoke: trains a tiny pipeline with COHORTNET_TRACE set,
 ## then asserts trace.json is valid Chrome trace event JSON containing the

@@ -116,6 +116,13 @@ impl CohortIndex {
         n_bits.div_ceil(64)
     }
 
+    /// Pattern mask `ψ_i` of anchor `feature` (sorted feature indices).
+    /// The incremental probe cache uses this to decide which anchors a
+    /// state-grid column change can possibly affect.
+    pub fn mask(&self, feature: usize) -> &[usize] {
+        &self.features[feature].mask
+    }
+
     /// Packed Eq. 10 bitmap of one patient for one anchor feature: bit `q`
     /// (word `q / 64`, bit `q % 64`) is set iff the patient's states match
     /// cohort `q`'s pattern at some time step. `states` is the patient's
@@ -157,5 +164,92 @@ impl CohortIndex {
         (0..self.features[feature].n_cohorts)
             .map(|q| words[q / 64] & (1u64 << (q % 64)) != 0)
             .collect()
+    }
+}
+
+/// Incremental probe cache for scoring the *same patient* repeatedly as
+/// their state grid evolves (the streaming-ingestion path).
+///
+/// An anchor feature `i` reads the grid only through the columns in its
+/// mask `ψ_i`, so when a re-score changes the state assignments of a few
+/// feature columns, every anchor whose mask is disjoint from the changed
+/// set must produce the exact bitmap it produced last time — the cache
+/// returns the stored words instead of re-walking the grid. Bitmaps are
+/// exact `u64` words, so reuse is bit-identical by construction; debug
+/// builds additionally recompute every reused bitmap with the full linear
+/// scan and assert agreement (the differential check).
+#[derive(Debug, Clone, Default)]
+pub struct IndexCache {
+    /// The `(T x F)` state grid of the previous probe (empty = no probe yet).
+    prev_grid: Vec<u8>,
+    /// Per-anchor bitmap words from the previous probe.
+    words: Vec<Vec<u64>>,
+    /// Scratch: which feature columns changed since the previous grid.
+    changed: Vec<bool>,
+    /// Anchors probed with the full grid walk (first probe or mask hit).
+    pub full_probes: u64,
+    /// Anchors answered from the cache without touching the grid.
+    pub reused_probes: u64,
+}
+
+impl IndexCache {
+    /// An empty cache; the first probe walks every anchor.
+    pub fn new() -> IndexCache {
+        IndexCache::default()
+    }
+
+    /// Probes every anchor feature of `index` against `grid`, reusing the
+    /// previous bitmap for anchors whose mask saw no column change.
+    /// Returns one packed bitmap per anchor, identical to calling
+    /// [`CohortIndex::bitmap_words`] for each.
+    pub fn probe(
+        &mut self,
+        index: &CohortIndex,
+        grid: &[u8],
+        t_steps: usize,
+        nf: usize,
+    ) -> &[Vec<u64>] {
+        let nf_idx = index.n_features();
+        let fresh = self.prev_grid.len() != grid.len() || self.words.len() != nf_idx;
+        self.changed.clear();
+        self.changed.resize(nf, fresh);
+        if !fresh {
+            for f in 0..nf {
+                for t in 0..t_steps {
+                    if self.prev_grid[t * nf + f] != grid[t * nf + f] {
+                        self.changed[f] = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if fresh {
+            self.words = vec![Vec::new(); nf_idx];
+        }
+        for i in 0..nf_idx {
+            let reusable = !fresh && index.mask(i).iter().all(|&f| !self.changed[f]);
+            if reusable {
+                self.reused_probes += 1;
+                debug_assert_eq!(
+                    self.words[i],
+                    index.bitmap_words(i, grid, t_steps, nf),
+                    "incremental probe diverged from the linear scan for anchor {i}"
+                );
+            } else {
+                self.words[i] = index.bitmap_words(i, grid, t_steps, nf);
+                self.full_probes += 1;
+            }
+        }
+        self.prev_grid.clear();
+        self.prev_grid.extend_from_slice(grid);
+        &self.words
+    }
+
+    /// Forgets the previous grid: the next probe walks every anchor.
+    pub fn reset(&mut self) {
+        self.prev_grid.clear();
+        self.words.clear();
+        self.full_probes = 0;
+        self.reused_probes = 0;
     }
 }

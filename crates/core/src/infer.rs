@@ -20,7 +20,7 @@
 //!   requests into one batch without changing any response.
 
 use crate::cdm::FeatureStates;
-use crate::index::CohortIndex;
+use crate::index::{CohortIndex, IndexCache};
 use crate::model::CohortNetModel;
 use crate::quant::QuantTable;
 use cohortnet_parallel::par_map;
@@ -184,6 +184,22 @@ pub struct ScoreOutput {
     pub cem_logits: Option<Matrix>,
     /// `σ(logits)` — the predicted probabilities.
     pub probs: Matrix,
+}
+
+/// One patient scored with its intermediate cohort artefacts exposed: the
+/// state grid and the matched-cohort bitmaps that [`Inferencer::score`]
+/// computes internally. The streaming session layer scores through this so
+/// it can carry the artefacts across re-scores (incremental index probing)
+/// and so the differential tests can compare them against the batch path.
+#[derive(Debug, Clone)]
+pub struct DetailedScore {
+    /// The scores, bit-identical to `score_requests(&[req])`.
+    pub output: ScoreOutput,
+    /// The `(T x F)` feature-state grid (`None` without discovery).
+    pub state_grid: Option<Vec<u8>>,
+    /// Packed Eq. 10 bitmaps, one per anchor feature (`None` without
+    /// discovery).
+    pub bitmaps: Option<Vec<Vec<u64>>>,
 }
 
 /// A dense time-series scoring request: one patient's raw (standardized)
@@ -411,6 +427,38 @@ impl Inferencer {
     /// batch composition or GEMM thread count.
     pub fn score(&self, steps: &[Matrix], mask: &Matrix) -> ScoreOutput {
         let batch = mask.rows();
+        let t_steps = steps.len();
+        let (gstate, base_logits, state_grid) = self.trunk_forward(steps, mask);
+
+        let Some(c) = &self.cohorts else {
+            return ScoreOutput {
+                logits: base_logits.clone(),
+                probs: sigmoid(&base_logits),
+                base_logits,
+                cem_logits: None,
+            };
+        };
+        let grid = state_grid.expect("state grid recorded when cohorts active");
+        let cem_logits = self.cem_forward(c, &gstate, &grid, batch, t_steps, None);
+        let logits = base_logits.add(&cem_logits);
+        ScoreOutput {
+            probs: sigmoid(&logits),
+            logits,
+            base_logits,
+            cem_logits: Some(cem_logits),
+        }
+    }
+
+    /// The shared MFLM trunk of [`Inferencer::score`]: per-step embedding,
+    /// interaction, fusion and the channel GRUs, down to the individual-path
+    /// logits, plus the feature-state grid when discovery is active.
+    #[allow(clippy::type_complexity)]
+    fn trunk_forward(
+        &self,
+        steps: &[Matrix],
+        mask: &Matrix,
+    ) -> (Vec<Matrix>, Matrix, Option<Vec<u8>>) {
+        let batch = mask.rows();
         assert_eq!(mask.cols(), self.nf, "mask width != n_features");
         let t_steps = steps.len();
         let mut lstate: Vec<Matrix> = (0..self.nf)
@@ -466,28 +514,16 @@ impl Inferencer {
         let parts: Vec<&Matrix> = compressed.iter().collect();
         let tilde_h = Matrix::concat_cols(&parts);
         let base_logits = self.head.forward(&tilde_h);
-
-        let Some(c) = &self.cohorts else {
-            return ScoreOutput {
-                logits: base_logits.clone(),
-                probs: sigmoid(&base_logits),
-                base_logits,
-                cem_logits: None,
-            };
-        };
-        let grid = state_grid.expect("state grid recorded when cohorts active");
-        let cem_logits = self.cem_forward(c, &gstate, &grid, batch, t_steps);
-        let logits = base_logits.add(&cem_logits);
-        ScoreOutput {
-            probs: sigmoid(&logits),
-            logits,
-            base_logits,
-            cem_logits: Some(cem_logits),
-        }
+        (gstate, base_logits, state_grid)
     }
 
     /// Mirrors [`crate::cem::Cem::forward`] with precomputed keys/values and
     /// the packed cohort index in place of the hash-map pool lookup.
+    ///
+    /// `pre` optionally supplies already-probed bitmap words (one per anchor
+    /// feature) for a single-row batch — the streaming path's incremental
+    /// probe. Bitmaps are exact `u64`s, so substituting them changes no
+    /// arithmetic: the masked-softmax inputs are identical either way.
     fn cem_forward(
         &self,
         c: &CohortPath,
@@ -495,7 +531,12 @@ impl Inferencer {
         grid: &[u8],
         batch: usize,
         t_steps: usize,
+        pre: Option<&[Vec<u64>]>,
     ) -> Matrix {
+        debug_assert!(
+            pre.is_none() || batch == 1,
+            "precomputed bitmaps are per-patient"
+        );
         let mut contexts = Vec::with_capacity(self.nf);
         for i in 0..self.nf {
             let nc = c.n_cohorts[i];
@@ -511,7 +552,14 @@ impl Inferencer {
             let mut any = Matrix::zeros(batch, 1);
             for r in 0..batch {
                 let row_grid = &grid[r * t_steps * self.nf..(r + 1) * t_steps * self.nf];
-                let bits = c.index.bitmap_words(i, row_grid, t_steps, self.nf);
+                let computed;
+                let bits: &[u64] = match pre {
+                    Some(p) => &p[i],
+                    None => {
+                        computed = c.index.bitmap_words(i, row_grid, t_steps, self.nf);
+                        &computed
+                    }
+                };
                 let mut has = false;
                 for qx in 0..nc {
                     if bits[qx >> 6] >> (qx & 63) & 1 == 1 {
@@ -572,6 +620,77 @@ impl Inferencer {
             mask.row_mut(r).copy_from_slice(&req.mask);
         }
         self.score(&steps, &mask)
+    }
+
+    /// Scores one patient, returning the intermediate cohort artefacts and
+    /// routing the Eq. 10 index probes through `cache` — the streaming
+    /// re-score path. Anchors whose mask columns kept their state
+    /// assignments since the previous probe on the same cache reuse the
+    /// stored bitmap words instead of re-walking the grid; debug builds
+    /// recompute every reused bitmap with the full scan and assert equality.
+    ///
+    /// The scores are bit-identical to `score_requests(&[req])`: the trunk
+    /// is the same code path, and cached bitmaps are exact integers.
+    pub fn score_one_with_cache(
+        &self,
+        req: &ScoreRequest,
+        cache: &mut IndexCache,
+    ) -> DetailedScore {
+        // Same chaos sites as `score_requests`: the streaming session layer
+        // scores directly on its worker thread, and fault plans targeting
+        // the forward pass should reach both entry points.
+        cohortnet_chaos::panic_if_fires("infer.worker");
+        cohortnet_chaos::delay_ms_if_fires("infer.latency");
+        let t_steps = self.time_steps;
+        assert_eq!(
+            req.x.len(),
+            t_steps * self.nf,
+            "grid must be T*F = {} values",
+            t_steps * self.nf
+        );
+        assert_eq!(
+            req.mask.len(),
+            self.nf,
+            "mask must have F = {} values",
+            self.nf
+        );
+        let mut steps = Vec::with_capacity(t_steps);
+        for t in 0..t_steps {
+            let mut m = Matrix::zeros(1, self.nf);
+            m.row_mut(0)
+                .copy_from_slice(&req.x[t * self.nf..(t + 1) * self.nf]);
+            steps.push(m);
+        }
+        let mut mask = Matrix::zeros(1, self.nf);
+        mask.row_mut(0).copy_from_slice(&req.mask);
+
+        let (gstate, base_logits, state_grid) = self.trunk_forward(&steps, &mask);
+        let Some(c) = &self.cohorts else {
+            return DetailedScore {
+                output: ScoreOutput {
+                    logits: base_logits.clone(),
+                    probs: sigmoid(&base_logits),
+                    base_logits,
+                    cem_logits: None,
+                },
+                state_grid: None,
+                bitmaps: None,
+            };
+        };
+        let grid = state_grid.expect("state grid recorded when cohorts active");
+        let bitmaps = cache.probe(&c.index, &grid, t_steps, self.nf).to_vec();
+        let cem_logits = self.cem_forward(c, &gstate, &grid, 1, t_steps, Some(&bitmaps));
+        let logits = base_logits.add(&cem_logits);
+        DetailedScore {
+            output: ScoreOutput {
+                probs: sigmoid(&logits),
+                logits,
+                base_logits,
+                cem_logits: Some(cem_logits),
+            },
+            state_grid: Some(grid),
+            bitmaps: Some(bitmaps),
+        }
     }
 
     /// [`Inferencer::score_requests`] sharded over `n_threads` workers via

@@ -57,13 +57,15 @@ pub mod mflm;
 pub mod model;
 pub mod quant;
 pub mod snapshot;
+pub mod stream;
 pub mod train;
 
 pub use config::CohortNetConfig;
 pub use crlm::{Cohort, CohortPool};
-pub use index::CohortIndex;
+pub use index::{CohortIndex, IndexCache};
 pub use infer::Inferencer;
 pub use model::CohortNetModel;
 pub use quant::{QuantInferencer, QuantTable, Scorer};
 pub use snapshot::{load_snapshot, save_snapshot, save_snapshot_quant, LoadedModel, SnapshotError};
+pub use stream::{batch_reference, StreamConfig, StreamError, StreamEvent, StreamSession};
 pub use train::{train_cohortnet, train_without_cohorts, TrainedCohortNet};

@@ -1,0 +1,526 @@
+//! Streaming ingestion sessions — online scoring over per-patient event
+//! streams with a bit-identity contract against the batch pipeline.
+//!
+//! The batch path materialises a full `T x F` grid per admission: raw
+//! events → [`cohortnet_ehr::resample`] (bin means, forward fill, leading
+//! backfill) → [`Standardizer`] → [`crate::infer::ScoreRequest`]. A
+//! [`StreamSession`] maintains exactly that grid *incrementally* as events
+//! arrive one at a time, under the **prefix-identity contract**: after any
+//! prefix of the event stream, the session's grid, mask, feature-state
+//! assignments, matched cohort bitmaps and scores are bit-for-bit equal to
+//! the batch pipeline recomputed from scratch over the same prefix
+//! ([`batch_reference`] is that from-scratch oracle; `tests/
+//! stream_identity.rs` drives the comparison at every prefix).
+//!
+//! Three design decisions make the contract provable rather than hopeful:
+//!
+//! * **Canonical event order.** Within a feature, events are kept sorted by
+//!   `(ts, value)` under `f32::total_cmp` — *not* arrival order. `f64` bin
+//!   sums are fold-order-sensitive for three or more events, so any
+//!   arrival-order semantics would make the grid depend on network
+//!   interleaving. The canonical order makes ingestion order fully
+//!   irrelevant: out-of-order delivery, retries and duplicate timestamps
+//!   all converge to the same grid (duplicate `(ts, value)` pairs are both
+//!   kept — each counts toward its bin mean). This is the documented
+//!   tie-break for equal timestamps: ties sort by value, and exact
+//!   duplicates are order-indifferent by construction.
+//! * **Column-granular incrementality.** One event touches one feature, so
+//!   only that feature's `T` grid cells are recomputed — by replaying the
+//!   verbatim [`resample`] + [`Standardizer::standardize`] expressions over
+//!   the canonically ordered lane. The unit of incremental work is the
+//!   cheapest one that is provably bit-identical; a window slide is the
+//!   only full-grid rebuild.
+//! * **A sliding window in whole-bin steps.** The window covers
+//!   `[window_start, window_start + horizon)`; an event past the right
+//!   edge advances `window_start` by `bin_width` increments (an exact f32
+//!   fold both sides replay) until the event fits, pruning events that
+//!   fall off the back. Events behind the window are counted and ignored,
+//!   never an error.
+//!
+//! Re-scoring goes through [`crate::infer::Inferencer::score_one_with_cache`]:
+//! the session keeps an [`IndexCache`] so only anchors whose mask columns
+//! changed feature-state assignment re-probe the Eq. 10 [`crate::index::
+//! CohortIndex`], with a linear-scan differential check in debug builds.
+
+use crate::index::IndexCache;
+use crate::infer::{DetailedScore, Inferencer, ScoreRequest};
+use cohortnet_ehr::resample::resample;
+use cohortnet_ehr::standardize::Standardizer;
+
+/// Shape of the stream a session resamples onto: the model's grid plus the
+/// wall-clock horizon the `T` bins cover.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// Grid length `T` (time bins per window) — must match the model.
+    pub time_steps: usize,
+    /// Number of medical features `F` — must match the model.
+    pub n_features: usize,
+    /// Hours of wall clock the `T` bins cover (48.0 for the paper's
+    /// benchmark grids).
+    pub horizon_hours: f32,
+}
+
+/// The default horizon when nothing overrides it: the 48-hour window every
+/// synthetic profile and the paper's benchmark tasks use.
+pub const DEFAULT_HORIZON_HOURS: f32 = 48.0;
+
+impl StreamConfig {
+    /// The config matching `inf`'s grid with the given horizon.
+    pub fn for_inferencer(inf: &Inferencer, horizon_hours: f32) -> StreamConfig {
+        StreamConfig {
+            time_steps: inf.time_steps(),
+            n_features: inf.n_features(),
+            horizon_hours,
+        }
+    }
+
+    /// Width of one time bin in hours — the same expression
+    /// [`resample`] uses, so bin indices agree to the bit.
+    pub fn bin_width(&self) -> f32 {
+        self.horizon_hours / self.time_steps as f32
+    }
+}
+
+/// One raw measurement on the wire: which feature, when (hours since
+/// admission), what value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamEvent {
+    /// Feature index in the model's feature order.
+    pub feature: usize,
+    /// Hours since admission.
+    pub ts: f32,
+    /// Raw (unstandardized) measurement value.
+    pub value: f32,
+}
+
+/// Typed ingestion failures. Invalid events are rejected before touching
+/// any session state, so a bad event never perturbs the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// The event names a feature the model does not have.
+    BadFeature {
+        /// The offending index.
+        feature: usize,
+        /// The model's feature count.
+        n_features: usize,
+    },
+    /// The timestamp is non-finite or negative.
+    BadTimestamp(f32),
+    /// The value is non-finite (NaN / infinity).
+    BadValue {
+        /// The feature the value was for.
+        feature: usize,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::BadFeature {
+                feature,
+                n_features,
+            } => write!(f, "feature {feature} out of range (model has {n_features})"),
+            StreamError::BadTimestamp(ts) => {
+                write!(f, "timestamp {ts} must be finite and non-negative")
+            }
+            StreamError::BadValue { feature } => {
+                write!(f, "feature {feature}: value must be finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// What one accepted [`StreamSession::ingest`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// `false` — the event fell behind the current window and was counted
+    /// as stale, leaving the grid untouched.
+    pub accepted: bool,
+    /// The event advanced the window.
+    pub window_slid: bool,
+    /// Events pruned off the back of the window by the slide.
+    pub pruned: usize,
+}
+
+/// One feature's event lane, kept in canonical `(ts, value)` order under
+/// `f32::total_cmp` (see the module docs for why arrival order is not an
+/// option).
+#[derive(Debug, Clone, Default)]
+struct Lane {
+    events: Vec<(f32, f32)>,
+}
+
+fn canonical_cmp(a: &(f32, f32), b: &(f32, f32)) -> std::cmp::Ordering {
+    a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1))
+}
+
+/// Per-admission streaming state: the canonical event lanes, the sliding
+/// window, the materialised standardized grid, and the incremental cohort
+/// index probe cache.
+#[derive(Debug, Clone)]
+pub struct StreamSession {
+    cfg: StreamConfig,
+    scaler: Standardizer,
+    window_start: f32,
+    lanes: Vec<Lane>,
+    /// Row-major `(T x F)` standardized grid, always current.
+    x: Vec<f32>,
+    /// Per-feature presence flags, always current.
+    mask: Vec<f32>,
+    cache: IndexCache,
+    events_total: u64,
+    stale_total: u64,
+    scores_total: u64,
+}
+
+impl StreamSession {
+    /// A fresh session at `window_start = 0` with an all-missing grid.
+    ///
+    /// # Panics
+    /// Panics if `scaler` width disagrees with `cfg.n_features` or the
+    /// config degenerates (zero bins / non-positive horizon) — these are
+    /// wiring errors, not data errors.
+    pub fn new(cfg: StreamConfig, scaler: Standardizer) -> StreamSession {
+        assert_eq!(
+            scaler.mean.len(),
+            cfg.n_features,
+            "standardizer width != n_features"
+        );
+        assert!(cfg.time_steps > 0, "need at least one bin");
+        assert!(cfg.horizon_hours > 0.0, "horizon must be positive");
+        StreamSession {
+            lanes: vec![Lane::default(); cfg.n_features],
+            x: vec![0.0; cfg.time_steps * cfg.n_features],
+            mask: vec![0.0; cfg.n_features],
+            cache: IndexCache::new(),
+            window_start: 0.0,
+            events_total: 0,
+            stale_total: 0,
+            scores_total: 0,
+            cfg,
+            scaler,
+        }
+    }
+
+    /// The session's stream shape.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Left edge of the current window, hours since admission.
+    pub fn window_start(&self) -> f32 {
+        self.window_start
+    }
+
+    /// Events accepted into the window so far.
+    pub fn events_total(&self) -> u64 {
+        self.events_total
+    }
+
+    /// Events ignored for arriving behind the window.
+    pub fn stale_total(&self) -> u64 {
+        self.stale_total
+    }
+
+    /// Scores computed through [`StreamSession::score`].
+    pub fn scores_total(&self) -> u64 {
+        self.scores_total
+    }
+
+    /// `(full, reused)` cohort-index probe counts of the session's cache.
+    pub fn probe_stats(&self) -> (u64, u64) {
+        (self.cache.full_probes, self.cache.reused_probes)
+    }
+
+    /// Ingests one event: validates it, slides the window if the event is
+    /// past the right edge, inserts it into its feature's canonical lane,
+    /// and recomputes that feature's grid column (the whole grid after a
+    /// slide).
+    ///
+    /// # Errors
+    /// [`StreamError`] for an unknown feature, a non-finite or negative
+    /// timestamp, or a non-finite value — all rejected with no state
+    /// change.
+    pub fn ingest(&mut self, ev: StreamEvent) -> Result<IngestOutcome, StreamError> {
+        if ev.feature >= self.cfg.n_features {
+            return Err(StreamError::BadFeature {
+                feature: ev.feature,
+                n_features: self.cfg.n_features,
+            });
+        }
+        if !ev.ts.is_finite() || ev.ts < 0.0 {
+            return Err(StreamError::BadTimestamp(ev.ts));
+        }
+        if !ev.value.is_finite() {
+            return Err(StreamError::BadValue {
+                feature: ev.feature,
+            });
+        }
+        let mut out = IngestOutcome::default();
+        // Slide in whole-bin f32 increments until the event fits. The same
+        // fold runs in `batch_reference`, so both sides land on the exact
+        // same accumulated f32 `window_start`.
+        while ev.ts - self.window_start >= self.cfg.horizon_hours {
+            self.window_start += self.cfg.bin_width();
+            out.window_slid = true;
+        }
+        if out.window_slid {
+            out.pruned = self.rebuild_after_slide();
+        }
+        if ev.ts - self.window_start < 0.0 {
+            self.stale_total += 1;
+            return Ok(out);
+        }
+        out.accepted = true;
+        let lane = &mut self.lanes[ev.feature].events;
+        let key = (ev.ts, ev.value);
+        // Insert after any equal keys: exact duplicates are adjacent and
+        // order-indifferent, so the canonical order stays well defined.
+        let pos = lane.partition_point(|e| canonical_cmp(e, &key) != std::cmp::Ordering::Greater);
+        lane.insert(pos, key);
+        self.recompute_feature(ev.feature);
+        self.events_total += 1;
+        Ok(out)
+    }
+
+    /// Prunes events behind the new window from every lane and rebuilds the
+    /// full grid. Returns how many events fell off.
+    fn rebuild_after_slide(&mut self) -> usize {
+        let ws = self.window_start;
+        let mut pruned = 0;
+        for lane in &mut self.lanes {
+            let before = lane.events.len();
+            lane.events.retain(|&(ts, _)| ts - ws >= 0.0);
+            pruned += before - lane.events.len();
+        }
+        for f in 0..self.cfg.n_features {
+            self.recompute_feature(f);
+        }
+        pruned
+    }
+
+    /// Recomputes feature `f`'s grid column by replaying the verbatim batch
+    /// expressions over the canonical lane: shift, [`resample`], then
+    /// [`Standardizer::standardize`] per bin (missing → zeros, mask 0).
+    fn recompute_feature(&mut self, f: usize) {
+        let (t_bins, nf) = (self.cfg.time_steps, self.cfg.n_features);
+        let ws = self.window_start;
+        let shifted: Vec<(f32, f32)> = self.lanes[f]
+            .events
+            .iter()
+            .map(|&(ts, v)| (ts - ws, v))
+            .collect();
+        match resample(&shifted, t_bins, self.cfg.horizon_hours) {
+            Some(col) => {
+                self.mask[f] = 1.0;
+                for (t, &v) in col.iter().enumerate() {
+                    self.x[t * nf + f] = self.scaler.standardize(f, v);
+                }
+            }
+            None => {
+                self.mask[f] = 0.0;
+                for t in 0..t_bins {
+                    self.x[t * nf + f] = 0.0;
+                }
+            }
+        }
+    }
+
+    /// The current window as a batch-shaped scoring request (a copy of the
+    /// materialised grid — no recomputation).
+    pub fn request(&self) -> ScoreRequest {
+        ScoreRequest {
+            x: self.x.clone(),
+            mask: self.mask.clone(),
+        }
+    }
+
+    /// Scores the current window through the session's incremental index
+    /// probe cache. Bit-identical to `inf.score_requests(&[self.request()])`
+    /// — see [`Inferencer::score_one_with_cache`].
+    pub fn score(&mut self, inf: &Inferencer) -> DetailedScore {
+        let req = self.request();
+        self.scores_total += 1;
+        inf.score_one_with_cache(&req, &mut self.cache)
+    }
+}
+
+/// The from-scratch batch oracle for the prefix-identity contract: replays
+/// the arrival-ordered `events` through the window fold, then builds the
+/// grid the batch pipeline would — per feature, canonical sort, shift by
+/// the final window start, [`resample`], standardize. The result equals
+/// [`StreamSession::request`] after ingesting the same events in the same
+/// order (bit for bit), which is exactly what `tests/stream_identity.rs`
+/// asserts at every prefix.
+///
+/// Invalid events (bad feature / timestamp / value) are skipped, matching
+/// the session's rejection of them.
+pub fn batch_reference(
+    events: &[StreamEvent],
+    cfg: &StreamConfig,
+    scaler: &Standardizer,
+) -> ScoreRequest {
+    let valid = |ev: &StreamEvent| {
+        ev.feature < cfg.n_features && ev.ts.is_finite() && ev.ts >= 0.0 && ev.value.is_finite()
+    };
+    // The same whole-bin f32 fold `StreamSession::ingest` runs.
+    let mut ws = 0.0f32;
+    for ev in events.iter().filter(|e| valid(e)) {
+        while ev.ts - ws >= cfg.horizon_hours {
+            ws += cfg.bin_width();
+        }
+    }
+    let mut x = vec![0.0f32; cfg.time_steps * cfg.n_features];
+    let mut mask = vec![0.0f32; cfg.n_features];
+    for f in 0..cfg.n_features {
+        let mut lane: Vec<(f32, f32)> = events
+            .iter()
+            .filter(|e| valid(e) && e.feature == f && e.ts - ws >= 0.0)
+            .map(|e| (e.ts, e.value))
+            .collect();
+        lane.sort_by(canonical_cmp);
+        let shifted: Vec<(f32, f32)> = lane.iter().map(|&(ts, v)| (ts - ws, v)).collect();
+        if let Some(col) = resample(&shifted, cfg.time_steps, cfg.horizon_hours) {
+            mask[f] = 1.0;
+            for (t, &v) in col.iter().enumerate() {
+                x[t * cfg.n_features + f] = scaler.standardize(f, v);
+            }
+        }
+    }
+    ScoreRequest { x, mask }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scaler(nf: usize) -> Standardizer {
+        Standardizer {
+            mean: (0..nf).map(|f| f as f32 * 0.5).collect(),
+            std: (0..nf).map(|f| 1.0 + f as f32 * 0.25).collect(),
+        }
+    }
+
+    fn cfg() -> StreamConfig {
+        StreamConfig {
+            time_steps: 4,
+            n_features: 3,
+            horizon_hours: 48.0,
+        }
+    }
+
+    fn ev(feature: usize, ts: f32, value: f32) -> StreamEvent {
+        StreamEvent { feature, ts, value }
+    }
+
+    #[test]
+    fn empty_session_is_all_missing() {
+        let s = StreamSession::new(cfg(), scaler(3));
+        let req = s.request();
+        assert!(req.x.iter().all(|&v| v == 0.0));
+        assert!(req.mask.iter().all(|&m| m == 0.0));
+        let oracle = batch_reference(&[], &cfg(), &scaler(3));
+        assert_eq!(req.x, oracle.x);
+        assert_eq!(req.mask, oracle.mask);
+    }
+
+    #[test]
+    fn prefix_grids_match_oracle() {
+        let events = [
+            ev(0, 1.0, 37.2),
+            ev(1, 0.5, 90.0),
+            ev(0, 13.0, 38.5),
+            ev(2, 47.9, 7.1),
+            ev(0, 13.0, 38.5), // exact duplicate — both count
+            ev(1, 13.0, 85.0),
+            ev(1, 2.0, 92.0), // out of order
+        ];
+        let mut s = StreamSession::new(cfg(), scaler(3));
+        for n in 0..events.len() {
+            s.ingest(events[n]).unwrap();
+            let oracle = batch_reference(&events[..=n], &cfg(), &scaler(3));
+            let req = s.request();
+            for (a, b) in req.x.iter().zip(&oracle.x) {
+                assert_eq!(a.to_bits(), b.to_bits(), "grid drift at prefix {n}");
+            }
+            assert_eq!(req.mask, oracle.mask, "mask drift at prefix {n}");
+        }
+    }
+
+    #[test]
+    fn window_slides_and_prunes() {
+        let mut s = StreamSession::new(cfg(), scaler(3));
+        s.ingest(ev(0, 1.0, 10.0)).unwrap();
+        let out = s.ingest(ev(0, 60.0, 20.0)).unwrap();
+        assert!(out.window_slid && out.accepted);
+        assert_eq!(out.pruned, 1, "the t=1h event fell off the back");
+        assert!(s.window_start() > 0.0);
+        // A now-stale event is counted, not an error, and changes nothing.
+        let before = s.request();
+        let out = s.ingest(ev(0, 2.0, 99.0)).unwrap();
+        assert!(!out.accepted);
+        assert_eq!(s.stale_total(), 1);
+        assert_eq!(s.request().x, before.x);
+        // Oracle agreement after the slide.
+        let all = [ev(0, 1.0, 10.0), ev(0, 60.0, 20.0), ev(0, 2.0, 99.0)];
+        let oracle = batch_reference(&all, &cfg(), &scaler(3));
+        assert_eq!(s.request().x, oracle.x);
+        assert_eq!(s.request().mask, oracle.mask);
+    }
+
+    #[test]
+    fn invalid_events_are_typed_and_harmless() {
+        let mut s = StreamSession::new(cfg(), scaler(3));
+        s.ingest(ev(0, 1.0, 5.0)).unwrap();
+        let snap = s.request();
+        assert!(matches!(
+            s.ingest(ev(9, 1.0, 5.0)),
+            Err(StreamError::BadFeature { feature: 9, .. })
+        ));
+        assert!(matches!(
+            s.ingest(ev(0, -1.0, 5.0)),
+            Err(StreamError::BadTimestamp(_))
+        ));
+        assert!(matches!(
+            s.ingest(ev(0, f32::NAN, 5.0)),
+            Err(StreamError::BadTimestamp(_))
+        ));
+        assert!(matches!(
+            s.ingest(ev(0, 1.0, f32::INFINITY)),
+            Err(StreamError::BadValue { feature: 0 })
+        ));
+        assert_eq!(
+            s.request().x,
+            snap.x,
+            "rejected events must not touch state"
+        );
+        assert_eq!(s.events_total(), 1);
+    }
+
+    #[test]
+    fn arrival_order_is_irrelevant() {
+        let fwd = [
+            ev(0, 3.0, 1.0),
+            ev(0, 3.0, 2.0),
+            ev(0, 3.0, 4.0),
+            ev(1, 7.0, -1.0),
+        ];
+        let mut rev = fwd;
+        rev.reverse();
+        let mut a = StreamSession::new(cfg(), scaler(3));
+        let mut b = StreamSession::new(cfg(), scaler(3));
+        for e in &fwd {
+            a.ingest(*e).unwrap();
+        }
+        for e in &rev {
+            b.ingest(*e).unwrap();
+        }
+        let (ra, rb) = (a.request(), b.request());
+        for (x, y) in ra.x.iter().zip(&rb.x) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(ra.mask, rb.mask);
+    }
+}

@@ -8,6 +8,8 @@ use cohortnet::config::CohortNetConfig;
 use cohortnet::infer::Inferencer;
 use cohortnet::model::CohortNetModel;
 use cohortnet::snapshot::{load_snapshot, save_snapshot, SnapshotError};
+use cohortnet::stream::{StreamConfig, StreamEvent, StreamSession};
+use cohortnet_ehr::{generate_event_streams, EventStreamConfig};
 use cohortnet_models::data::make_batch;
 use cohortnet_tensor::ParamStore;
 use rand::rngs::StdRng;
@@ -75,6 +77,81 @@ fn loaded_model_scores_bit_identically() {
     for (x, y) in a.probs.as_slice().iter().zip(b.probs.as_slice()) {
         assert_eq!(x.to_bits(), y.to_bits());
     }
+}
+
+/// Snapshots are model state only — streaming sessions are **excluded by
+/// design** (they are ephemeral and replayable from their event history).
+/// A snapshot saved mid-stream is byte-identical to one saved before any
+/// ingestion, and a cold reload of that snapshot re-scores a replayed
+/// session bit-identically to the live one.
+#[test]
+fn mid_stream_snapshot_excludes_sessions_and_reloads_identically() {
+    let (trained, _, scaler, time_steps) = common::tiny_trained();
+    let cold = save_snapshot(&trained.model, &trained.params, &scaler, time_steps);
+
+    let inf = Inferencer::compile(&trained.model, &trained.params, time_steps);
+    let cfg = StreamConfig::for_inferencer(&inf, 48.0);
+    let events: Vec<StreamEvent> = generate_event_streams(&EventStreamConfig {
+        n_admissions: 1,
+        n_features: 20,
+        events_per_feature: 3,
+        seed: 0x51ab,
+        ..EventStreamConfig::default()
+    })[0]
+        .events
+        .iter()
+        .map(|e| StreamEvent {
+            feature: e.feature,
+            ts: e.ts,
+            value: e.value,
+        })
+        .collect();
+
+    let mut live = StreamSession::new(cfg, scaler.clone());
+    for ev in &events {
+        live.ingest(*ev).unwrap();
+    }
+    let live_score = live.score(&inf);
+
+    // Mid-stream save: the session leaves no trace in the artifact.
+    let mid = save_snapshot(&trained.model, &trained.params, &scaler, time_steps);
+    assert_eq!(cold, mid, "a live session leaked into the snapshot");
+
+    // Cold reload: a fresh process replays the event history and lands on
+    // the exact same bits the live session produced.
+    let loaded = load_snapshot(&mid).expect("snapshot loads");
+    let inf2 = loaded.inferencer();
+    let mut rebuilt = StreamSession::new(
+        StreamConfig::for_inferencer(&inf2, 48.0),
+        loaded.scaler.clone(),
+    );
+    for ev in &events {
+        rebuilt.ingest(*ev).unwrap();
+    }
+    let rebuilt_score = rebuilt.score(&inf2);
+    for (a, b) in live_score
+        .output
+        .probs
+        .as_slice()
+        .iter()
+        .zip(rebuilt_score.output.probs.as_slice())
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "cold-reload re-score drifted");
+    }
+    for (a, b) in live_score
+        .output
+        .logits
+        .as_slice()
+        .iter()
+        .zip(rebuilt_score.output.logits.as_slice())
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "cold-reload re-score drifted");
+    }
+    assert_eq!(
+        live.window_start().to_bits(),
+        rebuilt.window_start().to_bits(),
+        "replay must land on the same window position"
+    );
 }
 
 // ---- rejection paths -------------------------------------------------------

@@ -1,0 +1,193 @@
+//! Property tests for the streaming subsystem ([`cohortnet::stream`] +
+//! [`cohortnet::index::IndexCache`]):
+//!
+//! 1. **arrival-permutation invariance** — any permutation of an event
+//!    stream (same-timestamp collisions, duplicates, window-sliding events
+//!    included) converges to the bit-identical grid, mask and window
+//!    start, because lanes keep the canonical `(ts, value)` order and the
+//!    window fold depends only on the set of events;
+//! 2. **incremental-vs-scan probe agreement** — under arbitrary random
+//!    state-grid flips, every bitmap the [`IndexCache`] returns (reused or
+//!    recomputed) equals the from-scratch linear scan of the
+//!    [`CohortIndex`];
+//! 3. **eviction/re-ingest round trip** — a session evicted mid-stream and
+//!    rebuilt by replaying the full event history is bit-identical to one
+//!    that was never evicted (the property that makes server-side session
+//!    eviction safe).
+//!
+//! Randomness is derived from a drawn `u64` seed, following
+//! `export_props.rs` (the in-tree `proptest` stand-in has no
+//! `prop_flat_map`).
+
+use cohortnet::cdm::decode_key;
+use cohortnet::crlm::{Cohort, CohortPool};
+use cohortnet::index::{CohortIndex, IndexCache};
+use cohortnet::stream::{StreamConfig, StreamEvent, StreamSession};
+use cohortnet_ehr::standardize::Standardizer;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+fn scaler(nf: usize) -> Standardizer {
+    Standardizer {
+        mean: (0..nf).map(|f| f as f32 * 0.3 - 1.0).collect(),
+        std: (0..nf).map(|f| 1.0 + f as f32 * 0.1).collect(),
+    }
+}
+
+/// Random events over few distinct timestamps (forcing same-timestamp
+/// collisions and exact duplicates) with some beyond-horizon timestamps
+/// (forcing window slides and stale arrivals).
+fn random_events(rng: &mut StdRng, nf: usize, horizon: f32) -> Vec<StreamEvent> {
+    let n = rng.gen_range(1usize..40);
+    let n_ts = rng.gen_range(1usize..8);
+    let stamps: Vec<f32> = (0..n_ts)
+        .map(|_| rng.next_f64() as f32 * horizon * 1.5)
+        .collect();
+    (0..n)
+        .map(|_| StreamEvent {
+            feature: rng.gen_range(0..nf),
+            ts: stamps[rng.gen_range(0..n_ts)],
+            value: (rng.next_f64() as f32 - 0.5) * 20.0,
+        })
+        .collect()
+}
+
+fn shuffled(rng: &mut StdRng, events: &[StreamEvent]) -> Vec<StreamEvent> {
+    let mut out = events.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+fn ingest_all(cfg: StreamConfig, nf: usize, events: &[StreamEvent]) -> StreamSession {
+    let mut s = StreamSession::new(cfg, scaler(nf));
+    for ev in events {
+        s.ingest(*ev).unwrap();
+    }
+    s
+}
+
+fn assert_sessions_bit_eq(a: &StreamSession, b: &StreamSession) -> Result<(), TestCaseError> {
+    let (ra, rb) = (a.request(), b.request());
+    for (x, y) in ra.x.iter().zip(&rb.x) {
+        prop_assert_eq!(x.to_bits(), y.to_bits());
+    }
+    prop_assert_eq!(&ra.mask, &rb.mask);
+    prop_assert_eq!(a.window_start().to_bits(), b.window_start().to_bits());
+    Ok(())
+}
+
+/// A random but structurally valid cohort pool (anchor-containing masks,
+/// unique 4-bit-packed keys), compiled into its Eq. 10 index.
+fn random_index(rng: &mut StdRng) -> (CohortIndex, usize, u8) {
+    let nf = rng.gen_range(1usize..6);
+    let k = rng.gen_range(2u8..8);
+    let mut masks: Vec<Vec<usize>> = Vec::with_capacity(nf);
+    for f in 0..nf {
+        masks.push((0..nf).filter(|&j| j == f || rng.gen_bool(0.4)).collect());
+    }
+    let mut per_feature: Vec<Vec<Cohort>> = Vec::with_capacity(nf);
+    let mut index: Vec<HashMap<u64, usize>> = Vec::with_capacity(nf);
+    for f in 0..nf {
+        let n_cohorts = rng.gen_range(0usize..5);
+        let mut cohorts = Vec::new();
+        let mut idx = HashMap::new();
+        let mut seen = HashSet::new();
+        for _ in 0..n_cohorts {
+            let key: u64 = masks[f]
+                .iter()
+                .enumerate()
+                .map(|(pos, _)| u64::from(rng.gen_range(0u8..k)) << (4 * pos))
+                .sum();
+            if !seen.insert(key) {
+                continue;
+            }
+            idx.insert(key, cohorts.len());
+            cohorts.push(Cohort {
+                feature: f,
+                key,
+                pattern: decode_key(key, &masks[f]),
+                repr: vec![0.0; 3],
+                frequency: rng.gen_range(1usize..100),
+                n_patients: rng.gen_range(1usize..50),
+                pos_rate: vec![0.5],
+            });
+        }
+        per_feature.push(cohorts);
+        index.push(idx);
+    }
+    let pool = CohortPool::from_parts(masks, per_feature, index, 3);
+    (CohortIndex::compile(&pool), nf, k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arrival_permutation_is_irrelevant(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nf = rng.gen_range(1usize..6);
+        let cfg = StreamConfig {
+            time_steps: rng.gen_range(1usize..6),
+            n_features: nf,
+            horizon_hours: 48.0,
+        };
+        let events = random_events(&mut rng, nf, cfg.horizon_hours);
+        let baseline = ingest_all(cfg, nf, &events);
+        for _ in 0..3 {
+            let permuted = shuffled(&mut rng, &events);
+            let other = ingest_all(cfg, nf, &permuted);
+            assert_sessions_bit_eq(&baseline, &other)?;
+        }
+    }
+
+    #[test]
+    fn incremental_probe_agrees_with_linear_scan(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (index, nf, k) = random_index(&mut rng);
+        let t_steps = rng.gen_range(1usize..6);
+        let mut grid: Vec<u8> = (0..t_steps * nf).map(|_| rng.gen_range(0u8..k)).collect();
+        let mut cache = IndexCache::new();
+        for _round in 0..10 {
+            let words = cache.probe(&index, &grid, t_steps, nf).to_vec();
+            for i in 0..index.n_features() {
+                prop_assert_eq!(&words[i], &index.bitmap_words(i, &grid, t_steps, nf));
+            }
+            // Random sparse flips: most anchors' mask columns stay
+            // untouched, so reuse and recompute paths both exercise.
+            for _ in 0..rng.gen_range(0usize..4) {
+                let cell = rng.gen_range(0..grid.len());
+                grid[cell] = rng.gen_range(0u8..k);
+            }
+        }
+        let (full, reused) = (cache.full_probes, cache.reused_probes);
+        prop_assert_eq!(full + reused, 10 * index.n_features() as u64);
+    }
+
+    #[test]
+    fn evicted_session_rebuilds_bit_identically(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nf = rng.gen_range(1usize..6);
+        let cfg = StreamConfig {
+            time_steps: rng.gen_range(1usize..6),
+            n_features: nf,
+            horizon_hours: 48.0,
+        };
+        let events = random_events(&mut rng, nf, cfg.horizon_hours);
+        let uninterrupted = ingest_all(cfg, nf, &events);
+        // A session evicted after a random prefix loses all state…
+        let cut = rng.gen_range(0..=events.len());
+        let interrupted = ingest_all(cfg, nf, &events[..cut]);
+        drop(interrupted);
+        // …and replaying the full history into a fresh session restores
+        // the exact grid, mask and window position.
+        let rebuilt = ingest_all(cfg, nf, &events);
+        assert_sessions_bit_eq(&uninterrupted, &rebuilt)?;
+        prop_assert_eq!(uninterrupted.events_total(), rebuilt.events_total());
+        prop_assert_eq!(uninterrupted.stale_total(), rebuilt.stale_total());
+    }
+}

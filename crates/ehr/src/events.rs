@@ -1,0 +1,200 @@
+//! Synthetic per-admission *event streams* for the online-scoring path.
+//!
+//! The batch generator ([`crate::synth`]) simulates irregular measurement
+//! events internally and immediately resamples them onto the regular grid.
+//! The streaming subsystem needs the events themselves, in a realistic
+//! *arrival* order: mostly chronological, but with bounded out-of-order
+//! delivery (charting lag) and occasional exact duplicates (retried
+//! writes) — precisely the disorder the canonical-order contract of
+//! [`cohortnet` streaming sessions] has to absorb.
+//!
+//! This generator is deliberately self-contained (its own RNG stream,
+//! plausible-range trajectories rather than the full archetype simulation)
+//! so adding it cannot perturb the seeded [`crate::synth::generate`]
+//! sequence that every existing test and benchmark is pinned to.
+//!
+//! [`cohortnet` streaming sessions]: https://crates.io/crates/cohortnet
+
+use crate::features::{normal_halfwidth, normal_mid, CATALOG};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One raw measurement in arrival order: feature index (model order),
+/// hours since admission, raw value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawEvent {
+    /// Feature index into the stream's feature order.
+    pub feature: usize,
+    /// Hours since admission.
+    pub ts: f32,
+    /// Raw (unstandardized) value.
+    pub value: f32,
+}
+
+/// One admission's event stream, in arrival order.
+#[derive(Debug, Clone)]
+pub struct AdmissionStream {
+    /// Stable admission identifier (unique within the generated batch).
+    pub id: usize,
+    /// Events in simulated arrival order — *not* sorted by timestamp.
+    pub events: Vec<RawEvent>,
+}
+
+/// Configuration of the synthetic event-stream generator.
+#[derive(Debug, Clone)]
+pub struct EventStreamConfig {
+    /// Number of admissions.
+    pub n_admissions: usize,
+    /// Number of features (events use indices `0..n_features`).
+    pub n_features: usize,
+    /// Hours of stay to simulate events over.
+    pub horizon_hours: f32,
+    /// Mean measurements per charted feature over the horizon.
+    pub events_per_feature: usize,
+    /// Probability that a feature is never charted for an admission
+    /// (exercises the all-missing / leading-missing paths).
+    pub missing_rate: f64,
+    /// Probability that an event is delivered late — swapped behind events
+    /// charted after it (out-of-order arrival).
+    pub disorder_rate: f64,
+    /// Probability that an event is followed by an exact duplicate
+    /// (timestamp *and* value), simulating a retried write.
+    pub duplicate_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EventStreamConfig {
+    fn default() -> Self {
+        EventStreamConfig {
+            n_admissions: 8,
+            n_features: 20,
+            horizon_hours: 48.0,
+            events_per_feature: 6,
+            missing_rate: 0.15,
+            disorder_rate: 0.2,
+            duplicate_rate: 0.05,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Plausible raw-value band for feature `f`: the catalog's normal range
+/// when the index maps into it, a generic band otherwise.
+fn value_band(f: usize) -> (f32, f32) {
+    if f < CATALOG.len() {
+        let def = &CATALOG[f];
+        (normal_mid(def), normal_halfwidth(def).max(1e-3))
+    } else {
+        (0.0, 1.0)
+    }
+}
+
+/// Generates admissions with irregular, disordered, occasionally duplicated
+/// measurement events. Deterministic in the seed; every `(ts, value)` is
+/// finite and `ts` lies in `[0, horizon_hours)`.
+pub fn generate_event_streams(cfg: &EventStreamConfig) -> Vec<AdmissionStream> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x657665_6e7473); // "events"
+    let mut streams = Vec::with_capacity(cfg.n_admissions);
+    for id in 0..cfg.n_admissions {
+        let mut timed: Vec<RawEvent> = Vec::new();
+        for f in 0..cfg.n_features {
+            if rng.gen_bool(cfg.missing_rate) {
+                continue;
+            }
+            let (mid, half) = value_band(f);
+            let n = 1 + rng.gen_range(0..cfg.events_per_feature.max(1) * 2);
+            // A slow per-admission drift keeps consecutive values coherent.
+            let drift = (rng.next_f64() as f32 - 0.5) * half;
+            for _ in 0..n {
+                let ts = (rng.next_f64() as f32 * cfg.horizon_hours).min(cfg.horizon_hours * 0.999);
+                let wobble = (rng.next_f64() as f32 - 0.5) * 2.0 * half;
+                let value = mid + drift + wobble * 0.7;
+                timed.push(RawEvent {
+                    feature: f,
+                    ts,
+                    value,
+                });
+            }
+        }
+        // Chronological charting order first (ties by feature for
+        // determinism), then inject disorder and duplicates.
+        timed.sort_by(|a, b| a.ts.total_cmp(&b.ts).then(a.feature.cmp(&b.feature)));
+        let mut events: Vec<RawEvent> = Vec::with_capacity(timed.len());
+        for ev in timed {
+            events.push(ev);
+            if rng.gen_bool(cfg.duplicate_rate) {
+                events.push(ev); // exact duplicate: same ts, same value
+            }
+        }
+        // Bounded out-of-order delivery: swap a late event behind up to
+        // three of its successors.
+        let len = events.len();
+        for i in 0..len {
+            if rng.gen_bool(cfg.disorder_rate) {
+                let lag = 1 + rng.gen_range(0..3usize);
+                let j = (i + lag).min(len.saturating_sub(1));
+                events.swap(i, j);
+            }
+        }
+        streams.push(AdmissionStream { id, events });
+    }
+    streams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_in_range() {
+        let cfg = EventStreamConfig::default();
+        let a = generate_event_streams(&cfg);
+        let b = generate_event_streams(&cfg);
+        assert_eq!(a.len(), cfg.n_admissions);
+        for (sa, sb) in a.iter().zip(&b) {
+            assert_eq!(sa.events, sb.events, "same seed must replay exactly");
+            assert!(!sa.events.is_empty());
+            for ev in &sa.events {
+                assert!(ev.feature < cfg.n_features);
+                assert!(ev.ts >= 0.0 && ev.ts < cfg.horizon_hours);
+                assert!(ev.value.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn disorder_and_duplicates_actually_occur() {
+        let cfg = EventStreamConfig {
+            n_admissions: 4,
+            disorder_rate: 0.5,
+            duplicate_rate: 0.3,
+            ..EventStreamConfig::default()
+        };
+        let streams = generate_event_streams(&cfg);
+        let any_disorder = streams
+            .iter()
+            .any(|s| s.events.windows(2).any(|w| w[0].ts > w[1].ts));
+        let any_duplicate = streams.iter().any(|s| {
+            s.events.windows(2).any(|w| {
+                w[0].ts == w[1].ts && w[0].value == w[1].value && w[0].feature == w[1].feature
+            })
+        });
+        assert!(any_disorder, "expected at least one out-of-order arrival");
+        assert!(any_duplicate, "expected at least one exact duplicate");
+    }
+
+    #[test]
+    fn missing_rate_leaves_features_uncharted() {
+        let cfg = EventStreamConfig {
+            n_admissions: 16,
+            missing_rate: 0.5,
+            ..EventStreamConfig::default()
+        };
+        let streams = generate_event_streams(&cfg);
+        let uncharted = streams
+            .iter()
+            .any(|s| (0..cfg.n_features).any(|f| s.events.iter().all(|e| e.feature != f)));
+        assert!(uncharted, "expected some admission to miss some feature");
+    }
+}

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod archetypes;
+pub mod events;
 pub mod features;
 pub mod io;
 pub mod profiles;
@@ -34,6 +35,7 @@ pub mod split;
 pub mod standardize;
 pub mod synth;
 
+pub use events::{generate_event_streams, AdmissionStream, EventStreamConfig, RawEvent};
 pub use record::{EhrDataset, PatientRecord, Task};
 pub use split::{split_80_10_10, Split};
 pub use standardize::Standardizer;

@@ -8,7 +8,7 @@
 
 use cohortnet::snapshot::load_snapshot;
 use cohortnet_obs::obs_info;
-use cohortnet_serve::{demo, serve, EngineConfig, ServerConfig};
+use cohortnet_serve::{demo, serve, serve_stream, EngineConfig, ServerConfig, StreamOptions};
 
 /// Log target for server-lifecycle events.
 const LOG: &str = "cohortnet.serve.bin";
@@ -18,6 +18,8 @@ struct Args {
     demo: bool,
     demo_snapshot: Option<String>,
     server: ServerConfig,
+    stream: bool,
+    stream_opts: StreamOptions,
 }
 
 fn usage() -> ! {
@@ -30,7 +32,11 @@ fn usage() -> ! {
          \x20        [--idle-timeout-ms N (default 0 = built-in 30s keep-alive idle close)]\n\
          \x20        [--max-connections N (default 256, 0 = unlimited)]\n\
          \x20        [--workers N (default 0 = built-in 16 request workers)]\n\
-         \x20        [--quant (serve the int8 quantized trunk; default f32)]"
+         \x20        [--quant (serve the int8 quantized trunk; default f32)]\n\
+         \x20        [--stream (enable POST /ingest event-stream sessions)]\n\
+         \x20        [--horizon-hours N (default 48, stream window span)]\n\
+         \x20        [--session-idle-ms N (default 0 = built-in 300s idle eviction)]\n\
+         \x20        [--max-sessions N (default 0 = built-in 1024 LRU cap)]"
     );
     std::process::exit(2)
 }
@@ -45,6 +51,8 @@ fn parse_args() -> Args {
             engine: EngineConfig::default(),
             ..ServerConfig::default()
         },
+        stream: false,
+        stream_opts: StreamOptions::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,6 +92,19 @@ fn parse_args() -> Args {
             }
             "--workers" => args.server.workers = parse_num(&value("--workers"), "--workers"),
             "--quant" => args.server.quant = true,
+            "--stream" => args.stream = true,
+            "--horizon-hours" => {
+                args.stream_opts.horizon_hours =
+                    parse_num(&value("--horizon-hours"), "--horizon-hours")
+            }
+            "--session-idle-ms" => {
+                args.stream_opts.session_idle_ms =
+                    parse_num(&value("--session-idle-ms"), "--session-idle-ms")
+            }
+            "--max-sessions" => {
+                args.stream_opts.max_sessions =
+                    parse_num(&value("--max-sessions"), "--max-sessions")
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -141,7 +162,12 @@ fn main() {
         cohorts = loaded.model.discovery.is_some(),
     );
 
-    let server = serve(loaded, args.server).unwrap_or_else(|e| {
+    let server = if args.stream {
+        serve_stream(loaded, args.server, args.stream_opts)
+    } else {
+        serve(loaded, args.server)
+    }
+    .unwrap_or_else(|e| {
         eprintln!("cannot bind port {}: {e}", args.server.port);
         std::process::exit(1)
     });

@@ -21,6 +21,13 @@
 //!   application along the [`server::App`] trait — [`serve`] runs the
 //!   single-model scoring app, [`serve_app`] runs anything else (the
 //!   `cohortnet-fleet` router) behind the identical transport.
+//! * [`stream`] — event-stream ingestion and online scoring (`POST
+//!   /ingest`, `GET /sessions`): per-admission [`cohortnet::stream`]
+//!   sessions under the prefix-identity contract, re-scored on the worker
+//!   thread through the incremental cohort-index probe cache (never the
+//!   batching engine). The batch surface is delegated to the same scoring
+//!   app, so [`serve_stream`] answers `/score` byte-identically to
+//!   [`serve`].
 //! * [`reactor`] — the dependency-free readiness layer under the loop:
 //!   epoll on Linux, poll(2) elsewhere (or via
 //!   `COHORTNET_SERVE_BACKEND=poll`), plus the self-pipe waker. Public so
@@ -49,9 +56,11 @@ pub mod json;
 pub mod metrics;
 pub mod reactor;
 pub mod server;
+pub mod stream;
 
 pub use engine::{Engine, EngineConfig, EngineError, RowScore};
 pub use server::{
     debug_requests_body, debug_trace_body, serve, serve_app, App, AppResponse, Server,
     ServerConfig, ServerCtl, TransportConfig,
 };
+pub use stream::{serve_stream, StreamOptions};

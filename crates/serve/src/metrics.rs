@@ -78,6 +78,27 @@ pub struct Metrics {
     pub stage_dispatch_wait_us: Arc<Histogram>,
     /// Response handed to the event loop → last byte flushed, µs.
     pub stage_write_us: Arc<Histogram>,
+    /// Stream events accepted into a session window (`POST /ingest`).
+    pub stream_events: Arc<Counter>,
+    /// Stream events ignored for arriving behind their session's window.
+    pub stream_events_stale: Arc<Counter>,
+    /// `POST /ingest` requests dropped before touching any session
+    /// (chaos/backpressure injection at the `stream.ingest.drop` site).
+    pub stream_ingest_dropped: Arc<Counter>,
+    /// Online scores computed by the streaming path.
+    pub stream_scores: Arc<Counter>,
+    /// Streaming sessions evicted (idle timeout, capacity, chaos or
+    /// poisoning — sessions are ephemeral by design).
+    pub stream_sessions_evicted: Arc<Counter>,
+    /// Streaming sessions currently resident.
+    pub stream_sessions_active: Arc<Gauge>,
+    /// Event ingest → covering score completed, microseconds (score
+    /// staleness: how old an event got before a score reflected it).
+    pub stream_staleness_us: Arc<Histogram>,
+    /// Cohort-index anchors probed with the full grid walk.
+    pub stream_probes_full: Arc<Counter>,
+    /// Cohort-index anchors answered from the incremental probe cache.
+    pub stream_probes_reused: Arc<Counter>,
     /// Active kernel path, set once at server start: the SIMD backend name
     /// and whether the int8 quantized trunk is serving. Rendered as a
     /// `cohortnet_build_info` gauge with labels so fleet health checks can
@@ -182,6 +203,43 @@ impl Metrics {
                 "cohortnet_stage_write_us",
                 "Response handed off until the last byte flushed, microseconds.",
                 LATENCY_US_BOUNDS,
+            ),
+            stream_events: registry.counter(
+                "cohortnet_stream_events_total",
+                "Stream events accepted into a session window.",
+            ),
+            stream_events_stale: registry.counter(
+                "cohortnet_stream_events_stale_total",
+                "Stream events ignored for arriving behind the window.",
+            ),
+            stream_ingest_dropped: registry.counter(
+                "cohortnet_stream_ingest_dropped_total",
+                "Ingest requests dropped before touching any session.",
+            ),
+            stream_scores: registry.counter(
+                "cohortnet_stream_scores_total",
+                "Online scores computed by the streaming path.",
+            ),
+            stream_sessions_evicted: registry.counter(
+                "cohortnet_stream_sessions_evicted_total",
+                "Streaming sessions evicted (idle, capacity, chaos, poison).",
+            ),
+            stream_sessions_active: registry.gauge(
+                "cohortnet_stream_sessions_active",
+                "Streaming sessions currently resident.",
+            ),
+            stream_staleness_us: registry.histogram(
+                "cohortnet_stream_staleness_us",
+                "Event ingest to covering score completion, microseconds.",
+                LATENCY_US_BOUNDS,
+            ),
+            stream_probes_full: registry.counter(
+                "cohortnet_stream_probes_full_total",
+                "Cohort-index anchors probed with the full grid walk.",
+            ),
+            stream_probes_reused: registry.counter(
+                "cohortnet_stream_probes_reused_total",
+                "Cohort-index anchors answered from the incremental cache.",
             ),
             build_info: OnceLock::new(),
             registry,

@@ -377,19 +377,8 @@ pub fn serve_app(
 /// # Errors
 /// Propagates listener bind and reactor setup failures.
 pub fn serve(loaded: LoadedModel, cfg: ServerConfig) -> std::io::Result<Server> {
-    let metrics = Arc::new(Metrics::new());
-    let engine = Engine::start_scorer(loaded.scorer(cfg.quant), cfg.engine, Arc::clone(&metrics));
-    metrics.set_build_info(cohortnet_tensor::simd::active().name(), cfg.quant);
-    let transport = cfg.transport();
-    let app = Arc::new(ScoreApp {
-        engine,
-        loaded,
-        metrics: Arc::clone(&metrics),
-        read_timeout: transport.effective_read_timeout(),
-        idle_timeout: transport.effective_idle_timeout(),
-        workers: transport.effective_workers(),
-    });
-    serve_app(app, transport, metrics)
+    let (app, metrics) = ScoreApp::build(loaded, &cfg);
+    serve_app(Arc::new(app), cfg.transport(), metrics)
 }
 
 impl Server {
@@ -448,14 +437,38 @@ pub fn error_body(message: &str) -> String {
     json::render(&obj(vec![("error", Json::Str(message.to_string()))]))
 }
 
-/// The single-model scoring application behind [`serve`].
-struct ScoreApp {
-    engine: Engine,
-    loaded: LoadedModel,
-    metrics: Arc<Metrics>,
-    read_timeout: Duration,
-    idle_timeout: Duration,
-    workers: usize,
+/// The single-model scoring application behind [`serve`]. Also the
+/// delegation target of the streaming app ([`crate::stream`]), which
+/// answers its own `/ingest` + `/sessions` routes and hands everything
+/// else here — so both servers expose the identical batch surface.
+pub(crate) struct ScoreApp {
+    pub(crate) engine: Engine,
+    pub(crate) loaded: LoadedModel,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) read_timeout: Duration,
+    pub(crate) idle_timeout: Duration,
+    pub(crate) workers: usize,
+}
+
+impl ScoreApp {
+    /// Starts the engine and assembles the app plus its metrics registry —
+    /// the shared plumbing of [`serve`] and [`crate::stream::serve_stream`].
+    pub(crate) fn build(loaded: LoadedModel, cfg: &ServerConfig) -> (ScoreApp, Arc<Metrics>) {
+        let metrics = Arc::new(Metrics::new());
+        let engine =
+            Engine::start_scorer(loaded.scorer(cfg.quant), cfg.engine, Arc::clone(&metrics));
+        metrics.set_build_info(cohortnet_tensor::simd::active().name(), cfg.quant);
+        let transport = cfg.transport();
+        let app = ScoreApp {
+            engine,
+            loaded,
+            metrics: Arc::clone(&metrics),
+            read_timeout: transport.effective_read_timeout(),
+            idle_timeout: transport.effective_idle_timeout(),
+            workers: transport.effective_workers(),
+        };
+        (app, metrics)
+    }
 }
 
 impl App for ScoreApp {
@@ -547,7 +560,7 @@ pub fn parse_score_instances(body: &str) -> Result<Vec<ScoreRequest>, String> {
     Ok(reqs)
 }
 
-fn row_to_json(row: &RowScore) -> Json {
+pub(crate) fn row_to_json(row: &RowScore) -> Json {
     let mut pairs = vec![
         ("prob", num_arr(&row.prob)),
         ("logit", num_arr(&row.logit)),

@@ -1,0 +1,240 @@
+//! Chaos e2e for the streaming server: the three streaming fault sites
+//! (`stream.ingest.drop`, `stream.session.evict`, `stream.score`) degrade
+//! to typed errors scoped to the faulted session, while every non-faulted
+//! session — and the batch `/score` path — stays **bit-identical** to a
+//! fault-free reference run. A scoring panic poisons and evicts exactly
+//! one session; it can never poison the batching engine, because streaming
+//! scores run on the worker thread, not through the batcher.
+//!
+//! Determinism: single-threaded engine, sequential requests, seeded plan —
+//! every chaos decision replays, so the fault schedule below is exact.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use cohortnet::snapshot::load_snapshot;
+use cohortnet::stream::StreamEvent;
+use cohortnet_chaos::{install, ChaosPlan, When};
+use cohortnet_ehr::{generate_event_streams, EventStreamConfig};
+use cohortnet_serve::demo::{demo_bundle, DemoBundle};
+use cohortnet_serve::{serve_stream, EngineConfig, Server, ServerConfig, StreamOptions};
+
+/// Chaos plans are process-global; every test takes this so a plan
+/// installed by one cannot steal another's site call indices.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One demo training run shared by every test in this binary.
+fn bundle() -> &'static DemoBundle {
+    static BUNDLE: OnceLock<DemoBundle> = OnceLock::new();
+    BUNDLE.get_or_init(demo_bundle)
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn ingest_body(session: &str, events: &[StreamEvent]) -> String {
+    let evs: Vec<String> = events
+        .iter()
+        .map(|e| format!("{{\"f\":{},\"t\":{},\"v\":{}}}", e.feature, e.ts, e.value))
+        .collect();
+    format!(
+        "{{\"session\":\"{session}\",\"events\":[{}],\"score\":false}}",
+        evs.join(",")
+    )
+}
+
+fn start_server() -> Server {
+    let loaded = load_snapshot(&bundle().snapshot).expect("snapshot loads");
+    serve_stream(
+        loaded,
+        ServerConfig {
+            port: 0,
+            engine: EngineConfig {
+                threads: 1,
+                ..EngineConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+        StreamOptions::default(),
+    )
+    .expect("stream server starts")
+}
+
+fn demo_events(n_admissions: usize, seed: u64) -> Vec<Vec<StreamEvent>> {
+    generate_event_streams(&EventStreamConfig {
+        n_admissions,
+        n_features: 20,
+        events_per_feature: 3,
+        seed,
+        ..EventStreamConfig::default()
+    })
+    .into_iter()
+    .map(|s| {
+        s.events
+            .iter()
+            .map(|e| StreamEvent {
+                feature: e.feature,
+                ts: e.ts,
+                value: e.value,
+            })
+            .collect()
+    })
+    .collect()
+}
+
+/// Reads one counter value from a `/metrics` body.
+fn metric_value(metrics_body: &str, family: &str) -> f64 {
+    metrics_body
+        .lines()
+        .find_map(|line| line.strip_prefix(family)?.trim().parse().ok())
+        .unwrap_or(0.0)
+}
+
+#[test]
+fn faulted_sessions_degrade_typed_while_the_rest_stay_bit_identical() {
+    let _s = serial();
+    let streams = demo_events(3, 0x0dd5);
+    let (healthy, victim, evictee) = (&streams[0], &streams[1], &streams[2]);
+    let batch_body = {
+        let e = &bundle().examples[0];
+        let join = |v: &[f32]| {
+            v.iter()
+                .map(|x| format!("{x}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "{{\"instances\":[{{\"x\":[{}],\"mask\":[{}]}}]}}",
+            join(&e.x),
+            join(&e.mask)
+        )
+    };
+
+    // ------------------------------------------------------ reference pass
+    let server = start_server();
+    let addr = server.addr();
+    for (id, events) in [("healthy", healthy), ("evictee", evictee)] {
+        let (status, body) = request(addr, "POST", "/ingest", &ingest_body(id, events));
+        assert_eq!(status, 200, "reference ingest {id}: {body}");
+    }
+    let (_, healthy_ref) = request(addr, "POST", "/sessions/healthy/score", "");
+    let (_, evictee_ref) = request(addr, "POST", "/sessions/evictee/score", "");
+    let (_, batch_ref) = request(addr, "POST", "/score", &batch_body);
+    server.shutdown();
+
+    // ---------------------------------------------------------- chaos pass
+    // Site call schedule (single-threaded, sequential, so it is exact):
+    //   stream.ingest.drop  call 1 → the first healthy ingest bounces 503;
+    //   stream.session.evict call 4 → the second evictee ingest gets 410;
+    //   stream.score        call 1 → the victim's first score panics.
+    let _guard = install(
+        ChaosPlan::new(7)
+            .site("stream.ingest.drop", When::At(vec![1]), 0)
+            .site("stream.session.evict", When::At(vec![4]), 0)
+            .site("stream.score", When::At(vec![1]), 0),
+    );
+    let server = start_server();
+    let addr = server.addr();
+
+    // Ingest 1: dropped before any state change — typed 503.
+    let (status, body) = request(addr, "POST", "/ingest", &ingest_body("healthy", healthy));
+    assert_eq!(status, 503, "chaos drop must answer 503: {body}");
+    assert!(body.contains("\"error\""), "untyped drop: {body}");
+    // Ingest 2: the retry lands cleanly (the drop left nothing behind).
+    let (status, _) = request(addr, "POST", "/ingest", &ingest_body("healthy", healthy));
+    assert_eq!(status, 200);
+    // Ingest 3: the victim's history.
+    let (status, _) = request(addr, "POST", "/ingest", &ingest_body("victim", victim));
+    assert_eq!(status, 200);
+    // Ingest 4 builds the evictee; ingest 5 hits the evict site — the
+    // session is gone afterwards, with a typed 410 telling the client to
+    // re-ingest.
+    let (status, _) = request(addr, "POST", "/ingest", &ingest_body("evictee", evictee));
+    assert_eq!(status, 200);
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/ingest",
+        &ingest_body("evictee", &evictee[..1]),
+    );
+    assert_eq!(status, 410, "chaos evict must answer 410: {body}");
+    assert!(body.contains("\"error\""), "untyped evict: {body}");
+    let (status, _) = request(addr, "POST", "/sessions/evictee/score", "");
+    assert_eq!(status, 404, "evicted session must be gone");
+
+    // Score 1 — wait: that 404 never reached the score site, so the
+    // victim's score is still chaos call 1: it panics, poisons and evicts
+    // only the victim.
+    let (status, body) = request(addr, "POST", "/sessions/victim/score", "");
+    assert_eq!(status, 500, "poisoned score must answer 500: {body}");
+    assert!(body.contains("\"error\""), "untyped poison: {body}");
+    let (status, _) = request(addr, "POST", "/sessions/victim/score", "");
+    assert_eq!(status, 404, "poisoned session must be evicted");
+    let (_, listing) = request(addr, "GET", "/sessions", "");
+    assert!(
+        !listing.contains("victim") && !listing.contains("evictee"),
+        "faulted sessions must not be listed: {listing}"
+    );
+
+    // The healthy session scored after all that chaos is bit-identical to
+    // the fault-free reference run.
+    let (status, healthy_now) = request(addr, "POST", "/sessions/healthy/score", "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        healthy_now, healthy_ref,
+        "healthy session drifted under chaos"
+    );
+
+    // The evictee rebuilt from its full history converges too.
+    let (status, _) = request(addr, "POST", "/ingest", &ingest_body("evictee", evictee));
+    assert_eq!(status, 200);
+    let (status, evictee_now) = request(addr, "POST", "/sessions/evictee/score", "");
+    assert_eq!(status, 200);
+    assert_eq!(evictee_now, evictee_ref, "re-ingested evictee drifted");
+
+    // The batch path was never poisoned: same bytes as the reference.
+    let (status, batch_now) = request(addr, "POST", "/score", &batch_body);
+    assert_eq!(status, 200);
+    assert_eq!(
+        batch_now, batch_ref,
+        "the batcher must stay isolated from session faults"
+    );
+
+    // Every site actually fired, and the server accounted for the faults.
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    for family in [
+        "cohortnet_chaos_injected_stream_ingest_drop_total ",
+        "cohortnet_chaos_injected_stream_session_evict_total ",
+        "cohortnet_chaos_injected_stream_score_total ",
+    ] {
+        assert!(
+            metric_value(&metrics, family) >= 1.0,
+            "{family} did not fire"
+        );
+    }
+    assert!(metric_value(&metrics, "cohortnet_stream_ingest_dropped_total ") >= 1.0);
+    assert!(metric_value(&metrics, "cohortnet_stream_sessions_evicted_total ") >= 2.0);
+}

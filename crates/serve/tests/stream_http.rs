@@ -1,0 +1,254 @@
+//! HTTP-level identity and session management for the streaming server
+//! ([`cohortnet_serve::serve_stream`]):
+//!
+//! * `POST /ingest` + `POST /sessions/<id>/score` render **byte-identical**
+//!   `/score` output to the batch pipeline recomputed from scratch over the
+//!   same event prefix — on the f32 server and the `--quant` server;
+//! * `/sessions` listing, explicit `DELETE` eviction, re-ingest rebuild,
+//!   and the typed error surface (400/404/405) behave as documented;
+//! * the whole batch surface (`/score`, `/healthz`, `/metrics`) is
+//!   delegated untouched, and `/metrics` carries the streaming families.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+
+use cohortnet::snapshot::load_snapshot;
+use cohortnet::stream::{batch_reference, StreamConfig, StreamEvent};
+use cohortnet_ehr::{generate_event_streams, EventStreamConfig};
+use cohortnet_serve::{serve_stream, EngineConfig, ServerConfig, StreamOptions};
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn join(values: &[f32]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// The `/ingest` body for a batch of events (no inline score — the
+/// comparison endpoint is `/sessions/<id>/score`).
+fn ingest_body(session: &str, events: &[StreamEvent]) -> String {
+    let evs: Vec<String> = events
+        .iter()
+        .map(|e| format!("{{\"f\":{},\"t\":{},\"v\":{}}}", e.feature, e.ts, e.value))
+        .collect();
+    format!(
+        "{{\"session\":\"{session}\",\"events\":[{}],\"score\":false}}",
+        evs.join(",")
+    )
+}
+
+/// One demo training run shared by every test in this binary.
+fn bundle() -> &'static cohortnet_serve::demo::DemoBundle {
+    static BUNDLE: OnceLock<cohortnet_serve::demo::DemoBundle> = OnceLock::new();
+    BUNDLE.get_or_init(cohortnet_serve::demo::demo_bundle)
+}
+
+fn start(quant: bool) -> (cohortnet_serve::Server, SocketAddr) {
+    let loaded = load_snapshot(&bundle().snapshot).expect("snapshot loads");
+    let server = serve_stream(
+        loaded,
+        ServerConfig {
+            port: 0,
+            quant,
+            engine: EngineConfig {
+                threads: 1,
+                ..EngineConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+        StreamOptions::default(),
+    )
+    .expect("stream server starts");
+    let addr = server.addr();
+    (server, addr)
+}
+
+fn demo_events(n_admissions: usize, seed: u64) -> Vec<Vec<StreamEvent>> {
+    generate_event_streams(&EventStreamConfig {
+        n_admissions,
+        n_features: 20,
+        events_per_feature: 3,
+        seed,
+        ..EventStreamConfig::default()
+    })
+    .into_iter()
+    .map(|s| {
+        s.events
+            .iter()
+            .map(|e| StreamEvent {
+                feature: e.feature,
+                ts: e.ts,
+                value: e.value,
+            })
+            .collect()
+    })
+    .collect()
+}
+
+/// Streams events in chunks and, after every chunk, diffs the session's
+/// rendered score bytes against `POST /score` on the from-scratch batch
+/// oracle — on the same server, so the bytes share one render path.
+fn assert_prefix_identity(addr: SocketAddr, quant: bool) {
+    let loaded = load_snapshot(&bundle().snapshot).expect("snapshot loads");
+    let cfg = StreamConfig {
+        time_steps: loaded.time_steps,
+        n_features: loaded.scaler.mean.len(),
+        horizon_hours: 48.0,
+    };
+    for (a, events) in demo_events(2, 0xcafe).into_iter().enumerate() {
+        let session = format!("adm-{a}");
+        let mut sent = 0usize;
+        while sent < events.len() {
+            let chunk = (events.len() - sent).min(5);
+            let (status, body) = request(
+                addr,
+                "POST",
+                "/ingest",
+                &ingest_body(&session, &events[sent..sent + chunk]),
+            );
+            assert_eq!(status, 200, "ingest failed: {body}");
+            sent += chunk;
+
+            let (status, stream_bytes) =
+                request(addr, "POST", &format!("/sessions/{session}/score"), "");
+            assert_eq!(status, 200, "session score failed: {stream_bytes}");
+
+            let oracle = batch_reference(&events[..sent], &cfg, &loaded.scaler);
+            let batch_body = format!(
+                "{{\"instances\":[{{\"x\":[{}],\"mask\":[{}]}}]}}",
+                join(&oracle.x),
+                join(&oracle.mask)
+            );
+            let (status, batch_bytes) = request(addr, "POST", "/score", &batch_body);
+            assert_eq!(status, 200, "batch score failed: {batch_bytes}");
+            assert_eq!(
+                stream_bytes, batch_bytes,
+                "admission {a} prefix {sent} (quant={quant}): rendered bytes diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn streamed_scores_render_byte_identical_to_batch() {
+    let (_server, addr) = start(false);
+    assert_prefix_identity(addr, false);
+
+    // The streaming metric families are live on the shared registry.
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for family in [
+        "cohortnet_stream_events_total",
+        "cohortnet_stream_scores_total",
+        "cohortnet_stream_staleness_us",
+        "cohortnet_stream_probes_full_total",
+        "cohortnet_stream_probes_reused_total",
+        "cohortnet_stream_sessions_active",
+    ] {
+        assert!(metrics.contains(family), "metrics lack {family}");
+    }
+}
+
+#[test]
+fn quant_streamed_scores_render_byte_identical_to_batch() {
+    let (_server, addr) = start(true);
+    assert_prefix_identity(addr, true);
+}
+
+#[test]
+fn session_lifecycle_and_error_surface() {
+    let (_server, addr) = start(false);
+    let events = &demo_events(1, 0xfeed)[0];
+
+    // Unknown sessions are typed 404s.
+    let (status, _) = request(addr, "POST", "/sessions/nobody/score", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "DELETE", "/sessions/nobody", "");
+    assert_eq!(status, 404);
+
+    // Ingest with an inline score: the response embeds the prediction.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/ingest",
+        "{\"session\":\"p1\",\"events\":[{\"f\":0,\"t\":1.5,\"v\":37.2}]}",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains("\"prediction\""),
+        "inline score missing: {body}"
+    );
+    assert!(body.contains("\"ingested\":1"), "{body}");
+
+    // Typed 400s: malformed body, unknown feature, bad timestamp — none
+    // of them perturb the session (events_total stays 1).
+    for bad in [
+        "{not json",
+        "{\"session\":\"p1\",\"events\":[{\"f\":99,\"t\":1,\"v\":1}]}",
+        "{\"session\":\"p1\",\"events\":[{\"f\":0,\"t\":-4,\"v\":1}]}",
+        "{\"session\":\"p1\",\"events\":[{\"t\":1,\"v\":1}]}",
+        "{\"events\":[]}",
+    ] {
+        let (status, body) = request(addr, "POST", "/ingest", bad);
+        assert_eq!(status, 400, "expected 400 for {bad}, got {body}");
+        assert!(body.contains("\"error\""), "untyped error: {body}");
+    }
+    let (status, listing) = request(addr, "GET", "/sessions", "");
+    assert_eq!(status, 200);
+    assert!(listing.contains("\"events_total\":1"), "{listing}");
+    assert!(listing.contains("\"active\":1"), "{listing}");
+
+    // Method guards.
+    let (status, _) = request(addr, "GET", "/ingest", "");
+    assert_eq!(status, 405);
+    let (status, _) = request(addr, "POST", "/sessions", "");
+    assert_eq!(status, 405);
+    let (status, _) = request(addr, "GET", "/sessions/p1/score", "");
+    assert_eq!(status, 405);
+
+    // Build up a real session, snapshot its rendered score…
+    let (status, _) = request(addr, "POST", "/ingest", &ingest_body("p2", events));
+    assert_eq!(status, 200);
+    let (_, before) = request(addr, "POST", "/sessions/p2/score", "");
+
+    // …evict it, and prove re-ingesting the full history rebuilds the
+    // session byte-identically (sessions are ephemeral + replayable).
+    let (status, body) = request(addr, "DELETE", "/sessions/p2", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"evicted\":true"), "{body}");
+    let (status, _) = request(addr, "POST", "/sessions/p2/score", "");
+    assert_eq!(status, 404, "evicted session must be gone");
+    let (status, _) = request(addr, "POST", "/ingest", &ingest_body("p2", events));
+    assert_eq!(status, 200);
+    let (_, after) = request(addr, "POST", "/sessions/p2/score", "");
+    assert_eq!(before, after, "re-ingested session diverged");
+
+    // The delegated batch surface still answers.
+    let (status, health) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+}

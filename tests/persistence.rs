@@ -1,16 +1,25 @@
 //! Persistence integration: a trained CohortNet survives a full
 //! save/reload cycle (parameters + cohort pool) with bit-identical
-//! predictions, and datasets survive the CSV round trip.
+//! predictions, datasets survive the CSV round trip, and a streaming
+//! server cold-restarted from the same snapshot re-scores replayed
+//! sessions byte-identically (sessions themselves are never persisted).
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
 
 use cohortnet::config::CohortNetConfig;
 use cohortnet::export::{pool_from_str, pool_to_string};
 use cohortnet::model::CohortNetModel;
+use cohortnet::snapshot::load_snapshot;
+use cohortnet::stream::StreamEvent;
 use cohortnet::train::train_cohortnet;
 use cohortnet_ehr::io::{dataset_from_csv, dataset_to_csv};
 use cohortnet_ehr::record::Task;
+use cohortnet_ehr::{generate_event_streams, EventStreamConfig};
 use cohortnet_ehr::{profiles, standardize::Standardizer, synth::generate};
 use cohortnet_models::data::prepare;
 use cohortnet_models::trainer::predict_probs;
+use cohortnet_serve::{serve_stream, EngineConfig, Server, ServerConfig, StreamOptions};
 use cohortnet_tensor::checkpoint::{load_params, save_params};
 use cohortnet_tensor::ParamStore;
 use rand::rngs::StdRng;
@@ -85,6 +94,101 @@ fn dataset_csv_round_trip_trains_identically() {
             }
         }
     }
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn start_stream_server(snapshot: &str) -> Server {
+    serve_stream(
+        load_snapshot(snapshot).expect("snapshot loads"),
+        ServerConfig {
+            port: 0,
+            engine: EngineConfig {
+                threads: 1,
+                ..EngineConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+        StreamOptions::default(),
+    )
+    .expect("stream server starts")
+}
+
+/// Streaming sessions are ephemeral — a snapshot taken while sessions are
+/// live contains no session state, so a cold restart from the same
+/// snapshot starts with zero sessions; replaying an admission's event
+/// history onto the restarted server renders **byte-identical** score
+/// responses. This is the persistence contract for online scoring: the
+/// event log, not the server, is the durable record.
+#[test]
+fn stream_server_cold_restart_rescoring_is_byte_identical() {
+    let snapshot = cohortnet_serve::demo::demo_bundle().snapshot;
+    let events: Vec<StreamEvent> = generate_event_streams(&EventStreamConfig {
+        n_admissions: 1,
+        n_features: 20,
+        events_per_feature: 3,
+        seed: 0xc01d,
+        ..EventStreamConfig::default()
+    })[0]
+        .events
+        .iter()
+        .map(|e| StreamEvent {
+            feature: e.feature,
+            ts: e.ts,
+            value: e.value,
+        })
+        .collect();
+    let body = {
+        let evs: Vec<String> = events
+            .iter()
+            .map(|e| format!("{{\"f\":{},\"t\":{},\"v\":{}}}", e.feature, e.ts, e.value))
+            .collect();
+        format!(
+            "{{\"session\":\"adm-0\",\"events\":[{}],\"score\":false}}",
+            evs.join(",")
+        )
+    };
+
+    // First life: ingest mid-stream, score, then die (sessions vanish).
+    let server = start_stream_server(&snapshot);
+    let addr = server.addr();
+    let (status, resp) = http(addr, "POST", "/ingest", &body);
+    assert_eq!(status, 200, "{resp}");
+    let (status, before) = http(addr, "POST", "/sessions/adm-0/score", "");
+    assert_eq!(status, 200, "{before}");
+    server.shutdown();
+
+    // Second life from the very same snapshot text: no sessions survive…
+    let server = start_stream_server(&snapshot);
+    let addr = server.addr();
+    let (status, _) = http(addr, "POST", "/sessions/adm-0/score", "");
+    assert_eq!(status, 404, "sessions must not be persisted");
+    // …and replaying the event log reproduces the exact bytes.
+    let (status, _) = http(addr, "POST", "/ingest", &body);
+    assert_eq!(status, 200);
+    let (status, after) = http(addr, "POST", "/sessions/adm-0/score", "");
+    assert_eq!(status, 200);
+    assert_eq!(before, after, "cold-restart re-score drifted");
 }
 
 #[test]
