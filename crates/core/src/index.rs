@@ -13,6 +13,7 @@ use crate::cdm::{decode_key, pattern_key};
 use crate::crlm::CohortPool;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// FNV-1a 64-bit hasher — tiny, dependency-free, and much cheaper than the
 /// default SipHash for the 8-byte pattern keys hashed on the scoring hot
@@ -59,10 +60,19 @@ struct FeatureIndex {
     map: HashMap<u64, u32, BuildFnv>,
 }
 
+/// Process-unique id source for compiled indexes; id 0 is reserved for "no
+/// index seen yet" in [`IndexCache`].
+static NEXT_INDEX_ID: AtomicU64 = AtomicU64::new(1);
+
 /// Read-only compiled form of a [`CohortPool`]'s matching tables.
 #[derive(Debug, Clone)]
 pub struct CohortIndex {
     features: Vec<FeatureIndex>,
+    /// Unique per [`CohortIndex::compile`] call (clones share it — they are
+    /// content-identical, so cache reuse across a clone stays exact). Lets
+    /// [`IndexCache`] detect being probed with a *different* index and fall
+    /// back to a full probe instead of returning the other index's bitmaps.
+    id: u64,
 }
 
 impl CohortIndex {
@@ -98,7 +108,10 @@ impl CohortIndex {
                 map,
             });
         }
-        CohortIndex { features }
+        CohortIndex {
+            features,
+            id: NEXT_INDEX_ID.fetch_add(1, Ordering::Relaxed),
+        }
     }
 
     /// Number of anchor features the index covers.
@@ -180,6 +193,10 @@ impl CohortIndex {
 /// scan and assert agreement (the differential check).
 #[derive(Debug, Clone, Default)]
 pub struct IndexCache {
+    /// Id of the [`CohortIndex`] the cached words came from (0 = none).
+    /// A probe against a different index is treated as the first probe, so
+    /// the cache can never serve one index's bitmaps for another.
+    index_id: u64,
     /// The `(T x F)` state grid of the previous probe (empty = no probe yet).
     prev_grid: Vec<u8>,
     /// Per-anchor bitmap words from the previous probe.
@@ -201,7 +218,9 @@ impl IndexCache {
     /// Probes every anchor feature of `index` against `grid`, reusing the
     /// previous bitmap for anchors whose mask saw no column change.
     /// Returns one packed bitmap per anchor, identical to calling
-    /// [`CohortIndex::bitmap_words`] for each.
+    /// [`CohortIndex::bitmap_words`] for each. Probing with a different
+    /// index than last time (by compile identity) is a full fresh probe —
+    /// one index's bitmaps are never served for another.
     pub fn probe(
         &mut self,
         index: &CohortIndex,
@@ -210,7 +229,9 @@ impl IndexCache {
         nf: usize,
     ) -> &[Vec<u64>] {
         let nf_idx = index.n_features();
-        let fresh = self.prev_grid.len() != grid.len() || self.words.len() != nf_idx;
+        let fresh = self.index_id != index.id
+            || self.prev_grid.len() != grid.len()
+            || self.words.len() != nf_idx;
         self.changed.clear();
         self.changed.resize(nf, fresh);
         if !fresh {
@@ -240,6 +261,7 @@ impl IndexCache {
                 self.full_probes += 1;
             }
         }
+        self.index_id = index.id;
         self.prev_grid.clear();
         self.prev_grid.extend_from_slice(grid);
         &self.words
@@ -247,6 +269,7 @@ impl IndexCache {
 
     /// Forgets the previous grid: the next probe walks every anchor.
     pub fn reset(&mut self) {
+        self.index_id = 0;
         self.prev_grid.clear();
         self.words.clear();
         self.full_probes = 0;

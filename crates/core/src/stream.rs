@@ -64,6 +64,18 @@ pub struct StreamConfig {
 /// synthetic profile and the paper's benchmark tasks use.
 pub const DEFAULT_HORIZON_HOURS: f32 = 48.0;
 
+/// How many bin widths past admission a timestamp may sit before it is
+/// rejected as [`StreamError::TimestampTooLarge`]. This bounds the
+/// window-slide fold in two ways at once: the fold runs at most this many
+/// iterations, and `window_start` stays below `bin_width * 2^20`, where one
+/// f32 `bin_width` step still spans ≥ 4 ulps — so `ws + bin_width` always
+/// makes progress and the fold can never stall on f32 rounding (which it
+/// otherwise would once `ws / bin_width` reaches ~2^24). At the paper's
+/// 48h/48-bin grid the cap is ~120 years of stream time per admission, so
+/// no legitimate event gets near it; what it rejects is unit confusion
+/// (epoch seconds/milliseconds sent as hours).
+pub const MAX_WINDOW_BINS: u32 = 1 << 20;
+
 impl StreamConfig {
     /// The config matching `inf`'s grid with the given horizon.
     pub fn for_inferencer(inf: &Inferencer, horizon_hours: f32) -> StreamConfig {
@@ -78,6 +90,13 @@ impl StreamConfig {
     /// [`resample`] uses, so bin indices agree to the bit.
     pub fn bin_width(&self) -> f32 {
         self.horizon_hours / self.time_steps as f32
+    }
+
+    /// Exclusive upper bound on event timestamps, [`MAX_WINDOW_BINS`] bin
+    /// widths: keeps the window-slide fold bounded and stall-free (see the
+    /// constant's docs).
+    pub fn max_ts_hours(&self) -> f32 {
+        self.bin_width() * MAX_WINDOW_BINS as f32
     }
 }
 
@@ -106,6 +125,15 @@ pub enum StreamError {
     },
     /// The timestamp is non-finite or negative.
     BadTimestamp(f32),
+    /// The timestamp is further from admission than the session can slide
+    /// to ([`StreamConfig::max_ts_hours`]) — almost always a unit mistake
+    /// (epoch seconds/milliseconds sent as hours).
+    TimestampTooLarge {
+        /// The offending timestamp, hours.
+        ts: f32,
+        /// The session's exclusive cap, hours.
+        max_ts: f32,
+    },
     /// The value is non-finite (NaN / infinity).
     BadValue {
         /// The feature the value was for.
@@ -123,6 +151,11 @@ impl std::fmt::Display for StreamError {
             StreamError::BadTimestamp(ts) => {
                 write!(f, "timestamp {ts} must be finite and non-negative")
             }
+            StreamError::TimestampTooLarge { ts, max_ts } => write!(
+                f,
+                "timestamp {ts} exceeds the stream cap of {max_ts} hours \
+                 (timestamps are hours since admission)"
+            ),
             StreamError::BadValue { feature } => {
                 write!(f, "feature {feature}: value must be finite")
             }
@@ -240,9 +273,9 @@ impl StreamSession {
     /// slide).
     ///
     /// # Errors
-    /// [`StreamError`] for an unknown feature, a non-finite or negative
-    /// timestamp, or a non-finite value — all rejected with no state
-    /// change.
+    /// [`StreamError`] for an unknown feature, a non-finite, negative or
+    /// over-cap timestamp, or a non-finite value — all rejected with no
+    /// state change.
     pub fn ingest(&mut self, ev: StreamEvent) -> Result<IngestOutcome, StreamError> {
         if ev.feature >= self.cfg.n_features {
             return Err(StreamError::BadFeature {
@@ -253,6 +286,12 @@ impl StreamSession {
         if !ev.ts.is_finite() || ev.ts < 0.0 {
             return Err(StreamError::BadTimestamp(ev.ts));
         }
+        if ev.ts >= self.cfg.max_ts_hours() {
+            return Err(StreamError::TimestampTooLarge {
+                ts: ev.ts,
+                max_ts: self.cfg.max_ts_hours(),
+            });
+        }
         if !ev.value.is_finite() {
             return Err(StreamError::BadValue {
                 feature: ev.feature,
@@ -261,7 +300,9 @@ impl StreamSession {
         let mut out = IngestOutcome::default();
         // Slide in whole-bin f32 increments until the event fits. The same
         // fold runs in `batch_reference`, so both sides land on the exact
-        // same accumulated f32 `window_start`.
+        // same accumulated f32 `window_start`. The `max_ts_hours` cap above
+        // bounds this loop at `MAX_WINDOW_BINS` iterations and guarantees
+        // every f32 addition makes progress.
         while ev.ts - self.window_start >= self.cfg.horizon_hours {
             self.window_start += self.cfg.bin_width();
             out.window_slid = true;
@@ -363,7 +404,11 @@ pub fn batch_reference(
     scaler: &Standardizer,
 ) -> ScoreRequest {
     let valid = |ev: &StreamEvent| {
-        ev.feature < cfg.n_features && ev.ts.is_finite() && ev.ts >= 0.0 && ev.value.is_finite()
+        ev.feature < cfg.n_features
+            && ev.ts.is_finite()
+            && ev.ts >= 0.0
+            && ev.ts < cfg.max_ts_hours()
+            && ev.value.is_finite()
     };
     // The same whole-bin f32 fold `StreamSession::ingest` runs.
     let mut ws = 0.0f32;
@@ -491,12 +536,52 @@ mod tests {
             s.ingest(ev(0, 1.0, f32::INFINITY)),
             Err(StreamError::BadValue { feature: 0 })
         ));
+        // An epoch-seconds-scale timestamp is rejected, not folded over.
+        assert!(matches!(
+            s.ingest(ev(0, 1.7e9, 5.0)),
+            Err(StreamError::TimestampTooLarge { .. })
+        ));
         assert_eq!(
             s.request().x,
             snap.x,
             "rejected events must not touch state"
         );
         assert_eq!(s.events_total(), 1);
+    }
+
+    #[test]
+    fn near_cap_timestamp_terminates_and_matches_oracle() {
+        // The largest accepted timestamp forces the longest possible slide
+        // fold; it must finish (bounded at MAX_WINDOW_BINS iterations,
+        // every f32 step making progress) and agree with the oracle.
+        let c = cfg();
+        let big = c.max_ts_hours() - c.bin_width();
+        assert!(big < c.max_ts_hours());
+        let mut s = StreamSession::new(c, scaler(3));
+        let events = [ev(0, 1.0, 10.0), ev(1, big, 3.0)];
+        for e in &events {
+            let out = s.ingest(*e).unwrap();
+            assert!(out.accepted);
+        }
+        assert!(s.window_start() > 0.0);
+        let oracle = batch_reference(&events, &c, &scaler(3));
+        let req = s.request();
+        for (a, b) in req.x.iter().zip(&oracle.x) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(req.mask, oracle.mask);
+        // At the cap itself: rejected by the session, skipped by the oracle
+        // — both sides unchanged.
+        assert!(matches!(
+            s.ingest(ev(0, c.max_ts_hours(), 1.0)),
+            Err(StreamError::TimestampTooLarge { .. })
+        ));
+        let after = batch_reference(
+            &[events[0], events[1], ev(0, c.max_ts_hours(), 1.0)],
+            &c,
+            &scaler(3),
+        );
+        assert_eq!(s.request().x, after.x);
     }
 
     #[test]

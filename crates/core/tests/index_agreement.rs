@@ -168,6 +168,35 @@ fn full_width_masks_agree() {
     assert_eq!(c.pattern.len(), 16);
 }
 
+/// An [`IndexCache`] probed with a *different* compiled index must treat
+/// the probe as fresh — even on a bit-identical grid — so one index's
+/// bitmaps are never served for another. Same index + same grid still
+/// reuses.
+#[test]
+fn cache_never_reuses_across_indexes() {
+    use cohortnet::index::IndexCache;
+    let mut rng = StdRng::seed_from_u64(11);
+    let masks = vec![vec![0, 1], vec![0, 1]];
+    let pool_a = pool_with(masks.clone(), &[], 3, &mut rng);
+    let pool_b = pool_with(masks, &[], 3, &mut rng);
+    let (ia, ib) = (CohortIndex::compile(&pool_a), CohortIndex::compile(&pool_b));
+    let grid = vec![1u8, 2, 3, 0];
+    let mut cache = IndexCache::new();
+    cache.probe(&ia, &grid, 2, 2);
+    let words_b = cache.probe(&ib, &grid, 2, 2).to_vec();
+    for f in 0..2 {
+        assert_eq!(
+            words_b[f],
+            ib.bitmap_words(f, &grid, 2, 2),
+            "cache must answer for the index it was probed with (feature {f})"
+        );
+    }
+    assert_eq!(cache.reused_probes, 0, "no reuse across distinct indexes");
+    assert_eq!(cache.full_probes, 4);
+    cache.probe(&ib, &grid, 2, 2);
+    assert_eq!(cache.reused_probes, 2, "same index + same grid reuses");
+}
+
 /// A feature whose cohort list is empty yields an empty bitmap from every
 /// path, and a zero-width packed bitmap.
 #[test]

@@ -110,11 +110,22 @@ struct SessionState {
     session: StreamSession,
     /// A scoring panic (chaos or real) poisons only this session; every
     /// later request on it gets a typed `500` and the slot is evicted.
+    /// Eviction itself always happens *after* the entry lock is dropped:
+    /// the map lock is ordered before entry locks (`handle_sessions_list`
+    /// takes map → entry), so taking the map lock while holding an entry
+    /// lock would invert the order and deadlock.
     poisoned: bool,
     /// Ingest instants not yet covered by a score — drained into the
-    /// staleness histogram when the next score lands.
+    /// staleness histogram when the next score lands. Bounded at
+    /// [`MAX_PENDING_STALENESS`]: past the cap the oldest (worst-staleness)
+    /// instants are kept and new ones dropped, so a session that only ever
+    /// ingests with `"score": false` cannot grow this without bound.
     pending: Vec<Instant>,
 }
+
+/// Cap on un-scored ingest instants kept per session for the staleness
+/// histogram.
+const MAX_PENDING_STALENESS: usize = 4096;
 
 /// One session slot: the state mutex plus an activity stamp the sweep can
 /// read without taking the state lock.
@@ -290,10 +301,13 @@ impl StreamApp {
 
     /// Scores one session's current window on this worker thread (never
     /// through the batching engine), with the `stream.score` chaos site and
-    /// panic containment: a panic poisons and evicts only this session.
+    /// panic containment: a panic poisons only this session and returns the
+    /// typed `500`. The *caller* must then drop the entry guard and call
+    /// [`StreamApp::evict`] — evicting here would take the map lock while
+    /// the entry lock is held, inverting the map → entry lock order used by
+    /// `handle_sessions_list` and deadlocking against it.
     fn score_session(
         &self,
-        id: &str,
         state: &mut SessionState,
     ) -> Result<cohortnet::infer::DetailedScore, AppResponse> {
         let _sp = span("stream.score");
@@ -323,7 +337,6 @@ impl StreamApp {
             }
             Err(_) => {
                 state.poisoned = true;
-                self.evict(id);
                 Err(AppResponse::json(
                     500,
                     error_body("session scoring panicked; session evicted"),
@@ -364,7 +377,9 @@ impl StreamApp {
                     Ok(out) => {
                         if out.accepted {
                             ingested += 1;
-                            state.pending.push(Instant::now());
+                            if state.pending.len() < MAX_PENDING_STALENESS {
+                                state.pending.push(Instant::now());
+                            }
                         } else {
                             stale += 1;
                         }
@@ -380,9 +395,15 @@ impl StreamApp {
         self.metrics.stream_events.add(ingested);
         self.metrics.stream_events_stale.add(stale);
         let prediction = if ingest.score {
-            match self.score_session(&ingest.session, &mut state) {
+            match self.score_session(&mut state) {
                 Ok(detail) => Some(row_to_json(&RowScore::from_output(&detail.output, 0))),
-                Err(resp) => return resp,
+                Err(resp) => {
+                    // Evict only after releasing the entry lock (map lock is
+                    // ordered before entry locks — see score_session docs).
+                    drop(state);
+                    self.evict(&ingest.session);
+                    return resp;
+                }
             }
         } else {
             None
@@ -425,13 +446,17 @@ impl StreamApp {
             self.evict(id);
             return AppResponse::json(500, error_body("session poisoned; session evicted"));
         }
-        match self.score_session(id, &mut state) {
+        match self.score_session(&mut state) {
             Ok(detail) => {
                 let row = RowScore::from_output(&detail.output, 0);
                 let (status, body) = score_rows_response(&[Ok(row)]);
                 AppResponse::json(status, body)
             }
-            Err(resp) => resp,
+            Err(resp) => {
+                drop(state);
+                self.evict(id);
+                resp
+            }
         }
     }
 
